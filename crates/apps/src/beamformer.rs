@@ -1,0 +1,115 @@
+//! BeamFormer: the PCA beamformer used in the comparison against space
+//! multiplexing — `ch` channels of (mostly stateless) FIR conditioning
+//! feeding `beams` steering/detection chains, where the detectors carry
+//! state.  Per the paper: "Task + Data loses to space by 19%,
+//! T+D+SP beats space by 38%" — the shape that creates that outcome is
+//! the mix of one stateful stage per beam with wide stateless front-end
+//! parallelism.
+
+use crate::common::{fir, with_io};
+use streamit_graph::builder::*;
+use streamit_graph::{DataType, Joiner, Splitter, StreamNode, Value};
+
+/// Channel conditioning: two cascaded FIR stages (stateless, heavy).
+fn channel(i: usize, taps: usize) -> StreamNode {
+    let h1: Vec<f64> = (0..taps).map(|t| ((t + i) as f64 * 0.1).cos() / taps as f64).collect();
+    let h2: Vec<f64> = (0..taps).map(|t| ((t * 2 + i) as f64 * 0.07).sin() / taps as f64).collect();
+    pipeline(
+        format!("BFChan{i}"),
+        vec![
+            fir(&format!("Coarse{i}"), &h1),
+            fir(&format!("Fine{i}"), &h2),
+        ],
+    )
+}
+
+/// One beam: steering dot product (stateless) + stateful pulse
+/// integrator.
+fn beam(bi: usize, ch: usize) -> StreamNode {
+    let w: Vec<f64> = (0..ch)
+        .map(|c| (std::f64::consts::PI * ((bi + 1) * c) as f64 / ch as f64).cos())
+        .collect();
+    let steer = FilterBuilder::new(format!("Steer{bi}"), DataType::Float)
+        .rates(ch, ch, 1)
+        .coeffs("w", w)
+        .work(move |b| {
+            b.let_("s", DataType::Float, lit(0.0))
+                .for_("c", 0, ch as i64, |b| {
+                    b.set("s", var("s") + peek(var("c")) * idx("w", var("c")))
+                })
+                .push(var("s"))
+                .for_("c", 0, ch as i64, |b| b.pop_discard())
+        })
+        .build_node();
+    let integrate = FilterBuilder::new(format!("Integrate{bi}"), DataType::Float)
+        .rates(1, 1, 1)
+        .state("acc", DataType::Float, Value::Float(0.0))
+        .work(|b| {
+            b.set("acc", var("acc") * lit(0.9) + pop() * lit(0.1))
+                .push(var("acc") * var("acc"))
+        })
+        .build_node();
+    pipeline(format!("Beam{bi}"), vec![steer, integrate])
+}
+
+/// The beamformer: `ch` channels, `beams` beams.
+pub fn beamformer(ch: usize, beams: usize, taps: usize) -> StreamNode {
+    let channels: Vec<StreamNode> = (0..ch).map(|i| channel(i, taps)).collect();
+    let beam_chains: Vec<StreamNode> = (0..beams).map(|bi| beam(bi, ch)).collect();
+    pipeline(
+        "BeamFormer",
+        vec![
+            splitjoin(
+                "Channels",
+                Splitter::round_robin(ch),
+                channels,
+                Joiner::round_robin(ch),
+            ),
+            splitjoin(
+                "Beams",
+                Splitter::Duplicate,
+                beam_chains,
+                Joiner::round_robin(beams),
+            ),
+        ],
+    )
+}
+
+/// The evaluation form, with I/O endpoints.
+pub fn beamformer_with_io(ch: usize, beams: usize, taps: usize) -> StreamNode {
+    with_io("BeamFormerApp", beamformer(ch, beams, taps))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::testutil::*;
+
+    #[test]
+    fn mixes_stateless_and_stateful() {
+        let bf = beamformer(12, 4, 32);
+        check(&bf);
+        let mut stateful = 0;
+        let mut total = 0;
+        bf.visit_filters(&mut |f| {
+            total += 1;
+            if f.is_stateful() {
+                stateful += 1;
+            }
+        });
+        assert_eq!(stateful, 4, "one integrator per beam");
+        assert_eq!(total, 12 * 2 + 4 * 2);
+    }
+
+    #[test]
+    fn produces_nonnegative_power() {
+        let bf = beamformer(4, 2, 8);
+        let input: Vec<Value> = (0..512)
+            .map(|i| Value::Float((i as f64 * 0.17).sin()))
+            .collect();
+        let out = run(&bf, input, 16);
+        for v in &out {
+            assert!(v.as_f64() >= 0.0, "power must be non-negative");
+        }
+    }
+}

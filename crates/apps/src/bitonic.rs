@@ -1,0 +1,190 @@
+//! BitonicSort: a full bitonic sorting network over `N` integer keys.
+//!
+//! The graph is exactly the classical network: `log2(N)` merge phases,
+//! phase `p` containing `p` comparison stages, each stage a split-join
+//! of `N/2` two-input comparators.  All filters are stateless and
+//! non-peeking, but the granularity is very fine — a comparator does a
+//! handful of operations — which is why the paper finds the benchmark's
+//! task parallelism "expressed at too fine a granularity for the
+//! communication system".
+
+use crate::common::with_io;
+use streamit_graph::builder::*;
+use streamit_graph::{DataType, Joiner, Splitter, StreamNode};
+
+/// A 2-in 2-out comparator: ascending (`up = true`) emits
+/// (min, max); descending emits (max, min).
+fn comparator(name: &str, up: bool) -> StreamNode {
+    FilterBuilder::new(name, DataType::Int)
+        .rates(2, 2, 2)
+        .work(move |b| {
+            let lo = minf(peek(0), peek(1));
+            let hi = maxf(peek(0), peek(1));
+            let b = if up {
+                b.push(lo).push(hi)
+            } else {
+                b.push(hi).push(lo)
+            };
+            b.pop_discard().pop_discard()
+        })
+        .build_node()
+}
+
+/// One comparison stage: partner distance `d` within blocks of size
+/// `blk`; direction alternates per block of size `dir_blk`.
+///
+/// The stage routes each partner pair `(i, i+d)` to one comparator via a
+/// weighted round-robin reorder, compares, and restores order.  To keep
+/// the reorder filters simple we implement the stage as a reorder filter
+/// (gather pairs) → split-join of comparators → reorder filter
+/// (scatter back).
+fn stage(n: usize, d: usize, dir_blk: usize, id: &str) -> StreamNode {
+    // Gather: permute the n inputs so partner pairs are adjacent.
+    let mut pair_order = Vec::with_capacity(n);
+    let mut dirs = Vec::with_capacity(n / 2);
+    let mut seen = vec![false; n];
+    for i in 0..n {
+        if !seen[i] {
+            let j = i + d;
+            debug_assert!(j < n && !seen[j]);
+            seen[i] = true;
+            seen[j] = true;
+            pair_order.push(i);
+            pair_order.push(j);
+            dirs.push((i / dir_blk).is_multiple_of(2));
+        }
+    }
+    let gather = permute_filter(&format!("gather{id}"), &pair_order);
+    // Inverse permutation to restore positions.
+    let mut inv = vec![0usize; n];
+    for (pos, &src) in pair_order.iter().enumerate() {
+        inv[src] = pos;
+    }
+    let scatter = permute_filter(&format!("scatter{id}"), &inv);
+    let comparators: Vec<StreamNode> = dirs
+        .iter()
+        .enumerate()
+        .map(|(k, &up)| comparator(&format!("cmp{id}_{k}"), up))
+        .collect();
+    pipeline(
+        format!("stage{id}"),
+        vec![
+            gather,
+            splitjoin(
+                format!("cmps{id}"),
+                Splitter::RoundRobin(vec![2; n / 2]),
+                comparators,
+                Joiner::RoundRobin(vec![2; n / 2]),
+            ),
+            scatter,
+        ],
+    )
+}
+
+/// A filter applying a fixed permutation to blocks of `perm.len()`
+/// items: output slot `k` receives input `perm[k]`.
+fn permute_filter(name: &str, perm: &[usize]) -> StreamNode {
+    let n = perm.len();
+    let perm = perm.to_vec();
+    FilterBuilder::new(name, DataType::Int)
+        .rates(n, n, n)
+        .work(move |mut b| {
+            for &src in &perm {
+                b = b.push(peek(src as i64));
+            }
+            for _ in 0..n {
+                b = b.pop_discard();
+            }
+            b
+        })
+        .build_node()
+}
+
+/// The complete bitonic sorting network for `n` keys (power of two),
+/// sorting ascending.
+pub fn bitonic_sort(n: usize) -> StreamNode {
+    assert!(n.is_power_of_two() && n >= 2);
+    let mut stages = Vec::new();
+    let mut phase = 1usize;
+    let mut k = 2usize;
+    while k <= n {
+        // Merge phase for block size k: stages with distances k/2 ... 1.
+        let mut d = k / 2;
+        let mut s = 0;
+        while d >= 1 {
+            stages.push(stage(n, d, k, &format!("_p{phase}s{s}")));
+            d /= 2;
+            s += 1;
+        }
+        k *= 2;
+        phase += 1;
+    }
+    pipeline("BitonicSort", stages)
+}
+
+/// The evaluation form, with I/O endpoints.
+pub fn bitonic_sort_with_io(n: usize) -> StreamNode {
+    with_io("BitonicSortApp", bitonic_sort(n))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::testutil::*;
+    use streamit_graph::Value;
+
+    #[test]
+    fn network_sorts() {
+        let net = bitonic_sort(8);
+        check(&net);
+        let input: Vec<i64> = vec![5, 3, 8, 1, 9, 2, 7, 4];
+        let out = run(&net, input.iter().map(|&v| Value::Int(v)).collect(), 8);
+        let got: Vec<i64> = out.iter().map(|v| v.as_i64()).collect();
+        let mut expect = input.clone();
+        expect.sort();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn network_sorts_many_blocks() {
+        let net = bitonic_sort(16);
+        check(&net);
+        let input: Vec<i64> = (0..32).map(|i| ((i * 37 + 11) % 100) as i64).collect();
+        let out = run(&net, input.iter().map(|&v| Value::Int(v)).collect(), 32);
+        let got: Vec<i64> = out.iter().map(|v| v.as_i64()).collect();
+        for blk in 0..2 {
+            let mut expect: Vec<i64> = input[blk * 16..(blk + 1) * 16].to_vec();
+            expect.sort();
+            assert_eq!(&got[blk * 16..(blk + 1) * 16], &expect[..], "block {blk}");
+        }
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(16))]
+        #[test]
+        fn prop_network_sorts_random_vectors(
+            input in proptest::collection::vec(0i64..1000, 8),
+        ) {
+            let net = bitonic_sort(8);
+            let out = run(&net, input.iter().map(|&v| Value::Int(v)).collect(), 8);
+            let got: Vec<i64> = out.iter().map(|v| v.as_i64()).collect();
+            let mut expect = input.clone();
+            expect.sort();
+            proptest::prop_assert_eq!(got, expect);
+        }
+    }
+
+    #[test]
+    fn is_fine_grained_and_stateless() {
+        let net = bitonic_sort(32);
+        let mut stateless = true;
+        let mut count = 0;
+        net.visit_filters(&mut |f| {
+            stateless &= !f.is_stateful();
+            count += 1;
+        });
+        assert!(stateless);
+        // 5 phases, 15 stages, each with 16 comparators + 2 permuters.
+        assert!(count > 200, "fine granularity expected, got {count} filters");
+    }
+}

@@ -1,0 +1,113 @@
+//! ChannelVocoder: a channel vocoder with a pitch detector and a wide
+//! bank of band filters — the paper's example (with Radar and
+//! FilterBank) of "wide splitjoins of load-balanced children" where
+//! plain task parallelism already helps.
+
+use crate::common::{bandpass_fir, lowpass_fir, with_io};
+use streamit_graph::builder::*;
+use streamit_graph::{DataType, Joiner, Splitter, StreamNode};
+
+/// The pitch detector: a large peeking window computing a normalized
+/// autocorrelation proxy (kept linear-free on purpose: it is the odd
+/// child of the split-join).
+fn pitch_detector(window: usize) -> StreamNode {
+    FilterBuilder::new("PitchDetector", DataType::Float)
+        .rates(window, 1, 1)
+        .work(move |b| {
+            b.let_("acc", DataType::Float, lit(0.0))
+                .for_("i", 0, (window / 2) as i64, |b| {
+                    b.set(
+                        "acc",
+                        var("acc")
+                            + peek(var("i")) * peek(var("i") + lit((window / 2) as i64)),
+                    )
+                })
+                .push(var("acc") / lit((window / 2) as f64))
+                .pop_discard()
+        })
+        .build_node()
+}
+
+/// One analysis channel: band-pass filter followed by an envelope
+/// (magnitude) detector with a smoothing low-pass.
+fn channel(i: usize, channels: usize, taps: usize) -> StreamNode {
+    let centre = (i as f64 + 0.5) / (2.0 * channels as f64);
+    pipeline(
+        format!("Chan{i}"),
+        vec![
+            bandpass_fir(&format!("ChanBPF{i}"), taps, centre, 0.5 / (2.0 * channels as f64)),
+            FilterBuilder::new(format!("Mag{i}"), DataType::Float)
+                .rates(1, 1, 1)
+                .push(abs(pop()))
+                .build_node(),
+            lowpass_fir(&format!("Smooth{i}"), taps / 2, 0.05),
+        ],
+    )
+}
+
+/// The vocoder: `channels` analysis channels plus the pitch detector,
+/// all duplicating the input.
+pub fn channelvocoder(channels: usize, taps: usize) -> StreamNode {
+    let mut children: Vec<StreamNode> = vec![pitch_detector(taps)];
+    for i in 0..channels {
+        children.push(channel(i, channels, taps));
+    }
+    pipeline(
+        "ChannelVocoder",
+        vec![splitjoin(
+            "Analysis",
+            Splitter::Duplicate,
+            children,
+            Joiner::round_robin(channels + 1),
+        )],
+    )
+}
+
+/// The evaluation form, with I/O endpoints.
+pub fn channelvocoder_with_io(channels: usize, taps: usize) -> StreamNode {
+    with_io("ChannelVocoderApp", channelvocoder(channels, taps))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::testutil::*;
+    use streamit_graph::Value;
+
+    #[test]
+    fn wide_stateless_peeking_bank() {
+        let cv = channelvocoder(16, 64);
+        check(&cv);
+        let mut peeking = 0;
+        let mut stateful = 0;
+        cv.visit_filters(&mut |f| {
+            if f.is_peeking() {
+                peeking += 1;
+            }
+            if f.is_stateful() {
+                stateful += 1;
+            }
+        });
+        assert_eq!(stateful, 0);
+        // pitch + 2 FIRs per channel peek
+        assert_eq!(peeking, 1 + 32);
+        assert_eq!(cv.filter_count(), 1 + 3 * 16);
+    }
+
+    #[test]
+    fn produces_envelope_outputs() {
+        let cv = channelvocoder(4, 16);
+        let input: Vec<Value> = (0..512)
+            .map(|i| Value::Float((i as f64 * 0.25).sin() * 0.8))
+            .collect();
+        let out = run(&cv, input, 40);
+        assert_eq!(out.len(), 40);
+        // All channel magnitudes are non-negative (the pitch channel is
+        // every (channels+1)-th item and can be negative).
+        for (k, v) in out.iter().enumerate() {
+            if k % 5 != 0 {
+                assert!(v.as_f64() >= -1e-9, "magnitude negative at {k}");
+            }
+        }
+    }
+}

@@ -1,0 +1,255 @@
+//! Shared helpers for the benchmark suite: synthetic I/O endpoints and
+//! frequently used kernels.
+
+use streamit_graph::builder::*;
+use streamit_graph::{DataType, StreamNode, Value};
+
+/// A synthetic file-reader endpoint: pushes a deterministic
+/// pseudo-random sample stream (linear congruential generator), `push`
+/// items per firing.  Marked stateful by its seed state, which is fine:
+/// I/O endpoints are never mapped to compute tiles.
+pub fn reader(name: &str, ty: DataType, push: usize) -> StreamNode {
+    FilterBuilder::source(name, ty)
+        .rates(0, 0, push)
+        .state("seed", DataType::Int, Value::Int(42))
+        .work(move |mut b| {
+            for _ in 0..push {
+                b = b.set(
+                    "seed",
+                    (var("seed") * lit(1103515245i64) + lit(12345i64)) % lit(2147483648i64),
+                );
+                b = match ty {
+                    DataType::Int => b.push(var("seed") % lit(1024i64)),
+                    DataType::Float => {
+                        b.push(call1(streamit_graph::Intrinsic::ToFloat, var("seed"))
+                            / lit(2147483648.0))
+                    }
+                };
+            }
+            b
+        })
+        .build_node()
+}
+
+/// A file-writer endpoint: consumes `pop` items per firing.
+pub fn writer(name: &str, ty: DataType, pop: usize) -> StreamNode {
+    FilterBuilder::sink(name, ty)
+        .rates(pop, pop, 0)
+        .work(move |mut b| {
+            for _ in 0..pop {
+                b = b.pop_discard();
+            }
+            b
+        })
+        .build_node()
+}
+
+/// Wrap a core graph with reader/writer endpoints matched to the
+/// graph's item types.
+pub fn with_io(name: &str, core: StreamNode) -> StreamNode {
+    let in_ty = core.input_type().unwrap_or(DataType::Float);
+    let out_ty = core.output_type().unwrap_or(DataType::Float);
+    pipeline(
+        name,
+        vec![
+            reader("FileReader", in_ty, 1),
+            core,
+            writer("FileWriter", out_ty, 1),
+        ],
+    )
+}
+
+/// An `n`-tap low-pass FIR with a windowed-sinc response — the
+/// workhorse peeking filter of the DSP benchmarks.
+pub fn lowpass_fir(name: &str, taps: usize, cutoff: f64) -> StreamNode {
+    let h: Vec<f64> = (0..taps)
+        .map(|i| {
+            let m = (taps - 1) as f64;
+            let x = i as f64 - m / 2.0;
+            let sinc = if x == 0.0 {
+                2.0 * cutoff
+            } else {
+                (2.0 * std::f64::consts::PI * cutoff * x).sin() / (std::f64::consts::PI * x)
+            };
+            // Hamming window
+            sinc * (0.54 - 0.46 * (2.0 * std::f64::consts::PI * i as f64 / m).cos())
+        })
+        .collect();
+    fir(name, &h)
+}
+
+/// A band-pass FIR centred on `freq` (fraction of Nyquist).
+pub fn bandpass_fir(name: &str, taps: usize, freq: f64, width: f64) -> StreamNode {
+    let h: Vec<f64> = (0..taps)
+        .map(|i| {
+            let m = (taps - 1) as f64;
+            let x = i as f64 - m / 2.0;
+            let lp = |c: f64| {
+                if x == 0.0 {
+                    2.0 * c
+                } else {
+                    (2.0 * std::f64::consts::PI * c * x).sin() / (std::f64::consts::PI * x)
+                }
+            };
+            (lp(freq + width) - lp((freq - width).max(0.0)))
+                * (0.54 - 0.46 * (2.0 * std::f64::consts::PI * i as f64 / m).cos())
+        })
+        .collect();
+    fir(name, &h)
+}
+
+/// A general FIR from explicit taps: `peek n, pop 1, push 1`.
+pub fn fir(name: &str, h: &[f64]) -> StreamNode {
+    let n = h.len();
+    FilterBuilder::new(name, DataType::Float)
+        .rates(n, 1, 1)
+        .coeffs("h", h.iter().copied())
+        .work(move |b| {
+            b.let_("sum", DataType::Float, lit(0.0))
+                .for_("i", 0, n as i64, |b| {
+                    b.set("sum", var("sum") + peek(var("i")) * idx("h", var("i")))
+                })
+                .push(var("sum"))
+                .pop_discard()
+        })
+        .build_node()
+}
+
+/// Down-sample by `k` (keep the first of every `k` items).
+pub fn downsample(name: &str, k: usize) -> StreamNode {
+    FilterBuilder::new(name, DataType::Float)
+        .rates(k, k, 1)
+        .work(move |mut b| {
+            b = b.push(peek(0));
+            for _ in 0..k {
+                b = b.pop_discard();
+            }
+            b
+        })
+        .build_node()
+}
+
+/// Up-sample by `k` (insert `k − 1` zeros after every item).
+pub fn upsample(name: &str, k: usize) -> StreamNode {
+    FilterBuilder::new(name, DataType::Float)
+        .rates(1, 1, k)
+        .work(move |mut b| {
+            b = b.push(pop());
+            for _ in 1..k {
+                b = b.push(lit(0.0));
+            }
+            b
+        })
+        .build_node()
+}
+
+/// Element-wise float adder over `k` round-robin-interleaved streams:
+/// pops `k` items, pushes their sum (the "adder" at the end of
+/// equalizer split-joins).
+pub fn adder(name: &str, k: usize) -> StreamNode {
+    FilterBuilder::new(name, DataType::Float)
+        .rates(k, k, 1)
+        .work(move |mut b| {
+            b = b.let_("s", DataType::Float, lit(0.0));
+            for i in 0..k {
+                b = b.set("s", var("s") + peek(i as i64));
+            }
+            b = b.push(var("s"));
+            for _ in 0..k {
+                b = b.pop_discard();
+            }
+            b
+        })
+        .build_node()
+}
+
+/// A stateful gain-accumulator filter: `y = x·g; g ← g·decay + rate`.
+/// Used to inject controlled amounts of stateful work into benchmarks.
+pub fn stateful_agc(name: &str, work_loops: usize) -> StreamNode {
+    FilterBuilder::new(name, DataType::Float)
+        .rates(1, 1, 1)
+        .state("g", DataType::Float, Value::Float(1.0))
+        .work(move |b| {
+            b.let_("x", DataType::Float, pop())
+                .for_("i", 0, work_loops as i64, |b| {
+                    b.set("g", var("g") * lit(0.999) + lit(0.001))
+                })
+                .push(var("x") * var("g"))
+        })
+        .build_node()
+}
+
+#[cfg(test)]
+pub mod testutil {
+    //! Helpers shared by the per-benchmark tests.
+    use streamit_graph::{FlatGraph, StreamNode, Value};
+    use streamit_interp::Machine;
+
+    /// Run a core graph on an input vector, returning `n` outputs.
+    pub fn run(stream: &StreamNode, input: Vec<Value>, n: usize) -> Vec<Value> {
+        let g = FlatGraph::from_stream(stream);
+        let mut m = Machine::new(&g);
+        m.feed(input);
+        m.run_until_output(n, 5_000_000)
+            .unwrap_or_else(|e| panic!("interp failed: {e}"));
+        m.take_output()
+    }
+
+    /// Validate structure and rate consistency.
+    pub fn check(stream: &StreamNode) {
+        let errs = streamit_graph::validate(stream);
+        assert!(errs.is_empty(), "validation errors: {errs:?}");
+        let g = FlatGraph::from_stream(stream);
+        streamit_graph::repetition_vector(&g).expect("rates consistent");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::testutil::*;
+    use super::*;
+    use streamit_graph::Value;
+
+    #[test]
+    fn io_wrapping_validates() {
+        let app = with_io("app", fir("f", &[0.5, 0.5]));
+        check(&app);
+        assert_eq!(app.filter_count(), 3);
+    }
+
+    #[test]
+    fn downsample_upsample_roundtrip() {
+        let p = pipeline("p", vec![upsample("up", 3), downsample("down", 3)]);
+        let input: Vec<Value> = (1..=4).map(|i| Value::Float(i as f64)).collect();
+        let out = run(&p, input.clone(), 4);
+        assert_eq!(out, input);
+    }
+
+    #[test]
+    fn adder_sums_interleaved() {
+        let out = run(
+            &adder("a", 2),
+            vec![1.0, 2.0, 3.0, 4.0].into_iter().map(Value::Float).collect(),
+            2,
+        );
+        assert_eq!(out, vec![Value::Float(3.0), Value::Float(7.0)]);
+    }
+
+    #[test]
+    fn lowpass_dc_gain_near_unity() {
+        // Feeding a constant: output approaches the sum of taps ≈ 1.
+        let lp = lowpass_fir("lp", 32, 0.25);
+        let input: Vec<Value> = std::iter::repeat_n(Value::Float(1.0), 64).collect();
+        let out = run(&lp, input, 8);
+        let last = out.last().unwrap().as_f64();
+        assert!((last - 1.0).abs() < 0.15, "dc gain {last}");
+    }
+
+    #[test]
+    fn stateful_agc_is_stateful() {
+        match stateful_agc("agc", 4) {
+            streamit_graph::StreamNode::Filter(f) => assert!(f.is_stateful()),
+            _ => unreachable!(),
+        }
+    }
+}

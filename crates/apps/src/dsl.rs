@@ -1,0 +1,326 @@
+//! Benchmark programs written in the *textual* StreamIt-rs language.
+//!
+//! The suite in the sibling modules uses the Rust builder API; this
+//! module carries the same applications as `.str` source text, both as
+//! frontend exercise at application scale and as documentation of the
+//! surface language.  Tests check the two constructions compute the same
+//! streams.
+
+/// A software FM radio in the surface language (the paper's running
+/// example): low-pass front end, demodulator, duplicate/round-robin
+/// equalizer, summing stage.
+pub const FMRADIO_STR: &str = r#"
+    float->float filter LowPass(int N, float cutoff) {
+        float[N] h;
+        init {
+            float m = N - 1.0;
+            for (int i = 0; i < N; i++) {
+                float x = i - m / 2.0;
+                float sinc = 2.0 * cutoff;
+                if (x != 0.0)
+                    sinc = sin(2.0 * pi * cutoff * x) / (pi * x);
+                h[i] = sinc * (0.54 - 0.46 * cos(2.0 * pi * i / m));
+            }
+        }
+        work peek N pop 1 push 1 {
+            float s = 0.0;
+            for (int i = 0; i < N; i++) s += peek(i) * h[i];
+            push(s);
+            pop();
+        }
+    }
+
+    float->float filter Demod() {
+        work peek 2 pop 1 push 1 {
+            push(atan(peek(1) * peek(0) * 0.5));
+            pop();
+        }
+    }
+
+    float->float filter Gain(float g) {
+        work pop 1 push 1 { push(pop() * g); }
+    }
+
+    float->float splitjoin Equalizer(int B, int N) {
+        split duplicate;
+        for (int i = 0; i < B; i++) {
+            add BandChain(i, B, N);
+        }
+        join roundrobin;
+    }
+
+    float->float pipeline BandChain(int i, int B, int N) {
+        add BandPass(N, (i + 0.5) / (2.0 * B), 0.5 / (2.0 * B));
+        add Gain(1.0 + 0.1 * i);
+    }
+
+    float->float filter BandPass(int N, float freq, float width) {
+        float[N] h;
+        init {
+            float m = N - 1.0;
+            for (int i = 0; i < N; i++) {
+                float x = i - m / 2.0;
+                float hi = 2.0 * (freq + width);
+                float lo = 2.0 * max(freq - width, 0.0);
+                if (x != 0.0) {
+                    hi = sin(2.0 * pi * (freq + width) * x) / (pi * x);
+                    lo = sin(2.0 * pi * max(freq - width, 0.0) * x) / (pi * x);
+                }
+                h[i] = (hi - lo) * (0.54 - 0.46 * cos(2.0 * pi * i / m));
+            }
+        }
+        work peek N pop 1 push 1 {
+            float s = 0.0;
+            for (int i = 0; i < N; i++) s += peek(i) * h[i];
+            push(s);
+            pop();
+        }
+    }
+
+    float->float filter Sum(int B) {
+        work pop B push 1 {
+            float s = 0.0;
+            for (int i = 0; i < B; i++) s += pop();
+            push(s);
+        }
+    }
+
+    float->float pipeline FMRadio(int B, int N) {
+        add LowPass(N, 0.25);
+        add Demod();
+        add Equalizer(B, N);
+        add Sum(B);
+    }
+
+    float->float pipeline Main() { add FMRadio(10, 64); }
+"#;
+
+/// The Fibonacci feedback loop in the surface language (the appendix's
+/// canonical `FeedbackLoop` example).
+pub const FIBONACCI_STR: &str = r#"
+    int->int filter Window2Add() {
+        work peek 2 pop 1 push 1 {
+            push(peek(0) + peek(1));
+            pop();
+        }
+    }
+    int->int filter Pass() {
+        work pop 1 push 1 { push(pop()); }
+    }
+    int->int feedbackloop Main() {
+        join roundrobin(0, 1);
+        body Window2Add();
+        split duplicate;
+        loop Pass();
+        enqueue 0;
+        enqueue 1;
+    }
+"#;
+
+/// A parameterized multirate filter bank in the surface language.
+pub const FILTERBANK_STR: &str = r#"
+    float->float filter Fir(int N, float scale) {
+        float[N] h;
+        init { for (int i = 0; i < N; i++) h[i] = scale / (i + 1); }
+        work peek N pop 1 push 1 {
+            float s = 0.0;
+            for (int i = 0; i < N; i++) s += peek(i) * h[i];
+            push(s);
+            pop();
+        }
+    }
+    float->float filter Down(int K) {
+        work pop K push 1 {
+            push(peek(0));
+            for (int i = 0; i < K; i++) pop();
+        }
+    }
+    float->float filter Up(int K) {
+        work pop 1 push K {
+            push(pop());
+            for (int i = 0; i < K - 1; i++) push(0.0);
+        }
+    }
+    float->float pipeline Branch(int i, int M, int N) {
+        add Fir(N, 1.0 + 0.1 * i);
+        add Down(M);
+        add Up(M);
+        add Fir(N, 0.5);
+    }
+    float->float splitjoin Bank(int M, int N) {
+        split duplicate;
+        for (int i = 0; i < M; i++) add Branch(i, M, N);
+        join roundrobin;
+    }
+    float->float filter Combine(int M) {
+        work pop M push 1 {
+            float s = 0.0;
+            for (int i = 0; i < M; i++) s += pop();
+            push(s);
+        }
+    }
+    float->float pipeline Main() {
+        add Bank(4, 16);
+        add Combine(4);
+    }
+"#;
+
+/// The teleport frequency-hopping radio in the surface language,
+/// including the portal registration and upstream `send`.
+pub const FREQHOP_STR: &str = r#"
+    float->float filter RFtoIF() {
+        float freq;
+        init { freq = 1.0; }
+        work pop 1 push 1 { push(pop() * freq); }
+        handler setFreq(float f) { freq = f; }
+    }
+    float->float filter CheckFreqHop(int N, int lat) {
+        int armed;
+        init { armed = 1; }
+        work peek N pop N push N {
+            float e = 0.0;
+            for (int i = 0; i < N; i++) e += abs(peek(i));
+            if (e / N > 1.5 && armed == 1) {
+                send freqHop.setFreq(0.25) [lat, lat];
+                armed = 0;
+            }
+            for (int i = 0; i < N; i++) push(pop());
+        }
+    }
+    float->float filter AudioOut() {
+        work pop 1 push 1 { push(pop()); }
+    }
+    float->float pipeline Main(int N) {
+        add RFtoIF() as rf;
+        add CheckFreqHop(N, 2);
+        add AudioOut();
+        register freqHop rf;
+    }
+"#;
+
+/// Duplicate/combine split-join in the surface language (the paper's
+/// COMBINE joiner: element-wise merge of the branches).
+pub const COMBINE_STR: &str = r#"
+    int->int filter Twice() { work pop 1 push 1 { push(pop() * 2); } }
+    int->int filter Thrice() { work pop 1 push 1 { push(pop() * 3); } }
+    int->int splitjoin Main() {
+        split duplicate;
+        add Twice();
+        add Thrice();
+        join combine;
+    }
+"#;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use streamit_graph::{FlatGraph, Value};
+    use streamit_interp::Machine;
+
+    fn compile(src: &str) -> streamit_frontend::ElabOutput {
+        let program = streamit_frontend::parse_program(src).expect("parses");
+        streamit_frontend::elaborate(&program, "Main").expect("elaborates")
+    }
+
+    fn run(stream: &streamit_graph::StreamNode, input: Vec<Value>, n: usize) -> Vec<f64> {
+        let g = FlatGraph::from_stream(stream);
+        let mut m = Machine::new(&g);
+        m.feed(input);
+        m.run_until_output(n, 5_000_000).expect("runs");
+        m.take_output().iter().map(|v| v.as_f64()).collect()
+    }
+
+    #[test]
+    fn dsl_fmradio_matches_builder_fmradio() {
+        let dsl = compile(FMRADIO_STR).stream;
+        let built = crate::fmradio::fmradio(10, 64);
+        assert_eq!(dsl.filter_count(), built.filter_count());
+        let input: Vec<Value> = (0..512)
+            .map(|i| Value::Float((i as f64 * 0.3).sin()))
+            .collect();
+        let a = run(&dsl, input.clone(), 24);
+        let b = run(&built, input, 24);
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-9, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn dsl_fibonacci_generates_the_sequence() {
+        let s = compile(FIBONACCI_STR).stream;
+        let out = run(&s, vec![], 8);
+        let got: Vec<i64> = out.iter().map(|&v| v as i64).collect();
+        assert_eq!(got, vec![1, 2, 3, 5, 8, 13, 21, 34]);
+    }
+
+    #[test]
+    fn dsl_filterbank_validates_and_runs() {
+        let s = compile(FILTERBANK_STR).stream;
+        assert!(streamit_graph::validate(&s).is_empty());
+        assert_eq!(s.filter_count(), 4 * 4 + 1);
+        let input: Vec<Value> = (0..512)
+            .map(|i| Value::Float((i as f64 * 0.17).cos()))
+            .collect();
+        let out = run(&s, input, 16);
+        assert!(out.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn dsl_freqhop_registers_portal_and_hops() {
+        use streamit_sdep::ConstrainedExecutor;
+        let program = streamit_frontend::parse_program(FREQHOP_STR).unwrap();
+        let out = streamit_frontend::elaborate_with_args(
+            &program,
+            "Main",
+            &[Value::Int(8)],
+        )
+        .unwrap();
+        assert_eq!(out.portals.len(), 1);
+        let g = FlatGraph::from_stream(&out.stream);
+        let receivers = out.portal_receivers(&g, "freqHop");
+        assert_eq!(receivers.len(), 1);
+        let mut ex = ConstrainedExecutor::new(&g);
+        for r in receivers {
+            ex.register_portal("freqHop", r);
+        }
+        ex.derive_constraints();
+        ex.machine()
+            .feed(std::iter::repeat_n(Value::Float(2.0), 256));
+        ex.run_until_output(96, 1_000_000).unwrap();
+        assert!(ex.delivered >= 1);
+        let out = ex.machine().take_output();
+        let (first, last) = (out[0].as_f64(), out[95].as_f64());
+        assert!(last < first * 0.5, "{first} -> {last}");
+    }
+
+    #[test]
+    fn dsl_combine_joiner_merges_elementwise() {
+        let s = compile(COMBINE_STR).stream;
+        let out = run(
+            &s,
+            (1..=4).map(Value::Int).collect(),
+            4,
+        );
+        // 2x + 3x = 5x per item.
+        let got: Vec<i64> = out.iter().map(|&v| v as i64).collect();
+        assert_eq!(got, vec![5, 10, 15, 20]);
+    }
+
+    #[test]
+    fn dsl_linear_optimizer_collapses_filterbank_branches() {
+        let s = compile(FILTERBANK_STR).stream;
+        let (opt, report) =
+            streamit_linear::optimize_stream(&s, streamit_linear::LinearMode::Replacement);
+        assert!(report.extracted >= 16, "{report:?}");
+        assert!(opt.filter_count() < s.filter_count());
+        // Equivalence after optimization.
+        let input: Vec<Value> = (0..512)
+            .map(|i| Value::Float((i as f64 * 0.13).sin()))
+            .collect();
+        let a = run(&s, input.clone(), 12);
+        let b = run(&opt, input, 12);
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,227 @@
+//! FFT: an `N`-point complex FFT as a stream graph, in the benchmark
+//! suite's combinatorial style — a bit-reversal reorder stage followed
+//! by `log2(N)` butterfly stages, each built from split-joins (compare
+//! the paper's Figures for the bit-reverse order filter and the 4x4
+//! butterfly stage).
+//!
+//! Complex values travel as interleaved (re, im) float pairs, so an
+//! `N`-point transform moves `2N` items per steady state.
+
+use crate::common::with_io;
+use streamit_graph::builder::*;
+use streamit_graph::{DataType, StreamNode};
+
+/// Bit-reversal reorder over `n` complex values (2n floats).
+fn bit_reverse(n: usize) -> StreamNode {
+    let bits = n.trailing_zeros();
+    let order: Vec<usize> = (0..n as u32)
+        .map(|i| (i.reverse_bits() >> (32 - bits)) as usize)
+        .collect();
+    let total = 2 * n;
+    FilterBuilder::new("BitReverse", DataType::Float)
+        .rates(total, total, total)
+        .work(move |mut b| {
+            for &src in &order {
+                b = b.push(peek((2 * src) as i64));
+                b = b.push(peek((2 * src + 1) as i64));
+            }
+            for _ in 0..total {
+                b = b.pop_discard();
+            }
+            b
+        })
+        .build_node()
+}
+
+/// The twiddle-multiply filter of a butterfly stage: multiplies the
+/// block's second half (`len/2` complex values) by the stage twiddles.
+fn twiddle_mult(stage_len: usize, n: usize, idx_in_stage: usize) -> StreamNode {
+    let half = stage_len / 2;
+    let mut tw = Vec::with_capacity(2 * half);
+    for k in 0..half {
+        let ang = -2.0 * std::f64::consts::PI * (k * (n / stage_len)) as f64 / n as f64;
+        tw.push(ang.cos());
+        tw.push(ang.sin());
+    }
+    let floats = stage_len; // half a block, in floats
+    FilterBuilder::new(
+        format!("Twiddle{stage_len}_{idx_in_stage}"),
+        DataType::Float,
+    )
+    .rates(floats, floats, floats)
+    .coeffs("tw", tw)
+    .work(move |b| {
+        b.for_("k", 0, half as i64, |b| {
+            b.let_("vr", DataType::Float, peek(var("k") * lit(2i64)))
+                .let_("vi", DataType::Float, peek(var("k") * lit(2i64) + lit(1i64)))
+                .let_("wr", DataType::Float, idx("tw", var("k") * lit(2i64)))
+                .let_("wi", DataType::Float, idx("tw", var("k") * lit(2i64) + lit(1i64)))
+                .push(var("vr") * var("wr") - var("vi") * var("wi"))
+                .push(var("vr") * var("wi") + var("vi") * var("wr"))
+        })
+        .for_("k", 0, floats as i64, |b| b.pop_discard())
+    })
+    .build_node()
+}
+
+/// The complex add / subtract halves of a butterfly (the paper's
+/// Butterfly class: a duplicate split-join of a `+` filter and a `−`
+/// filter).  Each consumes the block's interleaved (u, t) complex pairs
+/// and produces the block's sums (or differences) — block-granular so
+/// the compute-to-communication ratio matches a production kernel.
+fn bfly_add(stage_len: usize, blk: usize, sub: bool) -> StreamNode {
+    let name = if sub {
+        format!("BflySub{stage_len}_{blk}")
+    } else {
+        format!("BflyAdd{stage_len}_{blk}")
+    };
+    let half = stage_len / 2; // complex pairs per block
+    let in_f = 2 * stage_len; // interleaved (u, t) floats
+    FilterBuilder::new(name, DataType::Float)
+        .rates(in_f, in_f, stage_len)
+        .work(move |b| {
+            b.for_("k", 0, half as i64, |b| {
+                let base = var("k") * lit(4i64);
+                let (ur, ui) = (peek(base.clone()), peek(base.clone() + lit(1i64)));
+                let (tr, ti) = (peek(base.clone() + lit(2i64)), peek(base + lit(3i64)));
+                if sub {
+                    b.push(ur - tr).push(ui - ti)
+                } else {
+                    b.push(ur + tr).push(ui + ti)
+                }
+            })
+            .for_("k", 0, in_f as i64, |b| b.pop_discard())
+        })
+        .build_node()
+}
+
+/// One butterfly block of a stage, decomposed exactly like the paper's
+/// `Butterfly(N, W)` class: a weighted-round-robin split-join applying
+/// the twiddles to the second half, then a duplicate split-join of add
+/// and subtract filters re-merged by a weighted round robin.
+fn butterfly(stage_len: usize, n: usize, idx_in_stage: usize) -> StreamNode {
+    let floats = stage_len as u64; // half a block of complex, in floats
+    let sj1 = splitjoin(
+        format!("TwiddleSplit{stage_len}_{idx_in_stage}"),
+        streamit_graph::Splitter::RoundRobin(vec![floats, floats]),
+        vec![
+            identity(
+                format!("BflyPass{stage_len}_{idx_in_stage}"),
+                DataType::Float,
+            ),
+            twiddle_mult(stage_len, n, idx_in_stage),
+        ],
+        streamit_graph::Joiner::RoundRobin(vec![2, 2]),
+    );
+    let sj2 = splitjoin(
+        format!("AddSub{stage_len}_{idx_in_stage}"),
+        streamit_graph::Splitter::Duplicate,
+        vec![
+            bfly_add(stage_len, idx_in_stage, false),
+            bfly_add(stage_len, idx_in_stage, true),
+        ],
+        streamit_graph::Joiner::RoundRobin(vec![floats, floats]),
+    );
+    pipeline(format!("Bfly{stage_len}_{idx_in_stage}"), vec![sj1, sj2])
+}
+
+/// An `n`-point FFT (n a power of two ≥ 4): bit reversal, then
+/// `log2(n)` butterfly stages; each stage is a split-join of `n/len`
+/// parallel block units.
+pub fn fft(n: usize) -> StreamNode {
+    assert!(n.is_power_of_two() && n >= 4);
+    let mut stages: Vec<StreamNode> = vec![bit_reverse(n)];
+    let mut len = 2usize;
+    while len <= n {
+        let blocks = n / len;
+        if blocks == 1 {
+            stages.push(butterfly(len, n, 0));
+        } else {
+            let children: Vec<StreamNode> =
+                (0..blocks).map(|b| butterfly(len, n, b)).collect();
+            stages.push(splitjoin(
+                format!("Stage{len}"),
+                streamit_graph::Splitter::RoundRobin(vec![2 * len as u64; blocks]),
+                children,
+                streamit_graph::Joiner::RoundRobin(vec![2 * len as u64; blocks]),
+            ));
+        }
+        len *= 2;
+    }
+    pipeline("FFT", stages)
+}
+
+/// The evaluation form, with I/O endpoints.
+pub fn fft_with_io(n: usize) -> StreamNode {
+    with_io("FFTApp", fft(n))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::testutil::*;
+    use streamit_graph::Value;
+
+    fn reference_dft(x: &[(f64, f64)]) -> Vec<(f64, f64)> {
+        let n = x.len();
+        (0..n)
+            .map(|k| {
+                let mut acc = (0.0, 0.0);
+                for (t, &(re, im)) in x.iter().enumerate() {
+                    let ang = -2.0 * std::f64::consts::PI * (k * t) as f64 / n as f64;
+                    let (c, s) = (ang.cos(), ang.sin());
+                    acc.0 += re * c - im * s;
+                    acc.1 += re * s + im * c;
+                }
+                acc
+            })
+            .collect()
+    }
+
+    fn run_fft(n: usize, x: &[(f64, f64)]) -> Vec<(f64, f64)> {
+        let net = fft(n);
+        check(&net);
+        let mut input = Vec::with_capacity(2 * n);
+        for &(re, im) in x {
+            input.push(Value::Float(re));
+            input.push(Value::Float(im));
+        }
+        let out = run(&net, input, 2 * n);
+        out.chunks(2)
+            .map(|p| (p[0].as_f64(), p[1].as_f64()))
+            .collect()
+    }
+
+    #[test]
+    fn fft8_matches_dft() {
+        let x: Vec<(f64, f64)> = (0..8)
+            .map(|i| ((i as f64 * 0.7).sin(), (i as f64 * 0.3).cos()))
+            .collect();
+        let got = run_fft(8, &x);
+        let expect = reference_dft(&x);
+        for (g, e) in got.iter().zip(&expect) {
+            assert!((g.0 - e.0).abs() < 1e-9, "{g:?} vs {e:?}");
+            assert!((g.1 - e.1).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn fft16_impulse_flat() {
+        let mut x = vec![(0.0, 0.0); 16];
+        x[0] = (1.0, 0.0);
+        let got = run_fft(16, &x);
+        for g in got {
+            assert!((g.0 - 1.0).abs() < 1e-9);
+            assert!(g.1.abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn stateless_and_wide() {
+        let net = fft(64);
+        let mut stateless = true;
+        net.visit_filters(&mut |f| stateless &= !f.is_stateful());
+        assert!(stateless);
+        assert!(net.filter_count() > 30);
+    }
+}

@@ -1,0 +1,120 @@
+//! FMRadio: the software FM radio of the paper's running example
+//! (Figure "Stream graph for a software FM radio"): a low-pass front
+//! end, an FM demodulator, and an equalizer built as a duplicate
+//! split-join of band filters whose outputs are summed.
+
+use crate::common::{adder, bandpass_fir, lowpass_fir, with_io};
+use streamit_graph::builder::*;
+use streamit_graph::{DataType, Joiner, Splitter, StreamNode};
+
+/// FM demodulator: arctangent discriminator over adjacent samples
+/// (peek 2, pop 1) — non-linear, so it breaks the linear sections
+/// on purpose, exactly like the real benchmark.
+fn demodulator() -> StreamNode {
+    FilterBuilder::new("Demod", DataType::Float)
+        .rates(2, 1, 1)
+        .work(|b| {
+            b.push(call1(
+                streamit_graph::Intrinsic::Atan,
+                peek(1) * peek(0) * lit(0.5),
+            ))
+            .pop_discard()
+        })
+        .build_node()
+}
+
+/// One equalizer band: band-pass FIR then a gain.
+fn eq_band(i: usize, bands: usize, taps: usize) -> StreamNode {
+    let centre = (i as f64 + 0.5) / (2.0 * bands as f64);
+    let gain = 1.0 + 0.1 * i as f64;
+    pipeline(
+        format!("EqBand{i}"),
+        vec![
+            bandpass_fir(&format!("BPF{i}"), taps, centre, 0.5 / (2.0 * bands as f64)),
+            FilterBuilder::new(format!("Gain{i}"), DataType::Float)
+                .rates(1, 1, 1)
+                .push(pop() * lit(gain))
+                .build_node(),
+        ],
+    )
+}
+
+/// The radio: low-pass, demodulate, equalize over `bands` bands of
+/// `taps`-tap filters.
+pub fn fmradio(bands: usize, taps: usize) -> StreamNode {
+    let eq_children: Vec<StreamNode> =
+        (0..bands).map(|i| eq_band(i, bands, taps)).collect();
+    pipeline(
+        "FMRadio",
+        vec![
+            lowpass_fir("LowPass", taps, 0.25),
+            demodulator(),
+            splitjoin(
+                "Equalizer",
+                Splitter::Duplicate,
+                eq_children,
+                Joiner::round_robin(bands),
+            ),
+            adder("Sum", bands),
+        ],
+    )
+}
+
+/// The evaluation form, with I/O endpoints.
+pub fn fmradio_with_io(bands: usize, taps: usize) -> StreamNode {
+    with_io("FMRadioApp", fmradio(bands, taps))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::testutil::*;
+    use streamit_graph::Value;
+
+    #[test]
+    fn radio_runs_end_to_end() {
+        let radio = fmradio(4, 16);
+        check(&radio);
+        let input: Vec<Value> = (0..256)
+            .map(|i| Value::Float((i as f64 * 0.3).sin()))
+            .collect();
+        let out = run(&radio, input, 32);
+        assert_eq!(out.len(), 32);
+        assert!(out.iter().any(|v| v.as_f64().abs() > 1e-9));
+    }
+
+    #[test]
+    fn matches_paper_shape() {
+        let radio = fmradio(10, 64);
+        let mut peeking = 0;
+        let mut stateful = 0;
+        radio.visit_filters(&mut |f| {
+            if f.is_peeking() {
+                peeking += 1;
+            }
+            if f.is_stateful() {
+                stateful += 1;
+            }
+        });
+        // LowPass + Demod + 10 band-pass filters peek.
+        assert_eq!(peeking, 12);
+        assert_eq!(stateful, 0);
+        assert_eq!(radio.filter_count(), 1 + 1 + 2 * 10 + 1);
+    }
+
+    #[test]
+    fn equalizer_is_linear_after_demod() {
+        // The equalizer subgraph alone is fully linear: the linear
+        // optimizer should collapse it to one filter.
+        let eq = splitjoin(
+            "Equalizer",
+            Splitter::Duplicate,
+            (0..4).map(|i| eq_band(i, 4, 16)).collect(),
+            Joiner::round_robin(4),
+        );
+        let (opt, report) =
+            streamit_linear::optimize_stream(&eq, streamit_linear::LinearMode::Replacement);
+        assert!(report.collapsed_splitjoins >= 1 || report.collapsed_pipelines >= 1);
+        assert!(opt.filter_count() < 8);
+    }
+}

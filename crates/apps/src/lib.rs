@@ -1,0 +1,103 @@
+//! # streamit-apps
+//!
+//! The StreamIt-rs benchmark suite: faithful structural
+//! re-implementations of the twelve applications of the paper's
+//! evaluation (Figure `benchchar`), plus BeamFormer (used in the
+//! comparison against space multiplexing) and the frequency-hopping
+//! radio (teleport messaging).
+//!
+//! Each module exposes
+//!
+//! * `NAME()` — the core stream graph (external input/output tapes, so
+//!   tests can drive it through the interpreter), and
+//! * `NAME_with_io()` — the same graph wrapped with synthetic
+//!   file-reader/file-writer endpoint filters, the form used by the
+//!   parallelization evaluation (endpoints are not mapped to compute
+//!   tiles, exactly as in the paper).
+//!
+//! The graphs reconstruct each benchmark's published shape — filter
+//! counts, peeking windows, stateful kernels, split widths — and their
+//! kernels compute real data (the bitonic network sorts, the DES rounds
+//! permute and substitute, the DCT is exact), verified by the tests in
+//! each module and the integration suite.
+
+pub mod beamformer;
+pub mod bitonic;
+pub mod channelvocoder;
+pub mod common;
+pub mod dct;
+pub mod dsl;
+pub mod des;
+pub mod fft_app;
+pub mod filterbank;
+pub mod fmradio;
+pub mod freqhop;
+pub mod mpeg2;
+pub mod radar;
+pub mod serpent;
+pub mod tde;
+pub mod vocoder;
+
+use streamit_graph::StreamNode;
+
+/// A named benchmark with its evaluation graph.
+pub struct Benchmark {
+    pub name: &'static str,
+    /// Graph with I/O endpoint filters, as evaluated.
+    pub stream: StreamNode,
+}
+
+/// The twelve-application evaluation suite, in the paper's order
+/// (ascending stateful work).
+pub fn evaluation_suite() -> Vec<Benchmark> {
+    vec![
+        Benchmark {
+            name: "BitonicSort",
+            stream: bitonic::bitonic_sort_with_io(32),
+        },
+        Benchmark {
+            name: "FFT",
+            stream: fft_app::fft_with_io(128),
+        },
+        Benchmark {
+            name: "DES",
+            stream: des::des_with_io(16),
+        },
+        Benchmark {
+            name: "Serpent",
+            stream: serpent::serpent_with_io(32),
+        },
+        Benchmark {
+            name: "TDE",
+            stream: tde::tde_with_io(64),
+        },
+        Benchmark {
+            name: "DCT",
+            stream: dct::dct_with_io(16),
+        },
+        Benchmark {
+            name: "FilterBank",
+            stream: filterbank::filterbank_with_io(8, 32),
+        },
+        Benchmark {
+            name: "FMRadio",
+            stream: fmradio::fmradio_with_io(10, 64),
+        },
+        Benchmark {
+            name: "ChannelVocoder",
+            stream: channelvocoder::channelvocoder_with_io(16, 64),
+        },
+        Benchmark {
+            name: "MPEG2Decoder",
+            stream: mpeg2::mpeg2_with_io(),
+        },
+        Benchmark {
+            name: "Vocoder",
+            stream: vocoder::vocoder_with_io(16),
+        },
+        Benchmark {
+            name: "Radar",
+            stream: radar::radar_with_io(12, 4),
+        },
+    ]
+}

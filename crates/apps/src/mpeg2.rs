@@ -1,0 +1,230 @@
+//! MPEG2Decoder (subset): block decoding and motion-vector decoding,
+//! approximately one third of a full MPEG-2 decoder, as in the paper.
+//!
+//! Structure: a round-robin split of the bitstream into the block path
+//! (inverse quantization → zig-zag reorder → 8×8 fast iDCT → saturate)
+//! and the motion-vector path (variable-length-ish decode with
+//! *prediction state* — the benchmark's small stateful component).
+//! The split-join's block child communicates far more data than its
+//! sibling, which is what trips up over-eager fusion in the paper's
+//! MPEG discussion.
+
+use crate::common::with_io;
+use streamit_graph::builder::*;
+use streamit_graph::{DataType, Joiner, Splitter, StreamNode, Value};
+
+const BLK: usize = 64; // 8×8 coefficients
+const MV: usize = 2; // motion vector components per macroblock
+
+/// Inverse quantization: scale coefficients by a quantization matrix.
+fn inverse_quant() -> StreamNode {
+    let q: Vec<f64> = (0..BLK).map(|i| 1.0 + (i % 8) as f64 * 0.25).collect();
+    FilterBuilder::new("InvQuant", DataType::Float)
+        .rates(BLK, BLK, BLK)
+        .coeffs("q", q)
+        .work(|b| {
+            b.for_("i", 0, BLK as i64, |b| b.push(peek(var("i")) * idx("q", var("i"))))
+                .for_("i", 0, BLK as i64, |b| b.pop_discard())
+        })
+        .build_node()
+}
+
+/// Zig-zag reorder of the 8×8 block.
+fn zigzag() -> StreamNode {
+    // Standard zig-zag scan order for an 8x8 block.
+    let mut order = Vec::with_capacity(64);
+    let (mut r, mut c) = (0i32, 0i32);
+    let mut up = true;
+    for _ in 0..64 {
+        order.push((r * 8 + c) as usize);
+        if up {
+            if c == 7 {
+                r += 1;
+                up = false;
+            } else if r == 0 {
+                c += 1;
+                up = false;
+            } else {
+                r -= 1;
+                c += 1;
+            }
+        } else if r == 7 {
+            c += 1;
+            up = true;
+        } else if c == 0 {
+            r += 1;
+            up = true;
+        } else {
+            r += 1;
+            c -= 1;
+        }
+    }
+    FilterBuilder::new("ZigZag", DataType::Float)
+        .rates(BLK, BLK, BLK)
+        .work(move |mut b| {
+            for &s in &order {
+                b = b.push(peek(s as i64));
+            }
+            for _ in 0..BLK {
+                b = b.pop_discard();
+            }
+            b
+        })
+        .build_node()
+}
+
+/// 8×8 inverse DCT (separable, as one row pass and one column pass).
+fn idct_pass(name: &str, by_rows: bool) -> StreamNode {
+    let n = 8usize;
+    // iDCT basis: x[t] = Σ_k s(k)·X[k]·cos(π(2t+1)k/16)
+    let mut c = Vec::with_capacity(64);
+    for t in 0..n {
+        for k in 0..n {
+            let s = if k == 0 {
+                (1.0 / n as f64).sqrt()
+            } else {
+                (2.0 / n as f64).sqrt()
+            };
+            c.push(
+                s * (std::f64::consts::PI * (2 * t + 1) as f64 * k as f64 / 16.0).cos(),
+            );
+        }
+    }
+    FilterBuilder::new(name, DataType::Float)
+        .rates(BLK, BLK, BLK)
+        .coeffs("c", c)
+        .work(move |b| {
+            b.for_("i", 0, 8, |b| {
+                b.for_("t", 0, 8, |b| {
+                    b.let_("acc", DataType::Float, lit(0.0))
+                        .for_("k", 0, 8, |b| {
+                            let src = if by_rows {
+                                var("i") * lit(8i64) + var("k")
+                            } else {
+                                var("k") * lit(8i64) + var("i")
+                            };
+                            b.set(
+                                "acc",
+                                var("acc")
+                                    + peek(src) * idx("c", var("t") * lit(8i64) + var("k")),
+                            )
+                        })
+                        .push(var("acc"))
+                })
+            })
+            .for_("t", 0, BLK as i64, |b| b.pop_discard())
+        })
+        .build_node()
+}
+
+/// Saturate samples into the displayable range.
+fn saturate() -> StreamNode {
+    FilterBuilder::new("Saturate", DataType::Float)
+        .rates(1, 1, 1)
+        .push(minf(maxf(pop(), lit(-256.0)), lit(255.0)))
+        .build_node()
+}
+
+/// Motion-vector decoding with prediction state: each component is a
+/// delta from the previous macroblock's vector (the stateful kernel).
+fn motion_decode() -> StreamNode {
+    FilterBuilder::new("MotionDecode", DataType::Float)
+        .rates(MV, MV, MV)
+        .state("px", DataType::Float, Value::Float(0.0))
+        .state("py", DataType::Float, Value::Float(0.0))
+        .work(|b| {
+            b.set("px", var("px") + pop())
+                .set("py", var("py") + pop())
+                .push(var("px"))
+                .push(var("py"))
+        })
+        .build_node()
+}
+
+/// The decoder subset: per macroblock, 64 coefficients to the block
+/// path and 2 values to the motion path.
+pub fn mpeg2() -> StreamNode {
+    let block_path = pipeline(
+        "BlockDecode",
+        vec![
+            inverse_quant(),
+            zigzag(),
+            idct_pass("iDCTRows", true),
+            idct_pass("iDCTCols", false),
+            saturate(),
+        ],
+    );
+    let motion_path = pipeline("MotionPath", vec![motion_decode()]);
+    pipeline(
+        "MPEG2Decoder",
+        vec![splitjoin(
+            "Demux",
+            Splitter::RoundRobin(vec![BLK as u64, MV as u64]),
+            vec![block_path, motion_path],
+            Joiner::RoundRobin(vec![BLK as u64, MV as u64]),
+        )],
+    )
+}
+
+/// The evaluation form, with I/O endpoints.
+pub fn mpeg2_with_io() -> StreamNode {
+    with_io("MPEG2App", mpeg2())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::testutil::*;
+
+    #[test]
+    fn decodes_a_macroblock() {
+        let dec = mpeg2();
+        check(&dec);
+        let mut input = Vec::new();
+        // DC-only block: iDCT should give a flat block.
+        input.push(Value::Float(8.0));
+        for _ in 1..BLK {
+            input.push(Value::Float(0.0));
+        }
+        input.push(Value::Float(1.5)); // motion dx
+        input.push(Value::Float(-0.5)); // motion dy
+        let out = run(&dec, input, BLK + MV);
+        // First 64: flat value = 8·q[0]·(1/8) = 1.0 per sample.
+        for v in &out[..BLK] {
+            assert!((v.as_f64() - 1.0).abs() < 1e-9, "{}", v.as_f64());
+        }
+        assert_eq!(out[BLK].as_f64(), 1.5);
+        assert_eq!(out[BLK + 1].as_f64(), -0.5);
+    }
+
+    #[test]
+    fn motion_state_accumulates() {
+        let dec = mpeg2();
+        let mut input = Vec::new();
+        for _ in 0..2 {
+            for _ in 0..BLK {
+                input.push(Value::Float(0.0));
+            }
+            input.push(Value::Float(1.0));
+            input.push(Value::Float(2.0));
+        }
+        let out = run(&dec, input, 2 * (BLK + MV));
+        assert_eq!(out[BLK].as_f64(), 1.0);
+        assert_eq!(out[2 * BLK + MV + MV - 2].as_f64(), 2.0);
+    }
+
+    #[test]
+    fn stateful_work_is_small() {
+        let dec = mpeg2();
+        let mut stateful = 0;
+        let mut total = 0;
+        dec.visit_filters(&mut |f| {
+            total += 1;
+            if f.is_stateful() {
+                stateful += 1;
+            }
+        });
+        assert_eq!(stateful, 1, "only motion prediction is stateful");
+        assert!(total >= 6);
+    }
+}

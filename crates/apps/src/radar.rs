@@ -1,0 +1,187 @@
+//! Radar: the array front end of the PCA radar benchmark — `ch` input
+//! channels, each with decimating FIR stages and a *stateful* adaptive
+//! weight update, feeding `beams` beamformers.
+//!
+//! Nearly all of the steady-state work sits in stateful filters, which
+//! is why data parallelism achieves nothing here and coarse-grained
+//! software pipelining wins (the paper reports a 2.3× advantage for
+//! software pipelining on Radar).
+
+use crate::common::with_io;
+use streamit_graph::builder::*;
+use streamit_graph::{DataType, Joiner, Splitter, StreamNode, Value};
+
+/// Per-channel adaptive front end: a decimating FIR whose weights adapt
+/// every firing (LMS-style update — the stateful bulk of the work).
+fn channel_front(i: usize, taps: usize, dec: usize) -> StreamNode {
+    let init: Vec<Value> = (0..taps)
+        .map(|t| Value::Float(1.0 / (taps - t) as f64))
+        .collect();
+    FilterBuilder::new(format!("Channel{i}"), DataType::Float)
+        .rates(taps.max(dec), dec, 1)
+        .state_array("w", DataType::Float, init)
+        .work(move |b| {
+            let mut b = b
+                .let_("y", DataType::Float, lit(0.0))
+                .for_("t", 0, taps as i64, |b| {
+                    b.set("y", var("y") + peek(var("t")) * idx("w", var("t")))
+                })
+                .for_("t", 0, taps as i64, |b| {
+                    b.set_idx(
+                        "w",
+                        var("t"),
+                        idx("w", var("t"))
+                            - peek(var("t")) * var("y") * lit(0.0001),
+                    )
+                })
+                .push(var("y"));
+            for _ in 0..dec {
+                b = b.pop_discard();
+            }
+            b
+        })
+        .build_node()
+}
+
+/// A beamformer: weighted sum over the `ch` channel outputs with
+/// steering-dependent static weights (stateless).
+fn beam(bi: usize, ch: usize) -> StreamNode {
+    let w: Vec<f64> = (0..ch)
+        .map(|c| (std::f64::consts::PI * (bi * c) as f64 / ch as f64).cos())
+        .collect();
+    FilterBuilder::new(format!("Beam{bi}"), DataType::Float)
+        .rates(ch, ch, 1)
+        .coeffs("w", w)
+        .work(move |b| {
+            b.let_("s", DataType::Float, lit(0.0))
+                .for_("c", 0, ch as i64, |b| {
+                    b.set("s", var("s") + peek(var("c")) * idx("w", var("c")))
+                })
+                .push(var("s"))
+                .for_("c", 0, ch as i64, |b| b.pop_discard())
+        })
+        .build_node()
+}
+
+/// Per-beam adaptive pulse compressor: a second heavyweight stateful
+/// stage (matched-filter weights that adapt per pulse), mirroring the
+/// PCA radar's deep stateful pipeline.
+fn pulse_compress(bi: usize, taps: usize) -> StreamNode {
+    let init: Vec<Value> = (0..taps)
+        .map(|t| Value::Float(((t + bi) as f64 * 0.3).cos() / taps as f64))
+        .collect();
+    FilterBuilder::new(format!("PulseComp{bi}"), DataType::Float)
+        .rates(taps, 1, 1)
+        .state_array("m", DataType::Float, init)
+        .work(move |b| {
+            b.let_("y", DataType::Float, lit(0.0))
+                .for_("t", 0, taps as i64, |b| {
+                    b.set("y", var("y") + peek(var("t")) * idx("m", var("t")))
+                })
+                .for_("t", 0, taps as i64, |b| {
+                    b.set_idx(
+                        "m",
+                        var("t"),
+                        idx("m", var("t")) + peek(var("t")) * var("y") * lit(0.00005),
+                    )
+                })
+                .push(var("y"))
+                .pop_discard()
+        })
+        .build_node()
+}
+
+/// Magnitude detector per beam with a stateful CFAR-style running
+/// average.
+fn detector(bi: usize) -> StreamNode {
+    FilterBuilder::new(format!("Detect{bi}"), DataType::Float)
+        .rates(1, 1, 1)
+        .state("avg", DataType::Float, Value::Float(0.0))
+        .work(|b| {
+            b.let_("v", DataType::Float, abs(pop()))
+                .set("avg", var("avg") * lit(0.95) + var("v") * lit(0.05))
+                .push(var("v") - var("avg"))
+        })
+        .build_node()
+}
+
+/// The radar front end: `ch` adaptive channels, then `beams`
+/// beamformer+detector chains.
+pub fn radar(ch: usize, beams: usize) -> StreamNode {
+    let channels: Vec<StreamNode> = (0..ch).map(|i| channel_front(i, 32, 2)).collect();
+    let beam_chains: Vec<StreamNode> = (0..beams)
+        .map(|bi| {
+            pipeline(
+                format!("BeamChain{bi}"),
+                vec![beam(bi, ch), pulse_compress(bi, 48), detector(bi)],
+            )
+        })
+        .collect();
+    pipeline(
+        "Radar",
+        vec![
+            splitjoin(
+                "Channels",
+                Splitter::RoundRobin(vec![2; ch]),
+                channels,
+                Joiner::round_robin(ch),
+            ),
+            splitjoin(
+                "Beams",
+                Splitter::Duplicate,
+                beam_chains,
+                Joiner::round_robin(beams),
+            ),
+        ],
+    )
+}
+
+/// The evaluation form, with I/O endpoints.
+pub fn radar_with_io(ch: usize, beams: usize) -> StreamNode {
+    with_io("RadarApp", radar(ch, beams))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::testutil::*;
+
+    #[test]
+    fn dominated_by_stateful_work() {
+        let r = radar(12, 4);
+        check(&r);
+        let g = streamit_graph::FlatGraph::from_stream(&r);
+        let c = streamit_sched::characterize("Radar", &g).unwrap();
+        assert!(
+            c.stateful_work_pct > 80.0,
+            "stateful share {}",
+            c.stateful_work_pct
+        );
+    }
+
+    #[test]
+    fn runs_end_to_end() {
+        let r = radar(4, 2);
+        // Enough samples to fill the channel and pulse-compression
+        // windows: 2048 / 4 channels / dec 2 = 256 beam inputs.
+        let input: Vec<Value> = (0..2048)
+            .map(|i| Value::Float((i as f64 * 0.11).sin()))
+            .collect();
+        let out = run(&r, input, 16);
+        assert_eq!(out.len(), 16);
+        assert!(out.iter().all(|v| v.as_f64().is_finite()));
+    }
+
+    #[test]
+    fn adaptive_weights_change_output_over_time() {
+        let r = radar(2, 1);
+        let input: Vec<Value> = (0..4096).map(|_| Value::Float(1.0)).collect();
+        let out = run(&r, input, 64);
+        let first = out[1].as_f64();
+        let last = out[60].as_f64();
+        assert!(
+            (first - last).abs() > 1e-6,
+            "adaptation should drift the output: {first} vs {last}"
+        );
+    }
+}

@@ -1,0 +1,205 @@
+//! Serpent: a substitution-permutation block cipher as a long, mostly
+//! straight pipeline — the shape the paper notes "is fused down to a
+//! load-balanced pipeline" by the space-multiplexing compiler.
+//!
+//! Blocks are 32 nibbles (128 bits).  Each round: key mixing, an S-box
+//! layer (one of eight rotating S-boxes), and a linear mixing layer
+//! implemented as a split-join over four 8-nibble lanes.
+
+use crate::common::with_io;
+use streamit_graph::builder::*;
+use streamit_graph::{DataType, Joiner, Splitter, StreamNode};
+
+const BLOCK: usize = 32;
+
+const SBOXES: [[i64; 16]; 8] = [
+    [3, 8, 15, 1, 10, 6, 5, 11, 14, 13, 4, 2, 7, 0, 9, 12],
+    [15, 12, 2, 7, 9, 0, 5, 10, 1, 11, 14, 8, 6, 13, 3, 4],
+    [8, 6, 7, 9, 3, 12, 10, 15, 13, 1, 14, 4, 0, 11, 5, 2],
+    [0, 15, 11, 8, 12, 9, 6, 3, 13, 1, 2, 4, 10, 7, 5, 14],
+    [1, 15, 8, 3, 12, 0, 11, 6, 2, 5, 4, 10, 9, 14, 7, 13],
+    [15, 5, 2, 11, 4, 10, 9, 12, 0, 3, 14, 8, 13, 6, 7, 1],
+    [7, 2, 12, 5, 8, 4, 6, 11, 14, 9, 1, 15, 13, 3, 10, 0],
+    [1, 13, 15, 0, 14, 8, 2, 11, 7, 4, 12, 10, 9, 3, 5, 6],
+];
+
+/// Key mixing: XOR a per-round key nibble stream into the block.
+fn key_mix(round: usize) -> StreamNode {
+    let key: Vec<i64> = (0..BLOCK)
+        .map(|i| ((round * 11 + i * 5 + 3) % 16) as i64)
+        .collect();
+    FilterBuilder::new(format!("KeyMix{round}"), DataType::Int)
+        .rates(BLOCK, BLOCK, BLOCK)
+        .work(move |mut b| {
+            for (i, &k) in key.iter().enumerate() {
+                b = b.push((peek(i as i64) ^ lit(k)) & lit(15i64));
+            }
+            for _ in 0..BLOCK {
+                b = b.pop_discard();
+            }
+            b
+        })
+        .build_node()
+}
+
+/// The round's S-box layer (nibble-wise lookup).
+fn sbox_layer(round: usize) -> StreamNode {
+    let table = SBOXES[round % 8];
+    FilterBuilder::new(format!("SBox{round}"), DataType::Int)
+        .rates(1, 1, 1)
+        .state_array(
+            "s",
+            DataType::Int,
+            table.iter().map(|&v| streamit_graph::Value::Int(v)).collect(),
+        )
+        .work(|b| b.push(idx("s", pop() & lit(15i64))))
+        .build_node()
+}
+
+/// One lane of the linear transform: mixes 8 nibbles with rotates/XORs.
+fn lt_lane(round: usize, lane: usize) -> StreamNode {
+    FilterBuilder::new(format!("LT{round}_{lane}"), DataType::Int)
+        .rates(8, 8, 8)
+        .work(move |mut b| {
+            for i in 0..8i64 {
+                let j = (i + 1) % 8;
+                let k = (i + 5) % 8;
+                b = b.push((peek(i) ^ (peek(j) << lit(1i64)) ^ peek(k)) & lit(15i64));
+            }
+            for _ in 0..8 {
+                b = b.pop_discard();
+            }
+            b
+        })
+        .build_node()
+}
+
+/// The linear mixing layer: four parallel 8-nibble lanes, then a
+/// cross-lane rotation permutation.
+fn linear_layer(round: usize) -> StreamNode {
+    let lanes: Vec<StreamNode> = (0..4).map(|l| lt_lane(round, l)).collect();
+    let rot: Vec<usize> = (0..BLOCK).map(|i| (i + 9) % BLOCK).collect();
+    pipeline(
+        format!("Linear{round}"),
+        vec![
+            splitjoin(
+                format!("Lanes{round}"),
+                Splitter::RoundRobin(vec![8; 4]),
+                lanes,
+                Joiner::RoundRobin(vec![8; 4]),
+            ),
+            permute32(&format!("Rot{round}"), &rot),
+        ],
+    )
+}
+
+fn permute32(name: &str, perm: &[usize]) -> StreamNode {
+    let n = perm.len();
+    let perm = perm.to_vec();
+    FilterBuilder::new(name, DataType::Int)
+        .rates(n, n, n)
+        .work(move |mut b| {
+            for &s in &perm {
+                b = b.push(peek(s as i64));
+            }
+            for _ in 0..n {
+                b = b.pop_discard();
+            }
+            b
+        })
+        .build_node()
+}
+
+/// The full cipher with `rounds` rounds (the benchmark uses 32).
+pub fn serpent(rounds: usize) -> StreamNode {
+    let mut children = Vec::with_capacity(rounds * 3 + 1);
+    for r in 0..rounds {
+        children.push(key_mix(r));
+        children.push(sbox_layer(r));
+        if r + 1 != rounds {
+            children.push(linear_layer(r));
+        }
+    }
+    children.push(key_mix(rounds));
+    pipeline("Serpent", children)
+}
+
+/// The evaluation form, with I/O endpoints.
+pub fn serpent_with_io(rounds: usize) -> StreamNode {
+    with_io("SerpentApp", serpent(rounds))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::testutil::*;
+    use streamit_graph::Value;
+
+    fn encrypt(rounds: usize, block: &[i64]) -> Vec<i64> {
+        let net = serpent(rounds);
+        check(&net);
+        run(
+            &net,
+            block.iter().map(|&v| Value::Int(v)).collect(),
+            BLOCK,
+        )
+        .iter()
+        .map(|v| v.as_i64())
+        .collect()
+    }
+
+    fn reference(rounds: usize, block: &[i64]) -> Vec<i64> {
+        let mut v = block.to_vec();
+        for r in 0..rounds {
+            let key: Vec<i64> = (0..BLOCK)
+                .map(|i| ((r * 11 + i * 5 + 3) % 16) as i64)
+                .collect();
+            v = v
+                .iter()
+                .zip(&key)
+                .map(|(&x, &k)| (x ^ k) & 15)
+                .collect();
+            let table = SBOXES[r % 8];
+            v = v.iter().map(|&x| table[(x & 15) as usize]).collect();
+            if r + 1 != rounds {
+                let mut mixed = vec![0i64; BLOCK];
+                for lane in 0..4 {
+                    for i in 0..8usize {
+                        let base = lane * 8;
+                        let j = (i + 1) % 8;
+                        let k = (i + 5) % 8;
+                        mixed[base + i] =
+                            (v[base + i] ^ (v[base + j] << 1) ^ v[base + k]) & 15;
+                    }
+                }
+                let rotated: Vec<i64> =
+                    (0..BLOCK).map(|i| mixed[(i + 9) % BLOCK]).collect();
+                v = rotated;
+            }
+        }
+        let key: Vec<i64> = (0..BLOCK)
+            .map(|i| ((rounds * 11 + i * 5 + 3) % 16) as i64)
+            .collect();
+        v.iter().zip(&key).map(|(&x, &k)| (x ^ k) & 15).collect()
+    }
+
+    #[test]
+    fn four_rounds_match_reference() {
+        let block: Vec<i64> = (0..32).map(|i| (i * 7 + 2) % 16).collect();
+        assert_eq!(encrypt(4, &block), reference(4, &block));
+    }
+
+    #[test]
+    fn full_cipher_matches_reference() {
+        let block: Vec<i64> = (0..32).map(|i| (i * 13 + 5) % 16).collect();
+        assert_eq!(encrypt(32, &block), reference(32, &block));
+    }
+
+    #[test]
+    fn long_pipeline_shape() {
+        let net = serpent(32);
+        let g = streamit_graph::FlatGraph::from_stream(&net);
+        let (_, longest) = g.path_extents();
+        assert!(longest > 80, "long pipeline expected, got {longest}");
+    }
+}

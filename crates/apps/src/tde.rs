@@ -1,0 +1,117 @@
+//! TDE: time-delay equalization — the long transform–multiply–inverse
+//! pipeline of the benchmark suite (the paper groups it with FFT as an
+//! application "composed of long pipelines with little splitting").
+//!
+//! Structure: forward FFT → per-bin complex multiply by the equalizer
+//! response → inverse FFT, on blocks of `n` complex samples.
+
+use crate::common::with_io;
+use crate::fft_app::fft;
+use streamit_graph::builder::*;
+use streamit_graph::{DataType, StreamNode};
+
+/// Per-bin complex multiply by a fixed frequency response.
+fn bin_multiply(n: usize) -> StreamNode {
+    // A deterministic all-pass-ish response with phase slope (a pure
+    // delay of 3 samples) — the classic TDE kernel.
+    let mut resp = Vec::with_capacity(2 * n);
+    for k in 0..n {
+        let ang = -2.0 * std::f64::consts::PI * 3.0 * k as f64 / n as f64;
+        resp.push(ang.cos());
+        resp.push(ang.sin());
+    }
+    FilterBuilder::new("BinMultiply", DataType::Float)
+        .rates(2 * n, 2 * n, 2 * n)
+        .coeffs("resp", resp)
+        .work(move |b| {
+            b.for_("k", 0, n as i64, |b| {
+                b.let_("re", DataType::Float, peek(var("k") * lit(2i64)))
+                    .let_("im", DataType::Float, peek(var("k") * lit(2i64) + lit(1i64)))
+                    .let_("cr", DataType::Float, idx("resp", var("k") * lit(2i64)))
+                    .let_(
+                        "ci",
+                        DataType::Float,
+                        idx("resp", var("k") * lit(2i64) + lit(1i64)),
+                    )
+                    .push(var("re") * var("cr") - var("im") * var("ci"))
+                    .push(var("re") * var("ci") + var("im") * var("cr"))
+            })
+            .for_("k", 0, 2 * n as i64, |b| b.pop_discard())
+        })
+        .build_node()
+}
+
+/// Inverse FFT built from the forward one by conjugation filters and a
+/// 1/n scale (keeps the whole pipeline in stream form).
+fn conjugate(name: &str, scale: f64) -> StreamNode {
+    FilterBuilder::new(name, DataType::Float)
+        .rates(2, 2, 2)
+        .work(move |b| {
+            b.push(pop() * lit(scale))
+                .push(-pop() * lit(scale))
+        })
+        .build_node()
+}
+
+/// The TDE pipeline over `n`-sample blocks.
+pub fn tde(n: usize) -> StreamNode {
+    pipeline(
+        "TDE",
+        vec![
+            fft(n),
+            bin_multiply(n),
+            conjugate("PreConj", 1.0),
+            fft(n),
+            conjugate("PostConj", 1.0 / n as f64),
+        ],
+    )
+}
+
+/// The evaluation form, with I/O endpoints.
+pub fn tde_with_io(n: usize) -> StreamNode {
+    with_io("TDEApp", tde(n))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::testutil::*;
+    use streamit_graph::Value;
+
+    #[test]
+    fn tde_is_a_pure_delay() {
+        // The response is exp(-2πi·3k/n): a circular delay by 3.
+        let n = 16;
+        let net = tde(n);
+        check(&net);
+        let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.41).sin()).collect();
+        let mut input = Vec::with_capacity(2 * n);
+        for &v in &x {
+            input.push(Value::Float(v));
+            input.push(Value::Float(0.0));
+        }
+        let out = run(&net, input, 2 * n);
+        for t in 0..n {
+            let re = out[2 * t].as_f64();
+            let im = out[2 * t + 1].as_f64();
+            let expect = x[(t + n - 3) % n];
+            assert!((re - expect).abs() < 1e-6, "t={t}: {re} vs {expect}");
+            assert!(im.abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn stateless_long_pipeline() {
+        let net = tde(64);
+        let mut stateful = 0usize;
+        let mut total = 0usize;
+        net.visit_filters(&mut |f| {
+            total += 1;
+            if f.is_stateful() {
+                stateful += 1;
+            }
+        });
+        assert_eq!(stateful, 0);
+        assert!(total > 20);
+    }
+}

@@ -1,0 +1,233 @@
+//! Vocoder: a phase vocoder — spectral analysis followed by a *deep
+//! pipeline of stateful spectral stages* (phase unwrapping, pitch
+//! transposition, envelope smoothing), then resynthesis.
+//!
+//! Per the paper, the preponderance of stateful computation "paralyzes"
+//! data parallelism here: the heavy stages each carry per-bin state and
+//! follow one another sequentially, so neither fission nor task
+//! parallelism helps — only overlapping the stages across steady states
+//! (software pipelining) does.  The combined technique achieves its
+//! largest win on this benchmark (69% in the paper).
+
+use crate::common::with_io;
+use streamit_graph::builder::*;
+use streamit_graph::{DataType, StreamNode, Value};
+
+/// A sliding DFT bank front end: for each of `bins` bins, compute the
+/// windowed projection onto (cos, sin) over a window of `2·bins`
+/// samples.  Stateless.
+fn dft_bank(bins: usize) -> StreamNode {
+    let win = 2 * bins;
+    let mut tw = Vec::with_capacity(2 * bins * win);
+    for k in 0..bins {
+        for t in 0..win {
+            let ang = -2.0 * std::f64::consts::PI * (k * t) as f64 / win as f64;
+            tw.push(ang.cos());
+            tw.push(ang.sin());
+        }
+    }
+    FilterBuilder::new("DFTBank", DataType::Float)
+        .rates(win, 1, 2 * bins)
+        .coeffs("tw", tw)
+        .work(move |b| {
+            b.for_("k", 0, bins as i64, |b| {
+                b.let_("re", DataType::Float, lit(0.0))
+                    .let_("im", DataType::Float, lit(0.0))
+                    .for_("t", 0, win as i64, |b| {
+                        let base = (var("k") * lit(win as i64) + var("t")) * lit(2i64);
+                        b.set("re", var("re") + peek(var("t")) * idx("tw", base.clone()))
+                            .set("im", var("im") + peek(var("t")) * idx("tw", base + lit(1i64)))
+                    })
+                    .push(var("re"))
+                    .push(var("im"))
+            })
+            .pop_discard()
+        })
+        .build_node()
+}
+
+/// Phase unwrapping over the whole spectrum: per bin, convert (re, im)
+/// to (magnitude, phase delta) using the previous frame's phases — one
+/// stateful filter covering all bins (the paper's vocoder keeps its
+/// per-bin state inside sequential stages, which is what defeats
+/// fission).
+fn phase_unwrap(bins: usize) -> StreamNode {
+    let zeros: Vec<Value> = vec![Value::Float(0.0); bins];
+    FilterBuilder::new("PhaseUnwrap", DataType::Float)
+        .rates(2 * bins, 2 * bins, 2 * bins)
+        .state_array("prev", DataType::Float, zeros)
+        .work(move |b| {
+            b.for_("k", 0, bins as i64, |b| {
+                b.let_("re", DataType::Float, peek(var("k") * lit(2i64)))
+                    .let_("im", DataType::Float, peek(var("k") * lit(2i64) + lit(1i64)))
+                    .let_(
+                        "mag",
+                        DataType::Float,
+                        sqrt(var("re") * var("re") + var("im") * var("im")),
+                    )
+                    .let_(
+                        "ph",
+                        DataType::Float,
+                        call1(
+                            streamit_graph::Intrinsic::Atan,
+                            var("im") / (var("re") + lit(1e-9)),
+                        ),
+                    )
+                    .push(var("mag"))
+                    .push(var("ph") - idx("prev", var("k")))
+                    .set_idx("prev", var("k"), var("ph"))
+            })
+            .for_("k", 0, 2 * bins as i64, |b| b.pop_discard())
+        })
+        .build_node()
+}
+
+/// Pitch transposition: scales every bin's phase increment, integrating
+/// per-bin accumulated phase (stateful).
+fn pitch_shift(bins: usize, factor: f64) -> StreamNode {
+    let zeros: Vec<Value> = vec![Value::Float(0.0); bins];
+    FilterBuilder::new("PitchShift", DataType::Float)
+        .rates(2 * bins, 2 * bins, 2 * bins)
+        .state_array("acc", DataType::Float, zeros)
+        .work(move |b| {
+            b.for_("k", 0, bins as i64, |b| {
+                b.let_("mag", DataType::Float, peek(var("k") * lit(2i64)))
+                    .let_("dph", DataType::Float, peek(var("k") * lit(2i64) + lit(1i64)))
+                    .set_idx(
+                        "acc",
+                        var("k"),
+                        idx("acc", var("k")) + var("dph") * lit(factor),
+                    )
+                    .push(var("mag") * cos(idx("acc", var("k"))))
+                    .push(var("mag") * sin(idx("acc", var("k"))))
+            })
+            .for_("k", 0, 2 * bins as i64, |b| b.pop_discard())
+        })
+        .build_node()
+}
+
+/// Spectral-envelope smoothing: per bin, a stateful one-pole smoother
+/// applied to magnitudes (the vocoder's third stateful stage).
+fn envelope(bins: usize) -> StreamNode {
+    let zeros: Vec<Value> = vec![Value::Float(0.0); bins];
+    FilterBuilder::new("Envelope", DataType::Float)
+        .rates(2 * bins, 2 * bins, 2 * bins)
+        .state_array("env", DataType::Float, zeros)
+        .work(move |b| {
+            b.for_("k", 0, bins as i64, |b| {
+                b.let_("re", DataType::Float, peek(var("k") * lit(2i64)))
+                    .let_("im", DataType::Float, peek(var("k") * lit(2i64) + lit(1i64)))
+                    .let_(
+                        "m",
+                        DataType::Float,
+                        sqrt(var("re") * var("re") + var("im") * var("im")),
+                    )
+                    .set_idx(
+                        "env",
+                        var("k"),
+                        idx("env", var("k")) * lit(0.9) + var("m") * lit(0.1),
+                    )
+                    .let_(
+                        "g",
+                        DataType::Float,
+                        idx("env", var("k")) / (var("m") + lit(1e-9)),
+                    )
+                    .push(var("re") * var("g"))
+                    .push(var("im") * var("g"))
+            })
+            .for_("k", 0, 2 * bins as i64, |b| b.pop_discard())
+        })
+        .build_node()
+}
+
+/// Resynthesis: sum the bins' real parts (stateless).
+fn synthesis(bins: usize) -> StreamNode {
+    FilterBuilder::new("Synthesis", DataType::Float)
+        .rates(2 * bins, 2 * bins, 1)
+        .work(move |b| {
+            b.let_("s", DataType::Float, lit(0.0))
+                .for_("k", 0, bins as i64, |b| {
+                    b.set("s", var("s") + peek(var("k") * lit(2i64)))
+                })
+                .push(var("s") / lit(bins as f64))
+                .for_("k", 0, 2 * bins as i64, |b| b.pop_discard())
+        })
+        .build_node()
+}
+
+/// The phase vocoder with `bins` spectral bins.
+pub fn vocoder(bins: usize) -> StreamNode {
+    pipeline(
+        "Vocoder",
+        vec![
+            dft_bank(bins),
+            phase_unwrap(bins),
+            pitch_shift(bins, 1.5),
+            envelope(bins),
+            synthesis(bins),
+        ],
+    )
+}
+
+/// The evaluation form, with I/O endpoints.
+pub fn vocoder_with_io(bins: usize) -> StreamNode {
+    with_io("VocoderApp", vocoder(bins))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::testutil::*;
+
+    #[test]
+    fn runs_and_is_heavily_stateful() {
+        let v = vocoder(8);
+        check(&v);
+        let mut stateful = 0;
+        let mut total = 0;
+        v.visit_filters(&mut |f| {
+            total += 1;
+            if f.is_stateful() {
+                stateful += 1;
+            }
+        });
+        assert_eq!(stateful, 3, "three stateful spectral stages");
+        assert_eq!(total, 5);
+        let g = streamit_graph::FlatGraph::from_stream(&v);
+        let c = streamit_sched::characterize("Vocoder", &g).unwrap();
+        assert!(
+            c.stateful_work_pct > 30.0 && c.stateful_work_pct < 95.0,
+            "stateful share {}",
+            c.stateful_work_pct
+        );
+        let input: Vec<Value> = (0..256)
+            .map(|i| Value::Float((i as f64 * 0.2).sin()))
+            .collect();
+        let out = run(&v, input, 16);
+        assert_eq!(out.len(), 16);
+    }
+
+    #[test]
+    fn pure_tone_produces_stable_magnitudes() {
+        let v = vocoder(4);
+        let input: Vec<Value> = (0..512)
+            .map(|i| Value::Float((2.0 * std::f64::consts::PI * i as f64 / 8.0).cos()))
+            .collect();
+        let out = run(&v, input, 64);
+        for v in &out {
+            assert!(v.as_f64().abs() < 8.0);
+            assert!(v.as_f64().is_finite());
+        }
+    }
+
+    #[test]
+    fn stateful_stages_form_a_sequential_chain() {
+        // The vocoder's defining shape: its stateful stages are pipeline
+        // stages, not parallel branches — so fission cannot touch them.
+        let v = vocoder(16);
+        let g = streamit_graph::FlatGraph::from_stream(&v);
+        let (shortest, longest) = g.path_extents();
+        assert_eq!(shortest, longest, "single path");
+        assert_eq!(longest, 5);
+    }
+}

@@ -1,0 +1,145 @@
+//! Criterion microbenchmarks over the substrates: FFT kernel, linear
+//! extraction/combination, the direct-vs-frequency convolution crossover
+//! (the design-choice ablation behind frequency translation), steady
+//! state solving, wavefront queries, the machine simulator, and the
+//! reference interpreter.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use streamit::graph::{FlatGraph, Value};
+use streamit::interp::Machine;
+use streamit::linear::{extract_linear, Fft, FreqFilter, LinearRep};
+use streamit::rawsim::{simulate, MachineConfig};
+use streamit::sched::{combined_partition, WorkGraph};
+use streamit::sdep::Wavefront;
+
+fn bench_fft(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fft");
+    for n in [64usize, 256, 1024, 4096] {
+        let fft = Fft::new(n);
+        let re0: Vec<f64> = (0..n).map(|i| (i as f64 * 0.01).sin()).collect();
+        g.bench_with_input(BenchmarkId::new("forward", n), &n, |b, _| {
+            b.iter(|| {
+                let mut re = re0.clone();
+                let mut im = vec![0.0; n];
+                fft.forward(&mut re, &mut im);
+                black_box(re[0])
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_convolution_crossover(c: &mut Criterion) {
+    // The frequency-translation ablation: direct sliding dot product vs
+    // overlap-save for growing tap counts.  The measured crossover backs
+    // the cost model in streamit-linear.
+    let mut g = c.benchmark_group("convolution");
+    let x: Vec<f64> = (0..8192).map(|i| (i as f64 * 0.003).cos()).collect();
+    for taps in [16usize, 64, 256, 1024] {
+        let h: Vec<f64> = (0..taps).map(|i| 1.0 / (i + 1) as f64).collect();
+        let rep = LinearRep::fir(&h);
+        let (block, _) = streamit::linear::freq::best_block(taps);
+        let ff = FreqFilter::new(&rep, block);
+        g.bench_with_input(BenchmarkId::new("direct", taps), &taps, |b, _| {
+            b.iter(|| black_box(rep.apply(&x).len()))
+        });
+        g.bench_with_input(BenchmarkId::new("overlap_save", taps), &taps, |b, _| {
+            b.iter(|| black_box(ff.apply(&x).len()))
+        });
+    }
+    g.finish();
+}
+
+fn bench_linear_extraction(c: &mut Criterion) {
+    let mut g = c.benchmark_group("linear_extraction");
+    for taps in [8usize, 64, 256] {
+        let h: Vec<f64> = (0..taps).map(|i| i as f64).collect();
+        let filter = LinearRep::fir(&h).materialize("fir");
+        g.bench_with_input(BenchmarkId::new("fir", taps), &taps, |b, _| {
+            b.iter(|| extract_linear(black_box(&filter)).unwrap().nonzeros())
+        });
+    }
+    g.finish();
+}
+
+fn bench_combination(c: &mut Criterion) {
+    let a = LinearRep::fir(&(0..64).map(|i| i as f64 / 64.0).collect::<Vec<_>>());
+    let b2 = LinearRep::fir(&(0..64).map(|i| (64 - i) as f64 / 64.0).collect::<Vec<_>>());
+    c.bench_function("combine_pipeline_64x64", |b| {
+        b.iter(|| {
+            let c = streamit::linear::combine_pipeline(black_box(&a), black_box(&b2));
+            black_box(c.nonzeros())
+        })
+    });
+}
+
+fn bench_steady_state(c: &mut Criterion) {
+    let suite = streamit::apps::evaluation_suite();
+    let des = suite.into_iter().find(|b| b.name == "DES").unwrap();
+    let flat = FlatGraph::from_stream(&des.stream);
+    c.bench_function("repetition_vector_des", |b| {
+        b.iter(|| {
+            streamit::graph::repetition_vector(black_box(&flat))
+                .unwrap()
+                .len()
+        })
+    });
+}
+
+fn bench_wavefront(c: &mut Criterion) {
+    let fm = streamit::apps::fmradio::fmradio(10, 64);
+    let flat = FlatGraph::from_stream(&fm);
+    let first = flat.edges[0].id;
+    let last = flat.edges[flat.edges.len() - 1].id;
+    c.bench_function("wavefront_max_fmradio", |b| {
+        b.iter(|| {
+            // Fresh calculator per iteration: measures the simulation,
+            // not the memo table.
+            let w = Wavefront::new(&flat);
+            black_box(w.max_between(first, last, 256))
+        })
+    });
+}
+
+fn bench_partition_and_simulate(c: &mut Criterion) {
+    let cfg = MachineConfig::default();
+    let suite = streamit::apps::evaluation_suite();
+    let fft = suite.into_iter().find(|b| b.name == "FFT").unwrap();
+    let flat = FlatGraph::from_stream(&fft.stream);
+    let wg = WorkGraph::from_flat(&flat).unwrap();
+    c.bench_function("combined_partition_fft", |b| {
+        b.iter(|| black_box(combined_partition(black_box(&wg), 16).wg.nodes.len()))
+    });
+    let mp = combined_partition(&wg, 16);
+    c.bench_function("simulate_fft", |b| {
+        b.iter(|| black_box(simulate(black_box(&mp), &cfg).cycles_per_steady))
+    });
+}
+
+fn bench_interpreter(c: &mut Criterion) {
+    let fir = LinearRep::fir(&(0..16).map(|i| 1.0 / (i + 1) as f64).collect::<Vec<_>>())
+        .materialize_node("fir16");
+    let flat = FlatGraph::from_stream(&fir);
+    c.bench_function("interp_fir16_256_outputs", |b| {
+        b.iter(|| {
+            let mut m = Machine::new(&flat);
+            m.feed((0..272).map(|i| Value::Float(i as f64)));
+            m.run_until_output(256, 100_000).unwrap();
+            black_box(m.take_output().len())
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_fft,
+    bench_convolution_crossover,
+    bench_linear_extraction,
+    bench_combination,
+    bench_steady_state,
+    bench_wavefront,
+    bench_partition_and_simulate,
+    bench_interpreter,
+);
+criterion_main!(benches);

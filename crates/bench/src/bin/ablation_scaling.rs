@@ -1,0 +1,45 @@
+//! Ablation: tile-count scaling of the combined technique.
+//!
+//! Sweeps the machine from 2 to 64 tiles and reports the combined
+//! (Task + Data + SWP) speedup for a stateless, a peeking, and a
+//! stateful benchmark — showing where each class of application stops
+//! scaling (stateless scales with the machine; stateful saturates at
+//! its recurrence/stateful bottleneck).
+
+use streamit::rawsim::{simulate, simulate_single_core, MachineConfig};
+use streamit::sched::Strategy;
+
+fn main() {
+    println!("Ablation: combined-technique speedup vs tile count");
+    streamit_bench::rule(66);
+    println!(
+        "{:<8} {:>14} {:>14} {:>14}",
+        "tiles", "DES", "FMRadio", "Radar"
+    );
+    streamit_bench::rule(66);
+    for (rows, cols) in [(1usize, 2usize), (2, 2), (2, 4), (4, 4), (4, 8), (8, 8)] {
+        let cfg = MachineConfig {
+            rows,
+            cols,
+            ..MachineConfig::default()
+        };
+        let tiles = rows * cols;
+        let mut row = format!("{tiles:<8}");
+        for app in [
+            streamit::apps::des::des_with_io(16),
+            streamit::apps::fmradio::fmradio_with_io(10, 64),
+            streamit::apps::radar::radar_with_io(12, 4),
+        ] {
+            let p = streamit::Compiler::default().compile_stream(app).unwrap();
+            let wg = p.work_graph().unwrap();
+            let base = simulate_single_core(&wg, &cfg);
+            let mp = streamit::map_strategy(&wg, Strategy::TaskDataSwp, tiles);
+            let r = simulate(&mp, &cfg);
+            row.push_str(&format!(" {:>13.2}x", r.speedup_over(&base)));
+        }
+        println!("{row}");
+    }
+    streamit_bench::rule(66);
+    println!("(stateless DES tracks the machine; Radar saturates at its stateful");
+    println!(" pipeline depth — the paper's motivation for combining techniques)");
+}

@@ -1,0 +1,42 @@
+//! Regenerates Figure `fine-dup`: the fine-grained data-parallelism
+//! strawman (replicate every stateless filter across all tiles, no
+//! coarsening) against coarse-grained data parallelism.
+//!
+//! Paper reference point: DCT achieves 14.6× coarse-grained but only
+//! 4.0× fine-grained, "because it fisses at too fine a granularity,
+//! improperly considering synchronization".
+
+use streamit::sched::Strategy;
+
+fn main() {
+    let cfg = streamit_bench::machine();
+    println!("Figure `fine-dup`: fine- vs coarse-grained data parallelism");
+    streamit_bench::rule(72);
+    println!(
+        "{:<16} {:>14} {:>14} {:>14}",
+        "Benchmark", "Fine-Grained", "Coarse (T+D)", "Coarse/Fine"
+    );
+    streamit_bench::rule(72);
+    let mut ratios = Vec::new();
+    for bench in streamit::apps::evaluation_suite() {
+        let p = streamit_bench::compile(bench.name, bench.stream);
+        let (base, fine) = streamit_bench::run_strategy(&p, Strategy::FineGrainedData, &cfg);
+        let (_, coarse) = streamit_bench::run_strategy(&p, Strategy::TaskData, &cfg);
+        let sf = fine.speedup_over(&base);
+        let sc = coarse.speedup_over(&base);
+        ratios.push(sc / sf);
+        println!(
+            "{:<16} {:>13.2}x {:>13.2}x {:>13.2}x",
+            bench.name,
+            sf,
+            sc,
+            sc / sf
+        );
+    }
+    streamit_bench::rule(72);
+    println!(
+        "geomean coarse/fine advantage: {:.2}x",
+        streamit::geomean(ratios.iter().copied())
+    );
+    println!("(paper reference: DCT 14.6x coarse vs 4.0x fine)");
+}

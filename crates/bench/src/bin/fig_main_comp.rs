@@ -1,0 +1,52 @@
+//! Regenerates Figure `maingraph`: throughput speedup over single-core
+//! for Task, Task + Data, and Task + Data + Software Pipelining, per
+//! benchmark, with geometric means.
+//!
+//! Paper reference points: Task geomean 2.27×; Task + Data 9.9×
+//! (4.36× over task); the combination adds a further 1.45× mean over
+//! data parallelism alone.
+
+use streamit::geomean;
+use streamit::sched::Strategy;
+
+fn main() {
+    let cfg = streamit_bench::machine();
+    let strategies = [Strategy::Task, Strategy::TaskData, Strategy::TaskDataSwp];
+    let mut columns: Vec<Vec<f64>> = vec![Vec::new(); strategies.len()];
+
+    println!("Figure `maingraph`: speedup over single-core (16 tiles)");
+    streamit_bench::rule(72);
+    println!(
+        "{:<16} {:>12} {:>14} {:>20}",
+        "Benchmark", "Task", "Task+Data", "Task+Data+SWP"
+    );
+    streamit_bench::rule(72);
+    for bench in streamit::apps::evaluation_suite() {
+        let name = bench.name;
+        let p = streamit_bench::compile(name, bench.stream);
+        print!("{name:<16}");
+        for (col, &s) in strategies.iter().enumerate() {
+            let (base, r) = streamit_bench::run_strategy(&p, s, &cfg);
+            let speedup = r.speedup_over(&base);
+            columns[col].push(speedup);
+            print!(" {speedup:>11.2}x");
+            if col == 2 {
+                print!("       ");
+            }
+        }
+        println!();
+    }
+    streamit_bench::rule(72);
+    let gms: Vec<f64> = columns.iter().map(|c| geomean(c.iter().copied())).collect();
+    println!(
+        "{:<16} {:>11.2}x {:>13.2}x {:>19.2}x",
+        "geomean", gms[0], gms[1], gms[2]
+    );
+    streamit_bench::rule(72);
+    println!("paper:            2.27x          9.90x       +1.45x over data");
+    println!(
+        "measured ratios: data/task = {:.2}x, combined/data = {:.2}x",
+        gms[1] / gms[0],
+        gms[2] / gms[1]
+    );
+}

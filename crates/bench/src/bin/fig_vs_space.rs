@@ -1,0 +1,52 @@
+//! Regenerates Figure `vs_space`: the combined technique against the
+//! ASPLOS'02 space-multiplexing baseline (one fused filter per tile,
+//! pipelined over the static network).
+//!
+//! Paper reference points: space wins on long pipelines with little
+//! splitting (FFT, TDE); on stateful apps the combined technique wins —
+//! BeamFormer: T+D loses to space by 19%, T+D+SP beats it by 38%;
+//! Vocoder: T+D loses by 18%, T+D+SP wins by 30%.
+
+use streamit::sched::Strategy;
+
+fn print_row(name: &str, p: &streamit::CompiledProgram, cfg: &streamit::rawsim::MachineConfig) {
+    let (base, space) = streamit_bench::run_strategy(p, Strategy::SpaceMultiplex, cfg);
+    let (_, data) = streamit_bench::run_strategy(p, Strategy::TaskData, cfg);
+    let (_, comb) = streamit_bench::run_strategy(p, Strategy::TaskDataSwp, cfg);
+    let ss = space.speedup_over(&base);
+    let sd = data.speedup_over(&base);
+    let sc = comb.speedup_over(&base);
+    println!(
+        "{:<16} {:>10.2}x {:>10.2}x {:>13.2}x {:>11.0}% {:>11.0}%",
+        name,
+        ss,
+        sd,
+        sc,
+        (sd / ss - 1.0) * 100.0,
+        (sc / ss - 1.0) * 100.0
+    );
+}
+
+fn main() {
+    let cfg = streamit_bench::machine();
+    println!("Figure `vs_space`: combined technique vs space multiplexing");
+    streamit_bench::rule(84);
+    println!(
+        "{:<16} {:>11} {:>11} {:>14} {:>12} {:>12}",
+        "Benchmark", "Space", "T+D", "T+D+SWP", "T+D vs Sp", "T+D+SWP vs Sp"
+    );
+    streamit_bench::rule(84);
+    for bench in streamit::apps::evaluation_suite() {
+        let p = streamit_bench::compile(bench.name, bench.stream);
+        print_row(bench.name, &p, &cfg);
+    }
+    // The paper's explicitly quoted stateful cases.
+    let bf = streamit_bench::compile(
+        "BeamFormer",
+        streamit::apps::beamformer::beamformer_with_io(12, 4, 32),
+    );
+    print_row("BeamFormer", &bf, &cfg);
+    streamit_bench::rule(84);
+    println!("(paper: BeamFormer T+D -19% / T+D+SP +38% vs space;");
+    println!("        Vocoder    T+D -18% / T+D+SP +30% vs space)");
+}

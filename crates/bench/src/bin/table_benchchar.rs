@@ -1,0 +1,47 @@
+//! Regenerates Figure `benchchar`: the benchmark-characteristics table.
+//!
+//! Columns follow the paper: filter counts (total / peeking / stateful),
+//! shortest and longest source-to-sink path, the static computation-to-
+//! communication ratio per steady state, and the percentage of work in
+//! stateful filters.  Rows are sorted ascending by stateful work, as in
+//! the paper.
+
+fn main() {
+    let mut rows = Vec::new();
+    for bench in streamit::apps::evaluation_suite() {
+        let p = streamit_bench::compile(bench.name, bench.stream);
+        rows.push(p.characterize(bench.name).expect("characterize"));
+    }
+    rows.sort_by(|a, b| {
+        a.stateful_work_pct
+            .partial_cmp(&b.stateful_work_pct)
+            .expect("no NaN")
+            .then(a.name.cmp(&b.name))
+    });
+
+    println!("Figure `benchchar`: benchmark characteristics (16-tile target)");
+    streamit_bench::rule(92);
+    println!(
+        "{:<16} {:>7} {:>8} {:>9} {:>9} {:>9} {:>11} {:>13}",
+        "Benchmark", "Filters", "Peeking", "Stateful", "ShortPath", "LongPath", "Comp/Comm", "StatefulWork"
+    );
+    streamit_bench::rule(92);
+    for r in &rows {
+        println!(
+            "{:<16} {:>7} {:>8} {:>9} {:>9} {:>9} {:>11.1} {:>12.1}%",
+            r.name,
+            r.filters,
+            r.peeking,
+            r.stateful,
+            r.shortest_path,
+            r.longest_path,
+            r.comp_comm,
+            r.stateful_work_pct
+        );
+    }
+    streamit_bench::rule(92);
+    println!(
+        "(paper shape: 6 stateless+non-peeking apps; FilterBank/FMRadio/ChannelVocoder peek;"
+    );
+    println!(" MPEG2's stateful work insignificant; Radar dominated by stateful work)");
+}

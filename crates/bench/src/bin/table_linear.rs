@@ -1,0 +1,212 @@
+//! Regenerates the abstract's headline result: performance improvements
+//! from the linear optimizations (extraction + combination + frequency
+//! translation), averaging ~400% across linear DSP benchmarks.
+//!
+//! For each benchmark we report the static work estimate (cycles per
+//! steady state at matched output rates) before and after linear
+//! replacement, plus the modeled effect of frequency translation where
+//! the cost model elects it.
+
+use streamit::graph::builder::*;
+use streamit::graph::{FlatGraph, Joiner, Splitter, StreamNode};
+use streamit::linear::{optimize_stream, LinearMode, LinearRep};
+use streamit::sched::WorkGraph;
+
+fn fir_node(name: &str, taps: usize, seed: f64) -> StreamNode {
+    let h: Vec<f64> = (0..taps)
+        .map(|i| ((i as f64 + 1.0) * seed).sin() / taps as f64)
+        .collect();
+    LinearRep::fir(&h).materialize_node(name)
+}
+
+fn decimator(name: &str, k: usize) -> StreamNode {
+    let mut row = vec![0.0; k];
+    row[0] = 1.0;
+    LinearRep {
+        peek: k,
+        pop: k,
+        push: 1,
+        matrix: vec![row],
+        constant: vec![0.0],
+    }
+    .materialize_node(name)
+}
+
+fn upsampler(name: &str, k: usize) -> StreamNode {
+    let mut matrix = vec![vec![0.0]; k];
+    matrix[0][0] = 1.0;
+    LinearRep {
+        peek: 1,
+        pop: 1,
+        push: k,
+        matrix,
+        constant: vec![0.0; k],
+    }
+    .materialize_node(name)
+}
+
+/// The linear benchmark programs, mirroring the shapes of the linear
+/// optimization paper's suite.
+fn linear_suite() -> Vec<(&'static str, StreamNode)> {
+    vec![
+        (
+            "FIRCascade",
+            pipeline(
+                "FIRCascade",
+                vec![
+                    fir_node("f1", 32, 0.11),
+                    fir_node("f2", 32, 0.17),
+                    fir_node("f3", 32, 0.23),
+                ],
+            ),
+        ),
+        (
+            "RateConvert",
+            pipeline(
+                "RateConvert",
+                vec![fir_node("aa", 64, 0.13), decimator("down8", 8)],
+            ),
+        ),
+        (
+            "DToA",
+            pipeline(
+                "DToA",
+                vec![upsampler("up4", 4), fir_node("interp", 64, 0.19)],
+            ),
+        ),
+        (
+            "TargetDetect",
+            splitjoin(
+                "TargetDetect",
+                Splitter::Duplicate,
+                (0..4)
+                    .map(|i| fir_node(&format!("match{i}"), 64, 0.07 + 0.04 * i as f64))
+                    .collect(),
+                Joiner::round_robin(4),
+            ),
+        ),
+        (
+            "Equalizer",
+            pipeline(
+                "Equalizer",
+                vec![
+                    splitjoin(
+                        "bands",
+                        Splitter::Duplicate,
+                        (0..8)
+                            .map(|i| fir_node(&format!("band{i}"), 64, 0.05 + 0.03 * i as f64))
+                            .collect(),
+                        Joiner::round_robin(8),
+                    ),
+                    // The summing stage: pops 8, pushes their sum.
+                    LinearRep {
+                        peek: 8,
+                        pop: 8,
+                        push: 1,
+                        matrix: vec![vec![1.0; 8]],
+                        constant: vec![0.0],
+                    }
+                    .materialize_node("sum"),
+                ],
+            ),
+        ),
+        (
+            "Oversampler",
+            pipeline(
+                "Oversampler",
+                vec![
+                    upsampler("up2a", 2),
+                    fir_node("o1", 32, 0.21),
+                    upsampler("up2b", 2),
+                    fir_node("o2", 32, 0.29),
+                ],
+            ),
+        ),
+        (
+            "FilterBankLin",
+            splitjoin(
+                "FilterBankLin",
+                Splitter::Duplicate,
+                (0..8)
+                    .map(|i| {
+                        pipeline(
+                            format!("fbBranch{i}"),
+                            vec![
+                                fir_node(&format!("fb{i}"), 32, 0.06 + 0.02 * i as f64),
+                                decimator(&format!("fbDown{i}"), 8),
+                            ],
+                        )
+                    })
+                    .collect(),
+                Joiner::round_robin(8),
+            ),
+        ),
+        ("OneBigFIR", pipeline("OneBigFIR", vec![fir_node("big", 256, 0.03)])),
+    ]
+}
+
+fn estimated_cycles(s: &StreamNode) -> u64 {
+    let flat = FlatGraph::from_stream(s);
+    WorkGraph::from_flat(&flat)
+        .expect("consistent rates")
+        .total_work()
+        .max(1)
+}
+
+fn main() {
+    println!("Linear optimization results (abstract: ~400% average improvement)");
+    streamit_bench::rule(100);
+    println!(
+        "{:<14} {:>7} {:>9} {:>12} {:>12} {:>9} {:>10} {:>9} {:>10}",
+        "Benchmark", "Filters", "Linear", "Before(cyc)", "After(cyc)", "Speedup", "FreqPlans", "w/Freq", "Collapsed"
+    );
+    streamit_bench::rule(100);
+    let mut speedups = Vec::new();
+    for (name, stream) in linear_suite() {
+        let before = estimated_cycles(&stream);
+        // Normalize to a common steady state: speedups compare cycles at
+        // matched rates since both graphs compute the same function.
+        let (optimized, report) = optimize_stream(&stream, LinearMode::Frequency);
+        let after = estimated_cycles(&optimized);
+        let replacement_speedup = before as f64 / after as f64;
+        // Frequency translation scales the planned nodes' costs by the
+        // modeled freq/direct ratio.
+        let with_freq = replacement_speedup * freq_factor(&report);
+        speedups.push(with_freq);
+        println!(
+            "{:<14} {:>7} {:>9} {:>12} {:>12} {:>8.2}x {:>10} {:>8.2}x {:>9}",
+            name,
+            report.total_filters,
+            report.extracted,
+            before,
+            after,
+            replacement_speedup,
+            report.freq_plans.len(),
+            with_freq,
+            report.collapsed_pipelines + report.collapsed_splitjoins,
+        );
+    }
+    streamit_bench::rule(100);
+    let gm = streamit::geomean(speedups.iter().copied());
+    println!(
+        "geometric-mean speedup: {:.2}x  ({:.0}% improvement; paper reports ~400% average)",
+        gm,
+        (gm - 1.0) * 100.0
+    );
+}
+
+/// Remaining-cost factor of applying the planned frequency translations.
+fn freq_factor(report: &streamit::linear::LinearReport) -> f64 {
+    if report.freq_plans.is_empty() {
+        return 1.0;
+    }
+    // Approximate: planned nodes dominate their graphs (single-filter
+    // FIR shapes); scale by direct/freq cost ratio averaged over plans.
+    let ratio: f64 = report
+        .freq_plans
+        .iter()
+        .map(|p| p.direct_cost / p.freq_cost)
+        .product::<f64>()
+        .powf(1.0 / report.freq_plans.len() as f64);
+    ratio
+}

@@ -1,0 +1,59 @@
+//! Regenerates the conclusion's teleport-messaging result: the
+//! frequency-hopping radio implemented with teleport messaging versus
+//! the manual feedback-loop encoding of control (paper: 49% performance
+//! improvement on its cluster testbed).
+//!
+//! We report simulated steady-state throughput on the 16-tile machine
+//! plus the structural overheads of the manual version (extra items
+//! moved and the feedback recurrence that blocks software pipelining).
+
+use streamit::sched::Strategy;
+
+fn main() {
+    let cfg = streamit_bench::machine();
+    let n = 16;
+    println!("Teleport messaging vs manual feedback control (freq-hopping radio, {n}-sample rounds)");
+    streamit_bench::rule(86);
+    println!(
+        "{:<22} {:>14} {:>13} {:>13} {:>18}",
+        "Implementation", "words/steady", "cycles (SWP)", "speedup", "messages"
+    );
+    streamit_bench::rule(86);
+
+    let mut results = Vec::new();
+    for (name, stream) in [
+        (
+            "teleport",
+            streamit::apps::freqhop::freqhop_teleport_with_io(n, 2),
+        ),
+        (
+            "manual feedback",
+            streamit::apps::freqhop::freqhop_manual_with_io(n),
+        ),
+    ] {
+        let p = streamit_bench::compile(name, stream);
+        let wg = p.work_graph().expect("schedulable");
+        let comm = wg.total_comm();
+        let (base, r) = streamit_bench::run_strategy(&p, Strategy::SoftwarePipeline, &cfg);
+        results.push((name, comm, r.cycles_per_steady, r.speedup_over(&base)));
+    }
+    for (name, comm, cycles, speedup) in &results {
+        let msg = if *name == "teleport" {
+            "out-of-band portal"
+        } else {
+            "in-band loop token"
+        };
+        println!(
+            "{:<22} {:>14} {:>13} {:>12.2}x {:>18}",
+            name, comm, cycles, speedup, msg
+        );
+    }
+    streamit_bench::rule(86);
+    let improvement = results[1].2 as f64 / results[0].2 as f64 - 1.0;
+    println!(
+        "teleport throughput improvement: {:.0}%  (paper: 49% on a cluster of workstations)",
+        improvement * 100.0
+    );
+    println!("(the manual loop's feedback recurrence also caps software pipelining,");
+    println!(" which the simulator models as the recurrence bound)");
+}

@@ -1,0 +1,48 @@
+//! # streamit-bench
+//!
+//! The evaluation harness: one binary per table/figure of the paper
+//! (see DESIGN.md's per-experiment index) plus Criterion microbenches.
+//!
+//! | binary | regenerates |
+//! |---|---|
+//! | `table_benchchar` | Figure *benchchar* — benchmark characteristics |
+//! | `fig_main_comp`   | Figure *maingraph* — task / task+data / task+data+SWP speedups |
+//! | `fig_fine_dup`    | Figure *fine-dup* — fine- vs coarse-grained data parallelism |
+//! | `fig_softpipe`    | Figure *softpipe_graph* — task and task+SWP |
+//! | `fig_thruput`     | Figure *thruput* — utilization and MFLOPS of the combined technique |
+//! | `fig_vs_space`    | Figure *vs_space* — combined vs ASPLOS'02 space multiplexing |
+//! | `table_linear`    | abstract — linear extraction/combination/frequency speedups |
+//! | `table_teleport`  | conclusion — teleport messaging vs manual feedback control |
+//! | `table_verify`    | §Program Verification — deadlock/overflow analysis results |
+
+use streamit::rawsim::{MachineConfig, SimResult};
+use streamit::sched::Strategy;
+use streamit::{map_strategy, Compiler, CompiledProgram};
+
+/// The machine used throughout the evaluation: 16 tiles (4×4) at
+/// 450 MHz — peak 7200 MFLOPS, as in the paper.
+pub fn machine() -> MachineConfig {
+    MachineConfig::default()
+}
+
+/// Compile one benchmark, panicking with its name on failure.
+pub fn compile(name: &str, stream: streamit::graph::StreamNode) -> CompiledProgram {
+    Compiler::default()
+        .compile_stream(stream)
+        .unwrap_or_else(|e| panic!("{name}: {e}"))
+}
+
+/// Simulate one strategy for a compiled program; returns
+/// `(baseline, result)`.
+pub fn run_strategy(p: &CompiledProgram, s: Strategy, cfg: &MachineConfig) -> (SimResult, SimResult) {
+    let wg = p.work_graph().expect("schedulable");
+    let base = streamit::rawsim::simulate_single_core(&wg, cfg);
+    let mp = map_strategy(&wg, s, cfg.n_tiles());
+    let r = streamit::rawsim::simulate(&mp, cfg);
+    (base, r)
+}
+
+/// Print a horizontal rule sized for the evaluation tables.
+pub fn rule(width: usize) {
+    println!("{}", "-".repeat(width));
+}

@@ -1,0 +1,202 @@
+//! `streamitc` — the StreamIt-rs command-line compiler driver.
+//!
+//! ```text
+//! streamitc <file.str> [--main NAME] [--linear | --frequency]
+//!           [--outline] [--dot] [--verify] [--schedule [TILES]]
+//!           [--run N] [--strict]
+//! ```
+//!
+//! * `--outline`   print the elaborated hierarchy
+//! * `--dot`       print the flat graph in Graphviz syntax
+//! * `--verify`    print the deadlock/overflow report (default on)
+//! * `--schedule`  partition for TILES tiles (default 16) with every
+//!   strategy and print the simulated throughput table
+//! * `--run N`     execute the program on a synthetic ramp input and
+//!   print the first N outputs
+//! * `--linear` / `--frequency`  enable the linear optimizer
+//! * `--strict`    fail on verification errors
+
+use streamit::linear::LinearMode;
+use streamit::rawsim::MachineConfig;
+use streamit::{evaluate_strategies, Compiler, Options};
+
+struct Args {
+    file: String,
+    main: String,
+    linear: Option<LinearMode>,
+    outline: bool,
+    dot: bool,
+    schedule: Option<usize>,
+    run: Option<usize>,
+    strict: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: streamitc <file.str> [--main NAME] [--linear | --frequency] \
+         [--outline] [--dot] [--schedule [TILES]] [--run N] [--strict]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        file: String::new(),
+        main: "Main".into(),
+        linear: None,
+        outline: false,
+        dot: false,
+        schedule: None,
+        run: None,
+        strict: false,
+    };
+    let mut it = std::env::args().skip(1).peekable();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--main" => args.main = it.next().unwrap_or_else(|| usage()),
+            "--linear" => args.linear = Some(LinearMode::Replacement),
+            "--frequency" => args.linear = Some(LinearMode::Frequency),
+            "--outline" => args.outline = true,
+            "--dot" => args.dot = true,
+            "--verify" => {} // always printed
+            "--strict" => args.strict = true,
+            "--schedule" => {
+                let tiles = it
+                    .peek()
+                    .and_then(|s| s.parse::<usize>().ok())
+                    .inspect(|_| {
+                        it.next();
+                    })
+                    .unwrap_or(16);
+                args.schedule = Some(tiles);
+            }
+            "--run" => {
+                let n = it
+                    .next()
+                    .and_then(|s| s.parse::<usize>().ok())
+                    .unwrap_or_else(|| usage());
+                args.run = Some(n);
+            }
+            "--help" | "-h" => usage(),
+            f if !f.starts_with('-') && args.file.is_empty() => args.file = f.to_string(),
+            _ => usage(),
+        }
+    }
+    if args.file.is_empty() {
+        usage();
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+    let source = match std::fs::read_to_string(&args.file) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("streamitc: cannot read {}: {e}", args.file);
+            std::process::exit(1);
+        }
+    };
+    let compiler = Compiler::new(Options {
+        linear: args.linear,
+        strict_verify: args.strict,
+    });
+    let program = match compiler.compile_source(&source, &args.main) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("streamitc: {}:{e}", args.file);
+            std::process::exit(1);
+        }
+    };
+
+    println!(
+        "compiled `{}` ({} filters, {} flat nodes, {} channels)",
+        args.main,
+        program.stream.filter_count(),
+        program.flat.nodes.len(),
+        program.flat.edges.len()
+    );
+    if let Some(r) = &program.linear_report {
+        println!(
+            "linear optimizer: {}/{} filters linear, {} collapses, \
+             {:.0} -> {:.0} FLOPs/steady ({} frequency plans)",
+            r.extracted,
+            r.total_filters,
+            r.collapsed_pipelines + r.collapsed_splitjoins,
+            r.flops_before,
+            r.flops_after,
+            r.freq_plans.len()
+        );
+    }
+
+    // Verification report.
+    if program.verify.is_ok() {
+        let reps = program
+            .verify
+            .reps
+            .as_ref()
+            .map(|r| r.iter().sum::<u64>())
+            .unwrap_or(0);
+        println!("verify: OK (deadlock-free, bounded buffers; {reps} firings/steady state)");
+    } else {
+        for d in program
+            .verify
+            .overflows
+            .iter()
+            .chain(&program.verify.deadlocks)
+        {
+            println!("verify: {d}");
+        }
+    }
+
+    if args.outline {
+        println!("\n== outline ==");
+        print!("{}", streamit::graph::display::outline(&program.stream));
+    }
+    if args.dot {
+        println!("\n== dot ==");
+        print!("{}", streamit::graph::display::dot(&program.flat));
+    }
+
+    if let Some(tiles) = args.schedule {
+        let side = (tiles as f64).sqrt().ceil() as usize;
+        let cfg = MachineConfig {
+            rows: side,
+            cols: side.max(tiles.div_ceil(side)),
+            ..MachineConfig::default()
+        };
+        match program.work_graph() {
+            Ok(wg) => {
+                let (base, results) = evaluate_strategies(&wg, &cfg);
+                println!("\n== schedule ({tiles} tiles) ==");
+                println!("single core: {} cycles/steady", base.cycles_per_steady);
+                for (s, r) in results {
+                    println!(
+                        "{:<20} {:>10} cycles  {:>6.2}x  util {:>4.0}%",
+                        s.label(),
+                        r.cycles_per_steady,
+                        r.speedup_over(&base),
+                        r.utilization * 100.0
+                    );
+                }
+            }
+            Err(e) => println!("schedule: {e}"),
+        }
+    }
+
+    if let Some(n) = args.run {
+        let input: Vec<f64> = (0..16 * n.max(64)).map(|i| (i as f64 * 0.1).sin()).collect();
+        match program.run(&input, n) {
+            Ok(out) => {
+                println!("\n== first {n} outputs ==");
+                for (i, v) in out.iter().enumerate() {
+                    println!("y[{i}] = {v}");
+                }
+            }
+            Err(e) => {
+                eprintln!("streamitc: execution failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+}

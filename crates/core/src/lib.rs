@@ -1,0 +1,435 @@
+//! # StreamIt-rs
+//!
+//! A stream language and optimizing compiler for grid multicores — a
+//! from-scratch Rust reproduction of the MIT StreamIt system described
+//! in *"Language and Compiler Design for Streaming Applications"*.
+//!
+//! The workspace layers, bottom to top:
+//!
+//! | crate | contents |
+//! |---|---|
+//! | [`graph`] | hierarchical stream IR, work-function IR, flattening, validation, balance equations |
+//! | [`frontend`] | the textual language: lexer, parser, elaborator |
+//! | [`interp`] | reference interpreter (FIFO tapes, teleport portals) |
+//! | [`sdep`] | information-wavefront transfer functions, SDEP, teleport semantics, deadlock/overflow verification |
+//! | [`linear`] | linear extraction, combination, frequency translation |
+//! | [`sched`] | work estimation, fusion/fission, the parallelization strategies |
+//! | [`rawsim`] | the 16-tile Raw-like machine model |
+//! | [`apps`] | the benchmark suite |
+//!
+//! The [`Compiler`] type glues the layers into a single pipeline:
+//!
+//! ```
+//! use streamit::{Compiler, Options};
+//!
+//! let source = r#"
+//!     float->float filter Scale(float g) {
+//!         work pop 1 push 1 { push(pop() * g); }
+//!     }
+//!     float->float pipeline Main() {
+//!         add Scale(2.0);
+//!         add Scale(0.5);
+//!     }
+//! "#;
+//! let program = Compiler::new(Options::default())
+//!     .compile_source(source, "Main")
+//!     .expect("compiles");
+//! let out = program.run(&[1.0, 2.0, 3.0], 3).expect("runs");
+//! assert_eq!(out, vec![1.0, 2.0, 3.0]);
+//! ```
+
+pub use streamit_apps as apps;
+pub use streamit_frontend as frontend;
+pub use streamit_graph as graph;
+pub use streamit_interp as interp;
+pub use streamit_linear as linear;
+pub use streamit_rawsim as rawsim;
+pub use streamit_sched as sched;
+pub use streamit_sdep as sdep;
+
+use streamit_graph::{FlatGraph, StreamNode, Value};
+use streamit_linear::{LinearMode, LinearReport};
+use streamit_rawsim::{simulate, simulate_single_core, MachineConfig, SimResult};
+use streamit_sched::{MappedProgram, Strategy, WorkGraph};
+use streamit_sdep::VerifyReport;
+
+/// Compiler options.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Options {
+    /// Run the linear optimizer (`--linearreplacement` /
+    /// `--frequencyreplacement`).
+    pub linear: Option<LinearMode>,
+    /// Reject programs whose verification reports deadlock/overflow.
+    pub strict_verify: bool,
+}
+
+/// Compilation errors.
+#[derive(Debug)]
+pub enum CompileError {
+    Frontend(streamit_frontend::FrontendError),
+    Validation(Vec<streamit_graph::ValidationError>),
+    Verification(VerifyReport),
+    Schedule(streamit_graph::SteadyError),
+}
+
+impl std::fmt::Display for CompileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CompileError::Frontend(e) => write!(f, "{e}"),
+            CompileError::Validation(errs) => {
+                writeln!(f, "validation failed:")?;
+                for e in errs {
+                    writeln!(f, "  {e}")?;
+                }
+                Ok(())
+            }
+            CompileError::Verification(r) => {
+                writeln!(f, "verification failed:")?;
+                for d in r.deadlocks.iter().chain(&r.overflows) {
+                    writeln!(f, "  {d}")?;
+                }
+                Ok(())
+            }
+            CompileError::Schedule(e) => write!(f, "scheduling failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+/// The StreamIt-rs compiler.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Compiler {
+    pub options: Options,
+}
+
+impl Compiler {
+    /// Create a compiler with options.
+    pub fn new(options: Options) -> Compiler {
+        Compiler { options }
+    }
+
+    /// Compile textual source, elaborating `main`.
+    pub fn compile_source(
+        &self,
+        source: &str,
+        main: &str,
+    ) -> Result<CompiledProgram, CompileError> {
+        let out =
+            streamit_frontend::compile(source, main).map_err(CompileError::Frontend)?;
+        self.finish(out.stream, out.portals, out.latencies)
+    }
+
+    /// Compile an already-constructed stream graph (builder API).
+    pub fn compile_stream(&self, stream: StreamNode) -> Result<CompiledProgram, CompileError> {
+        let errs = streamit_graph::validate(&stream);
+        if !errs.is_empty() {
+            return Err(CompileError::Validation(errs));
+        }
+        self.finish(stream, Vec::new(), Vec::new())
+    }
+
+    fn finish(
+        &self,
+        stream: StreamNode,
+        portals: Vec<streamit_frontend::PortalRegistration>,
+        latencies: Vec<streamit_frontend::LatencyDirective>,
+    ) -> Result<CompiledProgram, CompileError> {
+        let (stream, linear_report) = match self.options.linear {
+            Some(mode) => {
+                let (s, r) = streamit_linear::optimize_stream(&stream, mode);
+                (s, Some(r))
+            }
+            None => (stream, None),
+        };
+        let flat = FlatGraph::from_stream(&stream);
+        let verify = streamit_sdep::verify_graph(&flat);
+        if self.options.strict_verify && !verify.is_ok() {
+            return Err(CompileError::Verification(verify));
+        }
+        Ok(CompiledProgram {
+            stream,
+            flat,
+            verify,
+            linear_report,
+            portals,
+            latencies,
+        })
+    }
+}
+
+/// A compiled program: the (possibly optimized) graph plus analyses.
+pub struct CompiledProgram {
+    /// The final hierarchical graph.
+    pub stream: StreamNode,
+    /// Its flattened form.
+    pub flat: FlatGraph,
+    /// Deadlock/overflow verification.
+    pub verify: VerifyReport,
+    /// What the linear optimizer did, when enabled.
+    pub linear_report: Option<LinearReport>,
+    /// Portal registrations from the frontend (`register` statements).
+    pub portals: Vec<streamit_frontend::PortalRegistration>,
+    /// `max_latency` directives from the frontend.
+    pub latencies: Vec<streamit_frontend::LatencyDirective>,
+}
+
+impl CompiledProgram {
+    /// Execute the program on `input`, returning `n` outputs.
+    /// Portals from the source are registered automatically;
+    /// messages use the constraint-checked teleport executor.
+    pub fn run(&self, input: &[f64], n: usize) -> Result<Vec<f64>, interp::RuntimeError> {
+        let mut ex = streamit_sdep::ConstrainedExecutor::new(&self.flat);
+        for reg in &self.portals {
+            for node in resolve_portal_path(&self.flat, &reg.path) {
+                ex.register_portal(&reg.portal, node);
+            }
+        }
+        ex.derive_constraints();
+        for l in &self.latencies {
+            if let (Some(a), Some(b)) = (
+                resolve_path_filter(&self.flat, &l.a_path),
+                resolve_path_filter(&self.flat, &l.b_path),
+            ) {
+                ex.add_latency(streamit_sdep::LatencyConstraint { a, b, n: l.n });
+            }
+        }
+        let in_ty = self.stream.input_type();
+        ex.machine().feed(input.iter().map(|&v| match in_ty {
+            Some(streamit_graph::DataType::Int) => Value::Int(v as i64),
+            _ => Value::Float(v),
+        }));
+        ex.run_until_output(n, 50_000_000)?;
+        Ok(ex.machine().take_output().iter().map(|v| v.as_f64()).collect())
+    }
+
+    /// The benchmark characteristics row of this program.
+    pub fn characterize(&self, name: &str) -> Result<sched::BenchCharacteristics, CompileError> {
+        streamit_sched::characterize(name, &self.flat).map_err(CompileError::Schedule)
+    }
+
+    /// Build the coarse work graph.
+    pub fn work_graph(&self) -> Result<WorkGraph, CompileError> {
+        WorkGraph::from_flat(&self.flat).map_err(CompileError::Schedule)
+    }
+
+    /// Map with a given parallelization strategy.
+    pub fn map(
+        &self,
+        strategy: Strategy,
+        n_tiles: usize,
+    ) -> Result<MappedProgram, CompileError> {
+        let wg = self.work_graph()?;
+        Ok(map_strategy(&wg, strategy, n_tiles))
+    }
+
+    /// Simulate every strategy on the given machine, returning
+    /// `(single-core baseline, per-strategy results)`.
+    pub fn evaluate(
+        &self,
+        cfg: &MachineConfig,
+    ) -> Result<(SimResult, Vec<(Strategy, SimResult)>), CompileError> {
+        let wg = self.work_graph()?;
+        Ok(evaluate_strategies(&wg, cfg))
+    }
+}
+
+/// Resolve a portal registration path to flat-graph receiver nodes:
+/// filters under the path that declare handlers.
+pub fn resolve_portal_path(
+    flat: &FlatGraph,
+    path: &str,
+) -> Vec<streamit_graph::NodeId> {
+    flat.nodes
+        .iter()
+        .filter(|n| {
+            (n.name == path || n.name.starts_with(&format!("{path}/")))
+                && n.as_filter().map(|f| !f.handlers.is_empty()).unwrap_or(false)
+        })
+        .map(|n| n.id)
+        .collect()
+}
+
+/// Resolve a hierarchical instance path to its first filter node.
+pub fn resolve_path_filter(
+    flat: &FlatGraph,
+    path: &str,
+) -> Option<streamit_graph::NodeId> {
+    flat.nodes
+        .iter()
+        .find(|n| {
+            (n.name == path || n.name.starts_with(&format!("{path}/")))
+                && n.as_filter().is_some()
+        })
+        .map(|n| n.id)
+}
+
+/// Apply one strategy to a work graph.
+pub fn map_strategy(wg: &WorkGraph, strategy: Strategy, n_tiles: usize) -> MappedProgram {
+    match strategy {
+        Strategy::Task => streamit_sched::task_parallel_partition(wg, n_tiles),
+        Strategy::FineGrainedData => streamit_sched::fine_grained_partition(wg, n_tiles),
+        Strategy::TaskData => streamit_sched::data_parallel_partition(wg, n_tiles),
+        Strategy::SoftwarePipeline => streamit_sched::software_pipeline(wg, n_tiles),
+        Strategy::TaskDataSwp => streamit_sched::combined_partition(wg, n_tiles),
+        Strategy::SpaceMultiplex => streamit_sched::space_multiplex(wg, n_tiles),
+    }
+}
+
+/// All evaluation strategies, in presentation order.
+pub const ALL_STRATEGIES: [Strategy; 6] = [
+    Strategy::Task,
+    Strategy::FineGrainedData,
+    Strategy::TaskData,
+    Strategy::SoftwarePipeline,
+    Strategy::TaskDataSwp,
+    Strategy::SpaceMultiplex,
+];
+
+/// Simulate the single-core baseline and every strategy.
+pub fn evaluate_strategies(
+    wg: &WorkGraph,
+    cfg: &MachineConfig,
+) -> (SimResult, Vec<(Strategy, SimResult)>) {
+    let base = simulate_single_core(wg, cfg);
+    let results = ALL_STRATEGIES
+        .iter()
+        .map(|&s| {
+            let mp = map_strategy(wg, s, cfg.n_tiles());
+            (s, simulate(&mp, cfg))
+        })
+        .collect();
+    (base, results)
+}
+
+/// Geometric mean helper used by the evaluation tables.
+pub fn geomean(values: impl IntoIterator<Item = f64>) -> f64 {
+    let mut log_sum = 0.0;
+    let mut n = 0usize;
+    for v in values {
+        log_sum += v.max(1e-12).ln();
+        n += 1;
+    }
+    if n == 0 {
+        return 0.0;
+    }
+    (log_sum / n as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SOURCE: &str = r#"
+        float->float filter MovingAvg(int N) {
+            work peek N pop 1 push 1 {
+                float s = 0.0;
+                for (int i = 0; i < N; i++) s += peek(i);
+                push(s / N);
+                pop();
+            }
+        }
+        float->float pipeline Main() {
+            add MovingAvg(4);
+            add MovingAvg(4);
+        }
+    "#;
+
+    #[test]
+    fn source_to_execution() {
+        let p = Compiler::default().compile_source(SOURCE, "Main").unwrap();
+        assert!(p.verify.is_ok());
+        let out = p.run(&[1.0; 16], 4).unwrap();
+        for v in out {
+            assert!((v - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn linear_option_collapses() {
+        let opts = Options {
+            linear: Some(LinearMode::Replacement),
+            ..Options::default()
+        };
+        let p = Compiler::new(opts).compile_source(SOURCE, "Main").unwrap();
+        let r = p.linear_report.as_ref().unwrap();
+        assert_eq!(r.extracted, 2);
+        assert_eq!(r.collapsed_pipelines, 1);
+        assert_eq!(p.stream.filter_count(), 1);
+        let out = p.run(&[1.0; 16], 4).unwrap();
+        for v in out {
+            assert!((v - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn evaluate_produces_all_strategies() {
+        let p = Compiler::default()
+            .compile_stream(apps::fmradio::fmradio_with_io(4, 16))
+            .unwrap();
+        let cfg = MachineConfig::default();
+        let (base, results) = p.evaluate(&cfg).unwrap();
+        assert_eq!(results.len(), 6);
+        assert!(base.cycles_per_steady > 0);
+        for (s, r) in &results {
+            assert!(
+                r.cycles_per_steady > 0,
+                "strategy {s:?} produced zero cycles"
+            );
+        }
+    }
+
+    #[test]
+    fn strict_verify_rejects_underprimed_loop() {
+        use streamit_graph::builder::*;
+        use streamit_graph::DataType;
+        let body = FilterBuilder::new("adder", DataType::Int)
+            .rates(2, 1, 1)
+            .push(peek(0) + peek(1))
+            .pop_discard()
+            .build_node();
+        let fl = feedback_loop(
+            "fib",
+            streamit_graph::Joiner::RoundRobin(vec![0, 1]),
+            body,
+            streamit_graph::Splitter::Duplicate,
+            identity("lb", DataType::Int),
+            1,
+            |_| Value::Int(0),
+        );
+        let c = Compiler::new(Options {
+            strict_verify: true,
+            ..Options::default()
+        });
+        assert!(matches!(
+            c.compile_stream(fl),
+            Err(CompileError::Verification(_))
+        ));
+    }
+
+    #[test]
+    fn max_latency_from_source_bounds_skew() {
+        // MAX_LATENCY(a, b, 4): the upstream scaler may run at most 4
+        // invocations ahead of the sink's wavefront; execution still
+        // completes and computes the right stream.
+        let src = r#"
+            float->float filter Scale() { work pop 1 push 1 { push(pop() * 2.0); } }
+            float->float filter Sink() { work pop 1 push 1 { push(pop()); } }
+            float->float pipeline Main() {
+                add Scale() as a;
+                add Sink() as b;
+                max_latency a b 4;
+            }
+        "#;
+        let p = Compiler::default().compile_source(src, "Main").unwrap();
+        assert_eq!(p.latencies.len(), 1);
+        let out = p.run(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0], 6).unwrap();
+        assert_eq!(out, vec![2.0, 4.0, 6.0, 8.0, 10.0, 12.0]);
+    }
+
+    #[test]
+    fn geomean_basics() {
+        assert!((geomean([2.0, 8.0]) - 4.0).abs() < 1e-12);
+        assert_eq!(geomean(std::iter::empty::<f64>()), 0.0);
+    }
+}

@@ -1,0 +1,300 @@
+//! Abstract syntax tree of the surface language.
+//!
+//! The AST is deliberately close to the concrete syntax; the elaborator
+//! ([`crate::elaborate`]) is responsible for constant folding, loop
+//! evaluation at graph level, and lowering to the `streamit-graph` IR.
+
+use crate::lexer::SourcePos;
+
+/// Surface item types (`void` marks source/sink boundaries).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AType {
+    Int,
+    Float,
+    Void,
+}
+
+impl AType {
+    /// Convert to an IR data type; `None` for `void`.
+    pub fn to_data_type(self) -> Option<streamit_graph::DataType> {
+        match self {
+            AType::Int => Some(streamit_graph::DataType::Int),
+            AType::Float => Some(streamit_graph::DataType::Float),
+            AType::Void => None,
+        }
+    }
+}
+
+/// `input->output` signature of a stream declaration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamSig {
+    pub input: AType,
+    pub output: AType,
+}
+
+/// A formal parameter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Param {
+    pub name: String,
+    pub ty: AType,
+}
+
+/// A whole source file.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Program {
+    pub decls: Vec<Decl>,
+}
+
+impl Program {
+    /// Find a declaration by name.
+    pub fn find(&self, name: &str) -> Option<&Decl> {
+        self.decls.iter().find(|d| d.name() == name)
+    }
+}
+
+/// Top-level declaration.
+///
+/// `FilterDecl` is much larger than `CompositeDecl`, but programs hold
+/// at most a few dozen declarations, so boxing would only add noise.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug, Clone, PartialEq)]
+pub enum Decl {
+    Filter(FilterDecl),
+    Composite(CompositeDecl),
+}
+
+impl Decl {
+    pub fn name(&self) -> &str {
+        match self {
+            Decl::Filter(f) => &f.name,
+            Decl::Composite(c) => &c.name,
+        }
+    }
+
+    pub fn params(&self) -> &[Param] {
+        match self {
+            Decl::Filter(f) => &f.params,
+            Decl::Composite(c) => &c.params,
+        }
+    }
+}
+
+/// A filter declaration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FilterDecl {
+    pub pos: SourcePos,
+    pub name: String,
+    pub sig: StreamSig,
+    pub params: Vec<Param>,
+    /// State fields (scalars and arrays).
+    pub fields: Vec<FieldDecl>,
+    /// Elaboration-time initializer.
+    pub init: Option<Vec<AStmt>>,
+    pub work: WorkDecl,
+    pub prework: Option<WorkDecl>,
+    pub handlers: Vec<HandlerDecl>,
+}
+
+/// A state field.  `size == None` declares a scalar; otherwise an array
+/// whose length is a compile-time constant expression.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FieldDecl {
+    pub pos: SourcePos,
+    pub name: String,
+    pub ty: AType,
+    pub size: Option<AExpr>,
+}
+
+/// A work (or prework) declaration: rate expressions plus a body.
+/// Omitted rates default to zero.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkDecl {
+    pub pos: SourcePos,
+    pub peek: Option<AExpr>,
+    pub pop: Option<AExpr>,
+    pub push: Option<AExpr>,
+    pub body: Vec<AStmt>,
+}
+
+/// A teleport-message handler.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HandlerDecl {
+    pub pos: SourcePos,
+    pub name: String,
+    pub params: Vec<Param>,
+    pub body: Vec<AStmt>,
+}
+
+/// Which composite construct a declaration builds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CompositeKind {
+    Pipeline,
+    SplitJoin,
+    FeedbackLoop,
+}
+
+/// A composite (pipeline/splitjoin/feedbackloop) declaration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompositeDecl {
+    pub pos: SourcePos,
+    pub kind: CompositeKind,
+    pub name: String,
+    pub sig: StreamSig,
+    pub params: Vec<Param>,
+    pub body: Vec<GStmt>,
+}
+
+/// Instantiation of a named stream with argument expressions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamCall {
+    pub pos: SourcePos,
+    pub name: String,
+    pub args: Vec<AExpr>,
+}
+
+/// Splitter specification as written.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SplitterSpec {
+    Duplicate,
+    /// Empty weight list means uniform round-robin over the children.
+    RoundRobin(Vec<AExpr>),
+    Null,
+}
+
+/// Joiner specification as written.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JoinerSpec {
+    RoundRobin(Vec<AExpr>),
+    Combine,
+    Null,
+}
+
+/// Graph-level statement inside a composite body.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GStmt {
+    pub pos: SourcePos,
+    pub kind: GStmtKind,
+}
+
+/// Graph-level statement kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GStmtKind {
+    /// `add Child(args) [as alias];`
+    Add {
+        stream: StreamCall,
+        alias: Option<String>,
+    },
+    /// `split duplicate;` etc.
+    Split(SplitterSpec),
+    /// `join roundrobin(...);` etc.
+    Join(JoinerSpec),
+    /// `body Child(args);` (feedback loops)
+    Body(StreamCall),
+    /// `loop Child(args);` (feedback loops)
+    Loop(StreamCall),
+    /// `enqueue expr;` — one `initPath` item.
+    Enqueue(AExpr),
+    /// `delay expr;` — expected number of enqueued items (checked).
+    Delay(AExpr),
+    /// `register portal alias;` — register the aliased child's handlers
+    /// on `portal`.
+    Register { portal: String, alias: String },
+    /// `max_latency a b n;` — the appendix's `MAX_LATENCY(a, b, n)`
+    /// directive: child `a` may only progress up to the information
+    /// wavefront child `b` will see within `n` invocations.
+    MaxLatency {
+        a: String,
+        b: String,
+        n: AExpr,
+    },
+    /// Elaboration-time loop over graph statements.
+    For {
+        var: String,
+        from: AExpr,
+        to: AExpr,
+        body: Vec<GStmt>,
+    },
+    /// Elaboration-time conditional.
+    If {
+        cond: AExpr,
+        then_body: Vec<GStmt>,
+        else_body: Vec<GStmt>,
+    },
+    /// Elaboration-time constant binding: `int k = expr;`
+    LetConst {
+        name: String,
+        value: AExpr,
+    },
+}
+
+/// Expression AST.  Intrinsics appear as [`AExpr::Call`] and are resolved
+/// during lowering.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AExpr {
+    Int(i64),
+    Float(f64),
+    Var(String),
+    Index(String, Box<AExpr>),
+    Peek(Box<AExpr>),
+    Pop,
+    Unary(streamit_graph::UnOp, Box<AExpr>),
+    Binary(streamit_graph::BinOp, Box<AExpr>, Box<AExpr>),
+    Call(String, Vec<AExpr>),
+}
+
+/// Assignment target.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ALValue {
+    Var(String),
+    Index(String, AExpr),
+}
+
+/// Imperative statement with position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AStmt {
+    pub pos: SourcePos,
+    pub kind: AStmtKind,
+}
+
+/// Imperative statement kinds (work/init/handler bodies).
+#[derive(Debug, Clone, PartialEq)]
+pub enum AStmtKind {
+    /// Local declaration: scalar (`size == None`) or array.
+    Decl {
+        name: String,
+        ty: AType,
+        size: Option<AExpr>,
+        init: Option<AExpr>,
+    },
+    /// Assignment, optionally compound (`op` is the `+` of `+=`).
+    Assign {
+        target: ALValue,
+        op: Option<streamit_graph::BinOp>,
+        value: AExpr,
+    },
+    /// `push(e);`
+    Push(AExpr),
+    /// Bare expression statement (e.g. `pop();`).
+    Expr(AExpr),
+    /// C-style `for`.  The elaborator requires the canonical counted
+    /// pattern `for (i = a; i < b; i++)`.
+    For {
+        init: Box<AStmt>,
+        cond: AExpr,
+        update: Box<AStmt>,
+        body: Vec<AStmt>,
+    },
+    If {
+        cond: AExpr,
+        then_body: Vec<AStmt>,
+        else_body: Vec<AStmt>,
+    },
+    /// `send portal.handler(args) [lo, hi];`
+    Send {
+        portal: String,
+        handler: String,
+        args: Vec<AExpr>,
+        lo: AExpr,
+        hi: AExpr,
+    },
+}

@@ -1,0 +1,491 @@
+//! Lexer for the StreamIt-rs surface language.
+
+use std::fmt;
+
+/// A position in the source text (1-based line and column).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SourcePos {
+    pub line: u32,
+    pub col: u32,
+}
+
+impl Default for SourcePos {
+    fn default() -> Self {
+        SourcePos { line: 1, col: 1 }
+    }
+}
+
+impl fmt::Display for SourcePos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// Token kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    // Literals and identifiers
+    Int(i64),
+    Float(f64),
+    Ident(String),
+    // Keywords
+    KwInt,
+    KwFloat,
+    KwVoid,
+    KwFilter,
+    KwPipeline,
+    KwSplitjoin,
+    KwFeedbackloop,
+    KwInit,
+    KwWork,
+    KwPrework,
+    KwHandler,
+    KwPeek,
+    KwPop,
+    KwPush,
+    KwAdd,
+    KwSplit,
+    KwJoin,
+    KwBody,
+    KwLoop,
+    KwEnqueue,
+    KwDelay,
+    KwDuplicate,
+    KwRoundrobin,
+    KwCombine,
+    KwNull,
+    KwFor,
+    KwIf,
+    KwElse,
+    KwAs,
+    KwRegister,
+    KwSend,
+    KwPortal,
+    KwMaxLatency,
+    KwTrue,
+    KwFalse,
+    // Punctuation
+    Arrow,     // ->
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    Semi,
+    Comma,
+    Dot,
+    // Operators
+    Assign,    // =
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Percent,
+    Bang,
+    Tilde,
+    Amp,       // &
+    Pipe,      // |
+    Caret,     // ^
+    AmpAmp,
+    PipePipe,
+    EqEq,
+    NotEq,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Shl,
+    Shr,
+    PlusPlus,
+    MinusMinus,
+    PlusAssign,
+    MinusAssign,
+    StarAssign,
+    SlashAssign,
+    Eof,
+}
+
+impl TokenKind {
+    /// Human-readable description used in error messages.
+    pub fn describe(&self) -> String {
+        match self {
+            TokenKind::Int(i) => format!("integer {i}"),
+            TokenKind::Float(x) => format!("float {x}"),
+            TokenKind::Ident(s) => format!("identifier `{s}`"),
+            TokenKind::Eof => "end of input".into(),
+            other => format!("{other:?}"),
+        }
+    }
+}
+
+/// A token with its source position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub pos: SourcePos,
+}
+
+/// A lexing failure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LexError {
+    pub pos: SourcePos,
+    pub message: String,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.pos, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+fn keyword(s: &str) -> Option<TokenKind> {
+    Some(match s {
+        "int" => TokenKind::KwInt,
+        "float" => TokenKind::KwFloat,
+        "void" => TokenKind::KwVoid,
+        "filter" => TokenKind::KwFilter,
+        "pipeline" => TokenKind::KwPipeline,
+        "splitjoin" => TokenKind::KwSplitjoin,
+        "feedbackloop" => TokenKind::KwFeedbackloop,
+        "init" => TokenKind::KwInit,
+        "work" => TokenKind::KwWork,
+        "prework" => TokenKind::KwPrework,
+        "handler" => TokenKind::KwHandler,
+        "peek" => TokenKind::KwPeek,
+        "pop" => TokenKind::KwPop,
+        "push" => TokenKind::KwPush,
+        "add" => TokenKind::KwAdd,
+        "split" => TokenKind::KwSplit,
+        "join" => TokenKind::KwJoin,
+        "body" => TokenKind::KwBody,
+        "loop" => TokenKind::KwLoop,
+        "enqueue" => TokenKind::KwEnqueue,
+        "delay" => TokenKind::KwDelay,
+        "duplicate" => TokenKind::KwDuplicate,
+        "roundrobin" => TokenKind::KwRoundrobin,
+        "combine" => TokenKind::KwCombine,
+        "null" => TokenKind::KwNull,
+        "for" => TokenKind::KwFor,
+        "if" => TokenKind::KwIf,
+        "else" => TokenKind::KwElse,
+        "as" => TokenKind::KwAs,
+        "register" => TokenKind::KwRegister,
+        "send" => TokenKind::KwSend,
+        "portal" => TokenKind::KwPortal,
+        "max_latency" => TokenKind::KwMaxLatency,
+        "true" => TokenKind::KwTrue,
+        "false" => TokenKind::KwFalse,
+        _ => return None,
+    })
+}
+
+/// Tokenize source text.
+pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
+    let bytes = src.as_bytes();
+    let mut toks = Vec::new();
+    let mut i = 0usize;
+    let mut pos = SourcePos::default();
+
+    let advance = |pos: &mut SourcePos, b: u8| {
+        if b == b'\n' {
+            pos.line += 1;
+            pos.col = 1;
+        } else {
+            pos.col += 1;
+        }
+    };
+
+    while i < bytes.len() {
+        let start = pos;
+        let b = bytes[i];
+        // Whitespace
+        if b.is_ascii_whitespace() {
+            advance(&mut pos, b);
+            i += 1;
+            continue;
+        }
+        // Comments
+        if b == b'/' && i + 1 < bytes.len() {
+            if bytes[i + 1] == b'/' {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    advance(&mut pos, bytes[i]);
+                    i += 1;
+                }
+                continue;
+            }
+            if bytes[i + 1] == b'*' {
+                i += 2;
+                pos.col += 2;
+                loop {
+                    if i + 1 >= bytes.len() {
+                        return Err(LexError {
+                            pos: start,
+                            message: "unterminated block comment".into(),
+                        });
+                    }
+                    if bytes[i] == b'*' && bytes[i + 1] == b'/' {
+                        advance(&mut pos, bytes[i]);
+                        advance(&mut pos, bytes[i + 1]);
+                        i += 2;
+                        break;
+                    }
+                    advance(&mut pos, bytes[i]);
+                    i += 1;
+                }
+                continue;
+            }
+        }
+        // Identifiers and keywords
+        if b.is_ascii_alphabetic() || b == b'_' {
+            let s0 = i;
+            while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                advance(&mut pos, bytes[i]);
+                i += 1;
+            }
+            let word = &src[s0..i];
+            let kind = keyword(word).unwrap_or_else(|| TokenKind::Ident(word.to_string()));
+            toks.push(Token { kind, pos: start });
+            continue;
+        }
+        // Numbers
+        if b.is_ascii_digit()
+            || (b == b'.' && i + 1 < bytes.len() && bytes[i + 1].is_ascii_digit())
+        {
+            let s0 = i;
+            let mut is_float = false;
+            while i < bytes.len() && bytes[i].is_ascii_digit() {
+                advance(&mut pos, bytes[i]);
+                i += 1;
+            }
+            if i < bytes.len() && bytes[i] == b'.' {
+                is_float = true;
+                advance(&mut pos, bytes[i]);
+                i += 1;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    advance(&mut pos, bytes[i]);
+                    i += 1;
+                }
+            }
+            if i < bytes.len() && (bytes[i] == b'e' || bytes[i] == b'E') {
+                let save = i;
+                let save_pos = pos;
+                is_float = true;
+                advance(&mut pos, bytes[i]);
+                i += 1;
+                if i < bytes.len() && (bytes[i] == b'+' || bytes[i] == b'-') {
+                    advance(&mut pos, bytes[i]);
+                    i += 1;
+                }
+                if i >= bytes.len() || !bytes[i].is_ascii_digit() {
+                    // Not an exponent after all (e.g. `2.el`): back off.
+                    i = save;
+                    pos = save_pos;
+                    is_float = src[s0..i].contains('.');
+                } else {
+                    while i < bytes.len() && bytes[i].is_ascii_digit() {
+                        advance(&mut pos, bytes[i]);
+                        i += 1;
+                    }
+                }
+            }
+            let text = &src[s0..i];
+            let kind = if is_float {
+                TokenKind::Float(text.parse().map_err(|_| LexError {
+                    pos: start,
+                    message: format!("invalid float literal `{text}`"),
+                })?)
+            } else {
+                TokenKind::Int(text.parse().map_err(|_| LexError {
+                    pos: start,
+                    message: format!("invalid integer literal `{text}`"),
+                })?)
+            };
+            toks.push(Token { kind, pos: start });
+            continue;
+        }
+        // Operators and punctuation.  Match on raw bytes — slicing the
+        // source string two bytes at a time would panic inside multibyte
+        // UTF-8 sequences.
+        let two: &[u8] = if i + 1 < bytes.len() {
+            &bytes[i..i + 2]
+        } else {
+            b""
+        };
+        let (kind, len) = match two {
+            b"->" => (TokenKind::Arrow, 2),
+            b"&&" => (TokenKind::AmpAmp, 2),
+            b"||" => (TokenKind::PipePipe, 2),
+            b"==" => (TokenKind::EqEq, 2),
+            b"!=" => (TokenKind::NotEq, 2),
+            b"<=" => (TokenKind::Le, 2),
+            b">=" => (TokenKind::Ge, 2),
+            b"<<" => (TokenKind::Shl, 2),
+            b">>" => (TokenKind::Shr, 2),
+            b"++" => (TokenKind::PlusPlus, 2),
+            b"--" => (TokenKind::MinusMinus, 2),
+            b"+=" => (TokenKind::PlusAssign, 2),
+            b"-=" => (TokenKind::MinusAssign, 2),
+            b"*=" => (TokenKind::StarAssign, 2),
+            b"/=" => (TokenKind::SlashAssign, 2),
+            _ => match b {
+                b'(' => (TokenKind::LParen, 1),
+                b')' => (TokenKind::RParen, 1),
+                b'{' => (TokenKind::LBrace, 1),
+                b'}' => (TokenKind::RBrace, 1),
+                b'[' => (TokenKind::LBracket, 1),
+                b']' => (TokenKind::RBracket, 1),
+                b';' => (TokenKind::Semi, 1),
+                b',' => (TokenKind::Comma, 1),
+                b'.' => (TokenKind::Dot, 1),
+                b'=' => (TokenKind::Assign, 1),
+                b'+' => (TokenKind::Plus, 1),
+                b'-' => (TokenKind::Minus, 1),
+                b'*' => (TokenKind::Star, 1),
+                b'/' => (TokenKind::Slash, 1),
+                b'%' => (TokenKind::Percent, 1),
+                b'!' => (TokenKind::Bang, 1),
+                b'~' => (TokenKind::Tilde, 1),
+                b'&' => (TokenKind::Amp, 1),
+                b'|' => (TokenKind::Pipe, 1),
+                b'^' => (TokenKind::Caret, 1),
+                b'<' => (TokenKind::Lt, 1),
+                b'>' => (TokenKind::Gt, 1),
+                other => {
+                    // Report the whole (possibly multibyte) character.
+                    let ch = src[i..].chars().next().unwrap_or(other as char);
+                    return Err(LexError {
+                        pos: start,
+                        message: format!("unexpected character `{ch}`"),
+                    })
+                }
+            },
+        };
+        for k in 0..len {
+            advance(&mut pos, bytes[i + k]);
+        }
+        i += len;
+        toks.push(Token { kind, pos: start });
+    }
+    toks.push(Token {
+        kind: TokenKind::Eof,
+        pos,
+    });
+    Ok(toks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lex_basic_filter_header() {
+        let ks = kinds("float->float filter F(int N)");
+        assert_eq!(
+            ks,
+            vec![
+                TokenKind::KwFloat,
+                TokenKind::Arrow,
+                TokenKind::KwFloat,
+                TokenKind::KwFilter,
+                TokenKind::Ident("F".into()),
+                TokenKind::LParen,
+                TokenKind::KwInt,
+                TokenKind::Ident("N".into()),
+                TokenKind::RParen,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn lex_numbers() {
+        assert_eq!(
+            kinds("42 3.5 1e3 2.5e-2"),
+            vec![
+                TokenKind::Int(42),
+                TokenKind::Float(3.5),
+                TokenKind::Float(1000.0),
+                TokenKind::Float(0.025),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lex_comments_skipped() {
+        assert_eq!(
+            kinds("a // line\n /* block\n comment */ b"),
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::Ident("b".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lex_positions_track_lines() {
+        let toks = lex("a\n  b").unwrap();
+        assert_eq!(toks[0].pos, SourcePos { line: 1, col: 1 });
+        assert_eq!(toks[1].pos, SourcePos { line: 2, col: 3 });
+    }
+
+    #[test]
+    fn lex_two_char_operators() {
+        assert_eq!(
+            kinds("<= >= == != && || << >> ++ +="),
+            vec![
+                TokenKind::Le,
+                TokenKind::Ge,
+                TokenKind::EqEq,
+                TokenKind::NotEq,
+                TokenKind::AmpAmp,
+                TokenKind::PipePipe,
+                TokenKind::Shl,
+                TokenKind::Shr,
+                TokenKind::PlusPlus,
+                TokenKind::PlusAssign,
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lex_error_on_garbage() {
+        assert!(lex("a $ b").is_err());
+        assert!(lex("/* unterminated").is_err());
+    }
+
+    proptest::proptest! {
+        /// The lexer never panics: any input produces Ok or a positioned
+        /// error.
+        #[test]
+        fn prop_lexer_total(s in ".{0,200}") {
+            let _ = lex(&s);
+        }
+
+        /// Lexing a rendered integer always produces that integer token.
+        #[test]
+        fn prop_integers_roundtrip(v in 0i64..1_000_000_000) {
+            let toks = lex(&v.to_string()).unwrap();
+            proptest::prop_assert_eq!(&toks[0].kind, &TokenKind::Int(v));
+        }
+
+        /// Identifiers round-trip unless they collide with a keyword.
+        #[test]
+        fn prop_identifiers_roundtrip(s in "[a-zA-Z_][a-zA-Z0-9_]{0,20}") {
+            let toks = lex(&s).unwrap();
+            match &toks[0].kind {
+                TokenKind::Ident(t) => proptest::prop_assert_eq!(t, &s),
+                _ => proptest::prop_assert!(super::keyword(&s).is_some()),
+            }
+        }
+    }
+}

@@ -1,0 +1,121 @@
+//! # streamit-frontend
+//!
+//! The textual surface language of StreamIt-rs and its compiler frontend:
+//! lexer, recursive-descent parser, semantic checks, and the *elaborator*
+//! that partially evaluates parameterized stream declarations down to the
+//! `streamit-graph` IR.
+//!
+//! The language follows the structure of StreamIt (the appendix's Java
+//! embedding, in the cleaner standalone syntax the StreamIt group later
+//! adopted):
+//!
+//! ```text
+//! float->float filter LowPass(int N) {
+//!     float[N] h;
+//!     init {
+//!         for (int i = 0; i < N; i++) h[i] = 1.0 / N;
+//!     }
+//!     work peek N pop 1 push 1 {
+//!         float sum = 0.0;
+//!         for (int i = 0; i < N; i++) sum = sum + peek(i) * h[i];
+//!         push(sum);
+//!         pop();
+//!     }
+//! }
+//!
+//! float->float pipeline Main() {
+//!     add LowPass(16);
+//!     add LowPass(16);
+//! }
+//! ```
+//!
+//! Key design points:
+//!
+//! * **Elaboration is partial evaluation.**  Composite bodies may contain
+//!   `for`/`if` over parameters (used heavily by FFT-style programs);
+//!   filter `init` bodies run *at elaboration time* to fill coefficient
+//!   tables, using the `streamit-interp` evaluator with tape operations
+//!   forbidden.  Every rate and weight must be a compile-time constant —
+//!   this is exactly the paper's static-rate restriction.
+//! * **Teleport messaging** appears as `send portal.handler(args) [lo, hi];`
+//!   in work functions, `handler name(params) { ... }` declarations in
+//!   filters, and `register portal alias;` in composites.
+//! * Errors carry source positions ([`SourcePos`]) end to end.
+
+mod ast;
+mod elaborate;
+mod lexer;
+mod parser;
+
+pub use ast::*;
+pub use elaborate::{
+    elaborate, elaborate_with_args, ElabError, ElabOutput, LatencyDirective, PortalRegistration,
+};
+pub use lexer::{lex, LexError, SourcePos, Token, TokenKind};
+pub use parser::{parse_program, ParseError};
+
+use streamit_graph::StreamNode;
+
+/// One-stop compilation of source text to a validated stream graph,
+/// elaborating the composite named `main_name` with no arguments.
+pub fn compile(source: &str, main_name: &str) -> Result<ElabOutput, FrontendError> {
+    let program = parse_program(source)?;
+    let out = elaborate(&program, main_name)?;
+    let errs = streamit_graph::validate(&out.stream);
+    if errs.is_empty() {
+        Ok(out)
+    } else {
+        Err(FrontendError::Validation(errs))
+    }
+}
+
+/// Compile and return only the stream graph (convenience).
+pub fn compile_stream(source: &str, main_name: &str) -> Result<StreamNode, FrontendError> {
+    compile(source, main_name).map(|o| o.stream)
+}
+
+/// Any frontend failure.
+#[derive(Debug)]
+pub enum FrontendError {
+    Lex(LexError),
+    Parse(ParseError),
+    Elab(ElabError),
+    Validation(Vec<streamit_graph::ValidationError>),
+}
+
+impl std::fmt::Display for FrontendError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrontendError::Lex(e) => write!(f, "lex error: {e}"),
+            FrontendError::Parse(e) => write!(f, "parse error: {e}"),
+            FrontendError::Elab(e) => write!(f, "elaboration error: {e}"),
+            FrontendError::Validation(errs) => {
+                writeln!(f, "validation failed:")?;
+                for e in errs {
+                    writeln!(f, "  {e}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl std::error::Error for FrontendError {}
+
+impl From<LexError> for FrontendError {
+    fn from(e: LexError) -> Self {
+        FrontendError::Lex(e)
+    }
+}
+
+impl From<ParseError> for FrontendError {
+    fn from(e: ParseError) -> Self {
+        FrontendError::Parse(e)
+    }
+}
+
+impl From<ElabError> for FrontendError {
+    fn from(e: ElabError) -> Self {
+        FrontendError::Elab(e)
+    }
+}

@@ -1,0 +1,1142 @@
+//! Recursive-descent parser for the StreamIt-rs surface language.
+
+use crate::ast::*;
+use crate::lexer::{lex, SourcePos, Token, TokenKind};
+use std::fmt;
+use streamit_graph::{BinOp, UnOp};
+
+/// A parse failure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    pub pos: SourcePos,
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.pos, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<crate::lexer::LexError> for ParseError {
+    fn from(e: crate::lexer::LexError) -> Self {
+        ParseError {
+            pos: e.pos,
+            message: e.message,
+        }
+    }
+}
+
+/// Parse a whole source file.
+pub fn parse_program(src: &str) -> Result<Program, ParseError> {
+    let toks = lex(src)?;
+    let mut p = Parser { toks, at: 0 };
+    let mut decls = Vec::new();
+    while !p.is(TokenKind::Eof) {
+        decls.push(p.decl()?);
+    }
+    Ok(Program { decls })
+}
+
+struct Parser {
+    toks: Vec<Token>,
+    at: usize,
+}
+
+type PResult<T> = Result<T, ParseError>;
+
+impl Parser {
+    fn cur(&self) -> &Token {
+        &self.toks[self.at]
+    }
+
+    fn pos(&self) -> SourcePos {
+        self.cur().pos
+    }
+
+    fn is(&self, k: TokenKind) -> bool {
+        self.cur().kind == k
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.toks[self.at].clone();
+        if self.at + 1 < self.toks.len() {
+            self.at += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, k: TokenKind) -> bool {
+        if self.is(k) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, k: TokenKind, what: &str) -> PResult<Token> {
+        if self.cur().kind == k {
+            Ok(self.bump())
+        } else {
+            Err(self.err(format!(
+                "expected {what}, found {}",
+                self.cur().kind.describe()
+            )))
+        }
+    }
+
+    fn err(&self, message: String) -> ParseError {
+        ParseError {
+            pos: self.pos(),
+            message,
+        }
+    }
+
+    fn ident(&mut self, what: &str) -> PResult<String> {
+        match &self.cur().kind {
+            TokenKind::Ident(s) => {
+                let s = s.clone();
+                self.bump();
+                Ok(s)
+            }
+            other => Err(self.err(format!("expected {what}, found {}", other.describe()))),
+        }
+    }
+
+    // ---- types and signatures -------------------------------------
+
+    fn atype(&mut self) -> PResult<AType> {
+        let t = match self.cur().kind {
+            TokenKind::KwInt => AType::Int,
+            TokenKind::KwFloat => AType::Float,
+            TokenKind::KwVoid => AType::Void,
+            _ => {
+                return Err(self.err(format!(
+                    "expected a type (int/float/void), found {}",
+                    self.cur().kind.describe()
+                )))
+            }
+        };
+        self.bump();
+        Ok(t)
+    }
+
+    fn is_type_token(&self) -> bool {
+        matches!(
+            self.cur().kind,
+            TokenKind::KwInt | TokenKind::KwFloat | TokenKind::KwVoid
+        )
+    }
+
+    fn params(&mut self) -> PResult<Vec<Param>> {
+        self.expect(TokenKind::LParen, "`(`")?;
+        let mut ps = Vec::new();
+        if !self.is(TokenKind::RParen) {
+            loop {
+                let ty = self.atype()?;
+                let name = self.ident("parameter name")?;
+                ps.push(Param { name, ty });
+                if !self.eat(TokenKind::Comma) {
+                    break;
+                }
+            }
+        }
+        self.expect(TokenKind::RParen, "`)`")?;
+        Ok(ps)
+    }
+
+    // ---- declarations ----------------------------------------------
+
+    fn decl(&mut self) -> PResult<Decl> {
+        let pos = self.pos();
+        let input = self.atype()?;
+        self.expect(TokenKind::Arrow, "`->`")?;
+        let output = self.atype()?;
+        let sig = StreamSig { input, output };
+        match self.cur().kind {
+            TokenKind::KwFilter => {
+                self.bump();
+                self.filter_decl(pos, sig).map(Decl::Filter)
+            }
+            TokenKind::KwPipeline => {
+                self.bump();
+                self.composite_decl(pos, sig, CompositeKind::Pipeline)
+                    .map(Decl::Composite)
+            }
+            TokenKind::KwSplitjoin => {
+                self.bump();
+                self.composite_decl(pos, sig, CompositeKind::SplitJoin)
+                    .map(Decl::Composite)
+            }
+            TokenKind::KwFeedbackloop => {
+                self.bump();
+                self.composite_decl(pos, sig, CompositeKind::FeedbackLoop)
+                    .map(Decl::Composite)
+            }
+            _ => Err(self.err(format!(
+                "expected filter/pipeline/splitjoin/feedbackloop, found {}",
+                self.cur().kind.describe()
+            ))),
+        }
+    }
+
+    fn filter_decl(&mut self, pos: SourcePos, sig: StreamSig) -> PResult<FilterDecl> {
+        let name = self.ident("filter name")?;
+        let params = self.params()?;
+        self.expect(TokenKind::LBrace, "`{`")?;
+        let mut fields = Vec::new();
+        let mut init = None;
+        let mut work = None;
+        let mut prework = None;
+        let mut handlers = Vec::new();
+        while !self.is(TokenKind::RBrace) {
+            match self.cur().kind {
+                TokenKind::KwInit => {
+                    self.bump();
+                    init = Some(self.block()?);
+                }
+                TokenKind::KwWork => {
+                    let wpos = self.pos();
+                    self.bump();
+                    work = Some(self.work_decl(wpos)?);
+                }
+                TokenKind::KwPrework => {
+                    let wpos = self.pos();
+                    self.bump();
+                    prework = Some(self.work_decl(wpos)?);
+                }
+                TokenKind::KwHandler => {
+                    let hpos = self.pos();
+                    self.bump();
+                    let hname = self.ident("handler name")?;
+                    let hparams = self.params()?;
+                    let body = self.block()?;
+                    handlers.push(HandlerDecl {
+                        pos: hpos,
+                        name: hname,
+                        params: hparams,
+                        body,
+                    });
+                }
+                TokenKind::KwInt | TokenKind::KwFloat => {
+                    fields.push(self.field_decl()?);
+                }
+                _ => {
+                    return Err(self.err(format!(
+                        "expected a field, init, work, prework or handler, found {}",
+                        self.cur().kind.describe()
+                    )))
+                }
+            }
+        }
+        self.expect(TokenKind::RBrace, "`}`")?;
+        let work = work.ok_or_else(|| ParseError {
+            pos,
+            message: format!("filter `{name}` has no work function"),
+        })?;
+        Ok(FilterDecl {
+            pos,
+            name,
+            sig,
+            params,
+            fields,
+            init,
+            work,
+            prework,
+            handlers,
+        })
+    }
+
+    /// `float[N] h;` or `int count;`
+    fn field_decl(&mut self) -> PResult<FieldDecl> {
+        let pos = self.pos();
+        let ty = self.atype()?;
+        let size = if self.eat(TokenKind::LBracket) {
+            let e = self.expr()?;
+            self.expect(TokenKind::RBracket, "`]`")?;
+            Some(e)
+        } else {
+            None
+        };
+        let name = self.ident("field name")?;
+        self.expect(TokenKind::Semi, "`;`")?;
+        Ok(FieldDecl {
+            pos,
+            name,
+            ty,
+            size,
+        })
+    }
+
+    fn work_decl(&mut self, pos: SourcePos) -> PResult<WorkDecl> {
+        let mut peek = None;
+        let mut popr = None;
+        let mut pushr = None;
+        loop {
+            match self.cur().kind {
+                TokenKind::KwPeek => {
+                    self.bump();
+                    peek = Some(self.expr()?);
+                }
+                TokenKind::KwPop => {
+                    self.bump();
+                    popr = Some(self.expr()?);
+                }
+                TokenKind::KwPush => {
+                    self.bump();
+                    pushr = Some(self.expr()?);
+                }
+                _ => break,
+            }
+        }
+        let body = self.block()?;
+        Ok(WorkDecl {
+            pos,
+            peek,
+            pop: popr,
+            push: pushr,
+            body,
+        })
+    }
+
+    fn composite_decl(
+        &mut self,
+        pos: SourcePos,
+        sig: StreamSig,
+        kind: CompositeKind,
+    ) -> PResult<CompositeDecl> {
+        let name = self.ident("stream name")?;
+        let params = self.params()?;
+        self.expect(TokenKind::LBrace, "`{`")?;
+        let body = self.gstmts_until_rbrace()?;
+        self.expect(TokenKind::RBrace, "`}`")?;
+        Ok(CompositeDecl {
+            pos,
+            kind,
+            name,
+            sig,
+            params,
+            body,
+        })
+    }
+
+    // ---- graph statements ------------------------------------------
+
+    fn gstmts_until_rbrace(&mut self) -> PResult<Vec<GStmt>> {
+        let mut out = Vec::new();
+        while !self.is(TokenKind::RBrace) && !self.is(TokenKind::Eof) {
+            out.push(self.gstmt()?);
+        }
+        Ok(out)
+    }
+
+    fn gblock(&mut self) -> PResult<Vec<GStmt>> {
+        if self.eat(TokenKind::LBrace) {
+            let body = self.gstmts_until_rbrace()?;
+            self.expect(TokenKind::RBrace, "`}`")?;
+            Ok(body)
+        } else {
+            Ok(vec![self.gstmt()?])
+        }
+    }
+
+    fn stream_call(&mut self) -> PResult<StreamCall> {
+        let pos = self.pos();
+        let name = self.ident("stream name")?;
+        let mut args = Vec::new();
+        if self.eat(TokenKind::LParen) {
+            if !self.is(TokenKind::RParen) {
+                loop {
+                    args.push(self.expr()?);
+                    if !self.eat(TokenKind::Comma) {
+                        break;
+                    }
+                }
+            }
+            self.expect(TokenKind::RParen, "`)`")?;
+        }
+        Ok(StreamCall { pos, name, args })
+    }
+
+    fn gstmt(&mut self) -> PResult<GStmt> {
+        let pos = self.pos();
+        let kind = match self.cur().kind {
+            TokenKind::KwAdd => {
+                self.bump();
+                let stream = self.stream_call()?;
+                let alias = if self.eat(TokenKind::KwAs) {
+                    Some(self.ident("alias")?)
+                } else {
+                    None
+                };
+                self.expect(TokenKind::Semi, "`;`")?;
+                GStmtKind::Add { stream, alias }
+            }
+            TokenKind::KwSplit => {
+                self.bump();
+                let spec = self.splitter_spec()?;
+                self.expect(TokenKind::Semi, "`;`")?;
+                GStmtKind::Split(spec)
+            }
+            TokenKind::KwJoin => {
+                self.bump();
+                let spec = self.joiner_spec()?;
+                self.expect(TokenKind::Semi, "`;`")?;
+                GStmtKind::Join(spec)
+            }
+            TokenKind::KwBody => {
+                self.bump();
+                let s = self.stream_call()?;
+                self.expect(TokenKind::Semi, "`;`")?;
+                GStmtKind::Body(s)
+            }
+            TokenKind::KwLoop => {
+                self.bump();
+                let s = self.stream_call()?;
+                self.expect(TokenKind::Semi, "`;`")?;
+                GStmtKind::Loop(s)
+            }
+            TokenKind::KwEnqueue => {
+                self.bump();
+                let e = self.expr()?;
+                self.expect(TokenKind::Semi, "`;`")?;
+                GStmtKind::Enqueue(e)
+            }
+            TokenKind::KwDelay => {
+                self.bump();
+                let e = self.expr()?;
+                self.expect(TokenKind::Semi, "`;`")?;
+                GStmtKind::Delay(e)
+            }
+            TokenKind::KwRegister => {
+                self.bump();
+                let portal = self.ident("portal name")?;
+                let alias = self.ident("registered child alias")?;
+                self.expect(TokenKind::Semi, "`;`")?;
+                GStmtKind::Register { portal, alias }
+            }
+            TokenKind::KwMaxLatency => {
+                self.bump();
+                let a = self.ident("upstream child alias")?;
+                let b = self.ident("downstream child alias")?;
+                let n = self.expr()?;
+                self.expect(TokenKind::Semi, "`;`")?;
+                GStmtKind::MaxLatency { a, b, n }
+            }
+            TokenKind::KwFor => {
+                self.bump();
+                self.expect(TokenKind::LParen, "`(`")?;
+                // canonical: int i = a; i < b; i++
+                self.expect(TokenKind::KwInt, "`int` loop variable")?;
+                let var = self.ident("loop variable")?;
+                self.expect(TokenKind::Assign, "`=`")?;
+                let from = self.expr()?;
+                self.expect(TokenKind::Semi, "`;`")?;
+                let cvar = self.ident("loop variable")?;
+                if cvar != var {
+                    return Err(self.err(format!(
+                        "graph for-loop condition must test `{var}`, found `{cvar}`"
+                    )));
+                }
+                self.expect(TokenKind::Lt, "`<`")?;
+                let to = self.expr()?;
+                self.expect(TokenKind::Semi, "`;`")?;
+                let uvar = self.ident("loop variable")?;
+                if uvar != var {
+                    return Err(self.err(format!(
+                        "graph for-loop update must increment `{var}`, found `{uvar}`"
+                    )));
+                }
+                self.expect(TokenKind::PlusPlus, "`++`")?;
+                self.expect(TokenKind::RParen, "`)`")?;
+                let body = self.gblock()?;
+                GStmtKind::For {
+                    var,
+                    from,
+                    to,
+                    body,
+                }
+            }
+            TokenKind::KwIf => {
+                self.bump();
+                self.expect(TokenKind::LParen, "`(`")?;
+                let cond = self.expr()?;
+                self.expect(TokenKind::RParen, "`)`")?;
+                let then_body = self.gblock()?;
+                let else_body = if self.eat(TokenKind::KwElse) {
+                    self.gblock()?
+                } else {
+                    Vec::new()
+                };
+                GStmtKind::If {
+                    cond,
+                    then_body,
+                    else_body,
+                }
+            }
+            TokenKind::KwInt => {
+                self.bump();
+                let name = self.ident("constant name")?;
+                self.expect(TokenKind::Assign, "`=`")?;
+                let value = self.expr()?;
+                self.expect(TokenKind::Semi, "`;`")?;
+                GStmtKind::LetConst { name, value }
+            }
+            _ => {
+                return Err(self.err(format!(
+                    "expected a graph statement, found {}",
+                    self.cur().kind.describe()
+                )))
+            }
+        };
+        Ok(GStmt { pos, kind })
+    }
+
+    fn splitter_spec(&mut self) -> PResult<SplitterSpec> {
+        match self.cur().kind {
+            TokenKind::KwDuplicate => {
+                self.bump();
+                Ok(SplitterSpec::Duplicate)
+            }
+            TokenKind::KwNull => {
+                self.bump();
+                Ok(SplitterSpec::Null)
+            }
+            TokenKind::KwRoundrobin => {
+                self.bump();
+                Ok(SplitterSpec::RoundRobin(self.weight_list()?))
+            }
+            _ => Err(self.err(format!(
+                "expected duplicate/roundrobin/null, found {}",
+                self.cur().kind.describe()
+            ))),
+        }
+    }
+
+    fn joiner_spec(&mut self) -> PResult<JoinerSpec> {
+        match self.cur().kind {
+            TokenKind::KwCombine => {
+                self.bump();
+                Ok(JoinerSpec::Combine)
+            }
+            TokenKind::KwNull => {
+                self.bump();
+                Ok(JoinerSpec::Null)
+            }
+            TokenKind::KwRoundrobin => {
+                self.bump();
+                Ok(JoinerSpec::RoundRobin(self.weight_list()?))
+            }
+            _ => Err(self.err(format!(
+                "expected roundrobin/combine/null, found {}",
+                self.cur().kind.describe()
+            ))),
+        }
+    }
+
+    fn weight_list(&mut self) -> PResult<Vec<AExpr>> {
+        let mut ws = Vec::new();
+        if self.eat(TokenKind::LParen) {
+            if !self.is(TokenKind::RParen) {
+                loop {
+                    ws.push(self.expr()?);
+                    if !self.eat(TokenKind::Comma) {
+                        break;
+                    }
+                }
+            }
+            self.expect(TokenKind::RParen, "`)`")?;
+        }
+        Ok(ws)
+    }
+
+    // ---- imperative statements ---------------------------------------
+
+    fn block(&mut self) -> PResult<Vec<AStmt>> {
+        self.expect(TokenKind::LBrace, "`{`")?;
+        let mut out = Vec::new();
+        while !self.is(TokenKind::RBrace) && !self.is(TokenKind::Eof) {
+            out.push(self.stmt()?);
+        }
+        self.expect(TokenKind::RBrace, "`}`")?;
+        Ok(out)
+    }
+
+    fn block_or_stmt(&mut self) -> PResult<Vec<AStmt>> {
+        if self.is(TokenKind::LBrace) {
+            self.block()
+        } else {
+            Ok(vec![self.stmt()?])
+        }
+    }
+
+    fn stmt(&mut self) -> PResult<AStmt> {
+        let pos = self.pos();
+        // Local declaration (int/float, possibly array) — but beware of
+        // the cast syntax `int(x)`, which is an expression.
+        if self.is_type_token() && !matches!(self.toks[self.at + 1].kind, TokenKind::LParen) {
+            let ty = self.atype()?;
+            let size = if self.eat(TokenKind::LBracket) {
+                let e = self.expr()?;
+                self.expect(TokenKind::RBracket, "`]`")?;
+                Some(e)
+            } else {
+                None
+            };
+            let name = self.ident("variable name")?;
+            let init = if self.eat(TokenKind::Assign) {
+                Some(self.expr()?)
+            } else {
+                None
+            };
+            self.expect(TokenKind::Semi, "`;`")?;
+            return Ok(AStmt {
+                pos,
+                kind: AStmtKind::Decl {
+                    name,
+                    ty,
+                    size,
+                    init,
+                },
+            });
+        }
+        match self.cur().kind {
+            TokenKind::KwPush => {
+                self.bump();
+                self.expect(TokenKind::LParen, "`(`")?;
+                let e = self.expr()?;
+                self.expect(TokenKind::RParen, "`)`")?;
+                self.expect(TokenKind::Semi, "`;`")?;
+                Ok(AStmt {
+                    pos,
+                    kind: AStmtKind::Push(e),
+                })
+            }
+            TokenKind::KwFor => {
+                self.bump();
+                self.expect(TokenKind::LParen, "`(`")?;
+                let init = Box::new(self.simple_stmt_no_semi()?);
+                self.expect(TokenKind::Semi, "`;`")?;
+                let cond = self.expr()?;
+                self.expect(TokenKind::Semi, "`;`")?;
+                let update = Box::new(self.simple_stmt_no_semi()?);
+                self.expect(TokenKind::RParen, "`)`")?;
+                let body = self.block_or_stmt()?;
+                Ok(AStmt {
+                    pos,
+                    kind: AStmtKind::For {
+                        init,
+                        cond,
+                        update,
+                        body,
+                    },
+                })
+            }
+            TokenKind::KwIf => {
+                self.bump();
+                self.expect(TokenKind::LParen, "`(`")?;
+                let cond = self.expr()?;
+                self.expect(TokenKind::RParen, "`)`")?;
+                let then_body = self.block_or_stmt()?;
+                let else_body = if self.eat(TokenKind::KwElse) {
+                    self.block_or_stmt()?
+                } else {
+                    Vec::new()
+                };
+                Ok(AStmt {
+                    pos,
+                    kind: AStmtKind::If {
+                        cond,
+                        then_body,
+                        else_body,
+                    },
+                })
+            }
+            TokenKind::KwSend => {
+                self.bump();
+                let portal = self.ident("portal name")?;
+                self.expect(TokenKind::Dot, "`.`")?;
+                let handler = self.ident("handler name")?;
+                self.expect(TokenKind::LParen, "`(`")?;
+                let mut args = Vec::new();
+                if !self.is(TokenKind::RParen) {
+                    loop {
+                        args.push(self.expr()?);
+                        if !self.eat(TokenKind::Comma) {
+                            break;
+                        }
+                    }
+                }
+                self.expect(TokenKind::RParen, "`)`")?;
+                self.expect(TokenKind::LBracket, "`[`")?;
+                let lo = self.expr()?;
+                self.expect(TokenKind::Comma, "`,`")?;
+                let hi = self.expr()?;
+                self.expect(TokenKind::RBracket, "`]`")?;
+                self.expect(TokenKind::Semi, "`;`")?;
+                Ok(AStmt {
+                    pos,
+                    kind: AStmtKind::Send {
+                        portal,
+                        handler,
+                        args,
+                        lo,
+                        hi,
+                    },
+                })
+            }
+            _ => {
+                let s = self.simple_stmt_no_semi()?;
+                self.expect(TokenKind::Semi, "`;`")?;
+                Ok(s)
+            }
+        }
+    }
+
+    /// Assignment / increment / expression statements (no trailing `;`).
+    /// Also allows `int i = e` as a for-loop initializer.
+    fn simple_stmt_no_semi(&mut self) -> PResult<AStmt> {
+        let pos = self.pos();
+        if (self.is(TokenKind::KwInt) || self.is(TokenKind::KwFloat))
+            && !matches!(self.toks[self.at + 1].kind, TokenKind::LParen) {
+                let ty = self.atype()?;
+                let name = self.ident("variable name")?;
+                self.expect(TokenKind::Assign, "`=`")?;
+                let init = Some(self.expr()?);
+                return Ok(AStmt {
+                    pos,
+                    kind: AStmtKind::Decl {
+                        name,
+                        ty,
+                        size: None,
+                        init,
+                    },
+                });
+            }
+        // Look ahead: IDENT ( [expr] )? (= | op= | ++ | --) → assignment.
+        if let TokenKind::Ident(name) = self.cur().kind.clone() {
+            let save = self.at;
+            self.bump();
+            let target = if self.eat(TokenKind::LBracket) {
+                let e = self.expr()?;
+                self.expect(TokenKind::RBracket, "`]`")?;
+                Some(ALValue::Index(name.clone(), e))
+            } else {
+                Some(ALValue::Var(name.clone()))
+            };
+            let target = target.expect("constructed above");
+            let kind = match self.cur().kind {
+                TokenKind::Assign => {
+                    self.bump();
+                    let value = self.expr()?;
+                    Some(AStmtKind::Assign {
+                        target,
+                        op: None,
+                        value,
+                    })
+                }
+                TokenKind::PlusAssign => {
+                    self.bump();
+                    let value = self.expr()?;
+                    Some(AStmtKind::Assign {
+                        target,
+                        op: Some(BinOp::Add),
+                        value,
+                    })
+                }
+                TokenKind::MinusAssign => {
+                    self.bump();
+                    let value = self.expr()?;
+                    Some(AStmtKind::Assign {
+                        target,
+                        op: Some(BinOp::Sub),
+                        value,
+                    })
+                }
+                TokenKind::StarAssign => {
+                    self.bump();
+                    let value = self.expr()?;
+                    Some(AStmtKind::Assign {
+                        target,
+                        op: Some(BinOp::Mul),
+                        value,
+                    })
+                }
+                TokenKind::SlashAssign => {
+                    self.bump();
+                    let value = self.expr()?;
+                    Some(AStmtKind::Assign {
+                        target,
+                        op: Some(BinOp::Div),
+                        value,
+                    })
+                }
+                TokenKind::PlusPlus => {
+                    self.bump();
+                    Some(AStmtKind::Assign {
+                        target,
+                        op: Some(BinOp::Add),
+                        value: AExpr::Int(1),
+                    })
+                }
+                TokenKind::MinusMinus => {
+                    self.bump();
+                    Some(AStmtKind::Assign {
+                        target,
+                        op: Some(BinOp::Sub),
+                        value: AExpr::Int(1),
+                    })
+                }
+                _ => None,
+            };
+            if let Some(kind) = kind {
+                return Ok(AStmt { pos, kind });
+            }
+            // Not an assignment: rewind and parse as expression.
+            self.at = save;
+        }
+        let e = self.expr()?;
+        Ok(AStmt {
+            pos,
+            kind: AStmtKind::Expr(e),
+        })
+    }
+
+    // ---- expressions -------------------------------------------------
+
+    fn expr(&mut self) -> PResult<AExpr> {
+        self.binary_expr(0)
+    }
+
+    /// Precedence-climbing binary expression parser.
+    fn binary_expr(&mut self, min_prec: u8) -> PResult<AExpr> {
+        let mut lhs = self.unary_expr()?;
+        loop {
+            let (op, prec) = match self.cur().kind {
+                TokenKind::PipePipe => (BinOp::Or, 1),
+                TokenKind::AmpAmp => (BinOp::And, 2),
+                TokenKind::Pipe => (BinOp::BitOr, 3),
+                TokenKind::Caret => (BinOp::BitXor, 4),
+                TokenKind::Amp => (BinOp::BitAnd, 5),
+                TokenKind::EqEq => (BinOp::Eq, 6),
+                TokenKind::NotEq => (BinOp::Ne, 6),
+                TokenKind::Lt => (BinOp::Lt, 7),
+                TokenKind::Le => (BinOp::Le, 7),
+                TokenKind::Gt => (BinOp::Gt, 7),
+                TokenKind::Ge => (BinOp::Ge, 7),
+                TokenKind::Shl => (BinOp::Shl, 8),
+                TokenKind::Shr => (BinOp::Shr, 8),
+                TokenKind::Plus => (BinOp::Add, 9),
+                TokenKind::Minus => (BinOp::Sub, 9),
+                TokenKind::Star => (BinOp::Mul, 10),
+                TokenKind::Slash => (BinOp::Div, 10),
+                TokenKind::Percent => (BinOp::Rem, 10),
+                _ => break,
+            };
+            if prec < min_prec {
+                break;
+            }
+            self.bump();
+            let rhs = self.binary_expr(prec + 1)?;
+            lhs = AExpr::Binary(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn unary_expr(&mut self) -> PResult<AExpr> {
+        match self.cur().kind {
+            TokenKind::Minus => {
+                self.bump();
+                Ok(AExpr::Unary(UnOp::Neg, Box::new(self.unary_expr()?)))
+            }
+            TokenKind::Bang => {
+                self.bump();
+                Ok(AExpr::Unary(UnOp::Not, Box::new(self.unary_expr()?)))
+            }
+            TokenKind::Tilde => {
+                self.bump();
+                Ok(AExpr::Unary(UnOp::BitNot, Box::new(self.unary_expr()?)))
+            }
+            _ => self.primary_expr(),
+        }
+    }
+
+    fn primary_expr(&mut self) -> PResult<AExpr> {
+        let pos = self.pos();
+        match self.cur().kind.clone() {
+            TokenKind::Int(i) => {
+                self.bump();
+                Ok(AExpr::Int(i))
+            }
+            TokenKind::Float(f) => {
+                self.bump();
+                Ok(AExpr::Float(f))
+            }
+            TokenKind::KwTrue => {
+                self.bump();
+                Ok(AExpr::Int(1))
+            }
+            TokenKind::KwFalse => {
+                self.bump();
+                Ok(AExpr::Int(0))
+            }
+            TokenKind::KwPop => {
+                self.bump();
+                self.expect(TokenKind::LParen, "`(`")?;
+                self.expect(TokenKind::RParen, "`)`")?;
+                Ok(AExpr::Pop)
+            }
+            TokenKind::KwPeek => {
+                self.bump();
+                self.expect(TokenKind::LParen, "`(`")?;
+                let e = self.expr()?;
+                self.expect(TokenKind::RParen, "`)`")?;
+                Ok(AExpr::Peek(Box::new(e)))
+            }
+            TokenKind::KwInt => {
+                // `int(e)` cast
+                self.bump();
+                self.expect(TokenKind::LParen, "`(`")?;
+                let e = self.expr()?;
+                self.expect(TokenKind::RParen, "`)`")?;
+                Ok(AExpr::Call("int".into(), vec![e]))
+            }
+            TokenKind::KwFloat => {
+                self.bump();
+                self.expect(TokenKind::LParen, "`(`")?;
+                let e = self.expr()?;
+                self.expect(TokenKind::RParen, "`)`")?;
+                Ok(AExpr::Call("float".into(), vec![e]))
+            }
+            TokenKind::LParen => {
+                self.bump();
+                let e = self.expr()?;
+                self.expect(TokenKind::RParen, "`)`")?;
+                Ok(e)
+            }
+            TokenKind::Ident(name) => {
+                self.bump();
+                if self.eat(TokenKind::LParen) {
+                    let mut args = Vec::new();
+                    if !self.is(TokenKind::RParen) {
+                        loop {
+                            args.push(self.expr()?);
+                            if !self.eat(TokenKind::Comma) {
+                                break;
+                            }
+                        }
+                    }
+                    self.expect(TokenKind::RParen, "`)`")?;
+                    Ok(AExpr::Call(name, args))
+                } else if self.eat(TokenKind::LBracket) {
+                    let e = self.expr()?;
+                    self.expect(TokenKind::RBracket, "`]`")?;
+                    Ok(AExpr::Index(name, Box::new(e)))
+                } else {
+                    Ok(AExpr::Var(name))
+                }
+            }
+            other => Err(ParseError {
+                pos,
+                message: format!("expected an expression, found {}", other.describe()),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FIR: &str = r#"
+        float->float filter Fir(int N) {
+            float[N] h;
+            init {
+                for (int i = 0; i < N; i++) h[i] = 1.0 / N;
+            }
+            work peek N pop 1 push 1 {
+                float sum = 0.0;
+                for (int i = 0; i < N; i++) sum += peek(i) * h[i];
+                push(sum);
+                pop();
+            }
+        }
+    "#;
+
+    #[test]
+    fn parse_fir_filter() {
+        let p = parse_program(FIR).unwrap();
+        assert_eq!(p.decls.len(), 1);
+        match &p.decls[0] {
+            Decl::Filter(f) => {
+                assert_eq!(f.name, "Fir");
+                assert_eq!(f.params.len(), 1);
+                assert_eq!(f.fields.len(), 1);
+                assert!(f.fields[0].size.is_some());
+                assert!(f.init.is_some());
+                assert!(f.work.peek.is_some());
+            }
+            _ => panic!("expected filter"),
+        }
+    }
+
+    #[test]
+    fn parse_pipeline_with_graph_loop() {
+        let src = r#"
+            float->float pipeline Chain(int K) {
+                for (int i = 0; i < K; i++) add Stage(i);
+                if (K > 2) add Extra(); else add Other();
+            }
+        "#;
+        let p = parse_program(src).unwrap();
+        match &p.decls[0] {
+            Decl::Composite(c) => {
+                assert_eq!(c.kind, CompositeKind::Pipeline);
+                assert_eq!(c.body.len(), 2);
+                assert!(matches!(c.body[0].kind, GStmtKind::For { .. }));
+                assert!(matches!(c.body[1].kind, GStmtKind::If { .. }));
+            }
+            _ => panic!("expected composite"),
+        }
+    }
+
+    #[test]
+    fn parse_splitjoin_specs() {
+        let src = r#"
+            float->float splitjoin Eq(int B) {
+                split duplicate;
+                add Band(0);
+                add Band(1);
+                join roundrobin(1, 1);
+            }
+        "#;
+        let p = parse_program(src).unwrap();
+        match &p.decls[0] {
+            Decl::Composite(c) => {
+                assert!(matches!(c.body[0].kind, GStmtKind::Split(SplitterSpec::Duplicate)));
+                match &c.body[3].kind {
+                    GStmtKind::Join(JoinerSpec::RoundRobin(w)) => assert_eq!(w.len(), 2),
+                    other => panic!("unexpected {other:?}"),
+                }
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn parse_feedbackloop() {
+        let src = r#"
+            void->int feedbackloop Fib() {
+                join roundrobin(0, 1);
+                body Adder();
+                split duplicate;
+                loop Id();
+                enqueue 0;
+                enqueue 1;
+                delay 2;
+            }
+        "#;
+        let p = parse_program(src).unwrap();
+        match &p.decls[0] {
+            Decl::Composite(c) => {
+                assert_eq!(c.kind, CompositeKind::FeedbackLoop);
+                assert_eq!(
+                    c.body
+                        .iter()
+                        .filter(|g| matches!(g.kind, GStmtKind::Enqueue(_)))
+                        .count(),
+                    2
+                );
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn parse_send_and_handler() {
+        let src = r#"
+            float->float filter F() {
+                float g;
+                work pop 1 push 1 {
+                    send boost.setGain(2.0) [0, 5];
+                    push(pop() * g);
+                }
+                handler setGain(float v) { g = v; }
+            }
+        "#;
+        let p = parse_program(src).unwrap();
+        match &p.decls[0] {
+            Decl::Filter(f) => {
+                assert_eq!(f.handlers.len(), 1);
+                assert!(matches!(f.work.body[0].kind, AStmtKind::Send { .. }));
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn parse_precedence() {
+        let p = parse_program(
+            "void->int filter F() { work push 1 { push(1 + 2 * 3 == 7); } }",
+        )
+        .unwrap();
+        match &p.decls[0] {
+            Decl::Filter(f) => match &f.work.body[0].kind {
+                AStmtKind::Push(AExpr::Binary(BinOp::Eq, l, _)) => {
+                    assert!(matches!(**l, AExpr::Binary(BinOp::Add, _, _)));
+                }
+                other => panic!("unexpected {other:?}"),
+            },
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn parse_error_has_position() {
+        let err = parse_program("float->float filter F( {").unwrap_err();
+        assert_eq!(err.pos.line, 1);
+        assert!(err.message.contains("expected"));
+    }
+
+    #[test]
+    fn parse_register_and_alias() {
+        let src = r#"
+            void->void pipeline Main() {
+                add Rf(99) as rf;
+                add Check() as chk;
+                register freqHop rf;
+            }
+        "#;
+        let p = parse_program(src).unwrap();
+        match &p.decls[0] {
+            Decl::Composite(c) => {
+                assert!(matches!(
+                    &c.body[2].kind,
+                    GStmtKind::Register { portal, alias }
+                        if portal == "freqHop" && alias == "rf"
+                ));
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn parse_cast_expressions() {
+        let p = parse_program(
+            "int->float filter F() { work pop 1 push 1 { push(float(pop()) / 2.0); } }",
+        )
+        .unwrap();
+        match &p.decls[0] {
+            Decl::Filter(f) => match &f.work.body[0].kind {
+                AStmtKind::Push(AExpr::Binary(_, l, _)) => {
+                    assert!(matches!(&**l, AExpr::Call(n, _) if n == "float"));
+                }
+                other => panic!("unexpected {other:?}"),
+            },
+            _ => panic!(),
+        }
+    }
+}

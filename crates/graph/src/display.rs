@@ -1,0 +1,221 @@
+//! Pretty-printing of stream graphs: an indented textual outline of the
+//! hierarchy and a Graphviz `dot` rendering of the flat graph.
+
+use crate::flat::{FlatGraph, FlatNodeKind};
+use crate::stream::{Joiner, Splitter, StreamNode};
+use std::fmt::Write;
+
+/// Render the hierarchy as an indented outline, one construct per line.
+///
+/// Example output:
+///
+/// ```text
+/// pipeline FMRadio
+///   filter LowPass (peek=64 pop=4 push=1)
+///   filter Demod (peek=2 pop=1 push=1)
+///   splitjoin Equalizer [duplicate -> roundrobin(1,1)]
+///     filter Band0 (peek=64 pop=1 push=1)
+///     filter Band1 (peek=64 pop=1 push=1)
+/// ```
+pub fn outline(stream: &StreamNode) -> String {
+    let mut out = String::new();
+    go(stream, 0, &mut out);
+    out
+}
+
+fn splitter_str(s: &Splitter) -> String {
+    match s {
+        Splitter::Duplicate => "duplicate".into(),
+        Splitter::Null => "null".into(),
+        Splitter::RoundRobin(w) => {
+            if w.iter().all(|&x| x == 1) {
+                "roundrobin".into()
+            } else {
+                format!(
+                    "roundrobin({})",
+                    w.iter()
+                        .map(u64::to_string)
+                        .collect::<Vec<_>>()
+                        .join(",")
+                )
+            }
+        }
+    }
+}
+
+fn joiner_str(j: &Joiner) -> String {
+    match j {
+        Joiner::Combine => "combine".into(),
+        Joiner::Null => "null".into(),
+        Joiner::RoundRobin(w) => {
+            if w.iter().all(|&x| x == 1) {
+                "roundrobin".into()
+            } else {
+                format!(
+                    "roundrobin({})",
+                    w.iter()
+                        .map(u64::to_string)
+                        .collect::<Vec<_>>()
+                        .join(",")
+                )
+            }
+        }
+    }
+}
+
+fn go(stream: &StreamNode, depth: usize, out: &mut String) {
+    let pad = "  ".repeat(depth);
+    match stream {
+        StreamNode::Filter(f) => {
+            let _ = writeln!(
+                out,
+                "{pad}filter {} (peek={} pop={} push={}){}{}",
+                f.name,
+                f.peek,
+                f.pop,
+                f.push,
+                if f.is_stateful() { " [stateful]" } else { "" },
+                if f.is_peeking() { " [peeking]" } else { "" },
+            );
+        }
+        StreamNode::Pipeline(p) => {
+            let _ = writeln!(out, "{pad}pipeline {}", p.name);
+            for c in &p.children {
+                go(c, depth + 1, out);
+            }
+        }
+        StreamNode::SplitJoin(sj) => {
+            let _ = writeln!(
+                out,
+                "{pad}splitjoin {} [{} -> {}]",
+                sj.name,
+                splitter_str(&sj.splitter),
+                joiner_str(&sj.joiner)
+            );
+            for c in &sj.children {
+                go(c, depth + 1, out);
+            }
+        }
+        StreamNode::FeedbackLoop(l) => {
+            let _ = writeln!(
+                out,
+                "{pad}feedbackloop {} [{} -> {}, delay={}]",
+                l.name,
+                joiner_str(&l.joiner),
+                splitter_str(&l.splitter),
+                l.delay
+            );
+            let _ = writeln!(out, "{pad}  body:");
+            go(&l.body, depth + 2, out);
+            let _ = writeln!(out, "{pad}  loop:");
+            go(&l.loopback, depth + 2, out);
+        }
+    }
+}
+
+/// Render the flat graph in Graphviz `dot` syntax.
+pub fn dot(graph: &FlatGraph) -> String {
+    let mut out = String::from("digraph stream {\n  rankdir=TB;\n");
+    for n in &graph.nodes {
+        let (shape, label) = match &n.kind {
+            FlatNodeKind::Filter(f) => (
+                "box",
+                format!("{}\\n{},{},{}", n.name, f.peek, f.pop, f.push),
+            ),
+            FlatNodeKind::Splitter(s) => ("triangle", format!("{}\\n{}", n.name, splitter_str(s))),
+            FlatNodeKind::Joiner(j) => (
+                "invtriangle",
+                format!("{}\\n{}", n.name, joiner_str(j)),
+            ),
+        };
+        let _ = writeln!(out, "  {} [shape={shape}, label=\"{label}\"];", n.id);
+    }
+    for e in &graph.edges {
+        let style = if e.is_back_edge {
+            " [style=dashed]"
+        } else {
+            ""
+        };
+        let _ = writeln!(out, "  {} -> {}{};", e.src, e.dst, style);
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::*;
+    use crate::types::DataType;
+
+    #[test]
+    fn outline_contains_structure() {
+        let p = pipeline(
+            "radio",
+            vec![
+                identity("in", DataType::Float),
+                splitjoin(
+                    "eq",
+                    Splitter::Duplicate,
+                    vec![
+                        identity("b0", DataType::Float),
+                        identity("b1", DataType::Float),
+                    ],
+                    Joiner::round_robin(2),
+                ),
+            ],
+        );
+        let text = outline(&p);
+        assert!(text.contains("pipeline radio"));
+        assert!(text.contains("splitjoin eq [duplicate -> roundrobin]"));
+        assert!(text.contains("filter b0"));
+    }
+
+    #[test]
+    fn outline_renders_feedback_loops() {
+        let fl = feedback_loop(
+            "fib",
+            crate::Joiner::RoundRobin(vec![0, 1]),
+            identity("body", DataType::Int),
+            crate::Splitter::Duplicate,
+            identity("lb", DataType::Int),
+            2,
+            |i| crate::Value::Int(i as i64),
+        );
+        let text = outline(&fl);
+        assert!(text.contains("feedbackloop fib"));
+        assert!(text.contains("delay=2"));
+        assert!(text.contains("body:"));
+        assert!(text.contains("loop:"));
+    }
+
+    #[test]
+    fn dot_marks_back_edges_dashed() {
+        let fl = feedback_loop(
+            "fib",
+            crate::Joiner::RoundRobin(vec![0, 1]),
+            identity("body", DataType::Int),
+            crate::Splitter::Duplicate,
+            identity("lb", DataType::Int),
+            1,
+            |_| crate::Value::Int(0),
+        );
+        let g = crate::flat::FlatGraph::from_stream(&fl);
+        let d = dot(&g);
+        assert!(d.contains("style=dashed"));
+    }
+
+    #[test]
+    fn dot_mentions_all_nodes() {
+        let p = pipeline(
+            "p",
+            vec![identity("a", DataType::Int), identity("b", DataType::Int)],
+        );
+        let g = crate::flat::FlatGraph::from_stream(&p);
+        let d = dot(&g);
+        assert!(d.contains("digraph"));
+        assert!(d.contains("n0"));
+        assert!(d.contains("n1"));
+        assert!(d.contains("n0 -> n1"));
+    }
+}

@@ -1,0 +1,447 @@
+//! Steady-state balance equations and the repetition vector.
+//!
+//! In the paper's static-rate (synchronous dataflow) model, a *steady
+//! state* is a multiset of node firings after which every channel returns
+//! to its starting occupancy.  For each edge `(u → v)` the balance
+//! equation is
+//!
+//! ```text
+//! reps[u] * production(u on edge) = reps[v] * consumption(v on edge)
+//! ```
+//!
+//! The minimal positive integer solution (the repetition vector) exists
+//! iff the rates are consistent; inconsistency means some buffer grows
+//! without bound — the paper's split-join overflow condition.
+//!
+//! Solved with exact rational arithmetic (u128 fractions), so even large
+//! weight products (DES/Serpent-style graphs) stay exact.
+
+use crate::flat::{EdgeId, FlatGraph, FlatNodeKind, NodeId};
+use crate::stream::{Joiner, Splitter};
+
+/// Why balance equations could not be solved.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SteadyError {
+    /// An edge's production/consumption rates are inconsistent with the
+    /// rest of the graph: its buffer would grow (or starve) without
+    /// bound.  This is the overflow condition of the paper.
+    Inconsistent { edge: EdgeId },
+    /// Repetition counts overflowed the integer range (absurd weights).
+    TooLarge,
+}
+
+impl std::fmt::Display for SteadyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SteadyError::Inconsistent { edge } => {
+                write!(f, "inconsistent rates on edge {edge}")
+            }
+            SteadyError::TooLarge => write!(f, "repetition vector exceeds integer range"),
+        }
+    }
+}
+
+impl std::error::Error for SteadyError {}
+
+fn gcd(a: u128, b: u128) -> u128 {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
+}
+
+/// A non-negative rational with canonical form.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Ratio {
+    num: u128,
+    den: u128,
+}
+
+impl Ratio {
+    fn new(num: u128, den: u128) -> Option<Ratio> {
+        if den == 0 {
+            return None;
+        }
+        if num == 0 {
+            return Some(Ratio { num: 0, den: 1 });
+        }
+        let g = gcd(num, den);
+        Some(Ratio {
+            num: num / g,
+            den: den / g,
+        })
+    }
+
+    fn mul(self, num: u128, den: u128) -> Option<Ratio> {
+        // (self.num / self.den) * (num / den), reducing eagerly.
+        let g1 = gcd(self.num.max(1), den.max(1));
+        let g2 = gcd(num.max(1), self.den.max(1));
+        let n = (self.num / g1).checked_mul(num / g2)?;
+        let d = (self.den / g2).checked_mul(den / g1)?;
+        Ratio::new(n, d)
+    }
+}
+
+impl FlatGraph {
+    /// Items produced per firing onto each *actual* outgoing edge, in
+    /// port order, accounting for a feedback splitter's missing external
+    /// port (its weights map to the trailing edges).
+    pub fn production_rates(&self, id: NodeId) -> Vec<u64> {
+        let n = self.node(id);
+        match &n.kind {
+            FlatNodeKind::Filter(f) => n.outputs.iter().map(|_| f.push as u64).collect(),
+            FlatNodeKind::Splitter(s) => {
+                let n_out = n.outputs.len();
+                let arity = match s {
+                    Splitter::RoundRobin(w) => w.len().max(n_out),
+                    _ => n_out,
+                };
+                let off = arity - n_out;
+                (0..n_out).map(|p| s.push_rate(p + off)).collect()
+            }
+            FlatNodeKind::Joiner(j) => {
+                let n_in = n.inputs.len();
+                let arity = match j {
+                    Joiner::RoundRobin(w) => w.len().max(n_in),
+                    _ => n_in,
+                };
+                n.outputs.iter().map(|_| j.push_rate(arity)).collect()
+            }
+        }
+    }
+
+    /// Items consumed per firing from each *actual* incoming edge, in
+    /// port order, with the same feedback-port convention.
+    pub fn consumption_rates(&self, id: NodeId) -> Vec<u64> {
+        let n = self.node(id);
+        match &n.kind {
+            FlatNodeKind::Filter(f) => n.inputs.iter().map(|_| f.pop as u64).collect(),
+            FlatNodeKind::Splitter(s) => n.inputs.iter().map(|_| s.pop_rate()).collect(),
+            FlatNodeKind::Joiner(j) => {
+                let n_in = n.inputs.len();
+                let arity = match j {
+                    Joiner::RoundRobin(w) => w.len().max(n_in),
+                    _ => n_in,
+                };
+                let off = arity - n_in;
+                (0..n_in).map(|p| j.pop_rate(p + off)).collect()
+            }
+        }
+    }
+
+    /// Extra items (beyond `pop`) a node must see before firing — the
+    /// sliding-window surplus `peek - pop` of a peeking filter.
+    pub fn peek_extra(&self, id: NodeId) -> u64 {
+        match &self.node(id).kind {
+            FlatNodeKind::Filter(f) => (f.peek.max(f.pop) - f.pop) as u64,
+            _ => 0,
+        }
+    }
+}
+
+/// Compute the minimal repetition vector of a flat graph.
+///
+/// Returns `reps` with `reps[node.0]` = firings per steady state.
+/// Disconnected components are each normalized independently.
+pub fn repetition_vector(g: &FlatGraph) -> Result<Vec<u64>, SteadyError> {
+    let n = g.nodes.len();
+    let mut rate: Vec<Option<Ratio>> = vec![None; n];
+
+    for start in 0..n {
+        if rate[start].is_some() {
+            continue;
+        }
+        rate[start] = Some(Ratio { num: 1, den: 1 });
+        let mut stack = vec![NodeId(start)];
+        while let Some(u) = stack.pop() {
+            let ru = rate[u.0].expect("assigned before push");
+            // Outgoing edges: rate_v = rate_u * prod / cons.
+            let prods = g.production_rates(u);
+            for (p, &eid) in g.node(u).outputs.iter().enumerate() {
+                let e = g.edge(eid);
+                let prod = prods[p] as u128;
+                let v = e.dst;
+                let cons_rates = g.consumption_rates(v);
+                let port = g.node(v).inputs.iter().position(|&x| x == eid).expect("edge in dst inputs");
+                let cons = cons_rates[port] as u128;
+                match (prod, cons) {
+                    (0, 0) => continue,
+                    (0, _) | (_, 0) => {
+                        return Err(SteadyError::Inconsistent { edge: eid });
+                    }
+                    _ => {}
+                }
+                let rv = ru.mul(prod, cons).ok_or(SteadyError::TooLarge)?;
+                match rate[v.0] {
+                    None => {
+                        rate[v.0] = Some(rv);
+                        stack.push(v);
+                    }
+                    Some(existing) => {
+                        if existing != rv {
+                            return Err(SteadyError::Inconsistent { edge: eid });
+                        }
+                    }
+                }
+            }
+            // Incoming edges (needed to reach upstream components).
+            let conss = g.consumption_rates(u);
+            for (p, &eid) in g.node(u).inputs.iter().enumerate() {
+                let e = g.edge(eid);
+                let cons = conss[p] as u128;
+                let v = e.src;
+                let prod_rates = g.production_rates(v);
+                let port = g
+                    .node(v)
+                    .outputs
+                    .iter()
+                    .position(|&x| x == eid)
+                    .expect("edge in src outputs");
+                let prod = prod_rates[port] as u128;
+                match (prod, cons) {
+                    (0, 0) => continue,
+                    (0, _) | (_, 0) => {
+                        return Err(SteadyError::Inconsistent { edge: eid });
+                    }
+                    _ => {}
+                }
+                let rv = ru.mul(cons, prod).ok_or(SteadyError::TooLarge)?;
+                match rate[v.0] {
+                    None => {
+                        rate[v.0] = Some(rv);
+                        stack.push(v);
+                    }
+                    Some(existing) => {
+                        if existing != rv {
+                            return Err(SteadyError::Inconsistent { edge: eid });
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // Scale to smallest integers: multiply by lcm of denominators, then
+    // divide by gcd of numerators (per connected component we just use
+    // the global normalization; components are independent anyway).
+    let mut l: u128 = 1;
+    for r in rate.iter().flatten() {
+        let g_ = gcd(l, r.den);
+        l = l.checked_mul(r.den / g_).ok_or(SteadyError::TooLarge)?;
+    }
+    let nums: Vec<u128> = rate
+        .iter()
+        .map(|r| {
+            let r = r.expect("all nodes assigned");
+            r.num
+                .checked_mul(l / r.den)
+                .ok_or(SteadyError::TooLarge)
+        })
+        .collect::<Result<_, _>>()?;
+    let g_all = nums.iter().fold(0u128, |acc, &x| gcd(acc, x)).max(1);
+    nums.iter()
+        .map(|&x| {
+            let v = x / g_all;
+            u64::try_from(v).map_err(|_| SteadyError::TooLarge)
+        })
+        .collect()
+}
+
+/// Items crossing each edge per steady state.
+pub fn steady_flows(g: &FlatGraph, reps: &[u64]) -> Vec<u64> {
+    g.edges
+        .iter()
+        .map(|e| {
+            let prods = g.production_rates(e.src);
+            let port = g
+                .node(e.src)
+                .outputs
+                .iter()
+                .position(|&x| x == e.id)
+                .expect("edge in src outputs");
+            prods[port] * reps[e.src.0]
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::*;
+    use crate::types::{DataType, Value};
+    use crate::{Joiner, Splitter, StreamNode};
+
+    fn rate_filter(name: &str, pop: usize, push: usize) -> StreamNode {
+        FilterBuilder::new(name, DataType::Int)
+            .rates(pop, pop, push)
+            .work(|mut b| {
+                for _ in 0..push {
+                    b = b.push(lit(0i64));
+                }
+                for _ in 0..pop {
+                    b = b.pop_discard();
+                }
+                b
+            })
+            .build_node()
+    }
+
+    #[test]
+    fn uniform_pipeline_has_unit_reps() {
+        let g = crate::FlatGraph::from_stream(&pipeline(
+            "p",
+            vec![
+                identity("a", DataType::Int),
+                identity("b", DataType::Int),
+                identity("c", DataType::Int),
+            ],
+        ));
+        assert_eq!(repetition_vector(&g).unwrap(), vec![1, 1, 1]);
+    }
+
+    #[test]
+    fn up_down_sampler_reps() {
+        // a: 1->2, b: 3->1  =>  reps a=3, b=2
+        let g = crate::FlatGraph::from_stream(&pipeline(
+            "p",
+            vec![rate_filter("a", 1, 2), rate_filter("b", 3, 1)],
+        ));
+        assert_eq!(repetition_vector(&g).unwrap(), vec![3, 2]);
+    }
+
+    #[test]
+    fn splitjoin_weighted_reps() {
+        let sj = splitjoin(
+            "sj",
+            Splitter::RoundRobin(vec![2, 1]),
+            vec![identity("a", DataType::Int), identity("b", DataType::Int)],
+            Joiner::RoundRobin(vec![2, 1]),
+        );
+        let g = crate::FlatGraph::from_stream(&sj);
+        let reps = repetition_vector(&g).unwrap();
+        // split fires 1, a fires 2, b fires 1, join fires 1
+        let by_name = |suffix: &str| {
+            g.nodes
+                .iter()
+                .find(|n| n.name.ends_with(suffix))
+                .map(|n| reps[n.id.0])
+                .unwrap()
+        };
+        assert_eq!(by_name("/split"), 1);
+        assert_eq!(by_name("/a"), 2);
+        assert_eq!(by_name("/b"), 1);
+        assert_eq!(by_name("/join"), 1);
+    }
+
+    #[test]
+    fn inconsistent_splitjoin_detected() {
+        // Splitter sends 1 item to each branch; branch b doubles items;
+        // joiner expects 1 from each: b's buffer grows without bound.
+        let sj = splitjoin(
+            "sj",
+            Splitter::round_robin(2),
+            vec![identity("a", DataType::Int), rate_filter("b", 1, 2)],
+            Joiner::round_robin(2),
+        );
+        let g = crate::FlatGraph::from_stream(&sj);
+        assert!(matches!(
+            repetition_vector(&g),
+            Err(SteadyError::Inconsistent { .. })
+        ));
+    }
+
+    #[test]
+    fn feedback_loop_reps_solve() {
+        let body = FilterBuilder::new("adder", DataType::Int)
+            .rates(2, 1, 1)
+            .push(peek(0) + peek(1))
+            .pop_discard()
+            .build_node();
+        let fl = feedback_loop(
+            "fib",
+            Joiner::RoundRobin(vec![0, 1]),
+            body,
+            Splitter::Duplicate,
+            identity("lb", DataType::Int),
+            2,
+            |i| Value::Int(i as i64),
+        );
+        let g = crate::FlatGraph::from_stream(&fl);
+        let reps = repetition_vector(&g).unwrap();
+        assert!(reps.iter().all(|&r| r == 1), "reps = {reps:?}");
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn prop_flows_conserve_on_random_pipelines(
+            rates in proptest::collection::vec((1usize..5, 1usize..5), 1..6),
+        ) {
+            let children: Vec<StreamNode> = rates
+                .iter()
+                .enumerate()
+                .map(|(i, &(pop, push))| rate_filter(&format!("f{i}"), pop, push))
+                .collect();
+            let g = crate::FlatGraph::from_stream(&pipeline("p", children));
+            let reps = repetition_vector(&g).unwrap();
+            proptest::prop_assert!(reps.iter().all(|&r| r >= 1));
+            let flows = steady_flows(&g, &reps);
+            for e in &g.edges {
+                let conss = g.consumption_rates(e.dst);
+                let port = g
+                    .node(e.dst)
+                    .inputs
+                    .iter()
+                    .position(|&x| x == e.id)
+                    .unwrap();
+                proptest::prop_assert_eq!(flows[e.id.0], conss[port] * reps[e.dst.0]);
+            }
+            // Minimality: the gcd of all repetition counts is 1.
+            let g_all = reps.iter().fold(0u64, |a, &b| {
+                fn gcd(a: u64, b: u64) -> u64 { if b == 0 { a } else { gcd(b, a % b) } }
+                gcd(a, b)
+            });
+            proptest::prop_assert_eq!(g_all, 1);
+        }
+
+        #[test]
+        fn prop_splitjoin_reps_solve(
+            w1 in 1u64..5,
+            w2 in 1u64..5,
+        ) {
+            let sj = splitjoin(
+                "sj",
+                Splitter::RoundRobin(vec![w1, w2]),
+                vec![identity("a", DataType::Int), identity("b", DataType::Int)],
+                Joiner::RoundRobin(vec![w1, w2]),
+            );
+            let g = crate::FlatGraph::from_stream(&sj);
+            let reps = repetition_vector(&g).unwrap();
+            let flows = steady_flows(&g, &reps);
+            // Every edge's flow is positive and balanced.
+            for e in &g.edges {
+                proptest::prop_assert!(flows[e.id.0] > 0);
+            }
+        }
+    }
+
+    #[test]
+    fn steady_flows_match_both_endpoints() {
+        let g = crate::FlatGraph::from_stream(&pipeline(
+            "p",
+            vec![rate_filter("a", 1, 3), rate_filter("b", 2, 1)],
+        ));
+        let reps = repetition_vector(&g).unwrap();
+        let flows = steady_flows(&g, &reps);
+        for e in &g.edges {
+            let conss = g.consumption_rates(e.dst);
+            let port = g
+                .node(e.dst)
+                .inputs
+                .iter()
+                .position(|&x| x == e.id)
+                .unwrap();
+            assert_eq!(flows[e.id.0], conss[port] * reps[e.dst.0]);
+        }
+    }
+}

@@ -1,0 +1,325 @@
+//! Hierarchical stream constructs: pipelines, split-joins, feedback loops.
+
+use crate::filter::Filter;
+use crate::types::{DataType, Value};
+
+/// A splitter distributes the items of one input tape over several output
+/// tapes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Splitter {
+    /// Copy every input item to every output (`DUPLICATE`).
+    Duplicate,
+    /// Weighted round-robin: per firing, route `w[0]` items to output 0,
+    /// then `w[1]` to output 1, and so on (`ROUND_ROBIN` /
+    /// `WEIGHTED_ROUND_ROBIN`).  The uniform round-robin of the paper is
+    /// `RoundRobin(vec![1; n])`.
+    RoundRobin(Vec<u64>),
+    /// Null splitter: children take no input (`NULL`).
+    Null,
+}
+
+impl Splitter {
+    /// Uniform round-robin over `n` outputs.
+    pub fn round_robin(n: usize) -> Splitter {
+        Splitter::RoundRobin(vec![1; n])
+    }
+
+    /// Items consumed from the input per splitter firing.
+    pub fn pop_rate(&self) -> u64 {
+        match self {
+            Splitter::Duplicate => 1,
+            Splitter::RoundRobin(w) => w.iter().sum(),
+            Splitter::Null => 0,
+        }
+    }
+
+    /// Items pushed to output `i` per firing.
+    pub fn push_rate(&self, i: usize) -> u64 {
+        match self {
+            Splitter::Duplicate => 1,
+            Splitter::RoundRobin(w) => w[i],
+            Splitter::Null => 0,
+        }
+    }
+
+    /// Number of outputs this splitter is configured for, if fixed by the
+    /// weight vector (`None` for duplicate/null, which adapt to any width).
+    pub fn arity(&self) -> Option<usize> {
+        match self {
+            Splitter::RoundRobin(w) => Some(w.len()),
+            _ => None,
+        }
+    }
+}
+
+/// A joiner merges several input tapes into one output tape.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Joiner {
+    /// Weighted round-robin: per firing, take `w[0]` items from input 0,
+    /// then `w[1]` from input 1, and so on.
+    RoundRobin(Vec<u64>),
+    /// Combine joiner (`COMBINE`): per firing, take one item from every
+    /// input and emit their element-wise combination (sum).  This is the
+    /// dual of [`Splitter::Duplicate`]; its transfer functions are given
+    /// in the paper.
+    Combine,
+    /// Null joiner: children produce no output.
+    Null,
+}
+
+impl Joiner {
+    /// Uniform round-robin over `n` inputs.
+    pub fn round_robin(n: usize) -> Joiner {
+        Joiner::RoundRobin(vec![1; n])
+    }
+
+    /// Items consumed from input `i` per joiner firing.
+    pub fn pop_rate(&self, i: usize) -> u64 {
+        match self {
+            Joiner::RoundRobin(w) => w[i],
+            Joiner::Combine => 1,
+            Joiner::Null => 0,
+        }
+    }
+
+    /// Items pushed to the output per firing.
+    pub fn push_rate(&self, n_inputs: usize) -> u64 {
+        match self {
+            Joiner::RoundRobin(w) => w.iter().sum(),
+            Joiner::Combine => 1,
+            Joiner::Null => {
+                let _ = n_inputs;
+                0
+            }
+        }
+    }
+
+    /// Number of inputs fixed by the weight vector, if any.
+    pub fn arity(&self) -> Option<usize> {
+        match self {
+            Joiner::RoundRobin(w) => Some(w.len()),
+            _ => None,
+        }
+    }
+}
+
+/// Sequential composition of streams.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Pipeline {
+    pub name: String,
+    pub children: Vec<StreamNode>,
+}
+
+/// Parallel composition between a splitter and a joiner.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SplitJoin {
+    pub name: String,
+    pub splitter: Splitter,
+    pub children: Vec<StreamNode>,
+    pub joiner: Joiner,
+}
+
+/// A cycle in the stream graph.
+///
+/// Data enters through input 0 of `joiner`; the joiner's output feeds
+/// `body`; the body's output feeds `splitter`; splitter output 0 is the
+/// loop's external output, and splitter output 1 feeds `loopback`, whose
+/// output returns to input 1 of the joiner.
+///
+/// The loop is primed with `delay` items produced by `init_path`
+/// (the appendix's `initPath`/`setDelay`), modelled as initial items on
+/// the loopback→joiner channel.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FeedbackLoop {
+    pub name: String,
+    pub joiner: Joiner,
+    pub body: Box<StreamNode>,
+    pub splitter: Splitter,
+    pub loopback: Box<StreamNode>,
+    /// Number of initial items on the feedback path.
+    pub delay: usize,
+    /// The initial items themselves (`init_path.len() == delay`).
+    pub init_path: Vec<Value>,
+}
+
+/// Any single-input single-output stream.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StreamNode {
+    Filter(Filter),
+    Pipeline(Pipeline),
+    SplitJoin(SplitJoin),
+    FeedbackLoop(FeedbackLoop),
+}
+
+impl StreamNode {
+    /// The instance name of this node.
+    pub fn name(&self) -> &str {
+        match self {
+            StreamNode::Filter(f) => &f.name,
+            StreamNode::Pipeline(p) => &p.name,
+            StreamNode::SplitJoin(s) => &s.name,
+            StreamNode::FeedbackLoop(l) => &l.name,
+        }
+    }
+
+    /// Input item type of the whole construct (`None` for sources and
+    /// null-split split-joins of sources).
+    pub fn input_type(&self) -> Option<DataType> {
+        match self {
+            StreamNode::Filter(f) => f.input,
+            StreamNode::Pipeline(p) => p.children.first().and_then(StreamNode::input_type),
+            StreamNode::SplitJoin(s) => {
+                if matches!(s.splitter, Splitter::Null) {
+                    None
+                } else {
+                    s.children.iter().find_map(StreamNode::input_type)
+                }
+            }
+            StreamNode::FeedbackLoop(l) => l.body.input_type(),
+        }
+    }
+
+    /// Output item type of the whole construct (`None` for sinks).
+    pub fn output_type(&self) -> Option<DataType> {
+        match self {
+            StreamNode::Filter(f) => f.output,
+            StreamNode::Pipeline(p) => p.children.last().and_then(StreamNode::output_type),
+            StreamNode::SplitJoin(s) => {
+                if matches!(s.joiner, Joiner::Null) {
+                    None
+                } else {
+                    s.children.iter().rev().find_map(StreamNode::output_type)
+                }
+            }
+            StreamNode::FeedbackLoop(l) => l.body.output_type(),
+        }
+    }
+
+    /// Total number of filters in this subtree.
+    pub fn filter_count(&self) -> usize {
+        let mut n = 0;
+        self.visit_filters(&mut |_| n += 1);
+        n
+    }
+
+    /// Visit every filter in the subtree, depth-first.
+    pub fn visit_filters<'a>(&'a self, f: &mut impl FnMut(&'a Filter)) {
+        match self {
+            StreamNode::Filter(flt) => f(flt),
+            StreamNode::Pipeline(p) => {
+                for c in &p.children {
+                    c.visit_filters(f);
+                }
+            }
+            StreamNode::SplitJoin(s) => {
+                for c in &s.children {
+                    c.visit_filters(f);
+                }
+            }
+            StreamNode::FeedbackLoop(l) => {
+                l.body.visit_filters(f);
+                l.loopback.visit_filters(f);
+            }
+        }
+    }
+
+    /// Visit every filter mutably, depth-first.
+    pub fn visit_filters_mut(&mut self, f: &mut impl FnMut(&mut Filter)) {
+        match self {
+            StreamNode::Filter(flt) => f(flt),
+            StreamNode::Pipeline(p) => {
+                for c in &mut p.children {
+                    c.visit_filters_mut(f);
+                }
+            }
+            StreamNode::SplitJoin(s) => {
+                for c in &mut s.children {
+                    c.visit_filters_mut(f);
+                }
+            }
+            StreamNode::FeedbackLoop(l) => {
+                l.body.visit_filters_mut(f);
+                l.loopback.visit_filters_mut(f);
+            }
+        }
+    }
+
+    /// Maximum depth of construct nesting (a lone filter has depth 1).
+    pub fn depth(&self) -> usize {
+        match self {
+            StreamNode::Filter(_) => 1,
+            StreamNode::Pipeline(p) => {
+                1 + p.children.iter().map(StreamNode::depth).max().unwrap_or(0)
+            }
+            StreamNode::SplitJoin(s) => {
+                1 + s.children.iter().map(StreamNode::depth).max().unwrap_or(0)
+            }
+            StreamNode::FeedbackLoop(l) => 1 + l.body.depth().max(l.loopback.depth()),
+        }
+    }
+}
+
+impl From<Filter> for StreamNode {
+    fn from(f: Filter) -> Self {
+        StreamNode::Filter(f)
+    }
+}
+
+impl From<Pipeline> for StreamNode {
+    fn from(p: Pipeline) -> Self {
+        StreamNode::Pipeline(p)
+    }
+}
+
+impl From<SplitJoin> for StreamNode {
+    fn from(s: SplitJoin) -> Self {
+        StreamNode::SplitJoin(s)
+    }
+}
+
+impl From<FeedbackLoop> for StreamNode {
+    fn from(l: FeedbackLoop) -> Self {
+        StreamNode::FeedbackLoop(l)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitter_rates() {
+        let s = Splitter::RoundRobin(vec![2, 3]);
+        assert_eq!(s.pop_rate(), 5);
+        assert_eq!(s.push_rate(0), 2);
+        assert_eq!(s.push_rate(1), 3);
+        assert_eq!(Splitter::Duplicate.pop_rate(), 1);
+        assert_eq!(Splitter::Duplicate.push_rate(7), 1);
+        assert_eq!(Splitter::Null.pop_rate(), 0);
+    }
+
+    #[test]
+    fn joiner_rates() {
+        let j = Joiner::RoundRobin(vec![1, 4]);
+        assert_eq!(j.pop_rate(0), 1);
+        assert_eq!(j.pop_rate(1), 4);
+        assert_eq!(j.push_rate(2), 5);
+        assert_eq!(Joiner::Combine.push_rate(3), 1);
+        assert_eq!(Joiner::Combine.pop_rate(2), 1);
+    }
+
+    #[test]
+    fn pipeline_types_propagate() {
+        let p = StreamNode::Pipeline(Pipeline {
+            name: "p".into(),
+            children: vec![
+                Filter::identity("a", DataType::Int).into(),
+                Filter::identity("b", DataType::Int).into(),
+            ],
+        });
+        assert_eq!(p.input_type(), Some(DataType::Int));
+        assert_eq!(p.output_type(), Some(DataType::Int));
+        assert_eq!(p.filter_count(), 2);
+        assert_eq!(p.depth(), 2);
+    }
+}

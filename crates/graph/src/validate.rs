@@ -1,0 +1,414 @@
+//! Structural and semantic validation of stream graphs.
+//!
+//! Implements the checkable subset of the appendix's "StreaMIT
+//! restrictions":
+//!
+//! 1. static rates per work invocation (declared rates checked against the
+//!    body where statically inferable);
+//! 2. connected filters have matching item types;
+//! 3. message handlers must not push/pop/peek;
+//! 4. weighted round-robin arity must match the number of parallel
+//!    streams;
+//! 5. zero-weight branches must contain filters that consume/produce zero
+//!    items;
+//! 6. feedback-loop splitters and joiners must be binary and non-null, and
+//!    the loop delay must match the `initPath` length.
+//!
+//! Deadlock/overflow verification (restriction 5 of the appendix) relies
+//! on the transfer functions and lives in `streamit-sdep`.
+
+use crate::filter::Filter;
+use crate::stream::{Joiner, Splitter, StreamNode};
+use crate::types::DataType;
+use crate::work::{Expr, Stmt};
+use std::fmt;
+
+/// A validation failure, with the hierarchical path of the offending node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ValidationError {
+    /// Hierarchical path of the offending construct.
+    pub path: String,
+    pub kind: ErrorKind,
+}
+
+/// The kinds of validation failure.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ErrorKind {
+    /// Declared rates disagree with statically-inferred body effects.
+    RateMismatch {
+        declared: (usize, usize, usize),
+        inferred: (usize, usize, usize),
+    },
+    /// `peek < pop` is meaningless.
+    PeekBelowPop { peek: usize, pop: usize },
+    /// Adjacent streams have different item types.
+    TypeMismatch {
+        upstream: DataType,
+        downstream: DataType,
+    },
+    /// A handler body touches the filter's tapes.
+    HandlerTouchesTape { handler: String },
+    /// Weight-vector length differs from the number of children.
+    ArityMismatch {
+        expected: usize,
+        got: usize,
+        which: &'static str,
+    },
+    /// Splitter assigns a nonzero weight to a branch that consumes no
+    /// input (or dual for joiners) — appendix restriction 6.
+    ZeroRateBranch { branch: usize, which: &'static str },
+    /// Feedback loop with a non-binary or null splitter/joiner.
+    BadFeedbackShape { detail: String },
+    /// `init_path.len() != delay`.
+    DelayMismatch { delay: usize, init_len: usize },
+    /// A construct has no children.
+    Empty,
+}
+
+impl fmt::Display for ValidationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: ", self.path)?;
+        match &self.kind {
+            ErrorKind::RateMismatch { declared, inferred } => write!(
+                f,
+                "declared rates (peek={}, pop={}, push={}) disagree with body \
+                 (pop={}, peek={}, push={})",
+                declared.0, declared.1, declared.2, inferred.0, inferred.1, inferred.2
+            ),
+            ErrorKind::PeekBelowPop { peek, pop } => {
+                write!(f, "peek rate {peek} is below pop rate {pop}")
+            }
+            ErrorKind::TypeMismatch {
+                upstream,
+                downstream,
+            } => write!(
+                f,
+                "output type {upstream} does not match downstream input type {downstream}"
+            ),
+            ErrorKind::HandlerTouchesTape { handler } => write!(
+                f,
+                "message handler `{handler}` pushes, pops or peeks (forbidden)"
+            ),
+            ErrorKind::ArityMismatch {
+                expected,
+                got,
+                which,
+            } => write!(
+                f,
+                "{which} weight vector has {got} entries for {expected} parallel streams"
+            ),
+            ErrorKind::ZeroRateBranch { branch, which } => write!(
+                f,
+                "branch {branch} exchanges no items but the {which} assigns it nonzero weight"
+            ),
+            ErrorKind::BadFeedbackShape { detail } => {
+                write!(f, "ill-formed feedback loop: {detail}")
+            }
+            ErrorKind::DelayMismatch { delay, init_len } => write!(
+                f,
+                "feedback delay {delay} does not match {init_len} initPath items"
+            ),
+            ErrorKind::Empty => write!(f, "construct has no children"),
+        }
+    }
+}
+
+impl std::error::Error for ValidationError {}
+
+/// Validate a stream program; returns all errors found.
+pub fn validate(stream: &StreamNode) -> Vec<ValidationError> {
+    let mut errs = Vec::new();
+    walk(stream, "", &mut errs);
+    errs
+}
+
+fn err(errs: &mut Vec<ValidationError>, path: &str, kind: ErrorKind) {
+    errs.push(ValidationError {
+        path: path.to_string(),
+        kind,
+    });
+}
+
+fn body_touches_tape(body: &[Stmt]) -> bool {
+    let mut touched = false;
+    for s in body {
+        s.visit(&mut |s| if let Stmt::Push(_) = s { touched = true });
+        s.visit_exprs(&mut |e| {
+            if matches!(e, Expr::Pop | Expr::Peek(_)) {
+                touched = true;
+            }
+        });
+    }
+    touched
+}
+
+fn check_filter(f: &Filter, path: &str, errs: &mut Vec<ValidationError>) {
+    if f.peek < f.pop {
+        err(
+            errs,
+            path,
+            ErrorKind::PeekBelowPop {
+                peek: f.peek,
+                pop: f.pop,
+            },
+        );
+    }
+    if let Err(inferred) = f.check_rates() {
+        err(
+            errs,
+            path,
+            ErrorKind::RateMismatch {
+                declared: (f.peek, f.pop, f.push),
+                inferred,
+            },
+        );
+    }
+    for h in &f.handlers {
+        if body_touches_tape(&h.body) {
+            err(
+                errs,
+                path,
+                ErrorKind::HandlerTouchesTape {
+                    handler: h.name.clone(),
+                },
+            );
+        }
+    }
+}
+
+fn walk(stream: &StreamNode, prefix: &str, errs: &mut Vec<ValidationError>) {
+    let path = if prefix.is_empty() {
+        stream.name().to_string()
+    } else {
+        format!("{prefix}/{}", stream.name())
+    };
+    match stream {
+        StreamNode::Filter(f) => check_filter(f, &path, errs),
+        StreamNode::Pipeline(p) => {
+            if p.children.is_empty() {
+                err(errs, &path, ErrorKind::Empty);
+            }
+            for pair in p.children.windows(2) {
+                if let (Some(a), Some(b)) = (pair[0].output_type(), pair[1].input_type()) {
+                    if a != b {
+                        err(
+                            errs,
+                            &path,
+                            ErrorKind::TypeMismatch {
+                                upstream: a,
+                                downstream: b,
+                            },
+                        );
+                    }
+                }
+            }
+            for c in &p.children {
+                walk(c, &path, errs);
+            }
+        }
+        StreamNode::SplitJoin(sj) => {
+            let n = sj.children.len();
+            if n == 0 {
+                err(errs, &path, ErrorKind::Empty);
+            }
+            if let Some(a) = sj.splitter.arity() {
+                if a != n {
+                    err(
+                        errs,
+                        &path,
+                        ErrorKind::ArityMismatch {
+                            expected: n,
+                            got: a,
+                            which: "splitter",
+                        },
+                    );
+                }
+            }
+            if let Some(a) = sj.joiner.arity() {
+                if a != n {
+                    err(
+                        errs,
+                        &path,
+                        ErrorKind::ArityMismatch {
+                            expected: n,
+                            got: a,
+                            which: "joiner",
+                        },
+                    );
+                }
+            }
+            // Appendix restriction 6: a branch whose entry consumes zero
+            // items must have splitter weight 0 (and dual for joiner).
+            for (i, c) in sj.children.iter().enumerate() {
+                if let Splitter::RoundRobin(w) = &sj.splitter {
+                    if i < w.len() && c.input_type().is_none() && w[i] != 0 {
+                        err(
+                            errs,
+                            &path,
+                            ErrorKind::ZeroRateBranch {
+                                branch: i,
+                                which: "splitter",
+                            },
+                        );
+                    }
+                }
+                if let Joiner::RoundRobin(w) = &sj.joiner {
+                    if i < w.len() && c.output_type().is_none() && w[i] != 0 {
+                        err(
+                            errs,
+                            &path,
+                            ErrorKind::ZeroRateBranch {
+                                branch: i,
+                                which: "joiner",
+                            },
+                        );
+                    }
+                }
+            }
+            for c in &sj.children {
+                walk(c, &path, errs);
+            }
+        }
+        StreamNode::FeedbackLoop(l) => {
+            match &l.joiner {
+                Joiner::Null => err(
+                    errs,
+                    &path,
+                    ErrorKind::BadFeedbackShape {
+                        detail: "joiner must not be NULL".into(),
+                    },
+                ),
+                Joiner::RoundRobin(w) if w.len() != 2 => err(
+                    errs,
+                    &path,
+                    ErrorKind::BadFeedbackShape {
+                        detail: format!("joiner must have 2 inputs, has {}", w.len()),
+                    },
+                ),
+                _ => {}
+            }
+            match &l.splitter {
+                Splitter::Null => err(
+                    errs,
+                    &path,
+                    ErrorKind::BadFeedbackShape {
+                        detail: "splitter must not be NULL".into(),
+                    },
+                ),
+                Splitter::RoundRobin(w) if w.len() != 2 => err(
+                    errs,
+                    &path,
+                    ErrorKind::BadFeedbackShape {
+                        detail: format!("splitter must have 2 outputs, has {}", w.len()),
+                    },
+                ),
+                _ => {}
+            }
+            if l.init_path.len() != l.delay {
+                err(
+                    errs,
+                    &path,
+                    ErrorKind::DelayMismatch {
+                        delay: l.delay,
+                        init_len: l.init_path.len(),
+                    },
+                );
+            }
+            walk(&l.body, &path, errs);
+            walk(&l.loopback, &path, errs);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::*;
+    use crate::types::Value;
+
+    #[test]
+    fn clean_pipeline_validates() {
+        let p = pipeline(
+            "p",
+            vec![
+                identity("a", DataType::Int),
+                identity("b", DataType::Int),
+            ],
+        );
+        assert!(validate(&p).is_empty());
+    }
+
+    #[test]
+    fn type_mismatch_detected() {
+        let p = pipeline(
+            "p",
+            vec![
+                identity("a", DataType::Int),
+                identity("b", DataType::Float),
+            ],
+        );
+        let errs = validate(&p);
+        assert_eq!(errs.len(), 1);
+        assert!(matches!(errs[0].kind, ErrorKind::TypeMismatch { .. }));
+    }
+
+    #[test]
+    fn arity_mismatch_detected() {
+        let sj = splitjoin(
+            "sj",
+            Splitter::RoundRobin(vec![1, 1, 1]),
+            vec![identity("a", DataType::Int), identity("b", DataType::Int)],
+            Joiner::round_robin(2),
+        );
+        let errs = validate(&sj);
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e.kind, ErrorKind::ArityMismatch { .. })));
+    }
+
+    #[test]
+    fn handler_tape_access_rejected() {
+        let f = FilterBuilder::new("f", DataType::Int)
+            .rates(1, 1, 1)
+            .push(pop())
+            .handler("h", vec![], |b| b.push(lit(1i64)))
+            .build_node();
+        let errs = validate(&f);
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e.kind, ErrorKind::HandlerTouchesTape { .. })));
+    }
+
+    #[test]
+    fn feedback_delay_mismatch_detected() {
+        let mut fl = match feedback_loop(
+            "l",
+            Joiner::round_robin(2),
+            identity("b", DataType::Int),
+            Splitter::round_robin(2),
+            identity("lb", DataType::Int),
+            2,
+            |_| Value::Int(0),
+        ) {
+            StreamNode::FeedbackLoop(l) => l,
+            _ => unreachable!(),
+        };
+        fl.init_path.pop();
+        let errs = validate(&StreamNode::FeedbackLoop(fl));
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e.kind, ErrorKind::DelayMismatch { .. })));
+    }
+
+    #[test]
+    fn peek_below_pop_detected() {
+        let f = FilterBuilder::new("f", DataType::Int)
+            .rates(1, 2, 1)
+            .work(|b| b.push(pop() + pop()))
+            .build_node();
+        let errs = validate(&f);
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e.kind, ErrorKind::PeekBelowPop { .. })));
+    }
+}

@@ -1,0 +1,658 @@
+//! The *work-function IR*: a small imperative language in which filter
+//! bodies (`work`, `prework`, message handlers) are expressed.
+//!
+//! The IR is deliberately close to the C-like subset the paper allows
+//! inside `work` functions: scalar and array locals, static `for` loops,
+//! `if`, arithmetic/logic expressions, tape operations (`peek`, `pop`,
+//! `push`), intrinsic math calls, and teleport-message `send`s through
+//! portals.
+//!
+//! Two consumers interpret this IR:
+//!
+//! * `streamit-interp` evaluates it concretely over FIFO tapes;
+//! * `streamit-linear` evaluates it *abstractly* over an affine-value
+//!   domain to perform the paper's linear-extraction analysis.
+
+use crate::types::{DataType, Value};
+
+/// Binary operators.  Comparison/logic operators yield `int` 0/1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    And,
+    Or,
+    BitAnd,
+    BitOr,
+    BitXor,
+    Shl,
+    Shr,
+}
+
+impl BinOp {
+    /// `true` for operators whose result is always `int` (comparisons,
+    /// logic, bitwise).
+    pub fn is_integral(self) -> bool {
+        !matches!(
+            self,
+            BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Rem
+        )
+    }
+
+    /// Symbol as written in the surface language.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Rem => "%",
+            BinOp::Eq => "==",
+            BinOp::Ne => "!=",
+            BinOp::Lt => "<",
+            BinOp::Le => "<=",
+            BinOp::Gt => ">",
+            BinOp::Ge => ">=",
+            BinOp::And => "&&",
+            BinOp::Or => "||",
+            BinOp::BitAnd => "&",
+            BinOp::BitOr => "|",
+            BinOp::BitXor => "^",
+            BinOp::Shl => "<<",
+            BinOp::Shr => ">>",
+        }
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnOp {
+    /// Arithmetic negation.
+    Neg,
+    /// Logical not (`!`): non-zero becomes 0, zero becomes 1.
+    Not,
+    /// Bitwise complement (`~`), integer only.
+    BitNot,
+}
+
+/// Intrinsic (built-in) functions available inside work functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Intrinsic {
+    Sin,
+    Cos,
+    Tan,
+    Atan,
+    Sqrt,
+    Exp,
+    Log,
+    Abs,
+    Floor,
+    Ceil,
+    Round,
+    /// Two-argument power.
+    Pow,
+    /// Two-argument minimum.
+    Min,
+    /// Two-argument maximum.
+    Max,
+    /// Cast to `int` (truncation).
+    ToInt,
+    /// Cast to `float`.
+    ToFloat,
+}
+
+impl Intrinsic {
+    /// Number of arguments the intrinsic takes.
+    pub fn arity(self) -> usize {
+        match self {
+            Intrinsic::Pow | Intrinsic::Min | Intrinsic::Max => 2,
+            _ => 1,
+        }
+    }
+
+    /// Surface-language name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Intrinsic::Sin => "sin",
+            Intrinsic::Cos => "cos",
+            Intrinsic::Tan => "tan",
+            Intrinsic::Atan => "atan",
+            Intrinsic::Sqrt => "sqrt",
+            Intrinsic::Exp => "exp",
+            Intrinsic::Log => "log",
+            Intrinsic::Abs => "abs",
+            Intrinsic::Floor => "floor",
+            Intrinsic::Ceil => "ceil",
+            Intrinsic::Round => "round",
+            Intrinsic::Pow => "pow",
+            Intrinsic::Min => "min",
+            Intrinsic::Max => "max",
+            Intrinsic::ToInt => "int",
+            Intrinsic::ToFloat => "float",
+        }
+    }
+
+    /// Look an intrinsic up by surface name.
+    pub fn from_name(name: &str) -> Option<Intrinsic> {
+        Some(match name {
+            "sin" => Intrinsic::Sin,
+            "cos" => Intrinsic::Cos,
+            "tan" => Intrinsic::Tan,
+            "atan" => Intrinsic::Atan,
+            "sqrt" => Intrinsic::Sqrt,
+            "exp" => Intrinsic::Exp,
+            "log" => Intrinsic::Log,
+            "abs" => Intrinsic::Abs,
+            "floor" => Intrinsic::Floor,
+            "ceil" => Intrinsic::Ceil,
+            "round" => Intrinsic::Round,
+            "pow" => Intrinsic::Pow,
+            "min" => Intrinsic::Min,
+            "max" => Intrinsic::Max,
+            "int" => Intrinsic::ToInt,
+            "float" => Intrinsic::ToFloat,
+            _ => return None,
+        })
+    }
+
+    /// Evaluate the intrinsic on concrete values.
+    pub fn eval(self, args: &[Value]) -> Value {
+        debug_assert_eq!(args.len(), self.arity());
+        let f = |i: usize| args[i].as_f64();
+        match self {
+            Intrinsic::Sin => Value::Float(f(0).sin()),
+            Intrinsic::Cos => Value::Float(f(0).cos()),
+            Intrinsic::Tan => Value::Float(f(0).tan()),
+            Intrinsic::Atan => Value::Float(f(0).atan()),
+            Intrinsic::Sqrt => Value::Float(f(0).sqrt()),
+            Intrinsic::Exp => Value::Float(f(0).exp()),
+            Intrinsic::Log => Value::Float(f(0).ln()),
+            Intrinsic::Abs => match args[0] {
+                Value::Int(i) => Value::Int(i.abs()),
+                Value::Float(x) => Value::Float(x.abs()),
+            },
+            Intrinsic::Floor => Value::Float(f(0).floor()),
+            Intrinsic::Ceil => Value::Float(f(0).ceil()),
+            Intrinsic::Round => Value::Float(f(0).round()),
+            Intrinsic::Pow => Value::Float(f(0).powf(f(1))),
+            Intrinsic::Min => match (args[0], args[1]) {
+                (Value::Int(a), Value::Int(b)) => Value::Int(a.min(b)),
+                (a, b) => Value::Float(a.as_f64().min(b.as_f64())),
+            },
+            Intrinsic::Max => match (args[0], args[1]) {
+                (Value::Int(a), Value::Int(b)) => Value::Int(a.max(b)),
+                (a, b) => Value::Float(a.as_f64().max(b.as_f64())),
+            },
+            Intrinsic::ToInt => Value::Int(args[0].as_i64()),
+            Intrinsic::ToFloat => Value::Float(args[0].as_f64()),
+        }
+    }
+}
+
+/// Expressions of the work-function IR.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Integer literal.
+    IntLit(i64),
+    /// Float literal.
+    FloatLit(f64),
+    /// Read of a scalar variable (local, parameter, or filter state).
+    Var(String),
+    /// Read of an array element `name[index]`.
+    Index(String, Box<Expr>),
+    /// `peek(i)`: read input item `i` positions from the tape head without
+    /// consuming it (`peek(0)` is the next item `pop` would return).
+    Peek(Box<Expr>),
+    /// `pop()`: consume and return the next input item.
+    Pop,
+    /// Unary operation.
+    Unary(UnOp, Box<Expr>),
+    /// Binary operation.
+    Binary(BinOp, Box<Expr>, Box<Expr>),
+    /// Intrinsic call.
+    Call(Intrinsic, Vec<Expr>),
+}
+
+impl Expr {
+    /// Fold a slice of expressions with a binary operator (left
+    /// associative).  Empty input yields `IntLit(0)`.
+    pub fn fold(op: BinOp, items: Vec<Expr>) -> Expr {
+        let mut it = items.into_iter();
+        match it.next() {
+            None => Expr::IntLit(0),
+            Some(first) => it.fold(first, |acc, e| {
+                Expr::Binary(op, Box::new(acc), Box::new(e))
+            }),
+        }
+    }
+
+    /// Does this expression (transitively) contain a `pop` or `peek`?
+    pub fn touches_tape(&self) -> bool {
+        match self {
+            Expr::IntLit(_) | Expr::FloatLit(_) | Expr::Var(_) => false,
+            Expr::Pop => true,
+            Expr::Peek(_) => true,
+            Expr::Index(_, i) => i.touches_tape(),
+            Expr::Unary(_, e) => e.touches_tape(),
+            Expr::Binary(_, a, b) => a.touches_tape() || b.touches_tape(),
+            Expr::Call(_, args) => args.iter().any(Expr::touches_tape),
+        }
+    }
+
+    /// Visit every sub-expression, including `self`, pre-order.
+    pub fn visit<'a>(&'a self, f: &mut impl FnMut(&'a Expr)) {
+        f(self);
+        match self {
+            Expr::IntLit(_) | Expr::FloatLit(_) | Expr::Var(_) | Expr::Pop => {}
+            Expr::Index(_, i) => i.visit(f),
+            Expr::Peek(e) | Expr::Unary(_, e) => e.visit(f),
+            Expr::Binary(_, a, b) => {
+                a.visit(f);
+                b.visit(f);
+            }
+            Expr::Call(_, args) => {
+                for a in args {
+                    a.visit(f);
+                }
+            }
+        }
+    }
+}
+
+/// Assignment targets.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LValue {
+    /// Scalar variable (local or filter state).
+    Var(String),
+    /// Array element `name[index]`.
+    Index(String, Expr),
+}
+
+impl LValue {
+    /// Name of the variable being written.
+    pub fn name(&self) -> &str {
+        match self {
+            LValue::Var(n) | LValue::Index(n, _) => n,
+        }
+    }
+}
+
+/// Statements of the work-function IR.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// Declare a scalar local and initialize it.
+    Let {
+        name: String,
+        ty: DataType,
+        init: Expr,
+    },
+    /// Declare a local array of the given length, zero-initialized.
+    LetArray {
+        name: String,
+        ty: DataType,
+        len: usize,
+    },
+    /// Assign to a scalar or array element.
+    Assign { target: LValue, value: Expr },
+    /// `push(e)`: append `e` to the output tape.
+    Push(Expr),
+    /// Counted loop `for (var = from; var < to; var++) body`.
+    /// After frontend elaboration the bounds are compile-time constants
+    /// for every filter that participates in static analyses.
+    For {
+        var: String,
+        from: Expr,
+        to: Expr,
+        body: Vec<Stmt>,
+    },
+    /// Conditional.
+    If {
+        cond: Expr,
+        then_body: Vec<Stmt>,
+        else_body: Vec<Stmt>,
+    },
+    /// Expression evaluated for effect (e.g. a bare `pop()`).
+    Expr(Expr),
+    /// Teleport-message send: invoke `handler` on every filter registered
+    /// with `portal`, with information-wavefront latency in
+    /// `[latency_min, latency_max]` (units of the *receiver's* work-function
+    /// executions relative to the sender's current wavefront).
+    Send {
+        portal: String,
+        handler: String,
+        args: Vec<Expr>,
+        latency_min: i64,
+        latency_max: i64,
+    },
+}
+
+impl Stmt {
+    /// Visit every statement in this subtree, pre-order.
+    pub fn visit<'a>(&'a self, f: &mut impl FnMut(&'a Stmt)) {
+        f(self);
+        match self {
+            Stmt::For { body, .. } => {
+                for s in body {
+                    s.visit(f);
+                }
+            }
+            Stmt::If {
+                then_body,
+                else_body,
+                ..
+            } => {
+                for s in then_body.iter().chain(else_body) {
+                    s.visit(f);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Visit every expression appearing in this subtree.
+    pub fn visit_exprs<'a>(&'a self, f: &mut impl FnMut(&'a Expr)) {
+        self.visit(&mut |s| match s {
+            Stmt::Let { init, .. } => init.visit(f),
+            Stmt::LetArray { .. } => {}
+            Stmt::Assign { target, value } => {
+                if let LValue::Index(_, i) = target {
+                    i.visit(f);
+                }
+                value.visit(f);
+            }
+            Stmt::Push(e) | Stmt::Expr(e) => e.visit(f),
+            Stmt::For { from, to, .. } => {
+                from.visit(f);
+                to.visit(f);
+            }
+            Stmt::If { cond, .. } => cond.visit(f),
+            Stmt::Send { args, .. } => {
+                for a in args {
+                    a.visit(f);
+                }
+            }
+        });
+    }
+}
+
+/// Walk a block of statements, calling `f` on each statement pre-order.
+pub fn visit_block<'a>(block: &'a [Stmt], f: &mut impl FnMut(&'a Stmt)) {
+    for s in block {
+        s.visit(f);
+    }
+}
+
+/// Count tape effects of a straight-line *static* block: returns
+/// `(pops, peeks_max_index_plus_one, pushes)` if they are statically
+/// determinable (constant loop bounds, tape ops not under `if`),
+/// otherwise `None`.
+///
+/// This is used by the frontend to check declared filter rates against the
+/// body, and by tests as an oracle.
+pub fn static_rates(block: &[Stmt]) -> Option<(usize, usize, usize)> {
+    fn expr_effects(
+        e: &Expr,
+        pops: &mut usize,
+        peek_hi: &mut usize,
+        env: &std::collections::HashMap<String, i64>,
+    ) -> Option<()> {
+        match e {
+            Expr::Pop => {
+                *pops += 1;
+            }
+            Expr::Peek(i) => {
+                let idx = const_eval(i, env)?;
+                if idx < 0 {
+                    return None;
+                }
+                // A peek at index i (relative to current head) requires
+                // pops_so_far + i + 1 items available.
+                let need = *pops + idx as usize + 1;
+                *peek_hi = (*peek_hi).max(need);
+                expr_effects(i, pops, peek_hi, env)?;
+            }
+            Expr::Index(_, i) | Expr::Unary(_, i) => expr_effects(i, pops, peek_hi, env)?,
+            Expr::Binary(_, a, b) => {
+                expr_effects(a, pops, peek_hi, env)?;
+                expr_effects(b, pops, peek_hi, env)?;
+            }
+            Expr::Call(_, args) => {
+                for a in args {
+                    expr_effects(a, pops, peek_hi, env)?;
+                }
+            }
+            Expr::IntLit(_) | Expr::FloatLit(_) | Expr::Var(_) => {}
+        }
+        Some(())
+    }
+
+    fn const_eval(e: &Expr, env: &std::collections::HashMap<String, i64>) -> Option<i64> {
+        match e {
+            Expr::IntLit(i) => Some(*i),
+            Expr::Var(n) => env.get(n).copied(),
+            Expr::Unary(UnOp::Neg, e) => Some(-const_eval(e, env)?),
+            Expr::Binary(op, a, b) => {
+                let (a, b) = (const_eval(a, env)?, const_eval(b, env)?);
+                Some(match op {
+                    BinOp::Add => a + b,
+                    BinOp::Sub => a - b,
+                    BinOp::Mul => a * b,
+                    BinOp::Div => a.checked_div(b)?,
+                    BinOp::Rem => a.checked_rem(b)?,
+                    _ => return None,
+                })
+            }
+            _ => None,
+        }
+    }
+
+    fn go(
+        block: &[Stmt],
+        pops: &mut usize,
+        peek_hi: &mut usize,
+        pushes: &mut usize,
+        env: &mut std::collections::HashMap<String, i64>,
+    ) -> Option<()> {
+        for s in block {
+            match s {
+                Stmt::Let { name, init, .. } => {
+                    expr_effects(init, pops, peek_hi, env)?;
+                    // Track constant locals so peek indices like
+                    // `peek(i*2+1)` inside unrollable loops stay static.
+                    if let Some(v) = const_eval(init, env) {
+                        env.insert(name.clone(), v);
+                    } else {
+                        env.remove(name);
+                    }
+                }
+                Stmt::LetArray { .. } => {}
+                Stmt::Assign { target, value } => {
+                    if let LValue::Index(_, i) = target {
+                        expr_effects(i, pops, peek_hi, env)?;
+                    }
+                    expr_effects(value, pops, peek_hi, env)?;
+                    if let LValue::Var(n) = target {
+                        if let Some(v) = const_eval(value, env) {
+                            env.insert(n.clone(), v);
+                        } else {
+                            env.remove(n);
+                        }
+                    }
+                }
+                Stmt::Push(e) => {
+                    expr_effects(e, pops, peek_hi, env)?;
+                    *pushes += 1;
+                }
+                Stmt::Expr(e) => expr_effects(e, pops, peek_hi, env)?,
+                Stmt::For {
+                    var,
+                    from,
+                    to,
+                    body,
+                } => {
+                    let (lo, hi) = (const_eval(from, env)?, const_eval(to, env)?);
+                    if hi - lo > 1_000_000 {
+                        return None; // refuse absurd unrolls
+                    }
+                    let saved = env.get(var).copied();
+                    for i in lo..hi {
+                        env.insert(var.clone(), i);
+                        go(body, pops, peek_hi, pushes, env)?;
+                    }
+                    match saved {
+                        Some(v) => {
+                            env.insert(var.clone(), v);
+                        }
+                        None => {
+                            env.remove(var);
+                        }
+                    }
+                }
+                Stmt::If {
+                    cond,
+                    then_body,
+                    else_body,
+                } => {
+                    expr_effects(cond, pops, peek_hi, env)?;
+                    // Statically-resolvable condition: follow one arm.
+                    if let Some(c) = const_eval(cond, env) {
+                        let arm = if c != 0 { then_body } else { else_body };
+                        go(arm, pops, peek_hi, pushes, env)?;
+                    } else {
+                        // Both arms must have identical tape effects.
+                        let (mut p1, mut k1, mut u1) = (*pops, *peek_hi, *pushes);
+                        let mut env1 = env.clone();
+                        go(then_body, &mut p1, &mut k1, &mut u1, &mut env1)?;
+                        let (mut p2, mut k2, mut u2) = (*pops, *peek_hi, *pushes);
+                        let mut env2 = env.clone();
+                        go(else_body, &mut p2, &mut k2, &mut u2, &mut env2)?;
+                        if p1 != p2 || u1 != u2 {
+                            return None;
+                        }
+                        *pops = p1;
+                        *peek_hi = k1.max(k2);
+                        *pushes = u1;
+                        // Conservatively drop constant knowledge.
+                        env.retain(|k, v| env1.get(k) == Some(v) && env2.get(k) == Some(v));
+                    }
+                }
+                Stmt::Send { args, .. } => {
+                    for a in args {
+                        expr_effects(a, pops, peek_hi, env)?;
+                    }
+                }
+            }
+        }
+        Some(())
+    }
+
+    let (mut pops, mut peek_hi, mut pushes) = (0usize, 0usize, 0usize);
+    let mut env = std::collections::HashMap::new();
+    go(block, &mut pops, &mut peek_hi, &mut pushes, &mut env)?;
+    Some((pops, peek_hi.max(pops), pushes))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn peek_i(i: i64) -> Expr {
+        Expr::Peek(Box::new(Expr::IntLit(i)))
+    }
+
+    #[test]
+    fn static_rates_simple_map() {
+        // push(pop() * 2)
+        let body = vec![Stmt::Push(Expr::Binary(
+            BinOp::Mul,
+            Box::new(Expr::Pop),
+            Box::new(Expr::IntLit(2)),
+        ))];
+        assert_eq!(static_rates(&body), Some((1, 1, 1)));
+    }
+
+    #[test]
+    fn static_rates_fir_shape() {
+        // for i in 0..4 { push(peek(i)) } pop()
+        let body = vec![
+            Stmt::For {
+                var: "i".into(),
+                from: Expr::IntLit(0),
+                to: Expr::IntLit(4),
+                body: vec![Stmt::Push(Expr::Peek(Box::new(Expr::Var("i".into()))))],
+            },
+            Stmt::Expr(Expr::Pop),
+        ];
+        assert_eq!(static_rates(&body), Some((1, 4, 4)));
+    }
+
+    #[test]
+    fn static_rates_if_mismatch_rejected() {
+        let body = vec![Stmt::If {
+            cond: Expr::Peek(Box::new(Expr::IntLit(0))),
+            then_body: vec![Stmt::Push(Expr::IntLit(1))],
+            else_body: vec![],
+        }];
+        assert_eq!(static_rates(&body), None);
+    }
+
+    #[test]
+    fn static_rates_if_matching_arms_ok() {
+        let body = vec![
+            Stmt::If {
+                cond: peek_i(0),
+                then_body: vec![Stmt::Push(Expr::IntLit(1))],
+                else_body: vec![Stmt::Push(Expr::IntLit(0))],
+            },
+            Stmt::Expr(Expr::Pop),
+        ];
+        assert_eq!(static_rates(&body), Some((1, 1, 1)));
+    }
+
+    #[test]
+    fn fold_builds_left_chain() {
+        let e = Expr::fold(
+            BinOp::Add,
+            vec![Expr::IntLit(1), Expr::IntLit(2), Expr::IntLit(3)],
+        );
+        match e {
+            Expr::Binary(BinOp::Add, l, r) => {
+                assert_eq!(*r, Expr::IntLit(3));
+                assert!(matches!(*l, Expr::Binary(BinOp::Add, _, _)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn touches_tape_detection() {
+        assert!(peek_i(3).touches_tape());
+        assert!(Expr::Pop.touches_tape());
+        assert!(!Expr::Var("x".into()).touches_tape());
+    }
+
+    #[test]
+    fn intrinsic_eval_and_names() {
+        assert_eq!(Intrinsic::from_name("sqrt"), Some(Intrinsic::Sqrt));
+        assert_eq!(
+            Intrinsic::Min.eval(&[Value::Int(3), Value::Int(5)]),
+            Value::Int(3)
+        );
+        assert_eq!(
+            Intrinsic::Pow.eval(&[Value::Float(2.0), Value::Float(3.0)]),
+            Value::Float(8.0)
+        );
+        for i in [Intrinsic::Sin, Intrinsic::Pow, Intrinsic::Max] {
+            assert_eq!(Intrinsic::from_name(i.name()), Some(i));
+        }
+    }
+}

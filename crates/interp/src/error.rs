@@ -1,0 +1,77 @@
+//! Runtime errors raised while interpreting a stream graph.
+
+use std::fmt;
+
+/// An error during interpretation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RuntimeError {
+    /// A node fired without enough items on an input tape.
+    TapeUnderflow { node: String, needed: u64, had: u64 },
+    /// Reference to an unknown variable.
+    UnknownVar { node: String, name: String },
+    /// Array access out of bounds.
+    IndexOutOfBounds {
+        node: String,
+        name: String,
+        index: i64,
+        len: usize,
+    },
+    /// Integer division or remainder by zero.
+    DivisionByZero { node: String },
+    /// The work body pushed/popped a different number of items than the
+    /// declared rates (caught at firing boundaries).
+    RateViolation {
+        node: String,
+        declared: (usize, usize),
+        actual: (u64, u64),
+    },
+    /// A `run_*` loop made no progress before reaching its goal.
+    Deadlock { detail: String },
+    /// A message was sent to a portal with no registered receivers, or a
+    /// receiver lacks the handler.
+    BadMessage { portal: String, handler: String },
+    /// Firing budget exhausted before the goal was reached.
+    BudgetExhausted { fired: u64 },
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuntimeError::TapeUnderflow { node, needed, had } => {
+                write!(f, "{node}: tape underflow (needed {needed}, had {had})")
+            }
+            RuntimeError::UnknownVar { node, name } => {
+                write!(f, "{node}: unknown variable `{name}`")
+            }
+            RuntimeError::IndexOutOfBounds {
+                node,
+                name,
+                index,
+                len,
+            } => write!(
+                f,
+                "{node}: index {index} out of bounds for `{name}` (len {len})"
+            ),
+            RuntimeError::DivisionByZero { node } => write!(f, "{node}: division by zero"),
+            RuntimeError::RateViolation {
+                node,
+                declared,
+                actual,
+            } => write!(
+                f,
+                "{node}: rate violation, declared (pop={}, push={}) but work did \
+                 (pop={}, push={})",
+                declared.0, declared.1, actual.0, actual.1
+            ),
+            RuntimeError::Deadlock { detail } => write!(f, "deadlock: {detail}"),
+            RuntimeError::BadMessage { portal, handler } => {
+                write!(f, "undeliverable message {portal}.{handler}")
+            }
+            RuntimeError::BudgetExhausted { fired } => {
+                write!(f, "firing budget exhausted after {fired} firings")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {}

@@ -1,0 +1,29 @@
+//! # streamit-interp
+//!
+//! A reference interpreter for flat stream graphs.
+//!
+//! The interpreter executes the work-function IR concretely over FIFO
+//! channel "tapes", exactly following the paper's execution model: a node
+//! may *fire* when its input tapes hold at least `peek` items; one firing
+//! pops `pop` items, pushes `push` items, and may send teleport messages.
+//!
+//! The central type is [`Machine`]: a manually-steppable executor exposing
+//! `can_fire`/`fire`, per-tape push/pop counters (the paper's `n(t)` and
+//! `p(t)`), and portal-based message delivery.  Higher layers build on
+//! this:
+//!
+//! * `streamit-sdep` implements the paper's constraint-checked operational
+//!   semantics by consulting the counters before each firing;
+//! * `streamit-linear` uses the interpreter as the ground truth when
+//!   verifying that optimized (collapsed / frequency-translated) filters
+//!   compute the same function as the originals;
+//! * tests execute whole benchmark applications and compare against
+//!   closed-form oracles.
+
+mod error;
+mod eval;
+mod machine;
+
+pub use error::RuntimeError;
+pub use eval::{eval_block, EvalCtx, Slot};
+pub use machine::{FireOutcome, Machine, SentMessage};

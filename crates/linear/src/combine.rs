@@ -1,0 +1,394 @@
+//! Linear combination: collapsing neighbouring linear nodes into one.
+//!
+//! * **Pipelines** — for `A` followed by `B`, expand both to a common
+//!   steady state (also covering `B`'s peek window) and multiply the
+//!   matrices: `C = B′ · A″`, `c = B′ · a″ + b′`.
+//! * **Split-joins** — a duplicate splitter feeding linear branches
+//!   merged by a round-robin joiner: expand each branch to the joiner's
+//!   round and interleave rows.
+//!
+//! Both constructions are verified against reference execution (apply
+//! the original chain to a stream vs. apply the combined node) in the
+//! tests and in property tests.
+
+use crate::rep::LinearRep;
+
+fn gcd(a: usize, b: usize) -> usize {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
+}
+
+fn lcm(a: usize, b: usize) -> usize {
+    a / gcd(a, b) * b
+}
+
+/// Scaling bound: beyond this the split-join is declared inconsistent.
+const MAX_ROUNDS: usize = 1 << 20;
+
+/// Combine two pipelined linear filters (`a` upstream of `b`) into a
+/// single linear representation with the same end-to-end behaviour.
+pub fn combine_pipeline(a: &LinearRep, b: &LinearRep) -> LinearRep {
+    assert!(a.is_well_formed() && b.is_well_formed());
+    // Steady-state firing counts: u of A and v of B with
+    // u·push_a = v·pop_b.
+    let m = lcm(a.push, b.pop);
+    let u = m / a.push;
+    let v = m / b.pop;
+
+    // Expand B to v firings: consumes m items, window peek_b'.
+    let be = b.expand(v);
+    // Expand A far enough to produce B's whole window (peek may exceed
+    // pop): uu ≥ u with push_a·uu ≥ peek_b'.
+    let uu = u.max(be.peek.div_ceil(a.push));
+    let ae = a.expand(uu);
+
+    // C[j][i] = Σ_k B′[j][k] · A″[k][i]  over k < peek_b′ (the rows of
+    // A″ that form B's window), plus the constants.
+    let push = be.push;
+    let peek = ae.peek;
+    let mut matrix = vec![vec![0.0; peek]; push];
+    let mut constant = vec![0.0; push];
+    for j in 0..push {
+        let mut c = be.constant[j];
+        for k in 0..be.peek {
+            let w = be.matrix[j][k];
+            if w == 0.0 {
+                continue;
+            }
+            debug_assert!(k < ae.push, "A expansion covers B's window");
+            for (mi, ai) in matrix[j].iter_mut().zip(&ae.matrix[k]) {
+                *mi += w * ai;
+            }
+            c += w * ae.constant[k];
+        }
+        constant[j] = c;
+    }
+    LinearRep {
+        peek,
+        // Per combined firing the chain consumes what u firings of A
+        // consume (the steady-state rate), even though the window spans
+        // uu firings' worth of input.
+        pop: a.pop * u,
+        push,
+        matrix,
+        constant,
+    }
+}
+
+/// Combine a duplicate-splitter split-join of linear branches with a
+/// weighted round-robin joiner.
+///
+/// Branch `i` has representation `branches[i]`; the joiner takes
+/// `weights[i]` items from branch `i` per round.  All branches read the
+/// same (duplicated) input stream.  Returns `None` when the split-join
+/// is not rate-consistent (the paper's overflow condition) — combining
+/// would be meaningless.
+pub fn combine_splitjoin(branches: &[LinearRep], weights: &[u64]) -> Option<LinearRep> {
+    assert_eq!(branches.len(), weights.len());
+    assert!(!branches.is_empty());
+    // Rounds r and per-branch firings u_i such that
+    //   u_i · push_i = w_i · r          (joiner balance)
+    //   u_i · pop_i  = D for all i      (duplicate balance)
+    // Solve with rationals over the joiner rounds: u_i = w_i·r/push_i.
+    // Find the smallest r making every u_i integral, then check the
+    // duplicate-consumption constraint.
+    let mut r = 1usize;
+    for (b, &w) in branches.iter().zip(weights) {
+        if w == 0 {
+            continue;
+        }
+        let need = b.push / gcd(b.push, w as usize * r);
+        let _ = need;
+        // smallest multiple: r such that push_i | w_i * r
+        let g = gcd(b.push, w as usize);
+        r = lcm(r, b.push / g);
+    }
+    let mut consumption: Option<usize> = None;
+    let mut firings = Vec::with_capacity(branches.len());
+    let mut rr = r;
+    // Iterate: consumption must match across branches; scale r up by the
+    // needed factor until consistent or provably inconsistent.
+    for _ in 0..64 {
+        if rr > MAX_ROUNDS {
+            return None;
+        }
+        let mut consistent = true;
+        consumption = None;
+        firings.clear();
+        for (b, &w) in branches.iter().zip(weights) {
+            let u = (w as usize * rr) / b.push;
+            firings.push(u);
+            let d = u * b.pop;
+            match consumption {
+                None => consumption = Some(d),
+                Some(prev) if prev == d => {}
+                Some(prev) => {
+                    // Scale so that both reach lcm(prev, d); if the ratio
+                    // is irrational in rounds this will never converge —
+                    // bounded by the loop cap.
+                    let l = lcm(prev, d);
+                    let factor = l / d.max(1);
+                    let factor_prev = l / prev.max(1);
+                    rr *= factor.max(factor_prev).max(1);
+                    consistent = false;
+                    break;
+                }
+            }
+        }
+        if consistent {
+            break;
+        }
+    }
+    let d = consumption?;
+    if firings
+        .iter()
+        .zip(branches)
+        .any(|(&u, b)| u * b.pop != d)
+    {
+        return None; // inconsistent rates
+    }
+
+    // Expand branches; all windows start at input 0 (duplicate).
+    let expanded: Vec<LinearRep> = branches
+        .iter()
+        .zip(&firings)
+        .map(|(b, &u)| b.expand(u.max(1)))
+        .collect();
+    let peek = expanded.iter().map(|e| e.peek).max().unwrap_or(0);
+    let total_w: usize = weights.iter().map(|&w| w as usize).sum();
+    let push = total_w * rr;
+    let mut matrix = vec![vec![0.0; peek]; push];
+    let mut constant = vec![0.0; push];
+    // Joiner emits, per round q: w_0 items of branch 0, then w_1 of
+    // branch 1, ...  Branch i's t-th item overall is row t of its
+    // expansion.
+    let mut taken = vec![0usize; branches.len()];
+    let mut out = 0usize;
+    for _q in 0..rr {
+        for (bi, &w) in weights.iter().enumerate() {
+            for _ in 0..w {
+                let row = taken[bi];
+                taken[bi] += 1;
+                let e = &expanded[bi];
+                debug_assert!(row < e.push, "expansion covers joiner demand");
+                matrix[out][..e.peek].copy_from_slice(&e.matrix[row]);
+                constant[out] = e.constant[row];
+                out += 1;
+            }
+        }
+    }
+    Some(LinearRep {
+        peek,
+        pop: d,
+        push,
+        matrix,
+        constant,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Reference: run a through a stream, then b over a's output.
+    fn chain_apply(a: &LinearRep, b: &LinearRep, x: &[f64]) -> Vec<f64> {
+        b.apply(&a.apply(x))
+    }
+
+    #[test]
+    fn combine_two_firs() {
+        let a = LinearRep::fir(&[0.5, 0.5]);
+        let b = LinearRep::fir(&[0.25, 0.75]);
+        let c = combine_pipeline(&a, &b);
+        assert_eq!((c.pop, c.push), (1, 1));
+        assert_eq!(c.peek, 3);
+        let x: Vec<f64> = (0..16).map(|i| ((i * 7) % 5) as f64).collect();
+        let expect = chain_apply(&a, &b, &x);
+        let got = c.apply(&x);
+        assert_eq!(got.len(), expect.len());
+        for (g, e) in got.iter().zip(&expect) {
+            assert!((g - e).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn combine_eliminates_redundant_computation() {
+        // Two cascaded 16-tap FIRs: 32 macs/output separate, 31 taps
+        // combined.
+        let taps: Vec<f64> = (0..16).map(|i| 1.0 / (1 + i) as f64).collect();
+        let a = LinearRep::fir(&taps);
+        let b = LinearRep::fir(&taps);
+        let c = combine_pipeline(&a, &b);
+        assert_eq!(c.peek, 31);
+        assert!(c.nonzeros() <= 31);
+        assert!(c.direct_flops() < a.direct_flops() + b.direct_flops());
+    }
+
+    #[test]
+    fn combine_multirate_pipeline() {
+        // Up-sampler (1 -> 2) then down-sampler (3 -> 1).
+        let up = LinearRep {
+            peek: 1,
+            pop: 1,
+            push: 2,
+            matrix: vec![vec![1.0], vec![0.5]],
+            constant: vec![0.0, 0.0],
+        };
+        let down = LinearRep {
+            peek: 3,
+            pop: 3,
+            push: 1,
+            matrix: vec![vec![1.0, 1.0, 1.0]],
+            constant: vec![0.0],
+        };
+        let c = combine_pipeline(&up, &down);
+        assert_eq!((c.pop, c.push), (3, 2));
+        let x: Vec<f64> = (0..24).map(|i| (i as f64).cos()).collect();
+        let expect = chain_apply(&up, &down, &x);
+        let got = c.apply(&x);
+        let n = got.len().min(expect.len());
+        assert!(n > 4);
+        for i in 0..n {
+            assert!((got[i] - expect[i]).abs() < 1e-12, "at {i}");
+        }
+    }
+
+    #[test]
+    fn combine_with_downstream_peeking() {
+        let a = LinearRep::fir(&[1.0, -1.0]);
+        // b peeks 4, pops 1
+        let b = LinearRep::fir(&[0.25, 0.25, 0.25, 0.25]);
+        let c = combine_pipeline(&a, &b);
+        let x: Vec<f64> = (0..20).map(|i| (i as f64 * 0.3).sin()).collect();
+        let expect = chain_apply(&a, &b, &x);
+        let got = c.apply(&x);
+        let n = got.len().min(expect.len());
+        assert!(n >= 10, "n={n}");
+        for i in 0..n {
+            assert!((got[i] - expect[i]).abs() < 1e-12, "at {i}");
+        }
+    }
+
+    #[test]
+    fn combine_affine_constants_flow_through() {
+        let a = LinearRep {
+            peek: 1,
+            pop: 1,
+            push: 1,
+            matrix: vec![vec![2.0]],
+            constant: vec![1.0],
+        };
+        let b = LinearRep {
+            peek: 1,
+            pop: 1,
+            push: 1,
+            matrix: vec![vec![3.0]],
+            constant: vec![-2.0],
+        };
+        let c = combine_pipeline(&a, &b);
+        // out = 3(2x + 1) - 2 = 6x + 1
+        assert_eq!(c.matrix[0], vec![6.0]);
+        assert_eq!(c.constant, vec![1.0]);
+    }
+
+    #[test]
+    fn combine_splitjoin_duplicate_rr() {
+        // Two FIR bands, joiner takes one from each per round.
+        let b0 = LinearRep::fir(&[1.0, 0.0]);
+        let b1 = LinearRep::fir(&[0.0, 1.0]);
+        let c = combine_splitjoin(&[b0.clone(), b1.clone()], &[1, 1]).unwrap();
+        assert_eq!((c.pop, c.push), (1, 2));
+        let x: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let got = c.apply(&x);
+        // Interleaved: x[0], x[1], x[1], x[2], ...
+        let o0 = b0.apply(&x);
+        let o1 = b1.apply(&x);
+        for (k, pair) in got.chunks(2).enumerate() {
+            assert_eq!(pair[0], o0[k]);
+            assert_eq!(pair[1], o1[k]);
+        }
+    }
+
+    #[test]
+    fn combine_splitjoin_weighted() {
+        // Branch 0 pushes 2/firing, branch 1 pushes 1/firing; joiner
+        // weights (2, 1).
+        let b0 = LinearRep {
+            peek: 1,
+            pop: 1,
+            push: 2,
+            matrix: vec![vec![1.0], vec![-1.0]],
+            constant: vec![0.0, 0.0],
+        };
+        let b1 = LinearRep::fir(&[2.0]);
+        let c = combine_splitjoin(&[b0.clone(), b1.clone()], &[2, 1]).unwrap();
+        assert_eq!((c.pop, c.push), (1, 3));
+        let x: Vec<f64> = (1..8).map(|i| i as f64).collect();
+        let got = c.apply(&x);
+        let (o0, o1) = (b0.apply(&x), b1.apply(&x));
+        for k in 0..got.len() / 3 {
+            assert_eq!(got[3 * k], o0[2 * k]);
+            assert_eq!(got[3 * k + 1], o0[2 * k + 1]);
+            assert_eq!(got[3 * k + 2], o1[k]);
+        }
+    }
+
+    #[test]
+    fn combine_splitjoin_inconsistent_rejected() {
+        // Branch 0 consumes 1/firing with weight 1; branch 1 consumes
+        // 2/firing with weight 1: duplicate consumption can't balance
+        // with these push rates.
+        let b0 = LinearRep::fir(&[1.0]);
+        let b1 = LinearRep {
+            peek: 2,
+            pop: 2,
+            push: 3,
+            matrix: vec![vec![1.0, 0.0], vec![0.0, 1.0], vec![1.0, 1.0]],
+            constant: vec![0.0; 3],
+        };
+        // w = [1, 1]: u0·1 = r, u1·3 = r → r = 3, u0 = 3, u1 = 1;
+        // consumption: 3 vs 2 → rescale → 6 vs 4... never equal with the
+        // same scaling: 3k vs 2k are never equal for k ≥ 1.  Must reject.
+        assert!(combine_splitjoin(&[b0, b1], &[1, 1]).is_none());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_pipeline_combination_is_exact(
+            taps_a in proptest::collection::vec(-2.0f64..2.0, 1..5),
+            taps_b in proptest::collection::vec(-2.0f64..2.0, 1..5),
+            x in proptest::collection::vec(-10.0f64..10.0, 12..40),
+        ) {
+            let a = LinearRep::fir(&taps_a);
+            let b = LinearRep::fir(&taps_b);
+            let c = combine_pipeline(&a, &b);
+            let expect = chain_apply(&a, &b, &x);
+            let got = c.apply(&x);
+            let n = got.len().min(expect.len());
+            for i in 0..n {
+                prop_assert!((got[i] - expect[i]).abs() < 1e-9);
+            }
+        }
+
+        #[test]
+        fn prop_splitjoin_combination_is_exact(
+            taps0 in proptest::collection::vec(-2.0f64..2.0, 1..4),
+            taps1 in proptest::collection::vec(-2.0f64..2.0, 1..4),
+            x in proptest::collection::vec(-5.0f64..5.0, 10..30),
+        ) {
+            let b0 = LinearRep::fir(&taps0);
+            let b1 = LinearRep::fir(&taps1);
+            let c = combine_splitjoin(&[b0.clone(), b1.clone()], &[1, 1]).unwrap();
+            let (o0, o1) = (b0.apply(&x), b1.apply(&x));
+            let got = c.apply(&x);
+            for (k, pair) in got.chunks(2).enumerate() {
+                prop_assert!((pair[0] - o0[k]).abs() < 1e-9);
+                prop_assert!((pair[1] - o1[k]).abs() < 1e-9);
+            }
+        }
+    }
+}

@@ -1,0 +1,225 @@
+//! Frequency translation: executing convolution-style linear nodes in
+//! the frequency domain.
+//!
+//! A linear node with `pop == 1` and a single output row is a sliding
+//! FIR: `y[t] = Σ_i h[i] · x[t+i]` (plus an affine constant).  Instead
+//! of `2N` FLOPs per output, overlap-save block convolution computes a
+//! block of `B` outputs with one forward FFT, one spectrum
+//! multiplication and one inverse FFT of size `M = next_pow2(N+B−1)` —
+//! the algorithmic saving the paper exploits.
+//!
+//! The [`freq_cost_per_output`] model drives the optimizer's decision of
+//! when to translate, and its crossover against [`direct_cost_per_output`]
+//! is one of the repository's ablation benchmarks.
+
+use crate::fft::{spectrum_mul, Fft};
+use crate::rep::LinearRep;
+
+/// A frequency-domain implementation of an FIR-style linear node.
+#[derive(Debug, Clone)]
+pub struct FreqFilter {
+    /// The time-domain representation it implements.
+    pub rep: LinearRep,
+    fft: Fft,
+    /// Block size: outputs produced per transform.
+    pub block: usize,
+    /// Precomputed kernel spectrum.
+    h_re: Vec<f64>,
+    h_im: Vec<f64>,
+    /// Affine constant added to every output.
+    offset: f64,
+}
+
+impl FreqFilter {
+    /// Build a frequency implementation of `rep` with the given block
+    /// size.  Requires `pop == 1`, `push == 1` (sliding FIR shape).
+    pub fn new(rep: &LinearRep, block: usize) -> FreqFilter {
+        assert_eq!(rep.pop, 1, "frequency translation needs pop == 1");
+        assert_eq!(rep.push, 1, "frequency translation needs push == 1");
+        assert!(block >= 1);
+        let n = rep.peek;
+        let m = (n + block - 1).next_power_of_two().max(2);
+        let fft = Fft::new(m);
+        // Kernel: y[t] = Σ_i h[i] x[t+i] is a *correlation*; express as
+        // circular convolution by loading h reversed into the tail so
+        // that multiplying spectra and taking the block starting at
+        // position n-1 yields exactly the sliding dot products.
+        let mut h_re = vec![0.0; m];
+        let mut h_im = vec![0.0; m];
+        for (i, &v) in rep.matrix[0].iter().enumerate() {
+            // place h[i] at index i: conv sum x[k-i]·h_conv[i] with
+            // h_conv[i] = h[n-1-i] gives correlation; equivalently load
+            // h directly and read outputs offset by 0 using the
+            // convolution y_c[k] = Σ x[k-i] h[i]; we want
+            // y[t] = Σ x[t+i] h[i] = y_c[t + n - 1] with h reversed.
+            h_re[i] = rep.matrix[0][rep.peek - 1 - i];
+            let _ = v;
+        }
+        fft.forward(&mut h_re, &mut h_im);
+        FreqFilter {
+            rep: rep.clone(),
+            fft,
+            block,
+            h_re,
+            h_im,
+            offset: rep.constant[0],
+        }
+    }
+
+    /// FFT size in use.
+    pub fn fft_size(&self) -> usize {
+        self.fft.len()
+    }
+
+    /// Process an input stream, producing the same outputs as
+    /// `rep.apply(input)` via overlap-save block convolution.
+    pub fn apply(&self, input: &[f64]) -> Vec<f64> {
+        let n = self.rep.peek;
+        if input.len() < n {
+            return Vec::new();
+        }
+        let m = self.fft.len();
+        let total_out = input.len() - n + 1;
+        let mut out = Vec::with_capacity(total_out);
+        let mut re = vec![0.0; m];
+        let mut im = vec![0.0; m];
+        let mut start = 0usize; // index of first input of the block
+        while out.len() < total_out {
+            // Load m samples beginning at `start` (zero-padded tail).
+            for k in 0..m {
+                re[k] = input.get(start + k).copied().unwrap_or(0.0);
+                im[k] = 0.0;
+            }
+            self.fft.forward(&mut re, &mut im);
+            spectrum_mul(&mut re, &mut im, &self.h_re, &self.h_im);
+            self.fft.inverse(&mut re, &mut im);
+            // Valid outputs of this block: y[t] for t in
+            // start .. start+block, read at circular position t-start+n-1.
+            let take = self.block.min(total_out - out.len());
+            for t in 0..take {
+                out.push(re[t + n - 1] + self.offset);
+            }
+            start += self.block;
+        }
+        out
+    }
+
+    /// FLOPs per output of this implementation.
+    pub fn flops_per_output(&self) -> f64 {
+        freq_cost_per_output(self.rep.peek, self.block)
+    }
+}
+
+/// FLOPs per output of the direct (time-domain) implementation of an
+/// `n`-tap FIR.
+pub fn direct_cost_per_output(n: usize) -> f64 {
+    2.0 * n as f64
+}
+
+/// FLOPs per output of overlap-save with `n` taps and block size `b`:
+/// two real-input FFTs of size `m = next_pow2(n+b−1)` plus the spectrum
+/// product, amortized over `b` outputs.
+///
+/// Real-valued signals use the standard half-size complex transform
+/// (`2.5·m·log2 m` per FFT instead of the complex `5·m·log2 m`), which
+/// is what any production convolution engine does.
+pub fn freq_cost_per_output(n: usize, b: usize) -> f64 {
+    let m = (n + b - 1).next_power_of_two().max(2) as f64;
+    let log2m = m.log2();
+    (2.0 * 2.5 * m * log2m + 6.0 * m) / b as f64
+}
+
+/// The block size minimizing frequency-domain cost for `n` taps, with
+/// the corresponding cost per output.
+pub fn best_block(n: usize) -> (usize, f64) {
+    let mut best = (1usize, f64::INFINITY);
+    let mut b = 1usize;
+    while b <= 64 * n.max(1) {
+        let c = freq_cost_per_output(n, b);
+        if c < best.1 {
+            best = (b, c);
+        }
+        b *= 2;
+    }
+    best
+}
+
+/// Should an `n`-tap FIR be translated to the frequency domain?
+/// Returns the chosen block size when the model predicts a win.
+pub fn should_translate(n: usize) -> Option<usize> {
+    let (b, c) = best_block(n);
+    if c < direct_cost_per_output(n) {
+        Some(b)
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn overlap_save_matches_direct() {
+        let taps: Vec<f64> = (0..17).map(|i| ((i as f64) * 0.7).sin()).collect();
+        let rep = LinearRep::fir(&taps);
+        let ff = FreqFilter::new(&rep, 32);
+        let x: Vec<f64> = (0..200).map(|i| ((i as f64) * 0.13).cos()).collect();
+        let direct = rep.apply(&x);
+        let freq = ff.apply(&x);
+        assert_eq!(direct.len(), freq.len());
+        for (d, f) in direct.iter().zip(&freq) {
+            assert!((d - f).abs() < 1e-9, "{d} vs {f}");
+        }
+    }
+
+    #[test]
+    fn affine_offset_carried() {
+        let mut rep = LinearRep::fir(&[1.0, 1.0]);
+        rep.constant = vec![5.0];
+        let ff = FreqFilter::new(&rep, 8);
+        let x = [1.0, 2.0, 3.0];
+        assert_eq!(rep.apply(&x), ff.apply(&x));
+    }
+
+    #[test]
+    fn cost_model_crossover() {
+        // Small FIRs: direct wins; large FIRs: frequency wins.
+        assert!(should_translate(4).is_none());
+        assert!(should_translate(256).is_some());
+        // The crossover lies somewhere sane.
+        let crossover = (1..=512)
+            .find(|&n| should_translate(n).is_some())
+            .expect("some n must translate");
+        assert!(
+            (8..=128).contains(&crossover),
+            "crossover at {crossover}"
+        );
+    }
+
+    #[test]
+    fn best_block_grows_with_taps() {
+        let (b_small, _) = best_block(16);
+        let (b_large, _) = best_block(256);
+        assert!(b_large >= b_small);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_freq_equals_direct(
+            taps in proptest::collection::vec(-1.0f64..1.0, 2..24),
+            x in proptest::collection::vec(-5.0f64..5.0, 30..120),
+            block_pow in 1u32..6,
+        ) {
+            let rep = LinearRep::fir(&taps);
+            let ff = FreqFilter::new(&rep, 1 << block_pow);
+            let direct = rep.apply(&x);
+            let freq = ff.apply(&x);
+            prop_assert_eq!(direct.len(), freq.len());
+            for (d, f) in direct.iter().zip(&freq) {
+                prop_assert!((d - f).abs() < 1e-8);
+            }
+        }
+    }
+}

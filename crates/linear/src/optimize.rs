@@ -1,0 +1,482 @@
+//! The linear optimization driver: walk a stream graph bottom-up,
+//! extract linear representations, collapse neighbouring linear nodes
+//! when profitable, and plan frequency translation.
+//!
+//! This mirrors the StreamIt compiler's `--linearreplacement` /
+//! `--frequencyreplacement` passes:
+//!
+//! * extraction runs on every filter;
+//! * maximal linear runs inside pipelines are folded with
+//!   [`combine_pipeline`], duplicate/round-robin split-joins of linear
+//!   branches with [`combine_splitjoin`] — a combination is *kept* only
+//!   when the combined node costs no more FLOPs per steady state than
+//!   its parts (matrix fill-in can make collapsing a loss, so the
+//!   selection is cost-driven, as in the paper);
+//! * collapsed nodes are materialized back into executable filters;
+//! * in [`LinearMode::Frequency`], sliding FIR-shaped nodes whose cost
+//!   model favours it are recorded in the report's `freq_plans` — the
+//!   harness executes them with [`crate::freq::FreqFilter`].
+
+use crate::combine::{combine_pipeline, combine_splitjoin};
+use crate::extract::extract_linear;
+use crate::freq::{direct_cost_per_output, freq_cost_per_output, should_translate};
+use crate::rep::LinearRep;
+use streamit_graph::{Joiner, Pipeline, SplitJoin, Splitter, StreamNode};
+
+/// Which optimization level to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinearMode {
+    /// Extraction + combination + direct materialization.
+    Replacement,
+    /// Replacement plus frequency-translation planning.
+    Frequency,
+}
+
+/// A planned frequency translation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FreqPlan {
+    /// Name of the materialized node to execute in the frequency domain.
+    pub node: String,
+    /// The linear representation it implements.
+    pub rep: LinearRep,
+    /// Chosen block size.
+    pub block: usize,
+    /// Modelled FLOPs per output, direct vs frequency.
+    pub direct_cost: f64,
+    pub freq_cost: f64,
+}
+
+/// What the optimizer did.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LinearReport {
+    /// Filters recognized as linear.
+    pub extracted: usize,
+    /// Filters examined.
+    pub total_filters: usize,
+    /// Pipeline combinations performed.
+    pub collapsed_pipelines: usize,
+    /// Split-join combinations performed.
+    pub collapsed_splitjoins: usize,
+    /// Combinations rejected by the cost model.
+    pub rejected_combinations: usize,
+    /// FLOPs per steady state in linear sections, before optimization.
+    pub flops_before: f64,
+    /// ... and after (direct materialization of what was kept).
+    pub flops_after: f64,
+    /// Frequency translations planned (Frequency mode only).
+    pub freq_plans: Vec<FreqPlan>,
+}
+
+impl LinearReport {
+    /// The modelled speedup of linear sections,
+    /// `flops_before / flops_after` (taking planned frequency
+    /// implementations into account).
+    pub fn modeled_speedup(&self) -> f64 {
+        let mut after = self.flops_after;
+        for p in &self.freq_plans {
+            // Replace the direct cost of this node with its frequency
+            // cost (both per output; scale by outputs per firing is the
+            // same factor so the ratio stands).
+            after -= (p.direct_cost - p.freq_cost) * p.rep.push as f64;
+        }
+        if after <= 0.0 {
+            return 1.0;
+        }
+        self.flops_before / after
+    }
+}
+
+/// Intermediate optimization state of a subtree.
+enum Opt {
+    /// A linear subtree: representation + accumulated original cost per
+    /// firing of the representation + a display name.
+    Linear {
+        rep: LinearRep,
+        orig_flops: f64,
+        name: String,
+    },
+    /// Anything else, already rebuilt.
+    Opaque(StreamNode),
+}
+
+impl Opt {
+    fn into_node(self, report: &mut LinearReport) -> StreamNode {
+        match self {
+            Opt::Linear {
+                rep,
+                orig_flops,
+                name,
+            } => {
+                report.flops_before += orig_flops;
+                report.flops_after += rep.direct_flops() as f64;
+                rep.materialize_node(&name)
+            }
+            Opt::Opaque(n) => n,
+        }
+    }
+}
+
+/// Run the linear optimizer over a stream graph.  Returns the
+/// transformed graph and a report.
+pub fn optimize_stream(node: &StreamNode, mode: LinearMode) -> (StreamNode, LinearReport) {
+    let mut report = LinearReport::default();
+    let opt = walk(node, &mut report);
+    let mut root = opt.into_node(&mut report);
+    if mode == LinearMode::Frequency {
+        plan_frequency(&root, &mut report);
+    }
+    // Re-validate rates of materialized filters defensively.
+    debug_assert!(
+        streamit_graph::validate(&root)
+            .iter()
+            .all(|e| !format!("{e}").contains("rates")),
+        "materialized filters must have consistent rates"
+    );
+    normalize_names(&mut root);
+    (root, report)
+}
+
+/// Materialized names can collide after collapsing; make them unique.
+fn normalize_names(node: &mut StreamNode) {
+    let mut counter = 0usize;
+    let mut seen = std::collections::HashSet::new();
+    node.visit_filters_mut(&mut |f| {
+        if !seen.insert(f.name.clone()) {
+            counter += 1;
+            f.name = format!("{}_{counter}", f.name);
+            seen.insert(f.name.clone());
+        }
+    });
+}
+
+fn walk(node: &StreamNode, report: &mut LinearReport) -> Opt {
+    match node {
+        StreamNode::Filter(f) => {
+            report.total_filters += 1;
+            match extract_linear(f) {
+                Ok(rep) => {
+                    report.extracted += 1;
+                    let orig = rep.direct_flops() as f64;
+                    Opt::Linear {
+                        rep,
+                        orig_flops: orig,
+                        name: f.name.clone(),
+                    }
+                }
+                Err(_) => Opt::Opaque(StreamNode::Filter(f.clone())),
+            }
+        }
+        StreamNode::Pipeline(p) => {
+            let kids: Vec<Opt> = p.children.iter().map(|c| walk(c, report)).collect();
+            // Fold maximal linear runs.
+            let mut out: Vec<Opt> = Vec::with_capacity(kids.len());
+            for k in kids {
+                match (out.last_mut(), k) {
+                    (
+                        Some(Opt::Linear {
+                            rep: ra,
+                            orig_flops: fa,
+                            name: na,
+                        }),
+                        Opt::Linear {
+                            rep: rb,
+                            orig_flops: fb,
+                            name: nb,
+                        },
+                    ) => {
+                        let c = combine_pipeline(ra, &rb);
+                        let u = (c.pop / ra.pop.max(1)).max(1) as f64;
+                        let v = (c.push / rb.push.max(1)).max(1) as f64;
+                        let before = u * ra.direct_flops() as f64 + v * rb.direct_flops() as f64;
+                        if (c.direct_flops() as f64) <= before {
+                            report.collapsed_pipelines += 1;
+                            *ra = c;
+                            *fa = u * *fa + v * fb;
+                            *na = format!("{na}+{nb}");
+                        } else {
+                            report.rejected_combinations += 1;
+                            out.push(Opt::Linear {
+                                rep: rb,
+                                orig_flops: fb,
+                                name: nb,
+                            });
+                        }
+                    }
+                    (_, k) => out.push(k),
+                }
+            }
+            if out.len() == 1 {
+                return out.into_iter().next().expect("one element");
+            }
+            let children: Vec<StreamNode> =
+                out.into_iter().map(|o| o.into_node(report)).collect();
+            Opt::Opaque(StreamNode::Pipeline(Pipeline {
+                name: p.name.clone(),
+                children,
+            }))
+        }
+        StreamNode::SplitJoin(sj) => {
+            let kids: Vec<Opt> = sj.children.iter().map(|c| walk(c, report)).collect();
+            // Combine a duplicate / round-robin split-join of all-linear
+            // branches.
+            let all_linear = kids.iter().all(|k| matches!(k, Opt::Linear { .. }));
+            let weights: Option<Vec<u64>> = match &sj.joiner {
+                Joiner::RoundRobin(w) => Some(w.clone()),
+                _ => None,
+            };
+            if all_linear && matches!(sj.splitter, Splitter::Duplicate) {
+                if let Some(w) = weights {
+                    let reps: Vec<&LinearRep> = kids
+                        .iter()
+                        .map(|k| match k {
+                            Opt::Linear { rep, .. } => rep,
+                            _ => unreachable!("all_linear"),
+                        })
+                        .collect();
+                    let owned: Vec<LinearRep> = reps.iter().map(|r| (*r).clone()).collect();
+                    if let Some(c) = combine_splitjoin(&owned, &w) {
+                        let before: f64 = kids
+                            .iter()
+                            .map(|k| match k {
+                                Opt::Linear { rep, orig_flops, .. } => {
+                                    let u = (c.pop / rep.pop.max(1)).max(1) as f64;
+                                    (u, *orig_flops, rep.direct_flops() as f64)
+                                }
+                                _ => unreachable!(),
+                            })
+                            .map(|(u, _of, df)| u * df)
+                            .sum();
+                        if (c.direct_flops() as f64) <= before {
+                            report.collapsed_splitjoins += 1;
+                            let orig: f64 = kids
+                                .iter()
+                                .map(|k| match k {
+                                    Opt::Linear { rep, orig_flops, .. } => {
+                                        (c.pop / rep.pop.max(1)).max(1) as f64 * orig_flops
+                                    }
+                                    _ => unreachable!(),
+                                })
+                                .sum();
+                            let name = format!("{}(combined)", sj.name);
+                            return Opt::Linear {
+                                rep: c,
+                                orig_flops: orig,
+                                name,
+                            };
+                        }
+                        report.rejected_combinations += 1;
+                    }
+                }
+            }
+            let children: Vec<StreamNode> =
+                kids.into_iter().map(|o| o.into_node(report)).collect();
+            Opt::Opaque(StreamNode::SplitJoin(SplitJoin {
+                name: sj.name.clone(),
+                splitter: sj.splitter.clone(),
+                children,
+                joiner: sj.joiner.clone(),
+            }))
+        }
+        StreamNode::FeedbackLoop(fl) => {
+            let body = walk(&fl.body, report).into_node(report);
+            let loopback = walk(&fl.loopback, report).into_node(report);
+            Opt::Opaque(StreamNode::FeedbackLoop(streamit_graph::FeedbackLoop {
+                name: fl.name.clone(),
+                joiner: fl.joiner.clone(),
+                body: Box::new(body),
+                splitter: fl.splitter.clone(),
+                loopback: Box::new(loopback),
+                delay: fl.delay,
+                init_path: fl.init_path.clone(),
+            }))
+        }
+    }
+}
+
+/// Plan frequency translation for FIR-shaped filters in the optimized
+/// graph.
+fn plan_frequency(root: &StreamNode, report: &mut LinearReport) {
+    root.visit_filters(&mut |f| {
+        if let Ok(rep) = extract_linear(f) {
+            if rep.pop == 1 && rep.push == 1 {
+                if let Some(block) = should_translate(rep.peek) {
+                    report.freq_plans.push(FreqPlan {
+                        node: f.name.clone(),
+                        direct_cost: direct_cost_per_output(rep.peek),
+                        freq_cost: freq_cost_per_output(rep.peek, block),
+                        rep,
+                        block,
+                    });
+                }
+            }
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use streamit_graph::builder::*;
+    use streamit_graph::{DataType, FlatGraph, Value};
+    use streamit_interp::Machine;
+
+    fn fir_node(name: &str, taps: &[f64]) -> StreamNode {
+        LinearRep::fir(taps).materialize_node(name)
+    }
+
+    fn nonlinear_node(name: &str) -> StreamNode {
+        FilterBuilder::new(name, DataType::Float)
+            .rates(1, 1, 1)
+            .work(|b| {
+                b.let_("v", DataType::Float, pop())
+                    .push(var("v") * var("v"))
+            })
+            .build_node()
+    }
+
+    fn run_stream(s: &StreamNode, input: &[f64], n_out: usize) -> Vec<f64> {
+        let g = FlatGraph::from_stream(s);
+        let mut m = Machine::new(&g);
+        m.feed(input.iter().map(|&v| Value::Float(v)));
+        m.run_until_output(n_out, 1_000_000).unwrap();
+        m.take_output().iter().map(|v| v.as_f64()).collect()
+    }
+
+    #[test]
+    fn collapses_fir_cascade_and_preserves_behaviour() {
+        let p = pipeline(
+            "casc",
+            vec![fir_node("a", &[0.5, 0.5]), fir_node("b", &[0.25, 0.75])],
+        );
+        let (opt, report) = optimize_stream(&p, LinearMode::Replacement);
+        assert_eq!(report.extracted, 2);
+        assert_eq!(report.collapsed_pipelines, 1);
+        assert_eq!(opt.filter_count(), 1);
+        let input: Vec<f64> = (0..24).map(|i| ((i % 7) as f64) - 3.0).collect();
+        let before = run_stream(&p, &input, 20);
+        let after = run_stream(&opt, &input, 20);
+        for (a, b) in before.iter().zip(&after) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn nonlinear_filters_break_runs() {
+        let p = pipeline(
+            "mix",
+            vec![
+                fir_node("a", &[1.0, 1.0]),
+                nonlinear_node("sq"),
+                fir_node("b", &[1.0, -1.0]),
+                fir_node("c", &[0.5, 0.5]),
+            ],
+        );
+        let (opt, report) = optimize_stream(&p, LinearMode::Replacement);
+        assert_eq!(report.extracted, 3);
+        assert_eq!(report.collapsed_pipelines, 1, "only b+c collapse");
+        assert_eq!(opt.filter_count(), 3);
+    }
+
+    #[test]
+    fn splitjoin_bank_collapses() {
+        let sj = splitjoin(
+            "bank",
+            streamit_graph::Splitter::Duplicate,
+            vec![
+                fir_node("b0", &[1.0, 0.5]),
+                fir_node("b1", &[-0.5, 1.0]),
+            ],
+            streamit_graph::Joiner::round_robin(2),
+        );
+        let (opt, report) = optimize_stream(&sj, LinearMode::Replacement);
+        assert_eq!(report.collapsed_splitjoins, 1);
+        assert_eq!(opt.filter_count(), 1);
+        let input: Vec<f64> = (0..16).map(|i| (i as f64 * 0.4).sin()).collect();
+        let before = run_stream(&sj, &input, 20);
+        let after = run_stream(&opt, &input, 20);
+        for (a, b) in before.iter().zip(&after) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn report_shows_flop_reduction_through_decimator() {
+        // The big combination wins come from rate conversion: a FIR
+        // followed by a decimator only needs every 8th output, and the
+        // combined node computes exactly those.
+        let taps: Vec<f64> = (0..24).map(|i| 1.0 / (1 + i) as f64).collect();
+        let decimate = LinearRep {
+            peek: 8,
+            pop: 8,
+            push: 1,
+            matrix: vec![{
+                let mut r = vec![0.0; 8];
+                r[0] = 1.0;
+                r
+            }],
+            constant: vec![0.0],
+        };
+        let p = pipeline(
+            "deci",
+            vec![fir_node("a", &taps), decimate.materialize_node("down8")],
+        );
+        let (opt, report) = optimize_stream(&p, LinearMode::Replacement);
+        assert_eq!(report.collapsed_pipelines, 1);
+        assert_eq!(opt.filter_count(), 1);
+        assert!(report.flops_before > report.flops_after);
+        assert!(
+            report.modeled_speedup() > 3.0,
+            "decimated combination speedup {}",
+            report.modeled_speedup()
+        );
+        // And the collapsed program still computes the same stream.
+        let input: Vec<f64> = (0..64).map(|i| (i as f64 * 0.21).sin()).collect();
+        let before = run_stream(&p, &input, 4);
+        let after = run_stream(&opt, &input, 4);
+        for (a, b) in before.iter().zip(&after) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn frequency_mode_plans_large_firs() {
+        let taps: Vec<f64> = (0..1024).map(|i| ((i as f64) * 0.05).cos()).collect();
+        let p = pipeline("fir", vec![fir_node("big", &taps)]);
+        let (_, report) = optimize_stream(&p, LinearMode::Frequency);
+        assert_eq!(report.freq_plans.len(), 1);
+        let plan = &report.freq_plans[0];
+        assert!(plan.freq_cost < plan.direct_cost);
+        assert!(
+            report.modeled_speedup() > 2.0,
+            "speedup {}",
+            report.modeled_speedup()
+        );
+    }
+
+    #[test]
+    fn frequency_mode_skips_small_firs() {
+        let p = pipeline("fir", vec![fir_node("small", &[0.3, 0.3, 0.4])]);
+        let (_, report) = optimize_stream(&p, LinearMode::Frequency);
+        assert!(report.freq_plans.is_empty());
+    }
+
+    #[test]
+    fn feedback_loops_left_intact() {
+        let body = FilterBuilder::new("adder", DataType::Int)
+            .rates(2, 1, 1)
+            .push(peek(0) + peek(1))
+            .pop_discard()
+            .build_node();
+        let fl = feedback_loop(
+            "fib",
+            streamit_graph::Joiner::RoundRobin(vec![0, 1]),
+            body,
+            streamit_graph::Splitter::Duplicate,
+            identity("lb", DataType::Int),
+            2,
+            |i| Value::Int(i as i64),
+        );
+        let (opt, _) = optimize_stream(&fl, LinearMode::Replacement);
+        assert!(matches!(opt, StreamNode::FeedbackLoop(_)));
+    }
+}

@@ -1,0 +1,318 @@
+//! The linear representation of a filter.
+
+use streamit_graph::builder::{idx, lit, peek, var, BlockBuilder, Ex, FilterBuilder};
+use streamit_graph::{DataType, Filter, StreamNode};
+
+/// A linear filter `⟨A, b⟩` with rates `(peek, pop, push)`.
+///
+/// Index convention: `x[i]` is `peek(i)` at the start of a firing —
+/// `x[0]` is the oldest pending item (the one `pop()` returns first).
+/// Outputs are rows of `A` in push order:
+///
+/// ```text
+/// out[j] = Σ_i  A[j][i] · x[i]  +  b[j]
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinearRep {
+    pub peek: usize,
+    pub pop: usize,
+    pub push: usize,
+    /// `push × peek` coefficient matrix, row per output.
+    pub matrix: Vec<Vec<f64>>,
+    /// Constant (affine) part, one entry per output.
+    pub constant: Vec<f64>,
+}
+
+impl LinearRep {
+    /// A new all-zero representation.
+    pub fn zero(peek: usize, pop: usize, push: usize) -> LinearRep {
+        LinearRep {
+            peek,
+            pop,
+            push,
+            matrix: vec![vec![0.0; peek]; push],
+            constant: vec![0.0; push],
+        }
+    }
+
+    /// The representation of a single-output FIR filter with taps `h`:
+    /// `out = Σ h[i] · x[i]`, consuming one item per firing.
+    ///
+    /// Note the tap order: `h[i]` multiplies `peek(i)`; a conventional
+    /// convolution kernel is time-reversed relative to this.
+    pub fn fir(h: &[f64]) -> LinearRep {
+        LinearRep {
+            peek: h.len(),
+            pop: 1,
+            push: 1,
+            matrix: vec![h.to_vec()],
+            constant: vec![0.0],
+        }
+    }
+
+    /// Structural validity: matrix shape matches the declared rates.
+    pub fn is_well_formed(&self) -> bool {
+        self.matrix.len() == self.push
+            && self.constant.len() == self.push
+            && self.matrix.iter().all(|r| r.len() == self.peek)
+            && self.pop >= 1
+            && self.pop <= self.peek
+    }
+
+    /// `true` when the constant part is all zero (purely linear).
+    pub fn is_purely_linear(&self) -> bool {
+        self.constant.iter().all(|&c| c == 0.0)
+    }
+
+    /// Number of non-zero coefficients (the cost of a direct
+    /// implementation is proportional to this).
+    pub fn nonzeros(&self) -> usize {
+        self.matrix
+            .iter()
+            .flat_map(|r| r.iter())
+            .filter(|&&v| v != 0.0)
+            .count()
+    }
+
+    /// Expand to `k` consecutive firings: the returned representation
+    /// performs the work of `k` firings of `self` in one firing.
+    ///
+    /// Firing `t` reads the window starting at offset `pop·t`, so the
+    /// expanded window is `pop·(k−1) + peek` and the expanded rates are
+    /// `(pop·k, push·k)`.
+    pub fn expand(&self, k: usize) -> LinearRep {
+        assert!(k >= 1);
+        if k == 1 {
+            return self.clone();
+        }
+        let peek = self.pop * (k - 1) + self.peek;
+        let mut matrix = Vec::with_capacity(self.push * k);
+        let mut constant = Vec::with_capacity(self.push * k);
+        for t in 0..k {
+            let off = self.pop * t;
+            for j in 0..self.push {
+                let mut row = vec![0.0; peek];
+                row[off..off + self.peek].copy_from_slice(&self.matrix[j]);
+                matrix.push(row);
+                constant.push(self.constant[j]);
+            }
+        }
+        LinearRep {
+            peek,
+            pop: self.pop * k,
+            push: self.push * k,
+            matrix,
+            constant,
+        }
+    }
+
+    /// Apply the filter to an input stream, producing as many outputs as
+    /// the available window allows.  The reference semantics used by
+    /// tests and by the frequency-translation equivalence checks.
+    pub fn apply(&self, input: &[f64]) -> Vec<f64> {
+        let mut out = Vec::new();
+        let mut head = 0usize;
+        while head + self.peek <= input.len() {
+            for j in 0..self.push {
+                let mut acc = self.constant[j];
+                for i in 0..self.peek {
+                    acc += self.matrix[j][i] * input[head + i];
+                }
+                out.push(acc);
+            }
+            head += self.pop;
+        }
+        out
+    }
+
+    /// Count the floating-point operations of one direct firing
+    /// (multiply-accumulate over non-zero coefficients).
+    pub fn direct_flops(&self) -> usize {
+        2 * self.nonzeros() + self.constant.iter().filter(|&&c| c != 0.0).count()
+    }
+
+    /// Materialize the representation back into an executable [`Filter`]
+    /// whose work function computes `A·x + b` directly.  Zero
+    /// coefficients are skipped — this is how collapsing eliminates
+    /// redundant computation in the generated code.
+    pub fn materialize(&self, name: &str) -> Filter {
+        assert!(self.is_well_formed());
+        // Coefficients live in a state array, row-major over non-zeros;
+        // for simplicity and locality the generated work function uses
+        // literal coefficients when a row has few taps, otherwise a
+        // coefficient table with a static loop per row.
+        let mut fb = FilterBuilder::new(name, DataType::Float).rates(
+            self.peek.max(self.pop),
+            self.pop,
+            self.push,
+        );
+        const LITERAL_LIMIT: usize = 8;
+        let mut body = BlockBuilder::new();
+        for j in 0..self.push {
+            let nz: Vec<(usize, f64)> = self.matrix[j]
+                .iter()
+                .copied()
+                .enumerate()
+                .filter(|&(_, v)| v != 0.0)
+                .collect();
+            if nz.len() <= LITERAL_LIMIT {
+                // Fully unrolled affine expression.
+                let mut e: Ex = lit(self.constant[j]);
+                for (i, v) in nz {
+                    e = e + peek(i as i64) * lit(v);
+                }
+                body = body.push(e);
+            } else {
+                // Dense row: loop over a coefficient table.
+                let row_name = format!("h{j}");
+                fb = fb.coeffs(&row_name, self.matrix[j].iter().copied());
+                body = body
+                    .let_("acc", DataType::Float, lit(self.constant[j]))
+                    .for_("i", 0, self.peek as i64, |b| {
+                        b.set(
+                            "acc",
+                            var("acc") + peek(var("i")) * idx(row_name.as_str(), var("i")),
+                        )
+                    })
+                    .push(var("acc"));
+            }
+        }
+        for _ in 0..self.pop {
+            body = body.pop_discard();
+        }
+        let stmts = body.build();
+        fb.work(move |_| {
+            // Install the prepared statements.
+            let mut bb = BlockBuilder::new();
+            for s in stmts.clone() {
+                bb = bb.stmt(s);
+            }
+            bb
+        })
+        .build()
+    }
+
+    /// Materialize as a [`StreamNode`].
+    pub fn materialize_node(&self, name: &str) -> StreamNode {
+        StreamNode::Filter(self.materialize(name))
+    }
+}
+
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use streamit_graph::{FlatGraph, Value};
+    use streamit_interp::Machine;
+
+    fn value_f64(v: &Value) -> f64 {
+        v.as_f64()
+    }
+
+    #[test]
+    fn fir_apply_matches_manual_convolution() {
+        let rep = LinearRep::fir(&[0.5, 0.25, 0.25]);
+        let out = rep.apply(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(out.len(), 2);
+        assert!((out[0] - (0.5 + 0.5 + 0.75)).abs() < 1e-12);
+        assert!((out[1] - (1.0 + 0.75 + 1.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn expand_two_firings() {
+        let rep = LinearRep::fir(&[1.0, 2.0]);
+        let e = rep.expand(2);
+        assert_eq!((e.peek, e.pop, e.push), (3, 2, 2));
+        assert_eq!(e.matrix[0], vec![1.0, 2.0, 0.0]);
+        assert_eq!(e.matrix[1], vec![0.0, 1.0, 2.0]);
+        // Behaviour is identical on any stream (the expansion fires in
+        // blocks, so compare the common prefix).
+        let x = [3.0, -1.0, 4.0, 1.0, -5.0, 9.0];
+        let (a, b) = (rep.apply(&x), e.apply(&x));
+        let n = a.len().min(b.len());
+        assert!(n >= 4);
+        assert_eq!(a[..n], b[..n]);
+    }
+
+    #[test]
+    fn expansion_preserves_behaviour_for_multirate() {
+        // pop 2, push 3 filter
+        let rep = LinearRep {
+            peek: 3,
+            pop: 2,
+            push: 3,
+            matrix: vec![
+                vec![1.0, 0.0, 1.0],
+                vec![0.0, 2.0, 0.0],
+                vec![1.0, 1.0, 1.0],
+            ],
+            constant: vec![0.0, 1.0, 0.0],
+        };
+        let e = rep.expand(3);
+        assert_eq!((e.pop, e.push), (6, 9));
+        let x: Vec<f64> = (0..20).map(|i| (i as f64).sin()).collect();
+        let a = rep.apply(&x);
+        let b = e.apply(&x);
+        // Expanded version produces outputs in blocks of 9; compare the
+        // common prefix.
+        let n = a.len().min(b.len());
+        for i in 0..n {
+            assert!((a[i] - b[i]).abs() < 1e-12, "mismatch at {i}");
+        }
+    }
+
+    #[test]
+    fn materialized_filter_computes_affine_combination() {
+        let rep = LinearRep {
+            peek: 3,
+            pop: 1,
+            push: 2,
+            matrix: vec![vec![1.0, -1.0, 0.0], vec![0.0, 0.5, 0.5]],
+            constant: vec![2.0, 0.0],
+        };
+        let f = rep.materialize("lin");
+        assert_eq!(f.check_rates(), Ok(true));
+        let g = FlatGraph::from_stream(&StreamNode::Filter(f));
+        let mut m = Machine::new(&g);
+        m.feed([1.0, 2.0, 3.0, 4.0].map(Value::Float));
+        m.run_until_output(4, 100).unwrap();
+        let out: Vec<f64> = m.take_output().iter().map(value_f64).collect();
+        let expect = rep.apply(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(out.len(), expect.len());
+        for (a, b) in out.iter().zip(&expect) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn materialized_dense_row_uses_loop() {
+        // 16 taps: generated with a coefficient table, still correct.
+        let taps: Vec<f64> = (0..16).map(|i| 1.0 / (i + 1) as f64).collect();
+        let rep = LinearRep::fir(&taps);
+        let f = rep.materialize("fir16");
+        assert!(!f.state.is_empty(), "dense row should use a coeff table");
+        let g = FlatGraph::from_stream(&StreamNode::Filter(f));
+        let mut m = Machine::new(&g);
+        let input: Vec<f64> = (0..32).map(|i| (i as f64 * 0.37).cos()).collect();
+        m.feed(input.iter().map(|&v| Value::Float(v)));
+        m.run_until_output(input.len() - 15, 10_000).unwrap();
+        let out: Vec<f64> = m.take_output().iter().map(value_f64).collect();
+        let expect = rep.apply(&input);
+        for (a, b) in out.iter().zip(&expect) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn nonzeros_and_flops() {
+        let rep = LinearRep {
+            peek: 4,
+            pop: 1,
+            push: 1,
+            matrix: vec![vec![1.0, 0.0, 0.0, 3.0]],
+            constant: vec![0.0],
+        };
+        assert_eq!(rep.nonzeros(), 2);
+        assert_eq!(rep.direct_flops(), 4);
+    }
+}

@@ -1,0 +1,218 @@
+//! Placement of logical tiles onto the physical grid.
+//!
+//! The partitioners assign work-graph nodes to *logical* tiles 0..T;
+//! this module chooses grid coordinates for each logical tile so that
+//! heavily-communicating tiles are adjacent, then provides XY routes.
+
+use std::collections::HashMap;
+use streamit_sched::MappedProgram;
+
+/// Grid coordinates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Coord {
+    pub row: usize,
+    pub col: usize,
+}
+
+/// A placement of logical tiles on the grid.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Placement {
+    pub rows: usize,
+    pub cols: usize,
+    /// Grid coordinate of each logical tile.
+    pub coords: Vec<Coord>,
+}
+
+impl Placement {
+    /// Manhattan distance between two logical tiles.
+    pub fn hops(&self, a: usize, b: usize) -> u64 {
+        let (ca, cb) = (self.coords[a], self.coords[b]);
+        (ca.row.abs_diff(cb.row) + ca.col.abs_diff(cb.col)) as u64
+    }
+
+    /// The sequence of directed physical links on the XY route from `a`
+    /// to `b` (X first, then Y).  Links are identified by
+    /// `(from_coord, to_coord)` pairs encoded as indices.
+    pub fn route(&self, a: usize, b: usize) -> Vec<(Coord, Coord)> {
+        let mut cur = self.coords[a];
+        let goal = self.coords[b];
+        let mut links = Vec::new();
+        while cur.col != goal.col {
+            let next = Coord {
+                row: cur.row,
+                col: if goal.col > cur.col {
+                    cur.col + 1
+                } else {
+                    cur.col - 1
+                },
+            };
+            links.push((cur, next));
+            cur = next;
+        }
+        while cur.row != goal.row {
+            let next = Coord {
+                col: cur.col,
+                row: if goal.row > cur.row {
+                    cur.row + 1
+                } else {
+                    cur.row - 1
+                },
+            };
+            links.push((cur, next));
+            cur = next;
+        }
+        links
+    }
+
+    /// Nearest I/O (DRAM) port coordinate to a tile: ports sit on the
+    /// west edge, one per row.
+    pub fn nearest_port(&self, tile: usize) -> Coord {
+        Coord {
+            row: self.coords[tile].row,
+            col: 0,
+        }
+    }
+}
+
+/// Greedy placement: process inter-tile traffic pairs by decreasing
+/// volume, placing each unplaced tile at the free coordinate closest to
+/// its already-placed partner.
+pub fn place_tiles(mp: &MappedProgram, rows: usize, cols: usize) -> Placement {
+    assert!(rows * cols >= mp.n_tiles, "grid too small");
+    // Traffic matrix between logical tiles.
+    let mut traffic: HashMap<(usize, usize), u64> = HashMap::new();
+    for e in &mp.wg.edges {
+        if let (Some(a), Some(b)) = (mp.assignment[e.src], mp.assignment[e.dst]) {
+            if a != b {
+                let key = (a.min(b), a.max(b));
+                *traffic.entry(key).or_insert(0) += e.items;
+            }
+        }
+    }
+    let mut pairs: Vec<((usize, usize), u64)> = traffic.into_iter().collect();
+    pairs.sort_by_key(|&(p, v)| (std::cmp::Reverse(v), p));
+
+    let mut coords: Vec<Option<Coord>> = vec![None; mp.n_tiles];
+    let mut used: Vec<Vec<bool>> = vec![vec![false; cols]; rows];
+    let center = Coord {
+        row: rows / 2,
+        col: cols / 2,
+    };
+
+    let place_near = |target: Coord, used: &mut Vec<Vec<bool>>| -> Coord {
+        let mut best: Option<(usize, Coord)> = None;
+        #[allow(clippy::needless_range_loop)] // scanning grid coordinates
+        for r in 0..rows {
+            for c in 0..cols {
+                if used[r][c] {
+                    continue;
+                }
+                let d = r.abs_diff(target.row) + c.abs_diff(target.col);
+                if best.map(|(bd, _)| d < bd).unwrap_or(true) {
+                    best = Some((d, Coord { row: r, col: c }));
+                }
+            }
+        }
+        let (_, coord) = best.expect("grid has free slots");
+        used[coord.row][coord.col] = true;
+        coord
+    };
+
+    for ((a, b), _) in pairs {
+        match (coords[a], coords[b]) {
+            (None, None) => {
+                let ca = place_near(center, &mut used);
+                coords[a] = Some(ca);
+                let cb = place_near(ca, &mut used);
+                coords[b] = Some(cb);
+            }
+            (Some(ca), None) => {
+                coords[b] = Some(place_near(ca, &mut used));
+            }
+            (None, Some(cb)) => {
+                coords[a] = Some(place_near(cb, &mut used));
+            }
+            (Some(_), Some(_)) => {}
+        }
+    }
+    // Any tiles with no cross-tile traffic: fill remaining slots.
+    for c in coords.iter_mut() {
+        if c.is_none() {
+            *c = Some(place_near(center, &mut used));
+        }
+    }
+    Placement {
+        rows,
+        cols,
+        coords: coords.into_iter().map(|c| c.expect("placed")).collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use streamit_sched::workgraph::{WorkEdge, WorkGraph, WorkNode};
+    use streamit_sched::{ExecModel, Strategy};
+
+    fn node(name: &str, work: u64) -> WorkNode {
+        WorkNode {
+            name: name.into(),
+            work,
+            flops: 0,
+            stateful: false,
+            peeking: false,
+            sync: false,
+            io: false,
+            members: 1,
+            peek_extra_items: 0,
+        }
+    }
+
+    fn mp_with_chain(n_tiles: usize) -> MappedProgram {
+        let nodes: Vec<WorkNode> = (0..n_tiles).map(|i| node(&format!("n{i}"), 100)).collect();
+        let edges: Vec<WorkEdge> = (1..n_tiles)
+            .map(|i| WorkEdge {
+                src: i - 1,
+                dst: i,
+                items: 64,
+                back: false,
+            })
+            .collect();
+        MappedProgram {
+            wg: WorkGraph { nodes, edges },
+            assignment: (0..n_tiles).map(Some).collect(),
+            n_tiles,
+            model: ExecModel::Pipelined,
+            strategy: Strategy::SpaceMultiplex,
+        }
+    }
+
+    #[test]
+    fn chain_places_neighbors_adjacent() {
+        let mp = mp_with_chain(8);
+        let p = place_tiles(&mp, 4, 4);
+        // Communicating neighbours should be at distance 1 mostly.
+        let total: u64 = (1..8).map(|i| p.hops(i - 1, i)).sum();
+        assert!(total <= 10, "total hops {total}");
+    }
+
+    #[test]
+    fn routes_are_valid_xy() {
+        let mp = mp_with_chain(16);
+        let p = place_tiles(&mp, 4, 4);
+        let links = p.route(0, 15);
+        assert_eq!(links.len() as u64, p.hops(0, 15));
+        // Each step moves exactly one hop.
+        for (a, b) in &links {
+            assert_eq!(a.row.abs_diff(b.row) + a.col.abs_diff(b.col), 1);
+        }
+    }
+
+    #[test]
+    fn all_tiles_get_unique_coords() {
+        let mp = mp_with_chain(16);
+        let p = place_tiles(&mp, 4, 4);
+        let set: std::collections::HashSet<_> = p.coords.iter().collect();
+        assert_eq!(set.len(), 16);
+    }
+}

@@ -1,0 +1,30 @@
+//! # streamit-rawsim
+//!
+//! A cycle-model simulator for a Raw-like tiled grid machine: the
+//! substrate on which the paper's evaluation runs.
+//!
+//! The model captures what the paper's conclusions depend on:
+//!
+//! * **tiles** — single-issue in-order cores on an `R × C` mesh; a tile
+//!   executes its assigned work-graph nodes serially, paying a per-word
+//!   occupancy to send and receive over the register-mapped network;
+//! * **static network** — nearest-neighbour links of 1 word/cycle with
+//!   per-hop latency and *contention*: words from different channels
+//!   crossing the same link serialize (dimension-ordered XY routing);
+//! * **DRAM ports** — file readers/writers live at the chip edge and
+//!   stream through I/O ports of bounded bandwidth;
+//! * **execution models** — barrier-separated steady states
+//!   (task/data parallelism: dependences stall within an iteration) or
+//!   coarse-grained software pipelining (iterations overlap fully; only
+//!   per-tile load and link bandwidth bound throughput).
+//!
+//! Absolute cycle counts are a model, not the authors' btl simulator;
+//! the *relative* behaviour (synchronization cost of fine-grained
+//! fission, stateful bottlenecks, load imbalance) is produced by the
+//! same mechanisms the paper describes.
+
+mod layout;
+mod sim;
+
+pub use layout::{place_tiles, Placement};
+pub use sim::{simulate, simulate_single_core, MachineConfig, SimResult};

@@ -1,0 +1,157 @@
+//! Benchmark characterization: the measurements of Figure `benchchar`.
+//!
+//! All quantities are computed from the stream graph *as conceived by
+//! the programmer*, before any transformation, exactly as the paper's
+//! table: filter counts (including unmapped file endpoints), peeking and
+//! stateful filter counts, shortest/longest source-to-sink path,
+//! the static computation-to-communication ratio for one steady state,
+//! and the percentage of steady-state work performed by stateful
+//! filters.
+
+use crate::estimate::estimate_filter;
+use streamit_graph::{repetition_vector, steady_flows, FlatGraph, SteadyError};
+
+/// One row of the benchmark-characteristics table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchCharacteristics {
+    pub name: String,
+    /// Total filters (including file input/output endpoints).
+    pub filters: usize,
+    /// Filters with `peek > pop`.
+    pub peeking: usize,
+    /// Filters with mutable state.
+    pub stateful: usize,
+    /// Shortest source→sink path (filters only).
+    pub shortest_path: usize,
+    /// Longest source→sink path (filters only).
+    pub longest_path: usize,
+    /// Static computation estimate divided by items communicated, per
+    /// steady state.
+    pub comp_comm: f64,
+    /// Percent of steady-state work in stateful filters.
+    pub stateful_work_pct: f64,
+}
+
+/// Characterize a flat graph.
+pub fn characterize(name: &str, g: &FlatGraph) -> Result<BenchCharacteristics, SteadyError> {
+    let reps = repetition_vector(g)?;
+    let flows = steady_flows(g, &reps);
+
+    let mut filters = 0usize;
+    let mut peeking = 0usize;
+    let mut stateful = 0usize;
+    let mut total_work = 0u64;
+    let mut stateful_work = 0u64;
+    for n in g.filters() {
+        let f = n.as_filter().expect("filter");
+        // File endpoints count toward the filter total (as in the
+        // paper's table) but are not mapped to cores, so they do not
+        // contribute peeking/stateful/work measurements.
+        filters += 1;
+        if f.is_source() || f.is_sink() {
+            continue;
+        }
+        if f.is_peeking() {
+            peeking += 1;
+        }
+        let w = estimate_filter(f).cycles * reps[n.id.0];
+        total_work += w;
+        if f.is_stateful() {
+            stateful += 1;
+            stateful_work += w;
+        }
+    }
+
+    let comm: u64 = flows.iter().sum();
+    let (shortest_path, longest_path) = g.path_extents();
+
+    Ok(BenchCharacteristics {
+        name: name.to_string(),
+        filters,
+        peeking,
+        stateful,
+        shortest_path,
+        longest_path,
+        comp_comm: if comm == 0 {
+            total_work as f64
+        } else {
+            total_work as f64 / comm as f64
+        },
+        stateful_work_pct: if total_work == 0 {
+            0.0
+        } else {
+            100.0 * stateful_work as f64 / total_work as f64
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use streamit_graph::builder::*;
+    use streamit_graph::{DataType, FlatGraph, Joiner, Splitter, Value};
+
+    #[test]
+    fn counts_peeking_and_stateful() {
+        let peeker = FilterBuilder::new("pk", DataType::Float)
+            .rates(4, 1, 1)
+            .push(peek(3))
+            .pop_discard()
+            .build_node();
+        let stateful = FilterBuilder::new("st", DataType::Float)
+            .rates(1, 1, 1)
+            .state("a", DataType::Float, Value::Float(0.0))
+            .work(|b| b.set("a", var("a") + pop()).push(var("a")))
+            .build_node();
+        let p = pipeline(
+            "p",
+            vec![identity("in", DataType::Float), peeker, stateful],
+        );
+        let g = FlatGraph::from_stream(&p);
+        let c = characterize("test", &g).unwrap();
+        assert_eq!(c.filters, 3);
+        assert_eq!(c.peeking, 1);
+        assert_eq!(c.stateful, 1);
+        assert_eq!((c.shortest_path, c.longest_path), (3, 3));
+        assert!(c.stateful_work_pct > 0.0 && c.stateful_work_pct < 100.0);
+    }
+
+    #[test]
+    fn splitjoin_path_extents() {
+        let sj = splitjoin(
+            "sj",
+            Splitter::round_robin(2),
+            vec![
+                identity("a", DataType::Float),
+                pipeline(
+                    "q",
+                    vec![
+                        identity("b", DataType::Float),
+                        identity("c", DataType::Float),
+                    ],
+                ),
+            ],
+            Joiner::round_robin(2),
+        );
+        let g = FlatGraph::from_stream(&sj);
+        let c = characterize("sj", &g).unwrap();
+        assert_eq!((c.shortest_path, c.longest_path), (1, 2));
+    }
+
+    #[test]
+    fn comp_comm_grows_with_work() {
+        let light = pipeline("p", vec![identity("a", DataType::Float)]);
+        let heavy_filter = FilterBuilder::new("h", DataType::Float)
+            .rates(1, 1, 1)
+            .work(|b| {
+                b.let_("s", DataType::Float, pop())
+                    .for_("i", 0, 100, |b| b.set("s", var("s") * lit(1.5)))
+                    .push(var("s"))
+            })
+            .build_node();
+        let heavy = pipeline("p", vec![heavy_filter]);
+        let cl = characterize("l", &FlatGraph::from_stream(&light)).unwrap();
+        let ch = characterize("h", &FlatGraph::from_stream(&heavy)).unwrap();
+        assert!(ch.comp_comm > 10.0 * cl.comp_comm);
+    }
+}

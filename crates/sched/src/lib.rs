@@ -1,0 +1,34 @@
+//! # streamit-sched
+//!
+//! Scheduling and parallelization: everything between the flat stream
+//! graph and the simulated Raw machine.
+//!
+//! * [`estimate`] — static work estimation: a per-operation cycle cost
+//!   model applied to work-function IR, yielding cycles and FLOPs per
+//!   firing (the paper's "static work estimation strategy").
+//! * [`workgraph`] — the coarse-grained [`workgraph::WorkGraph`]:
+//!   filters and synchronization nodes annotated with work per steady
+//!   state, supporting *fusion* (contracting regions into one node) and
+//!   *fission* (data-parallel replication of stateless nodes, with
+//!   sliding-window duplication for peeking filters).
+//! * [`partition`] — the parallelization strategies evaluated in the
+//!   paper: task parallelism, fine- and coarse-grained data parallelism,
+//!   coarse-grained software pipelining (selective fusion + bin
+//!   packing), their combination, and the ASPLOS'02 space-multiplexing
+//!   baseline.
+//! * [`mod@characterize`] — the benchmark-characteristics measurements of
+//!   Figure `benchchar` (filter counts, peeking/stateful filters, path
+//!   lengths, computation-to-communication ratio, stateful work %).
+
+pub mod characterize;
+pub mod estimate;
+pub mod partition;
+pub mod workgraph;
+
+pub use characterize::{characterize, BenchCharacteristics};
+pub use estimate::{estimate_filter, WorkEstimate};
+pub use partition::{
+    combined_partition, data_parallel_partition, fine_grained_partition, software_pipeline,
+    space_multiplex, task_parallel_partition, ExecModel, MappedProgram, Strategy,
+};
+pub use workgraph::{WorkGraph, WorkNode};

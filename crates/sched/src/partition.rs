@@ -1,0 +1,777 @@
+//! The parallelization strategies evaluated in the paper.
+//!
+//! Every strategy takes a [`WorkGraph`] and a tile count and produces a
+//! [`MappedProgram`]: a (possibly transformed) work graph, a per-node
+//! tile assignment, and an execution model that tells the machine
+//! simulator whether steady states are barrier-separated (task/data
+//! parallelism) or fully overlapped (coarse-grained software
+//! pipelining).
+//!
+//! | strategy | transformation | schedule |
+//! |---|---|---|
+//! | task                | none                              | level LPT, barrier |
+//! | fine-grained data   | fiss every stateless filter       | LPT, barrier |
+//! | coarse-grained data | fuse stateless regions, then fiss | LPT, barrier |
+//! | software pipeline   | selective fusion to ≤ tiles       | LPT, pipelined |
+//! | combined            | coarse data + selective fusion    | LPT, pipelined |
+//! | space multiplexing  | fuse/fiss to exactly = tiles      | 1 node/tile, pipelined |
+
+use crate::workgraph::WorkGraph;
+
+/// How the machine overlaps steady-state iterations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecModel {
+    /// Dependences honored within each steady state; a barrier separates
+    /// iterations (task/data parallel execution).
+    Barrier,
+    /// Coarse-grained software pipelining: after the prologue, all nodes
+    /// run concurrently each steady state with no intra-iteration
+    /// dependences (they consume the previous iteration's data).
+    Pipelined,
+}
+
+/// Which strategy produced a mapping (for reporting).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Strategy {
+    Task,
+    FineGrainedData,
+    TaskData,
+    SoftwarePipeline,
+    TaskDataSwp,
+    SpaceMultiplex,
+}
+
+impl Strategy {
+    /// Display label used in the benchmark tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            Strategy::Task => "Task",
+            Strategy::FineGrainedData => "Fine-Grained Data",
+            Strategy::TaskData => "Task + Data",
+            Strategy::SoftwarePipeline => "Task + SWP",
+            Strategy::TaskDataSwp => "Task + Data + SWP",
+            Strategy::SpaceMultiplex => "Space (ASPLOS'02)",
+        }
+    }
+}
+
+/// A work graph mapped onto tiles.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MappedProgram {
+    pub wg: WorkGraph,
+    /// Tile per node; `None` places the node at the machine's I/O ports
+    /// (file readers/writers).
+    pub assignment: Vec<Option<usize>>,
+    pub n_tiles: usize,
+    pub model: ExecModel,
+    pub strategy: Strategy,
+}
+
+impl MappedProgram {
+    /// Work per tile, per steady state.
+    pub fn tile_loads(&self) -> Vec<u64> {
+        let mut loads = vec![0u64; self.n_tiles];
+        for (i, t) in self.assignment.iter().enumerate() {
+            if let Some(t) = t {
+                loads[*t] += self.wg.nodes[i].work;
+            }
+        }
+        loads
+    }
+
+    /// The maximum tile load (pipelined throughput bound).
+    pub fn max_tile_load(&self) -> u64 {
+        self.tile_loads().into_iter().max().unwrap_or(0)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Helpers
+// ---------------------------------------------------------------------
+
+/// Level-aware LPT for barrier execution: nodes within each topological
+/// level are spread across tiles by decreasing work, so same-level
+/// (parallel) nodes never serialize on a tile while chained nodes may
+/// share one.
+fn level_lpt_assign(wg: &WorkGraph, n_tiles: usize) -> Vec<Option<usize>> {
+    let lv = levels(wg);
+    let mut assignment: Vec<Option<usize>> = vec![None; wg.nodes.len()];
+    let max_level = lv.iter().copied().max().unwrap_or(0);
+    for l in 1..=max_level {
+        let mut members: Vec<usize> = wg
+            .compute_nodes()
+            .into_iter()
+            .filter(|&i| lv[i] == l)
+            .collect();
+        members.sort_by_key(|&i| std::cmp::Reverse(wg.nodes[i].work));
+        let mut loads = vec![0u64; n_tiles];
+        for i in members {
+            let tile = (0..n_tiles).min_by_key(|&t| loads[t]).expect("tiles");
+            assignment[i] = Some(tile);
+            loads[tile] += wg.nodes[i].work;
+        }
+    }
+    attach_sync(wg, &mut assignment);
+    assignment
+}
+
+/// Longest-processing-time bin packing of the compute nodes; sync nodes
+/// ride with an adjacent compute node, io nodes stay unmapped.
+fn lpt_assign(wg: &WorkGraph, n_tiles: usize) -> Vec<Option<usize>> {
+    let mut assignment: Vec<Option<usize>> = vec![None; wg.nodes.len()];
+    let mut loads = vec![0u64; n_tiles];
+    let mut compute = wg.compute_nodes();
+    compute.sort_by_key(|&i| std::cmp::Reverse(wg.nodes[i].work));
+    for i in compute {
+        let tile = (0..n_tiles).min_by_key(|&t| loads[t]).expect("tiles > 0");
+        assignment[i] = Some(tile);
+        loads[tile] += wg.nodes[i].work;
+    }
+    attach_sync(wg, &mut assignment);
+    assignment
+}
+
+/// Give each sync node the tile of an adjacent mapped node (preferring
+/// its heaviest neighbor), defaulting to tile 0.
+fn attach_sync(wg: &WorkGraph, assignment: &mut [Option<usize>]) {
+    // Iterate to a fixpoint: sync chains (scatter feeding scatter)
+    // resolve through neighbors.
+    for _ in 0..wg.nodes.len() {
+        let mut changed = false;
+        for i in 0..wg.nodes.len() {
+            if !wg.nodes[i].sync || assignment[i].is_some() {
+                continue;
+            }
+            let mut best: Option<(u64, usize)> = None;
+            for j in wg.preds(i).into_iter().chain(wg.succs(i)) {
+                if let Some(t) = assignment[j] {
+                    let w = wg.nodes[j].work;
+                    if best.map(|(bw, _)| w > bw).unwrap_or(true) {
+                        best = Some((w, t));
+                    }
+                }
+            }
+            if let Some((_, t)) = best {
+                assignment[i] = Some(t);
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    for (i, a) in assignment.iter_mut().enumerate() {
+        if wg.nodes[i].sync && a.is_none() {
+            *a = Some(0);
+        }
+    }
+}
+
+/// Topological levels of the compute nodes (sync nodes are transparent).
+fn levels(wg: &WorkGraph) -> Vec<usize> {
+    let order = wg.topo_order();
+    let mut level = vec![0usize; wg.nodes.len()];
+    for &i in &order {
+        let own = usize::from(!wg.nodes[i].sync && !wg.nodes[i].io);
+        let base = wg
+            .preds(i)
+            .into_iter()
+            .map(|p| level[p])
+            .max()
+            .unwrap_or(0);
+        level[i] = base + own;
+    }
+    level
+}
+
+/// Contract connected regions of stateless, non-peeking compute nodes
+/// (bridging through interior sync nodes), the coarsening step of
+/// coarse-grained data parallelism.
+fn coarsen_stateless(wg: &WorkGraph) -> WorkGraph {
+    let eligible = |i: usize| {
+        let n = &wg.nodes[i];
+        !n.stateful && !n.peeking && !n.sync && !n.io
+    };
+    // Union-find over nodes.
+    let mut parent: Vec<usize> = (0..wg.nodes.len()).collect();
+    fn find(parent: &mut Vec<usize>, x: usize) -> usize {
+        if parent[x] != x {
+            let r = find(parent, parent[x]);
+            parent[x] = r;
+            r
+        } else {
+            x
+        }
+    }
+    let union = |parent: &mut Vec<usize>, a: usize, b: usize| {
+        let (ra, rb) = (find(parent, a), find(parent, b));
+        if ra != rb {
+            parent[ra] = rb;
+        }
+    };
+    for e in &wg.edges {
+        if eligible(e.src) && eligible(e.dst) {
+            union(&mut parent, e.src, e.dst);
+        }
+    }
+    // Sync nodes bridge regions: a sync node is *absorbable* when every
+    // neighbour is either an eligible filter or an already-absorbable
+    // sync node (fixpoint, so chains like splitter→splitter in DES and
+    // Serpent absorb too).
+    // Greatest fixpoint: assume every sync node absorbable, then strip
+    // any whose neighbourhood contains an ineligible filter, an I/O
+    // endpoint, or a stripped sync node.  (A least fixpoint would never
+    // bootstrap mutually-adjacent splitters, as in DES's nested
+    // split-joins.)
+    let mut absorbable: Vec<bool> = wg.nodes.iter().map(|n| n.sync).collect();
+    loop {
+        let mut changed = false;
+        #[allow(clippy::needless_range_loop)] // index drives graph queries
+        for i in 0..absorbable.len() {
+            if !absorbable[i] {
+                continue;
+            }
+            let nbrs: Vec<usize> = wg.preds(i).into_iter().chain(wg.succs(i)).collect();
+            let ok = !nbrs.is_empty()
+                && nbrs
+                    .iter()
+                    .all(|&j| eligible(j) || (wg.nodes[j].sync && absorbable[j]));
+            if !ok {
+                absorbable[i] = false;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    let mut bridges = Vec::new();
+    #[allow(clippy::needless_range_loop)] // index drives graph queries
+    for i in 0..wg.nodes.len() {
+        if !absorbable[i] {
+            continue;
+        }
+        let nbrs: Vec<usize> = wg
+            .preds(i)
+            .into_iter()
+            .chain(wg.succs(i))
+            .filter(|&j| eligible(j))
+            .collect();
+        for w in nbrs.windows(2) {
+            union(&mut parent, w[0], w[1]);
+        }
+        // Connect across absorbable sync chains: union with any eligible
+        // neighbour of neighbouring absorbable sync nodes later via the
+        // chain anchor.
+        if let Some(&anchor) = nbrs.first() {
+            bridges.push((i, anchor));
+        }
+    }
+    // Union eligible endpoints across absorbable sync chains: walk edges
+    // whose both endpoints are absorbable sync nodes and merge their
+    // anchors.
+    let anchor_of: std::collections::HashMap<usize, usize> =
+        bridges.iter().map(|&(s, a)| (s, a)).collect();
+    for e in &wg.edges {
+        if let (Some(&a1), Some(&a2)) = (anchor_of.get(&e.src), anchor_of.get(&e.dst)) {
+            union(&mut parent, a1, a2);
+        }
+    }
+    // Group by root.
+    let mut groups: std::collections::HashMap<usize, Vec<usize>> =
+        std::collections::HashMap::new();
+    for i in 0..wg.nodes.len() {
+        if eligible(i) {
+            let r = find(&mut parent, i);
+            groups.entry(r).or_default().push(i);
+        }
+    }
+    for (s, nbr) in bridges {
+        let r = find(&mut parent, nbr);
+        groups.entry(r).or_default().push(s);
+    }
+    // Fuse each multi-node group; fusing invalidates indices, so map
+    // names → indices after each fusion.
+    let mut g = wg.clone();
+    let mut group_names: Vec<Vec<String>> = groups
+        .values()
+        .filter(|v| v.len() > 1)
+        .map(|v| v.iter().map(|&i| wg.nodes[i].name.clone()).collect())
+        .collect();
+    // Deterministic order.
+    group_names.sort();
+    for names in group_names {
+        let idxs: Vec<usize> = g
+            .nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| names.contains(&n.name))
+            .map(|(i, _)| i)
+            .collect();
+        if idxs.len() > 1 {
+            let (ng, _) = g.fuse(&idxs);
+            g = ng;
+        }
+    }
+    g.simplify()
+}
+
+/// Fiss every stateless compute node across up to `max_ways` replicas.
+///
+/// The fission degree adapts to the node's work — `k` is chosen so each
+/// replica keeps at least `min_grain` cycles ("the granularity of the
+/// transformations must account for the additional synchronization", as
+/// the paper puts it).  Peeking nodes whose duplicated sliding window
+/// would exceed their per-replica input are left alone: duplication
+/// would swamp the gain.  Pass `min_grain = 1` for the fine-grained
+/// strawman, which fisses everything all ways.
+fn fiss_stateless(wg: &WorkGraph, max_ways: usize, min_grain: u64) -> WorkGraph {
+    let mut g = wg.clone();
+    // In coarse mode, fission targets *bottlenecks*: nodes whose work
+    // exceeds a tile's fair share.  Replicating an already-balanced wide
+    // split-join (ChannelVocoder's 49 branches) only adds
+    // synchronization.
+    let fair = wg.total_work() / max_ways.max(1) as u64;
+    loop {
+        let candidate = (0..g.nodes.len()).find_map(|i| {
+            let n = &g.nodes[i];
+            if n.stateful || n.sync || n.io || n.work == 0 || n.name.contains(']') {
+                return None; // `]` marks an existing replica
+            }
+            if min_grain > 1 && n.work <= fair / 2 {
+                return None; // balanced already; fission only adds sync
+            }
+            let k = if min_grain <= 1 {
+                max_ways
+            } else {
+                ((n.work / min_grain) as usize).min(max_ways)
+            };
+            if k < 2 {
+                return None;
+            }
+            if min_grain > 1 && n.peeking {
+                // Input duplication costs each replica the full stream;
+                // require the per-replica work to clearly exceed it.
+                let in_items: u64 = g
+                    .edges
+                    .iter()
+                    .filter(|e| e.dst == i)
+                    .map(|e| e.items)
+                    .sum();
+                if n.work / k as u64 <= 3 * in_items {
+                    return None;
+                }
+            }
+            Some((i, k))
+        });
+        let Some((i, k)) = candidate else { break };
+        g = g.fiss(i, k);
+    }
+    g
+}
+
+/// Greedy selective fusion: repeatedly fuse the adjacent compute pair
+/// (directly connected, or bridged by a sync node) with the smallest
+/// combined work, until at most `target` compute nodes remain.
+///
+/// `limit` bounds the work of any fused node — the load-balance guard
+/// that keeps fusion from collecting the critical path onto one node.
+/// Pass `u64::MAX` when the node count *must* reach `target` (space
+/// multiplexing).
+fn selective_fusion(wg: &WorkGraph, target: usize, limit: u64) -> WorkGraph {
+    let mut g = wg.simplify();
+    while g.compute_nodes().len() > target {
+        let ok = |g: &WorkGraph, i: usize| !g.nodes[i].sync && !g.nodes[i].io;
+        let mut best: Option<(u64, usize, usize)> = None;
+        let consider = |best: &mut Option<(u64, usize, usize)>, g: &WorkGraph, a: usize, b: usize| {
+            let w = g.nodes[a].work + g.nodes[b].work;
+            if w <= limit && best.map(|(bw, _, _)| w < bw).unwrap_or(true) {
+                *best = Some((w, a, b));
+            }
+        };
+        for e in &g.edges {
+            if ok(&g, e.src) && ok(&g, e.dst) && e.src != e.dst {
+                consider(&mut best, &g, e.src, e.dst);
+            }
+        }
+        // Pairs bridged by a sync node (compute-sync-compute).
+        for i in 0..g.nodes.len() {
+            if !g.nodes[i].sync {
+                continue;
+            }
+            for p in g.preds(i) {
+                for s in g.succs(i) {
+                    if ok(&g, p) && ok(&g, s) && p != s {
+                        consider(&mut best, &g, p, s);
+                    }
+                }
+            }
+        }
+        let Some((_, s, d)) = best else { break };
+        let (ng, _) = g.fuse(&[s, d]);
+        g = ng.simplify();
+    }
+    g
+}
+
+/// Balance limit for software-pipelined fusion: fused nodes must stay
+/// near a tile's fair share of the total work, or bin packing cannot
+/// balance the pipeline.
+fn swp_limit(wg: &WorkGraph, n_tiles: usize) -> u64 {
+    (9 * wg.total_work() / n_tiles.max(1) as u64 / 8).max(wg.bottleneck())
+}
+
+// ---------------------------------------------------------------------
+// Strategies
+// ---------------------------------------------------------------------
+
+/// Minimum per-replica work (cycles/steady state) for coarse-grained
+/// fission; below this the scatter/gather synchronization outweighs the
+/// parallelism.
+const COARSE_GRAIN: u64 = 64;
+
+/// Task parallelism: no transformation; the only parallelism exploited
+/// is across split-join children (nodes in the same topological level),
+/// with a barrier per steady state.
+pub fn task_parallel_partition(wg: &WorkGraph, n_tiles: usize) -> MappedProgram {
+    let wg = wg.clone();
+    let assignment = level_lpt_assign(&wg, n_tiles);
+    MappedProgram {
+        wg,
+        assignment,
+        n_tiles,
+        model: ExecModel::Barrier,
+        strategy: Strategy::Task,
+    }
+}
+
+/// Fine-grained data parallelism: replicate every stateless filter
+/// across all tiles without coarsening first (the strawman of Figure
+/// `fine-dup`).
+pub fn fine_grained_partition(wg: &WorkGraph, n_tiles: usize) -> MappedProgram {
+    let g = fiss_stateless(wg, n_tiles, 1);
+    let assignment = level_lpt_assign(&g, n_tiles);
+    MappedProgram {
+        wg: g,
+        assignment,
+        n_tiles,
+        model: ExecModel::Barrier,
+        strategy: Strategy::FineGrainedData,
+    }
+}
+
+/// Coarse-grained data parallelism: fuse maximal stateless non-peeking
+/// regions, then fiss each stateless node across the tiles.
+pub fn data_parallel_partition(wg: &WorkGraph, n_tiles: usize) -> MappedProgram {
+    let coarse = coarsen_stateless(wg);
+    let g = fiss_stateless(&coarse, n_tiles, COARSE_GRAIN);
+    let assignment = level_lpt_assign(&g, n_tiles);
+    MappedProgram {
+        wg: g,
+        assignment,
+        n_tiles,
+        model: ExecModel::Barrier,
+        strategy: Strategy::TaskData,
+    }
+}
+
+/// Coarse-grained software pipelining on the untransformed graph:
+/// selective fusion down to the tile count, then bin packing; steady
+/// states overlap fully.
+pub fn software_pipeline(wg: &WorkGraph, n_tiles: usize) -> MappedProgram {
+    let g = selective_fusion(wg, n_tiles, swp_limit(wg, n_tiles));
+    let assignment = lpt_assign(&g, n_tiles);
+    MappedProgram {
+        wg: g,
+        assignment,
+        n_tiles,
+        model: ExecModel::Pipelined,
+        strategy: Strategy::SoftwarePipeline,
+    }
+}
+
+/// The combined technique: coarse-grained data parallelism followed by
+/// software pipelining of the data-parallelized graph.
+pub fn combined_partition(wg: &WorkGraph, n_tiles: usize) -> MappedProgram {
+    let coarse = coarsen_stateless(wg);
+    let fissed = fiss_stateless(&coarse, n_tiles, COARSE_GRAIN);
+    let g = selective_fusion(&fissed, n_tiles, swp_limit(&fissed, n_tiles));
+    let assignment = lpt_assign(&g, n_tiles);
+    MappedProgram {
+        wg: g,
+        assignment,
+        n_tiles,
+        model: ExecModel::Pipelined,
+        strategy: Strategy::TaskDataSwp,
+    }
+}
+
+/// The ASPLOS'02 space-multiplexing baseline: adjust granularity until
+/// there are exactly `n_tiles` compute nodes (fusing the lightest pairs;
+/// fissing the stateless bottleneck when short), then map one node per
+/// tile and pipeline through the static network.
+pub fn space_multiplex(wg: &WorkGraph, n_tiles: usize) -> MappedProgram {
+    // Two-phase fusion: balanced first (respecting each tile's fair
+    // share), then forced fusion to reach the tile count.
+    let balanced = selective_fusion(
+        wg,
+        n_tiles,
+        (5 * wg.total_work() / n_tiles.max(1) as u64 / 4).max(1),
+    );
+    let mut g = selective_fusion(&balanced, n_tiles, u64::MAX);
+    // Granularity adjustment, per the paper's DCT discussion: while the
+    // partition is short of tiles, or a stateless bottleneck dominates
+    // the fair share, fiss it 2 ways and re-fuse.
+    let fair = (wg.total_work() / n_tiles.max(1) as u64).max(1);
+    for _ in 0..2 * n_tiles {
+        let need_more = g.compute_nodes().len() < n_tiles;
+        let bottleneck = g
+            .compute_nodes()
+            .into_iter()
+            .filter(|&i| !g.nodes[i].stateful && g.nodes[i].work > 0)
+            .max_by_key(|&i| g.nodes[i].work);
+        let Some(i) = bottleneck else { break };
+        let heavy = g.nodes[i].work > fair + fair / 2;
+        if !need_more && !heavy {
+            break;
+        }
+        g = g.fiss(i, 2);
+        if g.compute_nodes().len() > n_tiles {
+            g = selective_fusion(&g, n_tiles, u64::MAX);
+        }
+    }
+    // One node per tile, heaviest first.
+    let mut assignment: Vec<Option<usize>> = vec![None; g.nodes.len()];
+    let mut compute = g.compute_nodes();
+    compute.sort_by_key(|&i| std::cmp::Reverse(g.nodes[i].work));
+    for (t, i) in compute.into_iter().enumerate() {
+        assignment[i] = Some(t % n_tiles);
+    }
+    attach_sync(&g, &mut assignment);
+    MappedProgram {
+        wg: g,
+        assignment,
+        n_tiles,
+        model: ExecModel::Pipelined,
+        strategy: Strategy::SpaceMultiplex,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workgraph::{WorkGraph, WorkNode};
+    use streamit_graph::builder::*;
+    use streamit_graph::{DataType, FlatGraph, Joiner, Splitter};
+
+    fn work_filter(name: &str, loops: i64) -> streamit_graph::StreamNode {
+        FilterBuilder::new(name, DataType::Float)
+            .rates(1, 1, 1)
+            .work(move |b| {
+                b.let_("s", DataType::Float, pop())
+                    .for_("i", 0, loops, |b| b.set("s", var("s") * lit(1.01)))
+                    .push(var("s"))
+            })
+            .build_node()
+    }
+
+    fn stateful_filter(name: &str, loops: i64) -> streamit_graph::StreamNode {
+        FilterBuilder::new(name, DataType::Float)
+            .rates(1, 1, 1)
+            .state("acc", DataType::Float, streamit_graph::Value::Float(0.0))
+            .work(move |b| {
+                b.set("acc", var("acc") + pop())
+                    .for_("i", 0, loops, |b| b.set("acc", var("acc") * lit(0.99)))
+                    .push(var("acc"))
+            })
+            .build_node()
+    }
+
+    fn wg_of(stream: streamit_graph::StreamNode) -> WorkGraph {
+        WorkGraph::from_flat(&FlatGraph::from_stream(&stream)).unwrap()
+    }
+
+    fn stateless_pipe() -> WorkGraph {
+        wg_of(pipeline(
+            "p",
+            vec![
+                work_filter("a", 40),
+                work_filter("b", 80),
+                work_filter("c", 40),
+            ],
+        ))
+    }
+
+    #[test]
+    fn task_parallel_spreads_splitjoin_children() {
+        let sj = splitjoin(
+            "sj",
+            Splitter::round_robin(4),
+            (0..4)
+                .map(|i| work_filter(&format!("w{i}"), 50))
+                .collect(),
+            Joiner::round_robin(4),
+        );
+        let wg = wg_of(pipeline("p", vec![work_filter("pre", 10), sj]));
+        let mp = task_parallel_partition(&wg, 16);
+        let tiles: std::collections::HashSet<_> = mp
+            .assignment
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| mp.wg.nodes[*i].name.contains('w'))
+            .filter_map(|(_, t)| *t)
+            .collect();
+        assert_eq!(tiles.len(), 4, "children must land on distinct tiles");
+    }
+
+    #[test]
+    fn coarse_data_fuses_then_fisses() {
+        let wg = stateless_pipe();
+        let mp = data_parallel_partition(&wg, 16);
+        // All three stateless filters fuse to one, fissed adaptively
+        // (the fission degree respects the COARSE_GRAIN threshold).
+        let replicas = mp
+            .wg
+            .nodes
+            .iter()
+            .filter(|n| n.name.contains("of"))
+            .count();
+        let expected = ((wg.total_work() / COARSE_GRAIN) as usize).clamp(2, 16);
+        assert_eq!(
+            replicas,
+            expected,
+            "{:?}",
+            mp.wg.nodes.iter().map(|n| &n.name).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn coarse_data_fisses_heavy_work_all_ways() {
+        let wg = wg_of(pipeline(
+            "p",
+            vec![
+                work_filter("a", 400),
+                work_filter("b", 800),
+                work_filter("c", 400),
+            ],
+        ));
+        let mp = data_parallel_partition(&wg, 16);
+        let replicas = mp
+            .wg
+            .nodes
+            .iter()
+            .filter(|n| n.name.contains("of16"))
+            .count();
+        assert_eq!(replicas, 16);
+        let loads = mp.tile_loads();
+        assert!(loads.iter().all(|&l| l > 0));
+    }
+
+    #[test]
+    fn stateful_node_is_never_fissed() {
+        let wg = wg_of(pipeline(
+            "p",
+            vec![work_filter("a", 40), stateful_filter("s", 200)],
+        ));
+        let mp = data_parallel_partition(&wg, 16);
+        assert!(
+            mp.wg.nodes.iter().any(|n| n.name.contains('s') && n.stateful),
+            "stateful filter survives untouched"
+        );
+        assert!(!mp
+            .wg
+            .nodes
+            .iter()
+            .any(|n| n.stateful && n.name.contains("of")));
+    }
+
+    #[test]
+    fn software_pipeline_balances_without_fissing() {
+        let wg = wg_of(pipeline(
+            "p",
+            (0..20).map(|i| work_filter(&format!("f{i}"), 50)).collect(),
+        ));
+        let mp = software_pipeline(&wg, 16);
+        // The balance limit may stop fusion above the tile count — LPT
+        // handles the excess — but the packing must stay balanced.
+        assert_eq!(mp.model, ExecModel::Pipelined);
+        let total = mp.wg.total_work();
+        assert!(mp.max_tile_load() <= total / 8);
+    }
+
+    #[test]
+    fn combined_beats_swp_on_stateless_bottleneck() {
+        // One fat stateless filter dominates: SWP alone cannot split it,
+        // data parallelism can.
+        let wg = wg_of(pipeline(
+            "p",
+            vec![
+                work_filter("light", 10),
+                work_filter("heavy", 2000),
+                work_filter("light2", 10),
+            ],
+        ));
+        let swp = software_pipeline(&wg, 16);
+        let comb = combined_partition(&wg, 16);
+        assert!(
+            comb.max_tile_load() * 2 < swp.max_tile_load(),
+            "combined {} vs swp {}",
+            comb.max_tile_load(),
+            swp.max_tile_load()
+        );
+    }
+
+    #[test]
+    fn space_multiplex_uses_every_tile_once() {
+        let wg = wg_of(pipeline(
+            "p",
+            (0..24).map(|i| work_filter(&format!("f{i}"), 30)).collect(),
+        ));
+        let mp = space_multiplex(&wg, 16);
+        assert!(mp.wg.compute_nodes().len() <= 16);
+        // Each compute node on its own tile.
+        let mut seen = std::collections::HashSet::new();
+        for &i in &mp.wg.compute_nodes() {
+            let t = mp.assignment[i].unwrap();
+            assert!(seen.insert(t), "tile {t} used twice");
+        }
+    }
+
+    #[test]
+    fn fine_grained_explodes_node_count() {
+        let wg = stateless_pipe();
+        let fine = fine_grained_partition(&wg, 16);
+        let coarse = data_parallel_partition(&wg, 16);
+        assert!(
+            fine.wg.nodes.len() > coarse.wg.nodes.len(),
+            "fine {} vs coarse {}",
+            fine.wg.nodes.len(),
+            coarse.wg.nodes.len()
+        );
+        assert!(fine.wg.total_comm() > coarse.wg.total_comm());
+    }
+
+    #[test]
+    fn lpt_respects_io_nodes() {
+        let mut wg = stateless_pipe();
+        wg.nodes.push(WorkNode {
+            name: "filereader".into(),
+            work: 0,
+            flops: 0,
+            stateful: false,
+            peeking: false,
+            sync: false,
+            io: true,
+            members: 1,
+            peek_extra_items: 0,
+        });
+        let mp = software_pipeline(&wg, 4);
+        let idx = mp
+            .wg
+            .nodes
+            .iter()
+            .position(|n| n.name == "filereader")
+            .unwrap();
+        assert_eq!(mp.assignment[idx], None);
+    }
+}

@@ -1,0 +1,29 @@
+//! # streamit-sdep
+//!
+//! The paper's *information wavefront* machinery:
+//!
+//! * [`transfer`] — closed-form `max`/`min` transfer functions for
+//!   filters, pipelines, splitters and joiners (the paper's
+//!   §"Information Flow"), with the composition law
+//!   `max_{x→z} = max_{y→z} ∘ max_{x→y}`.
+//! * [`wavefront`] — an exact *counting simulator* that computes
+//!   `max_{a→b}(x)` and `min_{a→b}(x)` between arbitrary tapes of a flat
+//!   graph.  The closed forms are property-tested against it.
+//! * [`verify`] — static deadlock and overflow detection
+//!   (§"Program Verification"): feedback-loop `maxloop` identity and
+//!   split-join rate-divergence checks.
+//! * [`teleport`] — the constraint-checked operational semantics for
+//!   teleport messaging (§"Semantics"): message delivery at the exact
+//!   information-relative time given by Equations *msgup*/*msgdown*,
+//!   plus `MAX_LATENCY` scheduling constraints and `MAXITEMS` buffer
+//!   bounding.
+
+pub mod teleport;
+pub mod transfer;
+pub mod verify;
+pub mod wavefront;
+
+pub use teleport::{ConstrainedExecutor, LatencyConstraint, MessageConstraint};
+pub use transfer::TransferFn;
+pub use verify::{verify_graph, VerifyReport};
+pub use wavefront::Wavefront;

@@ -1,0 +1,292 @@
+//! Closed-form information-flow transfer functions.
+//!
+//! For a filter `A` with rates `(peek, pop, push)`, the paper derives:
+//!
+//! ```text
+//! max(x) = push * floor((x - (peek - pop)) / pop)   if x >= peek - pop
+//!        = 0                                        otherwise
+//! min(x) = ceil(x / push) * pop + (peek - pop)
+//! ```
+//!
+//! and composition laws for pipelines:
+//!
+//! ```text
+//! max_{x→z} = max_{y→z} ∘ max_{x→y}
+//! min_{x→z} = min_{x→y} ∘ min_{y→z}
+//! ```
+//!
+//! This module represents a single filter's (or synchronization node
+//! port's) transfer behaviour as a [`TransferFn`] and provides the
+//! composition operators.  For whole graphs, use
+//! [`crate::wavefront::Wavefront`], which computes the same quantities by
+//! exact counting simulation; property tests check the two agree on
+//! pipelines of filters.
+
+/// The transfer behaviour of one stream stage from its input tape to its
+/// output tape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TransferFn {
+    /// Items inspected per firing (`>= pop`).
+    pub peek: u64,
+    /// Items consumed per firing (`> 0` for well-formed interior stages).
+    pub pop: u64,
+    /// Items produced per firing.
+    pub push: u64,
+}
+
+impl TransferFn {
+    /// Construct from rates.
+    pub fn new(peek: u64, pop: u64, push: u64) -> TransferFn {
+        TransferFn {
+            peek: peek.max(pop),
+            pop,
+            push,
+        }
+    }
+
+    /// `max(x)`: the maximum number of items that can appear on the
+    /// output tape given `x` items on the input tape.
+    pub fn max(&self, x: u64) -> u64 {
+        let extra = self.peek - self.pop;
+        if x < extra || self.pop == 0 {
+            return 0;
+        }
+        self.push * ((x - extra) / self.pop)
+    }
+
+    /// `min(x)`: the minimum number of items that must have appeared on
+    /// the input tape for `x` items to appear on the output.
+    pub fn min(&self, x: u64) -> u64 {
+        if x == 0 {
+            return 0;
+        }
+        if self.push == 0 {
+            // A sink never produces output; no finite input suffices.
+            return u64::MAX;
+        }
+        x.div_ceil(self.push) * self.pop + (self.peek - self.pop)
+    }
+
+    /// Number of firings possible with `x` items available.
+    pub fn firings(&self, x: u64) -> u64 {
+        let extra = self.peek - self.pop;
+        if x < extra.max(self.peek) || self.pop == 0 {
+            // A filter needs at least `peek` items for its first firing.
+            if self.pop == 0 {
+                return 0;
+            }
+        }
+        if x < self.peek {
+            return 0;
+        }
+        (x - extra) / self.pop
+    }
+}
+
+/// `max` of a pipeline of stages: `max_{x→z} = max_{y→z} ∘ max_{x→y}`.
+pub fn pipeline_max(stages: &[TransferFn], x: u64) -> u64 {
+    stages.iter().fold(x, |acc, t| t.max(acc))
+}
+
+/// `min` of a pipeline of stages: `min_{x→z} = min_{x→y} ∘ min_{y→z}`
+/// (note the reversed composition order relative to `max`).
+pub fn pipeline_min(stages: &[TransferFn], x: u64) -> u64 {
+    stages.iter().rev().fold(x, |acc, t| {
+        if acc == u64::MAX {
+            u64::MAX
+        } else {
+            t.min(acc)
+        }
+    })
+}
+
+/// Round-robin splitter transfer functions for two outputs with unit
+/// weights, as derived in the paper.
+pub mod roundrobin2 {
+    /// `max_{I→O1}(x) = ceil(x/2)`.
+    pub fn split_max_o1(x: u64) -> u64 {
+        x.div_ceil(2)
+    }
+
+    /// `max_{I→O2}(x) = floor(x/2)`.
+    pub fn split_max_o2(x: u64) -> u64 {
+        x / 2
+    }
+
+    /// `min_{I→(O1,O2)}(x1, x2) = MIN(2*x1 - 1, 2*x2)`.
+    pub fn split_min(x1: u64, x2: u64) -> u64 {
+        let a = if x1 == 0 { 0 } else { 2 * x1 - 1 };
+        a.min(2 * x2)
+    }
+
+    /// `min_{I1→O}(x) = ceil(x/2)` for the round-robin joiner.
+    pub fn join_min_i1(x: u64) -> u64 {
+        x.div_ceil(2)
+    }
+
+    /// `min_{I2→O}(x) = floor(x/2)`.
+    pub fn join_min_i2(x: u64) -> u64 {
+        x / 2
+    }
+
+    /// `max_{(I1,I2)→O}(x1, x2) = MIN(2*x1 - 1, 2*x2)`... with the same
+    /// saturation at zero as the splitter dual.
+    pub fn join_max(x1: u64, x2: u64) -> u64 {
+        let a = if x1 == 0 { 0 } else { 2 * x1 - 1 };
+        // The joiner can emit one extra item from I1 before needing I2,
+        // hence the asymmetry; `2*x2` items are reachable once I2 has x2.
+        a.min(2 * x2 + 1).min(x1 + x2)
+    }
+}
+
+/// Duplicate splitter / combine joiner transfer functions (identity and
+/// MIN respectively).
+pub mod duplicate {
+    /// `max_{I→Oi}(x) = x`.
+    pub fn split_max(x: u64) -> u64 {
+        x
+    }
+
+    /// `min_{I→(O1,O2)}(x1, x2) = MIN(x1, x2)`.
+    pub fn split_min(x1: u64, x2: u64) -> u64 {
+        x1.min(x2)
+    }
+
+    /// `max_{(I1,I2)→O}(x1, x2) = MIN(x1, x2)` for the combine joiner.
+    pub fn combine_max(x1: u64, x2: u64) -> u64 {
+        x1.min(x2)
+    }
+
+    /// `min_{Ii→O}(x) = x`.
+    pub fn combine_min(x: u64) -> u64 {
+        x
+    }
+}
+
+/// Weighted round-robin generalizations (beyond the paper's 2-way unit
+/// derivation; reduces to it for weights `[1, 1]`).
+pub mod weighted {
+    /// Items that can appear on splitter output `i` given `x` items on
+    /// its input, for weight vector `w`.
+    pub fn split_max(w: &[u64], i: usize, x: u64) -> u64 {
+        let total: u64 = w.iter().sum();
+        if total == 0 {
+            return 0;
+        }
+        let full = x / total;
+        let rem = x % total;
+        // Before output i within a round, sum of earlier weights.
+        let before: u64 = w[..i].iter().sum();
+        let in_round = rem.saturating_sub(before).min(w[i]);
+        full * w[i] + in_round
+    }
+
+    /// Minimum items needed on the joiner's input `i` for `x` items to
+    /// appear on its output, for weight vector `w`.
+    pub fn join_min(w: &[u64], i: usize, x: u64) -> u64 {
+        let total: u64 = w.iter().sum();
+        if total == 0 || x == 0 {
+            return 0;
+        }
+        let full = x / total;
+        let rem = x % total;
+        let before: u64 = w[..i].iter().sum();
+        let in_round = rem.saturating_sub(before).min(w[i]);
+        full * w[i] + in_round
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn filter_max_matches_paper_formula() {
+        // peek=3, pop=1, push=2 (sliding window)
+        let t = TransferFn::new(3, 1, 2);
+        assert_eq!(t.max(0), 0);
+        assert_eq!(t.max(2), 0); // below peek - pop + pop = peek
+        assert_eq!(t.max(3), 2); // one firing
+        assert_eq!(t.max(5), 6); // three firings
+    }
+
+    #[test]
+    fn filter_min_matches_paper_formula() {
+        let t = TransferFn::new(3, 1, 2);
+        assert_eq!(t.min(0), 0);
+        assert_eq!(t.min(1), 3); // ceil(1/2)*1 + 2
+        assert_eq!(t.min(2), 3);
+        assert_eq!(t.min(3), 4);
+    }
+
+    #[test]
+    fn min_max_galois_connection() {
+        // min(x) is the least y with max(y) >= x.
+        for (peek, pop, push) in [(1, 1, 1), (4, 2, 3), (5, 1, 2), (2, 2, 5)] {
+            let t = TransferFn::new(peek, pop, push);
+            for x in 1..40u64 {
+                let y = t.min(x);
+                assert!(t.max(y) >= x, "max(min({x})) too small for {t:?}");
+                assert!(
+                    y == 0 || t.max(y - 1) < x,
+                    "min({x}) not minimal for {t:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pipeline_composition_order() {
+        let a = TransferFn::new(1, 1, 2); // up-sampler
+        let b = TransferFn::new(3, 3, 1); // down-sampler
+        let stages = [a, b];
+        // 6 in -> a: 12 -> b: 4
+        assert_eq!(pipeline_max(&stages, 6), 4);
+        // for 4 out of b need 12 into b; 12 out of a needs 6 in.
+        assert_eq!(pipeline_min(&stages, 4), 6);
+    }
+
+    #[test]
+    fn roundrobin_split_formulas() {
+        assert_eq!(roundrobin2::split_max_o1(5), 3);
+        assert_eq!(roundrobin2::split_max_o2(5), 2);
+        assert_eq!(roundrobin2::split_min(3, 2), 4);
+        assert_eq!(roundrobin2::split_min(0, 0), 0);
+    }
+
+    #[test]
+    fn duplicate_formulas() {
+        assert_eq!(duplicate::split_max(7), 7);
+        assert_eq!(duplicate::split_min(3, 5), 3);
+        assert_eq!(duplicate::combine_max(3, 5), 3);
+    }
+
+    #[test]
+    fn weighted_split_reduces_to_unit_roundrobin() {
+        for x in 0..20 {
+            assert_eq!(
+                weighted::split_max(&[1, 1], 0, x),
+                roundrobin2::split_max_o1(x)
+            );
+            assert_eq!(
+                weighted::split_max(&[1, 1], 1, x),
+                roundrobin2::split_max_o2(x)
+            );
+        }
+    }
+
+    #[test]
+    fn weighted_split_conserves_items() {
+        let w = [3, 1, 2];
+        for x in 0..50u64 {
+            let total: u64 = (0..3).map(|i| weighted::split_max(&w, i, x)).sum();
+            assert_eq!(total, x, "weighted split must conserve items");
+        }
+    }
+
+    #[test]
+    fn sink_min_is_infinite() {
+        let t = TransferFn::new(1, 1, 0);
+        assert_eq!(t.min(1), u64::MAX);
+    }
+}

@@ -1,0 +1,610 @@
+//! Exact computation of `max_{a→b}` and `min_{a→b}` between arbitrary
+//! tapes of a flat graph, by *counting simulation*.
+//!
+//! The closed forms in [`crate::transfer`] cover individual constructs;
+//! composing them by hand across an arbitrary graph is error-prone, so
+//! this module instead simulates the paper's firing semantics with items
+//! as pure counts (no values, no work-function execution):
+//!
+//! * `max_{a→b}(x)` — seed tape `a` with `x` items, fire every node that
+//!   depends on `a` as often as possible, and report how many items were
+//!   pushed onto `b`.  Tapes whose supply does not depend on `a` are
+//!   treated as infinite, exactly as the paper prescribes for the
+//!   external input of a feedback loop.
+//! * `min_{a→b}(x)` — the least `y` with `max_{a→b}(y) ≥ x`, found by
+//!   doubling plus binary search (`max` is monotone).
+//!
+//! Feedback-loop initial items (`initPath`) are pre-loaded, so the
+//! computed functions incorporate the paper's `±n` delay offsets
+//! automatically.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use streamit_graph::{EdgeId, FlatGraph, FlatNodeKind, NodeId};
+
+/// Memoizing wavefront calculator for one graph.
+pub struct Wavefront<'g> {
+    graph: &'g FlatGraph,
+    /// Firing budget per query; guards against divergent (overflowing)
+    /// graphs.  Queries that exhaust the budget saturate.
+    pub budget: u64,
+    memo_max: RefCell<HashMap<(EdgeId, EdgeId, u64), u64>>,
+    /// Per-source-tape tracked-edge sets, computed lazily.
+    tracked: RefCell<HashMap<EdgeId, Vec<bool>>>,
+}
+
+impl<'g> Wavefront<'g> {
+    /// Create a calculator with a default firing budget.
+    pub fn new(graph: &'g FlatGraph) -> Wavefront<'g> {
+        Wavefront {
+            graph,
+            budget: 1_000_000,
+            memo_max: RefCell::new(HashMap::new()),
+            tracked: RefCell::new(HashMap::new()),
+        }
+    }
+
+    /// Edges whose item supply depends on tape `a`: `a` itself, plus any
+    /// output of a node that consumes at least one tracked edge.
+    fn tracked_edges(&self, a: EdgeId) -> Vec<bool> {
+        if let Some(t) = self.tracked.borrow().get(&a) {
+            return t.clone();
+        }
+        let g = self.graph;
+        let mut tracked = vec![false; g.edges.len()];
+        tracked[a.0] = true;
+        // Fixpoint: a node with >= 1 tracked input makes all its outputs
+        // tracked (its firing count is bounded by the tracked supply).
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for n in &g.nodes {
+                let has_tracked_in = n.inputs.iter().any(|&e| tracked[e.0]);
+                if has_tracked_in {
+                    for &e in &n.outputs {
+                        if !tracked[e.0] {
+                            tracked[e.0] = true;
+                            changed = true;
+                        }
+                    }
+                }
+            }
+        }
+        self.tracked.borrow_mut().insert(a, tracked.clone());
+        tracked
+    }
+
+    /// `max_{a→b}(x)`: maximum cumulative items that can appear on `b`
+    /// given `x` items on `a` (beyond any feedback initial items).
+    pub fn max_between(&self, a: EdgeId, b: EdgeId, x: u64) -> u64 {
+        if a == b {
+            return x;
+        }
+        if let Some(&v) = self.memo_max.borrow().get(&(a, b, x)) {
+            return v;
+        }
+        let v = self.simulate_max(a, b, x);
+        self.memo_max.borrow_mut().insert((a, b, x), v);
+        v
+    }
+
+    fn simulate_max(&self, a: EdgeId, b: EdgeId, x: u64) -> u64 {
+        let g = self.graph;
+        let tracked = self.tracked_edges(a);
+        if !tracked[b.0] {
+            // b's supply does not depend on a at all: unbounded.  The
+            // paper leaves max undefined here; saturate.
+            return u64::MAX;
+        }
+        // Available items per edge: initial (feedback priming) + seed.
+        let mut avail: Vec<u64> = g.edges.iter().map(|e| e.initial.len() as u64).collect();
+        avail[a.0] += x;
+        let mut pushed_b: u64 = avail[b.0];
+        if b == a {
+            pushed_b = avail[b.0];
+        }
+        let mut fired = vec![0u64; g.nodes.len()];
+        let mut budget = self.budget;
+        // Splitters and joiners route *per item* (the paper's transfer
+        // functions describe item-level alternation, e.g.
+        // `max_{I→O1}(x) = ceil(x/2)` for a round robin), so they carry a
+        // round position: (port index into the weight vector, items done
+        // at that port this round).
+        let mut rr_pos: Vec<(usize, u64)> = vec![(0, 0); g.nodes.len()];
+
+        // Effective weight vectors aligned to actual edge ports.
+        let split_weights = |id: NodeId| -> Vec<u64> {
+            let n = g.node(id);
+            match &n.kind {
+                FlatNodeKind::Splitter(streamit_graph::Splitter::RoundRobin(w)) => {
+                    let off = w.len().saturating_sub(n.outputs.len());
+                    w[off..].to_vec()
+                }
+                _ => Vec::new(),
+            }
+        };
+        let join_weights = |id: NodeId| -> Vec<u64> {
+            let n = g.node(id);
+            match &n.kind {
+                FlatNodeKind::Joiner(streamit_graph::Joiner::RoundRobin(w)) => {
+                    let off = w.len().saturating_sub(n.inputs.len());
+                    w[off..].to_vec()
+                }
+                _ => Vec::new(),
+            }
+        };
+
+        // Worklist of candidate nodes.
+        let mut queue: Vec<NodeId> = g.nodes.iter().map(|n| n.id).collect();
+        let mut queued = vec![true; g.nodes.len()];
+        while let Some(id) = queue.pop() {
+            queued[id.0] = false;
+            let mut produced_any = false;
+            loop {
+                if budget == 0 {
+                    return u64::MAX; // divergent graph: saturate
+                }
+                let n = g.node(id);
+                // Only nodes whose firing is bounded by tracked supply may
+                // fire; others have infinite supply and are modelled as
+                // infinite tapes instead.
+                if !n.inputs.iter().any(|&e| tracked[e.0]) {
+                    break;
+                }
+                let has = |e: streamit_graph::EdgeId, need: u64| -> bool {
+                    !tracked[e.0] || avail[e.0] >= need
+                };
+                let take = |avail: &mut Vec<u64>, e: streamit_graph::EdgeId, k: u64| {
+                    if tracked[e.0] {
+                        avail[e.0] -= k.min(avail[e.0]);
+                    }
+                };
+                let mut stepped = false;
+                match &n.kind {
+                    FlatNodeKind::Filter(f) => {
+                        let first = fired[id.0] == 0;
+                        let (peek, pop, push) = match (&f.prework, first) {
+                            (Some(pw), true) => {
+                                (pw.peek.max(pw.pop) as u64, pw.pop as u64, pw.push as u64)
+                            }
+                            _ => (f.peek.max(f.pop) as u64, f.pop as u64, f.push as u64),
+                        };
+                        if let Some(&e) = n.inputs.first() {
+                            if has(e, peek) {
+                                take(&mut avail, e, pop);
+                                if let Some(&o) = n.outputs.first() {
+                                    avail[o.0] += push;
+                                    if o == b {
+                                        pushed_b += push;
+                                    }
+                                }
+                                stepped = true;
+                            }
+                        }
+                    }
+                    FlatNodeKind::Splitter(s) => {
+                        if let Some(&e) = n.inputs.first() {
+                            match s {
+                                streamit_graph::Splitter::Duplicate => {
+                                    if has(e, 1) {
+                                        take(&mut avail, e, 1);
+                                        for &o in &n.outputs {
+                                            avail[o.0] += 1;
+                                            if o == b {
+                                                pushed_b += 1;
+                                            }
+                                        }
+                                        stepped = true;
+                                    }
+                                }
+                                streamit_graph::Splitter::RoundRobin(_) => {
+                                    let w = split_weights(id);
+                                    if !w.is_empty() && w.iter().any(|&x| x > 0) && has(e, 1) {
+                                        let (mut port, mut done) = rr_pos[id.0];
+                                        while port < w.len() && done >= w[port] {
+                                            port += 1;
+                                            done = 0;
+                                        }
+                                        if port >= w.len() {
+                                            port = 0;
+                                            done = 0;
+                                            while w[port] == 0 {
+                                                port += 1;
+                                            }
+                                        }
+                                        take(&mut avail, e, 1);
+                                        let o = n.outputs[port];
+                                        avail[o.0] += 1;
+                                        if o == b {
+                                            pushed_b += 1;
+                                        }
+                                        done += 1;
+                                        rr_pos[id.0] = (port, done);
+                                        stepped = true;
+                                    }
+                                }
+                                streamit_graph::Splitter::Null => {}
+                            }
+                        }
+                    }
+                    FlatNodeKind::Joiner(j) => match j {
+                        streamit_graph::Joiner::RoundRobin(_) => {
+                            let w = join_weights(id);
+                            if !w.is_empty() && w.iter().any(|&x| x > 0) {
+                                let (mut port, mut done) = rr_pos[id.0];
+                                while port < w.len() && done >= w[port] {
+                                    port += 1;
+                                    done = 0;
+                                }
+                                if port >= w.len() {
+                                    port = 0;
+                                    done = 0;
+                                    while w[port] == 0 {
+                                        port += 1;
+                                    }
+                                }
+                                let e = n.inputs[port];
+                                if has(e, 1) {
+                                    take(&mut avail, e, 1);
+                                    if let Some(&o) = n.outputs.first() {
+                                        avail[o.0] += 1;
+                                        if o == b {
+                                            pushed_b += 1;
+                                        }
+                                    }
+                                    done += 1;
+                                    rr_pos[id.0] = (port, done);
+                                    stepped = true;
+                                }
+                            }
+                        }
+                        streamit_graph::Joiner::Combine => {
+                            if n.inputs.iter().all(|&e| has(e, 1)) && !n.inputs.is_empty() {
+                                for &e in &n.inputs {
+                                    take(&mut avail, e, 1);
+                                }
+                                if let Some(&o) = n.outputs.first() {
+                                    avail[o.0] += 1;
+                                    if o == b {
+                                        pushed_b += 1;
+                                    }
+                                }
+                                stepped = true;
+                            }
+                        }
+                        streamit_graph::Joiner::Null => {}
+                    },
+                }
+                if !stepped {
+                    break;
+                }
+                budget -= 1;
+                fired[id.0] += 1;
+                produced_any = true;
+            }
+            if produced_any {
+                // Wake consumers.
+                for &e in &g.node(id).outputs {
+                    let d = g.edge(e).dst;
+                    if !queued[d.0] {
+                        queued[d.0] = true;
+                        queue.push(d);
+                    }
+                }
+            }
+        }
+        pushed_b
+    }
+
+    /// `min_{a→b}(x)`: the least `y` such that `max_{a→b}(y) >= x`.
+    /// Returns `u64::MAX` if no bounded `y` suffices.
+    pub fn min_between(&self, a: EdgeId, b: EdgeId, x: u64) -> u64 {
+        if x == 0 {
+            return 0;
+        }
+        if a == b {
+            return x;
+        }
+        // Find an upper bound by doubling.
+        let mut hi = 1u64;
+        let cap = 1u64 << 40;
+        while self.max_between(a, b, hi) < x {
+            hi *= 2;
+            if hi > cap {
+                return u64::MAX;
+            }
+        }
+        let mut lo = 0u64; // max(0) may already suffice via initial items
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            if self.max_between(a, b, mid) >= x {
+                hi = mid;
+            } else {
+                lo = mid + 1;
+            }
+        }
+        lo
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transfer::TransferFn;
+    use proptest::prelude::*;
+    use streamit_graph::builder::*;
+    use streamit_graph::{DataType, FlatGraph, Joiner, Splitter, StreamNode, Value};
+
+    /// Filter with arbitrary static rates built from a window sum.
+    fn rate_filter(name: &str, pk: usize, pop: usize, push: usize) -> StreamNode {
+        let pk = pk.max(pop);
+        FilterBuilder::new(name, DataType::Float)
+            .rates(pk, pop, push)
+            .work(|mut b| {
+                // Touch the full declared window so inferred peek matches.
+                b = b.let_("w", DataType::Float, peek((pk - 1) as i64));
+                for i in 0..push {
+                    b = b.push(peek((i % pk.max(1)) as i64) + var("w"));
+                }
+                for _ in 0..pop {
+                    b = b.pop_discard();
+                }
+                b
+            })
+            .build_node()
+    }
+
+    /// Pipeline of three stages with a probe filter at each end so that
+    /// the first and last edges exist.
+    fn probe_pipeline(stages: &[(usize, usize, usize)]) -> FlatGraph {
+        let mut children = vec![identity("inp", DataType::Float)];
+        for (i, &(pk, pp, ps)) in stages.iter().enumerate() {
+            children.push(rate_filter(&format!("s{i}"), pk, pp, ps));
+        }
+        children.push(identity("outp", DataType::Float));
+        FlatGraph::from_stream(&pipeline("p", children))
+    }
+
+    #[test]
+    fn single_filter_matches_closed_form() {
+        let g = probe_pipeline(&[(3, 1, 2)]);
+        let w = Wavefront::new(&g);
+        let t = TransferFn::new(3, 1, 2);
+        let (a, b) = (g.edges[0].id, g.edges[1].id);
+        for x in 0..30 {
+            assert_eq!(w.max_between(a, b, x), t.max(x), "x={x}");
+        }
+        for x in 1..30 {
+            assert_eq!(w.min_between(a, b, x), t.min(x), "x={x}");
+        }
+    }
+
+    #[test]
+    fn pipeline_matches_composition() {
+        let stages = [(1, 1, 2), (3, 3, 1), (2, 1, 1)];
+        let g = probe_pipeline(&stages);
+        let w = Wavefront::new(&g);
+        let tfs: Vec<TransferFn> = stages
+            .iter()
+            .map(|&(pk, pp, ps)| TransferFn::new(pk as u64, pp as u64, ps as u64))
+            .collect();
+        let (a, b) = (g.edges[0].id, g.edges[g.edges.len() - 1].id);
+        for x in 0..40 {
+            assert_eq!(
+                w.max_between(a, b, x),
+                crate::transfer::pipeline_max(&tfs, x),
+                "x={x}"
+            );
+        }
+        for x in 1..20 {
+            assert_eq!(
+                w.min_between(a, b, x),
+                crate::transfer::pipeline_min(&tfs, x),
+                "x={x}"
+            );
+        }
+    }
+
+    #[test]
+    fn roundrobin_splitter_matches_closed_form() {
+        let sj = splitjoin(
+            "sj",
+            Splitter::round_robin(2),
+            vec![
+                identity("a", DataType::Float),
+                identity("b", DataType::Float),
+            ],
+            Joiner::round_robin(2),
+        );
+        let g = FlatGraph::from_stream(&pipeline(
+            "p",
+            vec![identity("inp", DataType::Float), sj],
+        ));
+        let w = Wavefront::new(&g);
+        // edge 0: inp -> split; find the split->a and split->b edges.
+        let split = g
+            .nodes
+            .iter()
+            .find(|n| n.name.ends_with("/split"))
+            .unwrap();
+        let in_edge = split.inputs[0];
+        let o1 = split.outputs[0];
+        let o2 = split.outputs[1];
+        for x in 0..25 {
+            assert_eq!(
+                w.max_between(in_edge, o1, x),
+                crate::transfer::roundrobin2::split_max_o1(x)
+            );
+            assert_eq!(
+                w.max_between(in_edge, o2, x),
+                crate::transfer::roundrobin2::split_max_o2(x)
+            );
+        }
+    }
+
+    #[test]
+    fn duplicate_splitter_is_identity() {
+        let sj = splitjoin(
+            "sj",
+            Splitter::Duplicate,
+            vec![
+                identity("a", DataType::Float),
+                identity("b", DataType::Float),
+            ],
+            Joiner::Combine,
+        );
+        let g = FlatGraph::from_stream(&pipeline(
+            "p",
+            vec![identity("inp", DataType::Float), sj],
+        ));
+        let w = Wavefront::new(&g);
+        let split = g
+            .nodes
+            .iter()
+            .find(|n| n.name.ends_with("/split"))
+            .unwrap();
+        for x in 0..20 {
+            assert_eq!(w.max_between(split.inputs[0], split.outputs[0], x), x);
+            assert_eq!(w.max_between(split.inputs[0], split.outputs[1], x), x);
+        }
+    }
+
+    #[test]
+    fn feedback_initial_items_shift_wavefront() {
+        // Fibonacci-shaped loop: the loop edge is primed with 2 items, so
+        // even x=0 on the external input lets the body fire twice... in
+        // this source-free loop we check the joiner->body edge instead.
+        let body = FilterBuilder::new("adder", DataType::Int)
+            .rates(2, 1, 1)
+            .push(peek(0) + peek(1))
+            .pop_discard()
+            .build_node();
+        let fl = feedback_loop(
+            "fib",
+            Joiner::RoundRobin(vec![0, 1]),
+            body,
+            Splitter::Duplicate,
+            identity("lb", DataType::Int),
+            2,
+            |i| Value::Int(i as i64),
+        );
+        let g = FlatGraph::from_stream(&fl);
+        // This graph is self-sustaining (gains no items: joiner consumes 1
+        // loop item and produces 1; adder net 0... actually it recirculates
+        // forever).  The wavefront from the joiner->body edge to itself is
+        // unbounded; budget saturation must kick in rather than hanging.
+        let w = Wavefront {
+            budget: 10_000,
+            ..Wavefront::new(&g)
+        };
+        let join = g
+            .nodes
+            .iter()
+            .find(|n| n.name.ends_with("loopjoin"))
+            .unwrap();
+        let body_edge = join.outputs[0];
+        let back_edge = g.edges.iter().find(|e| e.is_back_edge).unwrap().id;
+        let v = w.max_between(body_edge, back_edge, 4);
+        assert_eq!(v, u64::MAX, "self-sustaining loop saturates");
+    }
+
+    #[test]
+    fn feedback_priming_shifts_min_by_delay() {
+        // The paper offsets the feedback joiner's min by the n initial
+        // items: with the loop primed, fewer loop-side items are needed
+        // for a given output.  Compare two identical loops that differ
+        // only in priming depth: the more-primed loop's wavefront from
+        // the external input reaches further.
+        let mk = |delay: usize| {
+            let fl = feedback_loop(
+                "l",
+                Joiner::RoundRobin(vec![1, 1]),
+                identity("body", DataType::Int),
+                Splitter::RoundRobin(vec![1, 1]),
+                identity("lb", DataType::Int),
+                delay,
+                |_| Value::Int(0),
+            );
+            FlatGraph::from_stream(&pipeline(
+                "p",
+                vec![identity("inp", DataType::Int), fl, identity("outp", DataType::Int)],
+            ))
+        };
+        let (g2, g4) = (mk(2), mk(4));
+        for (g, extra) in [(&g2, 2u64), (&g4, 4u64)] {
+            let w = Wavefront {
+                budget: 100_000,
+                ..Wavefront::new(g)
+            };
+            // Note: flattening creates the loop's internal edges before
+            // the pipeline's connecting edges, so look the tapes up by
+            // node rather than index.
+            let first = g
+                .nodes
+                .iter()
+                .find(|n| n.name.ends_with("inp"))
+                .and_then(|n| n.outputs.first().copied())
+                .unwrap();
+            let last = g
+                .nodes
+                .iter()
+                .find(|n| n.name.ends_with("outp"))
+                .and_then(|n| n.inputs.first().copied())
+                .unwrap();
+            // Each joiner round consumes 1 external + 1 loop item and the
+            // splitter emits 1 external output; the priming lets `extra`
+            // loop rounds run ahead.
+            let out0 = w.max_between(first, last, 0);
+            assert!(out0 <= extra, "priming bound: {out0} vs {extra}");
+            let out8 = w.max_between(first, last, 8);
+            assert!(out8 > out0, "external input extends the wavefront");
+        }
+    }
+
+    #[test]
+    fn min_is_galois_adjoint_of_max() {
+        let g = probe_pipeline(&[(4, 2, 3), (1, 1, 2)]);
+        let w = Wavefront::new(&g);
+        let (a, b) = (g.edges[0].id, g.edges[g.edges.len() - 1].id);
+        for x in 1..30 {
+            let y = w.min_between(a, b, x);
+            assert!(w.max_between(a, b, y) >= x);
+            if y > 0 {
+                assert!(w.max_between(a, b, y - 1) < x);
+            }
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_wavefront_matches_closed_form(
+            peek in 1usize..6,
+            pop_extra in 0usize..3,
+            push in 1usize..5,
+            x in 0u64..60,
+        ) {
+            // pop <= peek
+            let pop = (peek - pop_extra.min(peek - 1)).max(1);
+            let g = probe_pipeline(&[(peek, pop, push)]);
+            let w = Wavefront::new(&g);
+            let t = TransferFn::new(peek as u64, pop as u64, push as u64);
+            let (a, b) = (g.edges[0].id, g.edges[1].id);
+            prop_assert_eq!(w.max_between(a, b, x), t.max(x));
+        }
+
+        #[test]
+        fn prop_max_is_monotone(
+            stages in proptest::collection::vec((1usize..5, 1usize..4, 1usize..4), 1..4),
+            x in 0u64..40,
+        ) {
+            let stages: Vec<(usize, usize, usize)> = stages
+                .into_iter()
+                .map(|(pk, pp, ps)| (pk.max(pp), pp, ps))
+                .collect();
+            let g = probe_pipeline(&stages);
+            let w = Wavefront::new(&g);
+            let (a, b) = (g.edges[0].id, g.edges[g.edges.len() - 1].id);
+            prop_assert!(w.max_between(a, b, x) <= w.max_between(a, b, x + 1));
+        }
+    }
+}

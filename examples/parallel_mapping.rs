@@ -1,0 +1,66 @@
+//! Parallelization demo: map one benchmark onto the 16-tile machine
+//! with every strategy of the paper's evaluation and print the
+//! resulting throughput, utilization and MFLOPS.
+//!
+//! ```sh
+//! cargo run --release --example parallel_mapping [benchmark]
+//! ```
+
+use streamit::apps;
+use streamit::rawsim::MachineConfig;
+use streamit::{evaluate_strategies, Compiler};
+
+fn main() {
+    let which = std::env::args().nth(1).unwrap_or_else(|| "FilterBank".into());
+    let bench = apps::evaluation_suite()
+        .into_iter()
+        .find(|b| b.name.eq_ignore_ascii_case(&which))
+        .unwrap_or_else(|| {
+            eprintln!("unknown benchmark `{which}`; available:");
+            for b in apps::evaluation_suite() {
+                eprintln!("  {}", b.name);
+            }
+            std::process::exit(1);
+        });
+
+    let program = Compiler::default()
+        .compile_stream(bench.stream)
+        .expect("benchmark compiles");
+    let chars = program.characterize(bench.name).expect("characterize");
+    println!("== {} ==", bench.name);
+    println!(
+        "filters {:3}  peeking {:2}  stateful {:2}  paths {}..{}  comp/comm {:8.1}  stateful work {:4.1}%",
+        chars.filters,
+        chars.peeking,
+        chars.stateful,
+        chars.shortest_path,
+        chars.longest_path,
+        chars.comp_comm,
+        chars.stateful_work_pct
+    );
+
+    let cfg = MachineConfig::default();
+    let wg = program.work_graph().expect("schedulable");
+    let (base, results) = evaluate_strategies(&wg, &cfg);
+    println!(
+        "single core: {} cycles/steady ({} nodes, {} words/steady)",
+        base.cycles_per_steady,
+        wg.nodes.len(),
+        wg.total_comm()
+    );
+    println!(
+        "{:<20} {:>10} {:>8} {:>6} {:>9} {:>8}",
+        "strategy", "cycles", "speedup", "util", "MFLOPS", "bound"
+    );
+    for (s, r) in results {
+        println!(
+            "{:<20} {:>10} {:>7.2}x {:>5.0}% {:>9.0} {:>8}",
+            s.label(),
+            r.cycles_per_steady,
+            r.speedup_over(&base),
+            r.utilization * 100.0,
+            r.mflops,
+            r.bottleneck
+        );
+    }
+}

@@ -1,0 +1,151 @@
+//! Whole-suite integration: every evaluation benchmark compiles,
+//! validates, solves its steady state, characterizes, and simulates
+//! under every parallelization strategy.
+
+use streamit::rawsim::MachineConfig;
+use streamit::{evaluate_strategies, Compiler};
+
+#[test]
+fn all_benchmarks_compile_and_verify() {
+    for bench in streamit::apps::evaluation_suite() {
+        let p = Compiler::default()
+            .compile_stream(bench.stream)
+            .unwrap_or_else(|e| panic!("{}: {e}", bench.name));
+        assert!(
+            p.verify.is_ok(),
+            "{}: verification failed: {:?}",
+            bench.name,
+            p.verify
+        );
+    }
+}
+
+#[test]
+fn characteristics_match_paper_shape() {
+    let mut rows = Vec::new();
+    for bench in streamit::apps::evaluation_suite() {
+        let p = Compiler::default().compile_stream(bench.stream).unwrap();
+        rows.push(p.characterize(bench.name).unwrap());
+    }
+    let by = |n: &str| rows.iter().find(|r| r.name == n).unwrap();
+
+    // Stateless, non-peeking applications.
+    for n in ["BitonicSort", "FFT", "DES", "Serpent", "TDE", "DCT"] {
+        assert_eq!(by(n).stateful, 0, "{n} must be stateless");
+        assert!(by(n).stateful_work_pct == 0.0);
+    }
+    // Peeking applications.
+    for n in ["FilterBank", "FMRadio", "ChannelVocoder"] {
+        assert!(by(n).peeking > 0, "{n} must peek");
+    }
+    // Stateful applications, ascending stateful share.
+    let mpeg = by("MPEG2Decoder").stateful_work_pct;
+    let voc = by("Vocoder").stateful_work_pct;
+    let radar = by("Radar").stateful_work_pct;
+    assert!(mpeg > 0.0 && mpeg < 10.0, "MPEG stateful insignificant: {mpeg}");
+    assert!(voc > mpeg, "Vocoder more stateful than MPEG");
+    assert!(radar > 80.0, "Radar dominated by stateful work: {radar}");
+
+    // BitonicSort is among the finest-grained benchmarks (lowest
+    // computation-to-communication ratios, shared with the bit-twiddling
+    // ciphers).
+    let bitonic_cc = by("BitonicSort").comp_comm;
+    let finer = rows.iter().filter(|r| r.comp_comm < bitonic_cc).count();
+    assert!(
+        finer <= 1,
+        "BitonicSort should be among the two finest-grained; {finer} finer"
+    );
+    // The heavy DSP kernels sit far above it.
+    for n in ["DCT", "Vocoder", "ChannelVocoder", "Radar"] {
+        assert!(
+            by(n).comp_comm > 3.0 * bitonic_cc,
+            "{n} should be much coarser than BitonicSort"
+        );
+    }
+}
+
+#[test]
+fn every_strategy_simulates_every_benchmark() {
+    let cfg = MachineConfig::default();
+    for bench in streamit::apps::evaluation_suite() {
+        let p = Compiler::default().compile_stream(bench.stream).unwrap();
+        let wg = p.work_graph().unwrap();
+        let (base, results) = evaluate_strategies(&wg, &cfg);
+        for (s, r) in results {
+            assert!(
+                r.cycles_per_steady > 0,
+                "{}/{s:?} zero cycles",
+                bench.name
+            );
+            let speedup = r.speedup_over(&base);
+            assert!(
+                speedup > 0.05 && speedup < 17.0,
+                "{}/{s:?} speedup {speedup} out of physical range",
+                bench.name
+            );
+            assert!(r.utilization <= 1.0 + 1e-9);
+            assert!(r.mflops <= cfg.peak_mflops() + 1e-9);
+        }
+    }
+}
+
+#[test]
+fn headline_shapes_hold() {
+    // The paper's qualitative conclusions, checked end to end:
+    //   1. task parallelism alone is inadequate (small geomean);
+    //   2. coarse-grained data parallelism is a large win;
+    //   3. adding software pipelining improves on data parallelism;
+    //   4. stateful apps (Radar) prefer software pipelining over data.
+    use streamit::geomean;
+    use streamit_sched::Strategy;
+    let cfg = MachineConfig::default();
+    let mut per_strategy: std::collections::HashMap<Strategy, Vec<f64>> =
+        std::collections::HashMap::new();
+    let mut radar_data = 0.0;
+    let mut radar_swp = 0.0;
+    for bench in streamit::apps::evaluation_suite() {
+        let p = Compiler::default().compile_stream(bench.stream).unwrap();
+        let wg = p.work_graph().unwrap();
+        let (base, results) = evaluate_strategies(&wg, &cfg);
+        for (s, r) in results {
+            let sp = r.speedup_over(&base);
+            per_strategy.entry(s).or_default().push(sp);
+            if bench.name == "Radar" {
+                match s {
+                    Strategy::TaskData => radar_data = sp,
+                    Strategy::SoftwarePipeline => radar_swp = sp,
+                    _ => {}
+                }
+            }
+        }
+    }
+    let gm = |s: Strategy| geomean(per_strategy[&s].iter().copied());
+    let task = gm(Strategy::Task);
+    let data = gm(Strategy::TaskData);
+    let swp = gm(Strategy::SoftwarePipeline);
+    let combined = gm(Strategy::TaskDataSwp);
+
+    assert!(task < 4.0, "task parallelism alone must be weak: {task}");
+    assert!(data > 2.0 * task, "coarse data must dominate task: {data} vs {task}");
+    assert!(swp > task, "software pipelining beats task: {swp} vs {task}");
+    assert!(
+        combined >= data * 0.95,
+        "combined must not lose to data alone: {combined} vs {data}"
+    );
+    assert!(
+        radar_swp > radar_data,
+        "Radar prefers software pipelining: {radar_swp} vs {radar_data}"
+    );
+}
+
+#[test]
+fn beamformer_and_radios_compile() {
+    for s in [
+        streamit::apps::beamformer::beamformer_with_io(12, 4, 32),
+        streamit::apps::freqhop::freqhop_teleport_with_io(16, 2),
+        streamit::apps::freqhop::freqhop_manual_with_io(16),
+    ] {
+        let p = Compiler::default().compile_stream(s).unwrap();
+        assert!(p.verify.is_ok());
+    }
+}
