@@ -12,8 +12,12 @@ use streamit_graph::{DataType, Joiner, Splitter, StreamNode, Value};
 
 /// Channel conditioning: two cascaded FIR stages (stateless, heavy).
 fn channel(i: usize, taps: usize) -> StreamNode {
-    let h1: Vec<f64> = (0..taps).map(|t| ((t + i) as f64 * 0.1).cos() / taps as f64).collect();
-    let h2: Vec<f64> = (0..taps).map(|t| ((t * 2 + i) as f64 * 0.07).sin() / taps as f64).collect();
+    let h1: Vec<f64> = (0..taps)
+        .map(|t| ((t + i) as f64 * 0.1).cos() / taps as f64)
+        .collect();
+    let h2: Vec<f64> = (0..taps)
+        .map(|t| ((t * 2 + i) as f64 * 0.07).sin() / taps as f64)
+        .collect();
     pipeline(
         format!("BFChan{i}"),
         vec![

@@ -185,6 +185,9 @@ mod tests {
         });
         assert!(stateless);
         // 5 phases, 15 stages, each with 16 comparators + 2 permuters.
-        assert!(count > 200, "fine granularity expected, got {count} filters");
+        assert!(
+            count > 200,
+            "fine granularity expected, got {count} filters"
+        );
     }
 }

@@ -18,8 +18,7 @@ fn pitch_detector(window: usize) -> StreamNode {
                 .for_("i", 0, (window / 2) as i64, |b| {
                     b.set(
                         "acc",
-                        var("acc")
-                            + peek(var("i")) * peek(var("i") + lit((window / 2) as i64)),
+                        var("acc") + peek(var("i")) * peek(var("i") + lit((window / 2) as i64)),
                     )
                 })
                 .push(var("acc") / lit((window / 2) as f64))
@@ -35,7 +34,12 @@ fn channel(i: usize, channels: usize, taps: usize) -> StreamNode {
     pipeline(
         format!("Chan{i}"),
         vec![
-            bandpass_fir(&format!("ChanBPF{i}"), taps, centre, 0.5 / (2.0 * channels as f64)),
+            bandpass_fir(
+                &format!("ChanBPF{i}"),
+                taps,
+                centre,
+                0.5 / (2.0 * channels as f64),
+            ),
             FilterBuilder::new(format!("Mag{i}"), DataType::Float)
                 .rates(1, 1, 1)
                 .push(abs(pop()))

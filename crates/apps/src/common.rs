@@ -20,10 +20,9 @@ pub fn reader(name: &str, ty: DataType, push: usize) -> StreamNode {
                 );
                 b = match ty {
                     DataType::Int => b.push(var("seed") % lit(1024i64)),
-                    DataType::Float => {
-                        b.push(call1(streamit_graph::Intrinsic::ToFloat, var("seed"))
-                            / lit(2147483648.0))
-                    }
+                    DataType::Float => b.push(
+                        call1(streamit_graph::Intrinsic::ToFloat, var("seed")) / lit(2147483648.0),
+                    ),
                 };
             }
             b
@@ -229,7 +228,10 @@ mod tests {
     fn adder_sums_interleaved() {
         let out = run(
             &adder("a", 2),
-            vec![1.0, 2.0, 3.0, 4.0].into_iter().map(Value::Float).collect(),
+            vec![1.0, 2.0, 3.0, 4.0]
+                .into_iter()
+                .map(Value::Float)
+                .collect(),
             2,
         );
         assert_eq!(out, vec![Value::Float(3.0), Value::Float(7.0)]);

@@ -22,9 +22,7 @@ fn dct_coeffs(n: usize) -> Vec<f64> {
         };
         for t in 0..n {
             c.push(
-                s * (std::f64::consts::PI * (2 * t + 1) as f64 * k as f64
-                    / (2 * n) as f64)
-                    .cos(),
+                s * (std::f64::consts::PI * (2 * t + 1) as f64 * k as f64 / (2 * n) as f64).cos(),
             );
         }
     }
@@ -158,11 +156,7 @@ mod tests {
         let net = dct(n);
         check(&net);
         let x: Vec<f64> = (0..n * n).map(|i| ((i * 7) % 13) as f64 - 6.0).collect();
-        let out = run(
-            &net,
-            x.iter().map(|&v| Value::Float(v)).collect(),
-            n * n,
-        );
+        let out = run(&net, x.iter().map(|&v| Value::Float(v)).collect(), n * n);
         let got: Vec<f64> = out.iter().map(|v| v.as_f64()).collect();
         let expect = reference_2d(n, &x);
         for (g, e) in got.iter().zip(&expect) {

@@ -37,7 +37,9 @@ fn permute(name: &str, perm: &[usize]) -> StreamNode {
 /// constant.
 fn expand_key(round: usize) -> StreamNode {
     // Derived round key nibbles (deterministic per round).
-    let key: Vec<i64> = (0..8).map(|i| ((round * 7 + i * 3 + 5) % 16) as i64).collect();
+    let key: Vec<i64> = (0..8)
+        .map(|i| ((round * 7 + i * 3 + 5) % 16) as i64)
+        .collect();
     FilterBuilder::new(format!("ExpandKey{round}"), DataType::Int)
         .rates(8, 8, 8)
         .work(move |mut b| {
@@ -163,11 +165,7 @@ mod tests {
     fn encrypt(rounds: usize, block: &[i64]) -> Vec<i64> {
         let net = des(rounds);
         check(&net);
-        let out = run(
-            &net,
-            block.iter().map(|&v| Value::Int(v)).collect(),
-            BLOCK,
-        );
+        let out = run(&net, block.iter().map(|&v| Value::Int(v)).collect(), BLOCK);
         out.iter().map(|v| v.as_i64()).collect()
     }
 
@@ -177,8 +175,7 @@ mod tests {
         let ip: Vec<usize> = (0..BLOCK).map(|i| (i * 5 + 3) % BLOCK).collect();
         let mut v: Vec<i64> = ip.iter().map(|&s| block[s]).collect();
         for r in 0..rounds {
-            let (l, rt): (Vec<i64>, Vec<i64>) =
-                (v[..8].to_vec(), v[8..].to_vec());
+            let (l, rt): (Vec<i64>, Vec<i64>) = (v[..8].to_vec(), v[8..].to_vec());
             let key: Vec<i64> = (0..8).map(|i| ((r * 7 + i * 3 + 5) % 16) as i64).collect();
             let mixed: Vec<i64> = (0..8)
                 .map(|i| (rt[i] ^ rt[(i + 1) % 8] ^ key[i]) & 15)

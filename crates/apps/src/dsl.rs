@@ -269,12 +269,8 @@ mod tests {
     fn dsl_freqhop_registers_portal_and_hops() {
         use streamit_sdep::ConstrainedExecutor;
         let program = streamit_frontend::parse_program(FREQHOP_STR).unwrap();
-        let out = streamit_frontend::elaborate_with_args(
-            &program,
-            "Main",
-            &[Value::Int(8)],
-        )
-        .unwrap();
+        let out =
+            streamit_frontend::elaborate_with_args(&program, "Main", &[Value::Int(8)]).unwrap();
         assert_eq!(out.portals.len(), 1);
         let g = FlatGraph::from_stream(&out.stream);
         let receivers = out.portal_receivers(&g, "freqHop");
@@ -296,11 +292,7 @@ mod tests {
     #[test]
     fn dsl_combine_joiner_merges_elementwise() {
         let s = compile(COMBINE_STR).stream;
-        let out = run(
-            &s,
-            (1..=4).map(Value::Int).collect(),
-            4,
-        );
+        let out = run(&s, (1..=4).map(Value::Int).collect(), 4);
         // 2x + 3x = 5x per item.
         let got: Vec<i64> = out.iter().map(|&v| v as i64).collect();
         assert_eq!(got, vec![5, 10, 15, 20]);

@@ -53,9 +53,17 @@ fn twiddle_mult(stage_len: usize, n: usize, idx_in_stage: usize) -> StreamNode {
     .work(move |b| {
         b.for_("k", 0, half as i64, |b| {
             b.let_("vr", DataType::Float, peek(var("k") * lit(2i64)))
-                .let_("vi", DataType::Float, peek(var("k") * lit(2i64) + lit(1i64)))
+                .let_(
+                    "vi",
+                    DataType::Float,
+                    peek(var("k") * lit(2i64) + lit(1i64)),
+                )
                 .let_("wr", DataType::Float, idx("tw", var("k") * lit(2i64)))
-                .let_("wi", DataType::Float, idx("tw", var("k") * lit(2i64) + lit(1i64)))
+                .let_(
+                    "wi",
+                    DataType::Float,
+                    idx("tw", var("k") * lit(2i64) + lit(1i64)),
+                )
                 .push(var("vr") * var("wr") - var("vi") * var("wi"))
                 .push(var("vr") * var("wi") + var("vi") * var("wr"))
         })
@@ -137,8 +145,7 @@ pub fn fft(n: usize) -> StreamNode {
         if blocks == 1 {
             stages.push(butterfly(len, n, 0));
         } else {
-            let children: Vec<StreamNode> =
-                (0..blocks).map(|b| butterfly(len, n, b)).collect();
+            let children: Vec<StreamNode> = (0..blocks).map(|b| butterfly(len, n, b)).collect();
             stages.push(splitjoin(
                 format!("Stage{len}"),
                 streamit_graph::Splitter::RoundRobin(vec![2 * len as u64; blocks]),

@@ -16,7 +16,12 @@ fn band(i: usize, m: usize, taps: usize) -> StreamNode {
     pipeline(
         format!("Band{i}"),
         vec![
-            bandpass_fir(&format!("Analysis{i}"), taps, centre, 0.5 / (2.0 * m as f64)),
+            bandpass_fir(
+                &format!("Analysis{i}"),
+                taps,
+                centre,
+                0.5 / (2.0 * m as f64),
+            ),
             downsample(&format!("Down{i}"), m),
             upsample(&format!("Up{i}"), m),
             lowpass_fir(&format!("Synthesis{i}"), taps, 0.5 / m as f64),
@@ -30,12 +35,7 @@ pub fn filterbank(m: usize, taps: usize) -> StreamNode {
     pipeline(
         "FilterBank",
         vec![
-            splitjoin(
-                "Bands",
-                Splitter::Duplicate,
-                bands,
-                Joiner::round_robin(m),
-            ),
+            splitjoin("Bands", Splitter::Duplicate, bands, Joiner::round_robin(m)),
             adder("Combine", m),
         ],
     )

@@ -42,8 +42,7 @@ fn eq_band(i: usize, bands: usize, taps: usize) -> StreamNode {
 /// The radio: low-pass, demodulate, equalize over `bands` bands of
 /// `taps`-tap filters.
 pub fn fmradio(bands: usize, taps: usize) -> StreamNode {
-    let eq_children: Vec<StreamNode> =
-        (0..bands).map(|i| eq_band(i, bands, taps)).collect();
+    let eq_children: Vec<StreamNode> = (0..bands).map(|i| eq_band(i, bands, taps)).collect();
     pipeline(
         "FMRadio",
         vec![

@@ -95,10 +95,10 @@ fn rftoif_manual(n: usize) -> StreamNode {
             for _ in 0..n {
                 b = b.push(pop() * var("freq"));
             }
-            b.let_("ctl", DataType::Float, pop()).if_(
-                cmp(streamit_graph::BinOp::Ge, var("ctl"), lit(0.0)),
-                |b| b.set("freq", var("ctl")),
-            )
+            b.let_("ctl", DataType::Float, pop())
+                .if_(cmp(streamit_graph::BinOp::Ge, var("ctl"), lit(0.0)), |b| {
+                    b.set("freq", var("ctl"))
+                })
         })
         .build_node()
 }
@@ -110,12 +110,11 @@ fn detector_manual(n: usize) -> StreamNode {
         .rates(n, n, n + 1)
         .state("armed", DataType::Int, Value::Int(1))
         .work(move |mut b| {
-            b = b.let_("e", DataType::Float, lit(0.0)).for_(
-                "i",
-                0,
-                n as i64,
-                |b| b.set("e", var("e") + abs(peek(var("i")))),
-            );
+            b = b
+                .let_("e", DataType::Float, lit(0.0))
+                .for_("i", 0, n as i64, |b| {
+                    b.set("e", var("e") + abs(peek(var("i"))))
+                });
             for _ in 0..n {
                 b = b.push(pop());
             }

@@ -26,8 +26,8 @@ pub mod bitonic;
 pub mod channelvocoder;
 pub mod common;
 pub mod dct;
-pub mod dsl;
 pub mod des;
+pub mod dsl;
 pub mod fft_app;
 pub mod filterbank;
 pub mod fmradio;

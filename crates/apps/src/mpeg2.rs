@@ -23,8 +23,10 @@ fn inverse_quant() -> StreamNode {
         .rates(BLK, BLK, BLK)
         .coeffs("q", q)
         .work(|b| {
-            b.for_("i", 0, BLK as i64, |b| b.push(peek(var("i")) * idx("q", var("i"))))
-                .for_("i", 0, BLK as i64, |b| b.pop_discard())
+            b.for_("i", 0, BLK as i64, |b| {
+                b.push(peek(var("i")) * idx("q", var("i")))
+            })
+            .for_("i", 0, BLK as i64, |b| b.pop_discard())
         })
         .build_node()
 }
@@ -85,9 +87,7 @@ fn idct_pass(name: &str, by_rows: bool) -> StreamNode {
             } else {
                 (2.0 / n as f64).sqrt()
             };
-            c.push(
-                s * (std::f64::consts::PI * (2 * t + 1) as f64 * k as f64 / 16.0).cos(),
-            );
+            c.push(s * (std::f64::consts::PI * (2 * t + 1) as f64 * k as f64 / 16.0).cos());
         }
     }
     FilterBuilder::new(name, DataType::Float)
@@ -105,8 +105,7 @@ fn idct_pass(name: &str, by_rows: bool) -> StreamNode {
                             };
                             b.set(
                                 "acc",
-                                var("acc")
-                                    + peek(src) * idx("c", var("t") * lit(8i64) + var("k")),
+                                var("acc") + peek(src) * idx("c", var("t") * lit(8i64) + var("k")),
                             )
                         })
                         .push(var("acc"))

@@ -30,8 +30,7 @@ fn channel_front(i: usize, taps: usize, dec: usize) -> StreamNode {
                     b.set_idx(
                         "w",
                         var("t"),
-                        idx("w", var("t"))
-                            - peek(var("t")) * var("y") * lit(0.0001),
+                        idx("w", var("t")) - peek(var("t")) * var("y") * lit(0.0001),
                     )
                 })
                 .push(var("y"));

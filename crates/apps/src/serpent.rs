@@ -50,7 +50,10 @@ fn sbox_layer(round: usize) -> StreamNode {
         .state_array(
             "s",
             DataType::Int,
-            table.iter().map(|&v| streamit_graph::Value::Int(v)).collect(),
+            table
+                .iter()
+                .map(|&v| streamit_graph::Value::Int(v))
+                .collect(),
         )
         .work(|b| b.push(idx("s", pop() & lit(15i64))))
         .build_node()
@@ -138,14 +141,10 @@ mod tests {
     fn encrypt(rounds: usize, block: &[i64]) -> Vec<i64> {
         let net = serpent(rounds);
         check(&net);
-        run(
-            &net,
-            block.iter().map(|&v| Value::Int(v)).collect(),
-            BLOCK,
-        )
-        .iter()
-        .map(|v| v.as_i64())
-        .collect()
+        run(&net, block.iter().map(|&v| Value::Int(v)).collect(), BLOCK)
+            .iter()
+            .map(|v| v.as_i64())
+            .collect()
     }
 
     fn reference(rounds: usize, block: &[i64]) -> Vec<i64> {
@@ -154,11 +153,7 @@ mod tests {
             let key: Vec<i64> = (0..BLOCK)
                 .map(|i| ((r * 11 + i * 5 + 3) % 16) as i64)
                 .collect();
-            v = v
-                .iter()
-                .zip(&key)
-                .map(|(&x, &k)| (x ^ k) & 15)
-                .collect();
+            v = v.iter().zip(&key).map(|(&x, &k)| (x ^ k) & 15).collect();
             let table = SBOXES[r % 8];
             v = v.iter().map(|&x| table[(x & 15) as usize]).collect();
             if r + 1 != rounds {
@@ -168,12 +163,10 @@ mod tests {
                         let base = lane * 8;
                         let j = (i + 1) % 8;
                         let k = (i + 5) % 8;
-                        mixed[base + i] =
-                            (v[base + i] ^ (v[base + j] << 1) ^ v[base + k]) & 15;
+                        mixed[base + i] = (v[base + i] ^ (v[base + j] << 1) ^ v[base + k]) & 15;
                     }
                 }
-                let rotated: Vec<i64> =
-                    (0..BLOCK).map(|i| mixed[(i + 9) % BLOCK]).collect();
+                let rotated: Vec<i64> = (0..BLOCK).map(|i| mixed[(i + 9) % BLOCK]).collect();
                 v = rotated;
             }
         }

@@ -26,7 +26,11 @@ fn bin_multiply(n: usize) -> StreamNode {
         .work(move |b| {
             b.for_("k", 0, n as i64, |b| {
                 b.let_("re", DataType::Float, peek(var("k") * lit(2i64)))
-                    .let_("im", DataType::Float, peek(var("k") * lit(2i64) + lit(1i64)))
+                    .let_(
+                        "im",
+                        DataType::Float,
+                        peek(var("k") * lit(2i64) + lit(1i64)),
+                    )
                     .let_("cr", DataType::Float, idx("resp", var("k") * lit(2i64)))
                     .let_(
                         "ci",
@@ -46,10 +50,7 @@ fn bin_multiply(n: usize) -> StreamNode {
 fn conjugate(name: &str, scale: f64) -> StreamNode {
     FilterBuilder::new(name, DataType::Float)
         .rates(2, 2, 2)
-        .work(move |b| {
-            b.push(pop() * lit(scale))
-                .push(-pop() * lit(scale))
-        })
+        .work(move |b| b.push(pop() * lit(scale)).push(-pop() * lit(scale)))
         .build_node()
 }
 

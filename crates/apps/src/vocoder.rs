@@ -36,7 +36,10 @@ fn dft_bank(bins: usize) -> StreamNode {
                     .for_("t", 0, win as i64, |b| {
                         let base = (var("k") * lit(win as i64) + var("t")) * lit(2i64);
                         b.set("re", var("re") + peek(var("t")) * idx("tw", base.clone()))
-                            .set("im", var("im") + peek(var("t")) * idx("tw", base + lit(1i64)))
+                            .set(
+                                "im",
+                                var("im") + peek(var("t")) * idx("tw", base + lit(1i64)),
+                            )
                     })
                     .push(var("re"))
                     .push(var("im"))
@@ -59,7 +62,11 @@ fn phase_unwrap(bins: usize) -> StreamNode {
         .work(move |b| {
             b.for_("k", 0, bins as i64, |b| {
                 b.let_("re", DataType::Float, peek(var("k") * lit(2i64)))
-                    .let_("im", DataType::Float, peek(var("k") * lit(2i64) + lit(1i64)))
+                    .let_(
+                        "im",
+                        DataType::Float,
+                        peek(var("k") * lit(2i64) + lit(1i64)),
+                    )
                     .let_(
                         "mag",
                         DataType::Float,
@@ -92,7 +99,11 @@ fn pitch_shift(bins: usize, factor: f64) -> StreamNode {
         .work(move |b| {
             b.for_("k", 0, bins as i64, |b| {
                 b.let_("mag", DataType::Float, peek(var("k") * lit(2i64)))
-                    .let_("dph", DataType::Float, peek(var("k") * lit(2i64) + lit(1i64)))
+                    .let_(
+                        "dph",
+                        DataType::Float,
+                        peek(var("k") * lit(2i64) + lit(1i64)),
+                    )
                     .set_idx(
                         "acc",
                         var("k"),
@@ -116,7 +127,11 @@ fn envelope(bins: usize) -> StreamNode {
         .work(move |b| {
             b.for_("k", 0, bins as i64, |b| {
                 b.let_("re", DataType::Float, peek(var("k") * lit(2i64)))
-                    .let_("im", DataType::Float, peek(var("k") * lit(2i64) + lit(1i64)))
+                    .let_(
+                        "im",
+                        DataType::Float,
+                        peek(var("k") * lit(2i64) + lit(1i64)),
+                    )
                     .let_(
                         "m",
                         DataType::Float,

@@ -31,8 +31,10 @@ fn main() {
             ),
             ("DES", streamit::apps::des::des_with_io(16)),
         ] {
-            let p = streamit::Compiler::default().compile_stream(app).unwrap();
-            let wg = p.work_graph().unwrap();
+            let p = streamit::Compiler::default()
+                .compile_stream(app)
+                .expect("built-in benchmark app compiles");
+            let wg = p.work_graph().expect("built-in benchmark app schedules");
             let base = simulate_single_core(&wg, &cfg);
             let fine = simulate(
                 &streamit::map_strategy(&wg, Strategy::FineGrainedData, 16),

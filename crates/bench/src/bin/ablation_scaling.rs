@@ -30,8 +30,10 @@ fn main() {
             streamit::apps::fmradio::fmradio_with_io(10, 64),
             streamit::apps::radar::radar_with_io(12, 4),
         ] {
-            let p = streamit::Compiler::default().compile_stream(app).unwrap();
-            let wg = p.work_graph().unwrap();
+            let p = streamit::Compiler::default()
+                .compile_stream(app)
+                .expect("built-in benchmark app compiles");
+            let wg = p.work_graph().expect("built-in benchmark app schedules");
             let base = simulate_single_core(&wg, &cfg);
             let mp = streamit::map_strategy(&wg, Strategy::TaskDataSwp, tiles);
             let r = simulate(&mp, &cfg);

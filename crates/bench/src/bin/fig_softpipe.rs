@@ -39,7 +39,10 @@ fn main() {
     let (gt, gs) = (geomean(tasks), geomean(swps));
     println!(
         "{:<16} {:>11.2}x {:>13.2}x {:>13.2}x",
-        "geomean", gt, gs, gs / gt
+        "geomean",
+        gt,
+        gs,
+        gs / gt
     );
     println!("(paper: SWP 7.7x over single core, 3.4x over task)");
 }

@@ -23,7 +23,14 @@ fn main() {
     streamit_bench::rule(92);
     println!(
         "{:<16} {:>7} {:>8} {:>9} {:>9} {:>9} {:>11} {:>13}",
-        "Benchmark", "Filters", "Peeking", "Stateful", "ShortPath", "LongPath", "Comp/Comm", "StatefulWork"
+        "Benchmark",
+        "Filters",
+        "Peeking",
+        "Stateful",
+        "ShortPath",
+        "LongPath",
+        "Comp/Comm",
+        "StatefulWork"
     );
     streamit_bench::rule(92);
     for r in &rows {
@@ -40,8 +47,6 @@ fn main() {
         );
     }
     streamit_bench::rule(92);
-    println!(
-        "(paper shape: 6 stateless+non-peeking apps; FilterBank/FMRadio/ChannelVocoder peek;"
-    );
+    println!("(paper shape: 6 stateless+non-peeking apps; FilterBank/FMRadio/ChannelVocoder peek;");
     println!(" MPEG2's stateful work insignificant; Radar dominated by stateful work)");
 }

@@ -141,7 +141,10 @@ fn linear_suite() -> Vec<(&'static str, StreamNode)> {
                 Joiner::round_robin(8),
             ),
         ),
-        ("OneBigFIR", pipeline("OneBigFIR", vec![fir_node("big", 256, 0.03)])),
+        (
+            "OneBigFIR",
+            pipeline("OneBigFIR", vec![fir_node("big", 256, 0.03)]),
+        ),
     ]
 }
 
@@ -158,7 +161,15 @@ fn main() {
     streamit_bench::rule(100);
     println!(
         "{:<14} {:>7} {:>9} {:>12} {:>12} {:>9} {:>10} {:>9} {:>10}",
-        "Benchmark", "Filters", "Linear", "Before(cyc)", "After(cyc)", "Speedup", "FreqPlans", "w/Freq", "Collapsed"
+        "Benchmark",
+        "Filters",
+        "Linear",
+        "Before(cyc)",
+        "After(cyc)",
+        "Speedup",
+        "FreqPlans",
+        "w/Freq",
+        "Collapsed"
     );
     streamit_bench::rule(100);
     let mut speedups = Vec::new();

@@ -12,7 +12,9 @@ use streamit::sched::Strategy;
 fn main() {
     let cfg = streamit_bench::machine();
     let n = 16;
-    println!("Teleport messaging vs manual feedback control (freq-hopping radio, {n}-sample rounds)");
+    println!(
+        "Teleport messaging vs manual feedback control (freq-hopping radio, {n}-sample rounds)"
+    );
     streamit_bench::rule(86);
     println!(
         "{:<22} {:>14} {:>13} {:>13} {:>18}",

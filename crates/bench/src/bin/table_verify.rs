@@ -65,7 +65,10 @@ fn main() {
     report("Fibonacci(delay=2)", &FlatGraph::from_stream(&fib_loop(2)));
     report("Fibonacci(delay=1)", &FlatGraph::from_stream(&fib_loop(1)));
     report("Fibonacci(delay=0)", &FlatGraph::from_stream(&fib_loop(0)));
-    report("SplitJoinRateMismatch", &FlatGraph::from_stream(&rate_mismatch()));
+    report(
+        "SplitJoinRateMismatch",
+        &FlatGraph::from_stream(&rate_mismatch()),
+    );
     streamit_bench::rule(100);
     println!("(the loop check is the paper's maxloop identity; the split-join check is its");
     println!(" production-rate divergence condition — both via the balance equations)");

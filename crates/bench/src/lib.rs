@@ -17,7 +17,7 @@
 
 use streamit::rawsim::{MachineConfig, SimResult};
 use streamit::sched::Strategy;
-use streamit::{map_strategy, Compiler, CompiledProgram};
+use streamit::{map_strategy, CompiledProgram, Compiler};
 
 /// The machine used throughout the evaluation: 16 tiles (4×4) at
 /// 450 MHz — peak 7200 MFLOPS, as in the paper.
@@ -34,7 +34,11 @@ pub fn compile(name: &str, stream: streamit::graph::StreamNode) -> CompiledProgr
 
 /// Simulate one strategy for a compiled program; returns
 /// `(baseline, result)`.
-pub fn run_strategy(p: &CompiledProgram, s: Strategy, cfg: &MachineConfig) -> (SimResult, SimResult) {
+pub fn run_strategy(
+    p: &CompiledProgram,
+    s: Strategy,
+    cfg: &MachineConfig,
+) -> (SimResult, SimResult) {
     let wg = p.work_graph().expect("schedulable");
     let base = streamit::rawsim::simulate_single_core(&wg, cfg);
     let mp = map_strategy(&wg, s, cfg.n_tiles());

@@ -3,7 +3,7 @@
 //! ```text
 //! streamitc <file.str> [--main NAME] [--linear | --frequency]
 //!           [--outline] [--dot] [--verify] [--schedule [TILES]]
-//!           [--run N] [--strict]
+//!           [--run N] [--budget FIRINGS] [--strict]
 //! ```
 //!
 //! * `--outline`   print the elaborated hierarchy
@@ -13,8 +13,22 @@
 //!   strategy and print the simulated throughput table
 //! * `--run N`     execute the program on a synthetic ramp input and
 //!   print the first N outputs
+//! * `--budget F`  firing budget for `--run` (default 5·10⁷): a
+//!   divergent program exits with a budget diagnostic instead of spinning
 //! * `--linear` / `--frequency`  enable the linear optimizer
 //! * `--strict`    fail on verification errors
+//!
+//! Exit codes are stable and scriptable:
+//!
+//! | code | meaning |
+//! |------|---------|
+//! | 0    | success |
+//! | 1    | I/O error (file unreadable) |
+//! | 2    | usage error, or lexical/syntax error (`E01xx`) |
+//! | 3    | semantic error (`E02xx`) |
+//! | 4    | verification failure under `--strict` (`E03xx`) |
+//! | 5    | runtime error during `--run` (`E04xx`) |
+//! | 6    | resource budget exhausted (`E05xx`) |
 
 use streamit::linear::LinearMode;
 use streamit::rawsim::MachineConfig;
@@ -28,13 +42,14 @@ struct Args {
     dot: bool,
     schedule: Option<usize>,
     run: Option<usize>,
+    budget: u64,
     strict: bool,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: streamitc <file.str> [--main NAME] [--linear | --frequency] \
-         [--outline] [--dot] [--schedule [TILES]] [--run N] [--strict]"
+         [--outline] [--dot] [--schedule [TILES]] [--run N] [--budget FIRINGS] [--strict]"
     );
     std::process::exit(2);
 }
@@ -48,6 +63,7 @@ fn parse_args() -> Args {
         dot: false,
         schedule: None,
         run: None,
+        budget: streamit::interp::ExecLimits::default().max_firings,
         strict: false,
     };
     let mut it = std::env::args().skip(1).peekable();
@@ -77,6 +93,12 @@ fn parse_args() -> Args {
                     .unwrap_or_else(|| usage());
                 args.run = Some(n);
             }
+            "--budget" => {
+                args.budget = it
+                    .next()
+                    .and_then(|s| s.parse::<u64>().ok())
+                    .unwrap_or_else(|| usage());
+            }
             "--help" | "-h" => usage(),
             f if !f.starts_with('-') && args.file.is_empty() => args.file = f.to_string(),
             _ => usage(),
@@ -104,8 +126,9 @@ fn main() {
     let program = match compiler.compile_source(&source, &args.main) {
         Ok(p) => p,
         Err(e) => {
-            eprintln!("streamitc: {}:{e}", args.file);
-            std::process::exit(1);
+            let d = streamit::Diag::from(e);
+            eprintln!("streamitc: {}: {d}", args.file);
+            std::process::exit(d.exit_code());
         }
     };
 
@@ -185,8 +208,10 @@ fn main() {
     }
 
     if let Some(n) = args.run {
-        let input: Vec<f64> = (0..16 * n.max(64)).map(|i| (i as f64 * 0.1).sin()).collect();
-        match program.run(&input, n) {
+        let input: Vec<f64> = (0..16 * n.max(64))
+            .map(|i| (i as f64 * 0.1).sin())
+            .collect();
+        match program.run_with_budget(&input, n, args.budget) {
             Ok(out) => {
                 println!("\n== first {n} outputs ==");
                 for (i, v) in out.iter().enumerate() {
@@ -194,8 +219,9 @@ fn main() {
                 }
             }
             Err(e) => {
-                eprintln!("streamitc: execution failed: {e}");
-                std::process::exit(1);
+                let d = streamit::Diag::from(e);
+                eprintln!("streamitc: execution failed: {d}");
+                std::process::exit(d.exit_code());
             }
         }
     }

@@ -38,6 +38,9 @@
 //! assert_eq!(out, vec![1.0, 2.0, 3.0]);
 //! ```
 
+mod diag;
+pub use diag::{Diag, DiagCategory, Span};
+
 pub use streamit_apps as apps;
 pub use streamit_frontend as frontend;
 pub use streamit_graph as graph;
@@ -115,8 +118,7 @@ impl Compiler {
         source: &str,
         main: &str,
     ) -> Result<CompiledProgram, CompileError> {
-        let out =
-            streamit_frontend::compile(source, main).map_err(CompileError::Frontend)?;
+        let out = streamit_frontend::compile(source, main).map_err(CompileError::Frontend)?;
         self.finish(out.stream, out.portals, out.latencies)
     }
 
@@ -175,10 +177,24 @@ pub struct CompiledProgram {
 }
 
 impl CompiledProgram {
-    /// Execute the program on `input`, returning `n` outputs.
-    /// Portals from the source are registered automatically;
-    /// messages use the constraint-checked teleport executor.
+    /// Execute the program on `input`, returning `n` outputs, with the
+    /// default firing budget.  Portals from the source are registered
+    /// automatically; messages use the constraint-checked teleport
+    /// executor.
     pub fn run(&self, input: &[f64], n: usize) -> Result<Vec<f64>, interp::RuntimeError> {
+        self.run_with_budget(input, n, interp::ExecLimits::default().max_firings)
+    }
+
+    /// Like [`CompiledProgram::run`], but with an explicit firing budget:
+    /// a divergent or rate-starved execution terminates with
+    /// [`interp::RuntimeError::BudgetExhausted`] (or `Starved`) instead of
+    /// spinning.
+    pub fn run_with_budget(
+        &self,
+        input: &[f64],
+        n: usize,
+        max_firings: u64,
+    ) -> Result<Vec<f64>, interp::RuntimeError> {
         let mut ex = streamit_sdep::ConstrainedExecutor::new(&self.flat);
         for reg in &self.portals {
             for node in resolve_portal_path(&self.flat, &reg.path) {
@@ -199,8 +215,13 @@ impl CompiledProgram {
             Some(streamit_graph::DataType::Int) => Value::Int(v as i64),
             _ => Value::Float(v),
         }));
-        ex.run_until_output(n, 50_000_000)?;
-        Ok(ex.machine().take_output().iter().map(|v| v.as_f64()).collect())
+        ex.run_until_output(n, max_firings)?;
+        Ok(ex
+            .machine()
+            .take_output()
+            .iter()
+            .map(|v| v.as_f64())
+            .collect())
     }
 
     /// The benchmark characteristics row of this program.
@@ -214,11 +235,7 @@ impl CompiledProgram {
     }
 
     /// Map with a given parallelization strategy.
-    pub fn map(
-        &self,
-        strategy: Strategy,
-        n_tiles: usize,
-    ) -> Result<MappedProgram, CompileError> {
+    pub fn map(&self, strategy: Strategy, n_tiles: usize) -> Result<MappedProgram, CompileError> {
         let wg = self.work_graph()?;
         Ok(map_strategy(&wg, strategy, n_tiles))
     }
@@ -236,30 +253,25 @@ impl CompiledProgram {
 
 /// Resolve a portal registration path to flat-graph receiver nodes:
 /// filters under the path that declare handlers.
-pub fn resolve_portal_path(
-    flat: &FlatGraph,
-    path: &str,
-) -> Vec<streamit_graph::NodeId> {
+pub fn resolve_portal_path(flat: &FlatGraph, path: &str) -> Vec<streamit_graph::NodeId> {
     flat.nodes
         .iter()
         .filter(|n| {
             (n.name == path || n.name.starts_with(&format!("{path}/")))
-                && n.as_filter().map(|f| !f.handlers.is_empty()).unwrap_or(false)
+                && n.as_filter()
+                    .map(|f| !f.handlers.is_empty())
+                    .unwrap_or(false)
         })
         .map(|n| n.id)
         .collect()
 }
 
 /// Resolve a hierarchical instance path to its first filter node.
-pub fn resolve_path_filter(
-    flat: &FlatGraph,
-    path: &str,
-) -> Option<streamit_graph::NodeId> {
+pub fn resolve_path_filter(flat: &FlatGraph, path: &str) -> Option<streamit_graph::NodeId> {
     flat.nodes
         .iter()
         .find(|n| {
-            (n.name == path || n.name.starts_with(&format!("{path}/")))
-                && n.as_filter().is_some()
+            (n.name == path || n.name.starts_with(&format!("{path}/"))) && n.as_filter().is_some()
         })
         .map(|n| n.id)
 }

@@ -1,0 +1,177 @@
+//! Offline benchmarking shim.
+//!
+//! Vendors the subset of the `criterion` API used by the workspace's
+//! benches so `cargo build`/`cargo test`/`cargo bench` work with no
+//! network access.  Measurement is a simple adaptive wall-clock loop
+//! (warmup, then iterate for a short budget) with mean ns/iter
+//! reporting — adequate for coarse regression spotting, not a
+//! statistics engine.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Per-measurement time budget.  Kept short so accidentally running
+/// the bench binary in test mode stays cheap.
+const MEASURE_BUDGET: Duration = Duration::from_millis(25);
+const WARMUP_ITERS: u32 = 2;
+
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            _c: self,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::default();
+        f(&mut b);
+        b.report(name);
+        self
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _c: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.label);
+        let mut b = Bencher::default();
+        f(&mut b, input);
+        b.report(&label);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, name);
+        let mut b = Bencher::default();
+        f(&mut b);
+        b.report(&label);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    pub fn new(name: impl Display, param: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{name}/{param}"),
+        }
+    }
+
+    pub fn from_parameter(param: impl Display) -> Self {
+        BenchmarkId {
+            label: param.to_string(),
+        }
+    }
+}
+
+#[derive(Default)]
+pub struct Bencher {
+    elapsed: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        for _ in 0..WARMUP_ITERS {
+            std::hint::black_box(f());
+        }
+        let start = Instant::now();
+        let mut iters = 0u64;
+        loop {
+            std::hint::black_box(f());
+            iters += 1;
+            if start.elapsed() >= MEASURE_BUDGET {
+                break;
+            }
+        }
+        self.elapsed = start.elapsed();
+        self.iters = iters;
+    }
+
+    fn report(&self, label: &str) {
+        if self.iters == 0 {
+            println!("{label:<44} (no measurement)");
+            return;
+        }
+        let ns = self.elapsed.as_nanos() as f64 / self.iters as f64;
+        println!("{label:<44} {ns:>14.1} ns/iter ({} iters)", self.iters);
+    }
+}
+
+/// `black_box` re-export for call sites that import it from criterion.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),* $(,)?) => {
+        fn $name(c: &mut $crate::Criterion) {
+            $( $target(c); )*
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),* $(,)?) => {
+        fn main() {
+            // `cargo test` may execute harness=false bench targets with
+            // `--test`; skip measurement there.
+            if std::env::args().any(|a| a == "--test") {
+                return;
+            }
+            let mut c = $crate::Criterion::default();
+            $( $group(&mut c); )*
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_counts_iterations() {
+        let mut b = Bencher::default();
+        let mut n = 0u64;
+        b.iter(|| {
+            n += 1;
+            n
+        });
+        assert!(b.iters >= 1);
+        assert!(b.elapsed >= MEASURE_BUDGET);
+    }
+
+    #[test]
+    fn id_formats() {
+        assert_eq!(BenchmarkId::new("fir", 64).label, "fir/64");
+    }
+}

@@ -202,11 +202,7 @@ pub enum GStmtKind {
     /// `max_latency a b n;` — the appendix's `MAX_LATENCY(a, b, n)`
     /// directive: child `a` may only progress up to the information
     /// wavefront child `b` will see within `n` invocations.
-    MaxLatency {
-        a: String,
-        b: String,
-        n: AExpr,
-    },
+    MaxLatency { a: String, b: String, n: AExpr },
     /// Elaboration-time loop over graph statements.
     For {
         var: String,
@@ -221,10 +217,7 @@ pub enum GStmtKind {
         else_body: Vec<GStmt>,
     },
     /// Elaboration-time constant binding: `int k = expr;`
-    LetConst {
-        name: String,
-        value: AExpr,
-    },
+    LetConst { name: String, value: AExpr },
 }
 
 /// Expression AST.  Intrinsics appear as [`AExpr::Call`] and are resolved

@@ -23,7 +23,7 @@ use streamit_graph::{
     DataType, Expr, FeedbackLoop, Filter, Handler, Intrinsic, Joiner, LValue, Pipeline, PreWork,
     SplitJoin, Splitter, StateInit, StateVar, Stmt, StreamNode, Value,
 };
-use streamit_interp::{eval_block, EvalCtx, RuntimeError, Slot};
+use streamit_interp::{eval_block_bounded, EvalCtx, RuntimeError, Slot};
 
 /// An elaboration failure.
 #[derive(Debug, Clone, PartialEq)]
@@ -110,6 +110,7 @@ pub fn elaborate_with_args(
         portals: Vec::new(),
         latencies: Vec::new(),
         depth: 0,
+        gsteps: 0,
     };
     let decl = program.find(main_name).ok_or_else(|| ElabError {
         pos: SourcePos::default(),
@@ -123,13 +124,25 @@ pub fn elaborate_with_args(
     })
 }
 
-const MAX_DEPTH: u32 = 200;
+// Each level costs several stack frames in the elaborator; 48 is far
+// beyond any real program's nesting yet trips well before a 2 MiB test
+// thread's stack does (debug frames are large).
+const MAX_DEPTH: u32 = 48;
+/// Cap on a single state array's element count; larger requests are a
+/// diagnostic, not an allocation.
+const MAX_ARRAY_ELEMS: u64 = 1 << 20;
+/// Statement budget for a filter's elaboration-time `init` block.
+const MAX_INIT_STEPS: u64 = 10_000_000;
+/// Budget on graph-construction statements executed during elaboration
+/// (loop unrolling, adds); bounds adversarial `for` nests.
+const MAX_GRAPH_STEPS: u64 = 200_000;
 
 struct Elaborator<'p> {
     program: &'p Program,
     portals: Vec<PortalRegistration>,
     latencies: Vec<LatencyDirective>,
     depth: u32,
+    gsteps: u64,
 }
 
 /// Compile-time constant environment.
@@ -182,9 +195,10 @@ impl<'p> Elaborator<'p> {
         let mut env: ConstEnv = ConstEnv::new();
         env.insert("pi".into(), Value::Float(std::f64::consts::PI));
         for (p, a) in params.iter().zip(args) {
-            let ty = p.ty.to_data_type().ok_or_else(|| {
-                err(pos, format!("parameter `{}` cannot have type void", p.name))
-            })?;
+            let ty = p
+                .ty
+                .to_data_type()
+                .ok_or_else(|| err(pos, format!("parameter `{}` cannot have type void", p.name)))?;
             env.insert(p.name.clone(), a.coerce(ty));
         }
         let result = match decl {
@@ -208,15 +222,29 @@ impl<'p> Elaborator<'p> {
         let mut state: HashMap<String, Slot> = HashMap::new();
         let mut field_order = Vec::new();
         for fd in &f.fields {
-            let ty = fd.ty.to_data_type().ok_or_else(|| {
-                err(fd.pos, format!("field `{}` cannot have type void", fd.name))
-            })?;
+            let ty = fd
+                .ty
+                .to_data_type()
+                .ok_or_else(|| err(fd.pos, format!("field `{}` cannot have type void", fd.name)))?;
             let slot = match &fd.size {
                 None => Slot::Scalar(ty.zero()),
                 Some(sz) => {
                     let n = const_eval(sz, env, fd.pos)?.as_i64();
                     if n < 0 {
-                        return Err(err(fd.pos, format!("array `{}` has negative size", fd.name)));
+                        return Err(err(
+                            fd.pos,
+                            format!("array `{}` has negative size", fd.name),
+                        ));
+                    }
+                    if n as u64 > MAX_ARRAY_ELEMS {
+                        return Err(err(
+                            fd.pos,
+                            format!(
+                                "array `{}` has {} elements, exceeding the \
+                                 {MAX_ARRAY_ELEMS}-element limit",
+                                fd.name, n
+                            ),
+                        ));
                     }
                     Slot::Array(vec![ty.zero(); n as usize])
                 }
@@ -226,34 +254,41 @@ impl<'p> Elaborator<'p> {
             field_order.push(fd.name.clone());
         }
 
-        // Run init at elaboration time.
+        // Run init at elaboration time, bounded so a divergent init loop
+        // becomes a diagnostic rather than hanging compilation.
         if let Some(init) = &f.init {
             let lowered = self.lower_block(init, env, &mut HashSet::new())?;
             let mut ctx = NoTapeCtx { name: &f.name };
-            eval_block(&lowered, &mut state, HashMap::new(), &mut ctx).map_err(|e| {
-                err(
-                    f.pos,
-                    format!("while executing init of `{}`: {e}", f.name),
-                )
-            })?;
+            eval_block_bounded(
+                &lowered,
+                &mut state,
+                HashMap::new(),
+                &mut ctx,
+                MAX_INIT_STEPS,
+            )
+            .map_err(|e| err(f.pos, format!("while executing init of `{}`: {e}", f.name)))?;
         }
 
         // Snapshot state into StateVars.
-        let state_vars = field_order
-            .iter()
-            .map(|name| {
-                let ty = state_types[name];
-                let init = match state.remove(name).expect("declared above") {
-                    Slot::Scalar(v) => StateInit::Scalar(v),
-                    Slot::Array(vs) => StateInit::Array(vs),
-                };
-                StateVar {
-                    name: name.clone(),
-                    ty,
-                    init,
-                }
-            })
-            .collect();
+        let mut state_vars = Vec::with_capacity(field_order.len());
+        for name in &field_order {
+            let Some(&ty) = state_types.get(name) else {
+                continue;
+            };
+            let Some(slot) = state.remove(name) else {
+                continue;
+            };
+            let init = match slot {
+                Slot::Scalar(v) => StateInit::Scalar(v),
+                Slot::Array(vs) => StateInit::Array(vs),
+            };
+            state_vars.push(StateVar {
+                name: name.clone(),
+                ty,
+                init,
+            });
+        }
+        let state_vars = state_vars;
 
         // Rates.
         let rate = |e: &Option<AExpr>, pos| -> Result<usize, ElabError> {
@@ -292,8 +327,7 @@ impl<'p> Elaborator<'p> {
 
         let mut handlers = Vec::new();
         for h in &f.handlers {
-            let mut shadow: HashSet<String> =
-                h.params.iter().map(|p| p.name.clone()).collect();
+            let mut shadow: HashSet<String> = h.params.iter().map(|p| p.name.clone()).collect();
             let params = h
                 .params
                 .iter()
@@ -344,6 +378,7 @@ impl<'p> Elaborator<'p> {
             children: Vec::new(),
             aliases: HashMap::new(),
             used_names: HashSet::new(),
+            name_seq: HashMap::new(),
             splitter: None,
             joiner: None,
             body: None,
@@ -357,7 +392,10 @@ impl<'p> Elaborator<'p> {
         match c.kind {
             CompositeKind::Pipeline => {
                 if b.children.is_empty() {
-                    return Err(err(c.pos, format!("pipeline `{}` adds no children", c.name)));
+                    return Err(err(
+                        c.pos,
+                        format!("pipeline `{}` adds no children", c.name),
+                    ));
                 }
                 Ok(StreamNode::Pipeline(Pipeline {
                     name: inst.to_string(),
@@ -367,7 +405,10 @@ impl<'p> Elaborator<'p> {
             CompositeKind::SplitJoin => {
                 let n = b.children.len();
                 if n == 0 {
-                    return Err(err(c.pos, format!("splitjoin `{}` adds no children", c.name)));
+                    return Err(err(
+                        c.pos,
+                        format!("splitjoin `{}` adds no children", c.name),
+                    ));
                 }
                 let splitter = match b.splitter {
                     Some(s) => s,
@@ -456,6 +497,16 @@ impl<'p> Elaborator<'p> {
         my_path: &str,
         kind: CompositeKind,
     ) -> Result<(), ElabError> {
+        self.gsteps += 1;
+        if self.gsteps > MAX_GRAPH_STEPS {
+            return Err(err(
+                g.pos,
+                format!(
+                    "graph elaboration exceeds the {MAX_GRAPH_STEPS}-statement \
+                     budget (runaway loop in stream construction?)"
+                ),
+            ));
+        }
         match &g.kind {
             GStmtKind::Add { stream, alias } => {
                 let child = self.elab_call(stream, env, alias.as_deref(), my_path, b)?;
@@ -577,9 +628,10 @@ impl<'p> Elaborator<'p> {
         my_path: &str,
         b: &mut CompositeBody,
     ) -> Result<StreamNode, ElabError> {
-        let decl = self.program.find(&call.name).ok_or_else(|| {
-            err(call.pos, format!("no stream named `{}`", call.name))
-        })?;
+        let decl = self
+            .program
+            .find(&call.name)
+            .ok_or_else(|| err(call.pos, format!("no stream named `{}`", call.name)))?;
         let mut args = Vec::with_capacity(call.args.len());
         for a in &call.args {
             args.push(const_eval(a, env, call.pos)?);
@@ -587,13 +639,13 @@ impl<'p> Elaborator<'p> {
         // Choose a unique instance name within this composite.
         let base = alias.unwrap_or(&call.name).to_string();
         let inst = if b.used_names.contains(&base) {
-            let mut k = 1;
+            let k = b.name_seq.entry(base.clone()).or_insert(1);
             loop {
                 let cand = format!("{base}_{k}");
+                *k += 1;
                 if !b.used_names.contains(&cand) {
                     break cand;
                 }
-                k += 1;
             }
         } else {
             base
@@ -643,6 +695,15 @@ impl<'p> Elaborator<'p> {
                         let n = const_eval(sz, env, pos)?.as_i64();
                         if n < 0 {
                             return Err(err(pos, format!("array `{name}` has negative size")));
+                        }
+                        if n as u64 > MAX_ARRAY_ELEMS {
+                            return Err(err(
+                                pos,
+                                format!(
+                                    "array `{name}` has {n} elements, exceeding \
+                                     the {MAX_ARRAY_ELEMS}-element limit"
+                                ),
+                            ));
                         }
                         Stmt::LetArray {
                             name: name.clone(),
@@ -713,14 +774,10 @@ impl<'p> Elaborator<'p> {
                     }
                 };
                 let to = match cond {
-                    AExpr::Binary(streamit_graph::BinOp::Lt, l, r)
-                        if matches!(&**l, AExpr::Var(n) if *n == var) =>
-                    {
+                    AExpr::Binary(streamit_graph::BinOp::Lt, l, r) if matches!(&**l, AExpr::Var(n) if *n == var) => {
                         (**r).clone()
                     }
-                    AExpr::Binary(streamit_graph::BinOp::Le, l, r)
-                        if matches!(&**l, AExpr::Var(n) if *n == var) =>
-                    {
+                    AExpr::Binary(streamit_graph::BinOp::Le, l, r) if matches!(&**l, AExpr::Var(n) if *n == var) => {
                         AExpr::Binary(
                             streamit_graph::BinOp::Add,
                             Box::new((**r).clone()),
@@ -730,7 +787,9 @@ impl<'p> Elaborator<'p> {
                     _ => {
                         return Err(err(
                             pos,
-                            format!("for-loop condition must be `{var} < <expr>` or `{var} <= <expr>`"),
+                            format!(
+                                "for-loop condition must be `{var} < <expr>` or `{var} <= <expr>`"
+                            ),
                         ))
                     }
                 };
@@ -830,9 +889,8 @@ impl<'p> Elaborator<'p> {
                 fold_binary(*op, l, r)
             }
             AExpr::Call(name, args) => {
-                let f = Intrinsic::from_name(name).ok_or_else(|| {
-                    err(pos, format!("unknown function `{name}`"))
-                })?;
+                let f = Intrinsic::from_name(name)
+                    .ok_or_else(|| err(pos, format!("unknown function `{name}`")))?;
                 if args.len() != f.arity() {
                     return Err(err(
                         pos,
@@ -848,7 +906,10 @@ impl<'p> Elaborator<'p> {
                     .map(|a| self.lower_expr(a, env, shadow, pos))
                     .collect::<Result<Vec<_>, _>>()?;
                 // Fold constant intrinsic calls (e.g. sin of a literal).
-                if args.iter().all(|a| matches!(a, Expr::IntLit(_) | Expr::FloatLit(_))) {
+                if args
+                    .iter()
+                    .all(|a| matches!(a, Expr::IntLit(_) | Expr::FloatLit(_)))
+                {
                     let vals: Vec<Value> = args
                         .iter()
                         .map(|a| match a {
@@ -873,12 +934,15 @@ impl<'p> Elaborator<'p> {
 fn fold_binary(op: streamit_graph::BinOp, l: Expr, r: Expr) -> Expr {
     use streamit_graph::BinOp as B;
     if let (Expr::IntLit(a), Expr::IntLit(b)) = (&l, &r) {
+        // Wrapping arithmetic matches the interpreter's runtime
+        // semantics (and avoids debug-build overflow panics on
+        // adversarial literals).
         let v = match op {
-            B::Add => Some(a + b),
-            B::Sub => Some(a - b),
-            B::Mul => Some(a * b),
-            B::Div if *b != 0 => Some(a / b),
-            B::Rem if *b != 0 => Some(a % b),
+            B::Add => Some(a.wrapping_add(*b)),
+            B::Sub => Some(a.wrapping_sub(*b)),
+            B::Mul => Some(a.wrapping_mul(*b)),
+            B::Div if *b != 0 => a.checked_div(*b),
+            B::Rem if *b != 0 => a.checked_rem(*b),
             B::Shl => Some(a << (*b as u32 % 64)),
             B::Shr => Some(a >> (*b as u32 % 64)),
             B::BitAnd => Some(a & b),
@@ -924,7 +988,7 @@ fn const_eval(e: &AExpr, env: &ConstEnv, pos: SourcePos) -> Result<Value, ElabEr
             let v = const_eval(a, env, pos)?;
             match op {
                 streamit_graph::UnOp::Neg => match v {
-                    Value::Int(i) => Value::Int(-i),
+                    Value::Int(i) => Value::Int(i.wrapping_neg()),
                     Value::Float(f) => Value::Float(-f),
                 },
                 streamit_graph::UnOp::Not => Value::Int(!v.is_truthy() as i64),
@@ -961,9 +1025,9 @@ fn const_binop(op: streamit_graph::BinOp, a: Value, b: Value) -> Option<Value> {
     use streamit_graph::BinOp as B;
     Some(match (a, b) {
         (Value::Int(x), Value::Int(y)) => match op {
-            B::Add => Value::Int(x + y),
-            B::Sub => Value::Int(x - y),
-            B::Mul => Value::Int(x * y),
+            B::Add => Value::Int(x.wrapping_add(y)),
+            B::Sub => Value::Int(x.wrapping_sub(y)),
+            B::Mul => Value::Int(x.wrapping_mul(y)),
             B::Div => Value::Int(x.checked_div(y)?),
             B::Rem => Value::Int(x.checked_rem(y)?),
             B::Eq => Value::Int((x == y) as i64),
@@ -1020,6 +1084,10 @@ struct CompositeBody {
     children: Vec<StreamNode>,
     aliases: HashMap<String, String>,
     used_names: HashSet<String>,
+    /// Next numeric suffix to try per base name, so uniquifying the
+    /// n-th `add F()` is amortized O(1) instead of probing `F_1..F_n`
+    /// every time (quadratic on large unrolled loops).
+    name_seq: HashMap<String, usize>,
     splitter: Option<SplitterVal>,
     joiner: Option<JoinerVal>,
     body: Option<StreamNode>,

@@ -65,7 +65,7 @@ pub enum TokenKind {
     KwTrue,
     KwFalse,
     // Punctuation
-    Arrow,     // ->
+    Arrow, // ->
     LParen,
     RParen,
     LBrace,
@@ -76,7 +76,7 @@ pub enum TokenKind {
     Comma,
     Dot,
     // Operators
-    Assign,    // =
+    Assign, // =
     Plus,
     Minus,
     Star,
@@ -84,9 +84,9 @@ pub enum TokenKind {
     Percent,
     Bang,
     Tilde,
-    Amp,       // &
-    Pipe,      // |
-    Caret,     // ^
+    Amp,   // &
+    Pipe,  // |
+    Caret, // ^
     AmpAmp,
     PipePipe,
     EqEq,
@@ -251,8 +251,7 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
             continue;
         }
         // Numbers
-        if b.is_ascii_digit()
-            || (b == b'.' && i + 1 < bytes.len() && bytes[i + 1].is_ascii_digit())
+        if b.is_ascii_digit() || (b == b'.' && i + 1 < bytes.len() && bytes[i + 1].is_ascii_digit())
         {
             let s0 = i;
             let mut is_float = false;
@@ -359,7 +358,7 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
                     return Err(LexError {
                         pos: start,
                         message: format!("unexpected character `{ch}`"),
-                    })
+                    });
                 }
             },
         };

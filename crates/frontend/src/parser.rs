@@ -32,7 +32,11 @@ impl From<crate::lexer::LexError> for ParseError {
 /// Parse a whole source file.
 pub fn parse_program(src: &str) -> Result<Program, ParseError> {
     let toks = lex(src)?;
-    let mut p = Parser { toks, at: 0 };
+    let mut p = Parser {
+        toks,
+        at: 0,
+        depth: 0,
+    };
     let mut decls = Vec::new();
     while !p.is(TokenKind::Eof) {
         decls.push(p.decl()?);
@@ -40,9 +44,20 @@ pub fn parse_program(src: &str) -> Result<Program, ParseError> {
     Ok(Program { decls })
 }
 
+/// Maximum syntactic nesting (expressions, statements, graph statements).
+/// Recursive-descent depth is bounded so that adversarially nested input
+/// (e.g. ten thousand open parens) yields a parse error instead of a
+/// stack overflow, which `catch_unwind` cannot contain.
+// One `enter()` tick costs a handful of recursive-descent frames; 128
+// levels of expression/statement nesting is far beyond real programs
+// but still fits comfortably in a 2 MiB test-thread stack even with
+// debug-sized frames.
+const MAX_PARSE_DEPTH: usize = 128;
+
 struct Parser {
     toks: Vec<Token>,
     at: usize,
+    depth: usize,
 }
 
 type PResult<T> = Result<T, ParseError>;
@@ -77,7 +92,7 @@ impl Parser {
         }
     }
 
-    fn expect(&mut self, k: TokenKind, what: &str) -> PResult<Token> {
+    fn expect_tok(&mut self, k: TokenKind, what: &str) -> PResult<Token> {
         if self.cur().kind == k {
             Ok(self.bump())
         } else {
@@ -93,6 +108,22 @@ impl Parser {
             pos: self.pos(),
             message,
         }
+    }
+
+    /// Guard recursive descent: every nesting construct calls this on
+    /// entry and [`Parser::leave`] on exit.
+    fn enter(&mut self) -> PResult<()> {
+        self.depth += 1;
+        if self.depth > MAX_PARSE_DEPTH {
+            return Err(self.err(format!(
+                "nesting exceeds the parser depth limit ({MAX_PARSE_DEPTH})"
+            )));
+        }
+        Ok(())
+    }
+
+    fn leave(&mut self) {
+        self.depth = self.depth.saturating_sub(1);
     }
 
     fn ident(&mut self, what: &str) -> PResult<String> {
@@ -132,7 +163,7 @@ impl Parser {
     }
 
     fn params(&mut self) -> PResult<Vec<Param>> {
-        self.expect(TokenKind::LParen, "`(`")?;
+        self.expect_tok(TokenKind::LParen, "`(`")?;
         let mut ps = Vec::new();
         if !self.is(TokenKind::RParen) {
             loop {
@@ -144,7 +175,7 @@ impl Parser {
                 }
             }
         }
-        self.expect(TokenKind::RParen, "`)`")?;
+        self.expect_tok(TokenKind::RParen, "`)`")?;
         Ok(ps)
     }
 
@@ -153,7 +184,7 @@ impl Parser {
     fn decl(&mut self) -> PResult<Decl> {
         let pos = self.pos();
         let input = self.atype()?;
-        self.expect(TokenKind::Arrow, "`->`")?;
+        self.expect_tok(TokenKind::Arrow, "`->`")?;
         let output = self.atype()?;
         let sig = StreamSig { input, output };
         match self.cur().kind {
@@ -186,7 +217,7 @@ impl Parser {
     fn filter_decl(&mut self, pos: SourcePos, sig: StreamSig) -> PResult<FilterDecl> {
         let name = self.ident("filter name")?;
         let params = self.params()?;
-        self.expect(TokenKind::LBrace, "`{`")?;
+        self.expect_tok(TokenKind::LBrace, "`{`")?;
         let mut fields = Vec::new();
         let mut init = None;
         let mut work = None;
@@ -232,7 +263,7 @@ impl Parser {
                 }
             }
         }
-        self.expect(TokenKind::RBrace, "`}`")?;
+        self.expect_tok(TokenKind::RBrace, "`}`")?;
         let work = work.ok_or_else(|| ParseError {
             pos,
             message: format!("filter `{name}` has no work function"),
@@ -256,13 +287,13 @@ impl Parser {
         let ty = self.atype()?;
         let size = if self.eat(TokenKind::LBracket) {
             let e = self.expr()?;
-            self.expect(TokenKind::RBracket, "`]`")?;
+            self.expect_tok(TokenKind::RBracket, "`]`")?;
             Some(e)
         } else {
             None
         };
         let name = self.ident("field name")?;
-        self.expect(TokenKind::Semi, "`;`")?;
+        self.expect_tok(TokenKind::Semi, "`;`")?;
         Ok(FieldDecl {
             pos,
             name,
@@ -310,9 +341,9 @@ impl Parser {
     ) -> PResult<CompositeDecl> {
         let name = self.ident("stream name")?;
         let params = self.params()?;
-        self.expect(TokenKind::LBrace, "`{`")?;
+        self.expect_tok(TokenKind::LBrace, "`{`")?;
         let body = self.gstmts_until_rbrace()?;
-        self.expect(TokenKind::RBrace, "`}`")?;
+        self.expect_tok(TokenKind::RBrace, "`}`")?;
         Ok(CompositeDecl {
             pos,
             kind,
@@ -336,7 +367,7 @@ impl Parser {
     fn gblock(&mut self) -> PResult<Vec<GStmt>> {
         if self.eat(TokenKind::LBrace) {
             let body = self.gstmts_until_rbrace()?;
-            self.expect(TokenKind::RBrace, "`}`")?;
+            self.expect_tok(TokenKind::RBrace, "`}`")?;
             Ok(body)
         } else {
             Ok(vec![self.gstmt()?])
@@ -356,12 +387,19 @@ impl Parser {
                     }
                 }
             }
-            self.expect(TokenKind::RParen, "`)`")?;
+            self.expect_tok(TokenKind::RParen, "`)`")?;
         }
         Ok(StreamCall { pos, name, args })
     }
 
     fn gstmt(&mut self) -> PResult<GStmt> {
+        self.enter()?;
+        let r = self.gstmt_inner();
+        self.leave();
+        r
+    }
+
+    fn gstmt_inner(&mut self) -> PResult<GStmt> {
         let pos = self.pos();
         let kind = match self.cur().kind {
             TokenKind::KwAdd => {
@@ -372,50 +410,50 @@ impl Parser {
                 } else {
                     None
                 };
-                self.expect(TokenKind::Semi, "`;`")?;
+                self.expect_tok(TokenKind::Semi, "`;`")?;
                 GStmtKind::Add { stream, alias }
             }
             TokenKind::KwSplit => {
                 self.bump();
                 let spec = self.splitter_spec()?;
-                self.expect(TokenKind::Semi, "`;`")?;
+                self.expect_tok(TokenKind::Semi, "`;`")?;
                 GStmtKind::Split(spec)
             }
             TokenKind::KwJoin => {
                 self.bump();
                 let spec = self.joiner_spec()?;
-                self.expect(TokenKind::Semi, "`;`")?;
+                self.expect_tok(TokenKind::Semi, "`;`")?;
                 GStmtKind::Join(spec)
             }
             TokenKind::KwBody => {
                 self.bump();
                 let s = self.stream_call()?;
-                self.expect(TokenKind::Semi, "`;`")?;
+                self.expect_tok(TokenKind::Semi, "`;`")?;
                 GStmtKind::Body(s)
             }
             TokenKind::KwLoop => {
                 self.bump();
                 let s = self.stream_call()?;
-                self.expect(TokenKind::Semi, "`;`")?;
+                self.expect_tok(TokenKind::Semi, "`;`")?;
                 GStmtKind::Loop(s)
             }
             TokenKind::KwEnqueue => {
                 self.bump();
                 let e = self.expr()?;
-                self.expect(TokenKind::Semi, "`;`")?;
+                self.expect_tok(TokenKind::Semi, "`;`")?;
                 GStmtKind::Enqueue(e)
             }
             TokenKind::KwDelay => {
                 self.bump();
                 let e = self.expr()?;
-                self.expect(TokenKind::Semi, "`;`")?;
+                self.expect_tok(TokenKind::Semi, "`;`")?;
                 GStmtKind::Delay(e)
             }
             TokenKind::KwRegister => {
                 self.bump();
                 let portal = self.ident("portal name")?;
                 let alias = self.ident("registered child alias")?;
-                self.expect(TokenKind::Semi, "`;`")?;
+                self.expect_tok(TokenKind::Semi, "`;`")?;
                 GStmtKind::Register { portal, alias }
             }
             TokenKind::KwMaxLatency => {
@@ -423,35 +461,35 @@ impl Parser {
                 let a = self.ident("upstream child alias")?;
                 let b = self.ident("downstream child alias")?;
                 let n = self.expr()?;
-                self.expect(TokenKind::Semi, "`;`")?;
+                self.expect_tok(TokenKind::Semi, "`;`")?;
                 GStmtKind::MaxLatency { a, b, n }
             }
             TokenKind::KwFor => {
                 self.bump();
-                self.expect(TokenKind::LParen, "`(`")?;
+                self.expect_tok(TokenKind::LParen, "`(`")?;
                 // canonical: int i = a; i < b; i++
-                self.expect(TokenKind::KwInt, "`int` loop variable")?;
+                self.expect_tok(TokenKind::KwInt, "`int` loop variable")?;
                 let var = self.ident("loop variable")?;
-                self.expect(TokenKind::Assign, "`=`")?;
+                self.expect_tok(TokenKind::Assign, "`=`")?;
                 let from = self.expr()?;
-                self.expect(TokenKind::Semi, "`;`")?;
+                self.expect_tok(TokenKind::Semi, "`;`")?;
                 let cvar = self.ident("loop variable")?;
                 if cvar != var {
                     return Err(self.err(format!(
                         "graph for-loop condition must test `{var}`, found `{cvar}`"
                     )));
                 }
-                self.expect(TokenKind::Lt, "`<`")?;
+                self.expect_tok(TokenKind::Lt, "`<`")?;
                 let to = self.expr()?;
-                self.expect(TokenKind::Semi, "`;`")?;
+                self.expect_tok(TokenKind::Semi, "`;`")?;
                 let uvar = self.ident("loop variable")?;
                 if uvar != var {
                     return Err(self.err(format!(
                         "graph for-loop update must increment `{var}`, found `{uvar}`"
                     )));
                 }
-                self.expect(TokenKind::PlusPlus, "`++`")?;
-                self.expect(TokenKind::RParen, "`)`")?;
+                self.expect_tok(TokenKind::PlusPlus, "`++`")?;
+                self.expect_tok(TokenKind::RParen, "`)`")?;
                 let body = self.gblock()?;
                 GStmtKind::For {
                     var,
@@ -462,9 +500,9 @@ impl Parser {
             }
             TokenKind::KwIf => {
                 self.bump();
-                self.expect(TokenKind::LParen, "`(`")?;
+                self.expect_tok(TokenKind::LParen, "`(`")?;
                 let cond = self.expr()?;
-                self.expect(TokenKind::RParen, "`)`")?;
+                self.expect_tok(TokenKind::RParen, "`)`")?;
                 let then_body = self.gblock()?;
                 let else_body = if self.eat(TokenKind::KwElse) {
                     self.gblock()?
@@ -480,9 +518,9 @@ impl Parser {
             TokenKind::KwInt => {
                 self.bump();
                 let name = self.ident("constant name")?;
-                self.expect(TokenKind::Assign, "`=`")?;
+                self.expect_tok(TokenKind::Assign, "`=`")?;
                 let value = self.expr()?;
-                self.expect(TokenKind::Semi, "`;`")?;
+                self.expect_tok(TokenKind::Semi, "`;`")?;
                 GStmtKind::LetConst { name, value }
             }
             _ => {
@@ -548,7 +586,7 @@ impl Parser {
                     }
                 }
             }
-            self.expect(TokenKind::RParen, "`)`")?;
+            self.expect_tok(TokenKind::RParen, "`)`")?;
         }
         Ok(ws)
     }
@@ -556,12 +594,12 @@ impl Parser {
     // ---- imperative statements ---------------------------------------
 
     fn block(&mut self) -> PResult<Vec<AStmt>> {
-        self.expect(TokenKind::LBrace, "`{`")?;
+        self.expect_tok(TokenKind::LBrace, "`{`")?;
         let mut out = Vec::new();
         while !self.is(TokenKind::RBrace) && !self.is(TokenKind::Eof) {
             out.push(self.stmt()?);
         }
-        self.expect(TokenKind::RBrace, "`}`")?;
+        self.expect_tok(TokenKind::RBrace, "`}`")?;
         Ok(out)
     }
 
@@ -574,6 +612,13 @@ impl Parser {
     }
 
     fn stmt(&mut self) -> PResult<AStmt> {
+        self.enter()?;
+        let r = self.stmt_inner();
+        self.leave();
+        r
+    }
+
+    fn stmt_inner(&mut self) -> PResult<AStmt> {
         let pos = self.pos();
         // Local declaration (int/float, possibly array) — but beware of
         // the cast syntax `int(x)`, which is an expression.
@@ -581,7 +626,7 @@ impl Parser {
             let ty = self.atype()?;
             let size = if self.eat(TokenKind::LBracket) {
                 let e = self.expr()?;
-                self.expect(TokenKind::RBracket, "`]`")?;
+                self.expect_tok(TokenKind::RBracket, "`]`")?;
                 Some(e)
             } else {
                 None
@@ -592,7 +637,7 @@ impl Parser {
             } else {
                 None
             };
-            self.expect(TokenKind::Semi, "`;`")?;
+            self.expect_tok(TokenKind::Semi, "`;`")?;
             return Ok(AStmt {
                 pos,
                 kind: AStmtKind::Decl {
@@ -606,10 +651,10 @@ impl Parser {
         match self.cur().kind {
             TokenKind::KwPush => {
                 self.bump();
-                self.expect(TokenKind::LParen, "`(`")?;
+                self.expect_tok(TokenKind::LParen, "`(`")?;
                 let e = self.expr()?;
-                self.expect(TokenKind::RParen, "`)`")?;
-                self.expect(TokenKind::Semi, "`;`")?;
+                self.expect_tok(TokenKind::RParen, "`)`")?;
+                self.expect_tok(TokenKind::Semi, "`;`")?;
                 Ok(AStmt {
                     pos,
                     kind: AStmtKind::Push(e),
@@ -617,13 +662,13 @@ impl Parser {
             }
             TokenKind::KwFor => {
                 self.bump();
-                self.expect(TokenKind::LParen, "`(`")?;
+                self.expect_tok(TokenKind::LParen, "`(`")?;
                 let init = Box::new(self.simple_stmt_no_semi()?);
-                self.expect(TokenKind::Semi, "`;`")?;
+                self.expect_tok(TokenKind::Semi, "`;`")?;
                 let cond = self.expr()?;
-                self.expect(TokenKind::Semi, "`;`")?;
+                self.expect_tok(TokenKind::Semi, "`;`")?;
                 let update = Box::new(self.simple_stmt_no_semi()?);
-                self.expect(TokenKind::RParen, "`)`")?;
+                self.expect_tok(TokenKind::RParen, "`)`")?;
                 let body = self.block_or_stmt()?;
                 Ok(AStmt {
                     pos,
@@ -637,9 +682,9 @@ impl Parser {
             }
             TokenKind::KwIf => {
                 self.bump();
-                self.expect(TokenKind::LParen, "`(`")?;
+                self.expect_tok(TokenKind::LParen, "`(`")?;
                 let cond = self.expr()?;
-                self.expect(TokenKind::RParen, "`)`")?;
+                self.expect_tok(TokenKind::RParen, "`)`")?;
                 let then_body = self.block_or_stmt()?;
                 let else_body = if self.eat(TokenKind::KwElse) {
                     self.block_or_stmt()?
@@ -658,9 +703,9 @@ impl Parser {
             TokenKind::KwSend => {
                 self.bump();
                 let portal = self.ident("portal name")?;
-                self.expect(TokenKind::Dot, "`.`")?;
+                self.expect_tok(TokenKind::Dot, "`.`")?;
                 let handler = self.ident("handler name")?;
-                self.expect(TokenKind::LParen, "`(`")?;
+                self.expect_tok(TokenKind::LParen, "`(`")?;
                 let mut args = Vec::new();
                 if !self.is(TokenKind::RParen) {
                     loop {
@@ -670,13 +715,13 @@ impl Parser {
                         }
                     }
                 }
-                self.expect(TokenKind::RParen, "`)`")?;
-                self.expect(TokenKind::LBracket, "`[`")?;
+                self.expect_tok(TokenKind::RParen, "`)`")?;
+                self.expect_tok(TokenKind::LBracket, "`[`")?;
                 let lo = self.expr()?;
-                self.expect(TokenKind::Comma, "`,`")?;
+                self.expect_tok(TokenKind::Comma, "`,`")?;
                 let hi = self.expr()?;
-                self.expect(TokenKind::RBracket, "`]`")?;
-                self.expect(TokenKind::Semi, "`;`")?;
+                self.expect_tok(TokenKind::RBracket, "`]`")?;
+                self.expect_tok(TokenKind::Semi, "`;`")?;
                 Ok(AStmt {
                     pos,
                     kind: AStmtKind::Send {
@@ -690,7 +735,7 @@ impl Parser {
             }
             _ => {
                 let s = self.simple_stmt_no_semi()?;
-                self.expect(TokenKind::Semi, "`;`")?;
+                self.expect_tok(TokenKind::Semi, "`;`")?;
                 Ok(s)
             }
         }
@@ -701,33 +746,33 @@ impl Parser {
     fn simple_stmt_no_semi(&mut self) -> PResult<AStmt> {
         let pos = self.pos();
         if (self.is(TokenKind::KwInt) || self.is(TokenKind::KwFloat))
-            && !matches!(self.toks[self.at + 1].kind, TokenKind::LParen) {
-                let ty = self.atype()?;
-                let name = self.ident("variable name")?;
-                self.expect(TokenKind::Assign, "`=`")?;
-                let init = Some(self.expr()?);
-                return Ok(AStmt {
-                    pos,
-                    kind: AStmtKind::Decl {
-                        name,
-                        ty,
-                        size: None,
-                        init,
-                    },
-                });
-            }
+            && !matches!(self.toks[self.at + 1].kind, TokenKind::LParen)
+        {
+            let ty = self.atype()?;
+            let name = self.ident("variable name")?;
+            self.expect_tok(TokenKind::Assign, "`=`")?;
+            let init = Some(self.expr()?);
+            return Ok(AStmt {
+                pos,
+                kind: AStmtKind::Decl {
+                    name,
+                    ty,
+                    size: None,
+                    init,
+                },
+            });
+        }
         // Look ahead: IDENT ( [expr] )? (= | op= | ++ | --) → assignment.
         if let TokenKind::Ident(name) = self.cur().kind.clone() {
             let save = self.at;
             self.bump();
             let target = if self.eat(TokenKind::LBracket) {
                 let e = self.expr()?;
-                self.expect(TokenKind::RBracket, "`]`")?;
-                Some(ALValue::Index(name.clone(), e))
+                self.expect_tok(TokenKind::RBracket, "`]`")?;
+                ALValue::Index(name.clone(), e)
             } else {
-                Some(ALValue::Var(name.clone()))
+                ALValue::Var(name.clone())
             };
-            let target = target.expect("constructed above");
             let kind = match self.cur().kind {
                 TokenKind::Assign => {
                     self.bump();
@@ -808,7 +853,10 @@ impl Parser {
     // ---- expressions -------------------------------------------------
 
     fn expr(&mut self) -> PResult<AExpr> {
-        self.binary_expr(0)
+        self.enter()?;
+        let r = self.binary_expr(0);
+        self.leave();
+        r
     }
 
     /// Precedence-climbing binary expression parser.
@@ -847,21 +895,29 @@ impl Parser {
     }
 
     fn unary_expr(&mut self) -> PResult<AExpr> {
-        match self.cur().kind {
+        // Self-recursive (`--x`, `!!x`, ...), so it carries its own depth
+        // guard in addition to `expr`'s.
+        self.enter()?;
+        let r = match self.cur().kind {
             TokenKind::Minus => {
                 self.bump();
-                Ok(AExpr::Unary(UnOp::Neg, Box::new(self.unary_expr()?)))
+                self.unary_expr()
+                    .map(|e| AExpr::Unary(UnOp::Neg, Box::new(e)))
             }
             TokenKind::Bang => {
                 self.bump();
-                Ok(AExpr::Unary(UnOp::Not, Box::new(self.unary_expr()?)))
+                self.unary_expr()
+                    .map(|e| AExpr::Unary(UnOp::Not, Box::new(e)))
             }
             TokenKind::Tilde => {
                 self.bump();
-                Ok(AExpr::Unary(UnOp::BitNot, Box::new(self.unary_expr()?)))
+                self.unary_expr()
+                    .map(|e| AExpr::Unary(UnOp::BitNot, Box::new(e)))
             }
             _ => self.primary_expr(),
-        }
+        };
+        self.leave();
+        r
     }
 
     fn primary_expr(&mut self) -> PResult<AExpr> {
@@ -885,36 +941,36 @@ impl Parser {
             }
             TokenKind::KwPop => {
                 self.bump();
-                self.expect(TokenKind::LParen, "`(`")?;
-                self.expect(TokenKind::RParen, "`)`")?;
+                self.expect_tok(TokenKind::LParen, "`(`")?;
+                self.expect_tok(TokenKind::RParen, "`)`")?;
                 Ok(AExpr::Pop)
             }
             TokenKind::KwPeek => {
                 self.bump();
-                self.expect(TokenKind::LParen, "`(`")?;
+                self.expect_tok(TokenKind::LParen, "`(`")?;
                 let e = self.expr()?;
-                self.expect(TokenKind::RParen, "`)`")?;
+                self.expect_tok(TokenKind::RParen, "`)`")?;
                 Ok(AExpr::Peek(Box::new(e)))
             }
             TokenKind::KwInt => {
                 // `int(e)` cast
                 self.bump();
-                self.expect(TokenKind::LParen, "`(`")?;
+                self.expect_tok(TokenKind::LParen, "`(`")?;
                 let e = self.expr()?;
-                self.expect(TokenKind::RParen, "`)`")?;
+                self.expect_tok(TokenKind::RParen, "`)`")?;
                 Ok(AExpr::Call("int".into(), vec![e]))
             }
             TokenKind::KwFloat => {
                 self.bump();
-                self.expect(TokenKind::LParen, "`(`")?;
+                self.expect_tok(TokenKind::LParen, "`(`")?;
                 let e = self.expr()?;
-                self.expect(TokenKind::RParen, "`)`")?;
+                self.expect_tok(TokenKind::RParen, "`)`")?;
                 Ok(AExpr::Call("float".into(), vec![e]))
             }
             TokenKind::LParen => {
                 self.bump();
                 let e = self.expr()?;
-                self.expect(TokenKind::RParen, "`)`")?;
+                self.expect_tok(TokenKind::RParen, "`)`")?;
                 Ok(e)
             }
             TokenKind::Ident(name) => {
@@ -929,11 +985,11 @@ impl Parser {
                             }
                         }
                     }
-                    self.expect(TokenKind::RParen, "`)`")?;
+                    self.expect_tok(TokenKind::RParen, "`)`")?;
                     Ok(AExpr::Call(name, args))
                 } else if self.eat(TokenKind::LBracket) {
                     let e = self.expr()?;
-                    self.expect(TokenKind::RBracket, "`]`")?;
+                    self.expect_tok(TokenKind::RBracket, "`]`")?;
                     Ok(AExpr::Index(name, Box::new(e)))
                 } else {
                     Ok(AExpr::Var(name))
@@ -1016,7 +1072,10 @@ mod tests {
         let p = parse_program(src).unwrap();
         match &p.decls[0] {
             Decl::Composite(c) => {
-                assert!(matches!(c.body[0].kind, GStmtKind::Split(SplitterSpec::Duplicate)));
+                assert!(matches!(
+                    c.body[0].kind,
+                    GStmtKind::Split(SplitterSpec::Duplicate)
+                ));
                 match &c.body[3].kind {
                     GStmtKind::Join(JoinerSpec::RoundRobin(w)) => assert_eq!(w.len(), 2),
                     other => panic!("unexpected {other:?}"),
@@ -1079,10 +1138,8 @@ mod tests {
 
     #[test]
     fn parse_precedence() {
-        let p = parse_program(
-            "void->int filter F() { work push 1 { push(1 + 2 * 3 == 7); } }",
-        )
-        .unwrap();
+        let p = parse_program("void->int filter F() { work push 1 { push(1 + 2 * 3 == 7); } }")
+            .unwrap();
         match &p.decls[0] {
             Decl::Filter(f) => match &f.work.body[0].kind {
                 AStmtKind::Push(AExpr::Binary(BinOp::Eq, l, _)) => {

@@ -119,7 +119,11 @@ pub fn maxf(a: impl IntoEx, b: impl IntoEx) -> Ex {
 
 /// Comparison helpers (result is int 0/1).
 pub fn cmp(op: BinOp, a: impl IntoEx, b: impl IntoEx) -> Ex {
-    Ex(Expr::Binary(op, Box::new(a.into_ex().0), Box::new(b.into_ex().0)))
+    Ex(Expr::Binary(
+        op,
+        Box::new(a.into_ex().0),
+        Box::new(b.into_ex().0),
+    ))
 }
 
 /// Conversion into [`Ex`], accepted anywhere an expression is expected.
@@ -308,13 +312,7 @@ impl BlockBuilder {
     }
 
     /// Teleport-message send.
-    pub fn send(
-        mut self,
-        portal: &str,
-        handler: &str,
-        args: Vec<Ex>,
-        latency: (i64, i64),
-    ) -> Self {
+    pub fn send(mut self, portal: &str, handler: &str, args: Vec<Ex>, latency: (i64, i64)) -> Self {
         self.stmts.push(Stmt::Send {
             portal: portal.into(),
             handler: handler.into(),

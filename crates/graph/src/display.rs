@@ -33,10 +33,7 @@ fn splitter_str(s: &Splitter) -> String {
             } else {
                 format!(
                     "roundrobin({})",
-                    w.iter()
-                        .map(u64::to_string)
-                        .collect::<Vec<_>>()
-                        .join(",")
+                    w.iter().map(u64::to_string).collect::<Vec<_>>().join(",")
                 )
             }
         }
@@ -53,10 +50,7 @@ fn joiner_str(j: &Joiner) -> String {
             } else {
                 format!(
                     "roundrobin({})",
-                    w.iter()
-                        .map(u64::to_string)
-                        .collect::<Vec<_>>()
-                        .join(",")
+                    w.iter().map(u64::to_string).collect::<Vec<_>>().join(",")
                 )
             }
         }
@@ -123,10 +117,7 @@ pub fn dot(graph: &FlatGraph) -> String {
                 format!("{}\\n{},{},{}", n.name, f.peek, f.pop, f.push),
             ),
             FlatNodeKind::Splitter(s) => ("triangle", format!("{}\\n{}", n.name, splitter_str(s))),
-            FlatNodeKind::Joiner(j) => (
-                "invtriangle",
-                format!("{}\\n{}", n.name, joiner_str(j)),
-            ),
+            FlatNodeKind::Joiner(j) => ("invtriangle", format!("{}\\n{}", n.name, joiner_str(j))),
         };
         let _ = writeln!(out, "  {} [shape={shape}, label=\"{label}\"];", n.id);
     }

@@ -236,7 +236,8 @@ mod tests {
     #[test]
     fn stateful_detection_mutation() {
         let mut f = map_filter();
-        f.state.push(StateVar::scalar("acc", DataType::Int, Value::Int(0)));
+        f.state
+            .push(StateVar::scalar("acc", DataType::Int, Value::Int(0)));
         // Reading state only: still stateless.
         assert!(!f.is_stateful());
         f.work.push(Stmt::Assign {

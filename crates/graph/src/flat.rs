@@ -222,10 +222,7 @@ impl FlatGraph {
                         entry = cin;
                     }
                     if let (Some(pe), Some(ci)) = (prev_exit, cin) {
-                        let ty = child
-                            .input_type()
-                            .or(prev_ty)
-                            .unwrap_or(DataType::Float);
+                        let ty = child.input_type().or(prev_ty).unwrap_or(DataType::Float);
                         self.add_edge(pe, ci, ty);
                     }
                     if cout.is_some() {
@@ -241,7 +238,10 @@ impl FlatGraph {
                 let split_id = if matches!(sj.splitter, Splitter::Null) {
                     None
                 } else {
-                    Some(self.add_node(format!("{path}/split"), FlatNodeKind::Splitter(Splitter::Null)))
+                    Some(self.add_node(
+                        format!("{path}/split"),
+                        FlatNodeKind::Splitter(Splitter::Null),
+                    ))
                 };
                 let join_id = if matches!(sj.joiner, Joiner::Null) {
                     None
@@ -375,10 +375,7 @@ impl FlatGraph {
                 indeg[e.dst.0] += 1;
             }
         }
-        let mut stack: Vec<NodeId> = (0..n)
-            .filter(|&i| indeg[i] == 0)
-            .map(NodeId)
-            .collect();
+        let mut stack: Vec<NodeId> = (0..n).filter(|&i| indeg[i] == 0).map(NodeId).collect();
         // Reverse so that lower ids (construction order ≈ upstream first)
         // pop first, giving a stable, intuition-matching order.
         stack.reverse();

@@ -39,8 +39,8 @@ pub mod validate;
 pub mod work;
 
 pub use filter::{Filter, Handler, PreWork, StateInit, StateVar};
-pub use steady::{repetition_vector, steady_flows, SteadyError};
 pub use flat::{Edge, EdgeId, FlatGraph, FlatNode, FlatNodeKind, NodeId};
+pub use steady::{repetition_vector, steady_flows, SteadyError};
 pub use stream::{FeedbackLoop, Joiner, Pipeline, SplitJoin, Splitter, StreamNode};
 pub use types::{DataType, Value};
 pub use validate::{validate, ValidationError};

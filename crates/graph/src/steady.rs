@@ -28,6 +28,9 @@ pub enum SteadyError {
     Inconsistent { edge: EdgeId },
     /// Repetition counts overflowed the integer range (absurd weights).
     TooLarge,
+    /// An internal invariant of the solver failed (malformed graph
+    /// structure, e.g. an edge not listed among its endpoint's ports).
+    Internal { detail: &'static str },
 }
 
 impl std::fmt::Display for SteadyError {
@@ -37,6 +40,9 @@ impl std::fmt::Display for SteadyError {
                 write!(f, "inconsistent rates on edge {edge}")
             }
             SteadyError::TooLarge => write!(f, "repetition vector exceeds integer range"),
+            SteadyError::Internal { detail } => {
+                write!(f, "balance-equation solver invariant failed: {detail}")
+            }
         }
     }
 }
@@ -155,7 +161,11 @@ pub fn repetition_vector(g: &FlatGraph) -> Result<Vec<u64>, SteadyError> {
         rate[start] = Some(Ratio { num: 1, den: 1 });
         let mut stack = vec![NodeId(start)];
         while let Some(u) = stack.pop() {
-            let ru = rate[u.0].expect("assigned before push");
+            let Some(ru) = rate[u.0] else {
+                return Err(SteadyError::Internal {
+                    detail: "node on worklist has no assigned rate",
+                });
+            };
             // Outgoing edges: rate_v = rate_u * prod / cons.
             let prods = g.production_rates(u);
             for (p, &eid) in g.node(u).outputs.iter().enumerate() {
@@ -163,7 +173,11 @@ pub fn repetition_vector(g: &FlatGraph) -> Result<Vec<u64>, SteadyError> {
                 let prod = prods[p] as u128;
                 let v = e.dst;
                 let cons_rates = g.consumption_rates(v);
-                let port = g.node(v).inputs.iter().position(|&x| x == eid).expect("edge in dst inputs");
+                let Some(port) = g.node(v).inputs.iter().position(|&x| x == eid) else {
+                    return Err(SteadyError::Internal {
+                        detail: "edge missing from destination's input ports",
+                    });
+                };
                 let cons = cons_rates[port] as u128;
                 match (prod, cons) {
                     (0, 0) => continue,
@@ -192,12 +206,11 @@ pub fn repetition_vector(g: &FlatGraph) -> Result<Vec<u64>, SteadyError> {
                 let cons = conss[p] as u128;
                 let v = e.src;
                 let prod_rates = g.production_rates(v);
-                let port = g
-                    .node(v)
-                    .outputs
-                    .iter()
-                    .position(|&x| x == eid)
-                    .expect("edge in src outputs");
+                let Some(port) = g.node(v).outputs.iter().position(|&x| x == eid) else {
+                    return Err(SteadyError::Internal {
+                        detail: "edge missing from source's output ports",
+                    });
+                };
                 let prod = prod_rates[port] as u128;
                 match (prod, cons) {
                     (0, 0) => continue,
@@ -233,10 +246,10 @@ pub fn repetition_vector(g: &FlatGraph) -> Result<Vec<u64>, SteadyError> {
     let nums: Vec<u128> = rate
         .iter()
         .map(|r| {
-            let r = r.expect("all nodes assigned");
-            r.num
-                .checked_mul(l / r.den)
-                .ok_or(SteadyError::TooLarge)
+            let r = r.ok_or(SteadyError::Internal {
+                detail: "node left unassigned after traversal",
+            })?;
+            r.num.checked_mul(l / r.den).ok_or(SteadyError::TooLarge)
         })
         .collect::<Result<_, _>>()?;
     let g_all = nums.iter().fold(0u128, |acc, &x| gcd(acc, x)).max(1);
@@ -254,13 +267,11 @@ pub fn steady_flows(g: &FlatGraph, reps: &[u64]) -> Vec<u64> {
         .iter()
         .map(|e| {
             let prods = g.production_rates(e.src);
-            let port = g
-                .node(e.src)
+            g.node(e.src)
                 .outputs
                 .iter()
                 .position(|&x| x == e.id)
-                .expect("edge in src outputs");
-            prods[port] * reps[e.src.0]
+                .map_or(0, |port| prods[port] * reps[e.src.0])
         })
         .collect()
 }

@@ -132,7 +132,11 @@ fn err(errs: &mut Vec<ValidationError>, path: &str, kind: ErrorKind) {
 fn body_touches_tape(body: &[Stmt]) -> bool {
     let mut touched = false;
     for s in body {
-        s.visit(&mut |s| if let Stmt::Push(_) = s { touched = true });
+        s.visit(&mut |s| {
+            if let Stmt::Push(_) = s {
+                touched = true
+            }
+        });
         s.visit_exprs(&mut |e| {
             if matches!(e, Expr::Pop | Expr::Peek(_)) {
                 touched = true;
@@ -330,10 +334,7 @@ mod tests {
     fn clean_pipeline_validates() {
         let p = pipeline(
             "p",
-            vec![
-                identity("a", DataType::Int),
-                identity("b", DataType::Int),
-            ],
+            vec![identity("a", DataType::Int), identity("b", DataType::Int)],
         );
         assert!(validate(&p).is_empty());
     }
@@ -342,10 +343,7 @@ mod tests {
     fn type_mismatch_detected() {
         let p = pipeline(
             "p",
-            vec![
-                identity("a", DataType::Int),
-                identity("b", DataType::Float),
-            ],
+            vec![identity("a", DataType::Int), identity("b", DataType::Float)],
         );
         let errs = validate(&p);
         assert_eq!(errs.len(), 1);

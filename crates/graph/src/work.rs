@@ -229,9 +229,7 @@ impl Expr {
         let mut it = items.into_iter();
         match it.next() {
             None => Expr::IntLit(0),
-            Some(first) => it.fold(first, |acc, e| {
-                Expr::Binary(op, Box::new(acc), Box::new(e))
-            }),
+            Some(first) => it.fold(first, |acc, e| Expr::Binary(op, Box::new(acc), Box::new(e))),
         }
     }
 

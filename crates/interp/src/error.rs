@@ -32,6 +32,17 @@ pub enum RuntimeError {
     BadMessage { portal: String, handler: String },
     /// Firing budget exhausted before the goal was reached.
     BudgetExhausted { fired: u64 },
+    /// The external input tape ran dry before the goal was reached: the
+    /// graph reads external input, nothing can fire, and no structural
+    /// deadlock is involved — feeding more input would make progress.
+    Starved { detail: String },
+    /// A channel exceeded the configured FIFO capacity
+    /// ([`crate::ExecLimits::max_channel_items`]).
+    CapacityExceeded { node: String, capacity: usize },
+    /// A single work-function invocation exceeded the per-firing
+    /// statement budget ([`crate::ExecLimits::max_steps_per_firing`]) —
+    /// a runaway loop inside one firing.
+    StepBudgetExhausted { node: String },
 }
 
 impl fmt::Display for RuntimeError {
@@ -70,6 +81,15 @@ impl fmt::Display for RuntimeError {
             RuntimeError::BudgetExhausted { fired } => {
                 write!(f, "firing budget exhausted after {fired} firings")
             }
+            RuntimeError::Starved { detail } => write!(f, "starved: {detail}"),
+            RuntimeError::CapacityExceeded { node, capacity } => write!(
+                f,
+                "{node}: channel capacity exceeded ({capacity} items buffered)"
+            ),
+            RuntimeError::StepBudgetExhausted { node } => write!(
+                f,
+                "{node}: statement budget exhausted within a single firing"
+            ),
         }
     }
 }

@@ -60,7 +60,10 @@ pub struct Env<'a> {
 
 impl<'a> Env<'a> {
     /// Pre-bind locals (handler parameters).
-    pub fn with_locals(state: &'a mut HashMap<String, Slot>, locals: HashMap<String, Slot>) -> Self {
+    pub fn with_locals(
+        state: &'a mut HashMap<String, Slot>,
+        locals: HashMap<String, Slot>,
+    ) -> Self {
         Env {
             state,
             scopes: vec![locals],
@@ -76,10 +79,13 @@ impl<'a> Env<'a> {
     }
 
     fn declare(&mut self, name: &str, slot: Slot) {
-        self.scopes
-            .last_mut()
-            .expect("scope stack never empty")
-            .insert(name.to_string(), slot);
+        // The stack is created non-empty and push/pop are balanced, but
+        // recover rather than panic if that invariant ever breaks.
+        if self.scopes.is_empty() {
+            self.scopes.push(HashMap::new());
+        }
+        let top = self.scopes.len() - 1;
+        self.scopes[top].insert(name.to_string(), slot);
     }
 
     fn get(&self, name: &str) -> Option<&Slot> {
@@ -148,11 +154,7 @@ fn float_binop(node: &str, op: BinOp, a: f64, b: f64) -> Result<Value, RuntimeEr
     })
 }
 
-fn eval_expr(
-    e: &Expr,
-    env: &mut Env<'_>,
-    ctx: &mut dyn EvalCtx,
-) -> Result<Value, RuntimeError> {
+fn eval_expr(e: &Expr, env: &mut Env<'_>, ctx: &mut dyn EvalCtx) -> Result<Value, RuntimeError> {
     match e {
         Expr::IntLit(i) => Ok(Value::Int(*i)),
         Expr::FloatLit(f) => Ok(Value::Float(*f)),
@@ -200,7 +202,7 @@ fn eval_expr(
         Expr::Unary(op, a) => {
             let v = eval_expr(a, env, ctx)?;
             Ok(match (op, v) {
-                (UnOp::Neg, Value::Int(i)) => Value::Int(-i),
+                (UnOp::Neg, Value::Int(i)) => Value::Int(i.wrapping_neg()),
                 (UnOp::Neg, Value::Float(f)) => Value::Float(-f),
                 (UnOp::Not, v) => Value::Int(!v.is_truthy() as i64),
                 (UnOp::BitNot, v) => Value::Int(!v.as_i64()),
@@ -232,8 +234,15 @@ fn eval_stmts(
     stmts: &[Stmt],
     env: &mut Env<'_>,
     ctx: &mut dyn EvalCtx,
+    steps: &mut u64,
 ) -> Result<(), RuntimeError> {
     for s in stmts {
+        if *steps == 0 {
+            return Err(RuntimeError::StepBudgetExhausted {
+                node: ctx_name_owned(ctx),
+            });
+        }
+        *steps -= 1;
         match s {
             Stmt::Let { name, ty, init } => {
                 let v = eval_expr(init, env, ctx)?.coerce(*ty);
@@ -304,7 +313,11 @@ fn eval_stmts(
                     if let Some(Slot::Scalar(s)) = env.get_mut(var) {
                         *s = Value::Int(i);
                     }
-                    eval_stmts(body, env, ctx)?;
+                    let r = eval_stmts(body, env, ctx, steps);
+                    if r.is_err() {
+                        env.pop_scope();
+                        return r;
+                    }
                 }
                 env.pop_scope();
             }
@@ -316,9 +329,9 @@ fn eval_stmts(
                 let c = eval_expr(cond, env, ctx)?;
                 env.push_scope();
                 let r = if c.is_truthy() {
-                    eval_stmts(then_body, env, ctx)
+                    eval_stmts(then_body, env, ctx, steps)
                 } else {
-                    eval_stmts(else_body, env, ctx)
+                    eval_stmts(else_body, env, ctx, steps)
                 };
                 env.pop_scope();
                 r?;
@@ -350,8 +363,24 @@ pub fn eval_block(
     locals: HashMap<String, Slot>,
     ctx: &mut dyn EvalCtx,
 ) -> Result<(), RuntimeError> {
+    eval_block_bounded(stmts, state, locals, ctx, u64::MAX)
+}
+
+/// Like [`eval_block`], but aborts with
+/// [`RuntimeError::StepBudgetExhausted`] once `max_steps` statements have
+/// executed.  This bounds a single work-function invocation so a runaway
+/// loop inside one firing degrades to a typed error instead of hanging
+/// the pipeline.
+pub fn eval_block_bounded(
+    stmts: &[Stmt],
+    state: &mut HashMap<String, Slot>,
+    locals: HashMap<String, Slot>,
+    ctx: &mut dyn EvalCtx,
+    max_steps: u64,
+) -> Result<(), RuntimeError> {
     let mut env = Env::with_locals(state, locals);
-    eval_stmts(stmts, &mut env, ctx)
+    let mut steps = max_steps;
+    eval_stmts(stmts, &mut env, ctx, &mut steps)
 }
 
 #[cfg(test)]
@@ -423,7 +452,9 @@ mod tests {
 
     #[test]
     fn arithmetic_and_push() {
-        let body = BlockBuilder::new().push(pop() * lit(3i64) + lit(1i64)).build();
+        let body = BlockBuilder::new()
+            .push(pop() * lit(3i64) + lit(1i64))
+            .build();
         let ctx = run(body, vec![Value::Int(5)]);
         assert_eq!(ctx.output, vec![Value::Int(16)]);
     }
@@ -438,7 +469,10 @@ mod tests {
             .build();
         let ctx = run(
             body,
-            vec![1.0, 2.0, 3.0, 4.0].into_iter().map(Value::Float).collect(),
+            vec![1.0, 2.0, 3.0, 4.0]
+                .into_iter()
+                .map(Value::Float)
+                .collect(),
         );
         assert_eq!(ctx.output, vec![Value::Float(10.0)]);
         assert_eq!(ctx.head, 1);
@@ -461,7 +495,9 @@ mod tests {
 
     #[test]
     fn state_persists_between_blocks() {
-        let body = BlockBuilder::new().set("count", var("count") + lit(1i64)).build();
+        let body = BlockBuilder::new()
+            .set("count", var("count") + lit(1i64))
+            .build();
         let mut state = HashMap::new();
         state.insert("count".to_string(), Slot::Scalar(Value::Int(0)));
         let mut ctx = VecCtx::new(vec![]);
@@ -487,6 +523,19 @@ mod tests {
         let mut state = HashMap::new();
         let r = eval_block(&body, &mut state, HashMap::new(), &mut ctx);
         assert!(matches!(r, Err(RuntimeError::DivisionByZero { .. })));
+    }
+
+    #[test]
+    fn step_budget_stops_runaway_loop() {
+        // A long loop under a tiny budget reports StepBudgetExhausted.
+        let body = BlockBuilder::new()
+            .let_("sum", DataType::Int, lit(0i64))
+            .for_("i", 0, 1_000_000, |b| b.set("sum", var("sum") + lit(1i64)))
+            .build();
+        let mut ctx = VecCtx::new(vec![]);
+        let mut state = HashMap::new();
+        let r = eval_block_bounded(&body, &mut state, HashMap::new(), &mut ctx, 100);
+        assert!(matches!(r, Err(RuntimeError::StepBudgetExhausted { .. })));
     }
 
     #[test]

@@ -25,5 +25,5 @@ mod eval;
 mod machine;
 
 pub use error::RuntimeError;
-pub use eval::{eval_block, EvalCtx, Slot};
-pub use machine::{FireOutcome, Machine, SentMessage};
+pub use eval::{eval_block, eval_block_bounded, EvalCtx, Slot};
+pub use machine::{ExecLimits, FireOutcome, Machine, SentMessage};

@@ -1,11 +1,38 @@
 //! The [`Machine`]: a manually-steppable executor for flat stream graphs.
 
 use crate::error::RuntimeError;
-use crate::eval::{eval_block, EvalCtx, Slot};
+use crate::eval::{eval_block_bounded, EvalCtx, Slot};
 use std::collections::{HashMap, VecDeque};
 use streamit_graph::{
     EdgeId, Filter, FlatGraph, FlatNodeKind, Joiner, NodeId, Splitter, StateInit, Value,
 };
+
+/// Resource bounds on execution.  Every limit degrades gracefully: when a
+/// bound is hit the machine returns a typed [`RuntimeError`] instead of
+/// spinning, overflowing memory, or panicking.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecLimits {
+    /// Maximum items buffered on any one channel before
+    /// [`RuntimeError::CapacityExceeded`] is reported.
+    pub max_channel_items: usize,
+    /// Maximum statements executed by a single work-function invocation
+    /// before [`RuntimeError::StepBudgetExhausted`] is reported.
+    pub max_steps_per_firing: u64,
+    /// Maximum firings performed by [`Machine::run_steady_states`] before
+    /// [`RuntimeError::BudgetExhausted`] is reported
+    /// ([`Machine::run_until_output`] takes its budget as an argument).
+    pub max_firings: u64,
+}
+
+impl Default for ExecLimits {
+    fn default() -> Self {
+        ExecLimits {
+            max_channel_items: 1 << 20,
+            max_steps_per_firing: 50_000_000,
+            max_firings: 50_000_000,
+        }
+    }
+}
 
 /// A teleport message captured during a firing.
 #[derive(Debug, Clone, PartialEq)]
@@ -55,6 +82,7 @@ pub struct Machine<'g> {
     /// ("best-effort" semantics).  The SDEP scheduler sets this to `false`
     /// and calls [`Machine::deliver`] at the constraint-derived moment.
     pub auto_deliver: bool,
+    limits: ExecLimits,
 }
 
 impl<'g> Machine<'g> {
@@ -66,11 +94,7 @@ impl<'g> Machine<'g> {
             .iter()
             .map(|e| e.initial.iter().copied().collect::<VecDeque<_>>())
             .collect::<Vec<_>>();
-        let pushed = graph
-            .edges
-            .iter()
-            .map(|e| e.initial.len() as u64)
-            .collect();
+        let pushed = graph.edges.iter().map(|e| e.initial.len() as u64).collect();
         let states = graph
             .nodes
             .iter()
@@ -93,12 +117,23 @@ impl<'g> Machine<'g> {
             portals: HashMap::new(),
             pending: vec![VecDeque::new(); graph.nodes.len()],
             auto_deliver: true,
+            limits: ExecLimits::default(),
         }
     }
 
     /// The graph being executed.
     pub fn graph(&self) -> &'g FlatGraph {
         self.graph
+    }
+
+    /// Override the default resource bounds.
+    pub fn set_limits(&mut self, limits: ExecLimits) {
+        self.limits = limits;
+    }
+
+    /// Current resource bounds.
+    pub fn limits(&self) -> ExecLimits {
+        self.limits
     }
 
     /// Append items to the external input tape.
@@ -182,10 +217,7 @@ impl<'g> Machine<'g> {
                 // A feedback joiner always has 2 logical inputs
                 // (external, loop) even when the external side is the
                 // machine's input tape rather than an edge.
-                let is_feedback = n
-                    .inputs
-                    .iter()
-                    .any(|&e| self.graph.edge(e).loop_internal);
+                let is_feedback = n.inputs.iter().any(|&e| self.graph.edge(e).loop_internal);
                 let base = if is_feedback { 2 } else { n.inputs.len() };
                 match j {
                     Joiner::RoundRobin(w) => w.len().max(base),
@@ -202,10 +234,7 @@ impl<'g> Machine<'g> {
         let n = self.graph.node(node);
         match &n.kind {
             FlatNodeKind::Splitter(s) => {
-                let is_feedback = n
-                    .outputs
-                    .iter()
-                    .any(|&e| self.graph.edge(e).loop_internal);
+                let is_feedback = n.outputs.iter().any(|&e| self.graph.edge(e).loop_internal);
                 let base = if is_feedback { 2 } else { n.outputs.len() };
                 match s {
                     Splitter::RoundRobin(w) => w.len().max(base),
@@ -274,9 +303,44 @@ impl<'g> Machine<'g> {
                 }
             }
             FlatNodeKind::Splitter(s) => self.avail(node, 0) >= s.pop_rate(),
-            FlatNodeKind::Joiner(j) => (0..self.in_arity(node))
-                .all(|i| self.avail(node, i) >= j.pop_rate(i)),
+            FlatNodeKind::Joiner(j) => {
+                (0..self.in_arity(node)).all(|i| self.avail(node, i) >= j.pop_rate(i))
+            }
         }
+    }
+
+    /// Would `node` (currently blocked) become fireable if the external
+    /// input tape held more items?  Every shortage must be on a port that
+    /// reads the external tape (no edge); shortages on internal channels
+    /// are structural and no amount of input unblocks them directly.
+    fn blocked_only_on_input(&self, node: NodeId) -> bool {
+        if self.can_fire(node) {
+            return false;
+        }
+        let n = self.graph.node(node);
+        match &n.kind {
+            FlatNodeKind::Filter(f) => f.input.is_some() && n.inputs.is_empty(),
+            FlatNodeKind::Splitter(s) => {
+                s.pop_rate() > 0 && self.in_edge_for_port(node, 0).is_none()
+            }
+            FlatNodeKind::Joiner(j) => (0..self.in_arity(node)).all(|p| {
+                self.avail(node, p) >= j.pop_rate(p) || self.in_edge_for_port(node, p).is_none()
+            }),
+        }
+    }
+
+    /// Is the machine *starved* rather than deadlocked?  True when no node
+    /// can fire but some blocked node would fire given more external
+    /// input — the stall is a data shortage, not a structural deadlock.
+    pub fn starved(&self) -> bool {
+        let mut any_blocked_on_input = false;
+        for n in &self.graph.nodes {
+            if self.can_fire(n.id) {
+                return false;
+            }
+            any_blocked_on_input |= self.blocked_only_on_input(n.id);
+        }
+        any_blocked_on_input
     }
 
     /// Deliver a message handler invocation immediately: run the handler
@@ -315,7 +379,13 @@ impl<'g> Machine<'g> {
             name: &n.name,
             sent: Vec::new(),
         };
-        let r = eval_block(&h.body, &mut state, locals, &mut ctx);
+        let r = eval_block_bounded(
+            &h.body,
+            &mut state,
+            locals,
+            &mut ctx,
+            self.limits.max_steps_per_firing,
+        );
         self.states[node.0] = state;
         r?;
         // A handler may itself send messages; best-effort queue them.
@@ -331,14 +401,14 @@ impl<'g> Machine<'g> {
         handler: &str,
         args: Vec<Value>,
     ) -> Result<(), RuntimeError> {
-        let receivers = self
-            .portals
-            .get(portal)
-            .cloned()
-            .ok_or_else(|| RuntimeError::BadMessage {
-                portal: portal.to_string(),
-                handler: handler.to_string(),
-            })?;
+        let receivers =
+            self.portals
+                .get(portal)
+                .cloned()
+                .ok_or_else(|| RuntimeError::BadMessage {
+                    portal: portal.to_string(),
+                    handler: handler.to_string(),
+                })?;
         for r in receivers {
             self.pending[r.0].push_back((handler.to_string(), args.clone()));
         }
@@ -406,15 +476,22 @@ impl<'g> Machine<'g> {
         }
     }
 
-    fn push_to_port(&mut self, node: NodeId, port: usize, v: Value) {
+    fn push_to_port(&mut self, node: NodeId, port: usize, v: Value) -> Result<(), RuntimeError> {
         match self.out_edge_for_port(node, port) {
             Some(e) => {
+                if self.channels[e.0].len() >= self.limits.max_channel_items {
+                    return Err(RuntimeError::CapacityExceeded {
+                        node: self.graph.node(node).name.clone(),
+                        capacity: self.limits.max_channel_items,
+                    });
+                }
                 let ty = self.graph.edge(e).ty;
                 self.channels[e.0].push_back(v.coerce(ty));
                 self.pushed[e.0] += 1;
             }
             None => self.output.push(v),
         }
+        Ok(())
     }
 
     fn fire_splitter(&mut self, node: NodeId, s: &Splitter) -> Result<(), RuntimeError> {
@@ -423,14 +500,14 @@ impl<'g> Machine<'g> {
             Splitter::Duplicate => {
                 let v = self.take_from_port(node, 0)?;
                 for p in 0..n_out {
-                    self.push_to_port(node, p, v);
+                    self.push_to_port(node, p, v)?;
                 }
             }
             Splitter::RoundRobin(w) => {
                 for (p, &wi) in w.iter().enumerate() {
                     for _ in 0..wi {
                         let v = self.take_from_port(node, 0)?;
-                        self.push_to_port(node, p, v);
+                        self.push_to_port(node, p, v)?;
                     }
                 }
             }
@@ -446,7 +523,7 @@ impl<'g> Machine<'g> {
                 for (p, &wi) in w.iter().enumerate() {
                     for _ in 0..wi {
                         let v = self.take_from_port(node, p)?;
-                        self.push_to_port(node, 0, v);
+                        self.push_to_port(node, 0, v)?;
                     }
                 }
             }
@@ -462,7 +539,7 @@ impl<'g> Machine<'g> {
                     });
                 }
                 if let Some(v) = acc {
-                    self.push_to_port(node, 0, v);
+                    self.push_to_port(node, 0, v)?;
                 }
             }
             Joiner::Null => {}
@@ -481,6 +558,7 @@ impl<'g> Machine<'g> {
         let in_edge = n.inputs.first().copied();
         let out_edge = n.outputs.first().copied();
 
+        let max_steps = self.limits.max_steps_per_firing;
         let mut state = std::mem::take(&mut self.states[node.0]);
         let mut ctx = FilterCtx {
             machine: self,
@@ -491,7 +569,7 @@ impl<'g> Machine<'g> {
             pushes: 0,
             messages: Vec::new(),
         };
-        let result = eval_block(body, &mut state, HashMap::new(), &mut ctx);
+        let result = eval_block_bounded(body, &mut state, HashMap::new(), &mut ctx, max_steps);
         let (pops, pushes, messages) = (ctx.pops, ctx.pushes, ctx.messages);
         self.states[node.0] = state;
         result?;
@@ -520,10 +598,7 @@ impl<'g> Machine<'g> {
     }
 
     /// Execute a pre-computed firing sequence, verifying firability.
-    pub fn run_schedule(
-        &mut self,
-        schedule: &[(NodeId, u64)],
-    ) -> Result<(), RuntimeError> {
+    pub fn run_schedule(&mut self, schedule: &[(NodeId, u64)]) -> Result<(), RuntimeError> {
         for &(node, count) in schedule {
             for _ in 0..count {
                 if !self.can_fire(node) {
@@ -545,11 +620,10 @@ impl<'g> Machine<'g> {
     /// filters require).  Requires enough external input to be fed in
     /// advance.  Returns the number of firings performed.
     pub fn run_steady_states(&mut self, k: u64) -> Result<u64, RuntimeError> {
-        let reps = streamit_graph::repetition_vector(self.graph).map_err(|e| {
-            RuntimeError::Deadlock {
+        let reps =
+            streamit_graph::repetition_vector(self.graph).map_err(|e| RuntimeError::Deadlock {
                 detail: format!("no steady state: {e}"),
-            }
-        })?;
+            })?;
         let order = self.graph.topo_order();
         let start_fired: Vec<u64> = order.iter().map(|&n| self.fired(n)).collect();
         let start_total = self.total_firings;
@@ -603,9 +677,22 @@ impl<'g> Machine<'g> {
                 return Ok(self.total_firings - start_total);
             }
             if !progressed {
+                if self.starved() {
+                    return Err(RuntimeError::Starved {
+                        detail: "steady state cannot complete: external input \
+                                 exhausted"
+                            .into(),
+                    });
+                }
                 return Err(RuntimeError::Deadlock {
-                    detail: "steady state cannot complete (starved input or                              under-primed loop)"
+                    detail: "steady state cannot complete (under-primed loop \
+                             or blocked node)"
                         .into(),
+                });
+            }
+            if self.total_firings - start_total > self.limits.max_firings {
+                return Err(RuntimeError::BudgetExhausted {
+                    fired: self.total_firings - start_total,
                 });
             }
         }
@@ -615,14 +702,11 @@ impl<'g> Machine<'g> {
     /// items (or all sinks have consumed available input), using repeated
     /// topological sweeps.  Returns the number of firings performed.
     ///
-    /// Fails with [`RuntimeError::Deadlock`] if a sweep makes no progress
-    /// before the goal is reached, or with
+    /// Fails with [`RuntimeError::Starved`] if the external input tape
+    /// runs dry mid-run, with [`RuntimeError::Deadlock`] if a sweep makes
+    /// no progress for a structural reason, or with
     /// [`RuntimeError::BudgetExhausted`] after `max_firings`.
-    pub fn run_until_output(
-        &mut self,
-        n: usize,
-        max_firings: u64,
-    ) -> Result<u64, RuntimeError> {
+    pub fn run_until_output(&mut self, n: usize, max_firings: u64) -> Result<u64, RuntimeError> {
         let order = self.graph.topo_order();
         let start = self.total_firings;
         // Per-sweep cap keeps sources from running away.
@@ -642,6 +726,15 @@ impl<'g> Machine<'g> {
                 }
             }
             if self.total_firings == before {
+                if self.starved() {
+                    return Err(RuntimeError::Starved {
+                        detail: format!(
+                            "input tape exhausted; output has {} of {} items",
+                            self.output.len(),
+                            n
+                        ),
+                    });
+                }
                 return Err(RuntimeError::Deadlock {
                     detail: format!(
                         "no node can fire; output has {} of {} items",
@@ -661,9 +754,7 @@ fn init_state(f: &Filter) -> HashMap<String, Slot> {
         .map(|sv| {
             let slot = match &sv.init {
                 StateInit::Scalar(v) => Slot::Scalar(v.coerce(sv.ty)),
-                StateInit::Array(vs) => {
-                    Slot::Array(vs.iter().map(|v| v.coerce(sv.ty)).collect())
-                }
+                StateInit::Array(vs) => Slot::Array(vs.iter().map(|v| v.coerce(sv.ty)).collect()),
             };
             (sv.name.clone(), slot)
         })
@@ -712,6 +803,12 @@ impl EvalCtx for FilterCtx<'_, '_> {
     fn push(&mut self, v: Value) -> Result<(), RuntimeError> {
         match self.out_edge {
             Some(e) => {
+                if self.machine.channels[e.0].len() >= self.machine.limits.max_channel_items {
+                    return Err(RuntimeError::CapacityExceeded {
+                        node: self.node_name().to_string(),
+                        capacity: self.machine.limits.max_channel_items,
+                    });
+                }
                 let ty = self.machine.graph.edge(e).ty;
                 self.machine.channels[e.0].push_back(v.coerce(ty));
                 self.machine.pushed[e.0] += 1;
@@ -803,7 +900,10 @@ mod tests {
         m.run_until_output(4, 1000).unwrap();
         assert_eq!(
             m.take_output(),
-            vec![4, 8, 12, 16].into_iter().map(Value::Int).collect::<Vec<_>>()
+            vec![4, 8, 12, 16]
+                .into_iter()
+                .map(Value::Int)
+                .collect::<Vec<_>>()
         );
     }
 
@@ -849,7 +949,10 @@ mod tests {
         m.run_until_output(3, 1000).unwrap();
         assert_eq!(
             m.take_output(),
-            vec![2, 4, 6].into_iter().map(Value::Int).collect::<Vec<_>>()
+            vec![2, 4, 6]
+                .into_iter()
+                .map(Value::Int)
+                .collect::<Vec<_>>()
         );
     }
 
@@ -890,10 +993,7 @@ mod tests {
         let mut m = Machine::new(&g);
         m.feed([3.0, 6.0, 9.0, 12.0].map(Value::Float));
         m.run_until_output(2, 1000).unwrap();
-        assert_eq!(
-            m.take_output(),
-            vec![Value::Float(6.0), Value::Float(9.0)]
-        );
+        assert_eq!(m.take_output(), vec![Value::Float(6.0), Value::Float(9.0)]);
     }
 
     #[test]
@@ -910,7 +1010,10 @@ mod tests {
         m.run_until_output(4, 1000).unwrap();
         assert_eq!(
             m.take_output(),
-            vec![0, 1, 2, 3].into_iter().map(Value::Int).collect::<Vec<_>>()
+            vec![0, 1, 2, 3]
+                .into_iter()
+                .map(Value::Int)
+                .collect::<Vec<_>>()
         );
     }
 
@@ -931,7 +1034,10 @@ mod tests {
         m.run_until_output(3, 100).unwrap();
         assert_eq!(
             m.take_output(),
-            vec![1, 2, 3].into_iter().map(Value::Int).collect::<Vec<_>>()
+            vec![1, 2, 3]
+                .into_iter()
+                .map(Value::Int)
+                .collect::<Vec<_>>()
         );
     }
 
@@ -949,7 +1055,9 @@ mod tests {
             .rates(1, 1, 1)
             .state("g", DataType::Int, Value::Int(1))
             .work(|b| b.push(pop() * var("g")))
-            .handler("setGain", vec![("v", DataType::Int)], |b| b.set("g", var("v")))
+            .handler("setGain", vec![("v", DataType::Int)], |b| {
+                b.set("g", var("v"))
+            })
             .build_node();
         let p = pipeline("p", vec![sender, receiver]);
         let g = FlatGraph::from_stream(&p);
@@ -977,9 +1085,7 @@ mod tests {
         // A relay's handler forwards to a second portal.
         let sender = FilterBuilder::new("send", DataType::Int)
             .rates(1, 1, 1)
-            .work(|b| {
-                b.send("first", "fwd", vec![lit(7i64)], (0, 1)).push(pop())
-            })
+            .work(|b| b.send("first", "fwd", vec![lit(7i64)], (0, 1)).push(pop()))
             .build_node();
         let relay = FilterBuilder::new("relay", DataType::Int)
             .rates(1, 1, 1)
@@ -1020,13 +1126,70 @@ mod tests {
     }
 
     #[test]
-    fn deadlock_reported_when_input_starved() {
+    fn starvation_reported_when_input_runs_dry() {
+        // Regression: a run that stalls mid-way because the external tape
+        // is empty must report `Starved`, not `Deadlock` (and must not
+        // loop forever).
         let p = pipeline("p", vec![double()]);
         let g = FlatGraph::from_stream(&p);
         let mut m = Machine::new(&g);
         m.feed([1].map(Value::Int));
         let err = m.run_until_output(5, 100).unwrap_err();
-        assert!(matches!(err, RuntimeError::Deadlock { .. }));
+        assert!(matches!(err, RuntimeError::Starved { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn starvation_distinguished_from_structural_deadlock() {
+        // A filter that peeks beyond what its pop rate replenishes on a
+        // *fed* machine with too little input: starved.  The same graph
+        // with items still on the tape but a node past its window is a
+        // different story — here we only pin the starved side.
+        let avg = FilterBuilder::new("avg", DataType::Int)
+            .rates(4, 1, 1)
+            .push(peek(3))
+            .pop_discard()
+            .build_node();
+        let g = FlatGraph::from_stream(&avg);
+        let mut m = Machine::new(&g);
+        m.feed([1, 2].map(Value::Int)); // needs 4 to fire
+        let err = m.run_until_output(1, 100).unwrap_err();
+        assert!(matches!(err, RuntimeError::Starved { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn channel_capacity_cap_reported() {
+        // A 1->8 up-sampler feeding a slow consumer overflows a tiny
+        // channel cap instead of buffering without bound.
+        let src = FilterBuilder::new("burst", DataType::Int)
+            .rates(1, 1, 8)
+            .work(|b| {
+                b.let_("v", DataType::Int, pop())
+                    .for_("i", 0, 8, |b| b.push(var("v")))
+            })
+            .build_node();
+        let sink = FilterBuilder::new("slow", DataType::Int)
+            .rates(8, 8, 1)
+            .work(|b| {
+                let mut b = b.push(peek(0));
+                for _ in 0..8 {
+                    b = b.pop_discard();
+                }
+                b
+            })
+            .build_node();
+        let p = pipeline("p", vec![src, sink]);
+        let g = FlatGraph::from_stream(&p);
+        let mut m = Machine::new(&g);
+        m.set_limits(ExecLimits {
+            max_channel_items: 4,
+            ..ExecLimits::default()
+        });
+        m.feed((0..100).map(Value::Int));
+        let err = m.run_until_output(100, 10_000).unwrap_err();
+        assert!(
+            matches!(err, RuntimeError::CapacityExceeded { .. }),
+            "{err:?}"
+        );
     }
 
     #[test]
@@ -1042,12 +1205,7 @@ mod tests {
             .build_node();
         let down = FilterBuilder::new("down", DataType::Int)
             .rates(3, 3, 1)
-            .work(|b| {
-                b.push(peek(0))
-                    .pop_discard()
-                    .pop_discard()
-                    .pop_discard()
-            })
+            .work(|b| b.push(peek(0)).pop_discard().pop_discard().pop_discard())
             .build_node();
         let p = pipeline("p", vec![up, down]);
         let g = FlatGraph::from_stream(&p);
@@ -1092,7 +1250,8 @@ mod tests {
         let g = FlatGraph::from_stream(&p);
         let mut m = Machine::new(&g);
         m.feed([1].map(Value::Int));
-        assert!(m.run_steady_states(5).is_err());
+        let err = m.run_steady_states(5).unwrap_err();
+        assert!(matches!(err, RuntimeError::Starved { .. }), "{err:?}");
     }
 
     #[test]

@@ -143,11 +143,7 @@ pub fn combine_splitjoin(branches: &[LinearRep], weights: &[u64]) -> Option<Line
         }
     }
     let d = consumption?;
-    if firings
-        .iter()
-        .zip(branches)
-        .any(|(&u, b)| u * b.pop != d)
-    {
+    if firings.iter().zip(branches).any(|(&u, b)| u * b.pop != d) {
         return None; // inconsistent rates
     }
 

@@ -23,7 +23,10 @@ use streamit_graph::{BinOp, Expr, Filter, Intrinsic, LValue, StateInit, Stmt, Un
 #[derive(Debug, Clone, PartialEq)]
 enum Abs {
     /// `Σ coeffs[i]·x[i] + c`, with `x[i] = peek(i)` at firing start.
-    Affine { coeffs: HashMap<usize, f64>, c: f64 },
+    Affine {
+        coeffs: HashMap<usize, f64>,
+        c: f64,
+    },
     Top,
 }
 
@@ -51,10 +54,7 @@ impl Abs {
 
     fn add(&self, other: &Abs, sign: f64) -> Abs {
         match (self, other) {
-            (
-                Abs::Affine { coeffs: ca, c: a },
-                Abs::Affine { coeffs: cb, c: b },
-            ) => {
+            (Abs::Affine { coeffs: ca, c: a }, Abs::Affine { coeffs: cb, c: b }) => {
                 let mut coeffs = ca.clone();
                 for (&i, &v) in cb {
                     *coeffs.entry(i).or_insert(0.0) += sign * v;
@@ -152,10 +152,7 @@ impl Extractor {
                 _ => Abs::Top,
             },
             Expr::Index(n, i) => {
-                let iv = self
-                    .expr(i)?
-                    .as_const()
-                    .ok_or(NonLinear::DynamicIndex)?;
+                let iv = self.expr(i)?.as_const().ok_or(NonLinear::DynamicIndex)?;
                 match self.lookup(n) {
                     Some(Slot::Array(a)) => {
                         let k = iv as usize;
@@ -168,10 +165,7 @@ impl Extractor {
                 }
             }
             Expr::Peek(i) => {
-                let iv = self
-                    .expr(i)?
-                    .as_const()
-                    .ok_or(NonLinear::DynamicIndex)?;
+                let iv = self.expr(i)?.as_const().ok_or(NonLinear::DynamicIndex)?;
                 if iv < 0.0 {
                     return Err(NonLinear::DynamicIndex);
                 }
@@ -247,10 +241,7 @@ impl Extractor {
                 }
             }
             Expr::Call(f, args) => {
-                let vals: Vec<Abs> = args
-                    .iter()
-                    .map(|a| self.expr(a))
-                    .collect::<R<Vec<_>>>()?;
+                let vals: Vec<Abs> = args.iter().map(|a| self.expr(a)).collect::<R<Vec<_>>>()?;
                 // Casts preserve affinity; other intrinsics need
                 // constant arguments.
                 match f {
@@ -260,14 +251,11 @@ impl Extractor {
                         None => Abs::Top,
                     },
                     _ => {
-                        let consts: Option<Vec<f64>> =
-                            vals.iter().map(|v| v.as_const()).collect();
+                        let consts: Option<Vec<f64>> = vals.iter().map(|v| v.as_const()).collect();
                         match consts {
                             Some(cs) => {
-                                let vs: Vec<streamit_graph::Value> = cs
-                                    .into_iter()
-                                    .map(streamit_graph::Value::Float)
-                                    .collect();
+                                let vs: Vec<streamit_graph::Value> =
+                                    cs.into_iter().map(streamit_graph::Value::Float).collect();
                                 Abs::konst(f.eval(&vs).as_f64())
                             }
                             None => Abs::Top,
@@ -318,11 +306,7 @@ impl Extractor {
                                 }
                                 a[k] = v;
                             }
-                            _ => {
-                                return Err(NonLinear::Unsupported(
-                                    "assignment to unknown array",
-                                ))
-                            }
+                            _ => return Err(NonLinear::Unsupported("assignment to unknown array")),
                         }
                     }
                 }
@@ -445,7 +429,7 @@ pub fn extract_linear(filter: &Filter) -> Result<LinearRep, NonLinear> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    
+
     use streamit_graph::builder::*;
     use streamit_graph::{DataType, Value};
 
@@ -534,15 +518,9 @@ mod tests {
         let f = FilterBuilder::new("iir", DataType::Float)
             .rates(1, 1, 1)
             .state("y", DataType::Float, Value::Float(0.0))
-            .work(|b| {
-                b.set("y", var("y") * lit(0.9) + pop())
-                    .push(var("y"))
-            })
+            .work(|b| b.set("y", var("y") * lit(0.9) + pop()).push(var("y")))
             .build();
-        assert!(matches!(
-            extract_linear(&f),
-            Err(NonLinear::StateWrite(_))
-        ));
+        assert!(matches!(extract_linear(&f), Err(NonLinear::StateWrite(_))));
     }
 
     #[test]
@@ -550,12 +528,11 @@ mod tests {
         let f = FilterBuilder::new("nl", DataType::Float)
             .rates(1, 1, 1)
             .work(|b| {
-                b.let_("v", DataType::Float, pop())
-                    .if_else(
-                        cmp(streamit_graph::BinOp::Gt, var("v"), lit(0.0)),
-                        |b| b.push(var("v")),
-                        |b| b.push(-var("v")),
-                    )
+                b.let_("v", DataType::Float, pop()).if_else(
+                    cmp(streamit_graph::BinOp::Gt, var("v"), lit(0.0)),
+                    |b| b.push(var("v")),
+                    |b| b.push(-var("v")),
+                )
             })
             .build();
         assert_eq!(

@@ -111,12 +111,7 @@ impl Fft {
 }
 
 /// Multiply two complex spectra element-wise: `a ← a · b`.
-pub fn spectrum_mul(
-    are: &mut [f64],
-    aim: &mut [f64],
-    bre: &[f64],
-    bim: &[f64],
-) {
+pub fn spectrum_mul(are: &mut [f64], aim: &mut [f64], bre: &[f64], bim: &[f64]) {
     for i in 0..are.len() {
         let (xr, xi) = (are[i], aim[i]);
         are[i] = xr * bre[i] - xi * bim[i];

@@ -192,10 +192,7 @@ mod tests {
         let crossover = (1..=512)
             .find(|&n| should_translate(n).is_some())
             .expect("some n must translate");
-        assert!(
-            (8..=128).contains(&crossover),
-            "crossover at {crossover}"
-        );
+        assert!((8..=128).contains(&crossover), "crossover at {crossover}");
     }
 
     #[test]

@@ -34,6 +34,6 @@ pub mod rep;
 pub use combine::{combine_pipeline, combine_splitjoin};
 pub use extract::extract_linear;
 pub use fft::Fft;
-pub use freq::{freq_cost_per_output, direct_cost_per_output, FreqFilter};
+pub use freq::{direct_cost_per_output, freq_cost_per_output, FreqFilter};
 pub use optimize::{optimize_stream, LinearMode, LinearReport};
 pub use rep::LinearRep;

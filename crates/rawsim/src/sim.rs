@@ -191,9 +191,7 @@ pub fn simulate(mp: &MappedProgram, cfg: &MachineConfig) -> SimResult {
                 .max(max_link)
                 .max(recurrence_bound(mp, cfg, &duration))
         }
-        ExecModel::Barrier => {
-            barrier_makespan(mp, &placement, cfg, &duration).max(max_link)
-        }
+        ExecModel::Barrier => barrier_makespan(mp, &placement, cfg, &duration).max(max_link),
     }
     .max(1);
 
@@ -217,17 +215,15 @@ pub fn simulate(mp: &MappedProgram, cfg: &MachineConfig) -> SimResult {
         cycles_per_steady: cycles,
         utilization: useful as f64 / (mp.n_tiles as f64 * cycles as f64),
         mflops: flops as f64 / cycles as f64 * cfg.clock_mhz,
-        tile_busy: mp
-            .wg
-            .nodes
-            .iter()
-            .enumerate()
-            .fold(vec![0u64; mp.n_tiles], |mut acc, (i, n)| {
+        tile_busy: mp.wg.nodes.iter().enumerate().fold(
+            vec![0u64; mp.n_tiles],
+            |mut acc, (i, n)| {
                 if let Some(t) = mp.assignment[i] {
                     acc[t] += n.work;
                 }
                 acc
-            }),
+            },
+        ),
         max_link_load: max_link,
         bottleneck,
     }
@@ -389,27 +385,22 @@ fn barrier_makespan(
             // An incidental cycle (created by fusion through a retained
             // sync node — not a real data dependence): force the stuck
             // node with the fewest unmet inputs.
-            if let Some(stuck) = (0..n)
-                .filter(|&i| !scheduled[i])
-                .min_by_key(|&i| in_deg[i])
-            {
+            if let Some(stuck) = (0..n).filter(|&i| !scheduled[i]).min_by_key(|&i| in_deg[i]) {
                 ready.push(stuck);
             } else {
                 break;
             }
         }
         // Pick the ready node with the earliest feasible start.
-        let (pos, &i) = ready
-            .iter()
-            .enumerate()
-            .min_by_key(|(_, &i)| {
-                let start = match mp.assignment[i] {
-                    Some(t) => data_ready[i].max(tile_free[t]),
-                    None => data_ready[i],
-                };
-                (start, i)
-            })
-            .expect("ready is non-empty");
+        let Some((pos, &i)) = ready.iter().enumerate().min_by_key(|(_, &i)| {
+            let start = match mp.assignment[i] {
+                Some(t) => data_ready[i].max(tile_free[t]),
+                None => data_ready[i],
+            };
+            (start, i)
+        }) else {
+            break;
+        };
         ready.swap_remove(pos);
         debug_assert!(!scheduled[i]);
         scheduled[i] = true;
@@ -462,16 +453,8 @@ fn transfer(depart: u64, hops: u64, items: u64, cfg: &MachineConfig) -> u64 {
 /// whole program fused onto one tile, channels scalar-replaced into
 /// locals (no per-word buffer traffic), leaving the work itself plus
 /// per-node dispatch.
-pub fn simulate_single_core(
-    wg: &streamit_sched::WorkGraph,
-    cfg: &MachineConfig,
-) -> SimResult {
-    let work: u64 = wg
-        .nodes
-        .iter()
-        .filter(|n| !n.io)
-        .map(|n| n.work)
-        .sum();
+pub fn simulate_single_core(wg: &streamit_sched::WorkGraph, cfg: &MachineConfig) -> SimResult {
+    let work: u64 = wg.nodes.iter().filter(|n| !n.io).map(|n| n.work).sum();
     let flops: u64 = wg.nodes.iter().filter(|n| !n.io).map(|n| n.flops).sum();
     // One fused program: a single steady-state loop's dispatch overhead.
     // File endpoints stream through the DRAM ports in every

@@ -43,7 +43,7 @@ pub fn characterize(name: &str, g: &FlatGraph) -> Result<BenchCharacteristics, S
     let mut total_work = 0u64;
     let mut stateful_work = 0u64;
     for n in g.filters() {
-        let f = n.as_filter().expect("filter");
+        let Some(f) = n.as_filter() else { continue };
         // File endpoints count toward the filter total (as in the
         // paper's table) but are not mapped to cores, so they do not
         // contribute peeking/stateful/work measurements.
@@ -103,10 +103,7 @@ mod tests {
             .state("a", DataType::Float, Value::Float(0.0))
             .work(|b| b.set("a", var("a") + pop()).push(var("a")))
             .build_node();
-        let p = pipeline(
-            "p",
-            vec![identity("in", DataType::Float), peeker, stateful],
-        );
+        let p = pipeline("p", vec![identity("in", DataType::Float), peeker, stateful]);
         let g = FlatGraph::from_stream(&p);
         let c = characterize("test", &g).unwrap();
         assert_eq!(c.filters, 3);

@@ -191,11 +191,12 @@ impl Estimator {
                 w
             }
             Stmt::Expr(e) => self.expr(e),
-            Stmt::For {
-                from, to, body, ..
-            } => {
+            Stmt::For { from, to, body, .. } => {
                 let body_w = self.block(body);
-                let overhead = WorkEstimate { cycles: 2, flops: 0 }; // cmp + branch
+                let overhead = WorkEstimate {
+                    cycles: 2,
+                    flops: 0,
+                }; // cmp + branch
                 let per_iter = body_w.add(overhead);
                 let trips = match (const_int(from), const_int(to)) {
                     (Some(a), Some(b)) if b > a => (b - a) as u64,
@@ -215,7 +216,10 @@ impl Estimator {
                 let c = self.expr(cond);
                 let t = self.block(then_body);
                 let e = self.block(else_body);
-                c.add(t.max(e)).add(WorkEstimate { cycles: 1, flops: 0 })
+                c.add(t.max(e)).add(WorkEstimate {
+                    cycles: 1,
+                    flops: 0,
+                })
             }
             Stmt::Send { args, .. } => {
                 let mut w = WorkEstimate {
@@ -234,11 +238,13 @@ impl Estimator {
 /// Estimate one firing of `filter`'s work function.
 pub fn estimate_filter(filter: &Filter) -> WorkEstimate {
     let est = Estimator {
-        float_data: filter.input == Some(DataType::Float)
-            || filter.output == Some(DataType::Float),
+        float_data: filter.input == Some(DataType::Float) || filter.output == Some(DataType::Float),
     };
     // Fixed firing overhead (function dispatch, tape pointer setup).
-    let base = WorkEstimate { cycles: 3, flops: 0 };
+    let base = WorkEstimate {
+        cycles: 3,
+        flops: 0,
+    };
     base.add(est.block(&filter.work))
 }
 
@@ -270,7 +276,12 @@ mod tests {
         };
         let w8 = estimate_filter(&mk(8));
         let w64 = estimate_filter(&mk(64));
-        assert!(w64.cycles > 6 * w8.cycles, "{} vs {}", w64.cycles, w8.cycles);
+        assert!(
+            w64.cycles > 6 * w8.cycles,
+            "{} vs {}",
+            w64.cycles,
+            w8.cycles
+        );
     }
 
     #[test]
@@ -301,12 +312,11 @@ mod tests {
         let f = FilterBuilder::new("f", DataType::Int)
             .rates(1, 1, 1)
             .work(|b| {
-                b.let_("v", DataType::Int, pop())
-                    .if_else(
-                        var("v"),
-                        |b| b.push(var("v") * lit(3i64) * lit(5i64) * lit(7i64)),
-                        |b| b.push(var("v")),
-                    )
+                b.let_("v", DataType::Int, pop()).if_else(
+                    var("v"),
+                    |b| b.push(var("v") * lit(3i64) * lit(5i64) * lit(7i64)),
+                    |b| b.push(var("v")),
+                )
             })
             .build();
         let w = estimate_filter(&f);

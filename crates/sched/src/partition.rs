@@ -106,7 +106,9 @@ fn level_lpt_assign(wg: &WorkGraph, n_tiles: usize) -> Vec<Option<usize>> {
         members.sort_by_key(|&i| std::cmp::Reverse(wg.nodes[i].work));
         let mut loads = vec![0u64; n_tiles];
         for i in members {
-            let tile = (0..n_tiles).min_by_key(|&t| loads[t]).expect("tiles");
+            let Some(tile) = (0..n_tiles).min_by_key(|&t| loads[t]) else {
+                break;
+            };
             assignment[i] = Some(tile);
             loads[tile] += wg.nodes[i].work;
         }
@@ -123,7 +125,9 @@ fn lpt_assign(wg: &WorkGraph, n_tiles: usize) -> Vec<Option<usize>> {
     let mut compute = wg.compute_nodes();
     compute.sort_by_key(|&i| std::cmp::Reverse(wg.nodes[i].work));
     for i in compute {
-        let tile = (0..n_tiles).min_by_key(|&t| loads[t]).expect("tiles > 0");
+        let Some(tile) = (0..n_tiles).min_by_key(|&t| loads[t]) else {
+            break;
+        };
         assignment[i] = Some(tile);
         loads[tile] += wg.nodes[i].work;
     }
@@ -173,12 +177,7 @@ fn levels(wg: &WorkGraph) -> Vec<usize> {
     let mut level = vec![0usize; wg.nodes.len()];
     for &i in &order {
         let own = usize::from(!wg.nodes[i].sync && !wg.nodes[i].io);
-        let base = wg
-            .preds(i)
-            .into_iter()
-            .map(|p| level[p])
-            .max()
-            .unwrap_or(0);
+        let base = wg.preds(i).into_iter().map(|p| level[p]).max().unwrap_or(0);
         level[i] = base + own;
     }
     level
@@ -278,8 +277,7 @@ fn coarsen_stateless(wg: &WorkGraph) -> WorkGraph {
         }
     }
     // Group by root.
-    let mut groups: std::collections::HashMap<usize, Vec<usize>> =
-        std::collections::HashMap::new();
+    let mut groups: std::collections::HashMap<usize, Vec<usize>> = std::collections::HashMap::new();
     for i in 0..wg.nodes.len() {
         if eligible(i) {
             let r = find(&mut parent, i);
@@ -352,12 +350,7 @@ fn fiss_stateless(wg: &WorkGraph, max_ways: usize, min_grain: u64) -> WorkGraph 
             if min_grain > 1 && n.peeking {
                 // Input duplication costs each replica the full stream;
                 // require the per-replica work to clearly exceed it.
-                let in_items: u64 = g
-                    .edges
-                    .iter()
-                    .filter(|e| e.dst == i)
-                    .map(|e| e.items)
-                    .sum();
+                let in_items: u64 = g.edges.iter().filter(|e| e.dst == i).map(|e| e.items).sum();
                 if n.work / k as u64 <= 3 * in_items {
                     return None;
                 }
@@ -383,12 +376,13 @@ fn selective_fusion(wg: &WorkGraph, target: usize, limit: u64) -> WorkGraph {
     while g.compute_nodes().len() > target {
         let ok = |g: &WorkGraph, i: usize| !g.nodes[i].sync && !g.nodes[i].io;
         let mut best: Option<(u64, usize, usize)> = None;
-        let consider = |best: &mut Option<(u64, usize, usize)>, g: &WorkGraph, a: usize, b: usize| {
-            let w = g.nodes[a].work + g.nodes[b].work;
-            if w <= limit && best.map(|(bw, _, _)| w < bw).unwrap_or(true) {
-                *best = Some((w, a, b));
-            }
-        };
+        let consider =
+            |best: &mut Option<(u64, usize, usize)>, g: &WorkGraph, a: usize, b: usize| {
+                let w = g.nodes[a].work + g.nodes[b].work;
+                if w <= limit && best.map(|(bw, _, _)| w < bw).unwrap_or(true) {
+                    *best = Some((w, a, b));
+                }
+            };
         for e in &g.edges {
             if ok(&g, e.src) && ok(&g, e.dst) && e.src != e.dst {
                 consider(&mut best, &g, e.src, e.dst);
@@ -607,9 +601,7 @@ mod tests {
         let sj = splitjoin(
             "sj",
             Splitter::round_robin(4),
-            (0..4)
-                .map(|i| work_filter(&format!("w{i}"), 50))
-                .collect(),
+            (0..4).map(|i| work_filter(&format!("w{i}"), 50)).collect(),
             Joiner::round_robin(4),
         );
         let wg = wg_of(pipeline("p", vec![work_filter("pre", 10), sj]));
@@ -630,12 +622,7 @@ mod tests {
         let mp = data_parallel_partition(&wg, 16);
         // All three stateless filters fuse to one, fissed adaptively
         // (the fission degree respects the COARSE_GRAIN threshold).
-        let replicas = mp
-            .wg
-            .nodes
-            .iter()
-            .filter(|n| n.name.contains("of"))
-            .count();
+        let replicas = mp.wg.nodes.iter().filter(|n| n.name.contains("of")).count();
         let expected = ((wg.total_work() / COARSE_GRAIN) as usize).clamp(2, 16);
         assert_eq!(
             replicas,
@@ -675,7 +662,10 @@ mod tests {
         ));
         let mp = data_parallel_partition(&wg, 16);
         assert!(
-            mp.wg.nodes.iter().any(|n| n.name.contains('s') && n.stateful),
+            mp.wg
+                .nodes
+                .iter()
+                .any(|n| n.name.contains('s') && n.stateful),
             "stateful filter survives untouched"
         );
         assert!(!mp

@@ -242,7 +242,7 @@ impl WorkGraph {
 
         // Build the new node list: fused node first is placed at the
         // position of the smallest member to keep ordering stable.
-        let anchor = *set.iter().min().expect("non-empty");
+        let anchor = set.iter().min().copied().unwrap_or(0);
         let mut map = vec![usize::MAX; self.nodes.len()];
         let mut nodes = Vec::with_capacity(self.nodes.len() - set.len() + 1);
         for (i, n) in self.nodes.iter().enumerate() {
@@ -409,8 +409,14 @@ impl WorkGraph {
                     && g.edges.iter().filter(|e| e.src == i).count() == 1
             });
             let Some(i) = target else { break };
-            let pred_e = g.edges.iter().position(|e| e.dst == i).expect("one in");
-            let succ_e = g.edges.iter().position(|e| e.src == i).expect("one out");
+            // The find above guarantees exactly one of each; bail rather
+            // than panic if the graph mutates out from under us.
+            let Some(pred_e) = g.edges.iter().position(|e| e.dst == i) else {
+                break;
+            };
+            let Some(succ_e) = g.edges.iter().position(|e| e.src == i) else {
+                break;
+            };
             let src = g.edges[pred_e].src;
             let dst = g.edges[succ_e].dst;
             let items = g.edges[pred_e].items.max(g.edges[succ_e].items);
@@ -474,7 +480,9 @@ mod tests {
             .rates(1, 1, 1)
             .work(move |b| {
                 b.let_("s", DataType::Float, pop())
-                    .for_("i", 0, loops, |b| b.set("s", var("s") * lit(1.01) + lit(0.5)))
+                    .for_("i", 0, loops, |b| {
+                        b.set("s", var("s") * lit(1.01) + lit(0.5))
+                    })
                     .push(var("s"))
             })
             .build_node()
@@ -483,7 +491,11 @@ mod tests {
     fn simple_wg() -> WorkGraph {
         let p = pipeline(
             "p",
-            vec![work_filter("a", 10), work_filter("b", 20), work_filter("c", 10)],
+            vec![
+                work_filter("a", 10),
+                work_filter("b", 20),
+                work_filter("c", 10),
+            ],
         );
         let g = FlatGraph::from_stream(&p);
         WorkGraph::from_flat(&g).unwrap()
@@ -521,7 +533,10 @@ mod tests {
         let wg = WorkGraph::from_flat(&g).unwrap();
         assert!(!wg.nodes[1].stateful);
         let (fused, id) = wg.fuse(&[0, 1]);
-        assert!(fused.nodes[id].stateful, "fused peeking region must be stateful");
+        assert!(
+            fused.nodes[id].stateful,
+            "fused peeking region must be stateful"
+        );
     }
 
     #[test]

@@ -122,7 +122,7 @@ impl<'g> ConstrainedExecutor<'g> {
         let g = self.machine.graph();
         let mut found = Vec::new();
         for n in g.filters() {
-            let f = n.as_filter().expect("filters() yields filters");
+            let Some(f) = n.as_filter() else { continue };
             let mut sends: Vec<(String, i64)> = Vec::new();
             streamit_graph::work::visit_block(&f.work, &mut |s| {
                 if let streamit_graph::Stmt::Send {
@@ -208,8 +208,11 @@ impl<'g> ConstrainedExecutor<'g> {
             let push_a = self.steady_push(c.sender);
             let bound = if g.is_downstream(node, c.sender) {
                 // receiver upstream of sender: Eq. mc1
-                self.wavefront
-                    .min_between(ob, oa, n_oa + push_a.saturating_mul(c.latency.max(0) as u64))
+                self.wavefront.min_between(
+                    ob,
+                    oa,
+                    n_oa + push_a.saturating_mul(c.latency.max(0) as u64),
+                )
             } else if g.is_downstream(c.sender, node) {
                 // receiver downstream: Eq. mc2
                 let lam1 = (c.latency - 1).max(0) as u64;
@@ -255,9 +258,10 @@ impl<'g> ConstrainedExecutor<'g> {
                 .map(|(i, _)| i)
                 .collect();
             for i in due.into_iter().rev() {
-                let p = self.pending.remove(i).expect("index valid");
-                self.machine.deliver(p.receiver, &p.handler, &p.args)?;
-                self.delivered += 1;
+                if let Some(p) = self.pending.remove(i) {
+                    self.machine.deliver(p.receiver, &p.handler, &p.args)?;
+                    self.delivered += 1;
+                }
             }
         } else {
             // Sinks: best-effort, deliver pending immediately.
@@ -269,9 +273,10 @@ impl<'g> ConstrainedExecutor<'g> {
                 .map(|(i, _)| i)
                 .collect();
             for i in due.into_iter().rev() {
-                let p = self.pending.remove(i).expect("index valid");
-                self.machine.deliver(p.receiver, &p.handler, &p.args)?;
-                self.delivered += 1;
+                if let Some(p) = self.pending.remove(i) {
+                    self.machine.deliver(p.receiver, &p.handler, &p.args)?;
+                    self.delivered += 1;
+                }
             }
         }
 
@@ -281,8 +286,7 @@ impl<'g> ConstrainedExecutor<'g> {
         // Queue messages sent during this firing.
         for m in outcome.messages {
             let s = n_oa_before.unwrap_or(0);
-            let receivers: Vec<NodeId> =
-                self.machine.portal_receivers(&m.portal).to_vec();
+            let receivers: Vec<NodeId> = self.machine.portal_receivers(&m.portal).to_vec();
             if receivers.is_empty() {
                 return Err(RuntimeError::BadMessage {
                     portal: m.portal.clone(),
@@ -294,9 +298,8 @@ impl<'g> ConstrainedExecutor<'g> {
             let lambda = m.latency.1;
             for r in receivers {
                 let (target, before_firing) = match (self.out_edge(r), self.out_edge(node)) {
-                    (Some(orb), Some(_)) if g.is_downstream(r, node) => {
+                    (Some(orb), Some(oa)) if g.is_downstream(r, node) => {
                         // receiver upstream (Eq. msgup)
-                        let oa = self.out_edge(node).expect("checked");
                         let t = self.wavefront.min_between(
                             orb,
                             oa,
@@ -307,9 +310,9 @@ impl<'g> ConstrainedExecutor<'g> {
                     (Some(orb), Some(oa)) if g.is_downstream(node, r) => {
                         // receiver downstream (Eq. msgdown)
                         let lam1 = (lambda - 1).max(0) as u64;
-                        let t = self
-                            .wavefront
-                            .max_between(oa, orb, s + push_a.saturating_mul(lam1));
+                        let t =
+                            self.wavefront
+                                .max_between(oa, orb, s + push_a.saturating_mul(lam1));
                         (t, true)
                     }
                     _ => (u64::MAX, true), // parallel or sink: best effort
@@ -335,9 +338,10 @@ impl<'g> ConstrainedExecutor<'g> {
                 .map(|(i, _)| i)
                 .collect();
             for i in due.into_iter().rev() {
-                let p = self.pending.remove(i).expect("index valid");
-                self.machine.deliver(p.receiver, &p.handler, &p.args)?;
-                self.delivered += 1;
+                if let Some(p) = self.pending.remove(i) {
+                    self.machine.deliver(p.receiver, &p.handler, &p.args)?;
+                    self.delivered += 1;
+                }
             }
         }
         Ok(())
@@ -364,6 +368,15 @@ impl<'g> ConstrainedExecutor<'g> {
                 }
             }
             if self.machine.total_firings() == before {
+                if self.machine.starved() {
+                    return Err(RuntimeError::Starved {
+                        detail: format!(
+                            "input tape exhausted; output has {} of {} items",
+                            self.machine.output().len(),
+                            n
+                        ),
+                    });
+                }
                 return Err(RuntimeError::Deadlock {
                     detail: format!(
                         "no firing satisfies the messaging/latency constraints; \
@@ -406,7 +419,9 @@ mod tests {
             .rates(1, 1, 1)
             .state("g", DataType::Int, streamit_graph::Value::Int(1))
             .work(|b| b.push(pop() * var("g")))
-            .handler("setGain", vec![("v", DataType::Int)], |b| b.set("g", var("v")))
+            .handler("setGain", vec![("v", DataType::Int)], |b| {
+                b.set("g", var("v"))
+            })
             .build_node()
     }
 

@@ -227,10 +227,7 @@ mod tests {
             for x in 1..40u64 {
                 let y = t.min(x);
                 assert!(t.max(y) >= x, "max(min({x})) too small for {t:?}");
-                assert!(
-                    y == 0 || t.max(y - 1) < x,
-                    "min({x}) not minimal for {t:?}"
-                );
+                assert!(y == 0 || t.max(y - 1) < x, "min({x}) not minimal for {t:?}");
             }
         }
     }

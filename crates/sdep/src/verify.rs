@@ -50,9 +50,9 @@ pub fn verify_graph(g: &FlatGraph) -> VerifyReport {
                 reps: None,
             };
         }
-        Err(SteadyError::TooLarge) => {
+        Err(e @ (SteadyError::TooLarge | SteadyError::Internal { .. })) => {
             return VerifyReport {
-                overflows: vec!["repetition vector exceeds integer range".into()],
+                overflows: vec![e.to_string()],
                 deadlocks: Vec::new(),
                 reps: None,
             };
@@ -72,10 +72,31 @@ pub fn verify_graph(g: &FlatGraph) -> VerifyReport {
     for e in &g.edges {
         let extra = g.peek_extra(e.dst);
         if extra > 0 && flows[e.id.0] > 0 {
-            init_rounds += extra.div_ceil(flows[e.id.0]);
+            init_rounds = init_rounds.saturating_add(extra.div_ceil(flows[e.id.0]));
         }
     }
-    let cap: Vec<u64> = reps.iter().map(|&r| r * (init_rounds + 2)).collect();
+    let cap: Vec<u64> = reps
+        .iter()
+        .map(|&r| r.saturating_mul(init_rounds.saturating_add(2)))
+        .collect();
+
+    // The greedy simulation is O(sum cap): hostile rate literals can make
+    // the repetition vector astronomically large, so bound the work and
+    // report rather than spin.  A steady state needing millions of
+    // firings also needs buffers of that order — unschedulable in
+    // practice, so an overflow finding is the honest verdict.
+    const VERIFY_BUDGET: u64 = 2_000_000;
+    let total_cap = cap.iter().fold(0u64, |a, &b| a.saturating_add(b));
+    if total_cap > VERIFY_BUDGET {
+        return VerifyReport {
+            overflows: vec![format!(
+                "steady state too large to verify: {total_cap} firings per \
+                 steady state exceeds the verification budget ({VERIFY_BUDGET})"
+            )],
+            deadlocks: Vec::new(),
+            reps: Some(reps),
+        };
+    }
     let mut avail: Vec<u64> = g.edges.iter().map(|e| e.initial.len() as u64).collect();
     let mut fired = vec![0u64; g.nodes.len()];
     let mut progress = true;
@@ -249,10 +270,7 @@ mod tests {
     fn peeking_pipeline_is_not_deadlock() {
         // Peeking needs extra priming from upstream but upstream is
         // infinite: must verify clean.
-        let g = FlatGraph::from_stream(&pipeline(
-            "p",
-            vec![identity("a", DataType::Int), adder()],
-        ));
+        let g = FlatGraph::from_stream(&pipeline("p", vec![identity("a", DataType::Int), adder()]));
         let r = verify_graph(&g);
         assert!(r.is_ok(), "{r:?}");
     }

@@ -416,17 +416,10 @@ mod tests {
             ],
             Joiner::round_robin(2),
         );
-        let g = FlatGraph::from_stream(&pipeline(
-            "p",
-            vec![identity("inp", DataType::Float), sj],
-        ));
+        let g = FlatGraph::from_stream(&pipeline("p", vec![identity("inp", DataType::Float), sj]));
         let w = Wavefront::new(&g);
         // edge 0: inp -> split; find the split->a and split->b edges.
-        let split = g
-            .nodes
-            .iter()
-            .find(|n| n.name.ends_with("/split"))
-            .unwrap();
+        let split = g.nodes.iter().find(|n| n.name.ends_with("/split")).unwrap();
         let in_edge = split.inputs[0];
         let o1 = split.outputs[0];
         let o2 = split.outputs[1];
@@ -453,16 +446,9 @@ mod tests {
             ],
             Joiner::Combine,
         );
-        let g = FlatGraph::from_stream(&pipeline(
-            "p",
-            vec![identity("inp", DataType::Float), sj],
-        ));
+        let g = FlatGraph::from_stream(&pipeline("p", vec![identity("inp", DataType::Float), sj]));
         let w = Wavefront::new(&g);
-        let split = g
-            .nodes
-            .iter()
-            .find(|n| n.name.ends_with("/split"))
-            .unwrap();
+        let split = g.nodes.iter().find(|n| n.name.ends_with("/split")).unwrap();
         for x in 0..20 {
             assert_eq!(w.max_between(split.inputs[0], split.outputs[0], x), x);
             assert_eq!(w.max_between(split.inputs[0], split.outputs[1], x), x);
@@ -527,7 +513,11 @@ mod tests {
             );
             FlatGraph::from_stream(&pipeline(
                 "p",
-                vec![identity("inp", DataType::Int), fl, identity("outp", DataType::Int)],
+                vec![
+                    identity("inp", DataType::Int),
+                    fl,
+                    identity("outp", DataType::Int),
+                ],
             ))
         };
         let (g2, g4) = (mk(2), mk(4));

@@ -77,7 +77,9 @@ fn main() {
 
     // Wall-clock comparison of the kernel itself: direct sliding dot
     // product vs overlap-save FFT convolution for a long filter.
-    let taps: Vec<f64> = (0..512).map(|i| ((i as f64) * 0.01).cos() / 512.0).collect();
+    let taps: Vec<f64> = (0..512)
+        .map(|i| ((i as f64) * 0.01).cos() / 512.0)
+        .collect();
     let rep = LinearRep::fir(&taps);
     let (block, _) = streamit::linear::freq::best_block(taps.len());
     let ff = FreqFilter::new(&rep, block);

@@ -8,8 +8,7 @@
 //! ```
 
 use streamit::apps::freqhop::{
-    freqhop_manual, freqhop_manual_with_io, freqhop_teleport, freqhop_teleport_with_io,
-    FREQ_PORTAL,
+    freqhop_manual, freqhop_manual_with_io, freqhop_teleport, freqhop_teleport_with_io, FREQ_PORTAL,
 };
 use streamit::rawsim::{simulate, MachineConfig};
 use streamit::sched::{software_pipeline, WorkGraph};
@@ -49,7 +48,8 @@ fn main() {
     let flat_m = FlatGraph::from_stream(&manual);
     let mut m = streamit::interp::Machine::new(&flat_m);
     m.feed(std::iter::repeat_n(Value::Float(2.0), 512));
-    m.run_until_output(128, 10_000_000).expect("manual radio runs");
+    m.run_until_output(128, 10_000_000)
+        .expect("manual radio runs");
     let out_m = m.take_output();
     println!("== manual feedback radio ==");
     println!(

@@ -11,7 +11,9 @@ use streamit::rawsim::MachineConfig;
 use streamit::{evaluate_strategies, Compiler};
 
 fn main() {
-    let which = std::env::args().nth(1).unwrap_or_else(|| "FilterBank".into());
+    let which = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "FilterBank".into());
     let bench = apps::evaluation_suite()
         .into_iter()
         .find(|b| b.name.eq_ignore_ascii_case(&which))

@@ -1,0 +1,535 @@
+//! Fault-injection harness: the compiler pipeline must never panic on
+//! adversarial input, and every failure must surface as a typed
+//! [`streamit::Diag`] with the documented code and exit status.
+//!
+//! Three layers of defence are exercised here:
+//!
+//! 1. **Totality** — a corpus of hostile sources (deep nesting, truncated
+//!    programs, binary garbage, overflow-inducing literals) plus a
+//!    property test over arbitrary strings, each run under
+//!    `catch_unwind`, asserting zero panics.
+//! 2. **Golden diagnostics** — malformed programs must produce the
+//!    *specific* stable error code and a source span.
+//! 3. **Resource bounds** — divergent or starved executions terminate
+//!    with `Budget`/`Runtime` diagnostics instead of hanging.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use streamit::{Compiler, Diag, DiagCategory, Options};
+
+/// A small well-formed program used as the base for mutations.
+const GOOD: &str = r#"
+    float->float filter Gain(float g) {
+        work pop 1 push 1 { push(pop() * g); }
+    }
+    float->float pipeline Main() {
+        add Gain(2.0);
+        add Gain(0.5);
+    }
+"#;
+
+/// Compile `src` and return the diagnostic, if any.
+fn compile_diag(src: &str) -> Option<Diag> {
+    Compiler::default()
+        .compile_source(src, "Main")
+        .err()
+        .map(Diag::from)
+}
+
+fn compile_strict_diag(src: &str) -> Option<Diag> {
+    Compiler::new(Options {
+        strict_verify: true,
+        ..Options::default()
+    })
+    .compile_source(src, "Main")
+    .err()
+    .map(Diag::from)
+}
+
+// ---------------------------------------------------------------------
+// 1. Totality: no adversarial input may panic the pipeline.
+// ---------------------------------------------------------------------
+
+/// Hostile corpus: every entry historically plausible as a panic vector.
+fn adversarial_corpus() -> Vec<String> {
+    let mut corpus: Vec<String> = vec![
+        // Empty / whitespace / garbage.
+        String::new(),
+        "   \t\n\r  ".into(),
+        "\0\0\0\0".into(),
+        "\u{7f}\u{1b}[31m".into(),
+        "int".into(),
+        "->".into(),
+        "int->int".into(),
+        // Truncated at every structural boundary.
+        "int->int filter F".into(),
+        "int->int filter F {".into(),
+        "int->int filter F { work".into(),
+        "int->int filter F { work pop 1 push 1 {".into(),
+        "int->int filter F { work pop 1 push 1 { push(pop()".into(),
+        "void->void pipeline Main() { add".into(),
+        // Unbalanced delimiters.
+        "}}}}}}}}".into(),
+        "((((((((".into(),
+        "int->int filter F { work pop 1 push 1 { push(pop()); } } }".into(),
+        // Numeric edge cases: i64::MIN, overflow literals, huge floats.
+        format!(
+            "int->int filter F {{ work pop 1 push 1 {{ push(pop() + {}); }} }}
+             int->int pipeline Main() {{ add F(); }}",
+            i64::MIN
+        ),
+        "int->int filter F { work pop 1 push 1 { push(99999999999999999999999999); } }".into(),
+        "int->int filter F { work pop 1 push 1 { int x = -9223372036854775807 - 1; \
+         push(x * x); } } int->int pipeline Main() { add F(); }"
+            .into(),
+        "int->int filter F { work pop 1 push 1 { int x = -9223372036854775807 - 1; \
+         push(x / -1); } } int->int pipeline Main() { add F(); }"
+            .into(),
+        "int->int filter F { work pop 1 push 1 { int x = -9223372036854775807 - 1; \
+         push(x % -1); } } int->int pipeline Main() { add F(); }"
+            .into(),
+        "float->float filter F { work pop 1 push 1 { push(1e308 * 1e308); } } \
+         float->float pipeline Main() { add F(); }"
+            .into(),
+        // Division / modulo by zero in constant position.
+        "int->int filter F { work pop 1 push 1 { push(1 / 0); } } \
+         int->int pipeline Main() { add F(); }"
+            .into(),
+        "int->int filter F { work pop 1 push 1 { push(1 % 0); } } \
+         int->int pipeline Main() { add F(); }"
+            .into(),
+        // Zero / negative / absurd rates and array sizes.
+        "int->int filter F { work pop 0 push 0 { } } int->int pipeline Main() { add F(); }".into(),
+        "int->int filter F(int N) { int[N] h; work pop 1 push 1 { push(pop()); } } \
+         int->int pipeline Main() { add F(0); }"
+            .into(),
+        "int->int filter F { int[4294967295] h; work pop 1 push 1 { push(pop()); } } \
+         int->int pipeline Main() { add F(); }"
+            .into(),
+        // Unknown names, self-reference, wrong arity.
+        "void->void pipeline Main() { add Nowhere(); }".into(),
+        "void->void pipeline Main() { add Main(); }".into(),
+        "float->float pipeline Main() { add Gain(); } \
+         float->float filter Gain(float g) { work pop 1 push 1 { push(pop() * g); } }"
+            .into(),
+        // Splitjoin with zero branches / null split.
+        "int->int splitjoin Main() { split duplicate; join roundrobin; }".into(),
+        // Runaway graph construction (bounded by the elaboration budget).
+        "void->void pipeline Main() { for (int i = 0; i < 1000000000; i++) add Id(); } \
+         int->int filter Id() { work pop 1 push 1 { push(pop()); } }"
+            .into(),
+    ];
+    // Deep nesting at every recursive grammar production.
+    corpus.push(format!(
+        "int->int filter F {{ work pop 1 push 1 {{ push({}1{}); }} }}",
+        "(".repeat(4000),
+        ")".repeat(4000)
+    ));
+    corpus.push(format!(
+        "int->int filter F {{ work pop 1 push 1 {{ push({}1); }} }}",
+        "-".repeat(4000)
+    ));
+    corpus.push(format!(
+        "int->int filter F {{ work pop 1 push 1 {{ {} push(pop()); {} }} }}",
+        "if (1) {".repeat(2000),
+        "}".repeat(2000)
+    ));
+    corpus.push(format!(
+        "void->void pipeline Main() {{ {} add X(); {} }}",
+        "if (1) {".repeat(2000),
+        "}".repeat(2000)
+    ));
+    // Byte-level mutations of a good program: truncations and splices.
+    for cut in (1..GOOD.len()).step_by(17) {
+        if GOOD.is_char_boundary(cut) {
+            corpus.push(GOOD[..cut].to_string());
+        }
+    }
+    for (i, junk) in ["}", "(", "\0", "->", "push", "9999999999999999999"]
+        .iter()
+        .enumerate()
+    {
+        let cut = 20 + i * 31;
+        if GOOD.is_char_boundary(cut) {
+            corpus.push(format!("{}{}{}", &GOOD[..cut], junk, &GOOD[cut..]));
+        }
+    }
+    corpus
+}
+
+#[test]
+fn adversarial_corpus_never_panics() {
+    for (i, src) in adversarial_corpus().into_iter().enumerate() {
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            // Full pipeline: parse, elaborate, validate, verify.
+            let _ = compile_diag(&src);
+            let _ = compile_strict_diag(&src);
+        }));
+        assert!(
+            result.is_ok(),
+            "pipeline panicked on adversarial input #{i}:\n{src}"
+        );
+    }
+}
+
+#[test]
+fn adversarial_corpus_runs_never_panic() {
+    // Programs that *do* compile must also run without panicking, under
+    // a small firing budget so divergence cannot hang the harness.
+    for (i, src) in adversarial_corpus().into_iter().enumerate() {
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            if let Ok(p) = Compiler::default().compile_source(&src, "Main") {
+                let input: Vec<f64> = (0..256).map(|x| x as f64).collect();
+                let _ = p.run_with_budget(&input, 8, 10_000);
+            }
+        }));
+        assert!(
+            result.is_ok(),
+            "execution panicked on adversarial input #{i}:\n{src}"
+        );
+    }
+}
+
+proptest::proptest! {
+    #![proptest_config(proptest::ProptestConfig::with_cases(256))]
+
+    /// `parse_program` is total: arbitrary strings produce Ok or a
+    /// positioned error, never a panic.
+    #[test]
+    fn prop_parse_never_panics(s in ".{0,300}") {
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            let _ = streamit::frontend::parse_program(&s);
+        }));
+        proptest::prop_assert!(result.is_ok(), "parser panicked on: {s:?}");
+    }
+
+    /// Keyword soup stresses the grammar productions more than uniform
+    /// noise; the whole frontend (parse + elaborate + validate) must
+    /// stay total on it.
+    #[test]
+    fn prop_frontend_total_on_keyword_soup(s in "[a-z>\\-(){};0-9 ]{0,200}") {
+        let soup = format!("int->int filter F {{ work pop 1 push 1 {{ {s} }} }}");
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            let _ = compile_diag(&soup);
+        }));
+        proptest::prop_assert!(result.is_ok(), "frontend panicked on: {soup:?}");
+    }
+}
+
+// ---------------------------------------------------------------------
+// 2. Golden diagnostics: specific codes and spans for malformed input.
+// ---------------------------------------------------------------------
+
+#[test]
+fn golden_lex_error_has_code_and_span() {
+    let d = compile_diag("int->int filter F() { work pop 1 push 1 { push(`); } }")
+        .expect("backtick is not a token");
+    assert_eq!(d.code, "E0101", "{d}");
+    assert_eq!(d.category, DiagCategory::Parse);
+    assert_eq!(d.exit_code(), 2);
+    let span = d.span.expect("lex errors carry a position");
+    assert_eq!(span.line, 1);
+}
+
+#[test]
+fn golden_syntax_error_has_code_and_span() {
+    let d = compile_diag("int->int filter F() {\n  work pop 1 push 1 { push(pop(); }\n}")
+        .expect("unbalanced call must fail");
+    assert_eq!(d.code, "E0102", "{d}");
+    assert_eq!(d.exit_code(), 2);
+    assert_eq!(d.span.expect("syntax errors carry a position").line, 2);
+}
+
+#[test]
+fn golden_truncated_program_is_syntax_error() {
+    let d = compile_diag("float->float pipeline Main() { add ").expect("truncation must fail");
+    assert_eq!(d.code, "E0102", "{d}");
+    assert_eq!(d.exit_code(), 2);
+    assert!(d.span.is_some());
+}
+
+#[test]
+fn golden_depth_limit_is_distinct_code() {
+    let src = format!(
+        "int->int filter F() {{ work pop 1 push 1 {{ push({}1{}); }} }}",
+        "(".repeat(5000),
+        ")".repeat(5000)
+    );
+    let d = compile_diag(&src).expect("5000 nested parens must be rejected");
+    assert_eq!(d.code, "E0103", "{d}");
+    assert_eq!(d.category, DiagCategory::Parse);
+    assert!(d.message.contains("depth limit"), "{d}");
+    assert!(d.span.is_some());
+}
+
+#[test]
+fn golden_unknown_stream_is_semantic_error() {
+    let d = compile_diag("void->void pipeline Main() { add Nowhere(); }")
+        .expect("unknown stream must fail");
+    assert_eq!(d.code, "E0201", "{d}");
+    assert_eq!(d.category, DiagCategory::Semantic);
+    assert_eq!(d.exit_code(), 3);
+    assert!(d.span.is_some());
+}
+
+#[test]
+fn golden_oversized_array_is_semantic_error() {
+    let d = compile_diag(
+        "int->int filter F() { int[100000000] h; work pop 1 push 1 { push(pop()); } } \
+         int->int pipeline Main() { add F(); }",
+    )
+    .expect("a 100M-element state array must be rejected");
+    assert_eq!(d.code, "E0201", "{d}");
+    assert_eq!(d.exit_code(), 3);
+}
+
+#[test]
+fn golden_runaway_elaboration_is_semantic_error() {
+    let d = compile_diag(
+        "int->int filter Id() { work pop 1 push 1 { push(pop()); } } \
+         void->void pipeline Main() { for (int i = 0; i < 1000000000; i++) add Id(); }",
+    )
+    .expect("unbounded graph construction must be rejected");
+    assert_eq!(d.code, "E0201", "{d}");
+    assert!(d.message.contains("budget"), "{d}");
+}
+
+#[test]
+fn golden_runaway_init_is_semantic_error() {
+    // An `init` block that never terminates is cut off by the
+    // elaboration-time statement budget.
+    let d = compile_diag(
+        "int->int filter F() { int s; \
+         init { for (int i = 0; i != 0 + 1; i = 0) s = s + 1; } \
+         work pop 1 push 1 { push(pop()); } } \
+         int->int pipeline Main() { add F(); }",
+    )
+    .expect("divergent init must be rejected");
+    assert_eq!(d.code, "E0201", "{d}");
+    assert_eq!(d.exit_code(), 3);
+}
+
+#[test]
+fn golden_rate_inconsistency_is_semantic_error() {
+    // One splitjoin branch doubles the item count: balance equations
+    // have no solution.
+    let sj = streamit::graph::builder::splitjoin(
+        "sj",
+        streamit::graph::Splitter::round_robin(2),
+        vec![
+            streamit::graph::builder::identity("a", streamit::graph::DataType::Int),
+            streamit::graph::builder::FilterBuilder::new("dbl", streamit::graph::DataType::Int)
+                .rates(1, 1, 2)
+                .push(streamit::graph::builder::peek(0))
+                .push(streamit::graph::builder::peek(0))
+                .pop_discard()
+                .build_node(),
+        ],
+        streamit::graph::Joiner::round_robin(2),
+    );
+    let flat = streamit::graph::FlatGraph::from_stream(&sj);
+    let e = streamit::graph::repetition_vector(&flat).expect_err("rates are inconsistent");
+    let d = Diag::from(e);
+    assert_eq!(d.code, "E0203", "{d}");
+    assert_eq!(d.exit_code(), 3);
+}
+
+#[test]
+fn golden_strict_verification_failure() {
+    // Under-primed feedback loop: the adder needs two items but only one
+    // is enqueued, so one steady state can never complete.
+    let src = r#"
+        int->int filter Adder() {
+            work peek 2 pop 1 push 1 { push(peek(0) + peek(1)); pop(); }
+        }
+        int->int filter Id() { work pop 1 push 1 { push(pop()); } }
+        void->int feedbackloop Main() {
+            join roundrobin(0, 1);
+            body Adder();
+            split duplicate;
+            loop Id();
+            enqueue 0;
+            delay 1;
+        }
+    "#;
+    let d = compile_strict_diag(src).expect("under-primed loop must fail strict verify");
+    assert_eq!(d.code, "E0301", "{d}");
+    assert_eq!(d.category, DiagCategory::Verify);
+    assert_eq!(d.exit_code(), 4);
+    assert!(d.message.contains("under-primed"), "{d}");
+}
+
+// ---------------------------------------------------------------------
+// 3. Resource bounds: divergence and starvation terminate, typed.
+// ---------------------------------------------------------------------
+
+#[test]
+fn starved_run_reports_e0408() {
+    let p = Compiler::default().compile_source(GOOD, "Main").unwrap();
+    // 4 items in, 100 demanded: the tape runs dry mid-run.
+    let e = p.run(&[1.0; 4], 100).expect_err("input is too short");
+    let d = Diag::from(e);
+    assert_eq!(d.code, "E0408", "{d}");
+    assert_eq!(d.category, DiagCategory::Runtime);
+    assert_eq!(d.exit_code(), 5);
+}
+
+#[test]
+fn exhausted_firing_budget_reports_e0501() {
+    let p = Compiler::default().compile_source(GOOD, "Main").unwrap();
+    // Plenty of input, tiny budget: the fuel runs out first.
+    let input: Vec<f64> = (0..100_000).map(|x| x as f64).collect();
+    let e = p
+        .run_with_budget(&input, 90_000, 50)
+        .expect_err("50 firings cannot produce 90k outputs");
+    let d = Diag::from(e);
+    assert_eq!(d.code, "E0501", "{d}");
+    assert_eq!(d.category, DiagCategory::Budget);
+    assert_eq!(d.exit_code(), 6);
+}
+
+#[test]
+fn runaway_work_body_reports_e0502() {
+    // A work function that loops forever must be stopped by the
+    // per-firing statement budget, not hang the process.
+    let src = r#"
+        float->float filter Spin() {
+            work pop 1 push 1 {
+                float x = pop();
+                for (int i = 0; i < 2000000000; i++) x = x + 1.0;
+                push(x);
+            }
+        }
+        float->float pipeline Main() { add Spin(); }
+    "#;
+    let p = Compiler::default().compile_source(src, "Main").unwrap();
+    let mut m = streamit::interp::Machine::new(&p.flat);
+    m.set_limits(streamit::interp::ExecLimits {
+        max_steps_per_firing: 10_000,
+        ..streamit::interp::ExecLimits::default()
+    });
+    m.feed((0..8).map(|_| streamit::graph::Value::Float(1.0)));
+    let e = m
+        .run_until_output(1, 1_000)
+        .expect_err("spin must be cut off");
+    let d = Diag::from(e);
+    assert_eq!(d.code, "E0502", "{d}");
+    assert_eq!(d.exit_code(), 6);
+}
+
+#[test]
+fn channel_capacity_cap_reports_e0409() {
+    // A 1->64 burst producer feeding a 64->1 consumer needs 64 buffered
+    // items; capping the channel at 16 must produce a typed error.
+    let src = r#"
+        float->float filter Burst() {
+            work pop 1 push 64 {
+                float x = pop();
+                for (int i = 0; i < 64; i++) push(x);
+            }
+        }
+        float->float filter Squash() {
+            work pop 64 push 1 {
+                float s = 0.0;
+                for (int i = 0; i < 64; i++) s = s + pop();
+                push(s);
+            }
+        }
+        float->float pipeline Main() { add Burst(); add Squash(); }
+    "#;
+    let p = Compiler::default().compile_source(src, "Main").unwrap();
+    let mut m = streamit::interp::Machine::new(&p.flat);
+    m.set_limits(streamit::interp::ExecLimits {
+        max_channel_items: 16,
+        ..streamit::interp::ExecLimits::default()
+    });
+    m.feed((0..8).map(|_| streamit::graph::Value::Float(1.0)));
+    let e = m
+        .run_until_output(1, 1_000)
+        .expect_err("capacity must trip");
+    let d = Diag::from(e);
+    assert_eq!(d.code, "E0409", "{d}");
+    assert_eq!(d.exit_code(), 5);
+}
+
+// ---------------------------------------------------------------------
+// 4. streamitc exit codes, end to end.
+// ---------------------------------------------------------------------
+
+fn run_streamitc(args: &[&str]) -> std::process::Output {
+    std::process::Command::new(env!("CARGO_BIN_EXE_streamitc"))
+        .args(args)
+        .output()
+        .expect("streamitc binary runs")
+}
+
+fn write_temp(name: &str, contents: &str) -> std::path::PathBuf {
+    let path =
+        std::env::temp_dir().join(format!("streamitc_fault_{name}_{}.str", std::process::id()));
+    std::fs::write(&path, contents).expect("temp file writable");
+    path
+}
+
+#[test]
+fn streamitc_exit_codes_are_documented_values() {
+    // Usage error -> 2.
+    let out = run_streamitc(&[]);
+    assert_eq!(out.status.code(), Some(2), "usage");
+
+    // Unreadable file -> 1 (I/O, not a diagnostic).
+    let out = run_streamitc(&["/nonexistent/no/such/file.str"]);
+    assert_eq!(out.status.code(), Some(1), "io");
+
+    // Syntax error -> 2, with the code on stderr.
+    let bad = write_temp("parse", "float->float pipeline Main() { add ");
+    let out = run_streamitc(&[bad.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(2), "parse");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("E0102"), "stderr: {stderr}");
+    let _ = std::fs::remove_file(bad);
+
+    // Semantic error -> 3.
+    let bad = write_temp("sem", "void->void pipeline Main() { add Nowhere(); }");
+    let out = run_streamitc(&[bad.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(3), "semantic");
+    assert!(String::from_utf8_lossy(&out.stderr).contains("E0201"));
+    let _ = std::fs::remove_file(bad);
+
+    // Strict verification failure -> 4.
+    let bad = write_temp(
+        "verify",
+        r#"
+        int->int filter Adder() {
+            work peek 2 pop 1 push 1 { push(peek(0) + peek(1)); pop(); }
+        }
+        int->int filter Id() { work pop 1 push 1 { push(pop()); } }
+        void->int feedbackloop Main() {
+            join roundrobin(0, 1);
+            body Adder();
+            split duplicate;
+            loop Id();
+            enqueue 0;
+            delay 1;
+        }
+        "#,
+    );
+    let out = run_streamitc(&[bad.to_str().unwrap(), "--strict"]);
+    assert_eq!(out.status.code(), Some(4), "verify");
+    assert!(String::from_utf8_lossy(&out.stderr).contains("E0301"));
+    let _ = std::fs::remove_file(bad);
+
+    // Exhausted firing budget during --run -> 6: a "divergent" run (more
+    // outputs demanded than the budget can produce) terminates with a
+    // budget diagnostic instead of spinning.
+    let good = write_temp("budget", GOOD);
+    let out = run_streamitc(&[good.to_str().unwrap(), "--run", "64", "--budget", "10"]);
+    assert_eq!(out.status.code(), Some(6), "budget");
+    assert!(String::from_utf8_lossy(&out.stderr).contains("E0501"));
+    let _ = std::fs::remove_file(good);
+
+    // A good program still compiles and exits 0.
+    let good = write_temp("good", GOOD);
+    let out = run_streamitc(&[good.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(0), "success");
+    let _ = std::fs::remove_file(good);
+}

@@ -2,7 +2,7 @@
 //! verification → interpretation → linear optimization, all through the
 //! public `streamit` API.
 
-use streamit::{Compiler, CompileError, Options};
+use streamit::{CompileError, Compiler, Options};
 use streamit_linear::LinearMode;
 
 const RADIO: &str = r#"
@@ -94,7 +94,10 @@ fn frontend_errors_surface_with_positions() {
             let msg = format!("{e}");
             assert!(msg.contains("Missing"), "{msg}");
         }
-        other => panic!("expected frontend error, got {other:?}", other = other.is_ok()),
+        other => panic!(
+            "expected frontend error, got {other:?}",
+            other = other.is_ok()
+        ),
     }
 }
 

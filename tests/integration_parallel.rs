@@ -67,10 +67,7 @@ fn stateless_suite_data_parallelizes_widely() {
     // Paper: the six stateless non-peeking apps "fuse to one filter that
     // is fissed 16 ways", with strong speedups.
     for (name, app) in [
-        (
-            "FFT",
-            streamit::apps::fft_app::fft_with_io(64),
-        ),
+        ("FFT", streamit::apps::fft_app::fft_with_io(64)),
         ("DES", streamit::apps::des::des_with_io(16)),
         ("TDE", streamit::apps::tde::tde_with_io(64)),
         ("DCT", streamit::apps::dct::dct_with_io(16)),
@@ -100,7 +97,7 @@ fn combined_beats_space_on_stateful_apps() {
     for (name, app) in [
         (
             "BeamFormer",
-            streamit::apps::beamformer::beamformer_with_io(12, 4, 32)
+            streamit::apps::beamformer::beamformer_with_io(12, 4, 32),
         ),
         ("Vocoder", streamit::apps::vocoder::vocoder_with_io(16)),
     ] {

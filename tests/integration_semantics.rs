@@ -35,15 +35,16 @@ fn wavefront_max_predicts_interpreter() {
         &[(4, 2, 3), (2, 1, 1), (5, 5, 2)],
     ];
     for stages in configs {
-        let children: Vec<streamit_graph::StreamNode> = std::iter::once(identity("inp", DataType::Float))
-            .chain(
-                stages
-                    .iter()
-                    .enumerate()
-                    .map(|(i, &(pk, pp, ps))| rate_filter(&format!("s{i}"), pk, pp, ps)),
-            )
-            .chain(std::iter::once(identity("outp", DataType::Float)))
-            .collect();
+        let children: Vec<streamit_graph::StreamNode> =
+            std::iter::once(identity("inp", DataType::Float))
+                .chain(
+                    stages
+                        .iter()
+                        .enumerate()
+                        .map(|(i, &(pk, pp, ps))| rate_filter(&format!("s{i}"), pk, pp, ps)),
+                )
+                .chain(std::iter::once(identity("outp", DataType::Float)))
+                .collect();
         let p = pipeline("p", children);
         let g = FlatGraph::from_stream(&p);
         let w = Wavefront::new(&g);
@@ -57,11 +58,7 @@ fn wavefront_max_predicts_interpreter() {
             // Drive to quiescence.
             let _ = m.run_until_output(usize::MAX, 10_000).err();
             let predicted = w.max_between(first, last, m.pushed_count(first));
-            assert_eq!(
-                m.pushed_count(last),
-                predicted,
-                "stages {stages:?}, x={x}"
-            );
+            assert_eq!(m.pushed_count(last), predicted, "stages {stages:?}, x={x}");
         }
     }
 }
@@ -77,10 +74,7 @@ fn wavefront_max_predicts_interpreter_through_splitjoins() {
             splitjoin(
                 "sj",
                 streamit_graph::Splitter::RoundRobin(vec![2, 1]),
-                vec![
-                    rate_filter("a", 2, 2, 1),
-                    rate_filter("b", 1, 1, 2),
-                ],
+                vec![rate_filter("a", 2, 2, 1), rate_filter("b", 1, 1, 2)],
                 streamit_graph::Joiner::RoundRobin(vec![1, 2]),
             ),
             identity("outp", DataType::Float),

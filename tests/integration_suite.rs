@@ -42,7 +42,10 @@ fn characteristics_match_paper_shape() {
     let mpeg = by("MPEG2Decoder").stateful_work_pct;
     let voc = by("Vocoder").stateful_work_pct;
     let radar = by("Radar").stateful_work_pct;
-    assert!(mpeg > 0.0 && mpeg < 10.0, "MPEG stateful insignificant: {mpeg}");
+    assert!(
+        mpeg > 0.0 && mpeg < 10.0,
+        "MPEG stateful insignificant: {mpeg}"
+    );
     assert!(voc > mpeg, "Vocoder more stateful than MPEG");
     assert!(radar > 80.0, "Radar dominated by stateful work: {radar}");
 
@@ -72,11 +75,7 @@ fn every_strategy_simulates_every_benchmark() {
         let wg = p.work_graph().unwrap();
         let (base, results) = evaluate_strategies(&wg, &cfg);
         for (s, r) in results {
-            assert!(
-                r.cycles_per_steady > 0,
-                "{}/{s:?} zero cycles",
-                bench.name
-            );
+            assert!(r.cycles_per_steady > 0, "{}/{s:?} zero cycles", bench.name);
             let speedup = r.speedup_over(&base);
             assert!(
                 speedup > 0.05 && speedup < 17.0,
@@ -126,8 +125,14 @@ fn headline_shapes_hold() {
     let combined = gm(Strategy::TaskDataSwp);
 
     assert!(task < 4.0, "task parallelism alone must be weak: {task}");
-    assert!(data > 2.0 * task, "coarse data must dominate task: {data} vs {task}");
-    assert!(swp > task, "software pipelining beats task: {swp} vs {task}");
+    assert!(
+        data > 2.0 * task,
+        "coarse data must dominate task: {data} vs {task}"
+    );
+    assert!(
+        swp > task,
+        "software pipelining beats task: {swp} vs {task}"
+    );
     assert!(
         combined >= data * 0.95,
         "combined must not lose to data alone: {combined} vs {data}"
