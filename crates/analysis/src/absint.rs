@@ -1,0 +1,661 @@
+//! Interval-domain abstract interpretation of work-function bodies.
+//!
+//! The interpreter executes a block of [`Stmt`]s over [`Interval`] values,
+//! tracking three tape quantities:
+//!
+//! * `pops`   — items consumed so far;
+//! * `pushes` — items produced so far;
+//! * `need`   — the running maximum of items the body requires to be
+//!   available on the input tape (each `pop` requires `pops_after` items;
+//!   each `peek(i)` requires `pops_before + i + 1`).
+//!
+//! Control flow is handled structurally: `if` with a condition that folds
+//! to a constant follows one arm (recording the dead arm for the lint
+//! pass); an unresolvable condition analyzes both arms and joins with the
+//! interval hull.  `for` loops with constant bounds are unrolled exactly
+//! (under a fuel budget, so nested loops cannot blow up compilation);
+//! anything else runs to a widened fixpoint, which loses exactness but
+//! never soundness.
+//!
+//! Soundness invariant (property-tested from `tests/static_analysis.rs`):
+//! for every concrete execution of the block, the observed pop count,
+//! push count and maximum tape requirement lie inside the corresponding
+//! computed intervals.
+//!
+//! The `exact` flag means the result intervals are *path-tight*: no
+//! widening or unbounded loop was involved, so every interval endpoint is
+//! realised by some syntactic path through the body.  Since the StreamIt
+//! language requires declared rates to hold on every path (the paper's
+//! static-rate restriction), `exact` results permit definite rate-
+//! conformance verdicts even when the intervals are not singletons.
+
+use crate::interval::Interval;
+use std::collections::HashMap;
+use streamit_graph::{BinOp, Expr, Intrinsic, LValue, Stmt, UnOp};
+
+/// Total statements the analyzer may execute while unrolling loops.
+const UNROLL_FUEL: u64 = 2_000_000;
+/// Per-loop trip-count ceiling for exact unrolling.
+const UNROLL_LIMIT: i64 = 65_536;
+/// Safety cap on fixpoint rounds (the widened lattice converges long
+/// before this; the cap guards against surprises).
+const FIXPOINT_CAP: usize = 64;
+
+/// Result of abstractly interpreting one body.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BodyAnalysis {
+    /// Interval of possible pop counts per invocation.
+    pub pops: Interval,
+    /// Interval of possible push counts per invocation.
+    pub pushes: Interval,
+    /// Interval of the maximum number of input items the body requires
+    /// (pop total and peek reach combined).
+    pub need: Interval,
+    /// `true` when no widening occurred: every endpoint is realised by
+    /// some syntactic path.
+    pub exact: bool,
+    /// Hull of peek-index intervals that are not provably non-negative.
+    pub neg_peek: Option<Interval>,
+    /// Descriptions of statically unreachable statements found en route.
+    pub dead_code: Vec<String>,
+}
+
+/// Abstract machine state threaded through the walk.
+#[derive(Debug, Clone, PartialEq)]
+struct AbsState {
+    /// Known integer-scalar variables; absent means unknown (⊤).
+    env: HashMap<String, Interval>,
+    pops: Interval,
+    pushes: Interval,
+    need: Interval,
+    exact: bool,
+    neg_peek: Option<Interval>,
+}
+
+impl AbsState {
+    fn initial(seed: &HashMap<String, i64>) -> AbsState {
+        AbsState {
+            env: seed
+                .iter()
+                .map(|(k, &v)| (k.clone(), Interval::constant(v)))
+                .collect(),
+            pops: Interval::constant(0),
+            pushes: Interval::constant(0),
+            need: Interval::constant(0),
+            exact: true,
+            neg_peek: None,
+        }
+    }
+}
+
+/// Pointwise maximum of two intervals (exact transfer for `max`).
+fn imax(a: &Interval, b: &Interval) -> Interval {
+    Interval {
+        lo: a.lo.max(b.lo),
+        hi: a.hi.max(b.hi),
+    }
+}
+
+fn join_opt(a: &Option<Interval>, b: &Option<Interval>) -> Option<Interval> {
+    match (a, b) {
+        (Some(x), Some(y)) => Some(x.join(y)),
+        (Some(x), None) | (None, Some(x)) => Some(*x),
+        (None, None) => None,
+    }
+}
+
+/// Join of two control-flow branches: interval hull on every component,
+/// dropping variables known in only one branch.
+fn join(a: &AbsState, b: &AbsState) -> AbsState {
+    let mut env = HashMap::new();
+    for (k, va) in &a.env {
+        if let Some(vb) = b.env.get(k) {
+            env.insert(k.clone(), va.join(vb));
+        }
+    }
+    AbsState {
+        env,
+        pops: a.pops.join(&b.pops),
+        pushes: a.pushes.join(&b.pushes),
+        need: a.need.join(&b.need),
+        exact: a.exact && b.exact,
+        neg_peek: join_opt(&a.neg_peek, &b.neg_peek),
+    }
+}
+
+/// Widen `next` against the previous round `prev` (pointwise).
+fn widen(next: &AbsState, prev: &AbsState) -> AbsState {
+    let mut env = HashMap::new();
+    for (k, vn) in &next.env {
+        let w = match prev.env.get(k) {
+            Some(vp) => vn.widen(vp),
+            None => *vn,
+        };
+        env.insert(k.clone(), w);
+    }
+    AbsState {
+        env,
+        pops: next.pops.widen(&prev.pops),
+        pushes: next.pushes.widen(&prev.pushes),
+        need: next.need.widen(&prev.need),
+        exact: false,
+        neg_peek: next.neg_peek,
+    }
+}
+
+/// Three-valued truth of a condition interval.
+enum Truth {
+    True,
+    False,
+    Unknown,
+}
+
+fn truth(v: &Interval) -> Truth {
+    if !v.contains(0) {
+        Truth::True
+    } else if v.as_constant() == Some(0) {
+        Truth::False
+    } else {
+        Truth::Unknown
+    }
+}
+
+/// `[0,1]`-valued interval from a three-valued truth.
+fn truth_interval(t: Truth) -> Interval {
+    match t {
+        Truth::True => Interval::constant(1),
+        Truth::False => Interval::constant(0),
+        Truth::Unknown => Interval::range(0, 1),
+    }
+}
+
+fn body_size(block: &[Stmt]) -> u64 {
+    let mut n = 0u64;
+    for s in block {
+        s.visit(&mut |_| n += 1);
+    }
+    n.max(1)
+}
+
+struct Analyzer {
+    fuel: u64,
+    dead_code: Vec<String>,
+}
+
+/// Abstractly interpret `block`.  `seed` pre-binds variables with known
+/// constant values (immutable integer state fields), improving precision
+/// for loop bounds and peek indices drawn from filter parameters.
+pub fn analyze_block(block: &[Stmt], seed: &HashMap<String, i64>) -> BodyAnalysis {
+    let mut a = Analyzer {
+        fuel: UNROLL_FUEL,
+        dead_code: Vec::new(),
+    };
+    let mut st = AbsState::initial(seed);
+    a.exec_block(block, &mut st);
+    BodyAnalysis {
+        pops: st.pops,
+        pushes: st.pushes,
+        need: st.need,
+        exact: st.exact,
+        neg_peek: st.neg_peek,
+        dead_code: a.dead_code,
+    }
+}
+
+impl Analyzer {
+    fn exec_block(&mut self, block: &[Stmt], st: &mut AbsState) {
+        for s in block {
+            self.exec_stmt(s, st);
+        }
+    }
+
+    fn exec_stmt(&mut self, s: &Stmt, st: &mut AbsState) {
+        self.fuel = self.fuel.saturating_sub(1);
+        match s {
+            Stmt::Let { name, init, .. } => {
+                let v = self.eval(init, st);
+                st.env.insert(name.clone(), v);
+            }
+            Stmt::LetArray { name, .. } => {
+                // Array contents are not tracked; shadow any scalar.
+                st.env.remove(name);
+            }
+            Stmt::Assign { target, value } => {
+                if let LValue::Index(_, i) = target {
+                    self.eval(i, st);
+                }
+                let v = self.eval(value, st);
+                if let LValue::Var(n) = target {
+                    st.env.insert(n.clone(), v);
+                }
+            }
+            Stmt::Push(e) => {
+                self.eval(e, st);
+                st.pushes = st.pushes.add(&Interval::constant(1));
+            }
+            Stmt::Expr(e) => {
+                self.eval(e, st);
+            }
+            Stmt::Send { args, .. } => {
+                for a in args {
+                    self.eval(a, st);
+                }
+            }
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+            } => {
+                let c = self.eval(cond, st);
+                match truth(&c) {
+                    Truth::True => {
+                        if !else_body.is_empty() {
+                            self.dead_code.push(
+                                "`else` arm of an `if` whose condition is statically true"
+                                    .to_string(),
+                            );
+                        }
+                        self.exec_block(then_body, st);
+                    }
+                    Truth::False => {
+                        if !then_body.is_empty() {
+                            self.dead_code.push(
+                                "`then` arm of an `if` whose condition is statically false"
+                                    .to_string(),
+                            );
+                        }
+                        self.exec_block(else_body, st);
+                    }
+                    Truth::Unknown => {
+                        let mut s1 = st.clone();
+                        self.exec_block(then_body, &mut s1);
+                        let mut s2 = st.clone();
+                        self.exec_block(else_body, &mut s2);
+                        *st = join(&s1, &s2);
+                    }
+                }
+            }
+            Stmt::For {
+                var,
+                from,
+                to,
+                body,
+            } => {
+                // Bounds are evaluated once, before the first iteration,
+                // matching the interpreter.
+                let fv = self.eval(from, st);
+                let tv = self.eval(to, st);
+                let saved = st.env.get(var).copied();
+                self.exec_for(var, fv, tv, body, st);
+                match saved {
+                    Some(v) => {
+                        st.env.insert(var.clone(), v);
+                    }
+                    None => {
+                        st.env.remove(var);
+                    }
+                }
+            }
+        }
+    }
+
+    fn exec_for(
+        &mut self,
+        var: &str,
+        fv: Interval,
+        tv: Interval,
+        body: &[Stmt],
+        st: &mut AbsState,
+    ) {
+        if let (Some(lo), Some(hi)) = (fv.as_constant(), tv.as_constant()) {
+            let trips = (hi as i128) - (lo as i128);
+            if trips <= 0 {
+                if !body.is_empty() {
+                    self.dead_code.push(format!(
+                        "`for` loop over the empty range {lo}..{hi} never runs"
+                    ));
+                }
+                return;
+            }
+            let cost = (trips as u64).saturating_mul(body_size(body));
+            if trips <= UNROLL_LIMIT as i128 && cost <= self.fuel {
+                self.fuel -= cost;
+                for i in lo..hi {
+                    st.env.insert(var.to_string(), Interval::constant(i));
+                    self.exec_block(body, st);
+                }
+                return;
+            }
+        }
+        self.exec_for_fixpoint(var, fv, tv, body, st);
+    }
+
+    /// Non-constant (or too-large) bounds: iterate the loop transfer
+    /// function to a widened fixpoint.  The loop variable is bound to the
+    /// hull of every iteration's value.
+    fn exec_for_fixpoint(
+        &mut self,
+        var: &str,
+        fv: Interval,
+        tv: Interval,
+        body: &[Stmt],
+        st: &mut AbsState,
+    ) {
+        st.exact = false;
+        let var_hi = if tv.hi == Interval::POS_INF {
+            Interval::POS_INF
+        } else {
+            (tv.hi - 1).max(fv.lo)
+        };
+        let var_range = Interval::range(fv.lo, var_hi);
+        let mut cur = st.clone();
+        for round in 0..FIXPOINT_CAP {
+            let mut it = cur.clone();
+            it.env.insert(var.to_string(), var_range);
+            self.exec_block(body, &mut it);
+            let mut next = join(&cur, &it);
+            if round >= 2 {
+                next = widen(&next, &cur);
+            }
+            next.exact = false;
+            if next == cur {
+                *st = cur;
+                return;
+            }
+            cur = next;
+        }
+        // Shouldn't happen post-widening; surrender precision, not
+        // soundness.
+        cur.env.clear();
+        cur.pops.hi = Interval::POS_INF;
+        cur.pushes.hi = Interval::POS_INF;
+        cur.need.hi = Interval::POS_INF;
+        *st = cur;
+    }
+
+    fn eval(&mut self, e: &Expr, st: &mut AbsState) -> Interval {
+        match e {
+            Expr::IntLit(i) => Interval::constant(*i),
+            // Float values are not tracked; conditions over them are ⊤.
+            Expr::FloatLit(_) => Interval::TOP,
+            Expr::Var(n) => st.env.get(n).copied().unwrap_or(Interval::TOP),
+            Expr::Index(_, i) => {
+                self.eval(i, st);
+                Interval::TOP
+            }
+            Expr::Pop => {
+                st.pops = st.pops.add(&Interval::constant(1));
+                st.need = imax(&st.need, &st.pops);
+                Interval::TOP
+            }
+            Expr::Peek(i) => {
+                let vi = self.eval(i, st);
+                if vi.lo < 0 {
+                    st.neg_peek = join_opt(&st.neg_peek, &Some(vi));
+                }
+                // peek(i) after p pops requires p + i + 1 items; clamp the
+                // index at 0 because a negative index faults rather than
+                // reaching backwards.
+                let req = st.pops.add(&vi.max_with(0)).add(&Interval::constant(1));
+                st.need = imax(&st.need, &req);
+                Interval::TOP
+            }
+            Expr::Unary(op, a) => {
+                let v = self.eval(a, st);
+                match op {
+                    UnOp::Neg => v.neg(),
+                    UnOp::Not => truth_interval(match truth(&v) {
+                        Truth::True => Truth::False,
+                        Truth::False => Truth::True,
+                        Truth::Unknown => Truth::Unknown,
+                    }),
+                    UnOp::BitNot => Interval::TOP,
+                }
+            }
+            Expr::Binary(op, a, b) => {
+                let va = self.eval(a, st);
+                let vb = self.eval(b, st);
+                self.binop(*op, va, vb)
+            }
+            Expr::Call(f, args) => {
+                let vs: Vec<Interval> = args.iter().map(|a| self.eval(a, st)).collect();
+                match (f, vs.as_slice()) {
+                    (Intrinsic::ToInt, [v]) => *v,
+                    (Intrinsic::Abs, [v]) => {
+                        if v.lo >= 0 {
+                            *v
+                        } else if v.hi <= 0 {
+                            v.neg()
+                        } else {
+                            Interval::range(0, v.neg().hi.max(v.hi))
+                        }
+                    }
+                    (Intrinsic::Min, [a, b]) => Interval {
+                        lo: a.lo.min(b.lo),
+                        hi: a.hi.min(b.hi),
+                    },
+                    (Intrinsic::Max, [a, b]) => imax(a, b),
+                    _ => Interval::TOP,
+                }
+            }
+        }
+    }
+
+    fn binop(&mut self, op: BinOp, a: Interval, b: Interval) -> Interval {
+        match op {
+            BinOp::Add => a.add(&b),
+            BinOp::Sub => a.sub(&b),
+            BinOp::Mul => a.mul(&b),
+            BinOp::Div | BinOp::Rem => match (a.as_constant(), b.as_constant()) {
+                (Some(x), Some(y)) if y != 0 => {
+                    let r = if op == BinOp::Div {
+                        x.checked_div(y)
+                    } else {
+                        x.checked_rem(y)
+                    };
+                    r.map(Interval::constant).unwrap_or(Interval::TOP)
+                }
+                // `v % d` with a positive constant divisor stays within
+                // `(-d, d)` (and `[0, d)` for a non-negative dividend) —
+                // the idiom behind bounded peek indices like `pop() % N`.
+                (None, Some(d)) if op == BinOp::Rem && d > 0 => {
+                    if a.lo >= 0 && a.hi < d {
+                        a
+                    } else if a.lo >= 0 {
+                        Interval::range(0, d - 1)
+                    } else {
+                        Interval::range(-(d - 1), d - 1)
+                    }
+                }
+                _ => Interval::TOP,
+            },
+            BinOp::Eq => truth_interval(if a.is_constant() && a == b {
+                Truth::True
+            } else if a.hi < b.lo || b.hi < a.lo {
+                Truth::False
+            } else {
+                Truth::Unknown
+            }),
+            BinOp::Ne => truth_interval(if a.is_constant() && a == b {
+                Truth::False
+            } else if a.hi < b.lo || b.hi < a.lo {
+                Truth::True
+            } else {
+                Truth::Unknown
+            }),
+            BinOp::Lt => truth_interval(if a.hi < b.lo {
+                Truth::True
+            } else if a.lo >= b.hi {
+                Truth::False
+            } else {
+                Truth::Unknown
+            }),
+            BinOp::Le => truth_interval(if a.hi <= b.lo {
+                Truth::True
+            } else if a.lo > b.hi {
+                Truth::False
+            } else {
+                Truth::Unknown
+            }),
+            BinOp::Gt => truth_interval(if a.lo > b.hi {
+                Truth::True
+            } else if a.hi <= b.lo {
+                Truth::False
+            } else {
+                Truth::Unknown
+            }),
+            BinOp::Ge => truth_interval(if a.lo >= b.hi {
+                Truth::True
+            } else if a.hi < b.lo {
+                Truth::False
+            } else {
+                Truth::Unknown
+            }),
+            // `&&`/`||` in the work IR evaluate both operands (no
+            // short-circuit), so evaluating both above was effect-correct.
+            BinOp::And => truth_interval(match (truth(&a), truth(&b)) {
+                (Truth::False, _) | (_, Truth::False) => Truth::False,
+                (Truth::True, Truth::True) => Truth::True,
+                _ => Truth::Unknown,
+            }),
+            BinOp::Or => truth_interval(match (truth(&a), truth(&b)) {
+                (Truth::True, _) | (_, Truth::True) => Truth::True,
+                (Truth::False, Truth::False) => Truth::False,
+                _ => Truth::Unknown,
+            }),
+            BinOp::BitAnd | BinOp::BitOr | BinOp::BitXor | BinOp::Shl | BinOp::Shr => Interval::TOP,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use streamit_graph::builder::*;
+    use streamit_graph::DataType;
+
+    fn analyze(work: impl FnOnce(BlockBuilder) -> BlockBuilder) -> BodyAnalysis {
+        let block = work(BlockBuilder::new()).build();
+        analyze_block(&block, &HashMap::new())
+    }
+
+    #[test]
+    fn straight_line_counts_are_exact() {
+        let r = analyze(|b| b.push(pop() * lit(2i64)).push(peek(1)).pop_discard());
+        assert_eq!(r.pops, Interval::constant(2));
+        assert_eq!(r.pushes, Interval::constant(2));
+        // peek(1) after one pop requires 1 + 1 + 1 = 3 items.
+        assert_eq!(r.need, Interval::constant(3));
+        assert!(r.exact);
+        assert!(r.neg_peek.is_none());
+    }
+
+    #[test]
+    fn constant_loop_unrolls_exactly() {
+        // for i in 0..4 { push(peek(i)) } pop()
+        let r = analyze(|b| b.for_("i", 0, 4, |b| b.push(peek(var("i")))).pop_discard());
+        assert_eq!(r.pops, Interval::constant(1));
+        assert_eq!(r.pushes, Interval::constant(4));
+        assert_eq!(r.need, Interval::constant(4));
+        assert!(r.exact);
+    }
+
+    #[test]
+    fn rem_by_positive_constant_bounds_index() {
+        // push(peek(pop() % 4)): the index stays in (-4, 4), so the
+        // requirement is finite even though the dividend is tape data.
+        let r = analyze(|b| b.push(peek(pop() % lit(4i64))));
+        assert_eq!(r.need, Interval::range(2, 5));
+        assert!(r.neg_peek.is_some(), "negative dividends still flagged");
+        let r = analyze(|b| {
+            b.let_("i", DataType::Int, pop())
+                .push(peek((var("i") * var("i")) % lit(4i64)))
+        });
+        // i*i is TOP here, but a non-negative-looking dividend cannot be
+        // assumed; the modulus still clamps the magnitude.
+        assert_eq!(r.need.hi, 5);
+    }
+
+    #[test]
+    fn branch_with_unequal_pushes_yields_interval() {
+        let r = analyze(|b| b.if_else(pop(), |t| t.push(lit(1i64)), |e| e));
+        assert_eq!(r.pops, Interval::constant(1));
+        assert_eq!(r.pushes, Interval::range(0, 1));
+        assert!(r.exact, "joins of static branches stay path-exact");
+    }
+
+    #[test]
+    fn data_dependent_loop_widens() {
+        // for i in 0..pop() { push(1) }  — trip count unknowable.
+        let block = vec![streamit_graph::Stmt::For {
+            var: "i".into(),
+            from: streamit_graph::Expr::IntLit(0),
+            to: streamit_graph::Expr::Pop,
+            body: vec![streamit_graph::Stmt::Push(streamit_graph::Expr::IntLit(1))],
+        }];
+        let r = analyze_block(&block, &HashMap::new());
+        assert_eq!(r.pops, Interval::constant(1));
+        assert_eq!(r.pushes.lo, 0);
+        assert_eq!(r.pushes.hi, Interval::POS_INF);
+        assert!(!r.exact);
+    }
+
+    #[test]
+    fn negative_peek_index_flagged() {
+        let r = analyze(|b| b.push(peek(iconst(-1))).pop_discard());
+        let np = r.neg_peek.expect("negative index must be recorded");
+        assert_eq!(np, Interval::constant(-1));
+    }
+
+    #[test]
+    fn dead_arm_and_empty_loop_detected() {
+        let r = analyze(|b| {
+            b.if_else(lit(1i64), |t| t.push(pop()), |e| e.push(lit(0i64)))
+                .for_("i", 3, 3, |b| b.pop_discard())
+        });
+        assert_eq!(r.dead_code.len(), 2);
+        assert_eq!(r.pops, Interval::constant(1));
+        assert_eq!(r.pushes, Interval::constant(1));
+    }
+
+    #[test]
+    fn seeded_state_constant_bounds_loop() {
+        let seed: HashMap<String, i64> = [("N".to_string(), 3i64)].into_iter().collect();
+        let block = BlockBuilder::new()
+            .for_("i", 0, var("N"), |b| b.push(peek(var("i"))))
+            .pop_discard()
+            .build();
+        let r = analyze_block(&block, &seed);
+        assert_eq!(r.pushes, Interval::constant(3));
+        assert_eq!(r.need, Interval::constant(3));
+        assert!(r.exact);
+    }
+
+    #[test]
+    fn nested_let_tracking() {
+        let r = analyze(|b| {
+            b.let_("n", DataType::Int, lit(2i64))
+                .for_("i", 0, var("n") * lit(2i64), |b| b.pop_discard())
+        });
+        assert_eq!(r.pops, Interval::constant(4));
+        assert!(r.exact);
+    }
+
+    #[test]
+    fn fixpoint_converges_for_accumulating_var() {
+        // x grows every iteration of a data-dependent loop; widening must
+        // terminate and x-derived counts go unbounded.
+        let block = BlockBuilder::new()
+            .let_("x", DataType::Int, lit(0i64))
+            .for_("i", 0, peek(0), |b| {
+                b.set("x", var("x") + lit(1i64)).push(var("x"))
+            })
+            .build();
+        let r = analyze_block(&block, &HashMap::new());
+        assert_eq!(r.pushes.lo, 0);
+        assert_eq!(r.pushes.hi, Interval::POS_INF);
+        assert!(!r.exact);
+        // The peek in the bound still counts toward `need`.
+        assert_eq!(r.need.lo, 1);
+    }
+}

@@ -1,0 +1,245 @@
+//! The interval abstract domain over `i64`.
+//!
+//! Values are closed intervals `[lo, hi]`; the sentinels
+//! [`Interval::NEG_INF`] / [`Interval::POS_INF`] stand for unbounded ends.
+//! All arithmetic saturates into the sentinels, so the domain is closed
+//! under the operations the abstract interpreter needs and never wraps.
+//!
+//! The concretisation is the usual one: `γ([lo, hi]) = {v | lo ≤ v ≤ hi}`.
+//! Every operation here *over-approximates* its concrete counterpart,
+//! which is what the soundness property of the analysis (interpreter
+//! counts always fall inside computed intervals) rests on.
+
+/// A closed, possibly unbounded interval of `i64` values.
+///
+/// Invariant: `lo <= hi` (the empty interval is not representable; the
+/// analysis never needs it because every program point it visits is
+/// reachable under the abstraction).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Interval {
+    pub lo: i64,
+    pub hi: i64,
+}
+
+impl Interval {
+    /// Sentinel for "unbounded below".
+    pub const NEG_INF: i64 = i64::MIN;
+    /// Sentinel for "unbounded above".
+    pub const POS_INF: i64 = i64::MAX;
+
+    /// The interval containing every value.
+    pub const TOP: Interval = Interval {
+        lo: Self::NEG_INF,
+        hi: Self::POS_INF,
+    };
+
+    /// The singleton interval `[c, c]`.
+    pub fn constant(c: i64) -> Interval {
+        Interval { lo: c, hi: c }
+    }
+
+    /// The interval `[lo, hi]`; the bounds are reordered if necessary.
+    pub fn range(lo: i64, hi: i64) -> Interval {
+        if lo <= hi {
+            Interval { lo, hi }
+        } else {
+            Interval { lo: hi, hi: lo }
+        }
+    }
+
+    /// `true` when the interval is a single point.
+    pub fn is_constant(&self) -> bool {
+        self.lo == self.hi
+    }
+
+    /// The single value, when constant.
+    pub fn as_constant(&self) -> Option<i64> {
+        if self.is_constant() {
+            Some(self.lo)
+        } else {
+            None
+        }
+    }
+
+    /// Membership test.
+    pub fn contains(&self, v: i64) -> bool {
+        self.lo <= v && v <= self.hi
+    }
+
+    /// Least upper bound (interval hull).
+    pub fn join(&self, other: &Interval) -> Interval {
+        Interval {
+            lo: self.lo.min(other.lo),
+            hi: self.hi.max(other.hi),
+        }
+    }
+
+    /// Widening: bounds that grew since `prev` jump straight to ±∞,
+    /// guaranteeing fixpoint termination for non-constant loops.
+    pub fn widen(&self, prev: &Interval) -> Interval {
+        Interval {
+            lo: if self.lo < prev.lo {
+                Self::NEG_INF
+            } else {
+                self.lo
+            },
+            hi: if self.hi > prev.hi {
+                Self::POS_INF
+            } else {
+                self.hi
+            },
+        }
+    }
+
+    fn sat_add(a: i64, b: i64) -> i64 {
+        // Infinities absorb; finite + finite saturates.
+        if a == Self::NEG_INF || b == Self::NEG_INF {
+            Self::NEG_INF
+        } else if a == Self::POS_INF || b == Self::POS_INF {
+            Self::POS_INF
+        } else {
+            a.saturating_add(b)
+        }
+    }
+
+    fn sat_mul(a: i64, b: i64) -> i64 {
+        if a == 0 || b == 0 {
+            return 0;
+        }
+        let negative = (a < 0) != (b < 0);
+        if a == Self::NEG_INF || a == Self::POS_INF || b == Self::NEG_INF || b == Self::POS_INF {
+            return if negative {
+                Self::NEG_INF
+            } else {
+                Self::POS_INF
+            };
+        }
+        a.saturating_mul(b)
+    }
+
+    /// Interval addition.
+    pub fn add(&self, other: &Interval) -> Interval {
+        Interval {
+            lo: Self::sat_add(self.lo, other.lo),
+            hi: Self::sat_add(self.hi, other.hi),
+        }
+    }
+
+    /// Interval subtraction.
+    pub fn sub(&self, other: &Interval) -> Interval {
+        Interval {
+            lo: Self::sat_add(self.lo, Self::sat_neg(other.hi)),
+            hi: Self::sat_add(self.hi, Self::sat_neg(other.lo)),
+        }
+    }
+
+    fn sat_neg(v: i64) -> i64 {
+        if v == Self::NEG_INF {
+            Self::POS_INF
+        } else if v == Self::POS_INF {
+            Self::NEG_INF
+        } else {
+            -v
+        }
+    }
+
+    /// Interval negation.
+    pub fn neg(&self) -> Interval {
+        Interval {
+            lo: Self::sat_neg(self.hi),
+            hi: Self::sat_neg(self.lo),
+        }
+    }
+
+    /// Interval multiplication (hull over endpoint products).
+    pub fn mul(&self, other: &Interval) -> Interval {
+        let products = [
+            Self::sat_mul(self.lo, other.lo),
+            Self::sat_mul(self.lo, other.hi),
+            Self::sat_mul(self.hi, other.lo),
+            Self::sat_mul(self.hi, other.hi),
+        ];
+        Interval {
+            lo: products.iter().copied().min().unwrap_or(Self::NEG_INF),
+            hi: products.iter().copied().max().unwrap_or(Self::POS_INF),
+        }
+    }
+
+    /// Clamp below: `[max(lo, min), max(hi, min)]`.
+    pub fn max_with(&self, min: i64) -> Interval {
+        Interval {
+            lo: self.lo.max(min),
+            hi: self.hi.max(min),
+        }
+    }
+}
+
+impl std::fmt::Display for Interval {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let end = |v: i64, f: &mut std::fmt::Formatter<'_>| match v {
+            Self::NEG_INF => write!(f, "-inf"),
+            Self::POS_INF => write!(f, "+inf"),
+            _ => write!(f, "{v}"),
+        };
+        if self.is_constant() {
+            end(self.lo, f)
+        } else {
+            write!(f, "[")?;
+            end(self.lo, f)?;
+            write!(f, ", ")?;
+            end(self.hi, f)?;
+            write!(f, "]")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn join_is_hull() {
+        let a = Interval::range(1, 3);
+        let b = Interval::range(5, 7);
+        assert_eq!(a.join(&b), Interval::range(1, 7));
+    }
+
+    #[test]
+    fn widen_jumps_to_infinity() {
+        let prev = Interval::range(0, 4);
+        let grown = Interval::range(0, 8);
+        let w = grown.widen(&prev);
+        assert_eq!(w.hi, Interval::POS_INF);
+        assert_eq!(w.lo, 0);
+    }
+
+    #[test]
+    fn arithmetic_saturates() {
+        let top = Interval::TOP;
+        let one = Interval::constant(1);
+        assert_eq!(top.add(&one), Interval::TOP);
+        let big = Interval::constant(i64::MAX - 1);
+        assert_eq!(big.add(&big).hi, Interval::POS_INF);
+    }
+
+    #[test]
+    fn mul_signs() {
+        let a = Interval::range(-2, 3);
+        let b = Interval::range(4, 5);
+        assert_eq!(a.mul(&b), Interval::range(-10, 15));
+        assert_eq!(a.neg(), Interval::range(-3, 2));
+    }
+
+    #[test]
+    fn mul_zero_absorbs_infinity() {
+        let zero = Interval::constant(0);
+        assert_eq!(Interval::TOP.mul(&zero), Interval::constant(0));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Interval::constant(3).to_string(), "3");
+        assert_eq!(Interval::range(1, 2).to_string(), "[1, 2]");
+        assert_eq!(Interval::TOP.to_string(), "[-inf, +inf]");
+    }
+}

@@ -1,0 +1,138 @@
+//! Syntactic lint passes over filters.
+//!
+//! These complement the interval analysis in [`crate::absint`]: they need
+//! no abstract values, only structure.  Each lint has a stable `L`-code
+//! (see the crate root's table) and is reported as a warning.
+
+use streamit_graph::{Expr, Filter, LValue, Stmt};
+
+/// `true` when the block performs any tape operation (push/pop/peek).
+pub(crate) fn block_touches_tape(block: &[Stmt]) -> bool {
+    let mut touched = false;
+    for s in block {
+        s.visit(&mut |s| {
+            if matches!(s, Stmt::Push(_)) {
+                touched = true;
+            }
+        });
+        s.visit_exprs(&mut |e| {
+            if matches!(e, Expr::Pop | Expr::Peek(_)) {
+                touched = true;
+            }
+        });
+    }
+    touched
+}
+
+/// State fields never referenced (read or written) by `work`, `prework`
+/// or any message handler.
+pub(crate) fn unused_state_fields(f: &Filter) -> Vec<String> {
+    let mut referenced: std::collections::HashSet<&str> = std::collections::HashSet::new();
+    let mut scan = |block: &[Stmt]| {
+        for s in block {
+            s.visit(&mut |s| {
+                if let Stmt::Assign { target, .. } = s {
+                    let n: &str = match target {
+                        LValue::Var(n) | LValue::Index(n, _) => n,
+                    };
+                    if let Some(sv) = f.state.iter().find(|sv| sv.name == n) {
+                        referenced.insert(sv.name.as_str());
+                    }
+                }
+            });
+            s.visit_exprs(&mut |e| {
+                let n: &str = match e {
+                    Expr::Var(n) | Expr::Index(n, _) => n,
+                    _ => return,
+                };
+                if let Some(sv) = f.state.iter().find(|sv| sv.name == n) {
+                    referenced.insert(sv.name.as_str());
+                }
+            });
+        }
+    };
+    scan(&f.work);
+    if let Some(pw) = &f.prework {
+        scan(&pw.body);
+    }
+    for h in &f.handlers {
+        scan(&h.body);
+    }
+    f.state
+        .iter()
+        .filter(|sv| !referenced.contains(sv.name.as_str()))
+        .map(|sv| sv.name.clone())
+        .collect()
+}
+
+/// `if` statements whose *condition* pops or peeks while an arm also
+/// touches the tape: the relative order of the condition's consumption
+/// and the arms' is easy to get wrong when refactoring (evaluation-order
+/// hazard).
+pub(crate) fn tape_in_branch_condition(block: &[Stmt]) -> usize {
+    let mut hazards = 0;
+    for s in block {
+        s.visit(&mut |s| {
+            if let Stmt::If {
+                cond,
+                then_body,
+                else_body,
+            } = s
+            {
+                if cond.touches_tape()
+                    && (block_touches_tape(then_body) || block_touches_tape(else_body))
+                {
+                    hazards += 1;
+                }
+            }
+        });
+    }
+    hazards
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use streamit_graph::builder::*;
+    use streamit_graph::DataType;
+
+    #[test]
+    fn unused_state_detected() {
+        let f = FilterBuilder::new("f", DataType::Int)
+            .rates(1, 1, 1)
+            .state("used", DataType::Int, 0i64)
+            .state("dead", DataType::Int, 0i64)
+            .work(|b| b.set("used", pop()).push(var("used")))
+            .build();
+        assert_eq!(unused_state_fields(&f), vec!["dead".to_string()]);
+    }
+
+    #[test]
+    fn handler_reference_counts_as_use() {
+        let f = FilterBuilder::new("f", DataType::Int)
+            .rates(1, 1, 1)
+            .state("gain", DataType::Int, 1i64)
+            .work(|b| b.push(pop()))
+            .handler("setGain", vec![("g", DataType::Int)], |b| {
+                b.set("gain", var("g"))
+            })
+            .build();
+        assert!(unused_state_fields(&f).is_empty());
+    }
+
+    #[test]
+    fn condition_hazard_detected() {
+        let body = BlockBuilder::new()
+            .if_else(
+                pop(),
+                |t| t.push(pop()),
+                |e| e.push(lit(0i64)).pop_discard(),
+            )
+            .build();
+        assert_eq!(tape_in_branch_condition(&body), 1);
+        let benign = BlockBuilder::new()
+            .if_else(var("x"), |t| t.push(pop()), |e| e.push(pop()))
+            .build();
+        assert_eq!(tape_in_branch_condition(&benign), 0);
+    }
+}

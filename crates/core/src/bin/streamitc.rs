@@ -2,13 +2,15 @@
 //!
 //! ```text
 //! streamitc <file.str> [--main NAME] [--linear | --frequency]
-//!           [--outline] [--dot] [--verify] [--schedule [TILES]]
+//!           [--outline] [--dot] [--verify] [--lint] [--schedule [TILES]]
 //!           [--run N] [--budget FIRINGS] [--strict]
 //! ```
 //!
 //! * `--outline`   print the elaborated hierarchy
 //! * `--dot`       print the flat graph in Graphviz syntax
 //! * `--verify`    print the deadlock/overflow report (default on)
+//! * `--lint`      print the full static-analysis report (all findings);
+//!   without it, warnings still print and hard findings still gate
 //! * `--schedule`  partition for TILES tiles (default 16) with every
 //!   strategy and print the simulated throughput table
 //! * `--run N`     execute the program on a synthetic ramp input and
@@ -17,6 +19,10 @@
 //!   divergent program exits with a budget diagnostic instead of spinning
 //! * `--linear` / `--frequency`  enable the linear optimizer
 //! * `--strict`    fail on verification errors
+//!
+//! Static work-function analysis always runs: lint warnings (`L06xx`)
+//! print to stderr, and hard findings (`E0601`–`E0603`) abort with exit
+//! code 7 before `--schedule`/`--run` execute anything.
 //!
 //! Exit codes are stable and scriptable:
 //!
@@ -29,6 +35,7 @@
 //! | 4    | verification failure under `--strict` (`E03xx`) |
 //! | 5    | runtime error during `--run` (`E04xx`) |
 //! | 6    | resource budget exhausted (`E05xx`) |
+//! | 7    | static-analysis failure (`E06xx`) |
 
 use streamit::linear::LinearMode;
 use streamit::rawsim::MachineConfig;
@@ -44,12 +51,13 @@ struct Args {
     run: Option<usize>,
     budget: u64,
     strict: bool,
+    lint: bool,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: streamitc <file.str> [--main NAME] [--linear | --frequency] \
-         [--outline] [--dot] [--schedule [TILES]] [--run N] [--budget FIRINGS] [--strict]"
+         [--outline] [--dot] [--lint] [--schedule [TILES]] [--run N] [--budget FIRINGS] [--strict]"
     );
     std::process::exit(2);
 }
@@ -65,6 +73,7 @@ fn parse_args() -> Args {
         run: None,
         budget: streamit::interp::ExecLimits::default().max_firings,
         strict: false,
+        lint: false,
     };
     let mut it = std::env::args().skip(1).peekable();
     while let Some(a) = it.next() {
@@ -75,6 +84,7 @@ fn parse_args() -> Args {
             "--outline" => args.outline = true,
             "--dot" => args.dot = true,
             "--verify" => {} // always printed
+            "--lint" => args.lint = true,
             "--strict" => args.strict = true,
             "--schedule" => {
                 let tiles = it
@@ -170,6 +180,28 @@ fn main() {
         {
             println!("verify: {d}");
         }
+    }
+
+    // Static work-function analysis: full report under --lint, lint
+    // warnings always, hard findings always gate with exit code 7.
+    if args.lint {
+        println!("\n== lint ==");
+        if program.analysis.is_clean() {
+            println!("lint: clean ({} filters)", program.stream.filter_count());
+        }
+        for f in program.analysis.warnings() {
+            println!("{f}");
+        }
+    } else {
+        for f in program.analysis.warnings() {
+            eprintln!("streamitc: {f}");
+        }
+    }
+    if program.analysis.has_errors() {
+        for d in program.analysis_diags() {
+            eprintln!("streamitc: {}: {d}", args.file);
+        }
+        std::process::exit(streamit::DiagCategory::Analysis.exit_code());
     }
 
     if args.outline {

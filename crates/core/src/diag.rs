@@ -30,6 +30,13 @@
 //! | E0409 | Runtime  | channel capacity exceeded |
 //! | E0501 | Budget   | firing budget exhausted |
 //! | E0502 | Budget   | per-firing statement budget exhausted |
+//! | E0601 | Analysis | work/prework pop or push count disagrees with the declared rate on some path |
+//! | E0602 | Analysis | work/prework requires more input than the declared peek window |
+//! | E0603 | Analysis | peek index not provably non-negative |
+//!
+//! Static-analysis *lints* (`L0601`–`L0605`, see
+//! [`streamit_analysis`]) are warnings, not errors: they print but never
+//! gate execution and have no exit code.
 
 use crate::CompileError;
 use streamit_frontend::{FrontendError, SourcePos};
@@ -49,6 +56,8 @@ pub enum DiagCategory {
     Runtime,
     /// A resource budget was exhausted (exit code 6).
     Budget,
+    /// A static-analysis proof obligation failed (exit code 7).
+    Analysis,
 }
 
 impl DiagCategory {
@@ -60,6 +69,7 @@ impl DiagCategory {
             DiagCategory::Verify => 4,
             DiagCategory::Runtime => 5,
             DiagCategory::Budget => 6,
+            DiagCategory::Analysis => 7,
         }
     }
 }
@@ -234,6 +244,27 @@ impl From<CompileError> for Diag {
     }
 }
 
+impl Diag {
+    /// Convert a hard static-analysis finding into a diagnostic.  The span
+    /// is supplied by the caller, which knows the work-function span map
+    /// (keyed by the finding's instance path).  Lint (`L`-code) findings
+    /// are warnings, not diagnostics; passing one here is a logic error
+    /// and is mapped to the closest hard code.
+    pub fn from_finding(f: &streamit_analysis::Finding, span: Option<Span>) -> Diag {
+        let code = match f.code {
+            "E0602" => "E0602",
+            "E0603" => "E0603",
+            _ => "E0601",
+        };
+        Diag::new(
+            code,
+            DiagCategory::Analysis,
+            format!("{}: {}", f.path, f.message),
+            span,
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -245,6 +276,22 @@ mod tests {
         assert_eq!(DiagCategory::Verify.exit_code(), 4);
         assert_eq!(DiagCategory::Runtime.exit_code(), 5);
         assert_eq!(DiagCategory::Budget.exit_code(), 6);
+        assert_eq!(DiagCategory::Analysis.exit_code(), 7);
+    }
+
+    #[test]
+    fn findings_convert_with_span_and_category() {
+        let f = streamit_analysis::Finding {
+            code: "E0602",
+            severity: streamit_analysis::Severity::Error,
+            path: "Main/f".into(),
+            message: "peek too far".into(),
+        };
+        let d = Diag::from_finding(&f, Some(Span { line: 3, col: 9 }));
+        assert_eq!(d.code, "E0602");
+        assert_eq!(d.category, DiagCategory::Analysis);
+        assert_eq!(d.exit_code(), 7);
+        assert_eq!(d.to_string(), "error[E0602] 3:9: Main/f: peek too far");
     }
 
     #[test]

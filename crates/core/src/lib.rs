@@ -41,6 +41,7 @@
 mod diag;
 pub use diag::{Diag, DiagCategory, Span};
 
+pub use streamit_analysis as analysis;
 pub use streamit_apps as apps;
 pub use streamit_frontend as frontend;
 pub use streamit_graph as graph;
@@ -50,6 +51,7 @@ pub use streamit_rawsim as rawsim;
 pub use streamit_sched as sched;
 pub use streamit_sdep as sdep;
 
+use std::collections::HashMap;
 use streamit_graph::{FlatGraph, StreamNode, Value};
 use streamit_linear::{LinearMode, LinearReport};
 use streamit_rawsim::{simulate, simulate_single_core, MachineConfig, SimResult};
@@ -119,7 +121,7 @@ impl Compiler {
         main: &str,
     ) -> Result<CompiledProgram, CompileError> {
         let out = streamit_frontend::compile(source, main).map_err(CompileError::Frontend)?;
-        self.finish(out.stream, out.portals, out.latencies)
+        self.finish(out.stream, out.portals, out.latencies, out.work_spans)
     }
 
     /// Compile an already-constructed stream graph (builder API).
@@ -128,7 +130,7 @@ impl Compiler {
         if !errs.is_empty() {
             return Err(CompileError::Validation(errs));
         }
-        self.finish(stream, Vec::new(), Vec::new())
+        self.finish(stream, Vec::new(), Vec::new(), HashMap::new())
     }
 
     fn finish(
@@ -136,7 +138,13 @@ impl Compiler {
         stream: StreamNode,
         portals: Vec<streamit_frontend::PortalRegistration>,
         latencies: Vec<streamit_frontend::LatencyDirective>,
+        work_spans: HashMap<String, streamit_frontend::SourcePos>,
     ) -> Result<CompiledProgram, CompileError> {
+        // Static work-function analysis runs on the graph the user wrote
+        // (before linear optimization rewrites filters) so findings carry
+        // user-facing names and spans.  It never fails the compile here:
+        // callers decide whether hard findings gate (see `streamitc`).
+        let analysis = streamit_analysis::analyze_stream(&stream);
         let (stream, linear_report) = match self.options.linear {
             Some(mode) => {
                 let (s, r) = streamit_linear::optimize_stream(&stream, mode);
@@ -153,9 +161,11 @@ impl Compiler {
             stream,
             flat,
             verify,
+            analysis,
             linear_report,
             portals,
             latencies,
+            work_spans,
         })
     }
 }
@@ -168,12 +178,18 @@ pub struct CompiledProgram {
     pub flat: FlatGraph,
     /// Deadlock/overflow verification.
     pub verify: VerifyReport,
+    /// Static work-function analysis (rate conformance, peek bounds,
+    /// lints), computed on the pre-optimization graph.
+    pub analysis: streamit_analysis::AnalysisReport,
     /// What the linear optimizer did, when enabled.
     pub linear_report: Option<LinearReport>,
     /// Portal registrations from the frontend (`register` statements).
     pub portals: Vec<streamit_frontend::PortalRegistration>,
     /// `max_latency` directives from the frontend.
     pub latencies: Vec<streamit_frontend::LatencyDirective>,
+    /// Source span of each filter's `work` declaration by instance path
+    /// (empty for builder-API programs).
+    pub work_spans: HashMap<String, streamit_frontend::SourcePos>,
 }
 
 impl CompiledProgram {
@@ -222,6 +238,19 @@ impl CompiledProgram {
             .iter()
             .map(|v| v.as_f64())
             .collect())
+    }
+
+    /// Hard static-analysis findings as typed diagnostics (exit code 7),
+    /// each carrying the source span of the offending filter's `work`
+    /// declaration when the program came from text.
+    pub fn analysis_diags(&self) -> Vec<Diag> {
+        self.analysis
+            .errors()
+            .map(|f| {
+                let span = self.work_spans.get(&f.path).map(|&p| p.into());
+                Diag::from_finding(f, span)
+            })
+            .collect()
     }
 
     /// The benchmark characteristics row of this program.

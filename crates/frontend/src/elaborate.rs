@@ -67,6 +67,10 @@ pub struct ElabOutput {
     pub portals: Vec<PortalRegistration>,
     /// `max_latency` directives collected across the program.
     pub latencies: Vec<LatencyDirective>,
+    /// Source position of each instantiated filter's `work` declaration,
+    /// keyed by hierarchical instance path (matching `FlatGraph` node
+    /// names).  Lets later passes report findings against source.
+    pub work_spans: HashMap<String, SourcePos>,
 }
 
 impl ElabOutput {
@@ -109,6 +113,7 @@ pub fn elaborate_with_args(
         program,
         portals: Vec::new(),
         latencies: Vec::new(),
+        work_spans: HashMap::new(),
         depth: 0,
         gsteps: 0,
     };
@@ -121,6 +126,7 @@ pub fn elaborate_with_args(
         stream,
         portals: el.portals,
         latencies: el.latencies,
+        work_spans: el.work_spans,
     })
 }
 
@@ -141,6 +147,7 @@ struct Elaborator<'p> {
     program: &'p Program,
     portals: Vec<PortalRegistration>,
     latencies: Vec<LatencyDirective>,
+    work_spans: HashMap<String, SourcePos>,
     depth: u32,
     gsteps: u64,
 }
@@ -202,7 +209,15 @@ impl<'p> Elaborator<'p> {
             env.insert(p.name.clone(), a.coerce(ty));
         }
         let result = match decl {
-            Decl::Filter(f) => self.elab_filter(f, &env, inst),
+            Decl::Filter(f) => {
+                let path = if prefix.is_empty() {
+                    inst.to_string()
+                } else {
+                    format!("{prefix}/{inst}")
+                };
+                self.work_spans.insert(path, f.work.pos);
+                self.elab_filter(f, &env, inst)
+            }
             Decl::Composite(c) => self.elab_composite(c, &env, inst, prefix),
         };
         self.depth -= 1;

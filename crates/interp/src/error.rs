@@ -6,7 +6,15 @@ use std::fmt;
 #[derive(Debug, Clone, PartialEq)]
 pub enum RuntimeError {
     /// A node fired without enough items on an input tape.
-    TapeUnderflow { node: String, needed: u64, had: u64 },
+    TapeUnderflow {
+        node: String,
+        needed: u64,
+        had: u64,
+        /// The firing's declared `(peek window, pop)` rates, when the
+        /// node is a filter: an underflow that *exceeds* the window is a
+        /// rate bug in the work function, not a scheduling bug.
+        declared: Option<(u64, u64)>,
+    },
     /// Reference to an unknown variable.
     UnknownVar { node: String, name: String },
     /// Array access out of bounds.
@@ -22,8 +30,12 @@ pub enum RuntimeError {
     /// declared rates (caught at firing boundaries).
     RateViolation {
         node: String,
+        /// Declared `(pop, push)` rates of the firing.
         declared: (usize, usize),
+        /// Observed `(pop, push)` counts.
         actual: (u64, u64),
+        /// Declared peek window of the firing (`max(peek, pop)`).
+        peek: u64,
     },
     /// A `run_*` loop made no progress before reaching its goal.
     Deadlock { detail: String },
@@ -48,8 +60,17 @@ pub enum RuntimeError {
 impl fmt::Display for RuntimeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            RuntimeError::TapeUnderflow { node, needed, had } => {
-                write!(f, "{node}: tape underflow (needed {needed}, had {had})")
+            RuntimeError::TapeUnderflow {
+                node,
+                needed,
+                had,
+                declared,
+            } => {
+                write!(f, "{node}: tape underflow (needed {needed}, had {had}")?;
+                if let Some((peek, pop)) = declared {
+                    write!(f, "; declared peek window {peek}, pop {pop}")?;
+                }
+                write!(f, ")")
             }
             RuntimeError::UnknownVar { node, name } => {
                 write!(f, "{node}: unknown variable `{name}`")
@@ -68,11 +89,12 @@ impl fmt::Display for RuntimeError {
                 node,
                 declared,
                 actual,
+                peek,
             } => write!(
                 f,
-                "{node}: rate violation, declared (pop={}, push={}) but work did \
+                "{node}: rate violation, declared (peek={}, pop={}, push={}) but work did \
                  (pop={}, push={})",
-                declared.0, declared.1, actual.0, actual.1
+                peek, declared.0, declared.1, actual.0, actual.1
             ),
             RuntimeError::Deadlock { detail } => write!(f, "deadlock: {detail}"),
             RuntimeError::BadMessage { portal, handler } => {
@@ -95,3 +117,44 @@ impl fmt::Display for RuntimeError {
 }
 
 impl std::error::Error for RuntimeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rate_violation_cites_declared_and_observed() {
+        let e = RuntimeError::RateViolation {
+            node: "Main/f".into(),
+            declared: (1, 2),
+            actual: (1, 0),
+            peek: 3,
+        };
+        assert_eq!(
+            e.to_string(),
+            "Main/f: rate violation, declared (peek=3, pop=1, push=2) but work did \
+             (pop=1, push=0)"
+        );
+    }
+
+    #[test]
+    fn underflow_cites_declared_window_when_known() {
+        let e = RuntimeError::TapeUnderflow {
+            node: "Main/f".into(),
+            needed: 5,
+            had: 2,
+            declared: Some((4, 1)),
+        };
+        assert_eq!(
+            e.to_string(),
+            "Main/f: tape underflow (needed 5, had 2; declared peek window 4, pop 1)"
+        );
+        let e = RuntimeError::TapeUnderflow {
+            node: "j".into(),
+            needed: 1,
+            had: 0,
+            declared: None,
+        };
+        assert_eq!(e.to_string(), "j: tape underflow (needed 1, had 0)");
+    }
+}

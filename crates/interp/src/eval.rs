@@ -420,6 +420,7 @@ mod tests {
                     node: "test".into(),
                     needed: i + 1,
                     had: (self.input.len() - self.head) as u64,
+                    declared: None,
                 })
         }
         fn pop(&mut self) -> Result<Value, RuntimeError> {

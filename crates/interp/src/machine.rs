@@ -460,6 +460,7 @@ impl<'g> Machine<'g> {
                     node: self.graph.node(node).name.clone(),
                     needed: 1,
                     had: 0,
+                    declared: None,
                 }),
             },
             None => match self.input.pop_front() {
@@ -471,6 +472,7 @@ impl<'g> Machine<'g> {
                     node: self.graph.node(node).name.clone(),
                     needed: 1,
                     had: 0,
+                    declared: None,
                 }),
             },
         }
@@ -553,7 +555,7 @@ impl<'g> Machine<'g> {
             (Some(pw), true) => &pw.body,
             _ => &f.work,
         };
-        let (_, pop, push) = self.filter_rates(node, f);
+        let (peek_window, pop, push) = self.filter_rates(node, f);
         let n = self.graph.node(node);
         let in_edge = n.inputs.first().copied();
         let out_edge = n.outputs.first().copied();
@@ -579,6 +581,7 @@ impl<'g> Machine<'g> {
                 node: self.graph.node(node).name.clone(),
                 declared: (pop as usize, push as usize),
                 actual: (pops, pushes),
+                peek: peek_window,
             });
         }
         // Discard the popped prefix from the input tape: pops were
@@ -791,6 +794,10 @@ impl EvalCtx for FilterCtx<'_, '_> {
                 Some(e) => self.machine.channels[e.0].len() as u64,
                 None => self.machine.input.len() as u64,
             },
+            declared: self.machine.graph.node(self.node).as_filter().map(|f| {
+                let (peek, pop, _) = self.machine.filter_rates(self.node, f);
+                (peek, pop)
+            }),
         })
     }
 

@@ -1,0 +1,518 @@
+//! Static work-function analysis: golden diagnostics for the hard
+//! findings (E0601–E0603), each lint, the benchmark-corpus cleanliness
+//! guarantee, and a proptest soundness check of the interval analysis
+//! against interpreter-observed counts.
+
+use streamit::analysis::{analyze_stream, Severity};
+use streamit::{Compiler, DiagCategory};
+
+fn compile(src: &str) -> streamit::CompiledProgram {
+    Compiler::default()
+        .compile_source(src, "Main")
+        .expect("source compiles (analysis findings do not fail the compile)")
+}
+
+// ---- golden hard diagnostics: E0601–E0603 with code and span ----------
+
+#[test]
+fn golden_e0601_push_mismatch_on_branch() {
+    let p = compile(
+        "int->int filter Liar() {\n\
+         \x20   work pop 1 push 1 {\n\
+         \x20       int v = pop();\n\
+         \x20       if (v > 0) { push(v); }\n\
+         \x20   }\n\
+         }\n\
+         int->int pipeline Main() { add Liar(); }\n",
+    );
+    assert!(p.analysis.has_errors());
+    let diags = p.analysis_diags();
+    assert_eq!(diags.len(), 1, "{diags:?}");
+    assert_eq!(diags[0].code, "E0601");
+    assert_eq!(diags[0].category, DiagCategory::Analysis);
+    assert_eq!(diags[0].exit_code(), 7);
+    let span = diags[0].span.expect("work-decl span");
+    assert_eq!(span.line, 2, "{diags:?}");
+    assert!(diags[0].message.contains("Main/Liar"), "{diags:?}");
+    assert!(diags[0].message.contains("push"), "{diags:?}");
+}
+
+#[test]
+fn golden_e0601_pop_mismatch_on_branch() {
+    let p = compile(
+        "int->int filter Gulp() {\n\
+         \x20   work peek 2 pop 1 push 1 {\n\
+         \x20       if (peek(0) > 0) { pop(); pop(); } else { pop(); }\n\
+         \x20       push(0);\n\
+         \x20   }\n\
+         }\n\
+         int->int pipeline Main() { add Gulp(); }\n",
+    );
+    let diags = p.analysis_diags();
+    assert_eq!(diags.len(), 1, "{diags:?}");
+    assert_eq!(diags[0].code, "E0601");
+    assert!(diags[0].message.contains("pop"), "{diags:?}");
+    assert_eq!(diags[0].span.expect("span").line, 2);
+}
+
+#[test]
+fn golden_e0602_peek_beyond_window() {
+    // The index is data-dependent (opaque to the straight-line checker),
+    // but `abs(.) % 8` bounds it to [0, 7]: even the *minimum* possible
+    // requirement (2 items: one popped, one peeked past it) exceeds the
+    // declared window of 1.
+    let p = compile(
+        "int->int filter Reach() {\n\
+         \x20   work pop 1 push 1 {\n\
+         \x20       push(peek(abs(pop()) % 8));\n\
+         \x20   }\n\
+         }\n\
+         int->int pipeline Main() { add Reach(); }\n",
+    );
+    let diags = p.analysis_diags();
+    assert_eq!(diags.len(), 1, "{diags:?}");
+    assert_eq!(diags[0].code, "E0602");
+    assert_eq!(diags[0].exit_code(), 7);
+    assert_eq!(diags[0].span.expect("span").line, 2);
+}
+
+#[test]
+fn golden_e0603_unprovable_peek_index() {
+    let p = compile(
+        "int->int filter Wild() {\n\
+         \x20   work peek 4 pop 1 push 1 {\n\
+         \x20       int v = pop();\n\
+         \x20       push(peek(v));\n\
+         \x20   }\n\
+         }\n\
+         int->int pipeline Main() { add Wild(); }\n",
+    );
+    let diags = p.analysis_diags();
+    assert_eq!(diags.len(), 1, "{diags:?}");
+    assert_eq!(diags[0].code, "E0603");
+    assert_eq!(diags[0].span.expect("span").line, 2);
+    // The data-dependent requirement additionally warns, never errors.
+    assert!(p.analysis.warnings().any(|f| f.code == "L0605"));
+}
+
+// ---- golden lints: each L-code with its path ---------------------------
+
+fn warning_codes(p: &streamit::CompiledProgram) -> Vec<&'static str> {
+    assert!(
+        !p.analysis.has_errors(),
+        "lint-only program: {:#?}",
+        p.analysis.findings
+    );
+    p.analysis.warnings().map(|f| f.code).collect()
+}
+
+#[test]
+fn golden_l0601_unused_state() {
+    let p = compile(
+        "int->int filter F() {\n\
+         \x20   int dead;\n\
+         \x20   work pop 1 push 1 { push(pop()); }\n\
+         }\n\
+         int->int pipeline Main() { add F(); }\n",
+    );
+    assert_eq!(warning_codes(&p), vec!["L0601"]);
+    let f = p.analysis.warnings().next().expect("one warning");
+    assert_eq!(f.path, "Main/F");
+    assert_eq!(f.severity, Severity::Warning);
+    assert!(f.message.contains("dead"), "{f}");
+}
+
+#[test]
+fn golden_l0602_unreachable_code() {
+    let p = compile(
+        "int->int filter F() {\n\
+         \x20   work pop 1 push 1 {\n\
+         \x20       if (0 > 1) { push(7); } else { push(pop()); }\n\
+         \x20   }\n\
+         }\n\
+         int->int pipeline Main() { add F(); }\n",
+    );
+    assert_eq!(warning_codes(&p), vec!["L0602"]);
+}
+
+#[test]
+fn golden_l0603_tape_in_branch_condition() {
+    let p = compile(
+        "int->int filter F() {\n\
+         \x20   work peek 2 pop 2 push 1 {\n\
+         \x20       if (pop() > 0) { push(pop()); } else { push(pop()); }\n\
+         \x20   }\n\
+         }\n\
+         int->int pipeline Main() { add F(); }\n",
+    );
+    assert_eq!(warning_codes(&p), vec!["L0603"]);
+}
+
+#[test]
+fn golden_l0604_over_declared_window() {
+    let p = compile(
+        "int->int filter F() {\n\
+         \x20   work peek 16 pop 1 push 1 {\n\
+         \x20       push(peek(1));\n\
+         \x20       pop();\n\
+         \x20   }\n\
+         }\n\
+         int->int pipeline Main() { add F(); }\n",
+    );
+    assert_eq!(warning_codes(&p), vec!["L0604"]);
+}
+
+#[test]
+fn golden_l0605_data_dependent_rates() {
+    let p = compile(
+        "int->int filter F() {\n\
+         \x20   work pop 1 push 4 {\n\
+         \x20       int n = pop();\n\
+         \x20       for (int i = 0; i < n; i++) push(i);\n\
+         \x20   }\n\
+         }\n\
+         int->int pipeline Main() { add F(); }\n",
+    );
+    assert_eq!(warning_codes(&p), vec!["L0605"]);
+}
+
+// ---- benchmark corpus: every app graph must lint clean ----------------
+
+#[test]
+fn evaluation_suite_is_lint_clean() {
+    for b in streamit::apps::evaluation_suite() {
+        let report = analyze_stream(&b.stream);
+        assert!(report.is_clean(), "{}: {:#?}", b.name, report.findings);
+    }
+}
+
+#[test]
+fn beamformer_and_freqhop_are_lint_clean() {
+    for (name, stream) in [
+        (
+            "BeamFormer",
+            streamit::apps::beamformer::beamformer_with_io(4, 2, 8),
+        ),
+        (
+            "FreqHopTeleport",
+            streamit::apps::freqhop::freqhop_teleport_with_io(8, 4),
+        ),
+        (
+            "FreqHopManual",
+            streamit::apps::freqhop::freqhop_manual_with_io(8),
+        ),
+    ] {
+        let report = analyze_stream(&stream);
+        assert!(report.is_clean(), "{name}: {:#?}", report.findings);
+    }
+}
+
+#[test]
+fn dsl_sources_are_lint_clean() {
+    use streamit::apps::dsl;
+    for (name, src) in [
+        ("fmradio.str", dsl::FMRADIO_STR),
+        ("fibonacci.str", dsl::FIBONACCI_STR),
+        ("filterbank.str", dsl::FILTERBANK_STR),
+        ("combine.str", dsl::COMBINE_STR),
+    ] {
+        let p = streamit::Compiler::default()
+            .compile_source(src, "Main")
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert!(p.analysis.is_clean(), "{name}: {:#?}", p.analysis.findings);
+    }
+    // FreqHop's Main takes a parameter; elaborate with an argument.
+    let program = streamit::frontend::parse_program(dsl::FREQHOP_STR).unwrap();
+    let out = streamit::frontend::elaborate_with_args(
+        &program,
+        "Main",
+        &[streamit::graph::Value::Int(8)],
+    )
+    .unwrap();
+    let report = analyze_stream(&out.stream);
+    assert!(report.is_clean(), "freqhop.str: {:#?}", report.findings);
+}
+
+/// The on-disk `.str` copies under `examples/str/` (which CI lints via
+/// the real `streamitc --lint` binary) must stay byte-identical to the
+/// canonical DSL constants in `crates/apps/src/dsl.rs`.
+#[test]
+fn example_str_files_match_dsl_constants() {
+    use streamit::apps::dsl;
+    let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../../examples/str");
+    for (file, konst) in [
+        ("fmradio.str", dsl::FMRADIO_STR),
+        ("fibonacci.str", dsl::FIBONACCI_STR),
+        ("filterbank.str", dsl::FILTERBANK_STR),
+        ("combine.str", dsl::COMBINE_STR),
+    ] {
+        let on_disk = std::fs::read_to_string(format!("{root}/{file}"))
+            .unwrap_or_else(|e| panic!("examples/str/{file}: {e}"));
+        // The raw-string constants open with `r#"` followed by a newline
+        // that is not part of the file.
+        let canonical = konst.strip_prefix('\n').unwrap_or(konst);
+        assert_eq!(
+            on_disk, canonical,
+            "examples/str/{file} drifted from dsl.rs"
+        );
+    }
+}
+
+// ---- proptest soundness: observed counts fall inside the intervals ----
+//
+// A generator over the work-function IR produces random bodies (branches,
+// constant and data-dependent loops, peeks, local variables); the
+// interval analysis and the reference interpreter then run the same
+// block, and the interpreter's observed pop count, push count and
+// maximum tape requirement must lie inside the statically computed
+// intervals.  This is the abstract-interpretation soundness property:
+// every concretisation of the abstract state contains the concrete run.
+
+mod soundness {
+    use std::collections::HashMap;
+    use streamit::analysis::analyze_block;
+    use streamit::graph::{BinOp, DataType, Expr, LValue, Stmt, Value};
+    use streamit::interp::{eval_block_bounded, EvalCtx, RuntimeError};
+
+    /// Deterministic splitmix64 over a case seed.
+    struct Gen(u64);
+
+    impl Gen {
+        fn next(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        fn below(&mut self, n: u64) -> u64 {
+            self.next() % n.max(1)
+        }
+    }
+
+    /// Scope passed down while generating: visible locals and (separately)
+    /// loop variables, which are the only variables guaranteed
+    /// non-negative and therefore usable as peek indices.
+    #[derive(Clone, Default)]
+    struct Scope {
+        vars: Vec<String>,
+        loop_vars: Vec<String>,
+        fresh: usize,
+    }
+
+    fn gen_expr(g: &mut Gen, sc: &Scope, depth: usize) -> Expr {
+        let max = if depth == 0 { 4 } else { 6 };
+        match g.below(max) {
+            0 => Expr::IntLit(g.below(16) as i64 - 8),
+            1 if !sc.vars.is_empty() => {
+                Expr::Var(sc.vars[g.below(sc.vars.len() as u64) as usize].clone())
+            }
+            1 => Expr::IntLit(g.below(8) as i64),
+            2 => Expr::Pop,
+            3 => Expr::Peek(Box::new(gen_peek_index(g, sc))),
+            _ => {
+                let op = match g.below(7) {
+                    0 => BinOp::Add,
+                    1 => BinOp::Sub,
+                    2 => BinOp::Mul,
+                    3 => BinOp::Lt,
+                    4 => BinOp::Gt,
+                    5 => BinOp::And,
+                    _ => BinOp::Or,
+                };
+                Expr::Binary(
+                    op,
+                    Box::new(gen_expr(g, sc, depth - 1)),
+                    Box::new(gen_expr(g, sc, depth - 1)),
+                )
+            }
+        }
+    }
+
+    /// Peek indices must be non-negative at runtime; generate only
+    /// constants and loop variables (always >= 0 here).
+    fn gen_peek_index(g: &mut Gen, sc: &Scope) -> Expr {
+        if !sc.loop_vars.is_empty() && g.below(2) == 0 {
+            Expr::Var(sc.loop_vars[g.below(sc.loop_vars.len() as u64) as usize].clone())
+        } else {
+            Expr::IntLit(g.below(12) as i64)
+        }
+    }
+
+    fn gen_block(g: &mut Gen, sc: &mut Scope, depth: usize) -> Vec<Stmt> {
+        let n = 1 + g.below(4) as usize;
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(gen_stmt(g, sc, depth));
+        }
+        out
+    }
+
+    fn gen_stmt(g: &mut Gen, sc: &mut Scope, depth: usize) -> Stmt {
+        let max = if depth == 0 { 4 } else { 6 };
+        match g.below(max) {
+            0 => Stmt::Push(gen_expr(g, sc, 1)),
+            1 => Stmt::Expr(Expr::Pop),
+            2 => {
+                sc.fresh += 1;
+                let name = format!("v{}", sc.fresh);
+                let init = gen_expr(g, sc, 1);
+                sc.vars.push(name.clone());
+                Stmt::Let {
+                    name,
+                    ty: DataType::Int,
+                    init,
+                }
+            }
+            3 if !sc.vars.is_empty() => Stmt::Assign {
+                target: LValue::Var(sc.vars[g.below(sc.vars.len() as u64) as usize].clone()),
+                value: gen_expr(g, sc, 1),
+            },
+            3 => Stmt::Push(Expr::IntLit(1)),
+            4 => {
+                let cond = gen_expr(g, sc, 1);
+                // Lets inside an arm go out of scope at its end.
+                let mut t_sc = sc.clone();
+                let then_body = gen_block(g, &mut t_sc, depth - 1);
+                let mut e_sc = sc.clone();
+                e_sc.fresh = t_sc.fresh;
+                let else_body = gen_block(g, &mut e_sc, depth - 1);
+                sc.fresh = e_sc.fresh;
+                Stmt::If {
+                    cond,
+                    then_body,
+                    else_body,
+                }
+            }
+            _ => {
+                sc.fresh += 1;
+                let var = format!("i{}", sc.fresh);
+                // Mostly constant bounds; occasionally a data-dependent
+                // bound so the widened fixpoint path is exercised too
+                // (bounded by |.| % 5 to keep the concrete run finite).
+                let to = if g.below(4) == 0 {
+                    Expr::Binary(
+                        BinOp::Rem,
+                        Box::new(Expr::Call(streamit::graph::Intrinsic::Abs, vec![Expr::Pop])),
+                        Box::new(Expr::IntLit(5)),
+                    )
+                } else {
+                    Expr::IntLit(g.below(5) as i64)
+                };
+                // The loop variable is readable as a peek index (it is
+                // non-negative by construction) but deliberately kept out
+                // of `vars` so `Assign` can never make it negative.
+                let mut b_sc = sc.clone();
+                b_sc.loop_vars.push(var.clone());
+                let body = gen_block(g, &mut b_sc, depth - 1);
+                sc.fresh = b_sc.fresh;
+                Stmt::For {
+                    var,
+                    from: Expr::IntLit(0),
+                    to,
+                    body,
+                }
+            }
+        }
+    }
+
+    /// Concrete tape context that records pops, pushes and the maximum
+    /// input requirement (matching the analysis' `need` semantics).
+    struct CountCtx {
+        input: Vec<Value>,
+        pops: u64,
+        pushes: u64,
+        need: u64,
+    }
+
+    impl EvalCtx for CountCtx {
+        fn node_name(&self) -> &str {
+            "prop"
+        }
+        fn peek(&mut self, i: u64) -> Result<Value, RuntimeError> {
+            let at = (self.pops + i) as usize;
+            self.need = self.need.max(at as u64 + 1);
+            self.input
+                .get(at)
+                .copied()
+                .ok_or(RuntimeError::TapeUnderflow {
+                    node: "prop".into(),
+                    needed: at as u64 + 1,
+                    had: self.input.len() as u64,
+                    declared: None,
+                })
+        }
+        fn pop(&mut self) -> Result<Value, RuntimeError> {
+            let v = self.peek(0)?;
+            self.pops += 1;
+            Ok(v)
+        }
+        fn push(&mut self, _: Value) -> Result<(), RuntimeError> {
+            self.pushes += 1;
+            Ok(())
+        }
+        fn send(
+            &mut self,
+            _: &str,
+            _: &str,
+            _: Vec<Value>,
+            _: (i64, i64),
+        ) -> Result<(), RuntimeError> {
+            Ok(())
+        }
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::ProptestConfig::with_cases(512))]
+
+        /// Soundness: for every generated body, the interpreter-observed
+        /// pop count, push count and maximum tape requirement lie inside
+        /// the statically computed intervals.
+        #[test]
+        fn prop_observed_counts_inside_intervals(seed in 0u64..u64::MAX) {
+            let mut g = Gen(seed | 1);
+            let mut sc = Scope::default();
+            let block = gen_block(&mut g, &mut sc, 2);
+
+            let analysis = analyze_block(&block, &HashMap::new());
+
+            // Varied input (positives, negatives, zeros) so branches and
+            // data-dependent loop bounds take different paths per seed.
+            let input: Vec<Value> = (0..65_536)
+                .map(|i| Value::Int((i as i64 * 7 + seed as i64 % 11) % 9 - 4))
+                .collect();
+            let mut ctx = CountCtx {
+                input,
+                pops: 0,
+                pushes: 0,
+                need: 0,
+            };
+            let mut state = HashMap::new();
+            let run = eval_block_bounded(&block, &mut state, HashMap::new(), &mut ctx, 1_000_000);
+            proptest::prop_assert!(
+                run.is_ok(),
+                "generated block must execute: {run:?}\n{block:#?}"
+            );
+
+            proptest::prop_assert!(
+                analysis.pops.contains(ctx.pops as i64),
+                "pops {} outside {}\n{block:#?}",
+                ctx.pops,
+                analysis.pops
+            );
+            proptest::prop_assert!(
+                analysis.pushes.contains(ctx.pushes as i64),
+                "pushes {} outside {}\n{block:#?}",
+                ctx.pushes,
+                analysis.pushes
+            );
+            proptest::prop_assert!(
+                analysis.need.contains(ctx.need as i64),
+                "need {} outside {}\n{block:#?}",
+                ctx.need,
+                analysis.need
+            );
+        }
+    }
+}
