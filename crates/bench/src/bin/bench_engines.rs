@@ -1,0 +1,183 @@
+//! `bench_engines` — reference-interpreter vs compiled-engine throughput.
+//!
+//! Runs four benchmark apps (FMRadio, FilterBank, BeamFormer,
+//! BitonicSort) on both execution engines, verifies the outputs are
+//! bit-identical, and writes `BENCH_interp.json` with items/sec for
+//! each engine plus the speedup.
+//!
+//! ```text
+//! bench_engines [--quick] [--out PATH]
+//! ```
+//!
+//! `--quick` shortens the measurement window (CI smoke); `--out`
+//! changes the report path (default `BENCH_interp.json`).
+
+use std::time::Instant;
+
+use streamit::exec::CompiledGraph;
+use streamit::graph::{StreamNode, Value};
+use streamit::interp::Machine;
+use streamit::{CompiledProgram, Compiler};
+
+/// Deterministic varied input usable by both int- and float-typed apps.
+fn varied_input(len: usize) -> Vec<f64> {
+    (0..len).map(|i| ((i * 37) % 101) as f64 - 50.0).collect()
+}
+
+struct Measurement {
+    items_per_sec: f64,
+    elapsed_s: f64,
+    outputs: u64,
+    iterations: u64,
+}
+
+/// Time `k` steady iterations on the reference interpreter (driving the
+/// `Machine` directly, no executor overhead) and convert to items/sec.
+fn measure_reference(p: &CompiledProgram, cg: &CompiledGraph, target_s: f64) -> Measurement {
+    let in_ty = p.stream.input_type();
+    let mut k = 1u64;
+    loop {
+        // Generous margin over the compiled engine's exact requirement:
+        // the interpreter's priming overshoot can consume a little more.
+        let need = cg.required_input(k + 4) as usize * 2 + 1024;
+        let input = varied_input(need);
+        let mut m = Machine::new(&p.flat);
+        m.feed(input.iter().map(|&v| match in_ty {
+            Some(streamit::graph::DataType::Int) => Value::Int(v as i64),
+            _ => Value::Float(v),
+        }));
+        let t0 = Instant::now();
+        m.run_steady_states(k)
+            .unwrap_or_else(|e| panic!("reference steady run failed: {e}"));
+        let elapsed = t0.elapsed().as_secs_f64();
+        let outputs = m.take_output().len() as u64;
+        if elapsed >= target_s || k >= 1 << 20 {
+            return Measurement {
+                items_per_sec: outputs as f64 / elapsed.max(1e-9),
+                elapsed_s: elapsed,
+                outputs,
+                iterations: k,
+            };
+        }
+        k = (k * 4).max(k + 1);
+    }
+}
+
+/// Time `k` steady iterations on the compiled engine.
+fn measure_compiled(cg: &CompiledGraph, threads: usize, target_s: f64) -> Measurement {
+    let mut k = 16u64;
+    loop {
+        let input = varied_input(cg.required_input(k) as usize);
+        let t0 = Instant::now();
+        let out = cg
+            .run_steady(&input, k, threads)
+            .unwrap_or_else(|e| panic!("compiled steady run failed: {e}"));
+        let elapsed = t0.elapsed().as_secs_f64();
+        if elapsed >= target_s || k >= 1 << 26 {
+            return Measurement {
+                items_per_sec: out.len() as f64 / elapsed.max(1e-9),
+                elapsed_s: elapsed,
+                outputs: out.len() as u64,
+                iterations: k,
+            };
+        }
+        k = (k * 4).max(k + 1);
+    }
+}
+
+/// Bit-compare a short run on both engines.
+fn bit_identical(p: &CompiledProgram, cg: &CompiledGraph, threads: usize) -> bool {
+    let k = 8u64;
+    let n = (cg.init_outputs() + k * cg.outputs_per_iteration()) as usize;
+    let input = varied_input(cg.required_input(k) as usize);
+    let compiled = cg
+        .run_steady(&input, k, threads)
+        .unwrap_or_else(|e| panic!("compiled check run failed: {e}"));
+    let mut reference = p
+        .run(&input, n)
+        .unwrap_or_else(|e| panic!("reference check run failed: {e}"));
+    reference.truncate(n);
+    compiled.len() == reference.len()
+        && compiled
+            .iter()
+            .zip(&reference)
+            .all(|(a, b)| a.to_bits() == b.to_bits())
+}
+
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.3}")
+    } else {
+        "0.0".into()
+    }
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let quick = argv.iter().any(|a| a == "--quick");
+    let out_path = argv
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| argv.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_interp.json".into());
+    let target_s = if quick { 0.02 } else { 0.25 };
+    let threads = std::thread::available_parallelism()
+        .map(usize::from)
+        .unwrap_or(1);
+
+    let apps: Vec<(&str, StreamNode)> = vec![
+        ("fmradio", streamit::apps::fmradio::fmradio(10, 64)),
+        ("filterbank", streamit::apps::filterbank::filterbank(8, 32)),
+        (
+            "beamformer",
+            streamit::apps::beamformer::beamformer(12, 4, 32),
+        ),
+        ("bitonic", streamit::apps::bitonic::bitonic_sort(32)),
+    ];
+
+    let mut rows = Vec::new();
+    println!(
+        "{:<12} {:>14} {:>14} {:>9}  identical",
+        "app", "reference", "compiled", "speedup"
+    );
+    for (name, stream) in apps {
+        let p = Compiler::default()
+            .compile_stream(stream)
+            .unwrap_or_else(|e| panic!("{name}: app graph must compile: {e}"));
+        let cg = p
+            .compile_exec()
+            .unwrap_or_else(|e| panic!("{name}: compiled engine must accept this app: {e}"));
+        let identical = bit_identical(&p, &cg, threads);
+        let r = measure_reference(&p, &cg, target_s);
+        let c = measure_compiled(&cg, threads, target_s);
+        let speedup = c.items_per_sec / r.items_per_sec.max(1e-9);
+        println!(
+            "{:<12} {:>12.0}/s {:>12.0}/s {:>8.1}x  {}",
+            name, r.items_per_sec, c.items_per_sec, speedup, identical
+        );
+        rows.push(format!(
+            "    {{\n      \"name\": \"{name}\",\n      \"bit_identical\": {identical},\n      \
+             \"reference\": {{\"items_per_sec\": {}, \"elapsed_s\": {}, \"outputs\": {}, \"iterations\": {}}},\n      \
+             \"compiled\": {{\"items_per_sec\": {}, \"elapsed_s\": {}, \"outputs\": {}, \"iterations\": {}}},\n      \
+             \"speedup\": {}\n    }}",
+            json_f64(r.items_per_sec),
+            json_f64(r.elapsed_s),
+            r.outputs,
+            r.iterations,
+            json_f64(c.items_per_sec),
+            json_f64(c.elapsed_s),
+            c.outputs,
+            c.iterations,
+            json_f64(speedup),
+        ));
+    }
+
+    let report = format!(
+        "{{\n  \"benchmark\": \"engine_throughput\",\n  \"threads\": {threads},\n  \
+         \"quick\": {quick},\n  \"apps\": [\n{}\n  ]\n}}\n",
+        rows.join(",\n")
+    );
+    std::fs::write(&out_path, &report).unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
+    println!("wrote {out_path}");
+}

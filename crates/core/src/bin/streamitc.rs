@@ -3,7 +3,7 @@
 //! ```text
 //! streamitc <file.str> [--main NAME] [--linear | --frequency]
 //!           [--outline] [--dot] [--verify] [--lint] [--schedule [TILES]]
-//!           [--run N] [--budget FIRINGS] [--strict]
+//!           [--run N] [--budget FIRINGS] [--engine ENGINE] [--strict]
 //! ```
 //!
 //! * `--outline`   print the elaborated hierarchy
@@ -17,6 +17,11 @@
 //!   print the first N outputs
 //! * `--budget F`  firing budget for `--run` (default 5·10⁷): a
 //!   divergent program exits with a budget diagnostic instead of spinning
+//! * `--engine E`  execution engine for `--run`: `reference` (the
+//!   interpreter, default) or `compiled` (bytecode + ring-buffer tapes +
+//!   data-parallel split-joins).  When the compiled engine rejects a
+//!   graph it prints the `E0701` diagnostic to stderr and falls back to
+//!   the reference engine, exiting 0
 //! * `--linear` / `--frequency`  enable the linear optimizer
 //! * `--strict`    fail on verification errors
 //!
@@ -36,10 +41,12 @@
 //! | 5    | runtime error during `--run` (`E04xx`) |
 //! | 6    | resource budget exhausted (`E05xx`) |
 //! | 7    | static-analysis failure (`E06xx`) |
+//! | 8    | engine selection failure (`E0701`; only via the library API —
+//!   the CLI falls back to the reference engine instead) |
 
 use streamit::linear::LinearMode;
 use streamit::rawsim::MachineConfig;
-use streamit::{evaluate_strategies, Compiler, Options};
+use streamit::{evaluate_strategies, Compiler, Engine, Options};
 
 struct Args {
     file: String,
@@ -50,6 +57,7 @@ struct Args {
     schedule: Option<usize>,
     run: Option<usize>,
     budget: u64,
+    engine: Engine,
     strict: bool,
     lint: bool,
 }
@@ -57,7 +65,8 @@ struct Args {
 fn usage() -> ! {
     eprintln!(
         "usage: streamitc <file.str> [--main NAME] [--linear | --frequency] \
-         [--outline] [--dot] [--lint] [--schedule [TILES]] [--run N] [--budget FIRINGS] [--strict]"
+         [--outline] [--dot] [--lint] [--schedule [TILES]] [--run N] [--budget FIRINGS] \
+         [--engine reference|compiled] [--strict]"
     );
     std::process::exit(2);
 }
@@ -72,6 +81,7 @@ fn parse_args() -> Args {
         schedule: None,
         run: None,
         budget: streamit::interp::ExecLimits::default().max_firings,
+        engine: Engine::default(),
         strict: false,
         lint: false,
     };
@@ -107,6 +117,12 @@ fn parse_args() -> Args {
                 args.budget = it
                     .next()
                     .and_then(|s| s.parse::<u64>().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--engine" => {
+                args.engine = it
+                    .next()
+                    .and_then(|s| s.parse::<Engine>().ok())
                     .unwrap_or_else(|| usage());
             }
             "--help" | "-h" => usage(),
@@ -243,15 +259,32 @@ fn main() {
         let input: Vec<f64> = (0..16 * n.max(64))
             .map(|i| (i as f64 * 0.1).sin())
             .collect();
-        match program.run_with_budget(&input, n, args.budget) {
+        // The compiled engine handles a statically provable subset of
+        // graphs; when it declines, report why (E0701) and fall back to
+        // the reference interpreter so `--run` still succeeds.
+        let mut engine = args.engine;
+        if engine == Engine::Compiled {
+            if let Err(e) = program.compile_exec() {
+                let d = streamit::Diag::from(e);
+                eprintln!("streamitc: {d}");
+                eprintln!("streamitc: falling back to the reference engine");
+                engine = Engine::Reference;
+            }
+        }
+        let result = match engine {
+            Engine::Reference => program
+                .run_with_budget(&input, n, args.budget)
+                .map_err(streamit::Diag::from),
+            Engine::Compiled => program.run_with_engine(Engine::Compiled, &input, n),
+        };
+        match result {
             Ok(out) => {
-                println!("\n== first {n} outputs ==");
+                println!("\n== first {n} outputs ({engine} engine) ==");
                 for (i, v) in out.iter().enumerate() {
                     println!("y[{i}] = {v}");
                 }
             }
-            Err(e) => {
-                let d = streamit::Diag::from(e);
+            Err(d) => {
                 eprintln!("streamitc: execution failed: {d}");
                 std::process::exit(d.exit_code());
             }

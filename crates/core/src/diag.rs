@@ -33,6 +33,10 @@
 //! | E0601 | Analysis | work/prework pop or push count disagrees with the declared rate on some path |
 //! | E0602 | Analysis | work/prework requires more input than the declared peek window |
 //! | E0603 | Analysis | peek index not provably non-negative |
+//! | E0701 | Engine   | graph not supported by the compiled engine (fall back to reference) |
+//! | E0702 | Runtime  | compiled-engine fault (rate violation, bounds, division by zero) |
+//! | E0703 | Runtime  | compiled run starved (insufficient external input) |
+//! | E0704 | Runtime  | compiled run requested output from a graph with none |
 //!
 //! Static-analysis *lints* (`L0601`–`L0605`, see
 //! [`streamit_analysis`]) are warnings, not errors: they print but never
@@ -58,6 +62,8 @@ pub enum DiagCategory {
     Budget,
     /// A static-analysis proof obligation failed (exit code 7).
     Analysis,
+    /// The selected execution engine cannot run the graph (exit code 8).
+    Engine,
 }
 
 impl DiagCategory {
@@ -70,6 +76,7 @@ impl DiagCategory {
             DiagCategory::Runtime => 5,
             DiagCategory::Budget => 6,
             DiagCategory::Analysis => 7,
+            DiagCategory::Engine => 8,
         }
     }
 }
@@ -215,6 +222,19 @@ impl From<RuntimeError> for Diag {
     }
 }
 
+impl From<streamit_exec::ExecError> for Diag {
+    fn from(e: streamit_exec::ExecError) -> Diag {
+        use streamit_exec::ExecError;
+        let (code, category) = match &e {
+            ExecError::Unsupported { .. } => ("E0701", DiagCategory::Engine),
+            ExecError::Fault { .. } => ("E0702", DiagCategory::Runtime),
+            ExecError::Starved { .. } => ("E0703", DiagCategory::Runtime),
+            ExecError::NoSteadyOutput => ("E0704", DiagCategory::Runtime),
+        };
+        Diag::new(code, category, e.to_string(), None)
+    }
+}
+
 impl From<CompileError> for Diag {
     fn from(e: CompileError) -> Diag {
         match e {
@@ -277,6 +297,20 @@ mod tests {
         assert_eq!(DiagCategory::Runtime.exit_code(), 5);
         assert_eq!(DiagCategory::Budget.exit_code(), 6);
         assert_eq!(DiagCategory::Analysis.exit_code(), 7);
+        assert_eq!(DiagCategory::Engine.exit_code(), 8);
+    }
+
+    #[test]
+    fn exec_errors_map_to_codes() {
+        let d: Diag = streamit_exec::ExecError::Unsupported {
+            reason: "teleport".into(),
+        }
+        .into();
+        assert_eq!(d.code, "E0701");
+        assert_eq!(d.exit_code(), 8);
+        let d: Diag = streamit_exec::ExecError::Starved { needed: 4, have: 1 }.into();
+        assert_eq!(d.code, "E0703");
+        assert_eq!(d.exit_code(), 5);
     }
 
     #[test]

@@ -11,6 +11,7 @@
 //! | [`graph`] | hierarchical stream IR, work-function IR, flattening, validation, balance equations |
 //! | [`frontend`] | the textual language: lexer, parser, elaborator |
 //! | [`interp`] | reference interpreter (FIFO tapes, teleport portals) |
+//! | [`exec`] | compiled steady-state engine: bytecode work functions, unboxed ring tapes, data-parallel split-joins |
 //! | [`sdep`] | information-wavefront transfer functions, SDEP, teleport semantics, deadlock/overflow verification |
 //! | [`linear`] | linear extraction, combination, frequency translation |
 //! | [`sched`] | work estimation, fusion/fission, the parallelization strategies |
@@ -43,6 +44,7 @@ pub use diag::{Diag, DiagCategory, Span};
 
 pub use streamit_analysis as analysis;
 pub use streamit_apps as apps;
+pub use streamit_exec as exec;
 pub use streamit_frontend as frontend;
 pub use streamit_graph as graph;
 pub use streamit_interp as interp;
@@ -57,6 +59,44 @@ use streamit_linear::{LinearMode, LinearReport};
 use streamit_rawsim::{simulate, simulate_single_core, MachineConfig, SimResult};
 use streamit_sched::{MappedProgram, Strategy, WorkGraph};
 use streamit_sdep::VerifyReport;
+
+/// Which execution engine runs a compiled program.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum Engine {
+    /// The reference tree-walking interpreter (`streamit-interp`):
+    /// handles every program, including teleport messaging, and serves
+    /// as the semantics oracle.
+    #[default]
+    Reference,
+    /// The compiled steady-state engine (`streamit-exec`): bytecode
+    /// work functions, unboxed ring-buffer tapes, and data-parallel
+    /// split-joins.  Rejects graphs outside its statically provable
+    /// subset with an `E0701` diagnostic.
+    Compiled,
+}
+
+impl std::str::FromStr for Engine {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Engine, String> {
+        match s {
+            "reference" => Ok(Engine::Reference),
+            "compiled" => Ok(Engine::Compiled),
+            other => Err(format!(
+                "unknown engine `{other}` (expected `reference` or `compiled`)"
+            )),
+        }
+    }
+}
+
+impl std::fmt::Display for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Engine::Reference => write!(f, "reference"),
+            Engine::Compiled => write!(f, "compiled"),
+        }
+    }
+}
 
 /// Compiler options.
 #[derive(Debug, Clone, Copy, Default)]
@@ -238,6 +278,42 @@ impl CompiledProgram {
             .iter()
             .map(|v| v.as_f64())
             .collect())
+    }
+
+    /// Compile the flat graph for the steady-state execution engine.
+    /// Fails with [`exec::ExecError::Unsupported`] when the graph is
+    /// outside the engine's statically provable subset — teleport
+    /// portals, unanalyzable work functions, multiple external I/O
+    /// sites, under-primed feedback loops.
+    pub fn compile_exec(&self) -> Result<exec::CompiledGraph, exec::ExecError> {
+        if !self.portals.is_empty() {
+            return Err(exec::ExecError::Unsupported {
+                reason: "teleport portals require the reference interpreter".into(),
+            });
+        }
+        exec::CompiledGraph::compile(&self.flat, self.stream.input_type())
+    }
+
+    /// Execute on the selected engine, returning `n` outputs.  Both
+    /// engines produce the same deterministic stream (Kahn semantics),
+    /// so the result is bit-identical whenever the compiled engine
+    /// accepts the graph.
+    pub fn run_with_engine(
+        &self,
+        engine: Engine,
+        input: &[f64],
+        n: usize,
+    ) -> Result<Vec<f64>, Diag> {
+        match engine {
+            Engine::Reference => self.run(input, n).map_err(Diag::from),
+            Engine::Compiled => {
+                let cg = self.compile_exec()?;
+                let threads = std::thread::available_parallelism()
+                    .map(usize::from)
+                    .unwrap_or(1);
+                cg.run_collect(input, n, threads).map_err(Diag::from)
+            }
+        }
     }
 
     /// Hard static-analysis findings as typed diagnostics (exit code 7),

@@ -1,0 +1,487 @@
+//! The steady-state runtime: register frames, shards, the bytecode
+//! dispatch loop, and the op executor.
+//!
+//! A [`Shard`] owns a set of tapes and filter frames.  Shard 0 holds the
+//! external streams and every serial-stage resource; each split-join
+//! branch owns one further shard so a worker thread can borrow it
+//! disjointly.  Ops address resources by [`Loc`]; `run_ops` resolves
+//! them against a shard slice starting at `base`, which lets the same
+//! code run the serial stages (full slice, base 0) and a worker's chunk
+//! (sub-slice, shifted base).
+
+use std::mem;
+
+use streamit_graph::{DataType, Intrinsic, Value};
+
+use crate::bytecode::{FilterCode, Inst, Program};
+use crate::plan::{Loc, Op, Plan};
+use crate::tape::{move_items, Raw, Tape};
+use crate::ExecError;
+
+/// Backward jumps allowed per firing — the analogue of the reference
+/// machine's per-firing statement budget, so runaway loop bounds fault
+/// instead of hanging.
+const MAX_BACK_JUMPS: u64 = 50_000_000;
+
+/// One filter instance's mutable storage: the two register banks and
+/// the two array arenas.  Persistent state lives in pinned low
+/// registers / arena ranges and survives across firings; everything
+/// else is scratch the bytecode re-writes before reading.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct Frame {
+    pub i: Vec<i64>,
+    pub f: Vec<f64>,
+    pub ai: Vec<i64>,
+    pub af: Vec<f64>,
+}
+
+impl Frame {
+    pub fn new(fc: &FilterCode) -> Frame {
+        let mut fr = Frame {
+            i: vec![0; fc.n_i as usize],
+            f: vec![0.0; fc.n_f as usize],
+            ai: vec![0; fc.arena_i as usize],
+            af: vec![0.0; fc.arena_f as usize],
+        };
+        for &(r, v) in &fc.init_i {
+            fr.i[r as usize] = v;
+        }
+        for &(r, v) in &fc.init_f {
+            fr.f[r as usize] = v;
+        }
+        for (base, vs) in &fc.init_ai {
+            fr.ai[*base as usize..*base as usize + vs.len()].copy_from_slice(vs);
+        }
+        for (base, vs) in &fc.init_af {
+            fr.af[*base as usize..*base as usize + vs.len()].copy_from_slice(vs);
+        }
+        fr
+    }
+}
+
+/// A disjointly borrowable bundle of tapes and frames.
+#[derive(Debug)]
+pub(crate) struct Shard {
+    pub tapes: Vec<Tape>,
+    pub frames: Vec<Frame>,
+}
+
+/// Materialize the run's shards: external input preloaded (coerced per
+/// the plan's input type, like the reference machine's feed), external
+/// output sized for the requested iterations, every channel tape sized
+/// by the count simulation and preloaded with its initial items.
+pub(crate) fn build_shards(plan: &Plan, input: &[f64], out_cap: u64) -> Vec<Shard> {
+    plan.tapes
+        .iter()
+        .enumerate()
+        .map(|(s, specs)| {
+            let tapes = specs
+                .iter()
+                .enumerate()
+                .map(|(slot, spec)| {
+                    if s == 0 && slot == 0 {
+                        let mut t = Tape::with_capacity(plan.input_ty, input.len() as u64);
+                        for &v in input {
+                            let _ = match plan.input_ty {
+                                DataType::Int => t.push_i(v as i64),
+                                DataType::Float => t.push_f(v),
+                            };
+                        }
+                        t
+                    } else if s == 0 && slot == 1 {
+                        Tape::with_capacity(DataType::Float, out_cap)
+                    } else {
+                        let mut t = Tape::with_capacity(spec.ty, spec.cap);
+                        for v in &spec.initial {
+                            let _ = match v {
+                                Value::Int(x) => t.push_i(*x),
+                                Value::Float(x) => t.push_f(*x),
+                            };
+                        }
+                        t
+                    }
+                })
+                .collect();
+            let frames = plan.frames[s]
+                .iter()
+                .map(|&c| Frame::new(&plan.codes[c as usize]))
+                .collect();
+            Shard { tapes, frames }
+        })
+        .collect()
+}
+
+#[inline]
+fn take_tape(shards: &mut [Shard], loc: Loc, base: u16) -> Tape {
+    mem::replace(
+        &mut shards[(loc.shard - base) as usize].tapes[loc.slot as usize],
+        Tape::placeholder(),
+    )
+}
+
+#[inline]
+fn put_tape(shards: &mut [Shard], loc: Loc, base: u16, t: Tape) {
+    shards[(loc.shard - base) as usize].tapes[loc.slot as usize] = t;
+}
+
+/// Execute one firing of a lowered body against a frame and its tapes.
+/// Dynamic checks mirror the reference interpreter's runtime errors:
+/// negative peek index, tape underflow, array bounds, division by zero,
+/// and the post-firing declared-rate check.
+fn exec_program(
+    prog: &Program,
+    fr: &mut Frame,
+    input: Option<&mut Tape>,
+    mut output: Option<&mut Tape>,
+) -> Result<(), String> {
+    let code = &prog.code[..];
+    let mut pc = 0usize;
+    let mut pops: u64 = 0;
+    let mut pushes: u64 = 0;
+    let mut back_jumps: u64 = 0;
+
+    macro_rules! jump {
+        ($t:expr) => {{
+            let t = $t as usize;
+            if t <= pc {
+                back_jumps += 1;
+                if back_jumps > MAX_BACK_JUMPS {
+                    return Err("per-firing iteration budget exhausted".into());
+                }
+            }
+            pc = t;
+            continue;
+        }};
+    }
+
+    while pc < code.len() {
+        match code[pc] {
+            Inst::ConstI { d, v } => fr.i[d as usize] = v,
+            Inst::ConstF { d, v } => fr.f[d as usize] = v,
+            Inst::MovI { d, s } => fr.i[d as usize] = fr.i[s as usize],
+            Inst::MovF { d, s } => fr.f[d as usize] = fr.f[s as usize],
+            Inst::CastIF { d, s } => fr.f[d as usize] = fr.i[s as usize] as f64,
+            Inst::CastFI { d, s } => fr.i[d as usize] = fr.f[s as usize] as i64,
+            Inst::BinI { op, d, a, b } => {
+                let (a, b) = (fr.i[a as usize], fr.i[b as usize]);
+                fr.i[d as usize] = int_binop(op, a, b)?;
+            }
+            Inst::ArithF { op, d, a, b } => {
+                let (a, b) = (fr.f[a as usize], fr.f[b as usize]);
+                fr.f[d as usize] = match op {
+                    streamit_graph::BinOp::Add => a + b,
+                    streamit_graph::BinOp::Sub => a - b,
+                    streamit_graph::BinOp::Mul => a * b,
+                    streamit_graph::BinOp::Div => a / b,
+                    streamit_graph::BinOp::Rem => a % b,
+                    _ => return Err("non-arithmetic op in ArithF".into()),
+                };
+            }
+            Inst::CmpF { op, d, a, b } => {
+                let (a, b) = (fr.f[a as usize], fr.f[b as usize]);
+                fr.i[d as usize] = match op {
+                    streamit_graph::BinOp::Eq => (a == b) as i64,
+                    streamit_graph::BinOp::Ne => (a != b) as i64,
+                    streamit_graph::BinOp::Lt => (a < b) as i64,
+                    streamit_graph::BinOp::Le => (a <= b) as i64,
+                    streamit_graph::BinOp::Gt => (a > b) as i64,
+                    streamit_graph::BinOp::Ge => (a >= b) as i64,
+                    _ => return Err("non-comparison op in CmpF".into()),
+                };
+            }
+            Inst::NegI { d, s } => fr.i[d as usize] = fr.i[s as usize].wrapping_neg(),
+            Inst::NegF { d, s } => fr.f[d as usize] = -fr.f[s as usize],
+            Inst::NotI { d, s } => fr.i[d as usize] = (fr.i[s as usize] == 0) as i64,
+            Inst::NotF { d, s } => fr.i[d as usize] = (fr.f[s as usize] == 0.0) as i64,
+            Inst::BitNotI { d, s } => fr.i[d as usize] = !fr.i[s as usize],
+            Inst::TruthyF { d, s } => fr.i[d as usize] = (fr.f[s as usize] != 0.0) as i64,
+            Inst::Call1F { g, d, s } => {
+                let x = fr.f[s as usize];
+                fr.f[d as usize] = match g {
+                    Intrinsic::Sin => x.sin(),
+                    Intrinsic::Cos => x.cos(),
+                    Intrinsic::Tan => x.tan(),
+                    Intrinsic::Atan => x.atan(),
+                    Intrinsic::Sqrt => x.sqrt(),
+                    Intrinsic::Exp => x.exp(),
+                    Intrinsic::Log => x.ln(),
+                    Intrinsic::Floor => x.floor(),
+                    Intrinsic::Ceil => x.ceil(),
+                    Intrinsic::Round => x.round(),
+                    _ => return Err("non-unary intrinsic in Call1F".into()),
+                };
+            }
+            Inst::AbsI { d, s } => fr.i[d as usize] = fr.i[s as usize].wrapping_abs(),
+            Inst::AbsF { d, s } => fr.f[d as usize] = fr.f[s as usize].abs(),
+            Inst::PowF { d, a, b } => fr.f[d as usize] = fr.f[a as usize].powf(fr.f[b as usize]),
+            Inst::MinMaxI { max, d, a, b } => {
+                let (a, b) = (fr.i[a as usize], fr.i[b as usize]);
+                fr.i[d as usize] = if max { a.max(b) } else { a.min(b) };
+            }
+            Inst::MinMaxF { max, d, a, b } => {
+                let (a, b) = (fr.f[a as usize], fr.f[b as usize]);
+                fr.f[d as usize] = if max { a.max(b) } else { a.min(b) };
+            }
+            Inst::LoadI { d, base, len, idx } => {
+                let k = arena_index(fr.i[idx as usize], len)?;
+                fr.i[d as usize] = fr.ai[base as usize + k];
+            }
+            Inst::LoadF { d, base, len, idx } => {
+                let k = arena_index(fr.i[idx as usize], len)?;
+                fr.f[d as usize] = fr.af[base as usize + k];
+            }
+            Inst::StoreI { base, len, idx, s } => {
+                let k = arena_index(fr.i[idx as usize], len)?;
+                fr.ai[base as usize + k] = fr.i[s as usize];
+            }
+            Inst::StoreF { base, len, idx, s } => {
+                let k = arena_index(fr.i[idx as usize], len)?;
+                fr.af[base as usize + k] = fr.f[s as usize];
+            }
+            Inst::ZeroI { base, len } => {
+                fr.ai[base as usize..(base + len) as usize].fill(0);
+            }
+            Inst::ZeroF { base, len } => {
+                fr.af[base as usize..(base + len) as usize].fill(0.0);
+            }
+            Inst::PeekI { d, idx } => {
+                let k = peek_offset(fr.i[idx as usize], pops)?;
+                match input.as_deref() {
+                    Some(Tape::I(r)) => {
+                        fr.i[d as usize] = r.get(k).ok_or("peek beyond available input")?;
+                    }
+                    _ => return Err("int peek on non-int tape".into()),
+                }
+            }
+            Inst::PeekF { d, idx } => {
+                let k = peek_offset(fr.i[idx as usize], pops)?;
+                match input.as_deref() {
+                    Some(Tape::F(r)) => {
+                        fr.f[d as usize] = r.get(k).ok_or("peek beyond available input")?;
+                    }
+                    _ => return Err("float peek on non-float tape".into()),
+                }
+            }
+            Inst::PopI { d } => match input.as_deref() {
+                Some(Tape::I(r)) => {
+                    fr.i[d as usize] = r.get(pops).ok_or("pop from empty tape")?;
+                    pops += 1;
+                }
+                _ => return Err("int pop on non-int tape".into()),
+            },
+            Inst::PopF { d } => match input.as_deref() {
+                Some(Tape::F(r)) => {
+                    fr.f[d as usize] = r.get(pops).ok_or("pop from empty tape")?;
+                    pops += 1;
+                }
+                _ => return Err("float pop on non-float tape".into()),
+            },
+            Inst::PushI { s } => {
+                let out = output.as_deref_mut().ok_or("push without output tape")?;
+                out.push_i(fr.i[s as usize])
+                    .map_err(|()| "output tape capacity exceeded")?;
+                pushes += 1;
+            }
+            Inst::PushF { s } => {
+                let out = output.as_deref_mut().ok_or("push without output tape")?;
+                out.push_f(fr.f[s as usize])
+                    .map_err(|()| "output tape capacity exceeded")?;
+                pushes += 1;
+            }
+            Inst::Jmp { target } => jump!(target),
+            Inst::Jz { c, target } => {
+                if fr.i[c as usize] == 0 {
+                    jump!(target);
+                }
+            }
+        }
+        pc += 1;
+    }
+
+    if pops != prog.rates.pop || pushes != prog.rates.push {
+        return Err(format!(
+            "rate violation: declared pop {} push {}, performed pop {pops} push {pushes}",
+            prog.rates.pop, prog.rates.push
+        ));
+    }
+    if let Some(t) = input {
+        t.advance(pops);
+    }
+    Ok(())
+}
+
+#[inline]
+fn int_binop(op: streamit_graph::BinOp, a: i64, b: i64) -> Result<i64, String> {
+    use streamit_graph::BinOp;
+    Ok(match op {
+        BinOp::Add => a.wrapping_add(b),
+        BinOp::Sub => a.wrapping_sub(b),
+        BinOp::Mul => a.wrapping_mul(b),
+        BinOp::Div => a.checked_div(b).ok_or("division by zero")?,
+        BinOp::Rem => a.checked_rem(b).ok_or("division by zero")?,
+        BinOp::Eq => (a == b) as i64,
+        BinOp::Ne => (a != b) as i64,
+        BinOp::Lt => (a < b) as i64,
+        BinOp::Le => (a <= b) as i64,
+        BinOp::Gt => (a > b) as i64,
+        BinOp::Ge => (a >= b) as i64,
+        BinOp::And => ((a != 0) && (b != 0)) as i64,
+        BinOp::Or => ((a != 0) || (b != 0)) as i64,
+        BinOp::BitAnd => a & b,
+        BinOp::BitOr => a | b,
+        BinOp::BitXor => a ^ b,
+        BinOp::Shl => a.wrapping_shl(b as u32),
+        BinOp::Shr => a.wrapping_shr(b as u32),
+    })
+}
+
+#[inline]
+fn arena_index(ix: i64, len: u32) -> Result<usize, String> {
+    if ix < 0 || ix as u64 >= len as u64 {
+        Err(format!("array index {ix} out of bounds (len {len})"))
+    } else {
+        Ok(ix as usize)
+    }
+}
+
+#[inline]
+fn peek_offset(ix: i64, pops: u64) -> Result<u64, String> {
+    if ix < 0 {
+        Err(format!("peek at negative index {ix}"))
+    } else {
+        Ok(pops + ix as u64)
+    }
+}
+
+/// Execute a flat op list against a shard slice whose first element is
+/// shard `base`.
+pub(crate) fn run_ops(
+    ops: &[Op],
+    shards: &mut [Shard],
+    base: u16,
+    codes: &[FilterCode],
+) -> Result<(), ExecError> {
+    let fault = |node: &str, reason: String| ExecError::Fault {
+        node: node.to_string(),
+        reason,
+    };
+    for op in ops {
+        match op {
+            Op::Work {
+                code,
+                frame,
+                input,
+                output,
+                prework,
+                times,
+            } => {
+                let fc = &codes[*code as usize];
+                let prog = if *prework {
+                    fc.prework
+                        .as_ref()
+                        .ok_or_else(|| fault(&fc.name, "missing prework body".into()))?
+                } else {
+                    &fc.work
+                };
+                let mut in_t = input.map(|l| take_tape(shards, l, base));
+                let mut out_t = output.map(|l| take_tape(shards, l, base));
+                let fl = (frame.shard - base) as usize;
+                let mut fr = mem::take(&mut shards[fl].frames[frame.slot as usize]);
+                let mut res = Ok(());
+                for _ in 0..*times {
+                    if let Err(e) = exec_program(prog, &mut fr, in_t.as_mut(), out_t.as_mut()) {
+                        res = Err(e);
+                        break;
+                    }
+                }
+                shards[fl].frames[frame.slot as usize] = fr;
+                if let (Some(l), Some(t)) = (*input, in_t) {
+                    put_tape(shards, l, base, t);
+                }
+                if let (Some(l), Some(t)) = (*output, out_t) {
+                    put_tape(shards, l, base, t);
+                }
+                res.map_err(|reason| fault(&fc.name, reason))?;
+            }
+            Op::Dup {
+                input,
+                outputs,
+                times,
+            } => {
+                let mut src = take_tape(shards, *input, base);
+                let mut outs: Vec<Tape> = outputs
+                    .iter()
+                    .map(|&l| take_tape(shards, l, base))
+                    .collect();
+                let mut res = Ok(());
+                'firing: for _ in 0..*times {
+                    let Some(v) = src.front() else {
+                        res = Err("duplicate splitter input underflow".to_string());
+                        break;
+                    };
+                    src.advance(1);
+                    for o in &mut outs {
+                        if o.push_raw(v).is_err() {
+                            res = Err("duplicate splitter output overflow".to_string());
+                            break 'firing;
+                        }
+                    }
+                }
+                put_tape(shards, *input, base, src);
+                for (&l, t) in outputs.iter().zip(outs) {
+                    put_tape(shards, l, base, t);
+                }
+                res.map_err(|reason| fault("duplicate splitter", reason))?;
+            }
+            Op::Moves { moves, times } => {
+                for _ in 0..*times {
+                    for m in moves.iter() {
+                        let mut s = take_tape(shards, m.src, base);
+                        let mut d = take_tape(shards, m.dst, base);
+                        let r = move_items(&mut s, &mut d, m.n as u64);
+                        put_tape(shards, m.src, base, s);
+                        put_tape(shards, m.dst, base, d);
+                        r.map_err(|reason| fault("roundrobin", reason))?;
+                    }
+                }
+            }
+            Op::Combine {
+                inputs,
+                output,
+                times,
+            } => {
+                let mut ins: Vec<Tape> =
+                    inputs.iter().map(|&l| take_tape(shards, l, base)).collect();
+                let mut out = take_tape(shards, *output, base);
+                let mut res = Ok(());
+                'combine: for _ in 0..*times {
+                    let mut acc: Option<Raw> = None;
+                    for t in &mut ins {
+                        let Some(v) = t.front() else {
+                            res = Err("combine joiner input underflow".to_string());
+                            break 'combine;
+                        };
+                        t.advance(1);
+                        acc = Some(match acc {
+                            None => v,
+                            Some(Raw::I(a)) => Raw::I(a.wrapping_add(v.as_i64())),
+                            Some(Raw::F(a)) => Raw::F(a + v.as_f64()),
+                        });
+                    }
+                    if let Some(v) = acc {
+                        if out.push_raw(v).is_err() {
+                            res = Err("combine joiner output overflow".to_string());
+                            break;
+                        }
+                    }
+                }
+                for (&l, t) in inputs.iter().zip(ins) {
+                    put_tape(shards, l, base, t);
+                }
+                put_tape(shards, *output, base, out);
+                res.map_err(|reason| fault("combine joiner", reason))?;
+            }
+        }
+    }
+    Ok(())
+}

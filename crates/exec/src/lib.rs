@@ -1,0 +1,281 @@
+//! # streamit-exec
+//!
+//! The compiled steady-state execution engine: an alternative to the
+//! reference tree-walking interpreter (`streamit-interp`) that trades
+//! generality for throughput while staying *bit-identical* on the
+//! programs it accepts.
+//!
+//! Compilation ([`CompiledGraph::compile`]) lowers every work function
+//! to flat register bytecode, replaces every `VecDeque<Value>` channel
+//! with a monomorphic unboxed ring-buffer tape sized by a count
+//! simulation of the schedule, and freezes the steady-state schedule
+//! into flat op arrays (splitter/joiner firings become bulk slice
+//! moves).  Running `k` steady iterations is then a loop over those
+//! arrays with no per-item boxing, no hashing, and no allocation.
+//! Uniform split-join branches can additionally fan out across scoped
+//! worker threads — the paper's data-parallelism story on real cores.
+//!
+//! Graphs outside the engine's statically provable subset (teleport
+//! messaging, work functions the analysis cannot bound, multiple
+//! external I/O sites, under-primed feedback loops) are rejected with
+//! [`ExecError::Unsupported`]; callers fall back to the reference
+//! interpreter, which remains the semantics oracle.
+
+mod bytecode;
+mod engine;
+mod parallel;
+mod plan;
+mod tape;
+
+use std::fmt;
+
+use streamit_graph::{DataType, FlatGraph};
+
+use crate::tape::Tape;
+
+/// Why a compiled run could not proceed (or produce).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExecError {
+    /// The graph uses features the compiled engine does not support;
+    /// callers should fall back to the reference interpreter.
+    Unsupported { reason: String },
+    /// A runtime fault during execution (rate violation, division by
+    /// zero, array bounds, tape underflow) — the same classes of error
+    /// the reference interpreter reports.
+    Fault { node: String, reason: String },
+    /// Not enough external input items for the requested iterations.
+    Starved { needed: u64, have: u64 },
+    /// More output was requested than the graph can ever produce (its
+    /// steady state emits nothing).
+    NoSteadyOutput,
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::Unsupported { reason } => {
+                write!(f, "graph not supported by compiled engine: {reason}")
+            }
+            ExecError::Fault { node, reason } => write!(f, "fault in `{node}`: {reason}"),
+            ExecError::Starved { needed, have } => {
+                write!(f, "insufficient input: need {needed} items, have {have}")
+            }
+            ExecError::NoSteadyOutput => write!(f, "graph produces no steady-state output"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+/// A graph compiled for steady-state execution.  Immutable and
+/// shareable: every run materializes its own tapes and frames.
+#[derive(Debug, Clone)]
+pub struct CompiledGraph {
+    plan: plan::Plan,
+}
+
+impl CompiledGraph {
+    /// Compile a flat graph.  `input_ty` is the element type of the
+    /// external input stream (defaults to `Float`, matching how the
+    /// reference machine is fed by `CompiledProgram::run`).
+    pub fn compile(g: &FlatGraph, input_ty: Option<DataType>) -> Result<CompiledGraph, ExecError> {
+        let ty = input_ty.unwrap_or(DataType::Float);
+        plan::build_plan(g, ty)
+            .map(|plan| CompiledGraph { plan })
+            .map_err(|reason| ExecError::Unsupported { reason })
+    }
+
+    /// External input items that must be provided to run `k` steady
+    /// iterations (peek windows can require more than is consumed).
+    pub fn required_input(&self, k: u64) -> u64 {
+        let s = &self.plan.stats;
+        if k == 0 {
+            s.init_in_required
+        } else {
+            s.init_in_required
+                .max(s.init_in + (k - 1) * s.round_in + s.round_in_required)
+        }
+    }
+
+    /// External output items produced by the initialization phase.
+    pub fn init_outputs(&self) -> u64 {
+        self.plan.stats.init_out
+    }
+
+    /// External output items produced per steady iteration.
+    pub fn outputs_per_iteration(&self) -> u64 {
+        self.plan.stats.round_out
+    }
+
+    /// External input items consumed per steady iteration.
+    pub fn inputs_per_iteration(&self) -> u64 {
+        self.plan.stats.round_in
+    }
+
+    /// Number of data-parallel split-join branches the plan can fan out
+    /// across worker threads (0 means fully serial).
+    pub fn parallel_branches(&self) -> usize {
+        self.plan.branch_ops.len()
+    }
+
+    /// Run initialization plus `k` steady iterations and return the
+    /// external output stream (as `f64`, the reference engine's output
+    /// convention).  `threads > 1` fans split-join branches across that
+    /// many scoped workers; the result is identical for any value.
+    pub fn run_steady(&self, input: &[f64], k: u64, threads: usize) -> Result<Vec<f64>, ExecError> {
+        let needed = self.required_input(k);
+        if (input.len() as u64) < needed {
+            return Err(ExecError::Starved {
+                needed,
+                have: input.len() as u64,
+            });
+        }
+        let out_cap = (self.plan.stats.init_out + k * self.plan.stats.round_out).max(1);
+        let mut shards = engine::build_shards(&self.plan, input, out_cap);
+        engine::run_ops(&self.plan.init_ops, &mut shards, 0, &self.plan.codes)?;
+        for _ in 0..k {
+            parallel::run_round(&self.plan, &mut shards, threads)?;
+        }
+        match &shards[0].tapes[1] {
+            Tape::F(r) => Ok(r.to_vec()),
+            Tape::I(_) => Err(ExecError::Fault {
+                node: "output".into(),
+                reason: "external output tape has wrong type".into(),
+            }),
+        }
+    }
+
+    /// Run enough steady iterations to produce at least `n` output
+    /// items, returning exactly the first `n` (the deterministic prefix
+    /// shared with the reference interpreter).
+    pub fn run_collect(
+        &self,
+        input: &[f64],
+        n: usize,
+        threads: usize,
+    ) -> Result<Vec<f64>, ExecError> {
+        let s = &self.plan.stats;
+        let k = if n as u64 <= s.init_out {
+            0
+        } else if s.round_out == 0 {
+            return Err(ExecError::NoSteadyOutput);
+        } else {
+            (n as u64 - s.init_out).div_ceil(s.round_out)
+        };
+        let mut out = self.run_steady(input, k, threads)?;
+        out.truncate(n);
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use streamit_graph::builder::*;
+    use streamit_graph::DataType;
+
+    fn counter_source(name: &str) -> streamit_graph::StreamNode {
+        FilterBuilder::source(name, DataType::Int)
+            .rates(0, 0, 1)
+            .state("i", DataType::Int, streamit_graph::Value::Int(0))
+            .work(|b| b.push(var("i")).set("i", var("i") + lit(1i64)))
+            .build_node()
+    }
+
+    fn doubler(name: &str) -> streamit_graph::StreamNode {
+        FilterBuilder::new(name, DataType::Int)
+            .rates(1, 1, 1)
+            .work(|b| b.push(pop() * lit(2i64)))
+            .build_node()
+    }
+
+    #[test]
+    fn compiles_and_runs_a_pipeline() {
+        let s = pipeline("p", vec![counter_source("src"), doubler("x2")]);
+        let g = streamit_graph::FlatGraph::from_stream(&s);
+        let c = CompiledGraph::compile(&g, None).expect("supported");
+        assert_eq!(c.required_input(10), 0);
+        assert_eq!(c.outputs_per_iteration(), 1);
+        let out = c.run_steady(&[], 5, 1).expect("runs");
+        assert_eq!(out, vec![0.0, 2.0, 4.0, 6.0, 8.0]);
+    }
+
+    #[test]
+    fn peek_window_raises_required_input() {
+        // peek 3 / pop 1: one iteration consumes 1 item but must see 3.
+        let f = FilterBuilder::new("avg", DataType::Float)
+            .rates(3, 1, 1)
+            .work(|b| {
+                b.push((peek(lit(0i64)) + peek(lit(1i64)) + peek(lit(2i64))) / lit(3.0))
+                    .pop_discard()
+            })
+            .build_node();
+        let g = streamit_graph::FlatGraph::from_stream(&f);
+        let c = CompiledGraph::compile(&g, None).expect("supported");
+        assert_eq!(c.required_input(1), 3);
+        assert_eq!(c.required_input(4), 6);
+        let out = c.run_steady(&[1.0, 2.0, 3.0, 4.0], 2, 1).expect("runs");
+        assert_eq!(out, vec![2.0, 3.0]);
+    }
+
+    #[test]
+    fn split_join_branches_run_identically_threaded() {
+        let branch = |name: &str, k: i64| {
+            FilterBuilder::new(name, DataType::Int)
+                .rates(1, 1, 1)
+                .work(move |b| b.push(pop() * lit(k)))
+                .build_node()
+        };
+        let s = pipeline(
+            "p",
+            vec![
+                counter_source("src"),
+                splitjoin(
+                    "sj",
+                    streamit_graph::Splitter::Duplicate,
+                    vec![branch("a", 3), branch("b", 5)],
+                    streamit_graph::Joiner::round_robin(2),
+                ),
+            ],
+        );
+        let g = streamit_graph::FlatGraph::from_stream(&s);
+        let c = CompiledGraph::compile(&g, None).expect("supported");
+        assert_eq!(c.parallel_branches(), 2);
+        let serial = c.run_steady(&[], 8, 1).expect("serial runs");
+        let threaded = c.run_steady(&[], 8, 4).expect("threaded runs");
+        assert_eq!(serial, threaded);
+        assert_eq!(&serial[..4], &[0.0, 0.0, 3.0, 5.0]);
+    }
+
+    #[test]
+    fn teleport_send_is_unsupported() {
+        let f = FilterBuilder::new("sender", DataType::Int)
+            .rates(1, 1, 1)
+            .work(|b| {
+                let b = b.push(pop());
+                b.send("portal", "set", vec![lit(1i64)], (0, 0))
+            })
+            .build_node();
+        let g = streamit_graph::FlatGraph::from_stream(&f);
+        match CompiledGraph::compile(&g, Some(DataType::Int)) {
+            Err(ExecError::Unsupported { reason }) => {
+                assert!(reason.contains("teleport"), "reason: {reason}")
+            }
+            other => panic!("expected Unsupported, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn starved_run_is_reported() {
+        let f = FilterBuilder::new("id", DataType::Float)
+            .rates(1, 1, 1)
+            .work(|b| b.push(pop()))
+            .build_node();
+        let g = streamit_graph::FlatGraph::from_stream(&f);
+        let c = CompiledGraph::compile(&g, None).expect("supported");
+        match c.run_steady(&[1.0], 3, 1) {
+            Err(ExecError::Starved { needed: 3, have: 1 }) => {}
+            other => panic!("expected Starved, got {other:?}"),
+        }
+    }
+}

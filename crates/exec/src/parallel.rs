@@ -1,0 +1,79 @@
+//! Steady-round driver: serial pre stage, data-parallel branch stages,
+//! serial post stage.
+//!
+//! Branch ops only touch their own shard (the planner placed every
+//! branch-local tape and frame there), so the branch shards can be
+//! chunked across `std::thread::scope` workers with disjoint `&mut`
+//! borrows — no locks, no atomics, and a deterministic result because
+//! branches share no data.
+
+use crate::bytecode::FilterCode;
+use crate::engine::{run_ops, Shard};
+use crate::plan::{Op, Plan};
+use crate::ExecError;
+
+/// Run one steady round.  `threads <= 1` (or a single branch) runs the
+/// branch stages serially on the caller's thread.
+pub(crate) fn run_round(
+    plan: &Plan,
+    shards: &mut [Shard],
+    threads: usize,
+) -> Result<(), ExecError> {
+    run_ops(&plan.pre_ops, shards, 0, &plan.codes)?;
+    run_branches(&plan.branch_ops, shards, threads, &plan.codes)?;
+    run_ops(&plan.post_ops, shards, 0, &plan.codes)
+}
+
+fn run_branches(
+    branch_ops: &[Vec<Op>],
+    shards: &mut [Shard],
+    threads: usize,
+    codes: &[FilterCode],
+) -> Result<(), ExecError> {
+    let nb = branch_ops.len();
+    if nb == 0 {
+        return Ok(());
+    }
+    if threads <= 1 || nb < 2 {
+        for ops in branch_ops {
+            run_ops(ops, shards, 0, codes)?;
+        }
+        return Ok(());
+    }
+
+    let workers = threads.min(nb);
+    let chunk = nb.div_ceil(workers);
+    // Shard 0 stays with the serial stages; shard b+1 belongs to branch b.
+    let (_, branch_shards) = shards.split_at_mut(1);
+    let results: Vec<Result<(), ExecError>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = branch_shards
+            .chunks_mut(chunk)
+            .zip(branch_ops.chunks(chunk))
+            .enumerate()
+            .map(|(ci, (sh, ops))| {
+                scope.spawn(move || -> Result<(), ExecError> {
+                    let base = (1 + ci * chunk) as u16;
+                    for branch in ops {
+                        run_ops(branch, sh, base, codes)?;
+                    }
+                    Ok(())
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| {
+                h.join().unwrap_or_else(|_| {
+                    Err(ExecError::Fault {
+                        node: "worker".into(),
+                        reason: "branch worker panicked".into(),
+                    })
+                })
+            })
+            .collect()
+    });
+    for r in results {
+        r?;
+    }
+    Ok(())
+}

@@ -1,0 +1,1009 @@
+//! Static compilation of a flat graph into a firing plan.
+//!
+//! The planner runs once per graph and produces a [`Plan`]: lowered
+//! bytecode for every filter, a tape slot for every channel, a replayable
+//! initialization op sequence (prework firings plus any priming the
+//! steady round needs), and the steady-round ops split into a serial
+//! *pre* stage, independent *branch* stages (one per split-join branch,
+//! eligible for data-parallel execution), and a serial *post* stage.
+//!
+//! Everything schedule-shaped is resolved here — at run time the engine
+//! only walks flat op arrays.  A count simulation over the ops proves
+//! the round is steady (occupancy returns to its post-init snapshot),
+//! sizes every tape to its maximum simulated occupancy, and derives how
+//! many external input items `k` iterations require.
+
+use std::collections::HashSet;
+
+use streamit_analysis::{analyze_filter, Severity};
+use streamit_graph::{
+    repetition_vector, DataType, EdgeId, FlatGraph, FlatNodeKind, Joiner, NodeId, Splitter,
+};
+
+use crate::bytecode::{initial_items_typed, lower_filter, FilterCode, Rates};
+
+/// Address of a tape or frame: which shard owns it, and the index inside
+/// that shard.  Shard 0 is the serial shard; shard `b + 1` holds branch
+/// `b`'s tapes and frames so a worker thread can borrow them disjointly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct Loc {
+    pub shard: u16,
+    pub slot: u16,
+}
+
+/// Shard-0 slot 0 is always the external input tape.
+pub(crate) const EXT_IN: Loc = Loc { shard: 0, slot: 0 };
+/// Shard-0 slot 1 is always the external output tape.
+pub(crate) const EXT_OUT: Loc = Loc { shard: 0, slot: 1 };
+
+/// One bulk move inside a [`Op::Moves`] firing: `n` items from the front
+/// of `src` to the tail of `dst`, in spec order within each firing.
+#[derive(Debug, Clone)]
+pub(crate) struct MoveSpec {
+    pub src: Loc,
+    pub dst: Loc,
+    pub n: u32,
+}
+
+/// One schedule entry: fire a node `times` times.
+#[derive(Debug, Clone)]
+pub(crate) enum Op {
+    /// Run a filter's bytecode against its input/output tapes.
+    Work {
+        code: u32,
+        frame: Loc,
+        input: Option<Loc>,
+        output: Option<Loc>,
+        prework: bool,
+        times: u32,
+    },
+    /// Duplicate splitter: one item in, a copy to every output, per firing.
+    Dup {
+        input: Loc,
+        outputs: Box<[Loc]>,
+        times: u32,
+    },
+    /// Round-robin splitter/joiner: weighted bulk moves, per firing.
+    Moves { moves: Box<[MoveSpec]>, times: u32 },
+    /// Combine joiner: element-wise sum of one item per input, per firing.
+    Combine {
+        inputs: Box<[Loc]>,
+        output: Loc,
+        times: u32,
+    },
+}
+
+impl Op {
+    pub fn times(&self) -> u32 {
+        match self {
+            Op::Work { times, .. }
+            | Op::Dup { times, .. }
+            | Op::Moves { times, .. }
+            | Op::Combine { times, .. } => *times,
+        }
+    }
+}
+
+/// Static description of one tape slot.  `cap` is the maximum occupancy
+/// the count simulation observed; the external slots keep `cap == 0`
+/// because the engine sizes them from the actual run parameters.
+#[derive(Debug, Clone)]
+pub(crate) struct TapeSpec {
+    pub ty: DataType,
+    pub cap: u64,
+    pub initial: Vec<streamit_graph::Value>,
+}
+
+/// External-stream accounting derived by the count simulation.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct Stats {
+    /// Input items consumed by the initialization ops.
+    pub init_in: u64,
+    /// Input items that must be present before initialization (peeks may
+    /// require more than are consumed).
+    pub init_in_required: u64,
+    /// Input items consumed per steady round.
+    pub round_in: u64,
+    /// Input items that must be present at a round's start, beyond those
+    /// already consumed (again, peek windows can exceed pops).
+    pub round_in_required: u64,
+    /// Output items produced by initialization.
+    pub init_out: u64,
+    /// Output items produced per steady round.
+    pub round_out: u64,
+}
+
+/// A fully compiled graph: everything the engine needs, with no
+/// remaining references to the source graph.
+#[derive(Debug, Clone)]
+pub(crate) struct Plan {
+    pub codes: Vec<FilterCode>,
+    /// Tape specs per shard (`tapes[0][0]`/`[0][1]` are EXT_IN/EXT_OUT).
+    pub tapes: Vec<Vec<TapeSpec>>,
+    /// Frame code indices per shard: `frames[s][i]` is the `codes` index
+    /// whose state lives in shard `s`, frame slot `i`.
+    pub frames: Vec<Vec<u32>>,
+    pub init_ops: Vec<Op>,
+    pub pre_ops: Vec<Op>,
+    /// One op list per split-join branch; branches are data-independent
+    /// and may run on separate threads.
+    pub branch_ops: Vec<Vec<Op>>,
+    pub post_ops: Vec<Op>,
+    pub input_ty: DataType,
+    pub stats: Stats,
+}
+
+// ---------------------------------------------------------------------------
+// Port conventions (mirrors the reference machine exactly)
+// ---------------------------------------------------------------------------
+
+/// Number of input ports a node logically has.  A feedback joiner always
+/// has 2 logical inputs even when the external side is the machine's
+/// input tape; a round-robin weight vector can extend the arity further.
+fn in_arity(g: &FlatGraph, node: NodeId) -> usize {
+    let n = g.node(node);
+    match &n.kind {
+        FlatNodeKind::Joiner(j) => {
+            let is_feedback = n.inputs.iter().any(|&e| g.edge(e).loop_internal);
+            let base = if is_feedback { 2 } else { n.inputs.len() };
+            match j {
+                Joiner::RoundRobin(w) => w.len().max(base),
+                _ => base,
+            }
+        }
+        FlatNodeKind::Splitter(_) => n.inputs.len(),
+        FlatNodeKind::Filter(_) => 1,
+    }
+}
+
+/// Number of output ports a node logically has (dual of [`in_arity`]).
+fn out_arity(g: &FlatGraph, node: NodeId) -> usize {
+    let n = g.node(node);
+    match &n.kind {
+        FlatNodeKind::Splitter(s) => {
+            let is_feedback = n.outputs.iter().any(|&e| g.edge(e).loop_internal);
+            let base = if is_feedback { 2 } else { n.outputs.len() };
+            match s {
+                Splitter::RoundRobin(w) => w.len().max(base),
+                _ => base,
+            }
+        }
+        FlatNodeKind::Joiner(_) => n.outputs.len(),
+        FlatNodeKind::Filter(_) => 1,
+    }
+}
+
+/// Resolve an input port to its edge; `None` is the external input.
+fn in_edge_for_port(g: &FlatGraph, node: NodeId, port: usize) -> Option<EdgeId> {
+    let n = g.node(node);
+    let missing = in_arity(g, node).saturating_sub(n.inputs.len());
+    if port < missing {
+        None
+    } else {
+        n.inputs.get(port - missing).copied()
+    }
+}
+
+/// Resolve an output port to its edge; `None` is the external output.
+fn out_edge_for_port(g: &FlatGraph, node: NodeId, port: usize) -> Option<EdgeId> {
+    let n = g.node(node);
+    let missing = out_arity(g, node).saturating_sub(n.outputs.len());
+    if port < missing {
+        None
+    } else {
+        n.outputs.get(port - missing).copied()
+    }
+}
+
+/// Input-port demand of one firing: which tape it reads, how many items
+/// must be present (`window`), how many it consumes (`pop`).
+struct PortUse {
+    edge: Option<EdgeId>,
+    window: u64,
+    pop: u64,
+}
+
+/// Output-port supply of one firing.
+struct OutUse {
+    edge: Option<EdgeId>,
+    push: u64,
+}
+
+/// The I/O profile of one firing of `node` (`first` selects prework
+/// rates for filters that declare one).  Zero-rate ports are omitted.
+fn firing_io(g: &FlatGraph, node: NodeId, first: bool) -> (Vec<PortUse>, Vec<OutUse>) {
+    let n = g.node(node);
+    match &n.kind {
+        FlatNodeKind::Filter(f) => {
+            let (window, pop, push) = match (&f.prework, first) {
+                (Some(pw), true) => (pw.peek.max(pw.pop) as u64, pw.pop as u64, pw.push as u64),
+                _ => (f.peek.max(f.pop) as u64, f.pop as u64, f.push as u64),
+            };
+            let mut ins = Vec::new();
+            if f.input.is_some() && window > 0 {
+                ins.push(PortUse {
+                    edge: n.inputs.first().copied(),
+                    window,
+                    pop,
+                });
+            }
+            let mut outs = Vec::new();
+            if f.output.is_some() && push > 0 {
+                outs.push(OutUse {
+                    edge: n.outputs.first().copied(),
+                    push,
+                });
+            }
+            (ins, outs)
+        }
+        FlatNodeKind::Splitter(s) => {
+            let pop = s.pop_rate();
+            let mut ins = Vec::new();
+            if pop > 0 {
+                ins.push(PortUse {
+                    edge: in_edge_for_port(g, node, 0),
+                    window: pop,
+                    pop,
+                });
+            }
+            let outs = (0..out_arity(g, node))
+                .filter_map(|p| {
+                    let push = match s {
+                        Splitter::Duplicate => 1,
+                        Splitter::RoundRobin(w) => w.get(p).copied().unwrap_or(0),
+                        Splitter::Null => 0,
+                    };
+                    (push > 0).then(|| OutUse {
+                        edge: out_edge_for_port(g, node, p),
+                        push,
+                    })
+                })
+                .collect();
+            (ins, outs)
+        }
+        FlatNodeKind::Joiner(j) => {
+            let n_in = in_arity(g, node);
+            let ins = (0..n_in)
+                .filter_map(|p| {
+                    let pop = match j {
+                        Joiner::RoundRobin(w) => w.get(p).copied().unwrap_or(0),
+                        Joiner::Combine => 1,
+                        Joiner::Null => 0,
+                    };
+                    (pop > 0).then(|| PortUse {
+                        edge: in_edge_for_port(g, node, p),
+                        window: pop,
+                        pop,
+                    })
+                })
+                .collect();
+            let push = match j {
+                Joiner::RoundRobin(w) => w.iter().sum(),
+                Joiner::Combine => {
+                    if n_in == 0 {
+                        0
+                    } else {
+                        1
+                    }
+                }
+                Joiner::Null => 0,
+            };
+            let mut outs = Vec::new();
+            if push > 0 {
+                outs.push(OutUse {
+                    edge: out_edge_for_port(g, node, 0),
+                    push,
+                });
+            }
+            (ins, outs)
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Initialization-phase derivation
+// ---------------------------------------------------------------------------
+
+const MAX_INIT_FIRINGS: usize = 1 << 16;
+const MAX_PRIME_ROUNDS: usize = 10_000;
+
+/// Abstract (item-count only) simulator used to derive the init firing
+/// sequence: one firing per prework filter plus whatever upstream
+/// priming those firings and the first steady round demand.
+struct InitSim<'g> {
+    g: &'g FlatGraph,
+    occ: Vec<u64>,
+    fired: Vec<u64>,
+    seq: Vec<NodeId>,
+}
+
+impl InitSim<'_> {
+    /// First internal input edge whose occupancy is below the node's
+    /// next-firing window (external input is assumed plentiful — the
+    /// count simulation later derives how much is actually needed).
+    fn shortage(&self, node: NodeId) -> Option<EdgeId> {
+        let first = self.fired[node.0] == 0;
+        let (ins, _) = firing_io(self.g, node, first);
+        ins.iter()
+            .find_map(|p| p.edge.filter(|e| self.occ[e.0] < p.window))
+    }
+
+    fn fire(&mut self, node: NodeId) -> Result<(), String> {
+        let first = self.fired[node.0] == 0;
+        let (ins, outs) = firing_io(self.g, node, first);
+        for p in &ins {
+            if let Some(e) = p.edge {
+                self.occ[e.0] = self.occ[e.0]
+                    .checked_sub(p.pop)
+                    .ok_or("init simulation underflow")?;
+            }
+        }
+        for o in &outs {
+            if let Some(e) = o.edge {
+                self.occ[e.0] += o.push;
+            }
+        }
+        self.fired[node.0] += 1;
+        self.seq.push(node);
+        if self.seq.len() > MAX_INIT_FIRINGS {
+            return Err("initialization schedule too large".into());
+        }
+        Ok(())
+    }
+
+    /// Fire `node` once, recursively firing producers until its input
+    /// windows are satisfied.  A demand cycle means a feedback loop whose
+    /// initial items cannot prime block execution.
+    fn demand_fire(&mut self, node: NodeId, visiting: &mut HashSet<usize>) -> Result<(), String> {
+        if !visiting.insert(node.0) {
+            return Err("feedback loop cannot be primed for block execution".into());
+        }
+        while let Some(e) = self.shortage(node) {
+            let src = self.g.edge(e).src;
+            self.demand_fire(src, visiting)?;
+        }
+        self.fire(node)?;
+        visiting.remove(&node.0);
+        Ok(())
+    }
+
+    /// Would one steady round (each node fired `reps` times, in
+    /// topo-block order, at post-init rates) run without starving an
+    /// internal edge?  Returns the first starved edge on failure.
+    fn validate_round(&self, topo: &[NodeId], reps: &[u64]) -> Result<(), EdgeId> {
+        let mut occ = self.occ.clone();
+        for &node in topo {
+            let times = reps[node.0];
+            if times == 0 {
+                continue;
+            }
+            let (ins, outs) = firing_io(self.g, node, false);
+            for p in &ins {
+                if let Some(e) = p.edge {
+                    // The binding check is the last firing: earlier
+                    // firings leave strictly more slack.
+                    if occ[e.0] < (times - 1) * p.pop + p.window {
+                        return Err(e);
+                    }
+                }
+            }
+            for o in &outs {
+                if let Some(e) = o.edge {
+                    occ[e.0] += times * o.push;
+                }
+            }
+            for p in &ins {
+                if let Some(e) = p.edge {
+                    occ[e.0] -= times * p.pop;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Derive the init firing sequence: prework firings in topo order, then
+/// priming until one steady round validates.
+fn build_init(g: &FlatGraph, topo: &[NodeId], reps: &[u64]) -> Result<Vec<NodeId>, String> {
+    let mut sim = InitSim {
+        g,
+        occ: g.edges.iter().map(|e| e.initial.len() as u64).collect(),
+        fired: vec![0; g.nodes.len()],
+        seq: Vec::new(),
+    };
+    for &node in topo {
+        let has_prework = matches!(&g.node(node).kind,
+            FlatNodeKind::Filter(f) if f.prework.is_some());
+        if has_prework {
+            sim.demand_fire(node, &mut HashSet::new())?;
+        }
+    }
+    for _ in 0..MAX_PRIME_ROUNDS {
+        match sim.validate_round(topo, reps) {
+            Ok(()) => return Ok(sim.seq),
+            Err(e) => {
+                let src = g.edge(e).src;
+                sim.demand_fire(src, &mut HashSet::new())?;
+            }
+        }
+    }
+    Err("could not prime a steady round".into())
+}
+
+// ---------------------------------------------------------------------------
+// Parallel-region discovery
+// ---------------------------------------------------------------------------
+
+/// Find the first split-join whose every branch is a non-empty chain of
+/// single-in/single-out filters converging on one joiner.  Such branches
+/// are data-independent and can run on worker threads.
+fn find_region(g: &FlatGraph, topo: &[NodeId]) -> Option<Vec<Vec<NodeId>>> {
+    if g.edges.iter().any(|e| e.is_back_edge) {
+        return None;
+    }
+    'nodes: for &nid in topo {
+        let n = g.node(nid);
+        if !matches!(n.kind, FlatNodeKind::Splitter(_)) || n.outputs.len() < 2 {
+            continue;
+        }
+        let mut chains = Vec::new();
+        let mut join = None;
+        for &e in &n.outputs {
+            let mut chain = Vec::new();
+            let mut cur = g.edge(e).dst;
+            loop {
+                let cn = g.node(cur);
+                match &cn.kind {
+                    FlatNodeKind::Filter(_) if cn.inputs.len() == 1 && cn.outputs.len() == 1 => {
+                        chain.push(cur);
+                        cur = g.edge(cn.outputs[0]).dst;
+                    }
+                    FlatNodeKind::Joiner(_) => break,
+                    _ => continue 'nodes,
+                }
+            }
+            if chain.is_empty() || join.is_some_and(|j| j != cur) {
+                continue 'nodes;
+            }
+            join = Some(cur);
+            chains.push(chain);
+        }
+        if chains.len() >= 2 {
+            return Some(chains);
+        }
+    }
+    None
+}
+
+// ---------------------------------------------------------------------------
+// Assembly: slots, ops, count simulation
+// ---------------------------------------------------------------------------
+
+/// Working tables shared by op emission.
+struct Layout {
+    edge_loc: Vec<Loc>,
+    frame_loc: Vec<Option<Loc>>,
+    code_of: Vec<Option<u32>>,
+}
+
+impl Layout {
+    fn in_loc(&self, e: Option<EdgeId>) -> Loc {
+        e.map_or(EXT_IN, |e| self.edge_loc[e.0])
+    }
+    fn out_loc(&self, e: Option<EdgeId>) -> Loc {
+        e.map_or(EXT_OUT, |e| self.edge_loc[e.0])
+    }
+}
+
+/// Emit the op for firing `node` `times` times (`prework` selects the
+/// prework body for filters).  Nodes that move nothing emit no op.
+fn node_op(g: &FlatGraph, lay: &Layout, node: NodeId, times: u32, prework: bool) -> Option<Op> {
+    let n = g.node(node);
+    match &n.kind {
+        FlatNodeKind::Filter(f) => {
+            let code = lay.code_of[node.0]?;
+            let frame = lay.frame_loc[node.0]?;
+            let input = f
+                .input
+                .as_ref()
+                .map(|_| lay.in_loc(n.inputs.first().copied()));
+            let output = f
+                .output
+                .as_ref()
+                .map(|_| lay.out_loc(n.outputs.first().copied()));
+            Some(Op::Work {
+                code,
+                frame,
+                input,
+                output,
+                prework,
+                times,
+            })
+        }
+        FlatNodeKind::Splitter(Splitter::Duplicate) => {
+            let input = lay.in_loc(in_edge_for_port(g, node, 0));
+            let outputs = (0..out_arity(g, node))
+                .map(|p| lay.out_loc(out_edge_for_port(g, node, p)))
+                .collect();
+            Some(Op::Dup {
+                input,
+                outputs,
+                times,
+            })
+        }
+        FlatNodeKind::Splitter(Splitter::RoundRobin(w)) => {
+            let src = lay.in_loc(in_edge_for_port(g, node, 0));
+            let moves: Box<[MoveSpec]> = w
+                .iter()
+                .enumerate()
+                .filter(|&(_, &wi)| wi > 0)
+                .map(|(p, &wi)| MoveSpec {
+                    src,
+                    dst: lay.out_loc(out_edge_for_port(g, node, p)),
+                    n: wi as u32,
+                })
+                .collect();
+            (!moves.is_empty()).then_some(Op::Moves { moves, times })
+        }
+        FlatNodeKind::Splitter(Splitter::Null) => None,
+        FlatNodeKind::Joiner(Joiner::RoundRobin(w)) => {
+            let dst = lay.out_loc(out_edge_for_port(g, node, 0));
+            let moves: Box<[MoveSpec]> = w
+                .iter()
+                .enumerate()
+                .filter(|&(_, &wi)| wi > 0)
+                .map(|(p, &wi)| MoveSpec {
+                    src: lay.in_loc(in_edge_for_port(g, node, p)),
+                    dst,
+                    n: wi as u32,
+                })
+                .collect();
+            (!moves.is_empty()).then_some(Op::Moves { moves, times })
+        }
+        FlatNodeKind::Joiner(Joiner::Combine) => {
+            let n_in = in_arity(g, node);
+            if n_in == 0 {
+                return None;
+            }
+            let inputs = (0..n_in)
+                .map(|p| lay.in_loc(in_edge_for_port(g, node, p)))
+                .collect();
+            let output = lay.out_loc(out_edge_for_port(g, node, 0));
+            Some(Op::Combine {
+                inputs,
+                output,
+                times,
+            })
+        }
+        FlatNodeKind::Joiner(Joiner::Null) => None,
+    }
+}
+
+/// Replay the init firing sequence as ops, splitting each prework
+/// filter's first firing onto its prework body.
+fn init_ops_from_seq(g: &FlatGraph, lay: &Layout, seq: &[NodeId]) -> Vec<Op> {
+    let mut fired = vec![0u64; g.nodes.len()];
+    let mut ops = Vec::new();
+    let mut i = 0;
+    while i < seq.len() {
+        let node = seq[i];
+        let mut c = 1usize;
+        while i + c < seq.len() && seq[i + c] == node {
+            c += 1;
+        }
+        let has_prework = matches!(&g.node(node).kind,
+            FlatNodeKind::Filter(f) if f.prework.is_some());
+        if has_prework && fired[node.0] == 0 {
+            ops.extend(node_op(g, lay, node, 1, true));
+            if c > 1 {
+                ops.extend(node_op(g, lay, node, (c - 1) as u32, false));
+            }
+        } else {
+            ops.extend(node_op(g, lay, node, c as u32, false));
+        }
+        fired[node.0] += c as u64;
+        i += c;
+    }
+    ops
+}
+
+/// Count simulation: proves the plan sound and sizes the tapes.
+struct CountSim {
+    occ: Vec<Vec<u64>>,
+    maxo: Vec<Vec<u64>>,
+    ext_used: u64,
+    ext_req: u64,
+    ext_out: u64,
+    /// Round-local requirement base (`ext_used` at round start).
+    round_base: u64,
+    round_req: u64,
+}
+
+impl CountSim {
+    fn apply(&mut self, op: &Op, codes: &[FilterCode]) -> Result<(), String> {
+        let times = op.times() as u64;
+        // (loc, pop-per-firing, window slack beyond pop) / (loc, push-per-firing),
+        // with same-slot inputs pre-aggregated.
+        let mut ins: Vec<(Loc, u64, u64)> = Vec::new();
+        let mut outs: Vec<(Loc, u64)> = Vec::new();
+        let mut add_in =
+            |l: Loc, pop: u64, extra: u64| match ins.iter_mut().find(|(il, _, _)| *il == l) {
+                Some(slot) => {
+                    slot.1 += pop;
+                    slot.2 = slot.2.max(extra);
+                }
+                None => ins.push((l, pop, extra)),
+            };
+        match op {
+            Op::Work {
+                code,
+                input,
+                output,
+                prework,
+                ..
+            } => {
+                let fc = &codes[*code as usize];
+                let Rates { pop, window, push } = if *prework {
+                    fc.prework
+                        .as_ref()
+                        .map(|p| p.rates)
+                        .ok_or("prework op without prework body")?
+                } else {
+                    fc.work.rates
+                };
+                if let Some(l) = input {
+                    if window > 0 {
+                        add_in(*l, pop, window.saturating_sub(pop));
+                    }
+                }
+                if let Some(l) = output {
+                    if push > 0 {
+                        outs.push((*l, push));
+                    }
+                }
+            }
+            Op::Dup { input, outputs, .. } => {
+                add_in(*input, 1, 0);
+                for &l in outputs.iter() {
+                    outs.push((l, 1));
+                }
+            }
+            Op::Moves { moves, .. } => {
+                for m in moves.iter() {
+                    add_in(m.src, m.n as u64, 0);
+                    outs.push((m.dst, m.n as u64));
+                }
+            }
+            Op::Combine { inputs, output, .. } => {
+                for &l in inputs.iter() {
+                    add_in(l, 1, 0);
+                }
+                outs.push((*output, 1));
+            }
+        }
+        for &(l, pop, extra) in &ins {
+            let need = times * pop + extra;
+            if l == EXT_IN {
+                self.ext_req = self.ext_req.max(self.ext_used + need);
+                self.round_req = self.round_req.max(self.ext_used - self.round_base + need);
+                self.ext_used += times * pop;
+            } else if self.occ[l.shard as usize][l.slot as usize] < need {
+                return Err(format!(
+                    "steady round starves a tape (need {need}, have {})",
+                    self.occ[l.shard as usize][l.slot as usize]
+                ));
+            }
+        }
+        for &(l, push) in &outs {
+            if l == EXT_OUT {
+                self.ext_out += times * push;
+            } else {
+                let o = &mut self.occ[l.shard as usize][l.slot as usize];
+                *o += times * push;
+                let m = &mut self.maxo[l.shard as usize][l.slot as usize];
+                *m = (*m).max(*o);
+            }
+        }
+        for &(l, pop, _) in &ins {
+            if l != EXT_IN {
+                self.occ[l.shard as usize][l.slot as usize] -= times * pop;
+            }
+        }
+        Ok(())
+    }
+
+    fn run(&mut self, ops: &[Op], codes: &[FilterCode]) -> Result<(), String> {
+        for op in ops {
+            self.apply(op, codes)?;
+        }
+        Ok(())
+    }
+}
+
+/// Assemble the plan for a given (possibly empty) branch partition, then
+/// prove it with the count simulation.
+#[allow(clippy::too_many_arguments)]
+fn assemble(
+    g: &FlatGraph,
+    topo: &[NodeId],
+    reps: &[u64],
+    init_seq: &[NodeId],
+    codes: Vec<FilterCode>,
+    code_of: Vec<Option<u32>>,
+    input_ty: DataType,
+    branches: &[Vec<NodeId>],
+) -> Result<Plan, String> {
+    let n_shards = 1 + branches.len();
+
+    // Which branch (if any) owns each node; branch b owns its chain
+    // nodes, their entry edges, internal edges, and exit edges.
+    let mut branch_of_node = vec![None; g.nodes.len()];
+    let mut branch_of_edge = vec![None; g.edges.len()];
+    for (b, chain) in branches.iter().enumerate() {
+        for &node in chain {
+            branch_of_node[node.0] = Some(b);
+            let n = g.node(node);
+            for &e in n.inputs.iter().chain(n.outputs.iter()) {
+                branch_of_edge[e.0] = Some(b);
+            }
+        }
+    }
+
+    // Tape slots: shard 0 reserves 0/1 for the external streams.
+    let mut tapes: Vec<Vec<TapeSpec>> = vec![Vec::new(); n_shards];
+    tapes[0].push(TapeSpec {
+        ty: input_ty,
+        cap: 0,
+        initial: Vec::new(),
+    });
+    tapes[0].push(TapeSpec {
+        ty: DataType::Float,
+        cap: 0,
+        initial: Vec::new(),
+    });
+    let mut edge_loc = vec![EXT_IN; g.edges.len()];
+    for e in &g.edges {
+        let shard = branch_of_edge[e.id.0].map_or(0, |b| b + 1);
+        let slot = tapes[shard].len();
+        if shard >= u16::MAX as usize || slot >= u16::MAX as usize {
+            return Err("too many tapes".into());
+        }
+        edge_loc[e.id.0] = Loc {
+            shard: shard as u16,
+            slot: slot as u16,
+        };
+        tapes[shard].push(TapeSpec {
+            ty: e.ty,
+            cap: 0,
+            initial: e.initial.clone(),
+        });
+    }
+
+    // Frame slots (filter state), placed with their branch.
+    let mut frames: Vec<Vec<u32>> = vec![Vec::new(); n_shards];
+    let mut frame_loc = vec![None; g.nodes.len()];
+    for n in &g.nodes {
+        if let Some(code) = code_of[n.id.0] {
+            let shard = branch_of_node[n.id.0].map_or(0, |b| b + 1);
+            let slot = frames[shard].len();
+            frame_loc[n.id.0] = Some(Loc {
+                shard: shard as u16,
+                slot: slot as u16,
+            });
+            frames[shard].push(code);
+        }
+    }
+
+    let lay = Layout {
+        edge_loc,
+        frame_loc,
+        code_of,
+    };
+
+    // Stage partition: nodes at/past the joiner run post, branch chains
+    // run in their branch stage, everything else runs pre.
+    let mut stage_post = vec![false; g.nodes.len()];
+    if let Some(first_chain) = branches.first() {
+        let last = first_chain[first_chain.len() - 1];
+        let join = g.edge(g.node(last).outputs[0]).dst;
+        let mut work = vec![join];
+        while let Some(node) = work.pop() {
+            if std::mem::replace(&mut stage_post[node.0], true) {
+                continue;
+            }
+            for &e in &g.node(node).outputs {
+                work.push(g.edge(e).dst);
+            }
+        }
+    }
+
+    let round_times = |node: NodeId| -> Result<u32, String> {
+        u32::try_from(reps[node.0]).map_err(|_| "steady-state multiplicity too large".to_string())
+    };
+    let mut pre_ops = Vec::new();
+    let mut post_ops = Vec::new();
+    for &node in topo {
+        if reps[node.0] == 0 || branch_of_node[node.0].is_some() {
+            continue;
+        }
+        let ops = if stage_post[node.0] {
+            &mut post_ops
+        } else {
+            &mut pre_ops
+        };
+        ops.extend(node_op(g, &lay, node, round_times(node)?, false));
+    }
+    let mut branch_ops = Vec::new();
+    for chain in branches {
+        let mut ops = Vec::new();
+        for &node in chain {
+            if reps[node.0] == 0 {
+                continue;
+            }
+            ops.extend(node_op(g, &lay, node, round_times(node)?, false));
+        }
+        branch_ops.push(ops);
+    }
+    let init_ops = init_ops_from_seq(g, &lay, init_seq);
+
+    // Count simulation: init once, then two identical steady rounds.
+    let mut sim = CountSim {
+        occ: tapes
+            .iter()
+            .map(|ts| ts.iter().map(|t| t.initial.len() as u64).collect())
+            .collect(),
+        maxo: tapes
+            .iter()
+            .map(|ts| ts.iter().map(|t| t.initial.len() as u64).collect())
+            .collect(),
+        ext_used: 0,
+        ext_req: 0,
+        ext_out: 0,
+        round_base: 0,
+        round_req: 0,
+    };
+    sim.run(&init_ops, &codes)?;
+    let init_in = sim.ext_used;
+    let init_in_required = sim.ext_req;
+    let init_out = sim.ext_out;
+    let snapshot = sim.occ.clone();
+
+    let round = |sim: &mut CountSim| -> Result<(u64, u64, u64), String> {
+        let (used0, out0) = (sim.ext_used, sim.ext_out);
+        sim.round_base = sim.ext_used;
+        sim.round_req = 0;
+        sim.run(&pre_ops, &codes)?;
+        for ops in &branch_ops {
+            sim.run(ops, &codes)?;
+        }
+        sim.run(&post_ops, &codes)?;
+        Ok((sim.ext_used - used0, sim.ext_out - out0, sim.round_req))
+    };
+    let (round_in, round_out, round_req) = round(&mut sim)?;
+    if sim.occ != snapshot {
+        return Err("round is not steady (occupancy drifts)".into());
+    }
+    let (in2, out2, req2) = round(&mut sim)?;
+    if sim.occ != snapshot || in2 != round_in || out2 != round_out || req2 != round_req {
+        return Err("round is not reproducible".into());
+    }
+
+    for (s, ts) in tapes.iter_mut().enumerate() {
+        for (i, t) in ts.iter_mut().enumerate() {
+            if s == 0 && i < 2 {
+                continue;
+            }
+            t.cap = sim.maxo[s][i];
+        }
+    }
+
+    Ok(Plan {
+        codes,
+        tapes,
+        frames,
+        init_ops,
+        pre_ops,
+        branch_ops,
+        post_ops,
+        input_ty,
+        stats: Stats {
+            init_in,
+            init_in_required,
+            round_in,
+            round_in_required: round_req,
+            init_out,
+            round_out,
+        },
+    })
+}
+
+/// Compile a flat graph into a firing plan, or explain (as an
+/// `Unsupported` reason) why the compiled engine cannot run it.
+pub(crate) fn build_plan(g: &FlatGraph, input_ty: DataType) -> Result<Plan, String> {
+    let reps = repetition_vector(g).map_err(|e| format!("no steady-state schedule: {e:?}"))?;
+    let topo = g.topo_order();
+
+    // Census: at most one external-input and one external-output site.
+    // With several, the interleaving of reads/writes on the shared
+    // external stream is schedule-dependent, and block execution would
+    // diverge from the reference machine.
+    let mut ext_in_sites = 0usize;
+    let mut ext_out_sites = 0usize;
+    for n in &g.nodes {
+        let has_prework = matches!(&n.kind, FlatNodeKind::Filter(f) if f.prework.is_some());
+        let (mut reads_ext, mut writes_ext) = (false, false);
+        for first in [true, false] {
+            if first && !has_prework {
+                continue;
+            }
+            let (ins, outs) = firing_io(g, n.id, first);
+            reads_ext |= ins.iter().any(|p| p.edge.is_none());
+            writes_ext |= outs.iter().any(|o| o.edge.is_none());
+        }
+        ext_in_sites += usize::from(reads_ext);
+        ext_out_sites += usize::from(writes_ext);
+    }
+    if ext_in_sites > 1 {
+        return Err("multiple nodes read the external input".into());
+    }
+    if ext_out_sites > 1 {
+        return Err("multiple nodes write the external output".into());
+    }
+
+    // Per-filter gate and lowering.  Any analysis *error* (or the
+    // rates-not-statically-provable lint L0605) means we cannot prove
+    // block execution matches the reference firing-by-firing semantics.
+    let mut codes = Vec::new();
+    let mut code_of = vec![None; g.nodes.len()];
+    for n in &g.nodes {
+        let FlatNodeKind::Filter(f) = &n.kind else {
+            continue;
+        };
+        for finding in analyze_filter(f, &n.name) {
+            if finding.severity == Severity::Error || finding.code == "L0605" {
+                return Err(format!(
+                    "{}: work function not statically safe ({}: {})",
+                    n.name, finding.code, finding.message
+                ));
+            }
+        }
+        let in_ty = n
+            .inputs
+            .first()
+            .map(|&e| g.edge(e).ty)
+            .or(f.input.map(|_| input_ty));
+        let out_ty = n
+            .outputs
+            .first()
+            .map(|&e| g.edge(e).ty)
+            .or(f.output.map(|_| DataType::Float));
+        let idx = codes.len();
+        if idx > u32::MAX as usize {
+            return Err("too many filters".into());
+        }
+        codes.push(lower_filter(f, &n.name, in_ty, out_ty)?);
+        code_of[n.id.0] = Some(idx as u32);
+    }
+    for e in &g.edges {
+        initial_items_typed(&e.initial, e.ty).map_err(|err| format!("edge {}: {err}", e.id.0))?;
+    }
+
+    let init_seq = build_init(g, &topo, &reps)?;
+
+    if let Some(chains) = find_region(g, &topo) {
+        match assemble(
+            g,
+            &topo,
+            &reps,
+            &init_seq,
+            codes.clone(),
+            code_of.clone(),
+            input_ty,
+            &chains,
+        ) {
+            Ok(plan) => return Ok(plan),
+            Err(_) => { /* fall back to the serial partition below */ }
+        }
+    }
+    assemble(g, &topo, &reps, &init_seq, codes, code_of, input_ty, &[])
+}

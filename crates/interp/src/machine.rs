@@ -351,7 +351,10 @@ impl<'g> Machine<'g> {
         handler: &str,
         args: &[Value],
     ) -> Result<(), RuntimeError> {
-        let n = self.graph.node(node);
+        // Borrow the handler body from the graph (which outlives `self`)
+        // so delivery never clones statement trees.
+        let g: &'g FlatGraph = self.graph;
+        let n = g.node(node);
         let f = match &n.kind {
             FlatNodeKind::Filter(f) => f,
             _ => {
@@ -361,13 +364,10 @@ impl<'g> Machine<'g> {
                 })
             }
         };
-        let h = f
-            .handler(handler)
-            .ok_or_else(|| RuntimeError::BadMessage {
-                portal: String::new(),
-                handler: handler.to_string(),
-            })?
-            .clone();
+        let h = f.handler(handler).ok_or_else(|| RuntimeError::BadMessage {
+            portal: String::new(),
+            handler: handler.to_string(),
+        })?;
         let mut locals = HashMap::new();
         for ((pname, pty), v) in h.params.iter().zip(args) {
             locals.insert(pname.clone(), Slot::Scalar(v.coerce(*pty)));
@@ -390,7 +390,7 @@ impl<'g> Machine<'g> {
         r?;
         // A handler may itself send messages; best-effort queue them.
         for m in ctx.sent {
-            self.enqueue_message(&m.0, &m.1, m.2)?;
+            self.enqueue_message(&m.0, &m.1, &m.2)?;
         }
         Ok(())
     }
@@ -399,18 +399,19 @@ impl<'g> Machine<'g> {
         &mut self,
         portal: &str,
         handler: &str,
-        args: Vec<Value>,
+        args: &[Value],
     ) -> Result<(), RuntimeError> {
-        let receivers =
-            self.portals
-                .get(portal)
-                .cloned()
-                .ok_or_else(|| RuntimeError::BadMessage {
-                    portal: portal.to_string(),
-                    handler: handler.to_string(),
-                })?;
-        for r in receivers {
-            self.pending[r.0].push_back((handler.to_string(), args.clone()));
+        // `portals` and `pending` are disjoint fields, so the receiver
+        // list can be iterated in place (no Vec clone per message).
+        let receivers = self
+            .portals
+            .get(portal)
+            .ok_or_else(|| RuntimeError::BadMessage {
+                portal: portal.to_string(),
+                handler: handler.to_string(),
+            })?;
+        for &r in receivers {
+            self.pending[r.0].push_back((handler.to_string(), args.to_vec()));
         }
         Ok(())
     }
@@ -443,7 +444,7 @@ impl<'g> Machine<'g> {
         // Auto-deliver messages the firing produced.
         if self.auto_deliver {
             for m in &outcome.messages {
-                self.enqueue_message(&m.portal, &m.handler, m.args.clone())?;
+                self.enqueue_message(&m.portal, &m.handler, &m.args)?;
             }
         }
         Ok(outcome)
@@ -584,17 +585,14 @@ impl<'g> Machine<'g> {
                 peek: peek_window,
             });
         }
-        // Discard the popped prefix from the input tape: pops were
-        // performed via a read cursor to keep peeks stable.
+        // Discard the popped prefix from the input tape in one bulk
+        // drain: pops were performed via a read cursor to keep peeks
+        // stable.
         if let Some(e) = in_edge {
-            for _ in 0..pops {
-                self.channels[e.0].pop_front();
-            }
+            self.channels[e.0].drain(..pops as usize);
             self.popped[e.0] += pops;
         } else {
-            for _ in 0..pops {
-                self.input.pop_front();
-            }
+            self.input.drain(..pops as usize);
             self.input_consumed += pops;
         }
         Ok(FireOutcome { messages })
@@ -702,33 +700,29 @@ impl<'g> Machine<'g> {
     }
 
     /// Drive the graph until the external output holds at least `n`
-    /// items (or all sinks have consumed available input), using repeated
-    /// topological sweeps.  Returns the number of firings performed.
+    /// items (or all sinks have consumed available input), using a ready
+    /// queue seeded from edge updates: firing a node can only change the
+    /// firability of the node itself and its immediate successors, so
+    /// only those are re-examined — not the whole graph per round.
+    /// Returns the number of firings performed.
     ///
     /// Fails with [`RuntimeError::Starved`] if the external input tape
-    /// runs dry mid-run, with [`RuntimeError::Deadlock`] if a sweep makes
-    /// no progress for a structural reason, or with
+    /// runs dry mid-run, with [`RuntimeError::Deadlock`] if the queue
+    /// drains for a structural reason, or with
     /// [`RuntimeError::BudgetExhausted`] after `max_firings`.
     pub fn run_until_output(&mut self, n: usize, max_firings: u64) -> Result<u64, RuntimeError> {
-        let order = self.graph.topo_order();
         let start = self.total_firings;
-        // Per-sweep cap keeps sources from running away.
-        const PER_SWEEP: u64 = 64;
+        // Per-dequeue burst keeps sources from running away while still
+        // amortizing the queue bookkeeping.
+        const PER_BURST: u64 = 64;
+        // Invariant: every fireable node is queued.  All nodes start
+        // queued (external feeding happened before this call); afterwards
+        // a node's firability only changes when it or a predecessor
+        // fires, and both paths re-enqueue it below.
+        let mut queued = vec![true; self.graph.nodes.len()];
+        let mut ready: VecDeque<NodeId> = self.graph.topo_order().into();
         while self.output.len() < n {
-            let before = self.total_firings;
-            for &id in &order {
-                let mut k = 0;
-                while k < PER_SWEEP && self.output.len() < n && self.can_fire(id) {
-                    self.fire(id)?;
-                    k += 1;
-                    if self.total_firings - start > max_firings {
-                        return Err(RuntimeError::BudgetExhausted {
-                            fired: self.total_firings - start,
-                        });
-                    }
-                }
-            }
-            if self.total_firings == before {
+            let Some(id) = ready.pop_front() else {
                 if self.starved() {
                     return Err(RuntimeError::Starved {
                         detail: format!(
@@ -745,6 +739,34 @@ impl<'g> Machine<'g> {
                         n
                     ),
                 });
+            };
+            queued[id.0] = false;
+            let mut fired_any = false;
+            let mut k = 0;
+            while k < PER_BURST && self.output.len() < n && self.can_fire(id) {
+                self.fire(id)?;
+                fired_any = true;
+                k += 1;
+                if self.total_firings - start > max_firings {
+                    return Err(RuntimeError::BudgetExhausted {
+                        fired: self.total_firings - start,
+                    });
+                }
+            }
+            if fired_any {
+                // Data moved: successors may have become fireable, and the
+                // node itself may still be (burst cap, or prework rates).
+                for &e in &self.graph.node(id).outputs {
+                    let dst = self.graph.edge(e).dst;
+                    if !queued[dst.0] {
+                        queued[dst.0] = true;
+                        ready.push_back(dst);
+                    }
+                }
+                if !queued[id.0] {
+                    queued[id.0] = true;
+                    ready.push_back(id);
+                }
             }
         }
         Ok(self.total_firings - start)

@@ -533,3 +533,101 @@ fn streamitc_exit_codes_are_documented_values() {
     assert_eq!(out.status.code(), Some(0), "success");
     let _ = std::fs::remove_file(good);
 }
+
+// ---------------------------------------------------------------------
+// 5. streamitc --engine selection, golden behavior.
+// ---------------------------------------------------------------------
+
+/// A program with teleport messaging: the compiled engine must decline
+/// it (E0701) and the CLI must fall back to the reference interpreter.
+const TELEPORT: &str = r#"
+    float->float filter Mixer() {
+        float freq;
+        init { freq = 1.0; }
+        work pop 1 push 1 { push(pop() * freq); }
+        handler setFreq(float f) { freq = f; }
+    }
+    float->float filter Watch(int T) {
+        int seen;
+        work pop 1 push 1 {
+            float v = pop();
+            seen = seen + 1;
+            if (seen == T) send hop.setFreq(0.5) [2, 2];
+            push(v);
+        }
+    }
+    float->float pipeline Main() {
+        add Mixer() as mix;
+        add Watch(3);
+        register hop mix;
+    }
+"#;
+
+#[test]
+fn streamitc_engine_flag_selects_and_falls_back() {
+    // Golden: both engines print identical y[i] lines for a supported
+    // program, and each names the engine that actually ran.
+    let good = write_temp("engine_good", GOOD);
+    let reference = run_streamitc(&[good.to_str().unwrap(), "--run", "8"]);
+    assert_eq!(reference.status.code(), Some(0), "reference run");
+    let ref_stdout = String::from_utf8_lossy(&reference.stdout).to_string();
+    assert!(
+        ref_stdout.contains("(reference engine)"),
+        "stdout: {ref_stdout}"
+    );
+
+    let compiled = run_streamitc(&[good.to_str().unwrap(), "--run", "8", "--engine", "compiled"]);
+    assert_eq!(compiled.status.code(), Some(0), "compiled run");
+    let comp_stdout = String::from_utf8_lossy(&compiled.stdout).to_string();
+    assert!(
+        comp_stdout.contains("(compiled engine)"),
+        "stdout: {comp_stdout}"
+    );
+    let ys = |s: &str| -> Vec<String> {
+        s.lines()
+            .filter(|l| l.starts_with("y["))
+            .map(str::to_string)
+            .collect()
+    };
+    assert_eq!(ys(&ref_stdout), ys(&comp_stdout), "engines disagree");
+    assert_eq!(ys(&ref_stdout).len(), 8);
+    let _ = std::fs::remove_file(good);
+
+    // Explicit `--engine reference` is accepted and identical.
+    let good = write_temp("engine_ref", GOOD);
+    let out = run_streamitc(&[
+        good.to_str().unwrap(),
+        "--run",
+        "8",
+        "--engine",
+        "reference",
+    ]);
+    assert_eq!(out.status.code(), Some(0), "explicit reference");
+    assert_eq!(ys(&String::from_utf8_lossy(&out.stdout)), ys(&ref_stdout));
+    let _ = std::fs::remove_file(good);
+
+    // Unknown engine name -> usage error (2).
+    let good = write_temp("engine_bad", GOOD);
+    let out = run_streamitc(&[good.to_str().unwrap(), "--run", "8", "--engine", "turbo"]);
+    assert_eq!(out.status.code(), Some(2), "unknown engine");
+    let _ = std::fs::remove_file(good);
+}
+
+#[test]
+fn streamitc_compiled_engine_falls_back_gracefully() {
+    // Teleport messaging is outside the compiled subset: the CLI prints
+    // the E0701 diagnostic, falls back, and still succeeds (exit 0).
+    let tp = write_temp("engine_teleport", TELEPORT);
+    let out = run_streamitc(&[tp.to_str().unwrap(), "--run", "6", "--engine", "compiled"]);
+    assert_eq!(out.status.code(), Some(0), "fallback must succeed");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("E0701"), "stderr: {stderr}");
+    assert!(
+        stderr.contains("falling back to the reference engine"),
+        "stderr: {stderr}"
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("(reference engine)"), "stdout: {stdout}");
+    assert_eq!(stdout.lines().filter(|l| l.starts_with("y[")).count(), 6);
+    let _ = std::fs::remove_file(tp);
+}

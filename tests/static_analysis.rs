@@ -6,6 +6,9 @@
 use streamit::analysis::{analyze_stream, Severity};
 use streamit::{Compiler, DiagCategory};
 
+#[path = "support/irgen.rs"]
+mod irgen;
+
 fn compile(src: &str) -> streamit::CompiledProgram {
     Compiler::default()
         .compile_source(src, "Main")
@@ -271,151 +274,10 @@ fn example_str_files_match_dsl_constants() {
 mod soundness {
     use std::collections::HashMap;
     use streamit::analysis::analyze_block;
-    use streamit::graph::{BinOp, DataType, Expr, LValue, Stmt, Value};
+    use streamit::graph::Value;
     use streamit::interp::{eval_block_bounded, EvalCtx, RuntimeError};
 
-    /// Deterministic splitmix64 over a case seed.
-    struct Gen(u64);
-
-    impl Gen {
-        fn next(&mut self) -> u64 {
-            self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
-            let mut z = self.0;
-            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-            z ^ (z >> 31)
-        }
-
-        fn below(&mut self, n: u64) -> u64 {
-            self.next() % n.max(1)
-        }
-    }
-
-    /// Scope passed down while generating: visible locals and (separately)
-    /// loop variables, which are the only variables guaranteed
-    /// non-negative and therefore usable as peek indices.
-    #[derive(Clone, Default)]
-    struct Scope {
-        vars: Vec<String>,
-        loop_vars: Vec<String>,
-        fresh: usize,
-    }
-
-    fn gen_expr(g: &mut Gen, sc: &Scope, depth: usize) -> Expr {
-        let max = if depth == 0 { 4 } else { 6 };
-        match g.below(max) {
-            0 => Expr::IntLit(g.below(16) as i64 - 8),
-            1 if !sc.vars.is_empty() => {
-                Expr::Var(sc.vars[g.below(sc.vars.len() as u64) as usize].clone())
-            }
-            1 => Expr::IntLit(g.below(8) as i64),
-            2 => Expr::Pop,
-            3 => Expr::Peek(Box::new(gen_peek_index(g, sc))),
-            _ => {
-                let op = match g.below(7) {
-                    0 => BinOp::Add,
-                    1 => BinOp::Sub,
-                    2 => BinOp::Mul,
-                    3 => BinOp::Lt,
-                    4 => BinOp::Gt,
-                    5 => BinOp::And,
-                    _ => BinOp::Or,
-                };
-                Expr::Binary(
-                    op,
-                    Box::new(gen_expr(g, sc, depth - 1)),
-                    Box::new(gen_expr(g, sc, depth - 1)),
-                )
-            }
-        }
-    }
-
-    /// Peek indices must be non-negative at runtime; generate only
-    /// constants and loop variables (always >= 0 here).
-    fn gen_peek_index(g: &mut Gen, sc: &Scope) -> Expr {
-        if !sc.loop_vars.is_empty() && g.below(2) == 0 {
-            Expr::Var(sc.loop_vars[g.below(sc.loop_vars.len() as u64) as usize].clone())
-        } else {
-            Expr::IntLit(g.below(12) as i64)
-        }
-    }
-
-    fn gen_block(g: &mut Gen, sc: &mut Scope, depth: usize) -> Vec<Stmt> {
-        let n = 1 + g.below(4) as usize;
-        let mut out = Vec::with_capacity(n);
-        for _ in 0..n {
-            out.push(gen_stmt(g, sc, depth));
-        }
-        out
-    }
-
-    fn gen_stmt(g: &mut Gen, sc: &mut Scope, depth: usize) -> Stmt {
-        let max = if depth == 0 { 4 } else { 6 };
-        match g.below(max) {
-            0 => Stmt::Push(gen_expr(g, sc, 1)),
-            1 => Stmt::Expr(Expr::Pop),
-            2 => {
-                sc.fresh += 1;
-                let name = format!("v{}", sc.fresh);
-                let init = gen_expr(g, sc, 1);
-                sc.vars.push(name.clone());
-                Stmt::Let {
-                    name,
-                    ty: DataType::Int,
-                    init,
-                }
-            }
-            3 if !sc.vars.is_empty() => Stmt::Assign {
-                target: LValue::Var(sc.vars[g.below(sc.vars.len() as u64) as usize].clone()),
-                value: gen_expr(g, sc, 1),
-            },
-            3 => Stmt::Push(Expr::IntLit(1)),
-            4 => {
-                let cond = gen_expr(g, sc, 1);
-                // Lets inside an arm go out of scope at its end.
-                let mut t_sc = sc.clone();
-                let then_body = gen_block(g, &mut t_sc, depth - 1);
-                let mut e_sc = sc.clone();
-                e_sc.fresh = t_sc.fresh;
-                let else_body = gen_block(g, &mut e_sc, depth - 1);
-                sc.fresh = e_sc.fresh;
-                Stmt::If {
-                    cond,
-                    then_body,
-                    else_body,
-                }
-            }
-            _ => {
-                sc.fresh += 1;
-                let var = format!("i{}", sc.fresh);
-                // Mostly constant bounds; occasionally a data-dependent
-                // bound so the widened fixpoint path is exercised too
-                // (bounded by |.| % 5 to keep the concrete run finite).
-                let to = if g.below(4) == 0 {
-                    Expr::Binary(
-                        BinOp::Rem,
-                        Box::new(Expr::Call(streamit::graph::Intrinsic::Abs, vec![Expr::Pop])),
-                        Box::new(Expr::IntLit(5)),
-                    )
-                } else {
-                    Expr::IntLit(g.below(5) as i64)
-                };
-                // The loop variable is readable as a peek index (it is
-                // non-negative by construction) but deliberately kept out
-                // of `vars` so `Assign` can never make it negative.
-                let mut b_sc = sc.clone();
-                b_sc.loop_vars.push(var.clone());
-                let body = gen_block(g, &mut b_sc, depth - 1);
-                sc.fresh = b_sc.fresh;
-                Stmt::For {
-                    var,
-                    from: Expr::IntLit(0),
-                    to,
-                    body,
-                }
-            }
-        }
-    }
+    use super::irgen::{gen_block, Gen, Scope};
 
     /// Concrete tape context that records pops, pushes and the maximum
     /// input requirement (matching the analysis' `need` semantics).
