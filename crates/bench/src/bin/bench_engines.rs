@@ -64,13 +64,13 @@ fn measure_reference(p: &CompiledProgram, cg: &CompiledGraph, target_s: f64) -> 
 }
 
 /// Time `k` steady iterations on the compiled engine.
-fn measure_compiled(cg: &CompiledGraph, threads: usize, target_s: f64) -> Measurement {
+fn measure_compiled(cg: &CompiledGraph, target_s: f64) -> Measurement {
     let mut k = 16u64;
     loop {
         let input = varied_input(cg.required_input(k) as usize);
         let t0 = Instant::now();
         let out = cg
-            .run_steady(&input, k, threads)
+            .run_steady(&input, k)
             .unwrap_or_else(|e| panic!("compiled steady run failed: {e}"));
         let elapsed = t0.elapsed().as_secs_f64();
         if elapsed >= target_s || k >= 1 << 26 {
@@ -86,12 +86,12 @@ fn measure_compiled(cg: &CompiledGraph, threads: usize, target_s: f64) -> Measur
 }
 
 /// Bit-compare a short run on both engines.
-fn bit_identical(p: &CompiledProgram, cg: &CompiledGraph, threads: usize) -> bool {
+fn bit_identical(p: &CompiledProgram, cg: &CompiledGraph) -> bool {
     let k = 8u64;
     let n = (cg.init_outputs() + k * cg.outputs_per_iteration()) as usize;
     let input = varied_input(cg.required_input(k) as usize);
     let compiled = cg
-        .run_steady(&input, k, threads)
+        .run_steady(&input, k)
         .unwrap_or_else(|e| panic!("compiled check run failed: {e}"));
     let mut reference = p
         .run(&input, n)
@@ -122,7 +122,7 @@ fn main() {
         .cloned()
         .unwrap_or_else(|| "BENCH_interp.json".into());
     let target_s = if quick { 0.02 } else { 0.25 };
-    let threads = std::thread::available_parallelism()
+    let host_cores = std::thread::available_parallelism()
         .map(usize::from)
         .unwrap_or(1);
 
@@ -148,9 +148,9 @@ fn main() {
         let cg = p
             .compile_exec()
             .unwrap_or_else(|e| panic!("{name}: compiled engine must accept this app: {e}"));
-        let identical = bit_identical(&p, &cg, threads);
+        let identical = bit_identical(&p, &cg);
         let r = measure_reference(&p, &cg, target_s);
-        let c = measure_compiled(&cg, threads, target_s);
+        let c = measure_compiled(&cg, target_s);
         let speedup = c.items_per_sec / r.items_per_sec.max(1e-9);
         println!(
             "{:<12} {:>12.0}/s {:>12.0}/s {:>8.1}x  {}",
@@ -174,8 +174,10 @@ fn main() {
     }
 
     let report = format!(
-        "{{\n  \"benchmark\": \"engine_throughput\",\n  \"threads\": {threads},\n  \
+        "{{\n  \"benchmark\": \"engine_throughput\",\n  \"host\": {{\"cores\": {host_cores}, \"os\": \"{}\", \"arch\": \"{}\"}},\n  \
          \"quick\": {quick},\n  \"apps\": [\n{}\n  ]\n}}\n",
+        std::env::consts::OS,
+        std::env::consts::ARCH,
         rows.join(",\n")
     );
     std::fs::write(&out_path, &report).unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));

@@ -3,7 +3,8 @@
 //! ```text
 //! streamitc <file.str> [--main NAME] [--linear | --frequency]
 //!           [--outline] [--dot] [--verify] [--lint] [--schedule [TILES]]
-//!           [--run N] [--budget FIRINGS] [--engine ENGINE] [--strict]
+//!           [--run N] [--budget FIRINGS] [--engine ENGINE] [--threads N]
+//!           [--strict]
 //! ```
 //!
 //! * `--outline`   print the elaborated hierarchy
@@ -18,10 +19,14 @@
 //! * `--budget F`  firing budget for `--run` (default 5·10⁷): a
 //!   divergent program exits with a budget diagnostic instead of spinning
 //! * `--engine E`  execution engine for `--run`: `reference` (the
-//!   interpreter, default) or `compiled` (bytecode + ring-buffer tapes +
-//!   data-parallel split-joins).  When the compiled engine rejects a
+//!   interpreter, default), `compiled` (bytecode + ring-buffer tapes +
+//!   data-parallel split-joins), or `parallel` (the compiled engine's
+//!   plans fissed across worker threads and software-pipelined over
+//!   lock-free channels).  When a compiled-family engine rejects a
 //!   graph it prints the `E0701` diagnostic to stderr and falls back to
 //!   the reference engine, exiting 0
+//! * `--threads N` worker threads for `--engine parallel` (default 0 =
+//!   one per available core)
 //! * `--linear` / `--frequency`  enable the linear optimizer
 //! * `--strict`    fail on verification errors
 //!
@@ -58,6 +63,7 @@ struct Args {
     run: Option<usize>,
     budget: u64,
     engine: Engine,
+    threads: usize,
     strict: bool,
     lint: bool,
 }
@@ -66,7 +72,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: streamitc <file.str> [--main NAME] [--linear | --frequency] \
          [--outline] [--dot] [--lint] [--schedule [TILES]] [--run N] [--budget FIRINGS] \
-         [--engine reference|compiled] [--strict]"
+         [--engine reference|compiled|parallel] [--threads N] [--strict]"
     );
     std::process::exit(2);
 }
@@ -82,6 +88,7 @@ fn parse_args() -> Args {
         run: None,
         budget: streamit::interp::ExecLimits::default().max_firings,
         engine: Engine::default(),
+        threads: 0,
         strict: false,
         lint: false,
     };
@@ -123,6 +130,12 @@ fn parse_args() -> Args {
                 args.engine = it
                     .next()
                     .and_then(|s| s.parse::<Engine>().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--threads" => {
+                args.threads = it
+                    .next()
+                    .and_then(|s| s.parse::<usize>().ok())
                     .unwrap_or_else(|| usage());
             }
             "--help" | "-h" => usage(),
@@ -259,23 +272,32 @@ fn main() {
         let input: Vec<f64> = (0..16 * n.max(64))
             .map(|i| (i as f64 * 0.1).sin())
             .collect();
-        // The compiled engine handles a statically provable subset of
-        // graphs; when it declines, report why (E0701) and fall back to
-        // the reference interpreter so `--run` still succeeds.
-        let mut engine = args.engine;
-        if engine == Engine::Compiled {
-            if let Err(e) = program.compile_exec() {
-                let d = streamit::Diag::from(e);
-                eprintln!("streamitc: {d}");
-                eprintln!("streamitc: falling back to the reference engine");
-                engine = Engine::Reference;
-            }
+        // The compiled-family engines handle a statically provable
+        // subset of graphs; when one declines, report why (E0701) and
+        // fall back to the reference interpreter so `--run` still
+        // succeeds.
+        let mut engine = match args.engine {
+            Engine::Parallel { .. } => Engine::Parallel {
+                threads: args.threads,
+            },
+            e => e,
+        };
+        let declined = match engine {
+            Engine::Reference => None,
+            Engine::Compiled => program.compile_exec().err(),
+            Engine::Parallel { threads } => program.compile_parallel(threads).err(),
+        };
+        if let Some(e) = declined {
+            let d = streamit::Diag::from(e);
+            eprintln!("streamitc: {d}");
+            eprintln!("streamitc: falling back to the reference engine");
+            engine = Engine::Reference;
         }
         let result = match engine {
             Engine::Reference => program
                 .run_with_budget(&input, n, args.budget)
                 .map_err(streamit::Diag::from),
-            Engine::Compiled => program.run_with_engine(Engine::Compiled, &input, n),
+            e => program.run_with_engine(e, &input, n),
         };
         match result {
             Ok(out) => {

@@ -50,6 +50,7 @@ pub use streamit_graph as graph;
 pub use streamit_interp as interp;
 pub use streamit_linear as linear;
 pub use streamit_rawsim as rawsim;
+pub use streamit_rt as rt;
 pub use streamit_sched as sched;
 pub use streamit_sdep as sdep;
 
@@ -73,6 +74,16 @@ pub enum Engine {
     /// split-joins.  Rejects graphs outside its statically provable
     /// subset with an `E0701` diagnostic.
     Compiled,
+    /// The multicore runtime (`streamit-rt`): fuses/fisses the graph,
+    /// partitions it into software-pipelined stages, and runs one
+    /// worker thread per stage over lock-free SPSC ring channels.
+    /// `threads == 0` means "use all available cores".  Rejects the
+    /// same graphs as the compiled engine (plus feedback loops) with
+    /// an `E0701` diagnostic.
+    Parallel {
+        /// Worker-thread budget (0 = auto-detect available cores).
+        threads: usize,
+    },
 }
 
 impl std::str::FromStr for Engine {
@@ -82,8 +93,9 @@ impl std::str::FromStr for Engine {
         match s {
             "reference" => Ok(Engine::Reference),
             "compiled" => Ok(Engine::Compiled),
+            "parallel" => Ok(Engine::Parallel { threads: 0 }),
             other => Err(format!(
-                "unknown engine `{other}` (expected `reference` or `compiled`)"
+                "unknown engine `{other}` (expected `reference`, `compiled`, or `parallel`)"
             )),
         }
     }
@@ -94,6 +106,7 @@ impl std::fmt::Display for Engine {
         match self {
             Engine::Reference => write!(f, "reference"),
             Engine::Compiled => write!(f, "compiled"),
+            Engine::Parallel { .. } => write!(f, "parallel"),
         }
     }
 }
@@ -294,6 +307,22 @@ impl CompiledProgram {
         exec::CompiledGraph::compile(&self.flat, self.stream.input_type())
     }
 
+    /// Compile the flat graph for the multicore runtime with a
+    /// `threads`-worker budget (`0` = auto-detect).  Applies the
+    /// fission transform, partitions the graph into pipeline stages,
+    /// and proves the staged schedule with the same count simulation
+    /// the compiled engine uses.  Fails with
+    /// [`exec::ExecError::Unsupported`] on graphs the runtime cannot
+    /// stage (feedback loops, teleport portals, unanalyzable work).
+    pub fn compile_parallel(&self, threads: usize) -> Result<rt::ParallelGraph, exec::ExecError> {
+        if !self.portals.is_empty() {
+            return Err(exec::ExecError::Unsupported {
+                reason: "teleport portals require the reference interpreter".into(),
+            });
+        }
+        rt::ParallelGraph::compile(&self.flat, self.stream.input_type(), threads)
+    }
+
     /// Execute on the selected engine, returning `n` outputs.  Both
     /// engines produce the same deterministic stream (Kahn semantics),
     /// so the result is bit-identical whenever the compiled engine
@@ -308,10 +337,11 @@ impl CompiledProgram {
             Engine::Reference => self.run(input, n).map_err(Diag::from),
             Engine::Compiled => {
                 let cg = self.compile_exec()?;
-                let threads = std::thread::available_parallelism()
-                    .map(usize::from)
-                    .unwrap_or(1);
-                cg.run_collect(input, n, threads).map_err(Diag::from)
+                cg.run_collect(input, n).map_err(Diag::from)
+            }
+            Engine::Parallel { threads } => {
+                let pg = self.compile_parallel(threads)?;
+                pg.run_collect(input, n).map_err(Diag::from)
             }
         }
     }

@@ -24,7 +24,7 @@ use streamit_graph::{
 /// `s` are sources.  Register indices select the int (`i`) or float
 /// (`f`) bank according to the instruction's static type.
 #[derive(Debug, Clone, PartialEq)]
-pub(crate) enum Inst {
+pub enum Inst {
     ConstI {
         d: u16,
         v: i64,
@@ -202,7 +202,7 @@ pub(crate) enum Inst {
 /// Declared (pop, window, push) rates of one body, where `window` is
 /// `peek.max(pop)` — the tape requirement the scheduler must satisfy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub(crate) struct Rates {
+pub struct Rates {
     pub pop: u64,
     pub window: u64,
     pub push: u64,
@@ -212,7 +212,7 @@ pub(crate) struct Rates {
 /// VM checks observed pops/pushes against them after each firing, like
 /// the reference machine's rate-violation check).
 #[derive(Debug, Clone)]
-pub(crate) struct Program {
+pub struct Program {
     pub code: Vec<Inst>,
     pub rates: Rates,
 }
@@ -221,7 +221,7 @@ pub(crate) struct Program {
 /// (and `prework`, sharing the same register file), register-bank and
 /// arena sizes, and initial values for persistent state.
 #[derive(Debug, Clone)]
-pub(crate) struct FilterCode {
+pub struct FilterCode {
     pub name: String,
     pub work: Program,
     pub prework: Option<Program>,
@@ -844,7 +844,7 @@ impl Lowerer {
 /// (`None` when the filter has no input connection), `out_ty` the type
 /// pushes coerce to — the out-edge's type, or `Float` for the external
 /// output stream (whose capture applies `Value::as_f64`).
-pub(crate) fn lower_filter(
+pub fn lower_filter(
     f: &Filter,
     name: &str,
     in_ty: Option<DataType>,
@@ -949,7 +949,7 @@ pub(crate) fn lower_filter(
 /// Initial items loaded onto an edge must already have the edge's type:
 /// the reference machine stores them *uncoerced*, so a mismatch would
 /// diverge between engines.
-pub(crate) fn initial_items_typed(initial: &[Value], ty: DataType) -> Result<(), String> {
+pub fn initial_items_typed(initial: &[Value], ty: DataType) -> Result<(), String> {
     if initial.iter().all(|v| v.data_type() == ty) {
         Ok(())
     } else {

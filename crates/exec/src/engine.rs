@@ -28,7 +28,7 @@ const MAX_BACK_JUMPS: u64 = 50_000_000;
 /// registers / arena ranges and survives across firings; everything
 /// else is scratch the bytecode re-writes before reading.
 #[derive(Debug, Clone, Default)]
-pub(crate) struct Frame {
+pub struct Frame {
     pub i: Vec<i64>,
     pub f: Vec<f64>,
     pub ai: Vec<i64>,
@@ -61,7 +61,7 @@ impl Frame {
 
 /// A disjointly borrowable bundle of tapes and frames.
 #[derive(Debug)]
-pub(crate) struct Shard {
+pub struct Shard {
     pub tapes: Vec<Tape>,
     pub frames: Vec<Frame>,
 }
@@ -70,7 +70,7 @@ pub(crate) struct Shard {
 /// the plan's input type, like the reference machine's feed), external
 /// output sized for the requested iterations, every channel tape sized
 /// by the count simulation and preloaded with its initial items.
-pub(crate) fn build_shards(plan: &Plan, input: &[f64], out_cap: u64) -> Vec<Shard> {
+pub fn build_shards(plan: &Plan, input: &[f64], out_cap: u64) -> Vec<Shard> {
     plan.tapes
         .iter()
         .enumerate()
@@ -355,7 +355,7 @@ fn peek_offset(ix: i64, pops: u64) -> Result<u64, String> {
 
 /// Execute a flat op list against a shard slice whose first element is
 /// shard `base`.
-pub(crate) fn run_ops(
+pub fn run_ops(
     ops: &[Op],
     shards: &mut [Shard],
     base: u16,

@@ -20,12 +20,17 @@
 //! external I/O sites, under-primed feedback loops) are rejected with
 //! [`ExecError::Unsupported`]; callers fall back to the reference
 //! interpreter, which remains the semantics oracle.
+//!
+//! The building blocks — bytecode lowering, ring tapes, firing-plan
+//! assembly, and the op executor — are public modules: the multicore
+//! runtime (`streamit-rt`) reuses them to build per-stage plans and run
+//! them on worker threads.  This crate itself stays single-threaded;
+//! all threading lives in `streamit-rt`.
 
-mod bytecode;
-mod engine;
-mod parallel;
-mod plan;
-mod tape;
+pub mod bytecode;
+pub mod engine;
+pub mod plan;
+pub mod tape;
 
 use std::fmt;
 
@@ -112,17 +117,22 @@ impl CompiledGraph {
         self.plan.stats.round_in
     }
 
-    /// Number of data-parallel split-join branches the plan can fan out
-    /// across worker threads (0 means fully serial).
+    /// Number of data-parallel split-join branches the plan identifies
+    /// (0 means fully serial).  This engine runs them in order on one
+    /// core; the multicore runtime (`streamit-rt`) is the threaded path.
     pub fn parallel_branches(&self) -> usize {
         self.plan.branch_ops.len()
     }
 
-    /// Run initialization plus `k` steady iterations and return the
-    /// external output stream (as `f64`, the reference engine's output
-    /// convention).  `threads > 1` fans split-join branches across that
-    /// many scoped workers; the result is identical for any value.
-    pub fn run_steady(&self, input: &[f64], k: u64, threads: usize) -> Result<Vec<f64>, ExecError> {
+    /// The underlying firing plan (consumed by `streamit-rt`).
+    pub fn plan(&self) -> &plan::Plan {
+        &self.plan
+    }
+
+    /// Run initialization plus `k` steady iterations on one core and
+    /// return the external output stream (as `f64`, the reference
+    /// engine's output convention).
+    pub fn run_steady(&self, input: &[f64], k: u64) -> Result<Vec<f64>, ExecError> {
         let needed = self.required_input(k);
         if (input.len() as u64) < needed {
             return Err(ExecError::Starved {
@@ -134,7 +144,11 @@ impl CompiledGraph {
         let mut shards = engine::build_shards(&self.plan, input, out_cap);
         engine::run_ops(&self.plan.init_ops, &mut shards, 0, &self.plan.codes)?;
         for _ in 0..k {
-            parallel::run_round(&self.plan, &mut shards, threads)?;
+            engine::run_ops(&self.plan.pre_ops, &mut shards, 0, &self.plan.codes)?;
+            for ops in &self.plan.branch_ops {
+                engine::run_ops(ops, &mut shards, 0, &self.plan.codes)?;
+            }
+            engine::run_ops(&self.plan.post_ops, &mut shards, 0, &self.plan.codes)?;
         }
         match &shards[0].tapes[1] {
             Tape::F(r) => Ok(r.to_vec()),
@@ -148,12 +162,7 @@ impl CompiledGraph {
     /// Run enough steady iterations to produce at least `n` output
     /// items, returning exactly the first `n` (the deterministic prefix
     /// shared with the reference interpreter).
-    pub fn run_collect(
-        &self,
-        input: &[f64],
-        n: usize,
-        threads: usize,
-    ) -> Result<Vec<f64>, ExecError> {
+    pub fn run_collect(&self, input: &[f64], n: usize) -> Result<Vec<f64>, ExecError> {
         let s = &self.plan.stats;
         let k = if n as u64 <= s.init_out {
             0
@@ -162,7 +171,7 @@ impl CompiledGraph {
         } else {
             (n as u64 - s.init_out).div_ceil(s.round_out)
         };
-        let mut out = self.run_steady(input, k, threads)?;
+        let mut out = self.run_steady(input, k)?;
         out.truncate(n);
         Ok(out)
     }
@@ -196,7 +205,7 @@ mod tests {
         let c = CompiledGraph::compile(&g, None).expect("supported");
         assert_eq!(c.required_input(10), 0);
         assert_eq!(c.outputs_per_iteration(), 1);
-        let out = c.run_steady(&[], 5, 1).expect("runs");
+        let out = c.run_steady(&[], 5).expect("runs");
         assert_eq!(out, vec![0.0, 2.0, 4.0, 6.0, 8.0]);
     }
 
@@ -214,12 +223,12 @@ mod tests {
         let c = CompiledGraph::compile(&g, None).expect("supported");
         assert_eq!(c.required_input(1), 3);
         assert_eq!(c.required_input(4), 6);
-        let out = c.run_steady(&[1.0, 2.0, 3.0, 4.0], 2, 1).expect("runs");
+        let out = c.run_steady(&[1.0, 2.0, 3.0, 4.0], 2).expect("runs");
         assert_eq!(out, vec![2.0, 3.0]);
     }
 
     #[test]
-    fn split_join_branches_run_identically_threaded() {
+    fn split_join_branches_partition_and_run_in_order() {
         let branch = |name: &str, k: i64| {
             FilterBuilder::new(name, DataType::Int)
                 .rates(1, 1, 1)
@@ -241,10 +250,8 @@ mod tests {
         let g = streamit_graph::FlatGraph::from_stream(&s);
         let c = CompiledGraph::compile(&g, None).expect("supported");
         assert_eq!(c.parallel_branches(), 2);
-        let serial = c.run_steady(&[], 8, 1).expect("serial runs");
-        let threaded = c.run_steady(&[], 8, 4).expect("threaded runs");
-        assert_eq!(serial, threaded);
-        assert_eq!(&serial[..4], &[0.0, 0.0, 3.0, 5.0]);
+        let out = c.run_steady(&[], 8).expect("runs");
+        assert_eq!(&out[..4], &[0.0, 0.0, 3.0, 5.0]);
     }
 
     #[test]
@@ -273,7 +280,7 @@ mod tests {
             .build_node();
         let g = streamit_graph::FlatGraph::from_stream(&f);
         let c = CompiledGraph::compile(&g, None).expect("supported");
-        match c.run_steady(&[1.0], 3, 1) {
+        match c.run_steady(&[1.0], 3) {
             Err(ExecError::Starved { needed: 3, have: 1 }) => {}
             other => panic!("expected Starved, got {other:?}"),
         }

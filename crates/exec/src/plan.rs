@@ -26,20 +26,20 @@ use crate::bytecode::{initial_items_typed, lower_filter, FilterCode, Rates};
 /// that shard.  Shard 0 is the serial shard; shard `b + 1` holds branch
 /// `b`'s tapes and frames so a worker thread can borrow them disjointly.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub(crate) struct Loc {
+pub struct Loc {
     pub shard: u16,
     pub slot: u16,
 }
 
 /// Shard-0 slot 0 is always the external input tape.
-pub(crate) const EXT_IN: Loc = Loc { shard: 0, slot: 0 };
+pub const EXT_IN: Loc = Loc { shard: 0, slot: 0 };
 /// Shard-0 slot 1 is always the external output tape.
-pub(crate) const EXT_OUT: Loc = Loc { shard: 0, slot: 1 };
+pub const EXT_OUT: Loc = Loc { shard: 0, slot: 1 };
 
 /// One bulk move inside a [`Op::Moves`] firing: `n` items from the front
 /// of `src` to the tail of `dst`, in spec order within each firing.
 #[derive(Debug, Clone)]
-pub(crate) struct MoveSpec {
+pub struct MoveSpec {
     pub src: Loc,
     pub dst: Loc,
     pub n: u32,
@@ -47,7 +47,7 @@ pub(crate) struct MoveSpec {
 
 /// One schedule entry: fire a node `times` times.
 #[derive(Debug, Clone)]
-pub(crate) enum Op {
+pub enum Op {
     /// Run a filter's bytecode against its input/output tapes.
     Work {
         code: u32,
@@ -88,7 +88,7 @@ impl Op {
 /// the count simulation observed; the external slots keep `cap == 0`
 /// because the engine sizes them from the actual run parameters.
 #[derive(Debug, Clone)]
-pub(crate) struct TapeSpec {
+pub struct TapeSpec {
     pub ty: DataType,
     pub cap: u64,
     pub initial: Vec<streamit_graph::Value>,
@@ -96,7 +96,7 @@ pub(crate) struct TapeSpec {
 
 /// External-stream accounting derived by the count simulation.
 #[derive(Debug, Clone, Copy, Default)]
-pub(crate) struct Stats {
+pub struct Stats {
     /// Input items consumed by the initialization ops.
     pub init_in: u64,
     /// Input items that must be present before initialization (peeks may
@@ -116,7 +116,7 @@ pub(crate) struct Stats {
 /// A fully compiled graph: everything the engine needs, with no
 /// remaining references to the source graph.
 #[derive(Debug, Clone)]
-pub(crate) struct Plan {
+pub struct Plan {
     pub codes: Vec<FilterCode>,
     /// Tape specs per shard (`tapes[0][0]`/`[0][1]` are EXT_IN/EXT_OUT).
     pub tapes: Vec<Vec<TapeSpec>>,
@@ -140,7 +140,7 @@ pub(crate) struct Plan {
 /// Number of input ports a node logically has.  A feedback joiner always
 /// has 2 logical inputs even when the external side is the machine's
 /// input tape; a round-robin weight vector can extend the arity further.
-fn in_arity(g: &FlatGraph, node: NodeId) -> usize {
+pub fn in_arity(g: &FlatGraph, node: NodeId) -> usize {
     let n = g.node(node);
     match &n.kind {
         FlatNodeKind::Joiner(j) => {
@@ -157,7 +157,7 @@ fn in_arity(g: &FlatGraph, node: NodeId) -> usize {
 }
 
 /// Number of output ports a node logically has (dual of [`in_arity`]).
-fn out_arity(g: &FlatGraph, node: NodeId) -> usize {
+pub fn out_arity(g: &FlatGraph, node: NodeId) -> usize {
     let n = g.node(node);
     match &n.kind {
         FlatNodeKind::Splitter(s) => {
@@ -174,7 +174,7 @@ fn out_arity(g: &FlatGraph, node: NodeId) -> usize {
 }
 
 /// Resolve an input port to its edge; `None` is the external input.
-fn in_edge_for_port(g: &FlatGraph, node: NodeId, port: usize) -> Option<EdgeId> {
+pub fn in_edge_for_port(g: &FlatGraph, node: NodeId, port: usize) -> Option<EdgeId> {
     let n = g.node(node);
     let missing = in_arity(g, node).saturating_sub(n.inputs.len());
     if port < missing {
@@ -185,7 +185,7 @@ fn in_edge_for_port(g: &FlatGraph, node: NodeId, port: usize) -> Option<EdgeId> 
 }
 
 /// Resolve an output port to its edge; `None` is the external output.
-fn out_edge_for_port(g: &FlatGraph, node: NodeId, port: usize) -> Option<EdgeId> {
+pub fn out_edge_for_port(g: &FlatGraph, node: NodeId, port: usize) -> Option<EdgeId> {
     let n = g.node(node);
     let missing = out_arity(g, node).saturating_sub(n.outputs.len());
     if port < missing {
@@ -197,21 +197,21 @@ fn out_edge_for_port(g: &FlatGraph, node: NodeId, port: usize) -> Option<EdgeId>
 
 /// Input-port demand of one firing: which tape it reads, how many items
 /// must be present (`window`), how many it consumes (`pop`).
-struct PortUse {
-    edge: Option<EdgeId>,
-    window: u64,
-    pop: u64,
+pub struct PortUse {
+    pub edge: Option<EdgeId>,
+    pub window: u64,
+    pub pop: u64,
 }
 
 /// Output-port supply of one firing.
-struct OutUse {
-    edge: Option<EdgeId>,
-    push: u64,
+pub struct OutUse {
+    pub edge: Option<EdgeId>,
+    pub push: u64,
 }
 
 /// The I/O profile of one firing of `node` (`first` selects prework
 /// rates for filters that declare one).  Zero-rate ports are omitted.
-fn firing_io(g: &FlatGraph, node: NodeId, first: bool) -> (Vec<PortUse>, Vec<OutUse>) {
+pub fn firing_io(g: &FlatGraph, node: NodeId, first: bool) -> (Vec<PortUse>, Vec<OutUse>) {
     let n = g.node(node);
     match &n.kind {
         FlatNodeKind::Filter(f) => {
@@ -404,7 +404,7 @@ impl InitSim<'_> {
 
 /// Derive the init firing sequence: prework firings in topo order, then
 /// priming until one steady round validates.
-fn build_init(g: &FlatGraph, topo: &[NodeId], reps: &[u64]) -> Result<Vec<NodeId>, String> {
+pub fn build_init(g: &FlatGraph, topo: &[NodeId], reps: &[u64]) -> Result<Vec<NodeId>, String> {
     let mut sim = InitSim {
         g,
         occ: g.edges.iter().map(|e| e.initial.len() as u64).collect(),
@@ -479,25 +479,30 @@ fn find_region(g: &FlatGraph, topo: &[NodeId]) -> Option<Vec<Vec<NodeId>>> {
 // Assembly: slots, ops, count simulation
 // ---------------------------------------------------------------------------
 
-/// Working tables shared by op emission.
-struct Layout {
-    edge_loc: Vec<Loc>,
-    frame_loc: Vec<Option<Loc>>,
-    code_of: Vec<Option<u32>>,
+/// Working tables shared by op emission.  The external-stream locations
+/// are fields (not constants) so a caller with a different shard scheme
+/// — the multicore runtime places the external tapes inside the owning
+/// stage's shard — can reuse the same op emission.
+pub struct Layout {
+    pub edge_loc: Vec<Loc>,
+    pub frame_loc: Vec<Option<Loc>>,
+    pub code_of: Vec<Option<u32>>,
+    pub ext_in: Loc,
+    pub ext_out: Loc,
 }
 
 impl Layout {
-    fn in_loc(&self, e: Option<EdgeId>) -> Loc {
-        e.map_or(EXT_IN, |e| self.edge_loc[e.0])
+    pub fn in_loc(&self, e: Option<EdgeId>) -> Loc {
+        e.map_or(self.ext_in, |e| self.edge_loc[e.0])
     }
-    fn out_loc(&self, e: Option<EdgeId>) -> Loc {
-        e.map_or(EXT_OUT, |e| self.edge_loc[e.0])
+    pub fn out_loc(&self, e: Option<EdgeId>) -> Loc {
+        e.map_or(self.ext_out, |e| self.edge_loc[e.0])
     }
 }
 
 /// Emit the op for firing `node` `times` times (`prework` selects the
 /// prework body for filters).  Nodes that move nothing emit no op.
-fn node_op(g: &FlatGraph, lay: &Layout, node: NodeId, times: u32, prework: bool) -> Option<Op> {
+pub fn node_op(g: &FlatGraph, lay: &Layout, node: NodeId, times: u32, prework: bool) -> Option<Op> {
     let n = g.node(node);
     match &n.kind {
         FlatNodeKind::Filter(f) => {
@@ -581,7 +586,7 @@ fn node_op(g: &FlatGraph, lay: &Layout, node: NodeId, times: u32, prework: bool)
 
 /// Replay the init firing sequence as ops, splitting each prework
 /// filter's first firing onto its prework body.
-fn init_ops_from_seq(g: &FlatGraph, lay: &Layout, seq: &[NodeId]) -> Vec<Op> {
+pub fn init_ops_from_seq(g: &FlatGraph, lay: &Layout, seq: &[NodeId]) -> Vec<Op> {
     let mut fired = vec![0u64; g.nodes.len()];
     let mut ops = Vec::new();
     let mut i = 0;
@@ -608,18 +613,42 @@ fn init_ops_from_seq(g: &FlatGraph, lay: &Layout, seq: &[NodeId]) -> Vec<Op> {
 }
 
 /// Count simulation: proves the plan sound and sizes the tapes.
-struct CountSim {
-    occ: Vec<Vec<u64>>,
-    maxo: Vec<Vec<u64>>,
-    ext_used: u64,
-    ext_req: u64,
-    ext_out: u64,
+pub struct CountSim {
+    pub occ: Vec<Vec<u64>>,
+    pub maxo: Vec<Vec<u64>>,
+    pub ext_used: u64,
+    pub ext_req: u64,
+    pub ext_out: u64,
     /// Round-local requirement base (`ext_used` at round start).
-    round_base: u64,
-    round_req: u64,
+    pub round_base: u64,
+    pub round_req: u64,
+    /// Where the external streams live (compared by `Loc` equality, so
+    /// callers with a different shard scheme supply their own).
+    pub ext_in_loc: Loc,
+    pub ext_out_loc: Loc,
 }
 
 impl CountSim {
+    /// A simulator whose per-slot occupancy starts at each tape's
+    /// initial item count.
+    pub fn new(tapes: &[Vec<TapeSpec>], ext_in_loc: Loc, ext_out_loc: Loc) -> CountSim {
+        let occ: Vec<Vec<u64>> = tapes
+            .iter()
+            .map(|ts| ts.iter().map(|t| t.initial.len() as u64).collect())
+            .collect();
+        CountSim {
+            maxo: occ.clone(),
+            occ,
+            ext_used: 0,
+            ext_req: 0,
+            ext_out: 0,
+            round_base: 0,
+            round_req: 0,
+            ext_in_loc,
+            ext_out_loc,
+        }
+    }
+
     fn apply(&mut self, op: &Op, codes: &[FilterCode]) -> Result<(), String> {
         let times = op.times() as u64;
         // (loc, pop-per-firing, window slack beyond pop) / (loc, push-per-firing),
@@ -683,7 +712,7 @@ impl CountSim {
         }
         for &(l, pop, extra) in &ins {
             let need = times * pop + extra;
-            if l == EXT_IN {
+            if l == self.ext_in_loc {
                 self.ext_req = self.ext_req.max(self.ext_used + need);
                 self.round_req = self.round_req.max(self.ext_used - self.round_base + need);
                 self.ext_used += times * pop;
@@ -695,7 +724,7 @@ impl CountSim {
             }
         }
         for &(l, push) in &outs {
-            if l == EXT_OUT {
+            if l == self.ext_out_loc {
                 self.ext_out += times * push;
             } else {
                 let o = &mut self.occ[l.shard as usize][l.slot as usize];
@@ -705,14 +734,14 @@ impl CountSim {
             }
         }
         for &(l, pop, _) in &ins {
-            if l != EXT_IN {
+            if l != self.ext_in_loc {
                 self.occ[l.shard as usize][l.slot as usize] -= times * pop;
             }
         }
         Ok(())
     }
 
-    fn run(&mut self, ops: &[Op], codes: &[FilterCode]) -> Result<(), String> {
+    pub fn run(&mut self, ops: &[Op], codes: &[FilterCode]) -> Result<(), String> {
         for op in ops {
             self.apply(op, codes)?;
         }
@@ -798,6 +827,8 @@ fn assemble(
         edge_loc,
         frame_loc,
         code_of,
+        ext_in: EXT_IN,
+        ext_out: EXT_OUT,
     };
 
     // Stage partition: nodes at/past the joiner run post, branch chains
@@ -847,21 +878,7 @@ fn assemble(
     let init_ops = init_ops_from_seq(g, &lay, init_seq);
 
     // Count simulation: init once, then two identical steady rounds.
-    let mut sim = CountSim {
-        occ: tapes
-            .iter()
-            .map(|ts| ts.iter().map(|t| t.initial.len() as u64).collect())
-            .collect(),
-        maxo: tapes
-            .iter()
-            .map(|ts| ts.iter().map(|t| t.initial.len() as u64).collect())
-            .collect(),
-        ext_used: 0,
-        ext_req: 0,
-        ext_out: 0,
-        round_base: 0,
-        round_req: 0,
-    };
+    let mut sim = CountSim::new(&tapes, EXT_IN, EXT_OUT);
     sim.run(&init_ops, &codes)?;
     let init_in = sim.ext_used;
     let init_in_required = sim.ext_req;
@@ -917,16 +934,11 @@ fn assemble(
     })
 }
 
-/// Compile a flat graph into a firing plan, or explain (as an
-/// `Unsupported` reason) why the compiled engine cannot run it.
-pub(crate) fn build_plan(g: &FlatGraph, input_ty: DataType) -> Result<Plan, String> {
-    let reps = repetition_vector(g).map_err(|e| format!("no steady-state schedule: {e:?}"))?;
-    let topo = g.topo_order();
-
-    // Census: at most one external-input and one external-output site.
-    // With several, the interleaving of reads/writes on the shared
-    // external stream is schedule-dependent, and block execution would
-    // diverge from the reference machine.
+/// Census: at most one external-input and one external-output site.
+/// With several, the interleaving of reads/writes on the shared
+/// external stream is schedule-dependent, and block execution would
+/// diverge from the reference machine.
+pub fn check_io_sites(g: &FlatGraph) -> Result<(), String> {
     let mut ext_in_sites = 0usize;
     let mut ext_out_sites = 0usize;
     for n in &g.nodes {
@@ -949,10 +961,17 @@ pub(crate) fn build_plan(g: &FlatGraph, input_ty: DataType) -> Result<Plan, Stri
     if ext_out_sites > 1 {
         return Err("multiple nodes write the external output".into());
     }
+    Ok(())
+}
 
-    // Per-filter gate and lowering.  Any analysis *error* (or the
-    // rates-not-statically-provable lint L0605) means we cannot prove
-    // block execution matches the reference firing-by-firing semantics.
+/// Per-filter gate and lowering.  Any analysis *error* (or the
+/// rates-not-statically-provable lint L0605) means we cannot prove
+/// block execution matches the reference firing-by-firing semantics.
+/// Returns the lowered codes and the `codes` index per node.
+pub fn lower_graph(
+    g: &FlatGraph,
+    input_ty: DataType,
+) -> Result<(Vec<FilterCode>, Vec<Option<u32>>), String> {
     let mut codes = Vec::new();
     let mut code_of = vec![None; g.nodes.len()];
     for n in &g.nodes {
@@ -987,7 +1006,16 @@ pub(crate) fn build_plan(g: &FlatGraph, input_ty: DataType) -> Result<Plan, Stri
     for e in &g.edges {
         initial_items_typed(&e.initial, e.ty).map_err(|err| format!("edge {}: {err}", e.id.0))?;
     }
+    Ok((codes, code_of))
+}
 
+/// Compile a flat graph into a firing plan, or explain (as an
+/// `Unsupported` reason) why the compiled engine cannot run it.
+pub fn build_plan(g: &FlatGraph, input_ty: DataType) -> Result<Plan, String> {
+    let reps = repetition_vector(g).map_err(|e| format!("no steady-state schedule: {e:?}"))?;
+    let topo = g.topo_order();
+    check_io_sites(g)?;
+    let (codes, code_of) = lower_graph(g, input_ty)?;
     let init_seq = build_init(g, &topo, &reps)?;
 
     if let Some(chains) = find_region(g, &topo) {

@@ -12,7 +12,7 @@ use streamit_graph::DataType;
 
 /// A fixed-capacity single-producer FIFO over a `Copy` element type.
 #[derive(Debug, Clone)]
-pub(crate) struct Ring<T> {
+pub struct Ring<T> {
     buf: Box<[T]>,
     mask: u64,
     /// Items ever popped (the read cursor).
@@ -55,6 +55,11 @@ impl<T: Copy + Default> Ring<T> {
         self.tail - self.head
     }
 
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.head == self.tail
+    }
+
     /// Read the item `i` positions past the read cursor, if present.
     #[inline]
     pub fn get(&self, i: u64) -> Option<T> {
@@ -66,8 +71,11 @@ impl<T: Copy + Default> Ring<T> {
     }
 
     /// Append one item; fails when the ring is full (the firing plan
-    /// sizes capacities so this cannot happen in steady state).
+    /// sizes capacities so this cannot happen in steady state).  The
+    /// unit error is deliberate: overflow is a planner bug the caller
+    /// wraps in its own diagnostic, so there is nothing to carry.
     #[inline]
+    #[allow(clippy::result_unit_err)]
     pub fn push(&mut self, v: T) -> Result<(), ()> {
         if self.len() >= self.capacity() {
             return Err(());
@@ -112,7 +120,7 @@ impl<T: Copy + Default> Ring<T> {
 /// A typed tape: the runtime face of one channel (or the external
 /// input/output stream).
 #[derive(Debug, Clone)]
-pub(crate) enum Tape {
+pub enum Tape {
     I(Ring<i64>),
     F(Ring<f64>),
 }
@@ -139,6 +147,14 @@ impl Tape {
     }
 
     #[inline]
+    pub fn is_empty(&self) -> bool {
+        match self {
+            Tape::I(r) => r.is_empty(),
+            Tape::F(r) => r.is_empty(),
+        }
+    }
+
+    #[inline]
     pub fn free(&self) -> u64 {
         match self {
             Tape::I(r) => r.capacity() - r.len(),
@@ -149,6 +165,7 @@ impl Tape {
     /// Push a value held as `i64`, coercing to the tape's element type
     /// exactly as `Value::coerce` does.
     #[inline]
+    #[allow(clippy::result_unit_err)]
     pub fn push_i(&mut self, v: i64) -> Result<(), ()> {
         match self {
             Tape::I(r) => r.push(v),
@@ -158,6 +175,7 @@ impl Tape {
 
     /// Push a value held as `f64`, coercing to the tape's element type.
     #[inline]
+    #[allow(clippy::result_unit_err)]
     pub fn push_f(&mut self, v: f64) -> Result<(), ()> {
         match self {
             Tape::I(r) => r.push(v as i64),
@@ -185,6 +203,7 @@ impl Tape {
 
     /// Push a typed raw value, coercing to the tape's element type.
     #[inline]
+    #[allow(clippy::result_unit_err)]
     pub fn push_raw(&mut self, v: Raw) -> Result<(), ()> {
         match v {
             Raw::I(x) => self.push_i(x),
@@ -196,7 +215,7 @@ impl Tape {
 /// An unboxed typed item in flight between tapes (the splitter/joiner
 /// analogue of `Value`, but `Copy` over machine scalars).
 #[derive(Debug, Clone, Copy)]
-pub(crate) enum Raw {
+pub enum Raw {
     I(i64),
     F(f64),
 }
@@ -223,7 +242,7 @@ impl Raw {
 /// coercing between element types exactly as the reference machine's
 /// `push_to_port` does (`Value::coerce` to the destination edge type).
 /// Same-typed moves are bulk slice copies.
-pub(crate) fn move_items(src: &mut Tape, dst: &mut Tape, n: u64) -> Result<(), String> {
+pub fn move_items(src: &mut Tape, dst: &mut Tape, n: u64) -> Result<(), String> {
     if src.len() < n {
         return Err(format!("tape underflow: need {n}, have {}", src.len()));
     }

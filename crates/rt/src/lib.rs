@@ -1,0 +1,354 @@
+//! # streamit-rt
+//!
+//! The multicore streaming runtime: the paper's three forms of
+//! parallelism, executed on real threads instead of only scored by the
+//! scheduler's cost model.
+//!
+//! Compilation ([`ParallelGraph::compile`]) proceeds in three layers:
+//!
+//! 1. **Graph transformation** (`transform`): maximal stateless
+//!    non-peeking filter chains are treated as fused regions and fissed
+//!    `W` ways behind weighted round-robin splitters/joiners — the
+//!    paper's coarse-grained *data* parallelism, with degrees chosen by
+//!    the same [`streamit_sched::coarse_fission_degrees`] heuristic the
+//!    scheduler's cost model uses.
+//! 2. **Staged planning** (`plan`): the transformed graph is cut into
+//!    contiguous software-pipeline stages
+//!    ([`streamit_sched::pipeline_stage_partition`] over the work
+//!    estimates), reusing the compiled engine's bytecode lowering, op
+//!    emission, and count simulation to prove the staged schedule and
+//!    size every tape.
+//! 3. **Pipelined execution** (`run`, `spsc`): one worker thread per
+//!    stage over lock-free bounded SPSC channels with one batch publish
+//!    per steady iteration — software pipelining with backpressure
+//!    instead of barriers.
+//!
+//! The runtime accepts exactly the compiled engine's subset minus
+//! feedback loops (a back edge would make a stage wait on a later
+//! stage); everything else — including stateful pipelines, which still
+//! get pipeline parallelism even though they cannot be fissed — runs
+//! and stays *bit-identical* to the reference interpreter, because
+//! fission preserves Kahn-network semantics and the staged schedule is
+//! proved by the same count simulation as the serial plan.  Graphs
+//! outside the subset are declined with [`ExecError::Unsupported`] and
+//! callers fall back to the serial engines.
+
+pub mod plan;
+pub mod run;
+pub mod spsc;
+pub mod transform;
+
+use streamit_exec::tape::Tape;
+pub use streamit_exec::ExecError;
+use streamit_graph::{DataType, FlatGraph};
+
+pub use plan::StagedPlan;
+pub use transform::FissedRegion;
+
+/// A graph compiled for the multicore runtime.  Immutable and
+/// shareable: every run materializes its own shards and channels.
+#[derive(Debug, Clone)]
+pub struct ParallelGraph {
+    plan: StagedPlan,
+    threads: usize,
+    regions: Vec<FissedRegion>,
+}
+
+impl ParallelGraph {
+    /// Compile a flat graph for `threads` worker threads (`0` =
+    /// auto-detect the host's available parallelism).  `input_ty` is
+    /// the external input element type (defaults to `Float`, like the
+    /// serial engines).
+    pub fn compile(
+        g: &FlatGraph,
+        input_ty: Option<DataType>,
+        threads: usize,
+    ) -> Result<ParallelGraph, ExecError> {
+        let threads = if threads == 0 {
+            std::thread::available_parallelism().map_or(1, usize::from)
+        } else {
+            threads
+        };
+        let ty = input_ty.unwrap_or(DataType::Float);
+        if g.edges.iter().any(|e| e.is_back_edge) {
+            return Err(ExecError::Unsupported {
+                reason: "feedback loops require the single-core engines".into(),
+            });
+        }
+        let (fissed, regions) = transform::fiss_graph(g, threads);
+        match plan::build_staged_plan(&fissed, ty, threads) {
+            Ok(plan) => Ok(ParallelGraph {
+                plan,
+                threads,
+                regions,
+            }),
+            // The transform can push a graph over a planner limit (tape
+            // counts, init priming); retry untransformed before giving
+            // up so fission is never the reason a graph is declined.
+            Err(first) => match plan::build_staged_plan(g, ty, threads) {
+                Ok(plan) => Ok(ParallelGraph {
+                    plan,
+                    threads,
+                    regions: Vec::new(),
+                }),
+                Err(_) => Err(ExecError::Unsupported { reason: first }),
+            },
+        }
+    }
+
+    /// Worker threads the plan was built for (stage count may be lower).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Pipeline stages (= worker threads actually spawned).
+    pub fn stages(&self) -> usize {
+        self.plan.stages()
+    }
+
+    /// Which regions the fission transform replicated, and how wide.
+    pub fn fission_report(&self) -> &[FissedRegion] {
+        &self.regions
+    }
+
+    /// The staged plan (for inspection and tests).
+    pub fn plan(&self) -> &StagedPlan {
+        &self.plan
+    }
+
+    /// External input items needed to run `k` steady iterations.
+    pub fn required_input(&self, k: u64) -> u64 {
+        let s = &self.plan.stats;
+        if k == 0 {
+            s.init_in_required
+        } else {
+            s.init_in_required
+                .max(s.init_in + (k - 1) * s.round_in + s.round_in_required)
+        }
+    }
+
+    /// External output items produced by the initialization phase.
+    pub fn init_outputs(&self) -> u64 {
+        self.plan.stats.init_out
+    }
+
+    /// External output items produced per steady iteration.
+    pub fn outputs_per_iteration(&self) -> u64 {
+        self.plan.stats.round_out
+    }
+
+    /// External input items consumed per steady iteration.
+    pub fn inputs_per_iteration(&self) -> u64 {
+        self.plan.stats.round_in
+    }
+
+    /// Run initialization plus `k` steady iterations and return the
+    /// external output stream.  Initialization runs serially; the
+    /// steady rounds run one worker thread per stage (single-stage
+    /// plans skip the threading entirely).
+    pub fn run_steady(&self, input: &[f64], k: u64) -> Result<Vec<f64>, ExecError> {
+        let needed = self.required_input(k);
+        if (input.len() as u64) < needed {
+            return Err(ExecError::Starved {
+                needed,
+                have: input.len() as u64,
+            });
+        }
+        let out_cap = (self.plan.stats.init_out + k * self.plan.stats.round_out).max(1);
+        let mut shards = run::build_shards(&self.plan, input, out_cap);
+        streamit_exec::engine::run_ops(&self.plan.init_ops, &mut shards, 0, &self.plan.codes)?;
+        let shards = if self.plan.stages() == 1 {
+            for _ in 0..k {
+                streamit_exec::engine::run_ops(
+                    &self.plan.stage_ops[0],
+                    &mut shards,
+                    0,
+                    &self.plan.codes,
+                )?;
+            }
+            shards
+        } else {
+            run::run_pipelined(&self.plan, shards, k)?
+        };
+        if self.plan.ext_out == plan::NO_EXT {
+            return Ok(Vec::new());
+        }
+        let l = self.plan.ext_out;
+        match shards
+            .get(l.shard as usize)
+            .and_then(|s| s.tapes.get(l.slot as usize))
+        {
+            Some(Tape::F(r)) => Ok(r.to_vec()),
+            _ => Err(ExecError::Fault {
+                node: "output".into(),
+                reason: "external output tape has wrong type".into(),
+            }),
+        }
+    }
+
+    /// Run enough steady iterations to produce at least `n` output
+    /// items, returning exactly the first `n` (the deterministic prefix
+    /// shared with the serial engines).
+    pub fn run_collect(&self, input: &[f64], n: usize) -> Result<Vec<f64>, ExecError> {
+        let s = &self.plan.stats;
+        let k = if n as u64 <= s.init_out {
+            0
+        } else if s.round_out == 0 {
+            return Err(ExecError::NoSteadyOutput);
+        } else {
+            (n as u64 - s.init_out).div_ceil(s.round_out)
+        };
+        let mut out = self.run_steady(input, k)?;
+        out.truncate(n);
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use streamit_exec::CompiledGraph;
+    use streamit_graph::builder::*;
+    use streamit_graph::Value;
+
+    fn counter_source(name: &str) -> streamit_graph::StreamNode {
+        FilterBuilder::source(name, DataType::Int)
+            .rates(0, 0, 1)
+            .state("i", DataType::Int, Value::Int(0))
+            .work(|b| b.push(var("i")).set("i", var("i") + lit(1i64)))
+            .build_node()
+    }
+
+    fn heavy(name: &str) -> streamit_graph::StreamNode {
+        FilterBuilder::new(name, DataType::Int)
+            .rates(1, 1, 1)
+            .work(|b| {
+                let mut e = pop();
+                for k in 1..60i64 {
+                    e = e * lit(2i64) + lit(k);
+                }
+                b.push(e)
+            })
+            .build_node()
+    }
+
+    fn compare_engines(s: &streamit_graph::StreamNode, threads: usize, k: u64) {
+        let g = FlatGraph::from_stream(s);
+        let cg = CompiledGraph::compile(&g, None).expect("serial engine accepts");
+        let pg = ParallelGraph::compile(&g, None, threads).expect("parallel engine accepts");
+        // The transformed graph may have a different steady-state size;
+        // compare equal-length output prefixes instead of iterations.
+        let n = (cg.init_outputs() + k * cg.outputs_per_iteration()) as usize;
+        let need =
+            cg.required_input(k)
+                .max(pg.required_input(if pg.outputs_per_iteration() == 0 {
+                    0
+                } else {
+                    (n as u64).div_ceil(pg.outputs_per_iteration())
+                }));
+        let input: Vec<f64> = (0..need).map(|i| ((i * 37) % 101) as f64 - 50.0).collect();
+        let serial = cg.run_collect(&input, n).expect("serial runs");
+        let par = pg.run_collect(&input, n).expect("parallel runs");
+        let sb: Vec<u64> = serial.iter().map(|v| v.to_bits()).collect();
+        let pb: Vec<u64> = par.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(sb, pb, "engines disagree at {threads} threads");
+    }
+
+    #[test]
+    fn pipeline_is_bit_identical_across_thread_counts() {
+        let s = pipeline(
+            "p",
+            vec![
+                counter_source("src"),
+                heavy("h1"),
+                heavy("h2"),
+                FilterBuilder::new("x2", DataType::Int)
+                    .rates(1, 1, 1)
+                    .work(|b| b.push(pop() * lit(2i64)))
+                    .build_node(),
+            ],
+        );
+        for threads in [1, 2, 4] {
+            compare_engines(&s, threads, 8);
+        }
+    }
+
+    #[test]
+    fn stateful_pipeline_still_gets_pipeline_parallelism() {
+        // A stateful accumulator cannot be fissed but can be staged.
+        let acc = FilterBuilder::new("acc", DataType::Int)
+            .rates(1, 1, 1)
+            .state("a", DataType::Int, Value::Int(0))
+            .work(|b| b.set("a", var("a") + pop()).push(var("a")))
+            .build_node();
+        let s = pipeline("p", vec![counter_source("src"), heavy("h"), acc]);
+        for threads in [1, 2, 4] {
+            compare_engines(&s, threads, 6);
+        }
+        let g = FlatGraph::from_stream(&s);
+        let pg = ParallelGraph::compile(&g, None, 4).expect("accepts");
+        assert!(pg.stages() >= 1);
+    }
+
+    #[test]
+    fn splitjoin_graphs_run_pipelined() {
+        let branch = |name: &str, k: i64| {
+            FilterBuilder::new(name, DataType::Int)
+                .rates(1, 1, 1)
+                .work(move |b| b.push(pop() * lit(k)))
+                .build_node()
+        };
+        let s = pipeline(
+            "p",
+            vec![
+                counter_source("src"),
+                splitjoin(
+                    "sj",
+                    streamit_graph::Splitter::Duplicate,
+                    vec![branch("a", 3), branch("b", 5)],
+                    streamit_graph::Joiner::round_robin(2),
+                ),
+            ],
+        );
+        for threads in [1, 2, 4] {
+            compare_engines(&s, threads, 8);
+        }
+    }
+
+    #[test]
+    fn feedback_loops_are_declined() {
+        let lp = feedback_loop(
+            "loop",
+            streamit_graph::Joiner::RoundRobin(vec![0, 1]),
+            FilterBuilder::new("adder", DataType::Int)
+                .rates(2, 1, 1)
+                .work(|b| b.push(peek(lit(0i64)) + peek(lit(1i64))).pop_discard())
+                .build_node(),
+            streamit_graph::Splitter::Duplicate,
+            identity("lb", DataType::Int),
+            2,
+            |i| Value::Int(i as i64),
+        );
+        let g = FlatGraph::from_stream(&lp);
+        match ParallelGraph::compile(&g, Some(DataType::Int), 2) {
+            Err(ExecError::Unsupported { reason }) => {
+                assert!(reason.contains("feedback"), "reason: {reason}")
+            }
+            other => panic!("expected Unsupported, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn starvation_is_reported() {
+        let f = FilterBuilder::new("id", DataType::Float)
+            .rates(1, 1, 1)
+            .work(|b| b.push(pop()))
+            .build_node();
+        let g = FlatGraph::from_stream(&f);
+        let pg = ParallelGraph::compile(&g, None, 2).expect("accepts");
+        match pg.run_steady(&[1.0], 3) {
+            Err(ExecError::Starved { needed: 3, have: 1 }) => {}
+            other => panic!("expected Starved, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,232 @@
+//! Software-pipelined execution of a staged plan.
+//!
+//! One scoped worker thread per stage.  Worker `s`, iteration `i`:
+//!
+//! 1. **Drain**: for every in-link, wait until the channel holds a full
+//!    round's flow, bulk-copy it into the consumer tape, retire it.
+//! 2. **Fire**: run the stage's op list against its own shard.
+//! 3. **Publish**: for every out-link, wait until the channel has a
+//!    full round of free space, bulk-copy the staging tape into it,
+//!    publish, drain the staging tape.
+//!
+//! Stage `s` can only start iteration `i` after stage `s-1` published
+//! iteration `i`, but stage `s-1` immediately proceeds to iteration
+//! `i+1` — the pipeline overlap — and is throttled only by channel
+//! capacity (several rounds of headroom), i.e. backpressure instead of
+//! barriers.  Because stages partition a topological order, links only
+//! point forward and every channel holds at least one full round, so
+//! the wait graph is acyclic and the pipeline cannot deadlock.
+//!
+//! Faults abort the whole pipeline: the failing worker stores the first
+//! error, raises the abort flag, and every wait loop checks the flag so
+//! no worker spins forever on a dead neighbour.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+
+use streamit_exec::engine::{run_ops, Frame, Shard};
+use streamit_exec::tape::Tape;
+use streamit_exec::ExecError;
+use streamit_graph::{DataType, Value};
+
+use crate::plan::{Link, StagedPlan};
+use crate::spsc::Channel;
+
+/// Channel capacity in rounds of flow: enough headroom that a producer
+/// a few iterations ahead is not throttled, small enough to bound
+/// memory and keep the working set cache-resident.
+const CHANNEL_ROUNDS: u64 = 4;
+
+/// Materialize the run's shards: every tape from its spec, the external
+/// input preloaded (coerced per the plan's input type, exactly like the
+/// serial engine), the external output sized for the requested
+/// iterations.
+pub fn build_shards(plan: &StagedPlan, input: &[f64], out_cap: u64) -> Vec<Shard> {
+    plan.tapes
+        .iter()
+        .enumerate()
+        .map(|(s, specs)| {
+            let tapes = specs
+                .iter()
+                .enumerate()
+                .map(|(slot, spec)| {
+                    let here = streamit_exec::plan::Loc {
+                        shard: s as u16,
+                        slot: slot as u16,
+                    };
+                    if here == plan.ext_in {
+                        let mut t = Tape::with_capacity(plan.input_ty, input.len() as u64);
+                        for &v in input {
+                            let _ = match plan.input_ty {
+                                DataType::Int => t.push_i(v as i64),
+                                DataType::Float => t.push_f(v),
+                            };
+                        }
+                        t
+                    } else if here == plan.ext_out {
+                        Tape::with_capacity(DataType::Float, out_cap)
+                    } else {
+                        let mut t = Tape::with_capacity(spec.ty, spec.cap);
+                        for v in &spec.initial {
+                            let _ = match v {
+                                Value::Int(x) => t.push_i(*x),
+                                Value::Float(x) => t.push_f(*x),
+                            };
+                        }
+                        t
+                    }
+                })
+                .collect();
+            let frames = plan.frames[s]
+                .iter()
+                .map(|&c| Frame::new(&plan.codes[c as usize]))
+                .collect();
+            Shard { tapes, frames }
+        })
+        .collect()
+}
+
+/// Spin briefly, then yield.  Returns `false` when the pipeline
+/// aborted.  The early yield matters on over-subscribed hosts (more
+/// stages than cores): a pure spin would starve the very producer the
+/// waiter needs.
+fn wait_until(abort: &AtomicBool, mut ready: impl FnMut() -> bool) -> bool {
+    let mut spins = 0u32;
+    loop {
+        if ready() {
+            return true;
+        }
+        if abort.load(Ordering::Acquire) {
+            return false;
+        }
+        spins = spins.saturating_add(1);
+        if spins < 64 {
+            std::hint::spin_loop();
+        } else {
+            std::thread::yield_now();
+        }
+    }
+}
+
+struct Pipeline<'p> {
+    plan: &'p StagedPlan,
+    channels: Vec<Channel>,
+    abort: AtomicBool,
+    error: Mutex<Option<ExecError>>,
+}
+
+impl Pipeline<'_> {
+    fn fail(&self, e: ExecError) {
+        if let Ok(mut slot) = self.error.lock() {
+            slot.get_or_insert(e);
+        }
+        self.abort.store(true, Ordering::Release);
+    }
+
+    /// The body of worker `s`: `k` drain/fire/publish iterations.
+    /// Returns the shard so the output tape survives the scope.
+    fn worker(&self, s: usize, mut shard: Shard, k: u64) -> Shard {
+        let fault = |reason: String| ExecError::Fault {
+            node: format!("stage {s}"),
+            reason,
+        };
+        let in_links: Vec<(usize, &Link)> = self
+            .plan
+            .links
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| l.dst_stage == s)
+            .collect();
+        let out_links: Vec<(usize, &Link)> = self
+            .plan
+            .links
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| l.src_stage == s)
+            .collect();
+        for _ in 0..k {
+            for &(c, l) in &in_links {
+                let ch = &self.channels[c];
+                if !wait_until(&self.abort, || ch.available() >= l.flow) {
+                    return shard;
+                }
+                let tape = &mut shard.tapes[l.dst.slot as usize];
+                if let Err(reason) = ch.consume_into_tape(tape, l.flow) {
+                    self.fail(fault(reason));
+                    return shard;
+                }
+            }
+            if let Err(e) = run_ops(
+                &self.plan.stage_ops[s],
+                std::slice::from_mut(&mut shard),
+                s as u16,
+                &self.plan.codes,
+            ) {
+                self.fail(e);
+                return shard;
+            }
+            for &(c, l) in &out_links {
+                let ch = &self.channels[c];
+                if !wait_until(&self.abort, || ch.free() >= l.flow) {
+                    return shard;
+                }
+                let tape = &mut shard.tapes[l.staging.slot as usize];
+                if let Err(reason) = ch.produce_from_tape(tape, l.flow) {
+                    self.fail(fault(reason));
+                    return shard;
+                }
+                tape.advance(l.flow);
+            }
+        }
+        shard
+    }
+}
+
+/// Run `k` steady iterations of a multi-stage plan on one worker thread
+/// per stage, returning the shards (the caller extracts the output
+/// tape) or the first fault.
+pub fn run_pipelined(
+    plan: &StagedPlan,
+    shards: Vec<Shard>,
+    k: u64,
+) -> Result<Vec<Shard>, ExecError> {
+    let pipe = Pipeline {
+        plan,
+        channels: plan
+            .links
+            .iter()
+            .map(|l| Channel::with_capacity(l.ty, l.flow.saturating_mul(CHANNEL_ROUNDS)))
+            .collect(),
+        abort: AtomicBool::new(false),
+        error: Mutex::new(None),
+    };
+    let pipe_ref = &pipe;
+    let shards = std::thread::scope(|scope| {
+        let handles: Vec<_> = shards
+            .into_iter()
+            .enumerate()
+            .map(|(s, shard)| scope.spawn(move || pipe_ref.worker(s, shard, k)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| {
+                h.join().unwrap_or_else(|_| {
+                    pipe_ref.fail(ExecError::Fault {
+                        node: "pipeline".into(),
+                        reason: "worker thread panicked".into(),
+                    });
+                    Shard {
+                        tapes: Vec::new(),
+                        frames: Vec::new(),
+                    }
+                })
+            })
+            .collect::<Vec<_>>()
+    });
+    if let Ok(mut slot) = pipe.error.lock() {
+        if let Some(e) = slot.take() {
+            return Err(e);
+        }
+    }
+    Ok(shards)
+}

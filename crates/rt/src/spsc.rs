@@ -1,0 +1,309 @@
+//! Lock-free single-producer/single-consumer bounded ring channels.
+//!
+//! One channel backs each stage-crossing edge of a staged plan.  The
+//! protocol is batch-oriented: the producer stage writes a full steady
+//! round's worth of items into unpublished slots and then publishes
+//! them with one release store of `tail`; the consumer observes the
+//! batch with one acquire load, bulk-copies it into its local tape, and
+//! retires it with one release store of `head`.  Cursors are absolute
+//! `u64` item counts (never wrapped), exactly like the engine's
+//! [`Ring`] tapes, so occupancy is `tail - head` and indexing is a
+//! power-of-two mask.
+//!
+//! Head and tail live on separate cache lines (128-byte alignment
+//! covers adjacent-line prefetching) so the producer's publishes and
+//! the consumer's retires do not false-share.
+//!
+//! Safety contract: exactly one thread calls the producer methods
+//! ([`Spsc::free`], [`Spsc::produce_with`]) and exactly one thread
+//! calls the consumer methods ([`Spsc::available`],
+//! [`Spsc::consume_with`]).  The staged runtime guarantees this by
+//! construction — each link has one producer stage and one consumer
+//! stage.
+
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use streamit_exec::tape::{Ring, Tape};
+use streamit_graph::DataType;
+
+/// Pad to two cache lines so head and tail never share one (and the
+/// adjacent-line prefetcher cannot couple them either).
+#[repr(align(128))]
+struct CachePadded<T>(T);
+
+/// A bounded lock-free SPSC ring over a `Copy` scalar.
+pub struct Spsc<T> {
+    buf: Box<[UnsafeCell<T>]>,
+    mask: u64,
+    /// Items ever retired by the consumer.
+    head: CachePadded<AtomicU64>,
+    /// Items ever published by the producer.
+    tail: CachePadded<AtomicU64>,
+}
+
+// The buffer is only aliased under the SPSC protocol documented above:
+// the producer writes slots in `[tail, tail + n)` only after observing
+// (via an acquire load of `head`) that the consumer has retired their
+// previous occupants, and the consumer reads `[head, head + n)` only
+// after observing (via an acquire load of `tail`) that the producer has
+// published them.
+unsafe impl<T: Send> Sync for Spsc<T> {}
+
+impl<T: Copy + Default> Spsc<T> {
+    /// A channel holding at least `min_cap` items (rounded up to a
+    /// power of two, minimum 1).
+    pub fn with_capacity(min_cap: u64) -> Spsc<T> {
+        let cap = min_cap.next_power_of_two().max(1);
+        let buf: Vec<UnsafeCell<T>> = (0..cap).map(|_| UnsafeCell::new(T::default())).collect();
+        Spsc {
+            buf: buf.into_boxed_slice(),
+            mask: cap - 1,
+            head: CachePadded(AtomicU64::new(0)),
+            tail: CachePadded(AtomicU64::new(0)),
+        }
+    }
+
+    pub fn capacity(&self) -> u64 {
+        self.buf.len() as u64
+    }
+
+    /// Producer side: slots currently writable.  The relaxed tail load
+    /// is exact (only the producer moves it); the acquire head load
+    /// synchronizes with the consumer's retire so the freed slots'
+    /// previous contents are fully read before we overwrite them.
+    pub fn free(&self) -> u64 {
+        let tail = self.tail.0.load(Ordering::Relaxed);
+        let head = self.head.0.load(Ordering::Acquire);
+        self.capacity() - (tail - head)
+    }
+
+    /// Producer side: write `n` items (`fill(i)` supplies item `i` of
+    /// the batch) into unpublished slots, then publish the whole batch
+    /// with one release store.  The caller must have observed
+    /// `free() >= n` since its last publish.
+    pub fn produce_with(&self, n: u64, mut fill: impl FnMut(u64) -> T) {
+        let tail = self.tail.0.load(Ordering::Relaxed);
+        debug_assert!(tail - self.head.0.load(Ordering::Relaxed) + n <= self.capacity());
+        for i in 0..n {
+            let slot = ((tail + i) & self.mask) as usize;
+            // SAFETY: slots in [tail, tail + n) are unpublished and,
+            // per the free() check, retired by the consumer; only the
+            // producer (this thread) writes them.
+            unsafe { *self.buf[slot].get() = fill(i) };
+        }
+        self.tail.0.store(tail + n, Ordering::Release);
+    }
+
+    /// Consumer side: items currently readable.  The acquire tail load
+    /// synchronizes with the producer's publish so the items' contents
+    /// are visible; the relaxed head load is exact (only the consumer
+    /// moves it).
+    pub fn available(&self) -> u64 {
+        let tail = self.tail.0.load(Ordering::Acquire);
+        let head = self.head.0.load(Ordering::Relaxed);
+        tail - head
+    }
+
+    /// Consumer side: read `n` items (`sink(i, v)` receives item `i` of
+    /// the batch), then retire the whole batch with one release store.
+    /// The caller must have observed `available() >= n` since its last
+    /// retire.
+    pub fn consume_with(&self, n: u64, mut sink: impl FnMut(u64, T)) {
+        let head = self.head.0.load(Ordering::Relaxed);
+        for i in 0..n {
+            let slot = ((head + i) & self.mask) as usize;
+            // SAFETY: slots in [head, head + n) were published by the
+            // producer (observed via available()'s acquire load) and
+            // the producer never rewrites a slot before we retire it.
+            let v = unsafe { *self.buf[slot].get() };
+            sink(i, v);
+        }
+        self.head.0.store(head + n, Ordering::Release);
+    }
+}
+
+/// A typed channel: the link-level face of one stage-crossing edge,
+/// monomorphic over the edge's element type like the engine's tapes.
+pub enum Channel {
+    I(Spsc<i64>),
+    F(Spsc<f64>),
+}
+
+impl Channel {
+    pub fn with_capacity(ty: DataType, min_cap: u64) -> Channel {
+        match ty {
+            DataType::Int => Channel::I(Spsc::with_capacity(min_cap)),
+            DataType::Float => Channel::F(Spsc::with_capacity(min_cap)),
+        }
+    }
+
+    pub fn free(&self) -> u64 {
+        match self {
+            Channel::I(c) => c.free(),
+            Channel::F(c) => c.free(),
+        }
+    }
+
+    pub fn available(&self) -> u64 {
+        match self {
+            Channel::I(c) => c.available(),
+            Channel::F(c) => c.available(),
+        }
+    }
+
+    /// Producer side: publish `n` items read from the front of a
+    /// staging tape (the tape is drained by the caller afterwards).
+    /// The staging tape carries the edge's element type, so the match
+    /// arms are exhaustive by construction.
+    pub fn produce_from_tape(&self, tape: &Tape, n: u64) -> Result<(), String> {
+        match (self, tape) {
+            (Channel::I(c), Tape::I(r)) => copy_ring_to_chan(c, r, n),
+            (Channel::F(c), Tape::F(r)) => copy_ring_to_chan(c, r, n),
+            _ => return Err("channel/tape type mismatch on publish".into()),
+        }
+        Ok(())
+    }
+
+    /// Consumer side: retire `n` items into the tail of a consumer
+    /// tape (sized by the count simulation, so the pushes cannot
+    /// overflow).
+    pub fn consume_into_tape(&self, tape: &mut Tape, n: u64) -> Result<(), String> {
+        match (self, tape) {
+            (Channel::I(c), Tape::I(r)) => copy_chan_to_ring(c, r, n),
+            (Channel::F(c), Tape::F(r)) => copy_chan_to_ring(c, r, n),
+            _ => Err("channel/tape type mismatch on drain".into()),
+        }
+    }
+}
+
+fn copy_ring_to_chan<T: Copy + Default>(c: &Spsc<T>, r: &Ring<T>, n: u64) {
+    c.produce_with(n, |i| r.get(i).unwrap_or_default());
+}
+
+fn copy_chan_to_ring<T: Copy + Default>(
+    c: &Spsc<T>,
+    r: &mut Ring<T>,
+    n: u64,
+) -> Result<(), String> {
+    let mut overflow = false;
+    c.consume_with(n, |_, v| overflow |= r.push(v).is_err());
+    if overflow {
+        Err("consumer tape overflow on channel drain".into())
+    } else {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicBool;
+
+    #[test]
+    fn capacity_rounds_to_power_of_two() {
+        let c: Spsc<i64> = Spsc::with_capacity(5);
+        assert_eq!(c.capacity(), 8);
+        let c: Spsc<i64> = Spsc::with_capacity(0);
+        assert_eq!(c.capacity(), 1);
+    }
+
+    #[test]
+    fn batch_publish_and_retire_preserve_order() {
+        let c: Spsc<i64> = Spsc::with_capacity(8);
+        assert_eq!(c.free(), 8);
+        assert_eq!(c.available(), 0);
+        c.produce_with(3, |i| 10 + i as i64);
+        assert_eq!(c.available(), 3);
+        let mut got = Vec::new();
+        c.consume_with(3, |_, v| got.push(v));
+        assert_eq!(got, vec![10, 11, 12]);
+        assert_eq!(c.free(), 8);
+    }
+
+    #[test]
+    fn cursors_wrap_the_buffer_indefinitely() {
+        let c: Spsc<i64> = Spsc::with_capacity(4);
+        let mut expect = 0i64;
+        for round in 0..100 {
+            let n = (round % 4) + 1;
+            c.produce_with(n, |i| round as i64 * 10 + i as i64);
+            let mut k = 0;
+            c.consume_with(n, |i, v| {
+                assert_eq!(v, round as i64 * 10 + i as i64);
+                k += 1;
+            });
+            assert_eq!(k, n);
+            expect += n as i64;
+        }
+        assert_eq!(c.available(), 0);
+        let _ = expect;
+    }
+
+    /// Two real threads stream a long sequence through a tiny channel in
+    /// varying batch sizes; the consumer must observe every item in
+    /// order.  This stresses the publish/retire release-acquire pairing
+    /// under preemption (the suite also runs under `--release`).
+    #[test]
+    fn threaded_stream_is_ordered_and_complete() {
+        const TOTAL: u64 = 200_000;
+        let c: Spsc<i64> = Spsc::with_capacity(8);
+        let failed = AtomicBool::new(false);
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                let mut sent = 0u64;
+                let mut batch = 1u64;
+                while sent < TOTAL {
+                    let n = batch.min(TOTAL - sent).min(c.capacity());
+                    while c.free() < n {
+                        std::thread::yield_now();
+                    }
+                    let base = sent;
+                    c.produce_with(n, |i| (base + i) as i64);
+                    sent += n;
+                    batch = batch % 7 + 1;
+                }
+            });
+            s.spawn(|| {
+                let mut seen = 0u64;
+                let mut batch = 1u64;
+                while seen < TOTAL {
+                    let n = batch.min(TOTAL - seen);
+                    let n = loop {
+                        let avail = c.available().min(n);
+                        if avail > 0 {
+                            break avail;
+                        }
+                        std::thread::yield_now();
+                    };
+                    let base = seen;
+                    c.consume_with(n, |i, v| {
+                        if v != (base + i) as i64 {
+                            failed.store(true, Ordering::Relaxed);
+                        }
+                    });
+                    seen += n;
+                    batch = batch % 5 + 1;
+                }
+            });
+        });
+        assert!(!failed.load(Ordering::Relaxed), "items reordered or lost");
+    }
+
+    #[test]
+    fn channel_moves_items_between_tapes() {
+        let mut staging = Tape::with_capacity(DataType::Int, 4);
+        for v in [1, 2, 3] {
+            staging.push_i(v).expect("fits");
+        }
+        let ch = Channel::with_capacity(DataType::Int, 4);
+        ch.produce_from_tape(&staging, 3).expect("publishes");
+        staging.advance(3);
+        let mut consumer = Tape::with_capacity(DataType::Int, 4);
+        ch.consume_into_tape(&mut consumer, 3).expect("drains");
+        match consumer {
+            Tape::I(r) => assert_eq!(r.to_vec(), vec![1, 2, 3]),
+            Tape::F(_) => panic!("wrong tape type"),
+        }
+    }
+}

@@ -28,7 +28,8 @@ pub mod workgraph;
 pub use characterize::{characterize, BenchCharacteristics};
 pub use estimate::{estimate_filter, WorkEstimate};
 pub use partition::{
-    combined_partition, data_parallel_partition, fine_grained_partition, software_pipeline,
-    space_multiplex, task_parallel_partition, ExecModel, MappedProgram, Strategy,
+    coarse_fission_degrees, combined_partition, data_parallel_partition, fine_grained_partition,
+    pipeline_stage_partition, software_pipeline, space_multiplex, task_parallel_partition,
+    ExecModel, FissionCandidate, MappedProgram, Strategy, COARSE_GRAIN,
 };
 pub use workgraph::{WorkGraph, WorkNode};

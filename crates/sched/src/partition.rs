@@ -363,6 +363,111 @@ fn fiss_stateless(wg: &WorkGraph, max_ways: usize, min_grain: u64) -> WorkGraph 
     g
 }
 
+/// A fissable region as seen by the multicore runtime: the combined
+/// steady-state work of a fused chain of stateless filters, whether any
+/// member peeks, and the items entering the chain per steady state.
+#[derive(Debug, Clone, Copy)]
+pub struct FissionCandidate {
+    /// Estimated cycles per steady state for the whole region.
+    pub work: u64,
+    /// True when any member filter peeks beyond what it pops.
+    pub peeking: bool,
+    /// Items entering the region per steady state.
+    pub in_items: u64,
+}
+
+/// Coarse-grained fission degrees for a set of candidate regions — the
+/// same heuristic `data_parallel_partition` applies to the work graph,
+/// exposed so the multicore runtime's graph rewrite and the scheduler's
+/// scoring model make identical decisions.  Returns one degree per
+/// candidate (1 = leave alone).
+///
+/// A region is worth fissing only when it is a bottleneck (its work
+/// exceeds half a fair share of `total_work` across `max_ways` tiles),
+/// each replica keeps at least [`COARSE_GRAIN`]-cycles of work, and —
+/// for peeking regions — the per-replica work clearly exceeds the
+/// duplicated input stream.
+pub fn coarse_fission_degrees(
+    total_work: u64,
+    candidates: &[FissionCandidate],
+    max_ways: usize,
+) -> Vec<usize> {
+    let fair = total_work / max_ways.max(1) as u64;
+    candidates
+        .iter()
+        .map(|c| {
+            if c.work == 0 || c.work <= fair / 2 {
+                return 1;
+            }
+            let k = ((c.work / COARSE_GRAIN) as usize).min(max_ways);
+            if k < 2 {
+                return 1;
+            }
+            if c.peeking && c.work / k as u64 <= 3 * c.in_items {
+                return 1;
+            }
+            k
+        })
+        .collect()
+}
+
+/// Partition `loads` (per-node steady-state work, in topological order)
+/// into at most `n_stages` *contiguous* stages, minimizing the maximum
+/// stage load — the software-pipelining decision for the multicore
+/// runtime, where each stage becomes one worker thread and the
+/// steady-state throughput is set by the heaviest stage.
+///
+/// Returns the stage index of every node.  Among partitions achieving
+/// the optimal bottleneck the one with the fewest stages is chosen
+/// (fewer threads, same throughput).  Classic linear-partition dynamic
+/// program: `dp[s][i]` = best bottleneck splitting the first `i` loads
+/// into `s` stages.
+pub fn pipeline_stage_partition(loads: &[u64], n_stages: usize) -> Vec<usize> {
+    let n = loads.len();
+    if n == 0 {
+        return vec![];
+    }
+    let s_max = n_stages.max(1).min(n);
+    let mut pre = vec![0u64; n + 1];
+    for (i, &w) in loads.iter().enumerate() {
+        pre[i + 1] = pre[i] + w;
+    }
+    let seg = |a: usize, b: usize| pre[b] - pre[a];
+    let mut dp = vec![vec![u64::MAX; n + 1]; s_max + 1];
+    let mut cut = vec![vec![0usize; n + 1]; s_max + 1];
+    dp[0][0] = 0;
+    for s in 1..=s_max {
+        for i in 1..=n {
+            for j in (s - 1)..i {
+                if dp[s - 1][j] == u64::MAX {
+                    continue;
+                }
+                let cost = dp[s - 1][j].max(seg(j, i));
+                if cost < dp[s][i] {
+                    dp[s][i] = cost;
+                    cut[s][i] = j;
+                }
+            }
+        }
+    }
+    // dp[s][n] is non-increasing in s; the optimum is dp[s_max][n] and
+    // the fewest stages achieving it is the first s that reaches it.
+    let best = dp[s_max][n];
+    let s_best = (1..=s_max).find(|&s| dp[s][n] == best).unwrap_or(s_max);
+    let mut assign = vec![0usize; n];
+    let mut i = n;
+    let mut s = s_best;
+    while s > 0 {
+        let j = cut[s][i];
+        for a in assign.iter_mut().take(i).skip(j) {
+            *a = s - 1;
+        }
+        i = j;
+        s -= 1;
+    }
+    assign
+}
+
 /// Greedy selective fusion: repeatedly fuse the adjacent compute pair
 /// (directly connected, or bridged by a sync node) with the smallest
 /// combined work, until at most `target` compute nodes remain.
@@ -422,7 +527,7 @@ fn swp_limit(wg: &WorkGraph, n_tiles: usize) -> u64 {
 /// Minimum per-replica work (cycles/steady state) for coarse-grained
 /// fission; below this the scatter/gather synchronization outweighs the
 /// parallelism.
-const COARSE_GRAIN: u64 = 64;
+pub const COARSE_GRAIN: u64 = 64;
 
 /// Task parallelism: no transformation; the only parallelism exploited
 /// is across split-join children (nodes in the same topological level),
@@ -763,5 +868,57 @@ mod tests {
             .position(|n| n.name == "filereader")
             .unwrap();
         assert_eq!(mp.assignment[idx], None);
+    }
+
+    #[test]
+    fn fission_degrees_mirror_the_coarse_heuristic() {
+        let cand = |work, peeking, in_items| FissionCandidate {
+            work,
+            peeking,
+            in_items,
+        };
+        // Bottleneck stateless region: fissed up to work/COARSE_GRAIN.
+        let ds = coarse_fission_degrees(1000, &[cand(900, false, 10)], 4);
+        assert_eq!(ds, vec![4]);
+        // Already balanced (work <= fair/2): left alone.
+        let ds = coarse_fission_degrees(10_000, &[cand(1_000, false, 10)], 4);
+        assert_eq!(ds, vec![1]);
+        // Too fine-grained: work / COARSE_GRAIN < 2.
+        let ds = coarse_fission_degrees(120, &[cand(100, false, 1)], 8);
+        assert_eq!(ds, vec![1]);
+        // Peeking region whose duplicated window swamps the gain.
+        let ds = coarse_fission_degrees(1000, &[cand(900, true, 200)], 4);
+        assert_eq!(ds, vec![1]);
+        // Peeking but heavy enough to pay for duplication.
+        let ds = coarse_fission_degrees(1000, &[cand(900, true, 10)], 4);
+        assert_eq!(ds, vec![4]);
+    }
+
+    #[test]
+    fn stage_partition_minimizes_the_bottleneck() {
+        // [3,1,1,3] into 2 stages: best cut is the middle (max 4).
+        assert_eq!(pipeline_stage_partition(&[3, 1, 1, 3], 2), vec![0, 0, 1, 1]);
+        // One heavy node dominates; extra stages are not spent on it.
+        let a = pipeline_stage_partition(&[10, 1, 1], 3);
+        assert_eq!(a[0], 0);
+        assert!(a.iter().all(|&s| s < 3));
+        // More stages than nodes: clamps to one node per stage at most.
+        assert_eq!(pipeline_stage_partition(&[5, 5], 8), vec![0, 1]);
+        // A single stage keeps everything together.
+        assert_eq!(pipeline_stage_partition(&[1, 2, 3], 1), vec![0, 0, 0]);
+        assert_eq!(pipeline_stage_partition(&[], 4), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn stage_partition_prefers_fewest_stages_at_optimum() {
+        // Bottleneck is the 8-node no matter what; the optimum is
+        // reachable with 2 stages, so 4 are not used.
+        let a = pipeline_stage_partition(&[8, 1, 1, 1], 4);
+        let n_stages = a.iter().max().map(|&m| m + 1).unwrap_or(0);
+        assert_eq!(n_stages, 2, "assignment: {a:?}");
+        // Stages are contiguous and start at 0.
+        for w in a.windows(2) {
+            assert!(w[1] == w[0] || w[1] == w[0] + 1);
+        }
     }
 }

@@ -43,7 +43,7 @@ fn differential(name: &str, p: &CompiledProgram, n: usize) -> Option<String> {
     };
     let input = varied_input(cg.required_input(k) as usize);
     let compiled = cg
-        .run_collect(&input, n, 2)
+        .run_collect(&input, n)
         .unwrap_or_else(|e| panic!("{name}: compiled run failed: {e}"));
     // `run` can return more than `n` items (the last firing may push
     // several); both engines' streams share the deterministic prefix.
@@ -181,7 +181,7 @@ mod generated {
         let n = (cg.init_outputs() + k * cg.outputs_per_iteration()) as usize;
         let input = varied_input(cg.required_input(k) as usize);
         let compiled = cg
-            .run_steady(&input, k, 1)
+            .run_steady(&input, k)
             .unwrap_or_else(|e| panic!("seed {seed}: compiled run failed: {e}\n{block:#?}"));
         let mut reference = p
             .run(&input, n)

@@ -614,6 +614,96 @@ fn streamitc_engine_flag_selects_and_falls_back() {
 }
 
 #[test]
+fn streamitc_parallel_engine_flag_and_threads_parsing() {
+    let ys = |s: &str| -> Vec<String> {
+        s.lines()
+            .filter(|l| l.starts_with("y["))
+            .map(str::to_string)
+            .collect()
+    };
+
+    // Golden: the parallel engine names itself and prints the same
+    // y[i] lines as the reference interpreter, at explicit thread
+    // counts and with the auto default.
+    let good = write_temp("engine_par", GOOD);
+    let reference = run_streamitc(&[good.to_str().unwrap(), "--run", "8"]);
+    assert_eq!(reference.status.code(), Some(0), "reference run");
+    let ref_ys = ys(&String::from_utf8_lossy(&reference.stdout));
+    for threads in ["1", "2", "4"] {
+        let out = run_streamitc(&[
+            good.to_str().unwrap(),
+            "--run",
+            "8",
+            "--engine",
+            "parallel",
+            "--threads",
+            threads,
+        ]);
+        assert_eq!(
+            out.status.code(),
+            Some(0),
+            "parallel run ({threads} threads)"
+        );
+        let stdout = String::from_utf8_lossy(&out.stdout).to_string();
+        assert!(
+            stdout.contains("(parallel engine)"),
+            "stdout ({threads} threads): {stdout}"
+        );
+        assert_eq!(ys(&stdout), ref_ys, "engines disagree at {threads} threads");
+    }
+    let out = run_streamitc(&[good.to_str().unwrap(), "--run", "8", "--engine", "parallel"]);
+    assert_eq!(out.status.code(), Some(0), "auto thread count");
+    assert_eq!(ys(&String::from_utf8_lossy(&out.stdout)), ref_ys);
+
+    // Malformed --threads values -> usage error (2).
+    for bad in ["nope", "-1"] {
+        let out = run_streamitc(&[
+            good.to_str().unwrap(),
+            "--run",
+            "8",
+            "--engine",
+            "parallel",
+            "--threads",
+            bad,
+        ]);
+        assert_eq!(out.status.code(), Some(2), "--threads {bad}");
+    }
+    let out = run_streamitc(&[good.to_str().unwrap(), "--run", "8", "--threads"]);
+    assert_eq!(out.status.code(), Some(2), "--threads without a value");
+    let _ = std::fs::remove_file(good);
+}
+
+#[test]
+fn streamitc_parallel_engine_declines_feedback_loops_gracefully() {
+    // Feedback loops are outside the parallel subset (a back edge would
+    // make a stage wait on a later stage): the CLI prints the E0701
+    // diagnostic, falls back to the reference interpreter, and still
+    // succeeds (exit 0) with correct output.
+    let out = run_streamitc(&[
+        concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../examples/str/fibonacci.str"
+        ),
+        "--run",
+        "6",
+        "--engine",
+        "parallel",
+        "--threads",
+        "2",
+    ]);
+    assert_eq!(out.status.code(), Some(0), "fallback must succeed");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("E0701"), "stderr: {stderr}");
+    assert!(
+        stderr.contains("falling back to the reference engine"),
+        "stderr: {stderr}"
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("(reference engine)"), "stdout: {stdout}");
+    assert_eq!(stdout.lines().filter(|l| l.starts_with("y[")).count(), 6);
+}
+
+#[test]
 fn streamitc_compiled_engine_falls_back_gracefully() {
     // Teleport messaging is outside the compiled subset: the CLI prints
     // the E0701 diagnostic, falls back, and still succeeds (exit 0).
