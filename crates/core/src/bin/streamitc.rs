@@ -4,7 +4,8 @@
 //! streamitc <file.str> [--main NAME] [--linear | --frequency]
 //!           [--outline] [--dot] [--verify] [--lint] [--schedule [TILES]]
 //!           [--run N] [--budget FIRINGS] [--engine ENGINE] [--threads N]
-//!           [--strict]
+//!           [--watchdog-ms MS] [--on-engine-fault error|fallback]
+//!           [--inject-fault KIND@STAGE:ITER] [--strict]
 //! ```
 //!
 //! * `--outline`   print the elaborated hierarchy
@@ -27,6 +28,16 @@
 //!   the reference engine, exiting 0
 //! * `--threads N` worker threads for `--engine parallel` (default 0 =
 //!   one per available core)
+//! * `--watchdog-ms MS`  stall-watchdog deadline for the parallel
+//!   engine (default 5000; `0` disables).  A run making no progress for
+//!   a full deadline aborts with the `E0706 Stalled` diagnostic and a
+//!   per-stage snapshot instead of hanging
+//! * `--on-engine-fault P`  what a runtime engine fault (worker panic,
+//!   stall, engine fault) does: `fallback` (default) retries with
+//!   backoff and then degrades down the engine ladder (parallel →
+//!   compiled → reference), `error` exits with the fault's diagnostic
+//! * `--inject-fault F`  chaos-harness fault injection:
+//!   `panic@STAGE:ITER`, `stall@STAGE:ITER`, or `delay@STAGE:ITER`
 //! * `--linear` / `--frequency`  enable the linear optimizer
 //! * `--strict`    fail on verification errors
 //!
@@ -43,7 +54,9 @@
 //! | 2    | usage error, or lexical/syntax error (`E01xx`) |
 //! | 3    | semantic error (`E02xx`) |
 //! | 4    | verification failure under `--strict` (`E03xx`) |
-//! | 5    | runtime error during `--run` (`E04xx`) |
+//! | 5    | runtime error during `--run` (`E04xx`; or an engine fault
+//!   `E0702`, worker panic `E0705`, or stall `E0706` under
+//!   `--on-engine-fault error`) |
 //! | 6    | resource budget exhausted (`E05xx`) |
 //! | 7    | static-analysis failure (`E06xx`) |
 //! | 8    | engine selection failure (`E0701`; only via the library API —
@@ -51,7 +64,7 @@
 
 use streamit::linear::LinearMode;
 use streamit::rawsim::MachineConfig;
-use streamit::{evaluate_strategies, Compiler, Engine, Options};
+use streamit::{evaluate_strategies, Compiler, Engine, OnEngineFault, Options, SupervisorConfig};
 
 struct Args {
     file: String,
@@ -64,6 +77,9 @@ struct Args {
     budget: u64,
     engine: Engine,
     threads: usize,
+    watchdog_ms: Option<u64>,
+    on_fault: OnEngineFault,
+    inject_fault: Option<streamit::exec::FaultPlan>,
     strict: bool,
     lint: bool,
 }
@@ -72,7 +88,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: streamitc <file.str> [--main NAME] [--linear | --frequency] \
          [--outline] [--dot] [--lint] [--schedule [TILES]] [--run N] [--budget FIRINGS] \
-         [--engine reference|compiled|parallel] [--threads N] [--strict]"
+         [--engine reference|compiled|parallel] [--threads N] [--watchdog-ms MS] \
+         [--on-engine-fault error|fallback] [--inject-fault KIND@STAGE:ITER] [--strict]"
     );
     std::process::exit(2);
 }
@@ -89,6 +106,11 @@ fn parse_args() -> Args {
         budget: streamit::interp::ExecLimits::default().max_firings,
         engine: Engine::default(),
         threads: 0,
+        // Unlike the test-facing library default (off), streamitc runs
+        // are interactive: a hang is strictly worse than a diagnostic.
+        watchdog_ms: Some(5000),
+        on_fault: OnEngineFault::default(),
+        inject_fault: None,
         strict: false,
         lint: false,
     };
@@ -137,6 +159,26 @@ fn parse_args() -> Args {
                     .next()
                     .and_then(|s| s.parse::<usize>().ok())
                     .unwrap_or_else(|| usage());
+            }
+            "--watchdog-ms" => {
+                let ms = it
+                    .next()
+                    .and_then(|s| s.parse::<u64>().ok())
+                    .unwrap_or_else(|| usage());
+                args.watchdog_ms = if ms == 0 { None } else { Some(ms) };
+            }
+            "--on-engine-fault" => {
+                args.on_fault = it
+                    .next()
+                    .and_then(|s| s.parse::<OnEngineFault>().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--inject-fault" => {
+                let plan = it
+                    .next()
+                    .and_then(|s| s.parse::<streamit::exec::FaultPlan>().ok())
+                    .unwrap_or_else(|| usage());
+                args.inject_fault = Some(plan);
             }
             "--help" | "-h" => usage(),
             f if !f.starts_with('-') && args.file.is_empty() => args.file = f.to_string(),
@@ -272,37 +314,41 @@ fn main() {
         let input: Vec<f64> = (0..16 * n.max(64))
             .map(|i| (i as f64 * 0.1).sin())
             .collect();
-        // The compiled-family engines handle a statically provable
-        // subset of graphs; when one declines, report why (E0701) and
-        // fall back to the reference interpreter so `--run` still
-        // succeeds.
-        let mut engine = match args.engine {
+        let engine = match args.engine {
             Engine::Parallel { .. } => Engine::Parallel {
                 threads: args.threads,
             },
             e => e,
         };
-        let declined = match engine {
-            Engine::Reference => None,
-            Engine::Compiled => program.compile_exec().err(),
-            Engine::Parallel { threads } => program.compile_parallel(threads).err(),
+        // Supervised execution: compile-time declines (E0701) and —
+        // under the default `fallback` policy — runtime engine faults
+        // (E0702/E0705/E0706) degrade down the engine ladder (parallel
+        // -> compiled -> reference) so `--run` still succeeds; each
+        // attempt's diagnostic and each transition is reported.
+        let cfg = SupervisorConfig {
+            watchdog_ms: args.watchdog_ms,
+            on_fault: args.on_fault,
+            fault_plan: args.inject_fault,
+            budget: args.budget,
+            ..SupervisorConfig::default()
         };
-        if let Some(e) = declined {
-            let d = streamit::Diag::from(e);
-            eprintln!("streamitc: {d}");
-            eprintln!("streamitc: falling back to the reference engine");
-            engine = Engine::Reference;
-        }
-        let result = match engine {
-            Engine::Reference => program
-                .run_with_budget(&input, n, args.budget)
-                .map_err(streamit::Diag::from),
-            e => program.run_with_engine(e, &input, n),
-        };
-        match result {
-            Ok(out) => {
-                println!("\n== first {n} outputs ({engine} engine) ==");
-                for (i, v) in out.iter().enumerate() {
+        match program.run_supervised(engine, &input, n, &cfg) {
+            Ok(outcome) => {
+                for (i, a) in outcome.attempts.iter().enumerate() {
+                    eprintln!("streamitc: {}", a.diag);
+                    let next = outcome
+                        .attempts
+                        .get(i + 1)
+                        .map(|a| a.engine)
+                        .unwrap_or(outcome.engine);
+                    if next == a.engine {
+                        eprintln!("streamitc: retrying on the {next} engine");
+                    } else {
+                        eprintln!("streamitc: falling back to the {next} engine");
+                    }
+                }
+                println!("\n== first {n} outputs ({} engine) ==", outcome.engine);
+                for (i, v) in outcome.output.iter().enumerate() {
                     println!("y[{i}] = {v}");
                 }
             }

@@ -37,6 +37,8 @@
 //! | E0702 | Runtime  | compiled-engine fault (rate violation, bounds, division by zero) |
 //! | E0703 | Runtime  | compiled run starved (insufficient external input) |
 //! | E0704 | Runtime  | compiled run requested output from a graph with none |
+//! | E0705 | Runtime  | a worker panicked; caught and attributed to its stage with the panic payload |
+//! | E0706 | Runtime  | the stall watchdog saw no progress for a full deadline; carries a per-stage snapshot |
 //!
 //! Static-analysis *lints* (`L0601`–`L0605`, see
 //! [`streamit_analysis`]) are warnings, not errors: they print but never
@@ -230,6 +232,8 @@ impl From<streamit_exec::ExecError> for Diag {
             ExecError::Fault { .. } => ("E0702", DiagCategory::Runtime),
             ExecError::Starved { .. } => ("E0703", DiagCategory::Runtime),
             ExecError::NoSteadyOutput => ("E0704", DiagCategory::Runtime),
+            ExecError::WorkerPanic { .. } => ("E0705", DiagCategory::Runtime),
+            ExecError::Stalled { .. } => ("E0706", DiagCategory::Runtime),
         };
         Diag::new(code, category, e.to_string(), None)
     }
@@ -311,6 +315,28 @@ mod tests {
         let d: Diag = streamit_exec::ExecError::Starved { needed: 4, have: 1 }.into();
         assert_eq!(d.code, "E0703");
         assert_eq!(d.exit_code(), 5);
+        let d: Diag = streamit_exec::ExecError::WorkerPanic {
+            stage: "stage 1".into(),
+            payload: "index out of bounds".into(),
+        }
+        .into();
+        assert_eq!(d.code, "E0705");
+        assert_eq!(d.exit_code(), 5);
+        assert!(d.to_string().contains("stage 1"));
+        assert!(d.to_string().contains("index out of bounds"));
+        let d: Diag = streamit_exec::ExecError::Stalled {
+            deadline_ms: 250,
+            stages: vec![streamit_exec::StageSnapshot {
+                stage: 0,
+                iterations: 7,
+                state: "blocked draining link 0 (stage 0 -> 1)".into(),
+            }],
+        }
+        .into();
+        assert_eq!(d.code, "E0706");
+        assert_eq!(d.exit_code(), 5);
+        assert!(d.to_string().contains("250 ms"));
+        assert!(d.to_string().contains("7 iterations"));
     }
 
     #[test]

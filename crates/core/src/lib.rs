@@ -111,6 +111,124 @@ impl std::fmt::Display for Engine {
     }
 }
 
+impl Engine {
+    /// The next rung down the degradation ladder: parallel → compiled →
+    /// reference → (none).  Each step trades throughput for a simpler
+    /// engine with fewer failure modes; the reference interpreter is
+    /// the floor (single-threaded, injection-free, the semantics
+    /// oracle).
+    pub fn degrade(self) -> Option<Engine> {
+        match self {
+            Engine::Parallel { .. } => Some(Engine::Compiled),
+            Engine::Compiled => Some(Engine::Reference),
+            Engine::Reference => None,
+        }
+    }
+}
+
+/// What `run_supervised` does when an engine faults at run time
+/// (compile-time declines, `E0701`, always fall through to the next
+/// engine — that is the long-standing CLI behaviour).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum OnEngineFault {
+    /// Report the fault as the run's error.
+    Error,
+    /// Retry the same engine (with backoff), then degrade to the next
+    /// engine down the ladder; the reference interpreter is the floor.
+    #[default]
+    Fallback,
+}
+
+impl std::str::FromStr for OnEngineFault {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<OnEngineFault, String> {
+        match s {
+            "error" => Ok(OnEngineFault::Error),
+            "fallback" => Ok(OnEngineFault::Fallback),
+            other => Err(format!(
+                "unknown fault policy `{other}` (expected `error` or `fallback`)"
+            )),
+        }
+    }
+}
+
+/// Supervision settings for [`CompiledProgram::run_supervised`].
+#[derive(Debug, Clone, Copy)]
+pub struct SupervisorConfig {
+    /// Stall-watchdog deadline for the parallel engine (`None` = off).
+    pub watchdog_ms: Option<u64>,
+    /// Policy for runtime engine faults.
+    pub on_fault: OnEngineFault,
+    /// Chaos-harness fault injection (`None` in production).
+    pub fault_plan: Option<exec::FaultPlan>,
+    /// Same-engine retries before degrading (recoverable faults only).
+    pub retries: u32,
+    /// Base backoff between retries; doubles per attempt.
+    pub backoff_ms: u64,
+    /// Firing budget for the reference interpreter rung.
+    pub budget: u64,
+}
+
+impl Default for SupervisorConfig {
+    fn default() -> SupervisorConfig {
+        SupervisorConfig {
+            watchdog_ms: None,
+            on_fault: OnEngineFault::default(),
+            fault_plan: None,
+            retries: 1,
+            backoff_ms: 10,
+            budget: interp::ExecLimits::default().max_firings,
+        }
+    }
+}
+
+/// One failed attempt in a supervised run: which engine, and what it
+/// reported.
+#[derive(Debug, Clone)]
+pub struct EngineAttempt {
+    pub engine: Engine,
+    pub diag: Diag,
+}
+
+/// The result of a supervised run: the output, the engine that finally
+/// produced it, and every failed attempt along the way.
+#[derive(Debug, Clone)]
+pub struct RunOutcome {
+    pub output: Vec<f64>,
+    /// The engine that produced `output` (the requested engine unless
+    /// the ladder degraded).
+    pub engine: Engine,
+    /// Failed attempts, in order (empty on a clean first run).
+    pub attempts: Vec<EngineAttempt>,
+}
+
+/// How a supervised attempt's failure steers the ladder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FaultClass {
+    /// Compile-time decline (`E0701`): degrade immediately, spend no
+    /// retry budget — the graph will never run on this engine.
+    Unsupported,
+    /// A runtime engine fault (fault, worker panic, stall): transient
+    /// or engine-specific, so retry and then degrade under
+    /// [`OnEngineFault::Fallback`].
+    Recoverable,
+    /// A property of the input or the program (starvation, no steady
+    /// output, reference-interpreter errors): every engine would agree,
+    /// so degrading cannot help.
+    Fatal,
+}
+
+fn classify_exec(e: &exec::ExecError) -> FaultClass {
+    match e {
+        exec::ExecError::Unsupported { .. } => FaultClass::Unsupported,
+        exec::ExecError::Fault { .. }
+        | exec::ExecError::WorkerPanic { .. }
+        | exec::ExecError::Stalled { .. } => FaultClass::Recoverable,
+        exec::ExecError::Starved { .. } | exec::ExecError::NoSteadyOutput => FaultClass::Fatal,
+    }
+}
+
 /// Compiler options.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct Options {
@@ -346,6 +464,117 @@ impl CompiledProgram {
         }
     }
 
+    /// One supervised attempt on one engine.
+    fn run_engine_once(
+        &self,
+        engine: Engine,
+        input: &[f64],
+        n: usize,
+        cfg: &SupervisorConfig,
+    ) -> Result<Vec<f64>, (Diag, FaultClass)> {
+        match engine {
+            Engine::Reference => self
+                .run_with_budget(input, n, cfg.budget)
+                .map_err(|e| (Diag::from(e), FaultClass::Fatal)),
+            Engine::Compiled => {
+                let cg = self
+                    .compile_exec()
+                    .map_err(|e| (Diag::from(e), FaultClass::Unsupported))?;
+                cg.run_collect_with(input, n, cfg.fault_plan.as_ref())
+                    .map_err(|e| {
+                        let class = classify_exec(&e);
+                        (Diag::from(e), class)
+                    })
+            }
+            Engine::Parallel { threads } => {
+                let pg = self
+                    .compile_parallel(threads)
+                    .map_err(|e| (Diag::from(e), FaultClass::Unsupported))?;
+                let rc = rt::RunConfig {
+                    watchdog: cfg.watchdog_ms.map(std::time::Duration::from_millis),
+                    fault: cfg.fault_plan,
+                };
+                pg.run_collect_cfg(input, n, &rc).map_err(|e| {
+                    let class = classify_exec(&e);
+                    (Diag::from(e), class)
+                })
+            }
+        }
+    }
+
+    /// Execute on `engine` under supervision: the parallel rung gets
+    /// the stall watchdog, runtime faults are classified, and — under
+    /// [`OnEngineFault::Fallback`] — a recoverable fault retries the
+    /// same engine (exponential backoff) and then degrades down the
+    /// ladder (parallel → compiled → reference).  Compile-time declines
+    /// (`E0701`) always degrade immediately without spending retry
+    /// budget.  Fatal faults (starvation, budget exhaustion — input
+    /// properties every engine agrees on) return the diagnostic
+    /// regardless of policy.
+    ///
+    /// All rungs see the same `input`, and every engine computes the
+    /// same deterministic Kahn stream, so a degraded run's output is
+    /// bit-identical to what the requested engine would have produced.
+    pub fn run_supervised(
+        &self,
+        engine: Engine,
+        input: &[f64],
+        n: usize,
+        cfg: &SupervisorConfig,
+    ) -> Result<RunOutcome, Diag> {
+        let mut attempts: Vec<EngineAttempt> = Vec::new();
+        let mut rung = engine;
+        loop {
+            let mut retry = 0u32;
+            loop {
+                match self.run_engine_once(rung, input, n, cfg) {
+                    Ok(output) => {
+                        return Ok(RunOutcome {
+                            output,
+                            engine: rung,
+                            attempts,
+                        })
+                    }
+                    Err((diag, class)) => {
+                        attempts.push(EngineAttempt {
+                            engine: rung,
+                            diag: diag.clone(),
+                        });
+                        match class {
+                            FaultClass::Fatal => return Err(diag),
+                            FaultClass::Unsupported => match rung.degrade() {
+                                Some(next) => {
+                                    rung = next;
+                                    break;
+                                }
+                                None => return Err(diag),
+                            },
+                            FaultClass::Recoverable => {
+                                if cfg.on_fault == OnEngineFault::Error {
+                                    return Err(diag);
+                                }
+                                if retry < cfg.retries {
+                                    std::thread::sleep(std::time::Duration::from_millis(
+                                        cfg.backoff_ms << retry,
+                                    ));
+                                    retry += 1;
+                                    continue;
+                                }
+                                match rung.degrade() {
+                                    Some(next) => {
+                                        rung = next;
+                                        break;
+                                    }
+                                    None => return Err(diag),
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
     /// Hard static-analysis findings as typed diagnostics (exit code 7),
     /// each carrying the source span of the offending filter's `work`
     /// declaration when the program came from text.
@@ -572,6 +801,79 @@ mod tests {
         assert_eq!(p.latencies.len(), 1);
         let out = p.run(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0], 6).unwrap();
         assert_eq!(out, vec![2.0, 4.0, 6.0, 8.0, 10.0, 12.0]);
+    }
+
+    #[test]
+    fn supervised_run_degrades_to_bit_identical_output_on_injected_panic() {
+        let p = Compiler::default().compile_source(SOURCE, "Main").unwrap();
+        let input: Vec<f64> = (0..64).map(|i| (i as f64 * 0.1).sin()).collect();
+        let reference = p.run(&input, 8).unwrap();
+        let cfg = SupervisorConfig {
+            fault_plan: Some("panic@0:1".parse().unwrap()),
+            backoff_ms: 1,
+            ..SupervisorConfig::default()
+        };
+        let out = p
+            .run_supervised(Engine::Parallel { threads: 2 }, &input, 8, &cfg)
+            .expect("the ladder must land on the reference engine");
+        assert_eq!(out.engine, Engine::Reference);
+        assert!(
+            out.attempts.iter().all(|a| a.diag.code == "E0705"),
+            "attempts: {:?}",
+            out.attempts
+        );
+        assert!(
+            out.attempts.len() >= 2,
+            "both compiled-family rungs should have failed: {:?}",
+            out.attempts
+        );
+        let ob: Vec<u64> = out.output.iter().map(|v| v.to_bits()).collect();
+        let rb: Vec<u64> = reference.iter().take(8).map(|v| v.to_bits()).collect();
+        assert_eq!(ob, rb, "degraded output must stay bit-identical");
+    }
+
+    #[test]
+    fn supervised_run_error_policy_surfaces_the_fault() {
+        let p = Compiler::default().compile_source(SOURCE, "Main").unwrap();
+        let input: Vec<f64> = (0..64).map(|i| (i as f64 * 0.1).sin()).collect();
+        let cfg = SupervisorConfig {
+            fault_plan: Some("panic@0:1".parse().unwrap()),
+            on_fault: OnEngineFault::Error,
+            ..SupervisorConfig::default()
+        };
+        let err = p
+            .run_supervised(Engine::Parallel { threads: 2 }, &input, 8, &cfg)
+            .expect_err("error policy must surface the panic");
+        assert_eq!(err.code, "E0705");
+        assert_eq!(err.exit_code(), 5);
+        assert!(err.message.contains("injected fault"), "{err}");
+    }
+
+    #[test]
+    fn supervised_run_does_not_degrade_on_fatal_faults() {
+        // Starvation is a property of the input, not the engine: the
+        // ladder must report it instead of burning retries.
+        let p = Compiler::default().compile_source(SOURCE, "Main").unwrap();
+        let err = p
+            .run_supervised(Engine::Compiled, &[], 8, &SupervisorConfig::default())
+            .expect_err("no input must starve");
+        assert_eq!(err.code, "E0703");
+    }
+
+    #[test]
+    fn fault_policy_parses() {
+        assert_eq!("error".parse::<OnEngineFault>(), Ok(OnEngineFault::Error));
+        assert_eq!(
+            "fallback".parse::<OnEngineFault>(),
+            Ok(OnEngineFault::Fallback)
+        );
+        assert!("panic".parse::<OnEngineFault>().is_err());
+        assert_eq!(
+            Engine::Parallel { threads: 2 }.degrade(),
+            Some(Engine::Compiled)
+        );
+        assert_eq!(Engine::Compiled.degrade(), Some(Engine::Reference));
+        assert_eq!(Engine::Reference.degrade(), None);
     }
 
     #[test]

@@ -53,6 +53,31 @@ pub enum ExecError {
     /// More output was requested than the graph can ever produce (its
     /// steady state emits nothing).
     NoSteadyOutput,
+    /// A worker panicked during execution.  The panic was caught at the
+    /// stage boundary; `stage` attributes it and `payload` carries the
+    /// panic message when it was a string (the overwhelmingly common
+    /// case: `panic!`, `assert!`, index/arithmetic failures).
+    WorkerPanic { stage: String, payload: String },
+    /// The supervisor observed no progress on any stage for a full
+    /// watchdog deadline and aborted the run.  The snapshot records
+    /// each stage's completed iterations and what it was doing when
+    /// the stall was declared.
+    Stalled {
+        deadline_ms: u64,
+        stages: Vec<StageSnapshot>,
+    },
+}
+
+/// One stage's view at the moment a stall was declared: how many steady
+/// iterations it completed and what it was last doing ("running",
+/// "finished", or which link it was blocked draining/publishing).
+#[derive(Debug, Clone, PartialEq)]
+pub struct StageSnapshot {
+    pub stage: usize,
+    /// Steady iterations completed by the stage's worker.
+    pub iterations: u64,
+    /// Human-readable last-observed activity.
+    pub state: String,
 }
 
 impl fmt::Display for ExecError {
@@ -66,11 +91,118 @@ impl fmt::Display for ExecError {
                 write!(f, "insufficient input: need {needed} items, have {have}")
             }
             ExecError::NoSteadyOutput => write!(f, "graph produces no steady-state output"),
+            ExecError::WorkerPanic { stage, payload } => {
+                write!(f, "worker panicked in {stage}: {payload}")
+            }
+            ExecError::Stalled {
+                deadline_ms,
+                stages,
+            } => {
+                write!(f, "pipeline stalled: no progress for {deadline_ms} ms")?;
+                for s in stages {
+                    write!(
+                        f,
+                        "; stage {}: {} iterations, {}",
+                        s.stage, s.iterations, s.state
+                    )?;
+                }
+                Ok(())
+            }
         }
     }
 }
 
 impl std::error::Error for ExecError {}
+
+/// Extract the human-readable message from a caught panic payload.
+/// `panic!("...")` yields `&str`, `panic!("{x}")` yields `String`;
+/// anything else (a rare typed payload) gets a placeholder.
+pub fn panic_payload(p: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// What kind of fault a [`FaultPlan`] injects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Panic inside the stage's worker at the chosen iteration.
+    Panic,
+    /// Stop making progress at the chosen iteration (the worker parks
+    /// until the run is aborted — simulating a hang while remaining
+    /// joinable, so an injected stall can never wedge the test suite).
+    Stall,
+    /// Sleep before publishing the chosen iteration's batch (a slow
+    /// producer; output must still be bit-identical).
+    DelayPublish,
+}
+
+/// A deterministic fault-injection plan for the chaos harness: inject
+/// one fault of `kind` at steady iteration `iteration` of stage
+/// `stage`.  Threaded through the engines by the supervised run entry
+/// points; `None` (the default everywhere) means no injection and
+/// compiles to a branch on a `None` option per iteration.
+///
+/// Parsed from `KIND@STAGE:ITER` (e.g. `panic@0:1`, `stall@1:3`,
+/// `delay@0:2`), the form the `--inject-fault` CLI flag takes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultPlan {
+    pub stage: u16,
+    pub iteration: u64,
+    pub kind: FaultKind,
+    /// Sleep length for [`FaultKind::DelayPublish`], in milliseconds.
+    pub delay_ms: u64,
+}
+
+impl std::str::FromStr for FaultPlan {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<FaultPlan, String> {
+        let (kind, rest) = s
+            .split_once('@')
+            .ok_or_else(|| format!("expected KIND@STAGE:ITER, got `{s}`"))?;
+        let kind = match kind {
+            "panic" => FaultKind::Panic,
+            "stall" => FaultKind::Stall,
+            "delay" => FaultKind::DelayPublish,
+            other => {
+                return Err(format!(
+                    "unknown fault kind `{other}` (expected `panic`, `stall`, or `delay`)"
+                ))
+            }
+        };
+        let (stage, iter) = rest
+            .split_once(':')
+            .ok_or_else(|| format!("expected KIND@STAGE:ITER, got `{s}`"))?;
+        let stage: u16 = stage
+            .parse()
+            .map_err(|_| format!("bad stage index `{stage}` in fault plan"))?;
+        let iteration: u64 = iter
+            .parse()
+            .map_err(|_| format!("bad iteration `{iter}` in fault plan"))?;
+        Ok(FaultPlan {
+            stage,
+            iteration,
+            kind,
+            delay_ms: 50,
+        })
+    }
+}
+
+impl fmt::Display for FaultPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let kind = match self.kind {
+            FaultKind::Panic => "panic",
+            FaultKind::Stall => "stall",
+            FaultKind::DelayPublish => "delay",
+        };
+        write!(f, "{kind}@{}:{}", self.stage, self.iteration)
+    }
+}
 
 /// A graph compiled for steady-state execution.  Immutable and
 /// shareable: every run materializes its own tapes and frames.
@@ -133,6 +265,25 @@ impl CompiledGraph {
     /// return the external output stream (as `f64`, the reference
     /// engine's output convention).
     pub fn run_steady(&self, input: &[f64], k: u64) -> Result<Vec<f64>, ExecError> {
+        self.run_steady_with(input, k, None)
+    }
+
+    /// [`CompiledGraph::run_steady`] with an optional fault-injection
+    /// plan (the chaos harness's hook).  This engine is a single stage,
+    /// so only faults targeting stage 0 fire: `panic` panics at the
+    /// chosen iteration (caught and reported as
+    /// [`ExecError::WorkerPanic`]), `delay` sleeps before that
+    /// iteration's outputs land.  An injected `stall` is ignored —
+    /// stalls are a pipeline phenomenon (a worker blocked on a peer)
+    /// and this engine has no peers to block on, so it just runs to
+    /// completion, which is exactly what the degradation ladder needs
+    /// from its serial rungs.
+    pub fn run_steady_with(
+        &self,
+        input: &[f64],
+        k: u64,
+        fault: Option<&FaultPlan>,
+    ) -> Result<Vec<f64>, ExecError> {
         let needed = self.required_input(k);
         if (input.len() as u64) < needed {
             return Err(ExecError::Starved {
@@ -140,21 +291,43 @@ impl CompiledGraph {
                 have: input.len() as u64,
             });
         }
-        let out_cap = (self.plan.stats.init_out + k * self.plan.stats.round_out).max(1);
-        let mut shards = engine::build_shards(&self.plan, input, out_cap);
-        engine::run_ops(&self.plan.init_ops, &mut shards, 0, &self.plan.codes)?;
-        for _ in 0..k {
-            engine::run_ops(&self.plan.pre_ops, &mut shards, 0, &self.plan.codes)?;
-            for ops in &self.plan.branch_ops {
-                engine::run_ops(ops, &mut shards, 0, &self.plan.codes)?;
-            }
-            engine::run_ops(&self.plan.post_ops, &mut shards, 0, &self.plan.codes)?;
-        }
-        match &shards[0].tapes[1] {
-            Tape::F(r) => Ok(r.to_vec()),
-            Tape::I(_) => Err(ExecError::Fault {
-                node: "output".into(),
-                reason: "external output tape has wrong type".into(),
+        let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(
+            || -> Result<Vec<f64>, ExecError> {
+                let out_cap = (self.plan.stats.init_out + k * self.plan.stats.round_out).max(1);
+                let mut shards = engine::build_shards(&self.plan, input, out_cap);
+                engine::run_ops(&self.plan.init_ops, &mut shards, 0, &self.plan.codes)?;
+                for i in 0..k {
+                    let inj = fault.filter(|f| f.stage == 0 && f.iteration == i);
+                    if let Some(f) = inj {
+                        if f.kind == FaultKind::Panic {
+                            panic!("injected fault: worker panic at stage 0 iteration {i}");
+                        }
+                    }
+                    engine::run_ops(&self.plan.pre_ops, &mut shards, 0, &self.plan.codes)?;
+                    for ops in &self.plan.branch_ops {
+                        engine::run_ops(ops, &mut shards, 0, &self.plan.codes)?;
+                    }
+                    if let Some(f) = inj {
+                        if f.kind == FaultKind::DelayPublish {
+                            std::thread::sleep(std::time::Duration::from_millis(f.delay_ms));
+                        }
+                    }
+                    engine::run_ops(&self.plan.post_ops, &mut shards, 0, &self.plan.codes)?;
+                }
+                match &shards[0].tapes[1] {
+                    Tape::F(r) => Ok(r.to_vec()),
+                    Tape::I(_) => Err(ExecError::Fault {
+                        node: "output".into(),
+                        reason: "external output tape has wrong type".into(),
+                    }),
+                }
+            },
+        ));
+        match run {
+            Ok(result) => result,
+            Err(p) => Err(ExecError::WorkerPanic {
+                stage: "serial engine".into(),
+                payload: panic_payload(p.as_ref()),
             }),
         }
     }
@@ -163,6 +336,17 @@ impl CompiledGraph {
     /// items, returning exactly the first `n` (the deterministic prefix
     /// shared with the reference interpreter).
     pub fn run_collect(&self, input: &[f64], n: usize) -> Result<Vec<f64>, ExecError> {
+        self.run_collect_with(input, n, None)
+    }
+
+    /// [`CompiledGraph::run_collect`] with an optional fault-injection
+    /// plan; see [`CompiledGraph::run_steady_with`].
+    pub fn run_collect_with(
+        &self,
+        input: &[f64],
+        n: usize,
+        fault: Option<&FaultPlan>,
+    ) -> Result<Vec<f64>, ExecError> {
         let s = &self.plan.stats;
         let k = if n as u64 <= s.init_out {
             0
@@ -171,7 +355,7 @@ impl CompiledGraph {
         } else {
             (n as u64 - s.init_out).div_ceil(s.round_out)
         };
-        let mut out = self.run_steady(input, k)?;
+        let mut out = self.run_steady_with(input, k, fault)?;
         out.truncate(n);
         Ok(out)
     }
@@ -270,6 +454,68 @@ mod tests {
             }
             other => panic!("expected Unsupported, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn fault_plan_parses_and_displays() {
+        let p: FaultPlan = "panic@2:5".parse().expect("parses");
+        assert_eq!(p.kind, FaultKind::Panic);
+        assert_eq!(p.stage, 2);
+        assert_eq!(p.iteration, 5);
+        assert_eq!(p.to_string(), "panic@2:5");
+        let p: FaultPlan = "stall@0:3".parse().expect("parses");
+        assert_eq!(p.kind, FaultKind::Stall);
+        let p: FaultPlan = "delay@1:2".parse().expect("parses");
+        assert_eq!(p.kind, FaultKind::DelayPublish);
+        assert!("panic@x:1".parse::<FaultPlan>().is_err());
+        assert!("panic@1".parse::<FaultPlan>().is_err());
+        assert!("explode@1:1".parse::<FaultPlan>().is_err());
+        assert!("panic".parse::<FaultPlan>().is_err());
+    }
+
+    #[test]
+    fn injected_panic_is_caught_and_attributed() {
+        let s = pipeline("p", vec![counter_source("src"), doubler("x2")]);
+        let g = streamit_graph::FlatGraph::from_stream(&s);
+        let c = CompiledGraph::compile(&g, None).expect("supported");
+        let fault: FaultPlan = "panic@0:1".parse().expect("parses");
+        match c.run_steady_with(&[], 5, Some(&fault)) {
+            Err(ExecError::WorkerPanic { stage, payload }) => {
+                assert_eq!(stage, "serial engine");
+                assert!(payload.contains("injected fault"), "payload: {payload}");
+            }
+            other => panic!("expected WorkerPanic, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn injected_delay_and_stall_leave_output_bit_identical() {
+        let s = pipeline("p", vec![counter_source("src"), doubler("x2")]);
+        let g = streamit_graph::FlatGraph::from_stream(&s);
+        let c = CompiledGraph::compile(&g, None).expect("supported");
+        let clean = c.run_steady(&[], 4).expect("runs");
+        let mut delay: FaultPlan = "delay@0:1".parse().expect("parses");
+        delay.delay_ms = 1;
+        let delayed = c.run_steady_with(&[], 4, Some(&delay)).expect("runs");
+        assert_eq!(clean, delayed);
+        // A serial engine cannot stall (no peers); the plan is ignored.
+        let stall: FaultPlan = "stall@0:1".parse().expect("parses");
+        let stalled = c.run_steady_with(&[], 4, Some(&stall)).expect("runs");
+        assert_eq!(clean, stalled);
+        // Faults aimed at other stages never fire here.
+        let far: FaultPlan = "panic@3:1".parse().expect("parses");
+        assert_eq!(c.run_steady_with(&[], 4, Some(&far)).expect("runs"), clean);
+    }
+
+    #[test]
+    fn panic_payload_extracts_strings() {
+        let p = std::panic::catch_unwind(|| panic!("plain str")).expect_err("panics");
+        assert_eq!(panic_payload(p.as_ref()), "plain str");
+        let x = 7;
+        let p = std::panic::catch_unwind(|| panic!("formatted {x}")).expect_err("panics");
+        assert_eq!(panic_payload(p.as_ref()), "formatted 7");
+        let p = std::panic::catch_unwind(|| std::panic::panic_any(42i32)).expect_err("panics");
+        assert_eq!(panic_payload(p.as_ref()), "non-string panic payload");
     }
 
     #[test]

@@ -39,10 +39,11 @@ pub mod spsc;
 pub mod transform;
 
 use streamit_exec::tape::Tape;
-pub use streamit_exec::ExecError;
+pub use streamit_exec::{ExecError, FaultKind, FaultPlan, StageSnapshot};
 use streamit_graph::{DataType, FlatGraph};
 
 pub use plan::StagedPlan;
+pub use run::RunConfig;
 pub use transform::FissedRegion;
 
 /// A graph compiled for the multicore runtime.  Immutable and
@@ -147,6 +148,20 @@ impl ParallelGraph {
     /// steady rounds run one worker thread per stage (single-stage
     /// plans skip the threading entirely).
     pub fn run_steady(&self, input: &[f64], k: u64) -> Result<Vec<f64>, ExecError> {
+        self.run_steady_cfg(input, k, &RunConfig::default())
+    }
+
+    /// [`ParallelGraph::run_steady`] under supervision: an optional
+    /// stall watchdog and an optional chaos fault plan (see
+    /// [`RunConfig`]).  When either is set, even single-stage plans go
+    /// through the pipelined path so the supervisor exists — an
+    /// injected stall without a watchdog thread would otherwise hang.
+    pub fn run_steady_cfg(
+        &self,
+        input: &[f64],
+        k: u64,
+        cfg: &RunConfig,
+    ) -> Result<Vec<f64>, ExecError> {
         let needed = self.required_input(k);
         if (input.len() as u64) < needed {
             return Err(ExecError::Starved {
@@ -157,7 +172,8 @@ impl ParallelGraph {
         let out_cap = (self.plan.stats.init_out + k * self.plan.stats.round_out).max(1);
         let mut shards = run::build_shards(&self.plan, input, out_cap);
         streamit_exec::engine::run_ops(&self.plan.init_ops, &mut shards, 0, &self.plan.codes)?;
-        let shards = if self.plan.stages() == 1 {
+        let supervised = cfg.watchdog.is_some() || cfg.fault.is_some();
+        let shards = if self.plan.stages() == 1 && !supervised {
             for _ in 0..k {
                 streamit_exec::engine::run_ops(
                     &self.plan.stage_ops[0],
@@ -168,7 +184,7 @@ impl ParallelGraph {
             }
             shards
         } else {
-            run::run_pipelined(&self.plan, shards, k)?
+            run::run_pipelined(&self.plan, shards, k, cfg)?
         };
         if self.plan.ext_out == plan::NO_EXT {
             return Ok(Vec::new());
@@ -190,6 +206,17 @@ impl ParallelGraph {
     /// items, returning exactly the first `n` (the deterministic prefix
     /// shared with the serial engines).
     pub fn run_collect(&self, input: &[f64], n: usize) -> Result<Vec<f64>, ExecError> {
+        self.run_collect_cfg(input, n, &RunConfig::default())
+    }
+
+    /// [`ParallelGraph::run_collect`] under supervision; see
+    /// [`ParallelGraph::run_steady_cfg`].
+    pub fn run_collect_cfg(
+        &self,
+        input: &[f64],
+        n: usize,
+        cfg: &RunConfig,
+    ) -> Result<Vec<f64>, ExecError> {
         let s = &self.plan.stats;
         let k = if n as u64 <= s.init_out {
             0
@@ -198,7 +225,7 @@ impl ParallelGraph {
         } else {
             (n as u64 - s.init_out).div_ceil(s.round_out)
         };
-        let mut out = self.run_steady(input, k)?;
+        let mut out = self.run_steady_cfg(input, k, cfg)?;
         out.truncate(n);
         Ok(out)
     }
@@ -349,6 +376,114 @@ mod tests {
         match pg.run_steady(&[1.0], 3) {
             Err(ExecError::Starved { needed: 3, have: 1 }) => {}
             other => panic!("expected Starved, got {other:?}"),
+        }
+    }
+
+    // ---- supervision -----------------------------------------------
+
+    fn staged_pipeline() -> streamit_graph::StreamNode {
+        // Two heavy stages so the planner cuts at least two pipeline
+        // stages at 2 threads.
+        pipeline("p", vec![counter_source("src"), heavy("h1"), heavy("h2")])
+    }
+
+    #[test]
+    fn injected_worker_panic_is_caught_and_attributed() {
+        let g = FlatGraph::from_stream(&staged_pipeline());
+        let pg = ParallelGraph::compile(&g, None, 2).expect("accepts");
+        let cfg = RunConfig {
+            watchdog: None,
+            fault: Some("panic@0:1".parse().expect("parses")),
+        };
+        match pg.run_steady_cfg(&[], 6, &cfg) {
+            Err(ExecError::WorkerPanic { stage, payload }) => {
+                assert_eq!(stage, "stage 0");
+                assert!(
+                    payload.contains("injected fault: worker panic at stage 0 iteration 1"),
+                    "payload: {payload}"
+                );
+            }
+            other => panic!("expected WorkerPanic, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn injected_stall_trips_the_watchdog_with_a_snapshot() {
+        let g = FlatGraph::from_stream(&staged_pipeline());
+        let pg = ParallelGraph::compile(&g, None, 2).expect("accepts");
+        let stages = pg.stages();
+        let cfg = RunConfig {
+            watchdog: Some(std::time::Duration::from_millis(100)),
+            fault: Some("stall@0:1".parse().expect("parses")),
+        };
+        match pg.run_steady_cfg(&[], 64, &cfg) {
+            Err(ExecError::Stalled {
+                deadline_ms,
+                stages: snap,
+            }) => {
+                assert_eq!(deadline_ms, 100);
+                assert_eq!(snap.len(), stages);
+                assert!(
+                    snap[0].state.contains("stalled (injected fault)"),
+                    "snapshot: {snap:?}"
+                );
+                assert_eq!(snap[0].iterations, 1, "stage 0 completed one iteration");
+            }
+            other => panic!("expected Stalled, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn injected_delay_keeps_output_bit_identical() {
+        let g = FlatGraph::from_stream(&staged_pipeline());
+        let pg = ParallelGraph::compile(&g, None, 2).expect("accepts");
+        let clean = pg.run_steady(&[], 6).expect("runs");
+        let mut fault: FaultPlan = "delay@0:2".parse().expect("parses");
+        fault.delay_ms = 20;
+        let cfg = RunConfig {
+            watchdog: Some(std::time::Duration::from_millis(5000)),
+            fault: Some(fault),
+        };
+        let delayed = pg.run_steady_cfg(&[], 6, &cfg).expect("runs");
+        let cb: Vec<u64> = clean.iter().map(|v| v.to_bits()).collect();
+        let db: Vec<u64> = delayed.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(cb, db, "a slow producer must not corrupt the stream");
+    }
+
+    #[test]
+    fn watchdog_is_zero_interference_on_the_happy_path() {
+        let g = FlatGraph::from_stream(&staged_pipeline());
+        let pg = ParallelGraph::compile(&g, None, 2).expect("accepts");
+        let clean = pg.run_steady(&[], 8).expect("runs");
+        let cfg = RunConfig {
+            watchdog: Some(std::time::Duration::from_millis(5000)),
+            fault: None,
+        };
+        let watched = pg.run_steady_cfg(&[], 8, &cfg).expect("runs");
+        let cb: Vec<u64> = clean.iter().map(|v| v.to_bits()).collect();
+        let wb: Vec<u64> = watched.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(cb, wb);
+    }
+
+    #[test]
+    fn single_stage_plans_are_supervisable() {
+        // A plan with one stage normally skips threading; with a fault
+        // configured it must still be supervised (an injected stall
+        // needs a watchdog to be detected at all).
+        let f = FilterBuilder::new("id", DataType::Float)
+            .rates(1, 1, 1)
+            .work(|b| b.push(pop()))
+            .build_node();
+        let g = FlatGraph::from_stream(&f);
+        let pg = ParallelGraph::compile(&g, None, 1).expect("accepts");
+        assert_eq!(pg.stages(), 1);
+        let cfg = RunConfig {
+            watchdog: Some(std::time::Duration::from_millis(100)),
+            fault: Some("stall@0:0".parse().expect("parses")),
+        };
+        match pg.run_steady_cfg(&[1.0, 2.0, 3.0], 3, &cfg) {
+            Err(ExecError::Stalled { .. }) => {}
+            other => panic!("expected Stalled, got {other:?}"),
         }
     }
 }

@@ -1,4 +1,4 @@
-//! Software-pipelined execution of a staged plan.
+//! Software-pipelined execution of a staged plan, under supervision.
 //!
 //! One scoped worker thread per stage.  Worker `s`, iteration `i`:
 //!
@@ -17,25 +17,60 @@
 //! point forward and every channel holds at least one full round, so
 //! the wait graph is acyclic and the pipeline cannot deadlock.
 //!
-//! Faults abort the whole pipeline: the failing worker stores the first
-//! error, raises the abort flag, and every wait loop checks the flag so
-//! no worker spins forever on a dead neighbour.
+//! # Supervision
+//!
+//! Three fault classes are contained here rather than leaking to the
+//! caller as hangs or aborts:
+//!
+//! * **Faults** abort the whole pipeline: the failing worker stores the
+//!   first error, raises the abort flag, and every wait loop checks the
+//!   flag so no worker spins forever on a dead neighbour.
+//! * **Panics** are caught at the stage boundary (`catch_unwind` around
+//!   each worker body) and converted into
+//!   [`ExecError::WorkerPanic`] with the stage's name and the panic
+//!   payload; threads are named `rt-stage-N` so native backtraces
+//!   attribute too.
+//! * **Stalls** are detected by a watchdog thread (enabled by
+//!   [`RunConfig::watchdog`]): each worker publishes a monotone
+//!   progress counter (steady iterations completed) and a
+//!   blocked-state word through cache-line-padded slots; when no
+//!   counter moves for a full deadline the watchdog aborts the run
+//!   with [`ExecError::Stalled`], carrying a per-stage snapshot of
+//!   iteration counts and which link each worker was blocked on.
+//!
+//! Waiting itself is staged backoff — spin, then yield, then short
+//! parks with escalating timeouts — so a blocked stage on an
+//! oversubscribed host does not burn a core, and the park cap bounds
+//! how stale an abort check can be.
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Mutex;
+use std::time::{Duration, Instant};
 
 use streamit_exec::engine::{run_ops, Frame, Shard};
 use streamit_exec::tape::Tape;
-use streamit_exec::ExecError;
+use streamit_exec::{panic_payload, ExecError, FaultKind, FaultPlan, StageSnapshot};
 use streamit_graph::{DataType, Value};
 
 use crate::plan::{Link, StagedPlan};
-use crate::spsc::Channel;
+use crate::spsc::{CachePadded, Channel};
 
 /// Channel capacity in rounds of flow: enough headroom that a producer
 /// a few iterations ahead is not throttled, small enough to bound
 /// memory and keep the working set cache-resident.
 const CHANNEL_ROUNDS: u64 = 4;
+
+/// Per-run supervision knobs.  The default is a bare run: no watchdog,
+/// no fault injection — byte-for-byte the old behaviour.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RunConfig {
+    /// Abort with [`ExecError::Stalled`] when no stage completes an
+    /// iteration for this long.  `None` disables the watchdog.
+    pub watchdog: Option<Duration>,
+    /// Chaos-harness fault injection; `None` in production.
+    pub fault: Option<FaultPlan>,
+}
 
 /// Materialize the run's shards: every tape from its spec, the external
 /// input preloaded (coerced per the plan's input type, exactly like the
@@ -86,12 +121,23 @@ pub fn build_shards(plan: &StagedPlan, input: &[f64], out_cap: u64) -> Vec<Shard
         .collect()
 }
 
-/// Spin briefly, then yield.  Returns `false` when the pipeline
-/// aborted.  The early yield matters on over-subscribed hosts (more
-/// stages than cores): a pure spin would starve the very producer the
-/// waiter needs.
+// Staged-backoff schedule for `wait_until`: pure spins first (the
+// common case — the peer publishes within nanoseconds), then yields
+// (let the peer run on an oversubscribed host), then parks with an
+// escalating timeout so a long-blocked stage costs ~0 CPU.  The park
+// cap bounds the latency of noticing an abort.
+const SPIN_LIMIT: u32 = 64;
+const YIELD_LIMIT: u32 = SPIN_LIMIT + 32;
+const PARK_MIN_US: u64 = 5;
+const PARK_MAX_US: u64 = 500;
+
+/// Wait until `ready()` with staged backoff.  Returns `false` when the
+/// pipeline aborted.  Nobody unparks waiters, so `park_timeout` acts as
+/// a bounded sleep: correctness never depends on a wake, only the
+/// re-check loop.
 fn wait_until(abort: &AtomicBool, mut ready: impl FnMut() -> bool) -> bool {
     let mut spins = 0u32;
+    let mut park_us = PARK_MIN_US;
     loop {
         if ready() {
             return true;
@@ -100,10 +146,48 @@ fn wait_until(abort: &AtomicBool, mut ready: impl FnMut() -> bool) -> bool {
             return false;
         }
         spins = spins.saturating_add(1);
-        if spins < 64 {
+        if spins < SPIN_LIMIT {
             std::hint::spin_loop();
-        } else {
+        } else if spins < YIELD_LIMIT {
             std::thread::yield_now();
+        } else {
+            std::thread::park_timeout(Duration::from_micros(park_us));
+            park_us = (park_us * 2).min(PARK_MAX_US);
+        }
+    }
+}
+
+// Blocked-state word per stage, polled by the watchdog to build the
+// stall snapshot.  Small even values = blocked draining link c; small
+// odd values = blocked publishing link c; the top values are the
+// non-blocked states (a link index can never reach them: links are
+// bounded by the plan's u16 tape addressing).
+const STATE_RUNNING: u64 = u64::MAX;
+const STATE_FINISHED: u64 = u64::MAX - 1;
+const STATE_STALL_INJECTED: u64 = u64::MAX - 2;
+
+fn state_draining(c: usize) -> u64 {
+    (c as u64) * 2
+}
+
+fn state_publishing(c: usize) -> u64 {
+    (c as u64) * 2 + 1
+}
+
+/// One stage's supervision slots, each on its own cache line so the
+/// watchdog's polling never contends with a worker's hot loop.
+struct StageStatus {
+    /// Steady iterations completed (monotone; written by the worker).
+    progress: CachePadded<AtomicU64>,
+    /// Blocked-state word (see the `STATE_*` encoding).
+    state: CachePadded<AtomicU64>,
+}
+
+impl StageStatus {
+    fn new() -> StageStatus {
+        StageStatus {
+            progress: CachePadded(AtomicU64::new(0)),
+            state: CachePadded(AtomicU64::new(STATE_RUNNING)),
         }
     }
 }
@@ -113,6 +197,8 @@ struct Pipeline<'p> {
     channels: Vec<Channel>,
     abort: AtomicBool,
     error: Mutex<Option<ExecError>>,
+    status: Vec<StageStatus>,
+    fault: Option<FaultPlan>,
 }
 
 impl Pipeline<'_> {
@@ -123,6 +209,85 @@ impl Pipeline<'_> {
         self.abort.store(true, Ordering::Release);
     }
 
+    /// Per-stage snapshot for the stall diagnostic: completed
+    /// iterations plus what each worker was last observed doing.
+    fn snapshot(&self) -> Vec<StageSnapshot> {
+        self.status
+            .iter()
+            .enumerate()
+            .map(|(s, st)| {
+                let state = match st.state.0.load(Ordering::Relaxed) {
+                    STATE_RUNNING => "running".to_string(),
+                    STATE_FINISHED => "finished".to_string(),
+                    STATE_STALL_INJECTED => "stalled (injected fault)".to_string(),
+                    code => {
+                        let c = (code / 2) as usize;
+                        let verb = if code % 2 == 0 {
+                            "draining"
+                        } else {
+                            "publishing"
+                        };
+                        match self.plan.links.get(c) {
+                            Some(l) => format!(
+                                "blocked {verb} link {c} (stage {} -> {})",
+                                l.src_stage, l.dst_stage
+                            ),
+                            None => format!("blocked {verb} link {c}"),
+                        }
+                    }
+                };
+                StageSnapshot {
+                    stage: s,
+                    iterations: st.progress.0.load(Ordering::Relaxed),
+                    state,
+                }
+            })
+            .collect()
+    }
+
+    /// Watchdog body: poll every `deadline / 8` (clamped to 1–25 ms);
+    /// when no stage's progress counter moves for a full deadline,
+    /// abort the run with a [`ExecError::Stalled`] snapshot.  `done` is
+    /// set by the coordinator after all workers joined.
+    fn watchdog(&self, deadline: Duration, done: &AtomicBool) {
+        let poll = (deadline / 8).clamp(Duration::from_millis(1), Duration::from_millis(25));
+        let mut last: Vec<u64> = self
+            .status
+            .iter()
+            .map(|s| s.progress.0.load(Ordering::Relaxed))
+            .collect();
+        let mut last_change = Instant::now();
+        loop {
+            std::thread::park_timeout(poll);
+            if done.load(Ordering::Acquire) || self.abort.load(Ordering::Acquire) {
+                return;
+            }
+            let now: Vec<u64> = self
+                .status
+                .iter()
+                .map(|s| s.progress.0.load(Ordering::Relaxed))
+                .collect();
+            if now != last {
+                last = now;
+                last_change = Instant::now();
+            } else if self
+                .status
+                .iter()
+                .all(|s| s.state.0.load(Ordering::Relaxed) == STATE_FINISHED)
+            {
+                // Everyone finished; the coordinator is about to set
+                // `done`.  Quiescence is not a stall.
+                last_change = Instant::now();
+            } else if last_change.elapsed() >= deadline {
+                self.fail(ExecError::Stalled {
+                    deadline_ms: deadline.as_millis() as u64,
+                    stages: self.snapshot(),
+                });
+                return;
+            }
+        }
+    }
+
     /// The body of worker `s`: `k` drain/fire/publish iterations.
     /// Returns the shard so the output tape survives the scope.
     fn worker(&self, s: usize, mut shard: Shard, k: u64) -> Shard {
@@ -130,6 +295,7 @@ impl Pipeline<'_> {
             node: format!("stage {s}"),
             reason,
         };
+        let status = &self.status[s];
         let in_links: Vec<(usize, &Link)> = self
             .plan
             .links
@@ -144,9 +310,33 @@ impl Pipeline<'_> {
             .enumerate()
             .filter(|(_, l)| l.src_stage == s)
             .collect();
-        for _ in 0..k {
+        for i in 0..k {
+            let inj = self
+                .fault
+                .filter(|f| f.stage as usize == s && f.iteration == i);
+            match inj.map(|f| f.kind) {
+                Some(FaultKind::Panic) => {
+                    panic!("injected fault: worker panic at stage {s} iteration {i}")
+                }
+                Some(FaultKind::Stall) => {
+                    // Simulate a hung worker: publish nothing and make
+                    // no progress, but keep checking the abort flag so
+                    // the scope can always join us — an injected stall
+                    // must be detectable, never an actual test hang.
+                    status
+                        .state
+                        .0
+                        .store(STATE_STALL_INJECTED, Ordering::Relaxed);
+                    while !self.abort.load(Ordering::Acquire) {
+                        std::thread::park_timeout(Duration::from_millis(1));
+                    }
+                    return shard;
+                }
+                Some(FaultKind::DelayPublish) | None => {}
+            }
             for &(c, l) in &in_links {
                 let ch = &self.channels[c];
+                status.state.0.store(state_draining(c), Ordering::Relaxed);
                 if !wait_until(&self.abort, || ch.available() >= l.flow) {
                     return shard;
                 }
@@ -156,6 +346,7 @@ impl Pipeline<'_> {
                     return shard;
                 }
             }
+            status.state.0.store(STATE_RUNNING, Ordering::Relaxed);
             if let Err(e) = run_ops(
                 &self.plan.stage_ops[s],
                 std::slice::from_mut(&mut shard),
@@ -165,8 +356,17 @@ impl Pipeline<'_> {
                 self.fail(e);
                 return shard;
             }
+            if let Some(f) = inj {
+                if f.kind == FaultKind::DelayPublish {
+                    // A slow producer: the batch still publishes
+                    // atomically afterwards, so consumers only ever see
+                    // completed iterations — late, never partial.
+                    std::thread::sleep(Duration::from_millis(f.delay_ms));
+                }
+            }
             for &(c, l) in &out_links {
                 let ch = &self.channels[c];
+                status.state.0.store(state_publishing(c), Ordering::Relaxed);
                 if !wait_until(&self.abort, || ch.free() >= l.flow) {
                     return shard;
                 }
@@ -177,19 +377,33 @@ impl Pipeline<'_> {
                 }
                 tape.advance(l.flow);
             }
+            status.state.0.store(STATE_RUNNING, Ordering::Relaxed);
+            status.progress.0.store(i + 1, Ordering::Relaxed);
         }
+        status.state.0.store(STATE_FINISHED, Ordering::Relaxed);
         shard
+    }
+}
+
+fn empty_shard() -> Shard {
+    Shard {
+        tapes: Vec::new(),
+        frames: Vec::new(),
     }
 }
 
 /// Run `k` steady iterations of a multi-stage plan on one worker thread
 /// per stage, returning the shards (the caller extracts the output
-/// tape) or the first fault.
+/// tape) or the first fault.  Workers are named `rt-stage-N`, panics
+/// are caught and attributed, and — when configured — a watchdog
+/// converts silent stalls into [`ExecError::Stalled`].
 pub fn run_pipelined(
     plan: &StagedPlan,
     shards: Vec<Shard>,
     k: u64,
+    cfg: &RunConfig,
 ) -> Result<Vec<Shard>, ExecError> {
+    let n_stages = plan.stages();
     let pipe = Pipeline {
         plan,
         channels: plan
@@ -199,29 +413,66 @@ pub fn run_pipelined(
             .collect(),
         abort: AtomicBool::new(false),
         error: Mutex::new(None),
+        status: (0..n_stages).map(|_| StageStatus::new()).collect(),
+        fault: cfg.fault,
     };
     let pipe_ref = &pipe;
+    let done = AtomicBool::new(false);
+    let done_ref = &done;
     let shards = std::thread::scope(|scope| {
         let handles: Vec<_> = shards
             .into_iter()
             .enumerate()
-            .map(|(s, shard)| scope.spawn(move || pipe_ref.worker(s, shard, k)))
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| {
-                h.join().unwrap_or_else(|_| {
-                    pipe_ref.fail(ExecError::Fault {
-                        node: "pipeline".into(),
-                        reason: "worker thread panicked".into(),
-                    });
-                    Shard {
-                        tapes: Vec::new(),
-                        frames: Vec::new(),
-                    }
-                })
+            .map(|(s, shard)| {
+                std::thread::Builder::new()
+                    .name(format!("rt-stage-{s}"))
+                    .spawn_scoped(scope, move || {
+                        match catch_unwind(AssertUnwindSafe(|| pipe_ref.worker(s, shard, k))) {
+                            Ok(shard) => shard,
+                            Err(p) => {
+                                pipe_ref.fail(ExecError::WorkerPanic {
+                                    stage: format!("stage {s}"),
+                                    payload: panic_payload(p.as_ref()),
+                                });
+                                empty_shard()
+                            }
+                        }
+                    })
             })
-            .collect::<Vec<_>>()
+            .collect();
+        // A failed spawn must abort *before* we join anything: the
+        // workers already running may be blocked on the stage that
+        // never started.
+        if handles.iter().any(|h| h.is_err()) {
+            pipe_ref.fail(ExecError::Fault {
+                node: "pipeline".into(),
+                reason: "failed to spawn a worker thread".into(),
+            });
+        }
+        let dog = cfg
+            .watchdog
+            .map(|deadline| scope.spawn(move || pipe_ref.watchdog(deadline, done_ref)));
+        let shards: Vec<Shard> = handles
+            .into_iter()
+            .map(|h| match h {
+                Ok(h) => h.join().unwrap_or_else(|p| {
+                    // Workers convert their own panics; reaching this
+                    // arm means the conversion itself panicked.  Keep
+                    // the contract anyway.
+                    pipe_ref.fail(ExecError::WorkerPanic {
+                        stage: "pipeline".into(),
+                        payload: panic_payload(p.as_ref()),
+                    });
+                    empty_shard()
+                }),
+                Err(_) => empty_shard(),
+            })
+            .collect();
+        done.store(true, Ordering::Release);
+        if let Some(d) = dog {
+            let _ = d.join();
+        }
+        shards
     });
     if let Ok(mut slot) = pipe.error.lock() {
         if let Some(e) = slot.take() {

@@ -28,9 +28,11 @@ use streamit_exec::tape::{Ring, Tape};
 use streamit_graph::DataType;
 
 /// Pad to two cache lines so head and tail never share one (and the
-/// adjacent-line prefetcher cannot couple them either).
+/// adjacent-line prefetcher cannot couple them either).  Also used by
+/// the runtime's per-stage progress slots (`run.rs`), which the
+/// watchdog polls without perturbing the workers that publish them.
 #[repr(align(128))]
-struct CachePadded<T>(T);
+pub(crate) struct CachePadded<T>(pub(crate) T);
 
 /// A bounded lock-free SPSC ring over a `Copy` scalar.
 pub struct Spsc<T> {
@@ -246,7 +248,10 @@ mod tests {
     /// under preemption (the suite also runs under `--release`).
     #[test]
     fn threaded_stream_is_ordered_and_complete() {
-        const TOTAL: u64 = 200_000;
+        // Miri executes this test too (the CI `miri-spsc` job) to check
+        // the release-acquire claims; its interpreter is ~4 orders of
+        // magnitude slower, so shrink the stream there.
+        const TOTAL: u64 = if cfg!(miri) { 512 } else { 200_000 };
         let c: Spsc<i64> = Spsc::with_capacity(8);
         let failed = AtomicBool::new(false);
         std::thread::scope(|s| {

@@ -1,0 +1,450 @@
+//! Chaos differential suite: inject faults (worker panics, stalls,
+//! delayed publishes) into the compiled and parallel engines across the
+//! fifteen-app corpus and prove the supervision contract:
+//!
+//! * under any injected fault the supervised run either produces output
+//!   **bit-identical** to the reference interpreter (via the engine
+//!   degradation ladder) or fails with the *correct typed* `E07xx`
+//!   diagnostic within the watchdog bound;
+//! * it **never** hangs, escapes a raw panic, or returns truncated or
+//!   corrupt output.
+//!
+//! Every case runs inside a hard timeout guard, so a supervision bug
+//! that reintroduces a hang fails the test instead of wedging CI.
+
+use std::sync::mpsc;
+use std::time::Duration;
+
+use streamit::graph::StreamNode;
+use streamit::{apps, CompiledProgram, Compiler, Engine, OnEngineFault, SupervisorConfig};
+
+/// Hard per-case bound: generous next to the watchdog deadlines used
+/// below, tight next to a real hang.
+const CASE_TIMEOUT: Duration = Duration::from_secs(60);
+
+/// Watchdog deadline for stall cases: long enough that scheduler noise
+/// cannot trip it on a healthy pipeline, short enough to keep the suite
+/// fast.
+const STALL_DEADLINE_MS: u64 = 300;
+
+/// Deterministic varied input, same scheme as the equivalence suites.
+fn varied_input(len: usize) -> Vec<f64> {
+    (0..len).map(|i| ((i * 37) % 101) as f64 - 50.0).collect()
+}
+
+fn bits(v: &[f64]) -> Vec<u64> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
+/// The fifteen benchmark graphs. Constructors are deferred so each
+/// chaos case can build its program inside the timeout-guarded thread.
+fn corpus() -> Vec<(&'static str, Box<dyn Fn() -> StreamNode + Send>, usize)> {
+    vec![
+        (
+            "beamformer",
+            Box::new(|| apps::beamformer::beamformer(12, 4, 32))
+                as Box<dyn Fn() -> StreamNode + Send>,
+            16,
+        ),
+        ("bitonic", Box::new(|| apps::bitonic::bitonic_sort(32)), 32),
+        (
+            "channelvocoder",
+            Box::new(|| apps::channelvocoder::channelvocoder(4, 8)),
+            16,
+        ),
+        ("dct", Box::new(|| apps::dct::dct(16)), 16),
+        ("des", Box::new(|| apps::des::des(4)), 16),
+        ("fft", Box::new(|| apps::fft_app::fft(32)), 16),
+        (
+            "filterbank",
+            Box::new(|| apps::filterbank::filterbank(8, 32)),
+            16,
+        ),
+        ("fmradio", Box::new(|| apps::fmradio::fmradio(10, 64)), 16),
+        (
+            "freqhop_teleport",
+            Box::new(|| apps::freqhop::freqhop_teleport(8, 4)),
+            8,
+        ),
+        (
+            "freqhop_manual",
+            Box::new(|| apps::freqhop::freqhop_manual(8)),
+            8,
+        ),
+        ("mpeg2", Box::new(apps::mpeg2::mpeg2), 16),
+        ("radar", Box::new(|| apps::radar::radar(4, 2)), 8),
+        ("serpent", Box::new(|| apps::serpent::serpent(4)), 16),
+        ("tde", Box::new(|| apps::tde::tde(32)), 16),
+        ("vocoder", Box::new(|| apps::vocoder::vocoder(8)), 8),
+    ]
+}
+
+/// The four apps every engine must accept: on these, an injected
+/// parallel-engine fault is guaranteed to actually fire, so they anchor
+/// the non-vacuity assertions below.
+const MUST_SUPPORT: [&str; 4] = ["fmradio", "filterbank", "beamformer", "bitonic"];
+
+/// Run `f` on its own thread and fail loudly if it neither finishes nor
+/// panics within [`CASE_TIMEOUT`]: the supervision contract forbids
+/// hangs, so a timeout here is itself the bug being hunted.
+fn with_timeout<F: FnOnce() + Send + 'static>(name: &str, f: F) {
+    let (tx, rx) = mpsc::channel();
+    let handle = std::thread::Builder::new()
+        .name(format!("chaos-{name}"))
+        .spawn(move || {
+            f();
+            let _ = tx.send(());
+        })
+        .expect("chaos worker spawns");
+    match rx.recv_timeout(CASE_TIMEOUT) {
+        Ok(()) => handle.join().expect("finished worker joins"),
+        Err(mpsc::RecvTimeoutError::Disconnected) => {
+            // The case panicked before sending: surface the original
+            // panic (an assertion failure inside the case) verbatim.
+            match handle.join() {
+                Err(payload) => std::panic::resume_unwind(payload),
+                Ok(()) => unreachable!("disconnected sender implies panic"),
+            }
+        }
+        Err(mpsc::RecvTimeoutError::Timeout) => {
+            panic!("{name}: chaos case hung past {CASE_TIMEOUT:?} — supervision failed")
+        }
+    }
+}
+
+fn compile(name: &str, stream: StreamNode) -> CompiledProgram {
+    Compiler::default()
+        .compile_stream(stream)
+        .unwrap_or_else(|e| panic!("{name}: app graph must compile: {e}"))
+}
+
+/// Input sized so *every* rung of the ladder can produce `n` outputs
+/// from the same deterministic stream (extra trailing input is inert
+/// under Kahn semantics).
+fn sized_input(p: &CompiledProgram, n: usize) -> Vec<f64> {
+    let mut need = 2048u64;
+    if let Ok(cg) = p.compile_exec() {
+        let k = if n as u64 <= cg.init_outputs() {
+            0
+        } else {
+            (n as u64 - cg.init_outputs()).div_ceil(cg.outputs_per_iteration().max(1))
+        };
+        need = need.max(cg.required_input(k));
+    }
+    if let Ok(pg) = p.compile_parallel(2) {
+        let k = if n as u64 <= pg.init_outputs() {
+            0
+        } else {
+            (n as u64 - pg.init_outputs()).div_ceil(pg.outputs_per_iteration().max(1))
+        };
+        need = need.max(pg.required_input(k));
+    }
+    varied_input(need as usize)
+}
+
+/// Reference output for `p`, the ground truth every fallback must hit.
+/// A handful of corpus apps reject this generic harness input even on
+/// the reference interpreter (teleport messaging needs matched i/o
+/// sizing); those return the typed diagnostic code instead, and the
+/// caller asserts the supervised run fails just as cleanly.
+fn reference_truth(
+    name: &str,
+    p: &CompiledProgram,
+    input: &[f64],
+    n: usize,
+) -> Result<Vec<u64>, &'static str> {
+    match p.run(input, n) {
+        Ok(mut out) => {
+            out.truncate(n);
+            Ok(bits(&out))
+        }
+        Err(e) => {
+            let d = streamit::Diag::from(e);
+            assert!(
+                MUST_SUPPORT.iter().all(|m| *m != name),
+                "{name}: reference run failed: {d}"
+            );
+            Err(d.code)
+        }
+    }
+}
+
+/// When even the reference interpreter rejects the harness input, the
+/// supervised run has no rung left to succeed on: it must fail with a
+/// *typed* diagnostic (never hang or escape a panic), and the ladder
+/// must bottom out on the same reference-level code.
+fn supervised_must_fail_typed(
+    name: &str,
+    p: &CompiledProgram,
+    input: &[f64],
+    n: usize,
+    cfg: &SupervisorConfig,
+    reference_code: &str,
+) {
+    let d = p
+        .run_supervised(Engine::Parallel { threads: 2 }, input, n, cfg)
+        .expect_err("no rung can succeed where the reference rejects the input");
+    assert!(
+        d.code.starts_with('E'),
+        "{name}: untyped supervised failure: {d}"
+    );
+    assert_eq!(
+        d.code, reference_code,
+        "{name}: ladder must bottom out on the reference diagnostic: {d}"
+    );
+}
+
+/// Assert the supervision contract for one (app, fault, engine, policy)
+/// cell: a fallback-policy run must land on *some* engine with output
+/// bit-identical to the reference, and every attempt along the way must
+/// carry one of `allowed_codes`. Returns the codes seen.
+fn assert_fallback_identical(
+    name: &str,
+    p: &CompiledProgram,
+    engine: Engine,
+    input: &[f64],
+    n: usize,
+    want: &[u64],
+    cfg: &SupervisorConfig,
+    allowed_codes: &[&str],
+) -> Vec<&'static str> {
+    let outcome = p
+        .run_supervised(engine, input, n, cfg)
+        .unwrap_or_else(|d| panic!("{name}: fallback policy must recover, got: {d}"));
+    let mut out = outcome.output;
+    out.truncate(n);
+    assert_eq!(
+        bits(&out),
+        want,
+        "{name}: degraded run on {} is not bit-identical to the reference",
+        outcome.engine
+    );
+    let codes: Vec<&'static str> = outcome.attempts.iter().map(|a| a.diag.code).collect();
+    for code in &codes {
+        assert!(
+            allowed_codes.contains(code),
+            "{name}: unexpected attempt code {code} (allowed {allowed_codes:?})"
+        );
+    }
+    codes
+}
+
+#[test]
+fn chaos_panic_injection_is_isolated_and_recovered() {
+    for (name, build, n) in corpus() {
+        with_timeout(name, move || {
+            let p = compile(name, build());
+            let input = sized_input(&p, n);
+            let plan = "panic@0:0".parse().expect("fault plan parses");
+            let fallback_cfg = SupervisorConfig {
+                fault_plan: Some(plan),
+                retries: 0,
+                backoff_ms: 1,
+                ..SupervisorConfig::default()
+            };
+            let want = match reference_truth(name, &p, &input, n) {
+                Ok(w) => w,
+                Err(code) => {
+                    supervised_must_fail_typed(name, &p, &input, n, &fallback_cfg, code);
+                    return;
+                }
+            };
+            for engine in [Engine::Parallel { threads: 2 }, Engine::Compiled] {
+                // Fallback: the ladder absorbs the panic and the output
+                // is bit-identical; attempts are declines or the typed
+                // panic diagnostic, never anything else.
+                let cfg = fallback_cfg;
+                let codes = assert_fallback_identical(
+                    name,
+                    &p,
+                    engine,
+                    &input,
+                    n,
+                    &want,
+                    &cfg,
+                    &["E0701", "E0705"],
+                );
+                if MUST_SUPPORT.contains(&name) {
+                    assert!(
+                        codes.contains(&"E0705"),
+                        "{name}: injected panic never fired on {engine} (codes {codes:?})"
+                    );
+                }
+
+                // Error policy: the first rung that actually runs hits
+                // the injected panic and surfaces it as E0705/exit 5.
+                // Rungs that *decline* (E0701) still degrade — if every
+                // runnable rung is the reference interpreter, which
+                // ignores injection, a clean identical run is correct.
+                let cfg = SupervisorConfig {
+                    on_fault: OnEngineFault::Error,
+                    ..cfg
+                };
+                match p.run_supervised(engine, &input, n, &cfg) {
+                    Err(d) => {
+                        assert_eq!(d.code, "E0705", "{name} on {engine}: {d}");
+                        assert_eq!(d.exit_code(), 5, "{name} on {engine}: {d}");
+                    }
+                    Ok(outcome) => {
+                        assert_eq!(
+                            outcome.engine,
+                            Engine::Reference,
+                            "{name}: only the reference rung may complete under \
+                             the error policy with a panic planned"
+                        );
+                        let mut out = outcome.output;
+                        out.truncate(n);
+                        assert_eq!(bits(&out), want, "{name}: corrupt fallback output");
+                    }
+                }
+            }
+        });
+    }
+}
+
+#[test]
+fn chaos_stall_injection_trips_watchdog_or_is_benign() {
+    for (name, build, n) in corpus() {
+        with_timeout(name, move || {
+            let p = compile(name, build());
+            let input = sized_input(&p, n);
+            let plan = "stall@0:0".parse().expect("fault plan parses");
+            let want = match reference_truth(name, &p, &input, n) {
+                Ok(w) => w,
+                Err(code) => {
+                    let cfg = SupervisorConfig {
+                        watchdog_ms: Some(STALL_DEADLINE_MS),
+                        fault_plan: Some(plan),
+                        retries: 0,
+                        backoff_ms: 1,
+                        ..SupervisorConfig::default()
+                    };
+                    supervised_must_fail_typed(name, &p, &input, n, &cfg, code);
+                    return;
+                }
+            };
+
+            // Error policy, parallel engine: if the parallel rung runs,
+            // the stalled worker makes no progress and the watchdog
+            // must fire E0706 within its deadline. Serial rungs ignore
+            // stall plans (a stall is a concurrency phenomenon), so a
+            // decline-degraded run completes identically instead.
+            let cfg = SupervisorConfig {
+                watchdog_ms: Some(STALL_DEADLINE_MS),
+                on_fault: OnEngineFault::Error,
+                fault_plan: Some(plan),
+                retries: 0,
+                backoff_ms: 1,
+                ..SupervisorConfig::default()
+            };
+            match p.run_supervised(Engine::Parallel { threads: 2 }, &input, n, &cfg) {
+                Err(d) => {
+                    assert_eq!(d.code, "E0706", "{name}: {d}");
+                    assert_eq!(d.exit_code(), 5, "{name}: {d}");
+                    assert!(
+                        d.to_string().contains("stalled"),
+                        "{name}: snapshotless stall diagnostic: {d}"
+                    );
+                }
+                Ok(outcome) => {
+                    assert!(
+                        !MUST_SUPPORT.contains(&name),
+                        "{name}: injected stall never tripped the watchdog"
+                    );
+                    let mut out = outcome.output;
+                    out.truncate(n);
+                    assert_eq!(bits(&out), want, "{name}: corrupt fallback output");
+                }
+            }
+
+            // Fallback policy: the ladder steps off the stalled rung and
+            // the run completes bit-identically.
+            let cfg = SupervisorConfig {
+                on_fault: OnEngineFault::Fallback,
+                ..cfg
+            };
+            assert_fallback_identical(
+                name,
+                &p,
+                Engine::Parallel { threads: 2 },
+                &input,
+                n,
+                &want,
+                &cfg,
+                &["E0701", "E0706"],
+            );
+        });
+    }
+}
+
+#[test]
+fn chaos_delayed_publish_keeps_output_bit_identical() {
+    // A delayed publish is a performance fault, not a correctness fault:
+    // with the watchdog deadline well above the injected delay the run
+    // must complete on the requested engine with bit-identical output.
+    for (name, build, n) in corpus() {
+        with_timeout(name, move || {
+            let p = compile(name, build());
+            let input = sized_input(&p, n);
+            let plan = "delay@0:0".parse().expect("fault plan parses");
+            let cfg = SupervisorConfig {
+                watchdog_ms: Some(2_000),
+                fault_plan: Some(plan),
+                retries: 0,
+                backoff_ms: 1,
+                ..SupervisorConfig::default()
+            };
+            let want = match reference_truth(name, &p, &input, n) {
+                Ok(w) => w,
+                Err(code) => {
+                    supervised_must_fail_typed(name, &p, &input, n, &cfg, code);
+                    return;
+                }
+            };
+            for engine in [Engine::Parallel { threads: 2 }, Engine::Compiled] {
+                assert_fallback_identical(name, &p, engine, &input, n, &want, &cfg, &["E0701"]);
+            }
+        });
+    }
+}
+
+#[test]
+fn chaos_watchdog_is_zero_interference_without_injection() {
+    // The acceptance bar for the supervision layer: with the watchdog
+    // armed and no fault injected, all fifteen apps still run
+    // bit-identically to the reference (modulo engine declines, which
+    // degrade cleanly).
+    for (name, build, n) in corpus() {
+        with_timeout(name, move || {
+            let p = compile(name, build());
+            let input = sized_input(&p, n);
+            let cfg = SupervisorConfig {
+                watchdog_ms: Some(2_000),
+                ..SupervisorConfig::default()
+            };
+            let want = match reference_truth(name, &p, &input, n) {
+                Ok(w) => w,
+                Err(code) => {
+                    supervised_must_fail_typed(name, &p, &input, n, &cfg, code);
+                    return;
+                }
+            };
+            let codes = assert_fallback_identical(
+                name,
+                &p,
+                Engine::Parallel { threads: 2 },
+                &input,
+                n,
+                &want,
+                &cfg,
+                &["E0701"],
+            );
+            if MUST_SUPPORT.contains(&name) {
+                assert!(
+                    codes.is_empty(),
+                    "{name}: supervised happy path must not degrade (codes {codes:?})"
+                );
+            }
+        });
+    }
+}

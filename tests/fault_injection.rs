@@ -190,6 +190,62 @@ fn adversarial_corpus_runs_never_panic() {
     }
 }
 
+/// Is `code` an engine decline or input-shape error that the reference
+/// interpreter does not share?  The compiled engines pull whole steady
+/// iterations, so they may starve (`E0703`) or decline constructs
+/// (`E0701`/`E0704`) that the demand-driven interpreter handles.
+fn is_engine_shape_code(code: &str) -> bool {
+    matches!(code, "E0701" | "E0703" | "E0704")
+}
+
+#[test]
+fn adversarial_corpus_engines_never_panic_and_agree() {
+    // Every corpus entry that compiles must also be total under the
+    // serial compiled and parallel engines, and whenever an engine
+    // succeeds alongside the reference interpreter the outputs must be
+    // bit-identical.  Failures must be *typed* and code-equivalent:
+    // engine errors are always E07xx, and an engine may only succeed
+    // where the reference failed if the reference hit a budget bound.
+    let engines = [
+        streamit::Engine::Compiled,
+        streamit::Engine::Parallel { threads: 2 },
+    ];
+    for (i, src) in adversarial_corpus().into_iter().enumerate() {
+        let Ok(p) = Compiler::default().compile_source(&src, "Main") else {
+            continue;
+        };
+        let input: Vec<f64> = (0..256).map(|x| x as f64).collect();
+        let reference = p.run_with_budget(&input, 8, 10_000).map_err(Diag::from);
+        for engine in engines {
+            let got = catch_unwind(AssertUnwindSafe(|| p.run_with_engine(engine, &input, 8)));
+            let Ok(got) = got else {
+                panic!("{engine} engine panicked on adversarial input #{i}:\n{src}");
+            };
+            match (&reference, &got) {
+                (Ok(want), Ok(out)) => assert_eq!(
+                    want, out,
+                    "{engine} engine diverged on adversarial input #{i}:\n{src}"
+                ),
+                (Ok(_), Err(d)) => assert!(
+                    is_engine_shape_code(d.code),
+                    "{engine} engine failed ({d}) where the reference \
+                     succeeded on input #{i}:\n{src}"
+                ),
+                (Err(d), Ok(_)) => assert!(
+                    matches!(d.code, "E0408" | "E0501" | "E0502"),
+                    "{engine} engine succeeded where the reference hit a \
+                     non-budget fault ({d}) on input #{i}:\n{src}"
+                ),
+                (Err(_), Err(d)) => assert!(
+                    d.code.starts_with("E07"),
+                    "{engine} engine error is not typed E07xx ({d}) on \
+                     input #{i}:\n{src}"
+                ),
+            }
+        }
+    }
+}
+
 proptest::proptest! {
     #![proptest_config(proptest::ProptestConfig::with_cases(256))]
 
@@ -213,6 +269,36 @@ proptest::proptest! {
             let _ = compile_diag(&soup);
         }));
         proptest::prop_assert!(result.is_ok(), "frontend panicked on: {soup:?}");
+    }
+}
+
+proptest::proptest! {
+    #![proptest_config(proptest::ProptestConfig::with_cases(64))]
+
+    /// Keyword soup that survives the frontend must also be total under
+    /// the compiled and parallel engines, and any output they produce
+    /// must be bit-identical to the reference interpreter's.
+    #[test]
+    fn prop_engines_total_on_keyword_soup(s in "[a-z>\\-(){};0-9 ]{0,200}") {
+        let soup = format!("int->int filter F {{ work pop 1 push 1 {{ {s} }} }}");
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            let Ok(p) = Compiler::default().compile_source(&soup, "F") else {
+                return;
+            };
+            let input: Vec<f64> = (0..64).map(|x| x as f64).collect();
+            let reference = p.run_with_budget(&input, 4, 10_000);
+            for engine in [
+                streamit::Engine::Compiled,
+                streamit::Engine::Parallel { threads: 2 },
+            ] {
+                if let (Ok(want), Ok(out)) =
+                    (&reference, &p.run_with_engine(engine, &input, 4))
+                {
+                    assert_eq!(want, out, "{engine} diverged on: {soup:?}");
+                }
+            }
+        }));
+        proptest::prop_assert!(result.is_ok(), "engines panicked on: {soup:?}");
     }
 }
 
@@ -677,8 +763,9 @@ fn streamitc_parallel_engine_flag_and_threads_parsing() {
 fn streamitc_parallel_engine_declines_feedback_loops_gracefully() {
     // Feedback loops are outside the parallel subset (a back edge would
     // make a stage wait on a later stage): the CLI prints the E0701
-    // diagnostic, falls back to the reference interpreter, and still
-    // succeeds (exit 0) with correct output.
+    // diagnostic and degrades one rung down the engine ladder — to the
+    // serial compiled engine, which handles primed feedback loops — and
+    // still succeeds (exit 0) with correct output.
     let out = run_streamitc(&[
         concat!(
             env!("CARGO_MANIFEST_DIR"),
@@ -695,11 +782,11 @@ fn streamitc_parallel_engine_declines_feedback_loops_gracefully() {
     let stderr = String::from_utf8_lossy(&out.stderr);
     assert!(stderr.contains("E0701"), "stderr: {stderr}");
     assert!(
-        stderr.contains("falling back to the reference engine"),
+        stderr.contains("falling back to the compiled engine"),
         "stderr: {stderr}"
     );
     let stdout = String::from_utf8_lossy(&out.stdout);
-    assert!(stdout.contains("(reference engine)"), "stdout: {stdout}");
+    assert!(stdout.contains("(compiled engine)"), "stdout: {stdout}");
     assert_eq!(stdout.lines().filter(|l| l.starts_with("y[")).count(), 6);
 }
 
@@ -720,4 +807,97 @@ fn streamitc_compiled_engine_falls_back_gracefully() {
     assert!(stdout.contains("(reference engine)"), "stdout: {stdout}");
     assert_eq!(stdout.lines().filter(|l| l.starts_with("y[")).count(), 6);
     let _ = std::fs::remove_file(tp);
+}
+
+// ---------------------------------------------------------------------
+// 6. streamitc supervision flags, golden behavior.
+// ---------------------------------------------------------------------
+
+#[test]
+fn streamitc_supervision_flags_reject_bad_values() {
+    let good = write_temp("supervision_flags", GOOD);
+    let path = good.to_str().unwrap();
+
+    // Malformed --watchdog-ms values -> usage error (2).
+    for bad in ["abc", "-5", "1.5"] {
+        let out = run_streamitc(&[path, "--run", "8", "--watchdog-ms", bad]);
+        assert_eq!(out.status.code(), Some(2), "--watchdog-ms {bad}");
+    }
+    let out = run_streamitc(&[path, "--run", "8", "--watchdog-ms"]);
+    assert_eq!(out.status.code(), Some(2), "--watchdog-ms without a value");
+
+    // Unknown --on-engine-fault policy -> usage error (2).
+    let out = run_streamitc(&[path, "--run", "8", "--on-engine-fault", "shrug"]);
+    assert_eq!(out.status.code(), Some(2), "--on-engine-fault shrug");
+
+    // Malformed --inject-fault plans -> usage error (2).
+    for bad in ["bogus", "panic@x:1", "panic@0", "explode@0:1"] {
+        let out = run_streamitc(&[path, "--run", "8", "--inject-fault", bad]);
+        assert_eq!(out.status.code(), Some(2), "--inject-fault {bad}");
+    }
+    let _ = std::fs::remove_file(good);
+}
+
+#[test]
+fn streamitc_injected_panic_degrades_to_reference_output() {
+    // A worker panic injected into the parallel engine is caught,
+    // attributed (E0705 with the payload text), and — under the default
+    // fallback policy — the ladder lands on an engine that produces the
+    // full output with exit 0.
+    let good = write_temp("inject_panic", GOOD);
+    let out = run_streamitc(&[
+        good.to_str().unwrap(),
+        "--run",
+        "8",
+        "--engine",
+        "parallel",
+        "--threads",
+        "2",
+        "--inject-fault",
+        "panic@0:1",
+    ]);
+    assert_eq!(out.status.code(), Some(0), "fallback must succeed");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("E0705"), "stderr: {stderr}");
+    assert!(
+        stderr.contains("injected fault: worker panic at stage 0 iteration 1"),
+        "panic payload must be extracted into the diagnostic; stderr: {stderr}"
+    );
+    assert!(stderr.contains("falling back to the"), "stderr: {stderr}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("(reference engine)"),
+        "the fault plan follows the ladder down, so only the reference \
+         rung completes; stdout: {stdout}"
+    );
+    assert_eq!(stdout.lines().filter(|l| l.starts_with("y[")).count(), 8);
+    let _ = std::fs::remove_file(good);
+}
+
+#[test]
+fn streamitc_injected_stall_under_error_policy_exits_5() {
+    // An injected stall trips the watchdog within its deadline; under
+    // --on-engine-fault error the E0706 diagnostic surfaces directly
+    // with exit code 5 instead of degrading.
+    let good = write_temp("inject_stall", GOOD);
+    let out = run_streamitc(&[
+        good.to_str().unwrap(),
+        "--run",
+        "8",
+        "--engine",
+        "parallel",
+        "--threads",
+        "2",
+        "--watchdog-ms",
+        "300",
+        "--on-engine-fault",
+        "error",
+        "--inject-fault",
+        "stall@0:1",
+    ]);
+    assert_eq!(out.status.code(), Some(5), "stall must surface as runtime");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("E0706"), "stderr: {stderr}");
+    assert!(stderr.contains("stalled"), "stderr: {stderr}");
+    let _ = std::fs::remove_file(good);
 }
