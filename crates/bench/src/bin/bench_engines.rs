@@ -1,23 +1,35 @@
-//! `bench_engines` — reference-interpreter vs compiled-engine throughput.
+//! `bench_engines` — engine-vs-engine throughput, optionally across
+//! linear-optimization modes.
 //!
-//! Runs four benchmark apps (FMRadio, FilterBank, BeamFormer,
-//! BitonicSort) on both execution engines, verifies the outputs are
-//! bit-identical, and writes `BENCH_interp.json` with items/sec for
-//! each engine plus the speedup.
+//! Default mode runs four benchmark apps (FMRadio, FilterBank,
+//! BeamFormer, BitonicSort) on the reference and compiled engines,
+//! verifies the outputs are bit-identical, and writes
+//! `BENCH_interp.json` with items/sec for each engine plus the speedup.
+//!
+//! `--matrix` runs the full linear-optimization matrix instead: the
+//! three FIR-heavy apps (FMRadio, FilterBank, BeamFormer) on all three
+//! engines (reference / compiled / parallel) under all three optimizer
+//! modes (off / replacement / frequency), verifies every optimized
+//! configuration against the *unoptimized* reference stream (bit
+//! identity where the optimizer did not reassociate, a ULP bound where
+//! it did), and writes `BENCH_linear.json`.
 //!
 //! ```text
-//! bench_engines [--quick] [--out PATH]
+//! bench_engines [--quick] [--matrix] [--out PATH]
 //! ```
 //!
 //! `--quick` shortens the measurement window (CI smoke); `--out`
-//! changes the report path (default `BENCH_interp.json`).
+//! changes the report path (default `BENCH_interp.json`, or
+//! `BENCH_linear.json` under `--matrix`).
 
 use std::time::Instant;
 
 use streamit::exec::CompiledGraph;
 use streamit::graph::{StreamNode, Value};
 use streamit::interp::Machine;
-use streamit::{CompiledProgram, Compiler};
+use streamit::linear::LinearMode;
+use streamit::rt::ParallelGraph;
+use streamit::{CompiledProgram, Compiler, Options};
 
 /// Deterministic varied input usable by both int- and float-typed apps.
 fn varied_input(len: usize) -> Vec<f64> {
@@ -85,6 +97,28 @@ fn measure_compiled(cg: &CompiledGraph, target_s: f64) -> Measurement {
     }
 }
 
+/// Time `k` steady iterations on the parallel engine.
+fn measure_parallel(pg: &ParallelGraph, target_s: f64) -> Measurement {
+    let mut k = 16u64;
+    loop {
+        let input = varied_input(pg.required_input(k) as usize);
+        let t0 = Instant::now();
+        let out = pg
+            .run_steady(&input, k)
+            .unwrap_or_else(|e| panic!("parallel steady run failed: {e}"));
+        let elapsed = t0.elapsed().as_secs_f64();
+        if elapsed >= target_s || k >= 1 << 26 {
+            return Measurement {
+                items_per_sec: out.len() as f64 / elapsed.max(1e-9),
+                elapsed_s: elapsed,
+                outputs: out.len() as u64,
+                iterations: k,
+            };
+        }
+        k = (k * 4).max(k + 1);
+    }
+}
+
 /// Bit-compare a short run on both engines.
 fn bit_identical(p: &CompiledProgram, cg: &CompiledGraph) -> bool {
     let k = 8u64;
@@ -104,6 +138,27 @@ fn bit_identical(p: &CompiledProgram, cg: &CompiledGraph) -> bool {
             .all(|(a, b)| a.to_bits() == b.to_bits())
 }
 
+/// ULP distance between two floats (`u64::MAX` for NaN mismatches;
+/// +0.0 and -0.0 are the same point).
+fn ulp_diff(a: f64, b: f64) -> u64 {
+    if a.is_nan() || b.is_nan() {
+        return if a.is_nan() && b.is_nan() {
+            0
+        } else {
+            u64::MAX
+        };
+    }
+    fn monotone(x: f64) -> i64 {
+        let bits = x.to_bits() as i64;
+        if bits < 0 {
+            i64::MIN - bits
+        } else {
+            bits
+        }
+    }
+    monotone(a).abs_diff(monotone(b))
+}
+
 fn json_f64(v: f64) -> String {
     if v.is_finite() {
         format!("{v:.3}")
@@ -112,20 +167,31 @@ fn json_f64(v: f64) -> String {
     }
 }
 
-fn main() {
-    let argv: Vec<String> = std::env::args().skip(1).collect();
-    let quick = argv.iter().any(|a| a == "--quick");
-    let out_path = argv
-        .iter()
-        .position(|a| a == "--out")
-        .and_then(|i| argv.get(i + 1))
-        .cloned()
-        .unwrap_or_else(|| "BENCH_interp.json".into());
-    let target_s = if quick { 0.02 } else { 0.25 };
-    let host_cores = std::thread::available_parallelism()
+fn engine_json(name: &str, m: &Measurement, extra: &str) -> String {
+    format!(
+        "{{\"engine\": \"{name}\"{extra}, \"items_per_sec\": {}, \"elapsed_s\": {}, \
+         \"outputs\": {}, \"iterations\": {}}}",
+        json_f64(m.items_per_sec),
+        json_f64(m.elapsed_s),
+        m.outputs,
+        m.iterations,
+    )
+}
+
+fn host_json() -> String {
+    let cores = std::thread::available_parallelism()
         .map(usize::from)
         .unwrap_or(1);
+    format!(
+        "{{\"cores\": {cores}, \"os\": \"{}\", \"arch\": \"{}\"}}",
+        std::env::consts::OS,
+        std::env::consts::ARCH
+    )
+}
 
+/// The original two-engine report over the four throughput apps.
+fn run_default(quick: bool, out_path: &str) {
+    let target_s = if quick { 0.02 } else { 0.25 };
     let apps: Vec<(&str, StreamNode)> = vec![
         ("fmradio", streamit::apps::fmradio::fmradio(10, 64)),
         ("filterbank", streamit::apps::filterbank::filterbank(8, 32)),
@@ -174,12 +240,211 @@ fn main() {
     }
 
     let report = format!(
-        "{{\n  \"benchmark\": \"engine_throughput\",\n  \"host\": {{\"cores\": {host_cores}, \"os\": \"{}\", \"arch\": \"{}\"}},\n  \
+        "{{\n  \"benchmark\": \"engine_throughput\",\n  \"host\": {},\n  \"linear\": \"off\",\n  \
          \"quick\": {quick},\n  \"apps\": [\n{}\n  ]\n}}\n",
-        std::env::consts::OS,
-        std::env::consts::ARCH,
+        host_json(),
         rows.join(",\n")
     );
-    std::fs::write(&out_path, &report).unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
+    std::fs::write(out_path, &report).unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
     println!("wrote {out_path}");
+}
+
+/// One (app, mode) cell of the linear matrix.
+struct ModeResult {
+    mode: &'static str,
+    comparison: &'static str,
+    matches_reference: bool,
+    max_ulp: u64,
+    kernels: usize,
+    freq_plans: usize,
+    reference: Measurement,
+    compiled: Measurement,
+    parallel: Measurement,
+    parallel_threads: usize,
+}
+
+/// Compare the optimized compiled engine against the *unoptimized*
+/// reference stream.  Returns (matches, max observed ULP distance).
+fn verify_against_unoptimized(
+    base: &CompiledProgram,
+    cg: &CompiledGraph,
+    reassociating: bool,
+) -> (bool, u64) {
+    let k = 4u64;
+    let n = (cg.init_outputs() + k * cg.outputs_per_iteration()) as usize;
+    let input = varied_input(cg.required_input(k + 2) as usize * 2 + 1024);
+    let optimized = cg
+        .run_collect(&input, n)
+        .unwrap_or_else(|e| panic!("optimized check run failed: {e}"));
+    let mut reference = base
+        .run(&input, n)
+        .unwrap_or_else(|e| panic!("unoptimized reference check run failed: {e}"));
+    reference.truncate(n);
+    if optimized.len() != reference.len() {
+        return (false, u64::MAX);
+    }
+    let max_ulp = optimized
+        .iter()
+        .zip(&reference)
+        .map(|(&a, &b)| {
+            if (a - b).abs() <= 1e-9 {
+                // Absolute floor near zero, where ULP distance explodes.
+                ulp_diff(a, b).min(1)
+            } else {
+                ulp_diff(a, b)
+            }
+        })
+        .max()
+        .unwrap_or(0);
+    let ok = if reassociating {
+        max_ulp <= 4096
+    } else {
+        max_ulp == 0
+            && optimized
+                .iter()
+                .zip(&reference)
+                .all(|(a, b)| a.to_bits() == b.to_bits())
+    };
+    (ok, max_ulp)
+}
+
+/// The optimized-vs-baseline matrix over the FIR-heavy apps.
+fn run_matrix(quick: bool, out_path: &str) {
+    let target_s = if quick { 0.02 } else { 0.25 };
+    let apps: Vec<(&str, StreamNode)> = vec![
+        ("fmradio", streamit::apps::fmradio::fmradio(10, 64)),
+        ("filterbank", streamit::apps::filterbank::filterbank(8, 32)),
+        (
+            "beamformer",
+            streamit::apps::beamformer::beamformer(12, 4, 32),
+        ),
+    ];
+    let modes: [(&str, Option<LinearMode>); 3] = [
+        ("off", None),
+        ("replacement", Some(LinearMode::Replacement)),
+        ("frequency", Some(LinearMode::Frequency)),
+    ];
+
+    let mut app_rows = Vec::new();
+    println!(
+        "{:<12} {:<12} {:>13} {:>13} {:>13} {:>8} {:>9}  ok",
+        "app", "mode", "reference", "compiled", "parallel", "kernels", "vs off"
+    );
+    for (name, stream) in apps {
+        let base = Compiler::default()
+            .compile_stream(stream.clone())
+            .unwrap_or_else(|e| panic!("{name}: app graph must compile: {e}"));
+        let mut results: Vec<ModeResult> = Vec::new();
+        for (mode_name, mode) in modes {
+            let p = Compiler::new(Options {
+                linear: mode,
+                ..Options::default()
+            })
+            .compile_stream(stream.clone())
+            .unwrap_or_else(|e| panic!("{name}/{mode_name}: must compile: {e}"));
+            let cg = p.compile_exec().unwrap_or_else(|e| {
+                panic!("{name}/{mode_name}: compiled engine must accept this app: {e}")
+            });
+            let pg = p.compile_parallel(0).unwrap_or_else(|e| {
+                panic!("{name}/{mode_name}: parallel engine must accept this app: {e}")
+            });
+            let reassociating = p
+                .linear_report
+                .as_ref()
+                .map(|r| r.reassociating())
+                .unwrap_or(false);
+            let (matches_reference, max_ulp) =
+                verify_against_unoptimized(&base, &cg, reassociating);
+            let freq_plans = p
+                .linear_report
+                .as_ref()
+                .map(|r| r.freq_plans.len())
+                .unwrap_or(0);
+            results.push(ModeResult {
+                mode: mode_name,
+                comparison: if reassociating { "ulp" } else { "bit" },
+                matches_reference,
+                max_ulp,
+                kernels: cg.kernel_filters(),
+                freq_plans,
+                reference: measure_reference(&p, &cg, target_s),
+                compiled: measure_compiled(&cg, target_s),
+                parallel: measure_parallel(&pg, target_s),
+                parallel_threads: pg.threads(),
+            });
+        }
+        let off_compiled = results[0].compiled.items_per_sec.max(1e-9);
+        let mut mode_rows = Vec::new();
+        for r in &results {
+            let vs_off = r.compiled.items_per_sec / off_compiled;
+            println!(
+                "{:<12} {:<12} {:>11.0}/s {:>11.0}/s {:>11.0}/s {:>8} {:>8.1}x  {}",
+                name,
+                r.mode,
+                r.reference.items_per_sec,
+                r.compiled.items_per_sec,
+                r.parallel.items_per_sec,
+                r.kernels,
+                vs_off,
+                r.matches_reference
+            );
+            mode_rows.push(format!(
+                "        {{\n          \"mode\": \"{}\",\n          \"comparison\": \"{}\",\n          \
+                 \"matches_reference\": {},\n          \"max_ulp\": {},\n          \
+                 \"kernels\": {},\n          \"freq_plans\": {},\n          \
+                 \"speedup_vs_off_compiled\": {},\n          \"engines\": [\n            {},\n            {},\n            {}\n          ]\n        }}",
+                r.mode,
+                r.comparison,
+                r.matches_reference,
+                r.max_ulp,
+                r.kernels,
+                r.freq_plans,
+                json_f64(vs_off),
+                engine_json("reference", &r.reference, ""),
+                engine_json("compiled", &r.compiled, ""),
+                engine_json(
+                    "parallel",
+                    &r.parallel,
+                    &format!(", \"threads\": {}", r.parallel_threads)
+                ),
+            ));
+        }
+        app_rows.push(format!(
+            "    {{\n      \"name\": \"{name}\",\n      \"modes\": [\n{}\n      ]\n    }}",
+            mode_rows.join(",\n")
+        ));
+    }
+
+    let report = format!(
+        "{{\n  \"benchmark\": \"linear_throughput\",\n  \"host\": {},\n  \
+         \"linear\": [\"off\", \"replacement\", \"frequency\"],\n  \"quick\": {quick},\n  \
+         \"apps\": [\n{}\n  ]\n}}\n",
+        host_json(),
+        app_rows.join(",\n")
+    );
+    std::fs::write(out_path, &report).unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
+    println!("wrote {out_path}");
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let quick = argv.iter().any(|a| a == "--quick");
+    let matrix = argv.iter().any(|a| a == "--matrix");
+    let out_path = argv
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| argv.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| {
+            if matrix {
+                "BENCH_linear.json".into()
+            } else {
+                "BENCH_interp.json".into()
+            }
+        });
+    if matrix {
+        run_matrix(quick, &out_path);
+    } else {
+        run_default(quick, &out_path);
+    }
 }

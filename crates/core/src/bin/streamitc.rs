@@ -348,7 +348,10 @@ fn main() {
                     }
                 }
                 println!("\n== first {n} outputs ({} engine) ==", outcome.engine);
-                for (i, v) in outcome.output.iter().enumerate() {
+                // The reference engine runs whole firings, so a block
+                // filter (e.g. a frequency-translated FIR) can overshoot
+                // the requested count; print exactly what was asked for.
+                for (i, v) in outcome.output.iter().take(n).enumerate() {
                     println!("y[{i}] = {v}");
                 }
             }

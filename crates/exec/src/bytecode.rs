@@ -235,6 +235,11 @@ pub struct FilterCode {
     /// Initial contents of persistent arena ranges.
     pub init_ai: Vec<(u32, Vec<i64>)>,
     pub init_af: Vec<(u32, Vec<f64>)>,
+    /// Optional native kernel, validated against the declared rates and
+    /// tape types by the planner; the engine dispatches it in place of
+    /// `work` when present.  `work` remains correct and complete — a
+    /// dropped kernel only costs speed, never output.
+    pub kernel: Option<crate::kernel::KernelCode>,
 }
 
 /// Static type of a register: which bank it lives in.
@@ -943,6 +948,7 @@ pub fn lower_filter(
         init_f,
         init_ai,
         init_af,
+        kernel: None,
     })
 }
 

@@ -33,6 +33,11 @@ pub struct Frame {
     pub f: Vec<f64>,
     pub ai: Vec<i64>,
     pub af: Vec<f64>,
+    /// Native-kernel scratch (batched window / FFT real and imaginary
+    /// work buffers).  Lazily sized on first kernel firing; per-frame
+    /// so threaded shards never share them.
+    pub kre: Vec<f64>,
+    pub kim: Vec<f64>,
 }
 
 impl Frame {
@@ -42,6 +47,8 @@ impl Frame {
             f: vec![0.0; fc.n_f as usize],
             ai: vec![0; fc.arena_i as usize],
             af: vec![0.0; fc.arena_f as usize],
+            kre: Vec::new(),
+            kim: Vec::new(),
         };
         for &(r, v) in &fc.init_i {
             fr.i[r as usize] = v;
@@ -388,10 +395,21 @@ pub fn run_ops(
                 let fl = (frame.shard - base) as usize;
                 let mut fr = mem::take(&mut shards[fl].frames[frame.slot as usize]);
                 let mut res = Ok(());
-                for _ in 0..*times {
-                    if let Err(e) = exec_program(prog, &mut fr, in_t.as_mut(), out_t.as_mut()) {
-                        res = Err(e);
-                        break;
+                // A validated kernel replaces the bytecode VM for the
+                // work body (never for prework).  Kernelized filters
+                // always have both tapes — the planner gates on tape
+                // types — so missing ones are a planner bug.
+                if let (Some(kernel), false) = (&fc.kernel, *prework) {
+                    res = match (in_t.as_mut(), out_t.as_mut()) {
+                        (Some(i), Some(o)) => kernel.run(i, o, *times, &mut fr.kre, &mut fr.kim),
+                        _ => Err("kernel filter missing a tape".into()),
+                    };
+                } else {
+                    for _ in 0..*times {
+                        if let Err(e) = exec_program(prog, &mut fr, in_t.as_mut(), out_t.as_mut()) {
+                            res = Err(e);
+                            break;
+                        }
                     }
                 }
                 shards[fl].frames[frame.slot as usize] = fr;

@@ -29,6 +29,7 @@
 
 pub mod bytecode;
 pub mod engine;
+pub mod kernel;
 pub mod plan;
 pub mod tape;
 
@@ -259,6 +260,17 @@ impl CompiledGraph {
     /// The underlying firing plan (consumed by `streamit-rt`).
     pub fn plan(&self) -> &plan::Plan {
         &self.plan
+    }
+
+    /// How many filters in the plan run a native linear/frequency
+    /// kernel instead of their bytecode (optimizer-hinted filters whose
+    /// hint validated against the declared rates and tape types).
+    pub fn kernel_filters(&self) -> usize {
+        self.plan
+            .codes
+            .iter()
+            .filter(|c| c.kernel.is_some())
+            .count()
     }
 
     /// Run initialization plus `k` steady iterations on one core and

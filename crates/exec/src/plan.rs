@@ -1000,7 +1000,20 @@ pub fn lower_graph(
         if idx > u32::MAX as usize {
             return Err("too many filters".into());
         }
-        codes.push(lower_filter(f, &n.name, in_ty, out_ty)?);
+        let mut fc = lower_filter(f, &n.name, in_ty, out_ty)?;
+        // Optimizer kernel hints: accept only when the hint agrees with
+        // the declared rates and both tapes carry unboxed f64 — any
+        // disagreement silently falls back to the (always correct)
+        // bytecode rather than erroring.
+        if let Some(spec) = &f.kernel {
+            if spec.matches_rates(f.peek, f.pop, f.push)
+                && in_ty == Some(DataType::Float)
+                && out_ty == Some(DataType::Float)
+            {
+                fc.kernel = Some(crate::kernel::KernelCode::build(spec));
+            }
+        }
+        codes.push(fc);
         code_of[n.id.0] = Some(idx as u32);
     }
     for e in &g.edges {

@@ -111,6 +111,21 @@ impl<T: Copy + Default> Ring<T> {
         self.tail += n;
     }
 
+    /// Copy the first `n` live items (in FIFO order, starting at the
+    /// read cursor) into `dst[..n]` without consuming them — the kernel
+    /// window-batching path.  The caller has checked `n <= len()`; the
+    /// copy runs in at most two `copy_from_slice` segments.
+    pub fn copy_out(&self, n: u64, dst: &mut [T]) {
+        debug_assert!(n <= self.len());
+        let mut done = 0u64;
+        while done < n {
+            let si = ((self.head + done) & self.mask) as usize;
+            let run = ((n - done) as usize).min(self.buf.len() - si);
+            dst[done as usize..done as usize + run].copy_from_slice(&self.buf[si..si + run]);
+            done += run as u64;
+        }
+    }
+
     /// Copy the live contents out in FIFO order.
     pub fn to_vec(&self) -> Vec<T> {
         (0..self.len()).filter_map(|i| self.get(i)).collect()

@@ -372,6 +372,7 @@ impl<'p> Elaborator<'p> {
             work,
             prework,
             handlers,
+            kernel: None,
         }))
     }
 

@@ -356,6 +356,7 @@ impl FilterBuilder {
                 work: Vec::new(),
                 prework: None,
                 handlers: Vec::new(),
+                kernel: None,
             },
         }
     }
@@ -468,6 +469,12 @@ impl FilterBuilder {
         let mut b = self;
         b.filter.work.push(Stmt::Expr(Expr::Pop));
         b
+    }
+
+    /// Attach a compiled-kernel hint (see [`crate::kernel::KernelSpec`]).
+    pub fn kernel(mut self, spec: crate::kernel::KernelSpec) -> Self {
+        self.filter.kernel = Some(spec);
+        self
     }
 
     /// Finish building.

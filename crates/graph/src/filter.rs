@@ -107,6 +107,11 @@ pub struct Filter {
     pub prework: Option<PreWork>,
     /// Teleport-message handlers this filter exposes.
     pub handlers: Vec<Handler>,
+    /// Optional compiled-kernel hint describing what `work` computes
+    /// (attached by the linear optimizer when it materializes a node).
+    /// The work IR remains the reference semantics; engines must
+    /// validate the hint against the declared rates before using it.
+    pub kernel: Option<crate::kernel::KernelSpec>,
 }
 
 impl Filter {
@@ -123,6 +128,7 @@ impl Filter {
             work: vec![Stmt::Push(crate::work::Expr::Pop)],
             prework: None,
             handlers: Vec::new(),
+            kernel: None,
         }
     }
 
@@ -221,6 +227,7 @@ mod tests {
             ))],
             prework: None,
             handlers: vec![],
+            kernel: None,
         }
     }
 

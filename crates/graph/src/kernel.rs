@@ -1,0 +1,124 @@
+//! Compiled-kernel hints attached to filters by the linear optimizer.
+//!
+//! When the optimizer materializes a collapsed linear node it knows the
+//! exact affine map `A·x + b` the work function computes; the work IR it
+//! generates is the *reference semantics*, but a compiled engine can run
+//! the same map as a tight native kernel over the ring tape's unboxed
+//! `f64` window instead of interpreting bytecode per coefficient.  The
+//! hint carries that map.  Engines that do not understand hints (the
+//! reference interpreter) simply execute the work IR; engines that do
+//! must validate the hint against the declared rates before trusting it.
+
+/// One output row of a dense/sparse affine kernel, in push order.
+///
+/// `taps` lists `(window_index, coefficient)` pairs in the exact order
+/// the materialized work IR accumulates them, so a kernel that folds
+/// `constant + Σ x[i]·c` left-to-right over `taps` is *bit-identical*
+/// to interpreting the generated work function.  Rows materialized via
+/// a coefficient-table loop include their zero coefficients (the loop
+/// adds `x[i]·0.0` too, which matters for `-0.0`/`NaN` propagation);
+/// rows materialized as unrolled literals list only the non-zeros.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelRow {
+    pub taps: Vec<(u32, f64)>,
+    pub constant: f64,
+}
+
+/// A structured description of what a filter's work function computes,
+/// precise enough for an engine to substitute a native implementation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum KernelSpec {
+    /// Affine map over the peek window: firing `t` of the filter reads
+    /// `x[0..peek]`, pushes `rows[j].constant + Σ x[i]·c` per row in
+    /// order, then pops `pop` items.  Must agree with the declared
+    /// rates (`rows.len() == push`).
+    Linear {
+        peek: usize,
+        pop: usize,
+        rows: Vec<KernelRow>,
+    },
+    /// A block-expanded sliding FIR designated for frequency-domain
+    /// execution: the filter's declared rates are the `block`-expansion
+    /// of a `pop == push == 1` FIR (`peek == block + taps.len() − 1`,
+    /// `pop == push == block`), with outputs
+    /// `y[t] = constant + Σ_i taps[i]·x[t+i]` for `t in 0..block`.
+    /// An engine may compute the block by overlap-save FFT convolution;
+    /// the work IR computes the same sums directly in the time domain.
+    FreqFir {
+        taps: Vec<f64>,
+        constant: f64,
+        block: usize,
+    },
+}
+
+impl KernelSpec {
+    /// Structural consistency against a filter's declared rates: a hint
+    /// that disagrees with the rates must be ignored, never trusted.
+    pub fn matches_rates(&self, peek: usize, pop: usize, push: usize) -> bool {
+        match self {
+            KernelSpec::Linear {
+                peek: kp,
+                pop: kpop,
+                rows,
+            } => {
+                *kp == peek.max(pop)
+                    && *kpop == pop
+                    && rows.len() == push
+                    && rows
+                        .iter()
+                        .all(|r| r.taps.iter().all(|&(i, _)| (i as usize) < *kp))
+            }
+            KernelSpec::FreqFir { taps, block, .. } => {
+                !taps.is_empty()
+                    && *block >= 1
+                    && pop == *block
+                    && push == *block
+                    && peek == *block + taps.len() - 1
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_spec_validates_shape() {
+        let spec = KernelSpec::Linear {
+            peek: 3,
+            pop: 1,
+            rows: vec![KernelRow {
+                taps: vec![(0, 1.0), (2, -1.0)],
+                constant: 0.5,
+            }],
+        };
+        assert!(spec.matches_rates(3, 1, 1));
+        assert!(!spec.matches_rates(3, 1, 2), "row count must equal push");
+        assert!(!spec.matches_rates(2, 1, 1), "window must match");
+    }
+
+    #[test]
+    fn linear_spec_rejects_out_of_window_taps() {
+        let spec = KernelSpec::Linear {
+            peek: 2,
+            pop: 1,
+            rows: vec![KernelRow {
+                taps: vec![(5, 1.0)],
+                constant: 0.0,
+            }],
+        };
+        assert!(!spec.matches_rates(2, 1, 1));
+    }
+
+    #[test]
+    fn freq_spec_validates_block_expansion() {
+        let spec = KernelSpec::FreqFir {
+            taps: vec![0.5; 16],
+            constant: 0.0,
+            block: 8,
+        };
+        assert!(spec.matches_rates(8 + 15, 8, 8));
+        assert!(!spec.matches_rates(16, 1, 1));
+    }
+}

@@ -32,6 +32,7 @@ pub mod builder;
 pub mod display;
 pub mod filter;
 pub mod flat;
+pub mod kernel;
 pub mod steady;
 pub mod stream;
 pub mod types;
@@ -40,6 +41,7 @@ pub mod work;
 
 pub use filter::{Filter, Handler, PreWork, StateInit, StateVar};
 pub use flat::{Edge, EdgeId, FlatGraph, FlatNode, FlatNodeKind, NodeId};
+pub use kernel::{KernelRow, KernelSpec};
 pub use steady::{repetition_vector, steady_flows, SteadyError};
 pub use stream::{FeedbackLoop, Joiner, Pipeline, SplitJoin, Splitter, StreamNode};
 pub use types::{DataType, Value};

@@ -155,6 +155,38 @@ pub fn should_translate(n: usize) -> Option<usize> {
     }
 }
 
+/// Budget keeping a materialized block filter statically analyzable:
+/// the abstract interpreter unrolls constant-bound loops exactly only
+/// within its fuel, and the generated nested loop costs roughly
+/// `block · (n + 4)` IR steps.  Blocks beyond this would force the
+/// analysis to widen, lose rate exactness and push the filter off the
+/// compiled engines (E0701) — exactly what frequency translation is
+/// supposed to speed up.
+const ANALYSIS_FUEL_BUDGET: usize = 1_500_000;
+
+/// Choose a block size for *materializing* an `n`-tap FIR as a
+/// frequency-executed block filter.  Like [`should_translate`] but
+/// caps the block so the generated work function stays exactly
+/// analyzable; returns `(block, freq_cost_per_output)` when the model
+/// still predicts a win under the cap.
+pub fn plan_block(n: usize) -> Option<(usize, f64)> {
+    let cap = ANALYSIS_FUEL_BUDGET / (n + 4).max(1);
+    let mut best = (1usize, f64::INFINITY);
+    let mut b = 1usize;
+    while b <= 64 * n.max(1) && b <= cap {
+        let c = freq_cost_per_output(n, b);
+        if c < best.1 {
+            best = (b, c);
+        }
+        b *= 2;
+    }
+    if best.1 < direct_cost_per_output(n) {
+        Some(best)
+    } else {
+        None
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -193,6 +225,17 @@ mod tests {
             .find(|&n| should_translate(n).is_some())
             .expect("some n must translate");
         assert!((8..=128).contains(&crossover), "crossover at {crossover}");
+    }
+
+    #[test]
+    fn plan_block_respects_analysis_budget() {
+        // 1024 taps: translation still wins and the chosen block keeps
+        // the generated work function within the analyzer's fuel.
+        let (b, c) = plan_block(1024).expect("1024-tap FIR translates");
+        assert!(c < direct_cost_per_output(1024));
+        assert!(b * (1024 + 4) <= 1_500_000, "block {b} exceeds budget");
+        // Tiny FIRs still never translate.
+        assert!(plan_block(4).is_none());
     }
 
     #[test]

@@ -14,12 +14,16 @@
 //!   selection is cost-driven, as in the paper);
 //! * collapsed nodes are materialized back into executable filters;
 //! * in [`LinearMode::Frequency`], sliding FIR-shaped nodes whose cost
-//!   model favours it are recorded in the report's `freq_plans` — the
-//!   harness executes them with [`crate::freq::FreqFilter`].
+//!   model favours it are materialized as block-expanded filters (see
+//!   [`LinearRep::materialize_freq`]) carrying a
+//!   [`streamit_graph::KernelSpec::FreqFir`] hint, and recorded in the
+//!   report's `freq_plans`.  The reference interpreter runs the block
+//!   in the time domain; the compiled engines run it as overlap-save
+//!   FFT convolution.
 
 use crate::combine::{combine_pipeline, combine_splitjoin};
 use crate::extract::extract_linear;
-use crate::freq::{direct_cost_per_output, freq_cost_per_output, should_translate};
+use crate::freq::{direct_cost_per_output, plan_block};
 use crate::rep::LinearRep;
 use streamit_graph::{Joiner, Pipeline, SplitJoin, Splitter, StreamNode};
 
@@ -68,6 +72,17 @@ pub struct LinearReport {
 }
 
 impl LinearReport {
+    /// `true` when the optimizer performed a rewrite that reassociates
+    /// floating-point arithmetic: collapsing changes the order in which
+    /// products are summed, and frequency translation replaces the sums
+    /// with FFT convolution.  Such rewrites are numerically equivalent
+    /// but not bit-identical, so differential harnesses must compare
+    /// against the unoptimized program with an ULP tolerance rather
+    /// than exact equality.
+    pub fn reassociating(&self) -> bool {
+        self.extracted > 0 || !self.freq_plans.is_empty()
+    }
+
     /// The modelled speedup of linear sections,
     /// `flops_before / flops_after` (taking planned frequency
     /// implementations into account).
@@ -100,7 +115,7 @@ enum Opt {
 }
 
 impl Opt {
-    fn into_node(self, report: &mut LinearReport) -> StreamNode {
+    fn into_node(self, report: &mut LinearReport, mode: LinearMode) -> StreamNode {
         match self {
             Opt::Linear {
                 rep,
@@ -109,6 +124,23 @@ impl Opt {
             } => {
                 report.flops_before += orig_flops;
                 report.flops_after += rep.direct_flops() as f64;
+                // In frequency mode, sliding-FIR-shaped nodes whose
+                // cost model favours it materialize as block-expanded
+                // filters designated for FFT execution.  The report
+                // keeps the direct cost in `flops_after` and the delta
+                // in the plan, so `modeled_speedup` accounts for it.
+                if mode == LinearMode::Frequency && rep.pop == 1 && rep.push == 1 {
+                    if let Some((block, freq_cost)) = plan_block(rep.peek) {
+                        report.freq_plans.push(FreqPlan {
+                            node: name.clone(),
+                            direct_cost: direct_cost_per_output(rep.peek),
+                            freq_cost,
+                            rep: rep.clone(),
+                            block,
+                        });
+                        return StreamNode::Filter(rep.materialize_freq(&name, block));
+                    }
+                }
                 rep.materialize_node(&name)
             }
             Opt::Opaque(n) => n,
@@ -120,11 +152,8 @@ impl Opt {
 /// transformed graph and a report.
 pub fn optimize_stream(node: &StreamNode, mode: LinearMode) -> (StreamNode, LinearReport) {
     let mut report = LinearReport::default();
-    let opt = walk(node, &mut report);
-    let mut root = opt.into_node(&mut report);
-    if mode == LinearMode::Frequency {
-        plan_frequency(&root, &mut report);
-    }
+    let opt = walk(node, &mut report, mode);
+    let mut root = opt.into_node(&mut report, mode);
     // Re-validate rates of materialized filters defensively.
     debug_assert!(
         streamit_graph::validate(&root)
@@ -149,7 +178,7 @@ fn normalize_names(node: &mut StreamNode) {
     });
 }
 
-fn walk(node: &StreamNode, report: &mut LinearReport) -> Opt {
+fn walk(node: &StreamNode, report: &mut LinearReport, mode: LinearMode) -> Opt {
     match node {
         StreamNode::Filter(f) => {
             report.total_filters += 1;
@@ -167,7 +196,7 @@ fn walk(node: &StreamNode, report: &mut LinearReport) -> Opt {
             }
         }
         StreamNode::Pipeline(p) => {
-            let kids: Vec<Opt> = p.children.iter().map(|c| walk(c, report)).collect();
+            let kids: Vec<Opt> = p.children.iter().map(|c| walk(c, report, mode)).collect();
             // Fold maximal linear runs.
             let mut out: Vec<Opt> = Vec::with_capacity(kids.len());
             for k in kids {
@@ -208,14 +237,15 @@ fn walk(node: &StreamNode, report: &mut LinearReport) -> Opt {
             if out.len() == 1 {
                 return out.into_iter().next().expect("one element");
             }
-            let children: Vec<StreamNode> = out.into_iter().map(|o| o.into_node(report)).collect();
+            let children: Vec<StreamNode> =
+                out.into_iter().map(|o| o.into_node(report, mode)).collect();
             Opt::Opaque(StreamNode::Pipeline(Pipeline {
                 name: p.name.clone(),
                 children,
             }))
         }
         StreamNode::SplitJoin(sj) => {
-            let kids: Vec<Opt> = sj.children.iter().map(|c| walk(c, report)).collect();
+            let kids: Vec<Opt> = sj.children.iter().map(|c| walk(c, report, mode)).collect();
             // Combine a duplicate / round-robin split-join of all-linear
             // branches.
             let all_linear = kids.iter().all(|k| matches!(k, Opt::Linear { .. }));
@@ -269,7 +299,10 @@ fn walk(node: &StreamNode, report: &mut LinearReport) -> Opt {
                     }
                 }
             }
-            let children: Vec<StreamNode> = kids.into_iter().map(|o| o.into_node(report)).collect();
+            let children: Vec<StreamNode> = kids
+                .into_iter()
+                .map(|o| o.into_node(report, mode))
+                .collect();
             Opt::Opaque(StreamNode::SplitJoin(SplitJoin {
                 name: sj.name.clone(),
                 splitter: sj.splitter.clone(),
@@ -278,8 +311,8 @@ fn walk(node: &StreamNode, report: &mut LinearReport) -> Opt {
             }))
         }
         StreamNode::FeedbackLoop(fl) => {
-            let body = walk(&fl.body, report).into_node(report);
-            let loopback = walk(&fl.loopback, report).into_node(report);
+            let body = walk(&fl.body, report, mode).into_node(report, mode);
+            let loopback = walk(&fl.loopback, report, mode).into_node(report, mode);
             Opt::Opaque(StreamNode::FeedbackLoop(streamit_graph::FeedbackLoop {
                 name: fl.name.clone(),
                 joiner: fl.joiner.clone(),
@@ -291,26 +324,6 @@ fn walk(node: &StreamNode, report: &mut LinearReport) -> Opt {
             }))
         }
     }
-}
-
-/// Plan frequency translation for FIR-shaped filters in the optimized
-/// graph.
-fn plan_frequency(root: &StreamNode, report: &mut LinearReport) {
-    root.visit_filters(&mut |f| {
-        if let Ok(rep) = extract_linear(f) {
-            if rep.pop == 1 && rep.push == 1 {
-                if let Some(block) = should_translate(rep.peek) {
-                    report.freq_plans.push(FreqPlan {
-                        node: f.name.clone(),
-                        direct_cost: direct_cost_per_output(rep.peek),
-                        freq_cost: freq_cost_per_output(rep.peek, block),
-                        rep,
-                        block,
-                    });
-                }
-            }
-        }
-    });
 }
 
 #[cfg(test)]
@@ -448,6 +461,35 @@ mod tests {
             "speedup {}",
             report.modeled_speedup()
         );
+    }
+
+    #[test]
+    fn frequency_materialization_preserves_behaviour() {
+        let taps: Vec<f64> = (0..64).map(|i| 1.0 / (1 + i) as f64).collect();
+        let p = pipeline("fir", vec![fir_node("f", &taps)]);
+        let (opt, report) = optimize_stream(&p, LinearMode::Frequency);
+        assert_eq!(report.freq_plans.len(), 1);
+        assert!(report.reassociating());
+        let block = report.freq_plans[0].block;
+        // The materialized node is the block expansion, hinted for FFT
+        // execution, and the hint validates against its rates.
+        let mut hinted = 0usize;
+        opt.visit_filters(&mut |f| {
+            if let Some(k) = &f.kernel {
+                assert!(k.matches_rates(f.peek, f.pop, f.push));
+                hinted += 1;
+            }
+        });
+        assert_eq!(hinted, 1);
+        // Reference execution of the block filter matches the
+        // unoptimized program on the common prefix.
+        let input: Vec<f64> = (0..block + 256).map(|i| (i as f64 * 0.17).sin()).collect();
+        let before = run_stream(&p, &input, 32);
+        let after = run_stream(&opt, &input, 32);
+        assert!(!after.is_empty());
+        for (a, b) in before.iter().zip(&after) {
+            assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+        }
     }
 
     #[test]

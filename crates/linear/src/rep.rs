@@ -1,7 +1,7 @@
 //! The linear representation of a filter.
 
 use streamit_graph::builder::{idx, lit, peek, var, BlockBuilder, Ex, FilterBuilder};
-use streamit_graph::{DataType, Filter, StreamNode};
+use streamit_graph::{DataType, Filter, KernelRow, KernelSpec, StreamNode};
 
 /// A linear filter `⟨A, b⟩` with rates `(peek, pop, push)`.
 ///
@@ -148,6 +148,11 @@ impl LinearRep {
         );
         const LITERAL_LIMIT: usize = 8;
         let mut body = BlockBuilder::new();
+        // Kernel hint rows mirror the generated work IR exactly: the tap
+        // order of each row is the accumulation order of the statements
+        // below, so a kernel folding `constant + Σ x[i]·c` left-to-right
+        // over the taps is bit-identical to interpreting the work body.
+        let mut kernel_rows = Vec::with_capacity(self.push);
         for j in 0..self.push {
             let nz: Vec<(usize, f64)> = self.matrix[j]
                 .iter()
@@ -158,12 +163,21 @@ impl LinearRep {
             if nz.len() <= LITERAL_LIMIT {
                 // Fully unrolled affine expression.
                 let mut e: Ex = lit(self.constant[j]);
+                let mut taps = Vec::with_capacity(nz.len());
                 for (i, v) in nz {
                     e = e + peek(i as i64) * lit(v);
+                    taps.push((i as u32, v));
                 }
                 body = body.push(e);
+                kernel_rows.push(KernelRow {
+                    taps,
+                    constant: self.constant[j],
+                });
             } else {
-                // Dense row: loop over a coefficient table.
+                // Dense row: loop over a coefficient table.  The loop
+                // multiplies by *every* coefficient including zeros, so
+                // the hint row lists them all to preserve bit-identity
+                // (`acc + x·0.0` is not a no-op for -0.0/NaN inputs).
                 let row_name = format!("h{j}");
                 fb = fb.coeffs(&row_name, self.matrix[j].iter().copied());
                 body = body
@@ -175,6 +189,14 @@ impl LinearRep {
                         )
                     })
                     .push(var("acc"));
+                kernel_rows.push(KernelRow {
+                    taps: self.matrix[j]
+                        .iter()
+                        .enumerate()
+                        .map(|(i, &v)| (i as u32, v))
+                        .collect(),
+                    constant: self.constant[j],
+                });
             }
         }
         for _ in 0..self.pop {
@@ -189,7 +211,58 @@ impl LinearRep {
             }
             bb
         })
+        .kernel(KernelSpec::Linear {
+            peek: self.peek.max(self.pop),
+            pop: self.pop,
+            rows: kernel_rows,
+        })
         .build()
+    }
+
+    /// Materialize a `pop == push == 1` FIR as a `block`-expanded filter
+    /// designated for frequency-domain execution.
+    ///
+    /// The generated work function computes the block directly in the
+    /// time domain (the reference semantics — identical sums, in
+    /// identical order, to [`materialize`](Self::materialize) on the
+    /// dense row), while the attached [`KernelSpec::FreqFir`] hint lets
+    /// a compiled engine run the block as an overlap-save FFT
+    /// convolution instead.  Unlike [`expand`](Self::expand) +
+    /// `materialize`, the generated code stays compact: one shared
+    /// `N`-tap table and a nested loop, not `block` distinct rows.
+    pub fn materialize_freq(&self, name: &str, block: usize) -> Filter {
+        assert!(self.is_well_formed());
+        assert_eq!(
+            (self.pop, self.push),
+            (1, 1),
+            "frequency translation requires a 1-in/1-out FIR"
+        );
+        assert!(block >= 1);
+        let n = self.peek;
+        let window = block + n - 1;
+        let constant = self.constant[0];
+        FilterBuilder::new(name, DataType::Float)
+            .rates(window, block, block)
+            .coeffs("h", self.matrix[0].iter().copied())
+            .work(|b| {
+                b.for_("t", 0, block as i64, |b| {
+                    b.let_("acc", DataType::Float, lit(constant))
+                        .for_("i", 0, n as i64, |b| {
+                            b.set(
+                                "acc",
+                                var("acc") + peek(var("t") + var("i")) * idx("h", var("i")),
+                            )
+                        })
+                        .push(var("acc"))
+                })
+                .for_("t", 0, block as i64, |b| b.pop_discard())
+            })
+            .kernel(KernelSpec::FreqFir {
+                taps: self.matrix[0].clone(),
+                constant,
+                block,
+            })
+            .build()
     }
 
     /// Materialize as a [`StreamNode`].
@@ -299,6 +372,64 @@ mod tests {
         let expect = rep.apply(&input);
         for (a, b) in out.iter().zip(&expect) {
             assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn materialize_attaches_matching_kernel_hint() {
+        // One sparse row (unrolled literals) and one dense row (coeff
+        // table): both recorded in the hint, which must validate
+        // against the declared rates.
+        let dense: Vec<f64> = (0..12).map(|i| (i as f64) * 0.1 - 0.4).collect();
+        let rep = LinearRep {
+            peek: 12,
+            pop: 2,
+            push: 2,
+            matrix: vec![
+                {
+                    let mut r = vec![0.0; 12];
+                    r[0] = 1.0;
+                    r[7] = -2.0;
+                    r
+                },
+                dense,
+            ],
+            constant: vec![0.5, 0.0],
+        };
+        let f = rep.materialize("lin");
+        let k = f.kernel.as_ref().expect("hint attached");
+        assert!(k.matches_rates(f.peek, f.pop, f.push));
+        match k {
+            KernelSpec::Linear { rows, .. } => {
+                assert_eq!(rows[0].taps, vec![(0, 1.0), (7, -2.0)]);
+                assert_eq!(rows[0].constant, 0.5);
+                // Dense row lists every coefficient, zeros included.
+                assert_eq!(rows[1].taps.len(), 12);
+            }
+            other => panic!("unexpected hint {other:?}"),
+        }
+    }
+
+    #[test]
+    fn materialize_freq_matches_direct_apply() {
+        let taps: Vec<f64> = (0..16).map(|i| ((i as f64) * 0.7).sin()).collect();
+        let rep = LinearRep::fir(&taps);
+        let block = 8;
+        let f = rep.materialize_freq("fir_freq", block);
+        assert_eq!((f.peek, f.pop, f.push), (block + 15, block, block));
+        assert_eq!(f.check_rates(), Ok(true));
+        let k = f.kernel.as_ref().expect("hint attached");
+        assert!(k.matches_rates(f.peek, f.pop, f.push));
+        let g = FlatGraph::from_stream(&StreamNode::Filter(f));
+        let mut m = Machine::new(&g);
+        let input: Vec<f64> = (0..64).map(|i| (i as f64 * 0.23).cos()).collect();
+        m.feed(input.iter().map(|&v| Value::Float(v)));
+        m.run_until_output(4 * block, 1_000_000).unwrap();
+        let out: Vec<f64> = m.take_output().iter().map(value_f64).collect();
+        let expect = rep.apply(&input);
+        assert!(out.len() >= 4 * block);
+        for (a, b) in out.iter().zip(&expect) {
+            assert!((a - b).abs() < 1e-12, "{a} vs {b}");
         }
     }
 

@@ -117,6 +117,16 @@ impl ParallelGraph {
         &self.plan
     }
 
+    /// How many filters in the staged plan run a native
+    /// linear/frequency kernel instead of their bytecode.
+    pub fn kernel_filters(&self) -> usize {
+        self.plan
+            .codes
+            .iter()
+            .filter(|c| c.kernel.is_some())
+            .count()
+    }
+
     /// External input items needed to run `k` steady iterations.
     pub fn required_input(&self, k: u64) -> u64 {
         let s = &self.plan.stats;

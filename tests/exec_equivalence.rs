@@ -11,6 +11,9 @@ use streamit::{apps, CompiledProgram, Compiler};
 #[path = "support/irgen.rs"]
 mod irgen;
 
+#[path = "support/tolerance.rs"]
+mod tolerance;
+
 /// Deterministic varied input: integers in [-50, 50] as floats, so
 /// int-typed graphs (sorters, ciphers) see real data and float-typed
 /// graphs see a non-trivial signal.
@@ -51,12 +54,7 @@ fn differential(name: &str, p: &CompiledProgram, n: usize) -> Option<String> {
         .run(&input, n)
         .unwrap_or_else(|e| panic!("{name}: reference run failed: {e}"));
     reference.truncate(n);
-    let cb: Vec<u64> = compiled.iter().map(|v| v.to_bits()).collect();
-    let rb: Vec<u64> = reference.iter().map(|v| v.to_bits()).collect();
-    assert_eq!(
-        cb, rb,
-        "{name}: engines disagree\ncompiled:  {compiled:?}\nreference: {reference:?}"
-    );
+    tolerance::assert_streams_match(name, tolerance::Tolerance::Bit, &compiled, &reference);
     None
 }
 

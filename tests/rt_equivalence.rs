@@ -12,6 +12,9 @@ use streamit::{apps, CompiledProgram, Compiler};
 #[path = "support/irgen.rs"]
 mod irgen;
 
+#[path = "support/tolerance.rs"]
+mod tolerance;
+
 const THREAD_COUNTS: [usize; 3] = [1, 2, 4];
 
 /// Deterministic varied input: integers in [-50, 50] as floats, so
@@ -25,10 +28,6 @@ fn compile(name: &str, stream: StreamNode) -> CompiledProgram {
     Compiler::default()
         .compile_stream(stream)
         .unwrap_or_else(|e| panic!("{name}: app graph must compile: {e}"))
-}
-
-fn bits(v: &[f64]) -> Vec<u64> {
-    v.iter().map(|x| x.to_bits()).collect()
 }
 
 /// Run the reference interpreter, the serial compiled engine, and the
@@ -71,10 +70,11 @@ fn differential(name: &str, p: &CompiledProgram, n: usize) -> Option<String> {
         .run(&input, n)
         .unwrap_or_else(|e| panic!("{name}: reference run failed: {e}"));
     reference.truncate(n);
-    assert_eq!(
-        bits(&compiled),
-        bits(&reference),
-        "{name}: compiled and reference engines disagree"
+    tolerance::assert_streams_match(
+        &format!("{name}: compiled vs reference"),
+        tolerance::Tolerance::Bit,
+        &compiled,
+        &reference,
     );
 
     for threads in THREAD_COUNTS {
@@ -100,13 +100,15 @@ fn differential(name: &str, p: &CompiledProgram, n: usize) -> Option<String> {
         let parallel = pg
             .run_collect(&pin, n)
             .unwrap_or_else(|e| panic!("{name}: parallel run ({threads} threads) failed: {e}"));
-        assert_eq!(
-            bits(&parallel),
-            bits(&reference),
-            "{name}: parallel engine at {threads} threads disagrees with the reference \
-             ({} stages, {} fissed regions)",
-            pg.stages(),
-            pg.fission_report().len(),
+        tolerance::assert_streams_match(
+            &format!(
+                "{name}: parallel@{threads} vs reference ({} stages, {} fissed regions)",
+                pg.stages(),
+                pg.fission_report().len()
+            ),
+            tolerance::Tolerance::Bit,
+            &parallel,
+            &reference,
         );
     }
     None

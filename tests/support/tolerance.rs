@@ -1,0 +1,149 @@
+//! Shared output-comparison tolerances for the differential suites.
+//!
+//! Every engine computes a prefix of the same deterministic Kahn
+//! stream, so the default comparison is *bit identity*
+//! ([`Tolerance::Bit`]).  The one sanctioned exception is a
+//! reassociating rewrite: when the linear optimizer collapses a
+//! pipeline of affine filters into one matrix, or translates a FIR to
+//! FFT convolution, the floating-point sums are re-grouped and the
+//! result can differ in the last few bits while remaining the same
+//! real-valued answer.  Those comparisons use [`Tolerance::Approx`],
+//! which accepts a bounded ULP distance *or* a tiny absolute
+//! difference (for values near zero, where ULP distance explodes).
+
+/// How two engines' output streams are allowed to differ.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Tolerance {
+    /// Bit-for-bit identical (`f64::to_bits`), including NaN payloads
+    /// and signed zeros.
+    Bit,
+    /// Equal within `max_ulps` units in the last place, or within
+    /// `abs` absolutely.  NaNs match only NaNs.
+    Approx { max_ulps: u64, abs: f64 },
+}
+
+/// The tolerance for outputs downstream of a reassociating linear
+/// rewrite (collapsed combinations, frequency translation).  4096 ULPs
+/// is ~1e-12 relative error — far looser than the rewrites actually
+/// drift, far tighter than any genuine engine bug.
+pub fn approx() -> Tolerance {
+    Tolerance::Approx {
+        max_ulps: 4096,
+        abs: 1e-9,
+    }
+}
+
+/// ULP distance between two floats: how many representable `f64`s
+/// apart they are, treating +0.0 and -0.0 as the same point.  Returns
+/// `u64::MAX` when either value is NaN.
+pub fn ulp_diff(a: f64, b: f64) -> u64 {
+    if a.is_nan() || b.is_nan() {
+        if a.is_nan() && b.is_nan() {
+            return 0;
+        }
+        return u64::MAX;
+    }
+    // Map the bit patterns onto a monotone integer line: negatives
+    // fold to the mirror image below zero, so distance across the
+    // origin is counted through zero, not through bit-pattern space.
+    fn monotone(x: f64) -> i64 {
+        let bits = x.to_bits() as i64;
+        if bits < 0 {
+            i64::MIN - bits
+        } else {
+            bits
+        }
+    }
+    let (ma, mb) = (monotone(a), monotone(b));
+    ma.abs_diff(mb)
+}
+
+impl Tolerance {
+    /// Do two values match under this tolerance?
+    pub fn matches(&self, a: f64, b: f64) -> bool {
+        match *self {
+            Tolerance::Bit => a.to_bits() == b.to_bits(),
+            Tolerance::Approx { max_ulps, abs } => {
+                (a - b).abs() <= abs || ulp_diff(a, b) <= max_ulps
+            }
+        }
+    }
+
+    /// First index where two streams disagree, with the offending pair.
+    pub fn first_mismatch(&self, got: &[f64], want: &[f64]) -> Option<(usize, f64, f64)> {
+        if got.len() != want.len() {
+            let i = got.len().min(want.len());
+            return Some((
+                i,
+                got.get(i).copied().unwrap_or(f64::NAN),
+                want.get(i).copied().unwrap_or(f64::NAN),
+            ));
+        }
+        got.iter()
+            .zip(want)
+            .enumerate()
+            .find(|(_, (g, w))| !self.matches(**g, **w))
+            .map(|(i, (g, w))| (i, *g, *w))
+    }
+}
+
+/// Assert two output streams match under `tol`, with a diff message
+/// naming the first divergent element and its ULP distance.
+pub fn assert_streams_match(label: &str, tol: Tolerance, got: &[f64], want: &[f64]) {
+    assert_eq!(
+        got.len(),
+        want.len(),
+        "{label}: output lengths differ ({} vs {})",
+        got.len(),
+        want.len()
+    );
+    if let Some((i, g, w)) = tol.first_mismatch(got, want) {
+        panic!(
+            "{label}: outputs diverge at [{i}] under {tol:?}: {g:?} vs {w:?} \
+             (ulp distance {}, abs diff {:e})",
+            ulp_diff(g, w),
+            (g - w).abs()
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ulp_distance_basics() {
+        assert_eq!(ulp_diff(1.0, 1.0), 0);
+        assert_eq!(ulp_diff(1.0, f64::from_bits(1.0f64.to_bits() + 1)), 1);
+        assert_eq!(ulp_diff(0.0, -0.0), 0);
+        assert_eq!(ulp_diff(f64::NAN, f64::NAN), 0);
+        assert_eq!(ulp_diff(1.0, f64::NAN), u64::MAX);
+        // Distance across zero goes through zero, not bit space.
+        assert!(ulp_diff(f64::MIN_POSITIVE, -f64::MIN_POSITIVE) > 0);
+        assert!(ulp_diff(f64::MIN_POSITIVE, -f64::MIN_POSITIVE) < 1 << 54);
+    }
+
+    #[test]
+    fn bit_tolerance_distinguishes_signed_zero() {
+        assert!(Tolerance::Bit.matches(0.0, 0.0));
+        assert!(!Tolerance::Bit.matches(0.0, -0.0));
+        assert!(approx().matches(0.0, -0.0));
+    }
+
+    #[test]
+    fn approx_accepts_reassociation_noise_only() {
+        let t = approx();
+        assert!(t.matches(1.0, 1.0 + 1e-13));
+        assert!(t.matches(1e-15, 2e-15)); // abs floor near zero
+        assert!(!t.matches(1.0, 1.001));
+        assert!(!t.matches(1.0, f64::NAN));
+    }
+
+    #[test]
+    fn first_mismatch_reports_position() {
+        let t = Tolerance::Bit;
+        assert_eq!(t.first_mismatch(&[1.0, 2.0], &[1.0, 2.0]), None);
+        let (i, g, w) = t.first_mismatch(&[1.0, 2.0], &[1.0, 3.0]).unwrap();
+        assert_eq!((i, g, w), (1, 2.0, 3.0));
+    }
+}
