@@ -1,0 +1,225 @@
+//! Explicit control-flow graph over work-function bodies.
+//!
+//! The work IR is structured (straight-line statements, `if`, counted
+//! `for`), so the CFG mirrors that structure with dedicated node kinds
+//! instead of decomposing to arbitrary jumps:
+//!
+//! * [`Node::Stmt`] — one straight-line statement (`let`, assignment,
+//!   `push`, bare expression, `send`).
+//! * [`Node::Branch`] — evaluation of an `if` condition.  Successor 0 is
+//!   the then path, successor 1 the else path (both may lead straight to
+//!   the join when the arm is empty).
+//! * [`Node::LoopBounds`] — the one-time evaluation of a `for` loop's
+//!   bounds (the interpreter evaluates both before the first iteration).
+//! * [`Node::LoopHead`] — the per-iteration trip test and loop-variable
+//!   definition.  Successor 0 enters the body, successor 1 exits the
+//!   loop; the body's tail has a back edge to the head.
+//! * [`Node::Join`] — a no-op merge point after an `if` or `for`, so
+//!   facts from both arms meet exactly once.
+//!
+//! Node 0 is the unique entry, node 1 the unique exit.  Every node is
+//! reachable-from-entry by construction; the dataflow solver tracks
+//! *semantic* reachability (constant branches) separately.
+
+use streamit_graph::{Expr, Stmt};
+
+/// Index of a CFG node.
+pub type NodeId = usize;
+
+/// The unique entry node.
+pub const ENTRY: NodeId = 0;
+/// The unique exit node.
+pub const EXIT: NodeId = 1;
+
+/// One CFG node.  Borrows the statement tree it was built from.
+#[derive(Debug, Clone, Copy)]
+pub enum Node<'a> {
+    Entry,
+    Exit,
+    /// A straight-line statement (never `If` or `For`).
+    Stmt(&'a Stmt),
+    /// `if` condition evaluation; successors `[then, else]`.
+    Branch {
+        stmt: &'a Stmt,
+        cond: &'a Expr,
+    },
+    /// One-time `for` bound evaluation, in source order `from` then `to`.
+    LoopBounds {
+        stmt: &'a Stmt,
+        from: &'a Expr,
+        to: &'a Expr,
+    },
+    /// Per-iteration loop-variable definition and trip test; successors
+    /// `[body, after-loop]`.
+    LoopHead {
+        stmt: &'a Stmt,
+        var: &'a str,
+        from: &'a Expr,
+        to: &'a Expr,
+    },
+    /// Control-flow merge after an `if` or `for` (no effect).
+    Join,
+}
+
+/// A control-flow graph over one work-function body.
+#[derive(Debug)]
+pub struct Cfg<'a> {
+    pub nodes: Vec<Node<'a>>,
+    pub succs: Vec<Vec<NodeId>>,
+    pub preds: Vec<Vec<NodeId>>,
+}
+
+impl<'a> Cfg<'a> {
+    /// Build the CFG of a statement block.
+    pub fn build(block: &'a [Stmt]) -> Cfg<'a> {
+        let mut cfg = Cfg {
+            nodes: vec![Node::Entry, Node::Exit],
+            succs: vec![Vec::new(), Vec::new()],
+            preds: vec![Vec::new(), Vec::new()],
+        };
+        let tails = cfg.block(block, vec![ENTRY]);
+        for t in tails {
+            cfg.edge(t, EXIT);
+        }
+        cfg
+    }
+
+    fn push(&mut self, n: Node<'a>) -> NodeId {
+        self.nodes.push(n);
+        self.succs.push(Vec::new());
+        self.preds.push(Vec::new());
+        self.nodes.len() - 1
+    }
+
+    fn edge(&mut self, a: NodeId, b: NodeId) {
+        self.succs[a].push(b);
+        self.preds[b].push(a);
+    }
+
+    /// Append `block` after every node in `tails`; returns the new tails.
+    fn block(&mut self, block: &'a [Stmt], mut tails: Vec<NodeId>) -> Vec<NodeId> {
+        for s in block {
+            match s {
+                Stmt::If {
+                    cond,
+                    then_body,
+                    else_body,
+                } => {
+                    let b = self.push(Node::Branch { stmt: s, cond });
+                    for t in tails {
+                        self.edge(t, b);
+                    }
+                    let j = self.push(Node::Join);
+                    // Then path first: it owns successor slot 0 of `b`.
+                    let tt = self.block(then_body, vec![b]);
+                    for t in tt {
+                        self.edge(t, j);
+                    }
+                    let et = self.block(else_body, vec![b]);
+                    for t in et {
+                        self.edge(t, j);
+                    }
+                    tails = vec![j];
+                }
+                Stmt::For {
+                    var,
+                    from,
+                    to,
+                    body,
+                } => {
+                    let bounds = self.push(Node::LoopBounds { stmt: s, from, to });
+                    for t in tails {
+                        self.edge(t, bounds);
+                    }
+                    let head = self.push(Node::LoopHead {
+                        stmt: s,
+                        var,
+                        from,
+                        to,
+                    });
+                    self.edge(bounds, head);
+                    // Body entry owns successor slot 0 of the head.
+                    let bt = self.block(body, vec![head]);
+                    for t in bt {
+                        self.edge(t, head); // back edge
+                    }
+                    let j = self.push(Node::Join);
+                    self.edge(head, j); // successor slot 1: loop exit
+                    tails = vec![j];
+                }
+                _ => {
+                    let n = self.push(Node::Stmt(s));
+                    for t in tails {
+                        self.edge(t, n);
+                    }
+                    tails = vec![n];
+                }
+            }
+        }
+        tails
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use streamit_graph::Expr;
+
+    fn assign(name: &str, e: Expr) -> Stmt {
+        Stmt::Assign {
+            target: streamit_graph::LValue::Var(name.into()),
+            value: e,
+        }
+    }
+
+    #[test]
+    fn straight_line_chains_entry_to_exit() {
+        let block = vec![assign("a", Expr::IntLit(1)), assign("b", Expr::IntLit(2))];
+        let cfg = Cfg::build(&block);
+        assert_eq!(cfg.nodes.len(), 4);
+        assert_eq!(cfg.succs[ENTRY], vec![2]);
+        assert_eq!(cfg.succs[2], vec![3]);
+        assert_eq!(cfg.succs[3], vec![EXIT]);
+        assert!(cfg.succs[EXIT].is_empty());
+    }
+
+    #[test]
+    fn branch_has_ordered_then_else_successors() {
+        let block = vec![Stmt::If {
+            cond: Expr::IntLit(1),
+            then_body: vec![assign("a", Expr::IntLit(1))],
+            else_body: vec![],
+        }];
+        let cfg = Cfg::build(&block);
+        let b = cfg
+            .nodes
+            .iter()
+            .position(|n| matches!(n, Node::Branch { .. }))
+            .expect("branch node");
+        // Successor 0 = then arm (the assignment), successor 1 = the join.
+        assert_eq!(cfg.succs[b].len(), 2);
+        assert!(matches!(cfg.nodes[cfg.succs[b][0]], Node::Stmt(_)));
+        assert!(matches!(cfg.nodes[cfg.succs[b][1]], Node::Join));
+    }
+
+    #[test]
+    fn loop_has_back_edge_and_exit() {
+        let block = vec![Stmt::For {
+            var: "i".into(),
+            from: Expr::IntLit(0),
+            to: Expr::IntLit(4),
+            body: vec![assign("a", Expr::Var("i".into()))],
+        }];
+        let cfg = Cfg::build(&block);
+        let head = cfg
+            .nodes
+            .iter()
+            .position(|n| matches!(n, Node::LoopHead { .. }))
+            .expect("loop head");
+        assert_eq!(cfg.succs[head].len(), 2);
+        let body = cfg.succs[head][0];
+        assert!(matches!(cfg.nodes[body], Node::Stmt(_)));
+        assert!(cfg.succs[body].contains(&head), "body tail has a back edge");
+        assert!(matches!(cfg.nodes[cfg.succs[head][1]], Node::Join));
+    }
+}

@@ -1,0 +1,254 @@
+//! Generic monotone dataflow framework over the work-IR [`Cfg`].
+//!
+//! An [`Analysis`] supplies the lattice (join + optional widening via the
+//! per-node visit count), the transfer function, and — for forward
+//! analyses — an optional per-edge refinement that can prune
+//! statically-unreachable successors (the SCCP-style "conditional" part
+//! of constant propagation) or refine the fact per branch arm.
+//!
+//! The solver runs a classic worklist to fixpoint.  Facts are stored per
+//! node in *execution orientation* regardless of direction: `before[n]`
+//! is the fact holding immediately before node `n` executes, `after[n]`
+//! immediately after.  `None` means the solver never reached the node
+//! (statically unreachable under the analysis — only possible when
+//! `edge` prunes).
+
+use crate::cfg::{Cfg, Node, ENTRY, EXIT};
+
+/// Direction of propagation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    Forward,
+    Backward,
+}
+
+/// One dataflow analysis instance: lattice + transfer functions.
+pub trait Analysis<'a> {
+    /// A lattice element.  `PartialEq` must be a *semantic* equality
+    /// (beware `NaN`: wrap floats bitwise) or the solver will not
+    /// terminate.
+    type Fact: Clone + PartialEq;
+
+    fn direction(&self) -> Direction;
+
+    /// Fact at the boundary: entry (forward) or exit (backward).
+    fn boundary(&self) -> Self::Fact;
+
+    /// Join `from` into `into`, returning `true` when `into` changed.
+    /// `visits` counts how many joins this node has already absorbed —
+    /// analyses over infinite-height lattices widen once it grows.
+    fn join(&self, into: &mut Self::Fact, from: &Self::Fact, visits: u32) -> bool;
+
+    /// Transfer across one node (input side per `direction`).
+    fn transfer(&self, node: &Node<'a>, fact: &Self::Fact) -> Self::Fact;
+
+    /// Forward only: the fact flowing from `node` to its `k`-th
+    /// successor, given the node's output fact.  `None` marks the edge
+    /// statically dead (never propagated).  Default: pass-through.
+    fn edge(&self, _node: &Node<'a>, _k: usize, out: &Self::Fact) -> Option<Self::Fact> {
+        Some(out.clone())
+    }
+}
+
+/// Solved facts, in execution orientation.
+#[derive(Debug)]
+pub struct Solution<F> {
+    /// Fact immediately before the node executes (`None`: unreachable).
+    pub before: Vec<Option<F>>,
+    /// Fact immediately after the node executes (`None`: unreachable).
+    pub after: Vec<Option<F>>,
+    /// `false` when the iteration cap was hit before a fixpoint — the
+    /// facts are then unsound and callers must ignore them.
+    pub converged: bool,
+}
+
+/// Iterate `analysis` to fixpoint over `cfg`.
+pub fn solve<'a, A: Analysis<'a>>(cfg: &Cfg<'a>, analysis: &A) -> Solution<A::Fact> {
+    let n = cfg.nodes.len();
+    let forward = analysis.direction() == Direction::Forward;
+    // `input[n]` is the fact on the *input side in analysis direction*:
+    // before-fact when forward, after-fact when backward.
+    let mut input: Vec<Option<A::Fact>> = vec![None; n];
+    let mut output: Vec<Option<A::Fact>> = vec![None; n];
+    let mut visits: Vec<u32> = vec![0; n];
+
+    let start = if forward { ENTRY } else { EXIT };
+    input[start] = Some(analysis.boundary());
+
+    let mut worklist: Vec<usize> = vec![start];
+    let mut queued = vec![false; n];
+    queued[start] = true;
+
+    // Generous safety cap: finite-lattice analyses converge in
+    // O(nodes x height); widening bounds the interval analysis.  Hitting
+    // the cap marks the solution unusable rather than looping forever.
+    let cap = n.saturating_mul(512) + 4096;
+    let mut steps = 0usize;
+
+    while let Some(id) = worklist.pop() {
+        queued[id] = false;
+        steps += 1;
+        if steps > cap {
+            return Solution {
+                before: Vec::new(),
+                after: Vec::new(),
+                converged: false,
+            };
+        }
+        let Some(in_fact) = input[id].clone() else {
+            continue;
+        };
+        let out = analysis.transfer(&cfg.nodes[id], &in_fact);
+        let first = output[id].is_none();
+        if !first && output[id].as_ref() == Some(&out) {
+            continue;
+        }
+        output[id] = Some(out);
+        let out_ref = output[id].as_ref().expect("just set");
+
+        let next: &[usize] = if forward {
+            &cfg.succs[id]
+        } else {
+            &cfg.preds[id]
+        };
+        for (k, &succ) in next.iter().enumerate() {
+            let flowing = if forward {
+                analysis.edge(&cfg.nodes[id], k, out_ref)
+            } else {
+                Some(out_ref.clone())
+            };
+            let Some(flowing) = flowing else { continue };
+            let changed = match &mut input[succ] {
+                Some(cur) => {
+                    visits[succ] += 1;
+                    let v = visits[succ];
+                    analysis.join(cur, &flowing, v)
+                }
+                slot @ None => {
+                    *slot = Some(flowing);
+                    true
+                }
+            };
+            if changed && !queued[succ] {
+                queued[succ] = true;
+                worklist.push(succ);
+            }
+        }
+    }
+
+    let (before, after) = if forward {
+        (input, output)
+    } else {
+        (output, input)
+    };
+    Solution {
+        before,
+        after,
+        converged: true,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cfg::Cfg;
+    use std::collections::HashSet;
+    use streamit_graph::{Expr, LValue, Stmt};
+
+    /// Toy forward analysis: set of variable names assigned so far.
+    struct Assigned;
+    impl<'a> Analysis<'a> for Assigned {
+        type Fact = HashSet<String>;
+        fn direction(&self) -> Direction {
+            Direction::Forward
+        }
+        fn boundary(&self) -> Self::Fact {
+            HashSet::new()
+        }
+        fn join(&self, into: &mut Self::Fact, from: &Self::Fact, _v: u32) -> bool {
+            let before = into.len();
+            into.extend(from.iter().cloned());
+            into.len() != before
+        }
+        fn transfer(&self, node: &Node<'a>, fact: &Self::Fact) -> Self::Fact {
+            let mut f = fact.clone();
+            if let Node::Stmt(Stmt::Assign { target, .. }) = node {
+                f.insert(target.name().to_string());
+            }
+            f
+        }
+    }
+
+    #[test]
+    fn forward_facts_flow_through_branches_and_loops() {
+        let block = vec![
+            Stmt::Assign {
+                target: LValue::Var("a".into()),
+                value: Expr::IntLit(1),
+            },
+            Stmt::For {
+                var: "i".into(),
+                from: Expr::IntLit(0),
+                to: Expr::IntLit(3),
+                body: vec![Stmt::Assign {
+                    target: LValue::Var("b".into()),
+                    value: Expr::Var("i".into()),
+                }],
+            },
+        ];
+        let cfg = Cfg::build(&block);
+        let sol = solve(&cfg, &Assigned);
+        assert!(sol.converged);
+        let exit = sol.before[crate::cfg::EXIT].as_ref().expect("exit reached");
+        // `a` definitely assigned; `b` joined in from the loop body path.
+        assert!(exit.contains("a") && exit.contains("b"));
+    }
+
+    /// An edge-pruning analysis: constant false branches never propagate
+    /// to the then arm.
+    struct PruneFalse;
+    impl<'a> Analysis<'a> for PruneFalse {
+        type Fact = ();
+        fn direction(&self) -> Direction {
+            Direction::Forward
+        }
+        fn boundary(&self) -> Self::Fact {}
+        fn join(&self, _into: &mut Self::Fact, _from: &Self::Fact, _v: u32) -> bool {
+            false
+        }
+        fn transfer(&self, _node: &Node<'a>, _fact: &Self::Fact) -> Self::Fact {}
+        fn edge(&self, node: &Node<'a>, k: usize, _out: &Self::Fact) -> Option<Self::Fact> {
+            match node {
+                Node::Branch {
+                    cond: Expr::IntLit(0),
+                    ..
+                } if k == 0 => None,
+                _ => Some(()),
+            }
+        }
+    }
+
+    #[test]
+    fn pruned_edges_leave_nodes_unreached() {
+        let block = vec![Stmt::If {
+            cond: Expr::IntLit(0),
+            then_body: vec![Stmt::Push(Expr::IntLit(1))],
+            else_body: vec![Stmt::Push(Expr::IntLit(2))],
+        }];
+        let cfg = Cfg::build(&block);
+        let sol = solve(&cfg, &PruneFalse);
+        assert!(sol.converged);
+        let dead_push = cfg
+            .nodes
+            .iter()
+            .position(|n| matches!(n, Node::Stmt(Stmt::Push(Expr::IntLit(1)))))
+            .expect("then-arm push");
+        let live_push = cfg
+            .nodes
+            .iter()
+            .position(|n| matches!(n, Node::Stmt(Stmt::Push(Expr::IntLit(2)))))
+            .expect("else-arm push");
+        assert!(sol.before[dead_push].is_none(), "then arm is unreachable");
+        assert!(sol.before[live_push].is_some(), "else arm is reachable");
+    }
+}

@@ -25,17 +25,33 @@
 //! | L0603 | warning  | tape operation inside an `if` condition whose arms also touch the tape |
 //! | L0604 | warning  | declared peek window exceeds what the body can ever reach |
 //! | L0605 | warning  | rates not statically provable (data-dependent); runtime checks apply |
+//! | L0606 | warning  | value stored to a variable is never read (dead store) |
+//! | L0607 | warning  | `if` condition is provably constant (dead branch) |
+//! | L0608 | warning  | `peek` with a loop-invariant index inside a loop (hoistable read) |
+//! | L0701 | warning  | a kernel hint was dropped during lowering (reported by `streamit-exec`) |
 //!
 //! `E`-codes are hard diagnostics: `streamitc` refuses to execute or
 //! schedule a program that carries any (exit code 7).  `L`-codes print
 //! and never gate.
+//!
+//! Beyond diagnostics, the crate hosts the optimizing mid-end: an
+//! explicit [`cfg`] over work bodies, a generic monotone [`dataflow`]
+//! solver, the [`sccp`] (constants + value ranges) and [`liveness`]
+//! instances, and the semantics-preserving transform pipeline in
+//! [`opt`] that engines run before bytecode lowering.
 
 pub mod absint;
+pub mod cfg;
+pub mod dataflow;
 pub mod interval;
 mod lint;
+pub mod liveness;
+pub mod opt;
+pub mod sccp;
 
 pub use absint::{analyze_block, BodyAnalysis};
 pub use interval::Interval;
+pub use opt::{optimize_filter, OptStats};
 
 use std::collections::HashMap;
 use streamit_graph::{Filter, StateInit, Stmt, StreamNode, Value};
@@ -320,7 +336,142 @@ pub fn analyze_filter(f: &Filter, path: &str) -> Vec<Finding> {
         ));
     }
 
+    dataflow_lints(f, &f.work, "", path, &mut out);
+    if let Some(pw) = &f.prework {
+        dataflow_lints(f, &pw.body, "prework ", path, &mut out);
+    }
+
     out
+}
+
+/// Lints backed by the dataflow mid-end: dead stores (L0606), provably
+/// constant `if` conditions (L0607), and loop-invariant peeks (L0608).
+fn dataflow_lints(f: &Filter, block: &[Stmt], what: &str, path: &str, out: &mut Vec<Finding>) {
+    use streamit_graph::Expr;
+
+    let cfg = cfg::Cfg::build(block);
+
+    // L0606 — dead stores.
+    let lv = liveness::Liveness::new(f, block);
+    let lsol = liveness::solve_liveness(&lv, &cfg);
+    for d in liveness::dead_stores(&cfg, &lsol, &lv) {
+        let kind = if d.is_let { "local" } else { "variable" };
+        out.push(finding(
+            "L0606",
+            path,
+            format!("{what}value stored to {kind} `{}` is never read", d.name),
+        ));
+    }
+
+    // L0607 — constant conditions, via SCCP first, value ranges second.
+    let cp = sccp::ConstProp::new(f, block);
+    let csol = sccp::solve_consts(&cp, &cfg);
+    let ranges = sccp::Ranges::new(f, block);
+    let rsol = sccp::solve_ranges(&ranges, &cfg);
+    for (id, node) in cfg.nodes.iter().enumerate() {
+        let cfg::Node::Branch { cond, .. } = node else {
+            continue;
+        };
+        // A condition constant without any propagated facts (pure
+        // literal arithmetic) is already reported as unreachable code
+        // (L0602) by the abstract-interpretation walk; L0607 only adds
+        // conditions that *become* constant through propagation.
+        let empty = sccp::ConstEnv {
+            vars: &|_| None,
+            arrays: &|_, _| None,
+        };
+        if sccp::eval_const(cond, &empty).is_some() {
+            continue;
+        }
+        let by_const = csol
+            .converged
+            .then(|| csol.before.get(id))
+            .flatten()
+            .and_then(|f| f.as_ref())
+            .and_then(|fact| cp.eval(cond, fact))
+            .map(|v| v.is_truthy());
+        let decided = by_const.or_else(|| {
+            rsol.converged
+                .then(|| rsol.before.get(id))
+                .flatten()
+                .and_then(|f| f.as_ref())
+                .and_then(|fact| ranges.decide(cond, fact))
+        });
+        if let Some(truthy) = decided {
+            out.push(finding(
+                "L0607",
+                path,
+                format!(
+                    "{what}`if` condition is always {}; the {} branch is dead",
+                    if truthy { "true" } else { "false" },
+                    if truthy { "else" } else { "then" },
+                ),
+            ));
+        }
+    }
+
+    // L0608 — loop-invariant peeks: a `peek` inside a loop whose index
+    // does not depend on the loop variable, anything written in the
+    // body, or the tape position (no pops in the body) reads the same
+    // item every iteration and should be hoisted.
+    streamit_graph::work::visit_block(block, &mut |s| {
+        let Stmt::For { var, body, .. } = s else {
+            return;
+        };
+        let mut has_pop = false;
+        let mut written: std::collections::HashSet<&str> =
+            std::collections::HashSet::from([var.as_str()]);
+        streamit_graph::work::visit_block(body, &mut |b| {
+            match b {
+                Stmt::Assign { target, .. } => {
+                    written.insert(target.name());
+                }
+                Stmt::For { var, .. } => {
+                    written.insert(var.as_str());
+                }
+                _ => {}
+            }
+            b.visit_exprs(&mut |e| {
+                e.visit(&mut |e| {
+                    if matches!(e, Expr::Pop) {
+                        has_pop = true;
+                    }
+                });
+            });
+        });
+        if has_pop {
+            return;
+        }
+        let mut invariant = false;
+        for b in body {
+            b.visit_exprs(&mut |e| {
+                e.visit(&mut |e| {
+                    if let Expr::Peek(idx) = e {
+                        let mut depends = idx.touches_tape();
+                        idx.visit(&mut |i| match i {
+                            Expr::Var(n) | Expr::Index(n, _) if written.contains(n.as_str()) => {
+                                depends = true;
+                            }
+                            _ => {}
+                        });
+                        if !depends {
+                            invariant = true;
+                        }
+                    }
+                });
+            });
+        }
+        if invariant {
+            out.push(finding(
+                "L0608",
+                path,
+                format!(
+                    "{what}`peek` index inside `for {var}` loop is invariant across \
+                     iterations; hoist the read out of the loop"
+                ),
+            ));
+        }
+    });
 }
 
 /// Analyze every filter of a stream program, using the same hierarchical

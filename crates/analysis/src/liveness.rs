@@ -1,0 +1,308 @@
+//! Backward liveness analysis over the work IR, and the dead-store query
+//! built on it.
+//!
+//! A name is *live* at a program point when some path from that point
+//! reads it before (or without) overwriting it.  The analysis is
+//! name-based to match the IR: arrays are treated monolithically (an
+//! indexed store is a *weak* update that leaves the whole array live),
+//! and shadow-ambiguous names (see [`crate::sccp::pinned_names`]) are
+//! permanently live so the query never misfires across scopes.
+//!
+//! State variables are live at body exit: filter state persists across
+//! invocations and may be read by the next firing, by prework, or by any
+//! message handler.  A store to state is therefore only dead when a
+//! *later store in the same body* overwrites it before any read.
+
+use std::collections::HashSet;
+
+use streamit_graph::{Expr, Filter, LValue, Stmt};
+
+use crate::cfg::{Cfg, Node, NodeId};
+use crate::dataflow::{solve, Analysis, Direction, Solution};
+use crate::sccp::pinned_names;
+
+/// Set of live names.
+pub type LiveFact = HashSet<String>;
+
+/// Collect every name an expression reads (scalars and arrays).
+fn expr_uses(e: &Expr, out: &mut LiveFact) {
+    e.visit(&mut |e| match e {
+        Expr::Var(n) => {
+            out.insert(n.clone());
+        }
+        Expr::Index(n, _) => {
+            out.insert(n.clone());
+        }
+        _ => {}
+    });
+}
+
+pub struct Liveness {
+    boundary: LiveFact,
+    pinned: HashSet<String>,
+}
+
+impl Liveness {
+    pub fn new(f: &Filter, block: &[Stmt]) -> Liveness {
+        let pinned = pinned_names(f, block);
+        let mut boundary: LiveFact = f.state.iter().map(|sv| sv.name.clone()).collect();
+        boundary.extend(pinned.iter().cloned());
+        Liveness { boundary, pinned }
+    }
+
+    fn kill(&self, fact: &mut LiveFact, name: &str) {
+        if !self.pinned.contains(name) {
+            fact.remove(name);
+        }
+    }
+}
+
+impl<'a> Analysis<'a> for Liveness {
+    type Fact = LiveFact;
+
+    fn direction(&self) -> Direction {
+        Direction::Backward
+    }
+
+    fn boundary(&self) -> LiveFact {
+        self.boundary.clone()
+    }
+
+    fn join(&self, into: &mut LiveFact, from: &LiveFact, _visits: u32) -> bool {
+        let before = into.len();
+        into.extend(from.iter().cloned());
+        into.len() != before
+    }
+
+    /// Input is the live-*out* set; returns live-in (kill, then gen).
+    fn transfer(&self, node: &Node<'a>, fact: &LiveFact) -> LiveFact {
+        let mut f = fact.clone();
+        match node {
+            Node::Stmt(Stmt::Let { name, init, .. }) => {
+                self.kill(&mut f, name);
+                expr_uses(init, &mut f);
+            }
+            Node::Stmt(Stmt::LetArray { name, .. }) => {
+                self.kill(&mut f, name);
+            }
+            Node::Stmt(Stmt::Assign { target, value }) => {
+                match target {
+                    LValue::Var(name) => self.kill(&mut f, name),
+                    LValue::Index(name, idx) => {
+                        // Weak update: the rest of the array may be read.
+                        f.insert(name.clone());
+                        expr_uses(idx, &mut f);
+                    }
+                }
+                expr_uses(value, &mut f);
+            }
+            Node::Stmt(Stmt::Push(e)) | Node::Stmt(Stmt::Expr(e)) => {
+                expr_uses(e, &mut f);
+            }
+            Node::Stmt(Stmt::Send { args, .. }) => {
+                for a in args {
+                    expr_uses(a, &mut f);
+                }
+            }
+            Node::Branch { cond, .. } => {
+                expr_uses(cond, &mut f);
+            }
+            Node::LoopBounds { from, to, .. } => {
+                expr_uses(from, &mut f);
+                expr_uses(to, &mut f);
+            }
+            Node::LoopHead { var, .. } => {
+                self.kill(&mut f, var);
+            }
+            Node::Stmt(Stmt::If { .. } | Stmt::For { .. })
+            | Node::Entry
+            | Node::Exit
+            | Node::Join => {}
+        }
+        f
+    }
+}
+
+/// Solve liveness over one body.
+pub fn solve_liveness<'a>(lv: &Liveness, cfg: &Cfg<'a>) -> Solution<LiveFact> {
+    solve(cfg, lv)
+}
+
+/// One store whose value is never read.
+#[derive(Debug)]
+pub struct DeadStore<'a> {
+    pub node: NodeId,
+    /// The defining statement (a scalar `let` or a whole-variable
+    /// assignment), identity-comparable against the source block.
+    pub stmt: &'a Stmt,
+    pub name: &'a str,
+    /// `true` for a `let` whose value is never read (the binding itself
+    /// may still be syntactically required if re-assigned — callers
+    /// check).
+    pub is_let: bool,
+}
+
+/// Stores (scalar `let` initializers and whole-variable assignments)
+/// whose value no subsequent path reads.  Pinned names and unreachable
+/// nodes are never reported.  Dead `LetArray`s are reported through the
+/// existing unused-state style lints, not here.
+pub fn dead_stores<'a>(
+    cfg: &Cfg<'a>,
+    sol: &Solution<LiveFact>,
+    lv: &Liveness,
+) -> Vec<DeadStore<'a>> {
+    let mut out = Vec::new();
+    if !sol.converged || sol.after.len() != cfg.nodes.len() {
+        return out;
+    }
+    for (id, node) in cfg.nodes.iter().enumerate() {
+        let (stmt, name, is_let) = match node {
+            Node::Stmt(s @ Stmt::Let { name, .. }) => (*s, name.as_str(), true),
+            Node::Stmt(
+                s @ Stmt::Assign {
+                    target: LValue::Var(name),
+                    ..
+                },
+            ) => (*s, name.as_str(), false),
+            _ => continue,
+        };
+        if lv.pinned.contains(name) {
+            continue;
+        }
+        // `after` is execution orientation: the live-out set of the store.
+        match &sol.after[id] {
+            Some(live) if !live.contains(name) => out.push(DeadStore {
+                node: id,
+                stmt,
+                name,
+                is_let,
+            }),
+            _ => {}
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use streamit_graph::builder::FilterBuilder;
+    use streamit_graph::{DataType, StateVar, Value};
+
+    fn filter_with(state: Vec<StateVar>, work: Vec<Stmt>) -> Filter {
+        let mut f = FilterBuilder::new("t", DataType::Int)
+            .rates(0, 0, 0)
+            .build();
+        f.state = state;
+        f.work = work;
+        f
+    }
+
+    fn let_(name: &str, e: Expr) -> Stmt {
+        Stmt::Let {
+            name: name.into(),
+            ty: DataType::Int,
+            init: e,
+        }
+    }
+
+    fn assign(name: &str, e: Expr) -> Stmt {
+        Stmt::Assign {
+            target: LValue::Var(name.into()),
+            value: e,
+        }
+    }
+
+    #[test]
+    fn unread_local_is_a_dead_store() {
+        let f = filter_with(
+            vec![],
+            vec![let_("x", Expr::IntLit(1)), Stmt::Push(Expr::IntLit(0))],
+        );
+        let lv = Liveness::new(&f, &f.work);
+        let cfg = Cfg::build(&f.work);
+        let sol = solve_liveness(&lv, &cfg);
+        let dead = dead_stores(&cfg, &sol, &lv);
+        assert_eq!(dead.len(), 1);
+        assert_eq!(dead[0].name, "x");
+        assert!(dead[0].is_let);
+    }
+
+    #[test]
+    fn state_store_overwritten_before_read_is_dead() {
+        let f = filter_with(
+            vec![StateVar::scalar("s", DataType::Int, Value::Int(0))],
+            vec![assign("s", Expr::IntLit(1)), assign("s", Expr::IntLit(2))],
+        );
+        let lv = Liveness::new(&f, &f.work);
+        let cfg = Cfg::build(&f.work);
+        let sol = solve_liveness(&lv, &cfg);
+        let dead = dead_stores(&cfg, &sol, &lv);
+        // Only the first store is dead; the second feeds the next firing.
+        assert_eq!(dead.len(), 1);
+        assert!(matches!(
+            dead[0].stmt,
+            Stmt::Assign {
+                value: Expr::IntLit(1),
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn state_store_at_body_end_is_live() {
+        let f = filter_with(
+            vec![StateVar::scalar("s", DataType::Int, Value::Int(0))],
+            vec![assign("s", Expr::IntLit(1))],
+        );
+        let lv = Liveness::new(&f, &f.work);
+        let cfg = Cfg::build(&f.work);
+        let sol = solve_liveness(&lv, &cfg);
+        assert!(dead_stores(&cfg, &sol, &lv).is_empty());
+    }
+
+    #[test]
+    fn loop_carried_read_keeps_store_alive() {
+        // acc updated each iteration, read next iteration and pushed.
+        let f = filter_with(
+            vec![],
+            vec![
+                let_("acc", Expr::IntLit(0)),
+                Stmt::For {
+                    var: "i".into(),
+                    from: Expr::IntLit(0),
+                    to: Expr::IntLit(4),
+                    body: vec![assign(
+                        "acc",
+                        Expr::Binary(
+                            streamit_graph::BinOp::Add,
+                            Box::new(Expr::Var("acc".into())),
+                            Box::new(Expr::Var("i".into())),
+                        ),
+                    )],
+                },
+                Stmt::Push(Expr::Var("acc".into())),
+            ],
+        );
+        let lv = Liveness::new(&f, &f.work);
+        let cfg = Cfg::build(&f.work);
+        let sol = solve_liveness(&lv, &cfg);
+        assert!(sol.converged);
+        assert!(dead_stores(&cfg, &sol, &lv).is_empty());
+    }
+
+    #[test]
+    fn indexed_store_is_a_weak_update() {
+        let f = filter_with(
+            vec![StateVar::array("w", DataType::Int, vec![Value::Int(0); 4])],
+            vec![Stmt::Assign {
+                target: LValue::Index("w".into(), Expr::IntLit(0)),
+                value: Expr::IntLit(9),
+            }],
+        );
+        let lv = Liveness::new(&f, &f.work);
+        let cfg = Cfg::build(&f.work);
+        let sol = solve_liveness(&lv, &cfg);
+        assert!(dead_stores(&cfg, &sol, &lv).is_empty());
+    }
+}

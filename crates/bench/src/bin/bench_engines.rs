@@ -189,7 +189,10 @@ fn host_json() -> String {
     )
 }
 
-/// The original two-engine report over the four throughput apps.
+/// The original two-engine report over the four throughput apps, plus
+/// the mid-end optimizer's effect: `compiled` is measured at the
+/// default `--opt-level 1` and again at `--opt-level 0`, and each app
+/// row carries an additive `opt` object with the dataflow speedup.
 fn run_default(quick: bool, out_path: &str) {
     let target_s = if quick { 0.02 } else { 0.25 };
     let apps: Vec<(&str, StreamNode)> = vec![
@@ -203,30 +206,50 @@ fn run_default(quick: bool, out_path: &str) {
     ];
 
     let mut rows = Vec::new();
+    let mut opt_speedups = Vec::new();
     println!(
-        "{:<12} {:>14} {:>14} {:>9}  identical",
-        "app", "reference", "compiled", "speedup"
+        "{:<12} {:>14} {:>14} {:>14} {:>9} {:>8}  identical",
+        "app", "reference", "opt-0", "compiled", "speedup", "opt"
     );
     for (name, stream) in apps {
         let p = Compiler::default()
-            .compile_stream(stream)
+            .compile_stream(stream.clone())
             .unwrap_or_else(|e| panic!("{name}: app graph must compile: {e}"));
         let cg = p
             .compile_exec()
             .unwrap_or_else(|e| panic!("{name}: compiled engine must accept this app: {e}"));
+        let p0 = Compiler::new(Options {
+            opt_level: 0,
+            ..Options::default()
+        })
+        .compile_stream(stream)
+        .unwrap_or_else(|e| panic!("{name}: app graph must compile at opt 0: {e}"));
+        let cg0 = p0.compile_exec().unwrap_or_else(|e| {
+            panic!("{name}: compiled engine must accept this app at opt 0: {e}")
+        });
         let identical = bit_identical(&p, &cg);
         let r = measure_reference(&p, &cg, target_s);
+        let c0 = measure_compiled(&cg0, target_s);
         let c = measure_compiled(&cg, target_s);
         let speedup = c.items_per_sec / r.items_per_sec.max(1e-9);
+        let opt_speedup = c.items_per_sec / c0.items_per_sec.max(1e-9);
+        opt_speedups.push(opt_speedup);
         println!(
-            "{:<12} {:>12.0}/s {:>12.0}/s {:>8.1}x  {}",
-            name, r.items_per_sec, c.items_per_sec, speedup, identical
+            "{:<12} {:>12.0}/s {:>12.0}/s {:>12.0}/s {:>8.1}x {:>7.2}x  {}",
+            name,
+            r.items_per_sec,
+            c0.items_per_sec,
+            c.items_per_sec,
+            speedup,
+            opt_speedup,
+            identical
         );
         rows.push(format!(
             "    {{\n      \"name\": \"{name}\",\n      \"bit_identical\": {identical},\n      \
              \"reference\": {{\"items_per_sec\": {}, \"elapsed_s\": {}, \"outputs\": {}, \"iterations\": {}}},\n      \
              \"compiled\": {{\"items_per_sec\": {}, \"elapsed_s\": {}, \"outputs\": {}, \"iterations\": {}}},\n      \
-             \"speedup\": {}\n    }}",
+             \"speedup\": {},\n      \
+             \"opt\": {{\"baseline_items_per_sec\": {}, \"optimized_items_per_sec\": {}, \"speedup\": {}}}\n    }}",
             json_f64(r.items_per_sec),
             json_f64(r.elapsed_s),
             r.outputs,
@@ -236,13 +259,21 @@ fn run_default(quick: bool, out_path: &str) {
             c.outputs,
             c.iterations,
             json_f64(speedup),
+            json_f64(c0.items_per_sec),
+            json_f64(c.items_per_sec),
+            json_f64(opt_speedup),
         ));
     }
 
+    let geomean = (opt_speedups.iter().map(|s| s.max(1e-9).ln()).sum::<f64>()
+        / opt_speedups.len().max(1) as f64)
+        .exp();
+    println!("opt-level 1 vs 0 geomean: {geomean:.2}x");
     let report = format!(
         "{{\n  \"benchmark\": \"engine_throughput\",\n  \"host\": {},\n  \"linear\": \"off\",\n  \
-         \"quick\": {quick},\n  \"apps\": [\n{}\n  ]\n}}\n",
+         \"opt_geomean_speedup\": {},\n  \"quick\": {quick},\n  \"apps\": [\n{}\n  ]\n}}\n",
         host_json(),
+        json_f64(geomean),
         rows.join(",\n")
     );
     std::fs::write(out_path, &report).unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));

@@ -2,9 +2,10 @@
 //!
 //! ```text
 //! streamitc <file.str> [--main NAME] [--linear | --frequency]
-//!           [--outline] [--dot] [--verify] [--lint] [--schedule [TILES]]
-//!           [--run N] [--budget FIRINGS] [--engine ENGINE] [--threads N]
-//!           [--watchdog-ms MS] [--on-engine-fault error|fallback]
+//!           [--outline] [--dot] [--verify] [--lint] [--opt-level 0|1]
+//!           [--schedule [TILES]] [--run N] [--budget FIRINGS]
+//!           [--engine ENGINE] [--threads N] [--watchdog-ms MS]
+//!           [--on-engine-fault error|fallback]
 //!           [--inject-fault KIND@STAGE:ITER] [--strict]
 //! ```
 //!
@@ -39,6 +40,10 @@
 //! * `--inject-fault F`  chaos-harness fault injection:
 //!   `panic@STAGE:ITER`, `stall@STAGE:ITER`, or `delay@STAGE:ITER`
 //! * `--linear` / `--frequency`  enable the linear optimizer
+//! * `--opt-level N`  work-IR optimization level for the
+//!   compiled/parallel engines: `0` lowers work functions verbatim,
+//!   `1` (default) runs the analysis mid-end (constant folding, branch
+//!   pruning, dead-store elimination, copy propagation, loop unrolling)
 //! * `--strict`    fail on verification errors
 //!
 //! Static work-function analysis always runs: lint warnings (`L06xx`)
@@ -82,14 +87,16 @@ struct Args {
     inject_fault: Option<streamit::exec::FaultPlan>,
     strict: bool,
     lint: bool,
+    opt_level: u8,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: streamitc <file.str> [--main NAME] [--linear | --frequency] \
-         [--outline] [--dot] [--lint] [--schedule [TILES]] [--run N] [--budget FIRINGS] \
-         [--engine reference|compiled|parallel] [--threads N] [--watchdog-ms MS] \
-         [--on-engine-fault error|fallback] [--inject-fault KIND@STAGE:ITER] [--strict]"
+         [--outline] [--dot] [--lint] [--opt-level 0|1] [--schedule [TILES]] [--run N] \
+         [--budget FIRINGS] [--engine reference|compiled|parallel] [--threads N] \
+         [--watchdog-ms MS] [--on-engine-fault error|fallback] \
+         [--inject-fault KIND@STAGE:ITER] [--strict]"
     );
     std::process::exit(2);
 }
@@ -113,6 +120,7 @@ fn parse_args() -> Args {
         inject_fault: None,
         strict: false,
         lint: false,
+        opt_level: 1,
     };
     let mut it = std::env::args().skip(1).peekable();
     while let Some(a) = it.next() {
@@ -124,6 +132,13 @@ fn parse_args() -> Args {
             "--dot" => args.dot = true,
             "--verify" => {} // always printed
             "--lint" => args.lint = true,
+            "--opt-level" => {
+                args.opt_level = it
+                    .next()
+                    .and_then(|s| s.parse::<u8>().ok())
+                    .filter(|&n| n <= 1)
+                    .unwrap_or_else(|| usage());
+            }
             "--strict" => args.strict = true,
             "--schedule" => {
                 let tiles = it
@@ -203,6 +218,7 @@ fn main() {
     let compiler = Compiler::new(Options {
         linear: args.linear,
         strict_verify: args.strict,
+        opt_level: args.opt_level,
     });
     let program = match compiler.compile_source(&source, &args.main) {
         Ok(p) => p,
@@ -262,6 +278,14 @@ fn main() {
         }
         for f in program.analysis.warnings() {
             println!("{f}");
+        }
+        // Lowering notes (`L0701` dropped-kernel-hint warnings) come
+        // from the compiled engine's planner; a graph the compiled
+        // engine declines simply has no notes to report.
+        if let Ok(cg) = program.compile_exec() {
+            for note in cg.notes() {
+                println!("{note}");
+            }
         }
     } else {
         for f in program.analysis.warnings() {

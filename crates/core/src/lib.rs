@@ -230,13 +230,29 @@ fn classify_exec(e: &exec::ExecError) -> FaultClass {
 }
 
 /// Compiler options.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy)]
 pub struct Options {
     /// Run the linear optimizer (`--linearreplacement` /
     /// `--frequencyreplacement`).
     pub linear: Option<LinearMode>,
     /// Reject programs whose verification reports deadlock/overflow.
     pub strict_verify: bool,
+    /// Work-IR optimization level for the compiled/parallel engines:
+    /// `0` lowers work functions verbatim, `1` (default) runs the
+    /// analysis mid-end (constant folding, branch pruning, dead-store
+    /// elimination, copy propagation, loop unrolling).  The reference
+    /// interpreter always executes the unoptimized IR.
+    pub opt_level: u8,
+}
+
+impl Default for Options {
+    fn default() -> Options {
+        Options {
+            linear: None,
+            strict_verify: false,
+            opt_level: 1,
+        }
+    }
 }
 
 /// Compilation errors.
@@ -337,6 +353,7 @@ impl Compiler {
             portals,
             latencies,
             work_spans,
+            opt_level: self.options.opt_level,
         })
     }
 }
@@ -361,6 +378,9 @@ pub struct CompiledProgram {
     /// Source span of each filter's `work` declaration by instance path
     /// (empty for builder-API programs).
     pub work_spans: HashMap<String, streamit_frontend::SourcePos>,
+    /// Work-IR optimization level used when lowering for the
+    /// compiled/parallel engines (see [`Options::opt_level`]).
+    pub opt_level: u8,
 }
 
 impl CompiledProgram {
@@ -422,7 +442,13 @@ impl CompiledProgram {
                 reason: "teleport portals require the reference interpreter".into(),
             });
         }
-        exec::CompiledGraph::compile(&self.flat, self.stream.input_type())
+        exec::CompiledGraph::compile_with(
+            &self.flat,
+            self.stream.input_type(),
+            exec::plan::LowerOptions {
+                opt_level: self.opt_level,
+            },
+        )
     }
 
     /// Compile the flat graph for the multicore runtime with a
@@ -438,7 +464,14 @@ impl CompiledProgram {
                 reason: "teleport portals require the reference interpreter".into(),
             });
         }
-        rt::ParallelGraph::compile(&self.flat, self.stream.input_type(), threads)
+        rt::ParallelGraph::compile_with(
+            &self.flat,
+            self.stream.input_type(),
+            threads,
+            rt::LowerOptions {
+                opt_level: self.opt_level,
+            },
+        )
     }
 
     /// Execute on the selected engine, returning `n` outputs.  Both

@@ -217,10 +217,26 @@ impl CompiledGraph {
     /// external input stream (defaults to `Float`, matching how the
     /// reference machine is fed by `CompiledProgram::run`).
     pub fn compile(g: &FlatGraph, input_ty: Option<DataType>) -> Result<CompiledGraph, ExecError> {
+        CompiledGraph::compile_with(g, input_ty, plan::LowerOptions::default())
+    }
+
+    /// [`CompiledGraph::compile`] with explicit lowering options
+    /// (opt level 0 disables the analysis mid-end optimizer).
+    pub fn compile_with(
+        g: &FlatGraph,
+        input_ty: Option<DataType>,
+        opts: plan::LowerOptions,
+    ) -> Result<CompiledGraph, ExecError> {
         let ty = input_ty.unwrap_or(DataType::Float);
-        plan::build_plan(g, ty)
+        plan::build_plan(g, ty, opts)
             .map(|plan| CompiledGraph { plan })
             .map_err(|reason| ExecError::Unsupported { reason })
+    }
+
+    /// Typed lowering notes (e.g. `L0701` dropped-kernel-hint warnings)
+    /// produced while compiling this graph.
+    pub fn notes(&self) -> &[String] {
+        &self.plan.notes
     }
 
     /// External input items that must be provided to run `k` steady

@@ -113,6 +113,22 @@ pub struct Stats {
     pub round_out: u64,
 }
 
+/// Options controlling work-IR lowering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LowerOptions {
+    /// `0` lowers work functions verbatim; `1` (the default) runs the
+    /// analysis mid-end optimizer (constant folding, branch pruning,
+    /// dead-store elimination, copy propagation, loop unrolling) on
+    /// each filter before bytecode lowering.
+    pub opt_level: u8,
+}
+
+impl Default for LowerOptions {
+    fn default() -> LowerOptions {
+        LowerOptions { opt_level: 1 }
+    }
+}
+
 /// A fully compiled graph: everything the engine needs, with no
 /// remaining references to the source graph.
 #[derive(Debug, Clone)]
@@ -131,6 +147,9 @@ pub struct Plan {
     pub post_ops: Vec<Op>,
     pub input_ty: DataType,
     pub stats: Stats,
+    /// Typed lowering notes (e.g. `L0701` dropped-kernel-hint warnings),
+    /// formatted like analysis findings.
+    pub notes: Vec<String>,
 }
 
 // ---------------------------------------------------------------------------
@@ -923,6 +942,7 @@ fn assemble(
         branch_ops,
         post_ops,
         input_ty,
+        notes: Vec::new(),
         stats: Stats {
             init_in,
             init_in_required,
@@ -964,6 +984,15 @@ pub fn check_io_sites(g: &FlatGraph) -> Result<(), String> {
     Ok(())
 }
 
+/// Result of [`lower_graph`]: the lowered filter codes, the `codes`
+/// index per flat-graph node, and any human-readable lowering notes
+/// (`warning[L0701]` dropped-hint diagnostics).
+pub struct LoweredFilters {
+    pub codes: Vec<FilterCode>,
+    pub code_of: Vec<Option<u32>>,
+    pub notes: Vec<String>,
+}
+
 /// Per-filter gate and lowering.  Any analysis *error* (or the
 /// rates-not-statically-provable lint L0605) means we cannot prove
 /// block execution matches the reference firing-by-firing semantics.
@@ -971,9 +1000,11 @@ pub fn check_io_sites(g: &FlatGraph) -> Result<(), String> {
 pub fn lower_graph(
     g: &FlatGraph,
     input_ty: DataType,
-) -> Result<(Vec<FilterCode>, Vec<Option<u32>>), String> {
+    opts: LowerOptions,
+) -> Result<LoweredFilters, String> {
     let mut codes = Vec::new();
     let mut code_of = vec![None; g.nodes.len()];
+    let mut notes = Vec::new();
     for n in &g.nodes {
         let FlatNodeKind::Filter(f) = &n.kind else {
             continue;
@@ -1000,16 +1031,52 @@ pub fn lower_graph(
         if idx > u32::MAX as usize {
             return Err("too many filters".into());
         }
+        // The analysis gate above ran on the author's IR; the optimizer
+        // preserves rates, state, and kernel hints, so lowering the
+        // optimized body is covered by the same proof.
+        let optimized;
+        let f = if opts.opt_level >= 1 {
+            let (of, stats) = streamit_analysis::optimize_filter(f);
+            if stats.changed() {
+                optimized = of;
+                &optimized
+            } else {
+                f
+            }
+        } else {
+            f
+        };
         let mut fc = lower_filter(f, &n.name, in_ty, out_ty)?;
         // Optimizer kernel hints: accept only when the hint agrees with
         // the declared rates and both tapes carry unboxed f64 — any
-        // disagreement silently falls back to the (always correct)
-        // bytecode rather than erroring.
+        // disagreement falls back to the (always correct) bytecode, with
+        // a typed note explaining what was dropped and why.
         if let Some(spec) = &f.kernel {
-            if spec.matches_rates(f.peek, f.pop, f.push)
-                && in_ty == Some(DataType::Float)
-                && out_ty == Some(DataType::Float)
-            {
+            if !spec.matches_rates(f.peek, f.pop, f.push) {
+                let kind = match spec {
+                    streamit_graph::KernelSpec::Linear { .. } => "linear",
+                    streamit_graph::KernelSpec::FreqFir { .. } => "freq-fir",
+                };
+                notes.push(format!(
+                    "warning[L0701] {}: kernel hint dropped: {kind} hint disagrees with declared \
+                     rates (peek {}, pop {}, push {}); falling back to bytecode",
+                    n.name, f.peek, f.pop, f.push
+                ));
+            } else if in_ty != Some(DataType::Float) {
+                notes.push(format!(
+                    "warning[L0701] {}: kernel hint dropped: input tape is {}, not float; \
+                     falling back to bytecode",
+                    n.name,
+                    in_ty.map_or("absent".into(), |t| format!("{t:?}").to_lowercase())
+                ));
+            } else if out_ty != Some(DataType::Float) {
+                notes.push(format!(
+                    "warning[L0701] {}: kernel hint dropped: output tape is {}, not float; \
+                     falling back to bytecode",
+                    n.name,
+                    out_ty.map_or("absent".into(), |t| format!("{t:?}").to_lowercase())
+                ));
+            } else {
                 fc.kernel = Some(crate::kernel::KernelCode::build(spec));
             }
         }
@@ -1019,16 +1086,24 @@ pub fn lower_graph(
     for e in &g.edges {
         initial_items_typed(&e.initial, e.ty).map_err(|err| format!("edge {}: {err}", e.id.0))?;
     }
-    Ok((codes, code_of))
+    Ok(LoweredFilters {
+        codes,
+        code_of,
+        notes,
+    })
 }
 
 /// Compile a flat graph into a firing plan, or explain (as an
 /// `Unsupported` reason) why the compiled engine cannot run it.
-pub fn build_plan(g: &FlatGraph, input_ty: DataType) -> Result<Plan, String> {
+pub fn build_plan(g: &FlatGraph, input_ty: DataType, opts: LowerOptions) -> Result<Plan, String> {
     let reps = repetition_vector(g).map_err(|e| format!("no steady-state schedule: {e:?}"))?;
     let topo = g.topo_order();
     check_io_sites(g)?;
-    let (codes, code_of) = lower_graph(g, input_ty)?;
+    let LoweredFilters {
+        codes,
+        code_of,
+        notes,
+    } = lower_graph(g, input_ty, opts)?;
     let init_seq = build_init(g, &topo, &reps)?;
 
     if let Some(chains) = find_region(g, &topo) {
@@ -1042,9 +1117,14 @@ pub fn build_plan(g: &FlatGraph, input_ty: DataType) -> Result<Plan, String> {
             input_ty,
             &chains,
         ) {
-            Ok(plan) => return Ok(plan),
+            Ok(mut plan) => {
+                plan.notes = notes;
+                return Ok(plan);
+            }
             Err(_) => { /* fall back to the serial partition below */ }
         }
     }
-    assemble(g, &topo, &reps, &init_seq, codes, code_of, input_ty, &[])
+    let mut plan = assemble(g, &topo, &reps, &init_seq, codes, code_of, input_ty, &[])?;
+    plan.notes = notes;
+    Ok(plan)
 }

@@ -38,6 +38,7 @@ pub mod run;
 pub mod spsc;
 pub mod transform;
 
+pub use streamit_exec::plan::LowerOptions;
 use streamit_exec::tape::Tape;
 pub use streamit_exec::{ExecError, FaultKind, FaultPlan, StageSnapshot};
 use streamit_graph::{DataType, FlatGraph};
@@ -65,6 +66,17 @@ impl ParallelGraph {
         input_ty: Option<DataType>,
         threads: usize,
     ) -> Result<ParallelGraph, ExecError> {
+        ParallelGraph::compile_with(g, input_ty, threads, LowerOptions::default())
+    }
+
+    /// [`ParallelGraph::compile`] with explicit lowering options
+    /// (opt level 0 disables the analysis mid-end optimizer).
+    pub fn compile_with(
+        g: &FlatGraph,
+        input_ty: Option<DataType>,
+        threads: usize,
+        opts: LowerOptions,
+    ) -> Result<ParallelGraph, ExecError> {
         let threads = if threads == 0 {
             std::thread::available_parallelism().map_or(1, usize::from)
         } else {
@@ -77,7 +89,7 @@ impl ParallelGraph {
             });
         }
         let (fissed, regions) = transform::fiss_graph(g, threads);
-        match plan::build_staged_plan(&fissed, ty, threads) {
+        match plan::build_staged_plan(&fissed, ty, threads, opts) {
             Ok(plan) => Ok(ParallelGraph {
                 plan,
                 threads,
@@ -86,7 +98,7 @@ impl ParallelGraph {
             // The transform can push a graph over a planner limit (tape
             // counts, init priming); retry untransformed before giving
             // up so fission is never the reason a graph is declined.
-            Err(first) => match plan::build_staged_plan(g, ty, threads) {
+            Err(first) => match plan::build_staged_plan(g, ty, threads, opts) {
                 Ok(plan) => Ok(ParallelGraph {
                     plan,
                     threads,
@@ -95,6 +107,12 @@ impl ParallelGraph {
                 Err(_) => Err(ExecError::Unsupported { reason: first }),
             },
         }
+    }
+
+    /// Typed lowering notes (e.g. `L0701` dropped-kernel-hint warnings)
+    /// produced while compiling this graph.
+    pub fn notes(&self) -> &[String] {
+        &self.plan.notes
     }
 
     /// Worker threads the plan was built for (stage count may be lower).

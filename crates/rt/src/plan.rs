@@ -23,7 +23,7 @@
 use streamit_exec::bytecode::FilterCode;
 use streamit_exec::plan::{
     build_init, check_io_sites, firing_io, init_ops_from_seq, lower_graph, node_op, CountSim,
-    Layout, Loc, Op, Stats, TapeSpec,
+    Layout, Loc, LowerOptions, LoweredFilters, Op, Stats, TapeSpec,
 };
 use streamit_graph::{repetition_vector, steady_flows, DataType, FlatGraph, FlatNodeKind, NodeId};
 use streamit_sched::{pipeline_stage_partition, WorkGraph};
@@ -76,6 +76,8 @@ pub struct StagedPlan {
     pub ext_in: Loc,
     /// External output tape location ([`NO_EXT`] when no node writes it).
     pub ext_out: Loc,
+    /// Typed lowering notes (e.g. `L0701` dropped-kernel-hint warnings).
+    pub notes: Vec<String>,
 }
 
 impl StagedPlan {
@@ -113,6 +115,7 @@ pub fn build_staged_plan(
     g: &FlatGraph,
     input_ty: DataType,
     threads: usize,
+    opts: LowerOptions,
 ) -> Result<StagedPlan, String> {
     if g.edges.iter().any(|e| e.is_back_edge) {
         return Err("feedback loops require the single-core engines".into());
@@ -120,7 +123,11 @@ pub fn build_staged_plan(
     let reps = repetition_vector(g).map_err(|e| format!("no steady-state schedule: {e:?}"))?;
     let topo = g.topo_order();
     check_io_sites(g)?;
-    let (codes, code_of) = lower_graph(g, input_ty)?;
+    let LoweredFilters {
+        codes,
+        code_of,
+        notes,
+    } = lower_graph(g, input_ty, opts)?;
     let init_seq = build_init(g, &topo, &reps)?;
     let flows = steady_flows(g, &reps);
 
@@ -390,5 +397,6 @@ pub fn build_staged_plan(
         links,
         ext_in,
         ext_out,
+        notes,
     })
 }

@@ -1,0 +1,120 @@
+//! Golden tests for the `L0701` lowering note: a filter carrying a
+//! kernel hint the compiled engine cannot trust must fall back to
+//! bytecode *and* say so — naming the filter and the reason — instead
+//! of dropping the hint silently.
+//!
+//! The linear optimizer only materializes hints that validate, so these
+//! tests plant deliberately inconsistent hints through the builder API.
+
+use streamit::exec::CompiledGraph;
+use streamit::graph::builder::*;
+use streamit::graph::{DataType, FlatGraph, KernelRow, KernelSpec, StreamNode};
+
+/// A 1->1 identity filter of element type `ty`, with a kernel hint.
+fn hinted_filter(ty: DataType, spec: KernelSpec) -> StreamNode {
+    let mut f = FilterBuilder::new("Hinted", ty)
+        .rates(1, 1, 1)
+        .push(pop())
+        .build();
+    f.kernel = Some(spec);
+    StreamNode::Filter(f)
+}
+
+fn one_row() -> Vec<KernelRow> {
+    vec![KernelRow {
+        taps: vec![(0, 1.0)],
+        constant: 0.0,
+    }]
+}
+
+#[test]
+fn l0701_rates_mismatch_names_filter_and_reason() {
+    // peek 3 disagrees with the declared window of 1.
+    let stream = hinted_filter(
+        DataType::Float,
+        KernelSpec::Linear {
+            peek: 3,
+            pop: 1,
+            rows: one_row(),
+        },
+    );
+    let g = FlatGraph::from_stream(&stream);
+    let cg = CompiledGraph::compile(&g, Some(DataType::Float)).expect("graph compiles");
+    assert_eq!(cg.kernel_filters(), 0, "untrusted hint must not run");
+    assert_eq!(cg.notes().len(), 1, "{:?}", cg.notes());
+    let note = &cg.notes()[0];
+    assert!(note.starts_with("warning[L0701]"), "{note}");
+    assert!(note.contains("Hinted"), "{note}");
+    assert!(note.contains("disagrees with declared rates"), "{note}");
+    assert!(note.contains("falling back to bytecode"), "{note}");
+}
+
+#[test]
+fn l0701_non_float_input_names_filter_and_reason() {
+    // The hint's shape matches the rates, but the tape carries ints.
+    let stream = hinted_filter(
+        DataType::Int,
+        KernelSpec::Linear {
+            peek: 1,
+            pop: 1,
+            rows: one_row(),
+        },
+    );
+    let g = FlatGraph::from_stream(&stream);
+    let cg = CompiledGraph::compile(&g, Some(DataType::Int)).expect("graph compiles");
+    assert_eq!(cg.kernel_filters(), 0);
+    assert_eq!(cg.notes().len(), 1, "{:?}", cg.notes());
+    let note = &cg.notes()[0];
+    assert!(note.starts_with("warning[L0701]"), "{note}");
+    assert!(note.contains("Hinted"), "{note}");
+    assert!(note.contains("input tape is int"), "{note}");
+}
+
+#[test]
+fn trusted_hint_produces_no_note() {
+    let stream = hinted_filter(
+        DataType::Float,
+        KernelSpec::Linear {
+            peek: 1,
+            pop: 1,
+            rows: one_row(),
+        },
+    );
+    let g = FlatGraph::from_stream(&stream);
+    let cg = CompiledGraph::compile(&g, Some(DataType::Float)).expect("graph compiles");
+    assert_eq!(cg.kernel_filters(), 1, "valid hint runs as a kernel");
+    assert!(cg.notes().is_empty(), "{:?}", cg.notes());
+}
+
+/// Without the linear optimizer no corpus app carries a hint, so the
+/// whole evaluation suite lowers without notes.  *With* linear
+/// replacement, hints the engine cannot trust (e.g. BitonicSort's
+/// int-typed gather stages) must each surface as a well-formed L0701 —
+/// this is precisely the silent drop the note exists to expose.
+#[test]
+fn evaluation_suite_notes_are_exactly_the_untrusted_hints() {
+    use streamit::linear::LinearMode;
+    use streamit::{Compiler, Options};
+    for b in streamit::apps::evaluation_suite() {
+        for linear in [None, Some(LinearMode::Replacement)] {
+            let p = Compiler::new(Options {
+                linear,
+                ..Options::default()
+            })
+            .compile_stream(b.stream.clone())
+            .unwrap_or_else(|e| panic!("{}: {e}", b.name));
+            let Ok(cg) = p.compile_exec() else { continue };
+            if linear.is_none() {
+                assert!(cg.notes().is_empty(), "{}: {:?}", b.name, cg.notes());
+            }
+            for note in cg.notes() {
+                assert!(note.starts_with("warning[L0701]"), "{}: {note}", b.name);
+                assert!(
+                    note.contains("falling back to bytecode"),
+                    "{}: {note}",
+                    b.name
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,305 @@
+//! Semantics preservation for the analysis mid-end optimizer.
+//!
+//! Two independent checks:
+//!
+//! 1. A 512-case proptest runs each generated work body through the
+//!    reference interpreter twice — once as written, once after
+//!    [`streamit::analysis::optimize_filter`] — and requires the pushed
+//!    streams (and consumed-item counts) to be bit-identical.  This
+//!    isolates the optimizer from engine lowering entirely.
+//! 2. A metamorphic sweep over all fifteen benchmark apps: the compiled
+//!    engine and the parallel runtime at 1/2/4 threads must produce
+//!    bit-identical output at `--opt-level 0` and `--opt-level 1`, and
+//!    must accept exactly the same graphs.
+
+use std::collections::HashMap;
+
+use streamit::analysis::optimize_filter;
+use streamit::graph::builder::FilterBuilder;
+use streamit::graph::{DataType, Filter, Value};
+use streamit::interp::{eval_block_bounded, EvalCtx, RuntimeError};
+
+#[path = "support/irgen.rs"]
+mod irgen;
+
+use irgen::{gen_block, Gen, Scope};
+
+/// Deterministic varied input, matching the engine differential suite.
+fn varied_input(len: usize) -> Vec<f64> {
+    (0..len).map(|i| ((i * 37) % 101) as f64 - 50.0).collect()
+}
+
+// ---- 1. interpreter-level optimizer differential ----------------------
+
+/// Concrete tape: reads from a fixed input, records pops and pushes.
+struct Tape {
+    input: Vec<Value>,
+    pops: u64,
+    out: Vec<Value>,
+}
+
+impl EvalCtx for Tape {
+    fn node_name(&self) -> &str {
+        "opt-prop"
+    }
+    fn peek(&mut self, i: u64) -> Result<Value, RuntimeError> {
+        let at = (self.pops + i) as usize;
+        self.input
+            .get(at)
+            .copied()
+            .ok_or(RuntimeError::TapeUnderflow {
+                node: "opt-prop".into(),
+                needed: at as u64 + 1,
+                had: self.input.len() as u64,
+                declared: None,
+            })
+    }
+    fn pop(&mut self) -> Result<Value, RuntimeError> {
+        let v = self.peek(0)?;
+        self.pops += 1;
+        Ok(v)
+    }
+    fn push(&mut self, v: Value) -> Result<(), RuntimeError> {
+        self.out.push(v);
+        Ok(())
+    }
+    fn send(&mut self, _: &str, _: &str, _: Vec<Value>, _: (i64, i64)) -> Result<(), RuntimeError> {
+        Ok(())
+    }
+}
+
+/// Bit-exact key for a pushed value (floats compare by bits so NaN and
+/// signed zero are distinguished, exactly like the engine differential).
+fn bits(v: &Value) -> (u8, u64) {
+    match v {
+        Value::Int(i) => (0, *i as u64),
+        v => (1, v.as_f64().to_bits()),
+    }
+}
+
+/// Run one body for three consecutive firings over a long tape.
+fn firings(f: &Filter, input: &[Value]) -> Result<(Vec<(u8, u64)>, u64), RuntimeError> {
+    let mut ctx = Tape {
+        input: input.to_vec(),
+        pops: 0,
+        out: Vec::new(),
+    };
+    for _ in 0..3 {
+        let mut state = HashMap::new();
+        eval_block_bounded(&f.work, &mut state, HashMap::new(), &mut ctx, 1_000_000)?;
+    }
+    Ok((ctx.out.iter().map(bits).collect(), ctx.pops))
+}
+
+enum Case {
+    /// The body errors as written (tape underflow on the synthetic
+    /// input); nothing to compare.
+    Skipped,
+    /// Optimizer had nothing to do (still compared).
+    Unchanged,
+    /// Optimizer rewrote the body and the streams matched.
+    Optimized,
+}
+
+fn run_case(seed: u64) -> Case {
+    let mut g = Gen(seed | 1);
+    let mut sc = Scope::default();
+    let block = gen_block(&mut g, &mut sc, 2);
+
+    let body = block.clone();
+    let f = FilterBuilder::new("gen", DataType::Int)
+        .rates(0, 0, 0)
+        .work(move |b| body.iter().cloned().fold(b, |b, s| b.stmt(s)))
+        .build();
+    let (of, stats) = optimize_filter(&f);
+
+    let input: Vec<Value> = (0..65_536)
+        .map(|i| Value::Int(((i * 37) % 101) as i64 - 50))
+        .collect();
+    let Ok((want, want_pops)) = firings(&f, &input) else {
+        return Case::Skipped;
+    };
+    let (got, got_pops) = firings(&of, &input).unwrap_or_else(|e| {
+        panic!("seed {seed}: optimized body errors where the original ran: {e}\n{block:#?}")
+    });
+    assert_eq!(
+        got, want,
+        "seed {seed}: optimizer changed the pushed stream\noriginal: {:#?}\noptimized: {:#?}",
+        f.work, of.work
+    );
+    assert_eq!(
+        got_pops, want_pops,
+        "seed {seed}: optimizer changed the consumed-item count\noriginal: {:#?}\noptimized: {:#?}",
+        f.work, of.work
+    );
+    if stats.changed() {
+        Case::Optimized
+    } else {
+        Case::Unchanged
+    }
+}
+
+proptest::proptest! {
+    #![proptest_config(proptest::ProptestConfig::with_cases(512))]
+
+    /// Optimizer soundness: for every generated body, interpreting the
+    /// optimized IR produces the bit-identical stream and pop count.
+    #[test]
+    fn prop_optimized_ir_is_bit_identical(seed in 0u64..u64::MAX) {
+        run_case(seed);
+    }
+}
+
+/// Non-vacuity guard: over a fixed seed sweep the optimizer must both
+/// rewrite a healthy fraction of bodies *and* leave some untouched.
+#[test]
+fn optimizer_sweep_rewrites_a_healthy_fraction() {
+    let (mut optimized, mut unchanged, mut skipped) = (0usize, 0usize, 0usize);
+    for seed in 0..512u64 {
+        match run_case(seed) {
+            Case::Optimized => optimized += 1,
+            Case::Unchanged => unchanged += 1,
+            Case::Skipped => skipped += 1,
+        }
+    }
+    eprintln!("optimizer sweep: {optimized} rewritten, {unchanged} unchanged, {skipped} skipped");
+    assert!(
+        optimized >= 64,
+        "only {optimized} of 512 generated bodies were rewritten — the property is near-vacuous"
+    );
+    assert!(
+        skipped <= 448,
+        "{skipped} of 512 generated bodies failed to run at all"
+    );
+}
+
+// ---- 2. metamorphic opt-0 == opt-1 over the benchmark corpus ----------
+
+mod metamorphic {
+    use streamit::exec::ExecError;
+    use streamit::graph::StreamNode;
+    use streamit::{apps, Compiler, Options};
+
+    use super::varied_input;
+
+    fn corpus() -> Vec<(&'static str, StreamNode, usize)> {
+        vec![
+            ("beamformer", apps::beamformer::beamformer(12, 4, 32), 16),
+            ("bitonic", apps::bitonic::bitonic_sort(32), 32),
+            (
+                "channelvocoder",
+                apps::channelvocoder::channelvocoder(4, 8),
+                16,
+            ),
+            ("dct", apps::dct::dct(16), 16),
+            ("des", apps::des::des(4), 16),
+            ("fft", apps::fft_app::fft(32), 16),
+            ("filterbank", apps::filterbank::filterbank(8, 32), 16),
+            ("fmradio", apps::fmradio::fmradio(10, 64), 16),
+            ("freqhop_teleport", apps::freqhop::freqhop_teleport(8, 4), 8),
+            ("freqhop_manual", apps::freqhop::freqhop_manual(8), 8),
+            ("mpeg2", apps::mpeg2::mpeg2(), 16),
+            ("radar", apps::radar::radar(4, 2), 8),
+            ("serpent", apps::serpent::serpent(4), 16),
+            ("tde", apps::tde::tde(32), 16),
+            ("vocoder", apps::vocoder::vocoder(8), 8),
+        ]
+    }
+
+    fn programs(name: &str, stream: &StreamNode) -> [streamit::CompiledProgram; 2] {
+        [0u8, 1u8].map(|opt_level| {
+            Compiler::new(Options {
+                opt_level,
+                ..Options::default()
+            })
+            .compile_stream(stream.clone())
+            .unwrap_or_else(|e| panic!("{name}: app graph must compile: {e}"))
+        })
+    }
+
+    /// The compiled engine agrees with itself across opt levels on every
+    /// app it accepts, bit for bit — and accepts the same apps.
+    #[test]
+    fn compiled_engine_agrees_across_opt_levels() {
+        let mut compared = 0usize;
+        for (name, stream, n) in corpus() {
+            let [p0, p1] = programs(name, &stream);
+            let (cg0, cg1) = match (p0.compile_exec(), p1.compile_exec()) {
+                (Ok(a), Ok(b)) => (a, b),
+                (Err(ExecError::Unsupported { .. }), Err(ExecError::Unsupported { .. })) => {
+                    continue;
+                }
+                (a, b) => panic!(
+                    "{name}: opt levels disagree on acceptance: opt0 {:?}, opt1 {:?}",
+                    a.err().map(|e| e.to_string()),
+                    b.err().map(|e| e.to_string()),
+                ),
+            };
+            let k = if n as u64 <= cg1.init_outputs() {
+                0
+            } else {
+                (n as u64 - cg1.init_outputs()).div_ceil(cg1.outputs_per_iteration().max(1))
+            };
+            let input = varied_input(cg0.required_input(k).max(cg1.required_input(k)) as usize);
+            let a = cg0
+                .run_collect(&input, n)
+                .unwrap_or_else(|e| panic!("{name}: opt0 run failed: {e}"));
+            let b = cg1
+                .run_collect(&input, n)
+                .unwrap_or_else(|e| panic!("{name}: opt1 run failed: {e}"));
+            let ab: Vec<u64> = a.iter().map(|v| v.to_bits()).collect();
+            let bb: Vec<u64> = b.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(ab, bb, "{name}: opt levels disagree on the compiled engine");
+            compared += 1;
+        }
+        assert!(compared >= 8, "only {compared} of 15 apps were compared");
+    }
+
+    /// The parallel runtime agrees with itself across opt levels at 1,
+    /// 2 and 4 worker threads on every app it accepts, bit for bit.
+    #[test]
+    fn parallel_runtime_agrees_across_opt_levels() {
+        let mut compared = 0usize;
+        for (name, stream, n) in corpus() {
+            let [p0, p1] = programs(name, &stream);
+            for threads in [1usize, 2, 4] {
+                let (pg0, pg1) = match (p0.compile_parallel(threads), p1.compile_parallel(threads))
+                {
+                    (Ok(a), Ok(b)) => (a, b),
+                    (Err(ExecError::Unsupported { .. }), Err(ExecError::Unsupported { .. })) => {
+                        continue;
+                    }
+                    (a, b) => panic!(
+                        "{name}@{threads}: opt levels disagree on acceptance: \
+                         opt0 {:?}, opt1 {:?}",
+                        a.err().map(|e| e.to_string()),
+                        b.err().map(|e| e.to_string()),
+                    ),
+                };
+                let k = if n as u64 <= pg1.init_outputs() {
+                    0
+                } else {
+                    (n as u64 - pg1.init_outputs()).div_ceil(pg1.outputs_per_iteration().max(1))
+                };
+                let input = varied_input(pg0.required_input(k).max(pg1.required_input(k)) as usize);
+                let a = pg0
+                    .run_collect(&input, n)
+                    .unwrap_or_else(|e| panic!("{name}@{threads}: opt0 run failed: {e}"));
+                let b = pg1
+                    .run_collect(&input, n)
+                    .unwrap_or_else(|e| panic!("{name}@{threads}: opt1 run failed: {e}"));
+                let ab: Vec<u64> = a.iter().map(|v| v.to_bits()).collect();
+                let bb: Vec<u64> = b.iter().map(|v| v.to_bits()).collect();
+                assert_eq!(
+                    ab, bb,
+                    "{name}@{threads}: opt levels disagree on the parallel runtime"
+                );
+                compared += 1;
+            }
+        }
+        assert!(
+            compared >= 8,
+            "only {compared} app×thread cases were compared"
+        );
+    }
+}

@@ -179,6 +179,76 @@ fn golden_l0605_data_dependent_rates() {
     assert_eq!(warning_codes(&p), vec!["L0605"]);
 }
 
+#[test]
+fn golden_l0606_dead_store() {
+    // Seeded mutant: the initializer of `x` is overwritten before any
+    // read, so the store of 5 is dead.
+    let p = compile(
+        "int->int filter F() {\n\
+         \x20   work pop 1 push 1 {\n\
+         \x20       int x = 5;\n\
+         \x20       x = pop();\n\
+         \x20       push(x);\n\
+         \x20   }\n\
+         }\n\
+         int->int pipeline Main() { add F(); }\n",
+    );
+    assert_eq!(warning_codes(&p), vec!["L0606"]);
+    let f = p.analysis.warnings().next().expect("one warning");
+    assert_eq!(f.path, "Main/F");
+    assert!(f.message.contains("`x`"), "{f}");
+    assert!(f.message.contains("never read"), "{f}");
+}
+
+#[test]
+fn golden_l0607_constant_condition() {
+    // Seeded mutant: `t` is provably 3 at the branch, so the condition
+    // is constant *after propagation* (a literal condition like `0 > 1`
+    // stays L0602-only; L0607 reports what constant propagation adds —
+    // the abstract-interpretation walk also proves this arm dead, so
+    // both codes fire).
+    let p = compile(
+        "int->int filter F() {\n\
+         \x20   work pop 1 push 1 {\n\
+         \x20       int t = 3;\n\
+         \x20       if (t > 1) { push(pop()); } else { push(0 - pop()); }\n\
+         \x20   }\n\
+         }\n\
+         int->int pipeline Main() { add F(); }\n",
+    );
+    assert_eq!(warning_codes(&p), vec!["L0602", "L0607"]);
+    let f = p
+        .analysis
+        .warnings()
+        .find(|f| f.code == "L0607")
+        .expect("L0607 fires");
+    assert_eq!(f.path, "Main/F");
+    assert!(f.message.contains("always true"), "{f}");
+    assert!(f.message.contains("else branch is dead"), "{f}");
+}
+
+#[test]
+fn golden_l0608_loop_invariant_peek() {
+    // Seeded mutant: `peek(2)` inside the loop reads the same item every
+    // iteration (index ignores `i`, nothing in the body pops).
+    let p = compile(
+        "int->int filter F() {\n\
+         \x20   work peek 3 pop 1 push 4 {\n\
+         \x20       for (int i = 0; i < 4; i++) {\n\
+         \x20           push(peek(2) + i);\n\
+         \x20       }\n\
+         \x20       pop();\n\
+         \x20   }\n\
+         }\n\
+         int->int pipeline Main() { add F(); }\n",
+    );
+    assert_eq!(warning_codes(&p), vec!["L0608"]);
+    let f = p.analysis.warnings().next().expect("one warning");
+    assert_eq!(f.path, "Main/F");
+    assert!(f.message.contains("`for i`"), "{f}");
+    assert!(f.message.contains("invariant"), "{f}");
+}
+
 // ---- benchmark corpus: every app graph must lint clean ----------------
 
 #[test]
