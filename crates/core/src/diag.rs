@@ -39,6 +39,7 @@
 //! | E0704 | Runtime  | compiled run requested output from a graph with none |
 //! | E0705 | Runtime  | a worker panicked; caught and attributed to its stage with the panic payload |
 //! | E0706 | Runtime  | the stall watchdog saw no progress for a full deadline; carries a per-stage snapshot |
+//! | E0707 | Engine   | malformed profile file (`--profile-in`); stale filter names only warn |
 //!
 //! Static-analysis *lints* (`L0601`–`L0605`, see
 //! [`streamit_analysis`]) are warnings, not errors: they print but never
@@ -130,6 +131,15 @@ impl Diag {
     /// The process exit code `streamitc` uses for this diagnostic.
     pub fn exit_code(&self) -> i32 {
         self.category.exit_code()
+    }
+
+    /// `E0707`: a profile file (`--profile-in`) is structurally
+    /// malformed — not the schema, truncated, or not JSON at all.
+    /// Stale filter *names* inside a well-formed profile are
+    /// deliberately not an error (the planner falls back to static
+    /// costs for them); only structural damage earns a diagnostic.
+    pub fn profile_error(message: impl Into<String>) -> Diag {
+        Diag::new("E0707", DiagCategory::Engine, message.into(), None)
     }
 }
 

@@ -168,6 +168,11 @@ pub struct SupervisorConfig {
     pub backoff_ms: u64,
     /// Firing budget for the reference interpreter rung.
     pub budget: u64,
+    /// Adaptive re-planning trigger for the parallel engine: re-cut
+    /// the stage partition online when the measured stage-imbalance
+    /// ratio exceeds this (`None` = off; see
+    /// [`rt::RunConfig::replan_threshold`]).
+    pub replan_threshold: Option<f64>,
 }
 
 impl Default for SupervisorConfig {
@@ -179,6 +184,7 @@ impl Default for SupervisorConfig {
             retries: 1,
             backoff_ms: 10,
             budget: interp::ExecLimits::default().max_firings,
+            replan_threshold: None,
         }
     }
 }
@@ -354,6 +360,7 @@ impl Compiler {
             latencies,
             work_spans,
             opt_level: self.options.opt_level,
+            profile: None,
         })
     }
 }
@@ -378,6 +385,12 @@ pub struct CompiledProgram {
     /// Source span of each filter's `work` declaration by instance path
     /// (empty for builder-API programs).
     pub work_spans: HashMap<String, streamit_frontend::SourcePos>,
+    /// Measured per-filter costs from a profiled run (set with
+    /// [`CompiledProgram::set_profile`]).  When present, the parallel
+    /// engine's fission degrees and stage partition use the measured
+    /// costs instead of the static estimator, with graceful fallback
+    /// for unprofiled filters.
+    pub profile: Option<sched::ProfileReport>,
     /// Work-IR optimization level used when lowering for the
     /// compiled/parallel engines (see [`Options::opt_level`]).
     pub opt_level: u8,
@@ -464,14 +477,65 @@ impl CompiledProgram {
                 reason: "teleport portals require the reference interpreter".into(),
             });
         }
-        rt::ParallelGraph::compile_with(
+        let cost = match &self.profile {
+            Some(p) => rt::CostModel::Measured(p.clone()),
+            None => rt::CostModel::Static,
+        };
+        rt::ParallelGraph::compile_costed(
             &self.flat,
             self.stream.input_type(),
             threads,
             rt::LowerOptions {
                 opt_level: self.opt_level,
             },
+            &cost,
         )
+    }
+
+    /// Attach measured per-filter costs from a profiled run; subsequent
+    /// [`CompiledProgram::compile_parallel`] calls plan with them.
+    /// Names that match no filter in this program are ignored by the
+    /// planner (stale profiles degrade the plan, never correctness).
+    pub fn set_profile(&mut self, profile: sched::ProfileReport) {
+        self.profile = Some(profile);
+    }
+
+    /// Profile names that match no filter instance in this program's
+    /// flat graph (e.g. a profile recorded before a source change).
+    pub fn stale_profile_names(&self, profile: &sched::ProfileReport) -> Vec<String> {
+        profile
+            .stale_names(|name| self.flat.nodes.iter().any(|n| n.name == name))
+            .into_iter()
+            .map(str::to_string)
+            .collect()
+    }
+
+    /// Run the compiled engine with the per-filter profiler enabled and
+    /// return `n` outputs plus the measured [`sched::ProfileReport`].
+    /// `sample_period` amortizes the clock reads: 1 times every firing,
+    /// `p` times one firing in `p` (per filter).  The output stream is
+    /// bit-identical to an unprofiled run.
+    pub fn profile_run(
+        &self,
+        input: &[f64],
+        n: usize,
+        sample_period: u32,
+    ) -> Result<(Vec<f64>, sched::ProfileReport), Diag> {
+        let cg = self.compile_exec()?;
+        let s_init = cg.init_outputs();
+        let s_round = cg.outputs_per_iteration();
+        let k = if n as u64 <= s_init {
+            0
+        } else if s_round == 0 {
+            return Err(Diag::from(exec::ExecError::NoSteadyOutput));
+        } else {
+            (n as u64 - s_init).div_ceil(s_round)
+        };
+        let (mut out, prof) = cg
+            .run_steady_profiled(input, k, sample_period)
+            .map_err(Diag::from)?;
+        out.truncate(n);
+        Ok((out, prof))
     }
 
     /// Execute on the selected engine, returning `n` outputs.  Both
@@ -526,6 +590,7 @@ impl CompiledProgram {
                 let rc = rt::RunConfig {
                     watchdog: cfg.watchdog_ms.map(std::time::Duration::from_millis),
                     fault: cfg.fault_plan,
+                    replan_threshold: cfg.replan_threshold,
                 };
                 pg.run_collect_cfg(input, n, &rc).map_err(|e| {
                     let class = classify_exec(&e);

@@ -10,8 +10,10 @@
 //! (sub-slice, shifted base).
 
 use std::mem;
+use std::time::Instant;
 
 use streamit_graph::{DataType, Intrinsic, Value};
+use streamit_sched::ProfileReport;
 
 use crate::bytecode::{FilterCode, Inst, Program};
 use crate::plan::{Loc, Op, Plan};
@@ -358,6 +360,147 @@ fn peek_offset(ix: i64, pops: u64) -> Result<u64, String> {
     } else {
         Ok(pops + ix as u64)
     }
+}
+
+/// Amortized-sampling work-op profiler.
+///
+/// Counters are indexed by filter-code index (one per lowered filter
+/// instance).  Sampling is decided per *steady iteration*, not per op:
+/// the caller announces each iteration with
+/// [`OpProfiler::begin_iteration`], and one iteration in `period` is a
+/// *sampled* iteration during which every work-op invocation is timed
+/// with the monotonic clock (the whole firing batch `times` attributed
+/// to the sample).  Unsampled iterations execute through plain
+/// [`run_ops`] calls — zero per-op bookkeeping — which keeps profiler
+/// overhead flat even for graphs of many tiny filters.  Because a
+/// steady iteration executes the same op list every time, per-code
+/// firing totals scale exactly from the sampled iterations
+/// (`recorded × iterations / sampled_iterations`).  The first
+/// iteration is always sampled so short runs still cover every filter.
+/// When profiling is off the hot path ([`run_ops`]) is untouched —
+/// zero overhead by construction.
+#[derive(Debug, Clone)]
+pub struct OpProfiler {
+    period: u32,
+    /// Countdown to the next sampled iteration.
+    tick: u32,
+    /// Whether the current iteration is being sampled.
+    sampling: bool,
+    iterations: u64,
+    sampled_iterations: u64,
+    /// Firings observed during sampled iterations only.
+    firings: Vec<u64>,
+    sampled_firings: Vec<u64>,
+    sampled_ns: Vec<u64>,
+}
+
+impl OpProfiler {
+    /// `period = 1` times every iteration (re-planning accuracy);
+    /// larger periods amortize clock reads (CLI profiling).
+    pub fn new(n_codes: usize, period: u32) -> OpProfiler {
+        OpProfiler {
+            period: period.max(1),
+            tick: 0,
+            sampling: false,
+            iterations: 0,
+            sampled_iterations: 0,
+            firings: vec![0; n_codes],
+            sampled_firings: vec![0; n_codes],
+            sampled_ns: vec![0; n_codes],
+        }
+    }
+
+    /// Announce the start of a steady iteration and decide whether its
+    /// work ops will be timed.  Must be called once per iteration,
+    /// before any of that iteration's [`run_ops_profiled`] calls.
+    #[inline]
+    pub fn begin_iteration(&mut self) {
+        self.iterations += 1;
+        if self.tick == 0 {
+            self.tick = self.period - 1;
+            self.sampling = true;
+            self.sampled_iterations += 1;
+        } else {
+            self.tick -= 1;
+            self.sampling = false;
+        }
+    }
+
+    /// Fold the counters into `report`, keyed by filter-code name.
+    /// Firing counts recorded during sampled iterations are scaled to
+    /// the full run; the scaling is exact because every steady
+    /// iteration fires each filter the same number of times.
+    pub fn merge_into(&self, report: &mut ProfileReport, codes: &[FilterCode]) {
+        for (c, fc) in codes.iter().enumerate() {
+            if self.firings[c] == 0 {
+                continue;
+            }
+            let total = if self.sampled_iterations > 0 {
+                ((self.firings[c] as u128 * self.iterations as u128)
+                    / self.sampled_iterations as u128) as u64
+            } else {
+                self.firings[c]
+            };
+            let p = report.filters.entry(fc.name.clone()).or_default();
+            p.firings += total;
+            p.sampled_firings += self.sampled_firings[c];
+            p.sampled_ns += self.sampled_ns[c];
+        }
+    }
+
+    /// The counters as a standalone [`ProfileReport`].
+    pub fn report(&self, codes: &[FilterCode]) -> ProfileReport {
+        let mut r = ProfileReport::default();
+        self.merge_into(&mut r, codes);
+        r
+    }
+}
+
+/// [`run_ops`] with per-work-op timing recorded into `prof`.
+///
+/// During an unsampled iteration (see
+/// [`OpProfiler::begin_iteration`]) the whole op list passes straight
+/// through one [`run_ops`] call — no per-op work at all.  During a
+/// sampled iteration each work op (steady body, not prework) is
+/// dispatched alone so it can be bracketed by monotonic-clock reads,
+/// with synchronization ops executed in contiguous batches between
+/// samples.  Execution semantics are identical to `run_ops` — this
+/// wrapper only decides when to look at the clock.
+pub fn run_ops_profiled(
+    ops: &[Op],
+    shards: &mut [Shard],
+    base: u16,
+    codes: &[FilterCode],
+    prof: &mut OpProfiler,
+) -> Result<(), ExecError> {
+    if !prof.sampling {
+        return run_ops(ops, shards, base, codes);
+    }
+    let mut start = 0;
+    for (i, op) in ops.iter().enumerate() {
+        if let Op::Work {
+            code,
+            times,
+            prework: false,
+            ..
+        } = op
+        {
+            let c = *code as usize;
+            if start < i {
+                run_ops(&ops[start..i], shards, base, codes)?;
+            }
+            let t0 = Instant::now();
+            run_ops(std::slice::from_ref(op), shards, base, codes)?;
+            prof.sampled_ns[c] += t0.elapsed().as_nanos() as u64;
+            prof.firings[c] += *times as u64;
+            prof.sampled_firings[c] += *times as u64;
+            start = i + 1;
+        }
+    }
+    if start < ops.len() {
+        run_ops(&ops[start..], shards, base, codes)?;
+    }
+    Ok(())
 }
 
 /// Execute a flat op list against a shard slice whose first element is

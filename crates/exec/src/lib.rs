@@ -360,6 +360,74 @@ impl CompiledGraph {
         }
     }
 
+    /// [`CompiledGraph::run_steady`] with the amortized-sampling
+    /// profiler attached: returns the output stream *and* a
+    /// [`streamit_sched::ProfileReport`] of measured per-filter cost.
+    ///
+    /// `sample_period` trades accuracy for overhead: 1 times every
+    /// work-op invocation, `n` times one in `n` (the others are merely
+    /// counted).  Execution semantics are identical to the unprofiled
+    /// path — only clock reads are added — so output stays
+    /// bit-identical.
+    pub fn run_steady_profiled(
+        &self,
+        input: &[f64],
+        k: u64,
+        sample_period: u32,
+    ) -> Result<(Vec<f64>, streamit_sched::ProfileReport), ExecError> {
+        let needed = self.required_input(k);
+        if (input.len() as u64) < needed {
+            return Err(ExecError::Starved {
+                needed,
+                have: input.len() as u64,
+            });
+        }
+        let mut prof = engine::OpProfiler::new(self.plan.codes.len(), sample_period);
+        let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(
+            || -> Result<Vec<f64>, ExecError> {
+                let out_cap = (self.plan.stats.init_out + k * self.plan.stats.round_out).max(1);
+                let mut shards = engine::build_shards(&self.plan, input, out_cap);
+                // Initialization is one-shot (prework, priming); it is
+                // deliberately not attributed to steady-state cost.
+                engine::run_ops(&self.plan.init_ops, &mut shards, 0, &self.plan.codes)?;
+                for _ in 0..k {
+                    prof.begin_iteration();
+                    engine::run_ops_profiled(
+                        &self.plan.pre_ops,
+                        &mut shards,
+                        0,
+                        &self.plan.codes,
+                        &mut prof,
+                    )?;
+                    for ops in &self.plan.branch_ops {
+                        engine::run_ops_profiled(ops, &mut shards, 0, &self.plan.codes, &mut prof)?;
+                    }
+                    engine::run_ops_profiled(
+                        &self.plan.post_ops,
+                        &mut shards,
+                        0,
+                        &self.plan.codes,
+                        &mut prof,
+                    )?;
+                }
+                match &shards[0].tapes[1] {
+                    Tape::F(r) => Ok(r.to_vec()),
+                    Tape::I(_) => Err(ExecError::Fault {
+                        node: "output".into(),
+                        reason: "external output tape has wrong type".into(),
+                    }),
+                }
+            },
+        ));
+        match run {
+            Ok(result) => result.map(|out| (out, prof.report(&self.plan.codes))),
+            Err(p) => Err(ExecError::WorkerPanic {
+                stage: "serial engine".into(),
+                payload: panic_payload(p.as_ref()),
+            }),
+        }
+    }
+
     /// Run enough steady iterations to produce at least `n` output
     /// items, returning exactly the first `n` (the deterministic prefix
     /// shared with the reference interpreter).
@@ -544,6 +612,29 @@ mod tests {
         assert_eq!(panic_payload(p.as_ref()), "formatted 7");
         let p = std::panic::catch_unwind(|| std::panic::panic_any(42i32)).expect_err("panics");
         assert_eq!(panic_payload(p.as_ref()), "non-string panic payload");
+    }
+
+    #[test]
+    fn profiled_run_is_bit_identical_and_covers_filters() {
+        let s = pipeline("p", vec![counter_source("src"), doubler("x2")]);
+        let g = streamit_graph::FlatGraph::from_stream(&s);
+        let c = CompiledGraph::compile(&g, None).expect("supported");
+        let plain = c.run_steady(&[], 32).expect("runs");
+        for period in [1u32, 8] {
+            let (out, prof) = c.run_steady_profiled(&[], 32, period).expect("runs");
+            assert_eq!(plain, out, "period {period}");
+            // Both filters show up with every firing counted and at
+            // least one sample each (first invocation always sampled).
+            for name in ["p/src", "p/x2"] {
+                let p = prof.get(name).unwrap_or_else(|| panic!("missing {name}"));
+                assert_eq!(p.firings, 32, "{name} at period {period}");
+                assert!(p.sampled_firings >= 1, "{name} at period {period}");
+                assert!(p.ns_per_firing().is_some(), "{name} at period {period}");
+            }
+        }
+        // Sampling period 8 over 32 one-firing invocations: 4 samples.
+        let (_, prof) = c.run_steady_profiled(&[], 32, 8).expect("runs");
+        assert_eq!(prof.get("p/src").expect("present").sampled_firings, 4);
     }
 
     #[test]

@@ -42,10 +42,37 @@ pub use streamit_exec::plan::LowerOptions;
 use streamit_exec::tape::Tape;
 pub use streamit_exec::{ExecError, FaultKind, FaultPlan, StageSnapshot};
 use streamit_graph::{DataType, FlatGraph};
+pub use streamit_sched::{CostModel, ProfileReport};
 
 pub use plan::StagedPlan;
 pub use run::RunConfig;
 pub use transform::FissedRegion;
+
+/// One adaptive re-partition, for reports and tests: when it happened,
+/// what triggered it, and how the stage map changed.
+#[derive(Debug, Clone)]
+pub struct ReplanEvent {
+    /// Steady iterations completed when the re-plan was applied.
+    pub at_iteration: u64,
+    /// Measured stage-imbalance ratio (busiest stage over the mean)
+    /// that tripped the threshold.
+    pub imbalance: f64,
+    pub stages_before: usize,
+    pub stages_after: usize,
+    /// Graph nodes whose stage assignment changed.
+    pub moved_nodes: usize,
+}
+
+/// What the adaptive re-planner did during a run.
+#[derive(Debug, Clone, Default)]
+pub struct ReplanReport {
+    /// Measured segments executed (each segment ends at a steady
+    /// iteration boundary, where re-planning is safe).
+    pub segments: u64,
+    /// Re-partitions actually applied (empty when the pipeline stayed
+    /// balanced, or when re-planning never improved the partition).
+    pub events: Vec<ReplanEvent>,
+}
 
 /// A graph compiled for the multicore runtime.  Immutable and
 /// shareable: every run materializes its own shards and channels.
@@ -54,6 +81,13 @@ pub struct ParallelGraph {
     plan: StagedPlan,
     threads: usize,
     regions: Vec<FissedRegion>,
+    // The transformed (fissed) graph the plan was built from, kept so
+    // the adaptive re-planner can re-cut the stage partition with
+    // measured costs.  Re-planning never re-fisses: filter state can
+    // only migrate between plans that share node and edge ids.
+    fissed: FlatGraph,
+    input_ty: DataType,
+    opts: LowerOptions,
 }
 
 impl ParallelGraph {
@@ -77,6 +111,21 @@ impl ParallelGraph {
         threads: usize,
         opts: LowerOptions,
     ) -> Result<ParallelGraph, ExecError> {
+        ParallelGraph::compile_costed(g, input_ty, threads, opts, &CostModel::Static)
+    }
+
+    /// [`ParallelGraph::compile_with`] with an explicit cost model:
+    /// [`CostModel::Measured`] feeds profiled per-filter costs into
+    /// both the fission-degree heuristic and the pipeline-stage
+    /// partition, falling back to static estimates for any filter the
+    /// profile does not cover.
+    pub fn compile_costed(
+        g: &FlatGraph,
+        input_ty: Option<DataType>,
+        threads: usize,
+        opts: LowerOptions,
+        cost: &CostModel,
+    ) -> Result<ParallelGraph, ExecError> {
         let threads = if threads == 0 {
             std::thread::available_parallelism().map_or(1, usize::from)
         } else {
@@ -88,21 +137,27 @@ impl ParallelGraph {
                 reason: "feedback loops require the single-core engines".into(),
             });
         }
-        let (fissed, regions) = transform::fiss_graph(g, threads);
-        match plan::build_staged_plan(&fissed, ty, threads, opts) {
+        let (fissed, regions) = transform::fiss_graph_costed(g, threads, cost);
+        match plan::build_staged_plan_costed(&fissed, ty, threads, opts, cost) {
             Ok(plan) => Ok(ParallelGraph {
                 plan,
                 threads,
                 regions,
+                fissed,
+                input_ty: ty,
+                opts,
             }),
             // The transform can push a graph over a planner limit (tape
             // counts, init priming); retry untransformed before giving
             // up so fission is never the reason a graph is declined.
-            Err(first) => match plan::build_staged_plan(g, ty, threads, opts) {
+            Err(first) => match plan::build_staged_plan_costed(g, ty, threads, opts, cost) {
                 Ok(plan) => Ok(ParallelGraph {
                     plan,
                     threads,
                     regions: Vec::new(),
+                    fissed: g.clone(),
+                    input_ty: ty,
+                    opts,
                 }),
                 Err(_) => Err(ExecError::Unsupported { reason: first }),
             },
@@ -180,16 +235,22 @@ impl ParallelGraph {
     }
 
     /// [`ParallelGraph::run_steady`] under supervision: an optional
-    /// stall watchdog and an optional chaos fault plan (see
-    /// [`RunConfig`]).  When either is set, even single-stage plans go
-    /// through the pipelined path so the supervisor exists — an
-    /// injected stall without a watchdog thread would otherwise hang.
+    /// stall watchdog, an optional chaos fault plan, and an optional
+    /// adaptive re-plan threshold (see [`RunConfig`]).  When watchdog
+    /// or fault is set, even single-stage plans go through the
+    /// pipelined path so the supervisor exists — an injected stall
+    /// without a watchdog thread would otherwise hang.  Re-planning is
+    /// skipped under fault injection (fault iteration indices are
+    /// relative to one pipelined run, which segmenting would reset).
     pub fn run_steady_cfg(
         &self,
         input: &[f64],
         k: u64,
         cfg: &RunConfig,
     ) -> Result<Vec<f64>, ExecError> {
+        if cfg.replan_threshold.is_some() && self.plan.stages() > 1 && cfg.fault.is_none() {
+            return self.run_steady_replan(input, k, cfg).map(|(out, _)| out);
+        }
         let needed = self.required_input(k);
         if (input.len() as u64) < needed {
             return Err(ExecError::Starved {
@@ -214,10 +275,151 @@ impl ParallelGraph {
         } else {
             run::run_pipelined(&self.plan, shards, k, cfg)?
         };
-        if self.plan.ext_out == plan::NO_EXT {
+        Self::extract_output(&self.plan, &shards)
+    }
+
+    /// Run `k` steady iterations with per-filter measurement on and
+    /// return the output alongside the merged [`ProfileReport`].
+    /// Bit-identical to [`ParallelGraph::run_steady`]; the profiler
+    /// only reads a monotonic clock around firings.
+    pub fn run_steady_measured(
+        &self,
+        input: &[f64],
+        k: u64,
+    ) -> Result<(Vec<f64>, ProfileReport), ExecError> {
+        let needed = self.required_input(k);
+        if (input.len() as u64) < needed {
+            return Err(ExecError::Starved {
+                needed,
+                have: input.len() as u64,
+            });
+        }
+        let out_cap = (self.plan.stats.init_out + k * self.plan.stats.round_out).max(1);
+        let mut shards = run::build_shards(&self.plan, input, out_cap);
+        streamit_exec::engine::run_ops(&self.plan.init_ops, &mut shards, 0, &self.plan.codes)?;
+        let (shards, prof) =
+            run::run_pipelined_measured(&self.plan, shards, k, &RunConfig::default())?;
+        Self::extract_output(&self.plan, &shards).map(|out| (out, prof))
+    }
+
+    /// Run with the adaptive re-planner: execute in measured segments,
+    /// and whenever the observed stage-imbalance ratio exceeds
+    /// `cfg.replan_threshold`, stop at the steady iteration boundary
+    /// (the workers have drained: every channel is empty and every
+    /// consumer tape holds exactly the steady snapshot), re-cut the
+    /// stage partition of the *same* fissed graph with the measured
+    /// costs, migrate tapes and filter state to the new partition, and
+    /// resume.  Output is bit-identical to the unplanned run because
+    /// nothing about filter semantics changes — only which thread runs
+    /// which filter.
+    pub fn run_steady_replan(
+        &self,
+        input: &[f64],
+        k: u64,
+        cfg: &RunConfig,
+    ) -> Result<(Vec<f64>, ReplanReport), ExecError> {
+        /// Steady iterations per measured segment: long enough to
+        /// amortize the per-segment thread spawn, short enough to react.
+        const SEG: u64 = 8;
+        /// Re-partitions per run: the measured costs converge after one
+        /// or two cuts; anything more is thrash.
+        const MAX_REPLANS: usize = 3;
+        let threshold = match cfg.replan_threshold {
+            Some(t) => t.max(1.0),
+            None => {
+                return self
+                    .run_steady_cfg(input, k, cfg)
+                    .map(|o| (o, ReplanReport::default()))
+            }
+        };
+        let needed = self.required_input(k);
+        if (input.len() as u64) < needed {
+            return Err(ExecError::Starved {
+                needed,
+                have: input.len() as u64,
+            });
+        }
+        let out_cap = (self.plan.stats.init_out + k * self.plan.stats.round_out).max(1);
+        let mut cur = self.plan.clone();
+        let mut shards = run::build_shards(&cur, input, out_cap);
+        streamit_exec::engine::run_ops(&cur.init_ops, &mut shards, 0, &cur.codes)?;
+        let mut report = ReplanReport::default();
+        let mut acc = ProfileReport::default();
+        let mut done = 0u64;
+        let mut replans = 0usize;
+        let mut calm = 0u32;
+        while done < k {
+            // Converged (two consecutive balanced segments), gave up, or
+            // collapsed to one stage: run the remainder unmeasured.
+            if cur.stages() == 1 || replans >= MAX_REPLANS || calm >= 2 {
+                shards = run::run_pipelined(&cur, shards, k - done, cfg)?;
+                break;
+            }
+            let k_seg = SEG.min(k - done);
+            let (s, prof) = run::run_pipelined_measured(&cur, shards, k_seg, cfg)?;
+            shards = s;
+            done += k_seg;
+            report.segments += 1;
+            acc.merge(&prof);
+            let imb = imbalance(&stage_busy_ns(&cur, &prof));
+            if imb <= threshold {
+                calm += 1;
+                continue;
+            }
+            calm = 0;
+            if done >= k {
+                break;
+            }
+            replans += 1;
+            // Re-cut the SAME fissed graph with measured costs.  Node
+            // and edge ids (and lowered codes) are identical across
+            // cuts, which is what makes state migration well-defined;
+            // re-fissing here is deliberately off the table.
+            let cost = CostModel::Measured(acc.clone());
+            let next = match plan::build_staged_plan_costed(
+                &self.fissed,
+                self.input_ty,
+                self.threads,
+                self.opts,
+                &cost,
+            ) {
+                Ok(p) => p,
+                Err(_) => continue,
+            };
+            if next.stage_of_node == cur.stage_of_node {
+                // The measured costs agree with the current cut; the
+                // imbalance is inherent (e.g. one indivisible hot
+                // filter), so stop burning measurement overhead on it.
+                replans = MAX_REPLANS;
+                continue;
+            }
+            let moved = cur
+                .stage_of_node
+                .iter()
+                .zip(&next.stage_of_node)
+                .filter(|(a, b)| a != b)
+                .count();
+            shards = migrate_shards(&cur, &next, shards);
+            report.events.push(ReplanEvent {
+                at_iteration: done,
+                imbalance: imb,
+                stages_before: cur.stages(),
+                stages_after: next.stages(),
+                moved_nodes: moved,
+            });
+            cur = next;
+        }
+        Self::extract_output(&cur, &shards).map(|out| (out, report))
+    }
+
+    fn extract_output(
+        sp: &StagedPlan,
+        shards: &[streamit_exec::engine::Shard],
+    ) -> Result<Vec<f64>, ExecError> {
+        if sp.ext_out == plan::NO_EXT {
             return Ok(Vec::new());
         }
-        let l = self.plan.ext_out;
+        let l = sp.ext_out;
         match shards
             .get(l.shard as usize)
             .and_then(|s| s.tapes.get(l.slot as usize))
@@ -257,6 +459,78 @@ impl ParallelGraph {
         out.truncate(n);
         Ok(out)
     }
+}
+
+/// Busy nanoseconds per stage implied by one measured segment: the sum
+/// over each stage's filters of mean ns/firing × observed firings.
+fn stage_busy_ns(sp: &StagedPlan, prof: &ProfileReport) -> Vec<f64> {
+    let mut ns = vec![0.0f64; sp.stages()];
+    for (s, frames) in sp.frames.iter().enumerate() {
+        for &c in frames {
+            if let Some(p) = prof.get(&sp.codes[c as usize].name) {
+                if let Some(per) = p.ns_per_firing() {
+                    ns[s] += per * p.firings as f64;
+                }
+            }
+        }
+    }
+    ns
+}
+
+/// Busiest stage over the mean; `1.0` is perfectly balanced.  A stage
+/// that measured no work at all still counts toward the mean — idle
+/// stages are exactly the imbalance we are looking for.
+fn imbalance(busy: &[f64]) -> f64 {
+    let max = busy.iter().copied().fold(0.0f64, f64::max);
+    let mean = busy.iter().sum::<f64>() / busy.len().max(1) as f64;
+    if mean > 0.0 {
+        max / mean
+    } else {
+        1.0
+    }
+}
+
+/// Move live run state from one partition's shards to another's.  Both
+/// plans were built from the same flat graph, so edge ids, node ids,
+/// and tape capacities agree; only the (shard, slot) homes differ.
+/// Called at a steady iteration boundary, where channels are empty and
+/// staging tapes drained — so consumer tapes, the external tapes, and
+/// filter frames are the whole live state.
+fn migrate_shards(
+    old_plan: &StagedPlan,
+    new_plan: &StagedPlan,
+    mut old: Vec<streamit_exec::engine::Shard>,
+) -> Vec<streamit_exec::engine::Shard> {
+    let mut fresh = run::build_shards(new_plan, &[], 1);
+    let mv = |from: streamit_exec::plan::Loc,
+              to: streamit_exec::plan::Loc,
+              old: &mut Vec<streamit_exec::engine::Shard>,
+              fresh: &mut Vec<streamit_exec::engine::Shard>| {
+        let t = std::mem::replace(
+            &mut old[from.shard as usize].tapes[from.slot as usize],
+            Tape::placeholder(),
+        );
+        fresh[to.shard as usize].tapes[to.slot as usize] = t;
+    };
+    for (eid, &from) in old_plan.edge_tape.iter().enumerate() {
+        let to = new_plan.edge_tape[eid];
+        if from != plan::NO_EXT && to != plan::NO_EXT {
+            mv(from, to, &mut old, &mut fresh);
+        }
+    }
+    if old_plan.ext_in != plan::NO_EXT && new_plan.ext_in != plan::NO_EXT {
+        mv(old_plan.ext_in, new_plan.ext_in, &mut old, &mut fresh);
+    }
+    if old_plan.ext_out != plan::NO_EXT && new_plan.ext_out != plan::NO_EXT {
+        mv(old_plan.ext_out, new_plan.ext_out, &mut old, &mut fresh);
+    }
+    for (nid, &from) in old_plan.node_frame.iter().enumerate() {
+        if let (Some(f), Some(t)) = (from, new_plan.node_frame[nid]) {
+            fresh[t.shard as usize].frames[t.slot as usize] =
+                std::mem::take(&mut old[f.shard as usize].frames[f.slot as usize]);
+        }
+    }
+    fresh
 }
 
 #[cfg(test)]
@@ -407,6 +681,141 @@ mod tests {
         }
     }
 
+    // ---- profiling and adaptive re-planning ------------------------
+
+    /// A filter whose static estimate is wildly wrong: the work loop's
+    /// trip count is a state variable (statically assumed to be ~8
+    /// trips) but actually runs 2000 trips per firing.  Stateful, so
+    /// fission cannot hide it.
+    fn skew_filter(name: &str) -> streamit_graph::StreamNode {
+        FilterBuilder::new(name, DataType::Int)
+            .rates(1, 1, 1)
+            .state("n", DataType::Int, Value::Int(2000))
+            .state("acc", DataType::Int, Value::Int(0))
+            .work(|b| {
+                b.for_("i", 0, var("n"), |b| b.set("acc", var("acc") + var("i")))
+                    .push(pop() + var("acc") % lit(2i64))
+            })
+            .build_node()
+    }
+
+    /// Medium static cost, stateful (so the chain is not fissed and the
+    /// static partition is predictable).
+    fn medium(name: &str) -> streamit_graph::StreamNode {
+        FilterBuilder::new(name, DataType::Int)
+            .rates(1, 1, 1)
+            .state("s", DataType::Int, Value::Int(0))
+            .work(|b| {
+                let mut e = pop() + var("s");
+                for k in 1..40i64 {
+                    e = e * lit(2i64) + lit(k);
+                }
+                b.set("s", var("s") + lit(1i64)).push(e)
+            })
+            .build_node()
+    }
+
+    #[test]
+    fn measured_run_is_bit_identical_and_profiles_every_filter() {
+        let g = FlatGraph::from_stream(&staged_pipeline());
+        let pg = ParallelGraph::compile(&g, None, 2).expect("accepts");
+        let clean = pg.run_steady(&[], 8).expect("runs");
+        let (measured, prof) = pg.run_steady_measured(&[], 8).expect("runs");
+        let cb: Vec<u64> = clean.iter().map(|v| v.to_bits()).collect();
+        let mb: Vec<u64> = measured.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(cb, mb, "measurement must not change the stream");
+        assert!(!prof.filters.is_empty(), "profile is empty");
+        for (name, p) in &prof.filters {
+            assert!(p.firings > 0, "{name} profiled with zero firings");
+            assert!(p.sampled_firings > 0, "{name} never sampled");
+        }
+    }
+
+    #[test]
+    fn skewed_cost_triggers_a_replan_with_bit_identical_output() {
+        // Static loads (roughly): src 5, skew 20, m1 120, m2 120 — the
+        // static 2-way cut is [src skew m1 | m2].  Measured, the skew
+        // filter dominates everything, and the best cut isolates it:
+        // [src skew | m1 m2].  The re-planner must discover this online
+        // and re-partition without perturbing the stream.
+        let s = pipeline(
+            "p",
+            vec![
+                counter_source("src"),
+                skew_filter("skew"),
+                medium("m1"),
+                medium("m2"),
+            ],
+        );
+        let g = FlatGraph::from_stream(&s);
+        let cg = CompiledGraph::compile(&g, None).expect("serial engine accepts");
+        let pg = ParallelGraph::compile(&g, None, 2).expect("parallel engine accepts");
+        assert!(pg.stages() > 1, "need a staged plan to re-partition");
+        let k = 24u64;
+        let n = (cg.init_outputs() + k * cg.outputs_per_iteration()) as usize;
+        let serial = cg.run_collect(&[], n).expect("serial runs");
+        let cfg = RunConfig {
+            watchdog: None,
+            fault: None,
+            replan_threshold: Some(1.2),
+        };
+        let (out, rep) = pg.run_steady_replan(&[], k, &cfg).expect("replanned run");
+        assert!(
+            !rep.events.is_empty(),
+            "expected at least one re-partition, report: {rep:?}"
+        );
+        let ev = &rep.events[0];
+        assert!(ev.imbalance > 1.2, "event imbalance: {}", ev.imbalance);
+        assert!(ev.moved_nodes > 0, "a re-plan must move at least one node");
+        let sb: Vec<u64> = serial.iter().map(|v| v.to_bits()).collect();
+        let ob: Vec<u64> = out.iter().take(n).map(|v| v.to_bits()).collect();
+        assert_eq!(sb, ob, "re-planning perturbed the stream");
+    }
+
+    #[test]
+    fn replan_threshold_on_a_balanced_pipeline_changes_nothing() {
+        let g = FlatGraph::from_stream(&staged_pipeline());
+        let pg = ParallelGraph::compile(&g, None, 2).expect("accepts");
+        let clean = pg.run_steady(&[], 32).expect("runs");
+        let cfg = RunConfig {
+            watchdog: None,
+            fault: None,
+            // Effectively unreachable imbalance: never re-partition.
+            replan_threshold: Some(1e9),
+        };
+        let (out, rep) = pg.run_steady_replan(&[], 32, &cfg).expect("runs");
+        assert!(rep.events.is_empty(), "spurious re-plan: {rep:?}");
+        assert!(rep.segments >= 1);
+        let cb: Vec<u64> = clean.iter().map(|v| v.to_bits()).collect();
+        let ob: Vec<u64> = out.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(cb, ob);
+    }
+
+    #[test]
+    fn measured_cost_model_compiles_and_stays_bit_identical() {
+        // Profile a run, feed the measured costs back into compilation,
+        // and check the profiled plan produces the same stream.
+        let s = pipeline(
+            "p",
+            vec![
+                counter_source("src"),
+                skew_filter("skew"),
+                medium("m1"),
+                medium("m2"),
+            ],
+        );
+        let g = FlatGraph::from_stream(&s);
+        let pg = ParallelGraph::compile(&g, None, 2).expect("accepts");
+        let (clean, prof) = pg.run_steady_measured(&[], 8).expect("runs");
+        let cost = CostModel::Measured(prof);
+        let pg2 = ParallelGraph::compile_costed(&g, None, 2, LowerOptions::default(), &cost)
+            .expect("profiled compile accepts");
+        let out = pg2.run_steady(&[], 8).expect("runs");
+        let cb: Vec<u64> = clean.iter().map(|v| v.to_bits()).collect();
+        let ob: Vec<u64> = out.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(cb, ob, "profiled plan must produce the same stream");
+    }
+
     // ---- supervision -----------------------------------------------
 
     fn staged_pipeline() -> streamit_graph::StreamNode {
@@ -422,6 +831,7 @@ mod tests {
         let cfg = RunConfig {
             watchdog: None,
             fault: Some("panic@0:1".parse().expect("parses")),
+            replan_threshold: None,
         };
         match pg.run_steady_cfg(&[], 6, &cfg) {
             Err(ExecError::WorkerPanic { stage, payload }) => {
@@ -443,6 +853,7 @@ mod tests {
         let cfg = RunConfig {
             watchdog: Some(std::time::Duration::from_millis(100)),
             fault: Some("stall@0:1".parse().expect("parses")),
+            replan_threshold: None,
         };
         match pg.run_steady_cfg(&[], 64, &cfg) {
             Err(ExecError::Stalled {
@@ -471,6 +882,7 @@ mod tests {
         let cfg = RunConfig {
             watchdog: Some(std::time::Duration::from_millis(5000)),
             fault: Some(fault),
+            replan_threshold: None,
         };
         let delayed = pg.run_steady_cfg(&[], 6, &cfg).expect("runs");
         let cb: Vec<u64> = clean.iter().map(|v| v.to_bits()).collect();
@@ -486,6 +898,7 @@ mod tests {
         let cfg = RunConfig {
             watchdog: Some(std::time::Duration::from_millis(5000)),
             fault: None,
+            replan_threshold: None,
         };
         let watched = pg.run_steady_cfg(&[], 8, &cfg).expect("runs");
         let cb: Vec<u64> = clean.iter().map(|v| v.to_bits()).collect();
@@ -508,6 +921,7 @@ mod tests {
         let cfg = RunConfig {
             watchdog: Some(std::time::Duration::from_millis(100)),
             fault: Some("stall@0:0".parse().expect("parses")),
+            replan_threshold: None,
         };
         match pg.run_steady_cfg(&[1.0, 2.0, 3.0], 3, &cfg) {
             Err(ExecError::Stalled { .. }) => {}

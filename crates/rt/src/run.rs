@@ -48,10 +48,11 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
-use streamit_exec::engine::{run_ops, Frame, Shard};
+use streamit_exec::engine::{run_ops, run_ops_profiled, Frame, OpProfiler, Shard};
 use streamit_exec::tape::Tape;
 use streamit_exec::{panic_payload, ExecError, FaultKind, FaultPlan, StageSnapshot};
 use streamit_graph::{DataType, Value};
+use streamit_sched::ProfileReport;
 
 use crate::plan::{Link, StagedPlan};
 use crate::spsc::{CachePadded, Channel};
@@ -62,7 +63,8 @@ use crate::spsc::{CachePadded, Channel};
 const CHANNEL_ROUNDS: u64 = 4;
 
 /// Per-run supervision knobs.  The default is a bare run: no watchdog,
-/// no fault injection — byte-for-byte the old behaviour.
+/// no fault injection, no adaptive re-planning — byte-for-byte the old
+/// behaviour.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct RunConfig {
     /// Abort with [`ExecError::Stalled`] when no stage completes an
@@ -70,6 +72,13 @@ pub struct RunConfig {
     pub watchdog: Option<Duration>,
     /// Chaos-harness fault injection; `None` in production.
     pub fault: Option<FaultPlan>,
+    /// Adaptive re-planning trigger: when the measured stage-imbalance
+    /// ratio (busiest stage's work over the mean) exceeds this, the run
+    /// stops at a steady iteration boundary, drains, re-partitions with
+    /// the freshly measured costs, and resumes.  `None` (the default)
+    /// disables re-planning entirely; values ≥ 1.0 make sense (1.0 is
+    /// perfectly balanced).
+    pub replan_threshold: Option<f64>,
 }
 
 /// Materialize the run's shards: every tape from its spec, the external
@@ -199,6 +208,11 @@ struct Pipeline<'p> {
     error: Mutex<Option<ExecError>>,
     status: Vec<StageStatus>,
     fault: Option<FaultPlan>,
+    /// When set, every worker times its work ops (sampling period 1,
+    /// for re-planning accuracy) and deposits its profiler here before
+    /// exiting.  `false` leaves the hot loop byte-for-byte unchanged.
+    measure: bool,
+    profilers: Mutex<Vec<OpProfiler>>,
 }
 
 impl Pipeline<'_> {
@@ -289,8 +303,29 @@ impl Pipeline<'_> {
     }
 
     /// The body of worker `s`: `k` drain/fire/publish iterations.
-    /// Returns the shard so the output tape survives the scope.
-    fn worker(&self, s: usize, mut shard: Shard, k: u64) -> Shard {
+    /// Returns the shard so the output tape survives the scope.  Under
+    /// measurement the worker's profiler is deposited in
+    /// `self.profilers` on every exit path (including aborts).
+    fn worker(&self, s: usize, shard: Shard, k: u64) -> Shard {
+        let mut prof = self
+            .measure
+            .then(|| OpProfiler::new(self.plan.codes.len(), 1));
+        let shard = self.worker_iters(s, shard, k, prof.as_mut());
+        if let Some(p) = prof {
+            if let Ok(mut slot) = self.profilers.lock() {
+                slot.push(p);
+            }
+        }
+        shard
+    }
+
+    fn worker_iters(
+        &self,
+        s: usize,
+        mut shard: Shard,
+        k: u64,
+        mut prof: Option<&mut OpProfiler>,
+    ) -> Shard {
         let fault = |reason: String| ExecError::Fault {
             node: format!("stage {s}"),
             reason,
@@ -347,12 +382,25 @@ impl Pipeline<'_> {
                 }
             }
             status.state.0.store(STATE_RUNNING, Ordering::Relaxed);
-            if let Err(e) = run_ops(
-                &self.plan.stage_ops[s],
-                std::slice::from_mut(&mut shard),
-                s as u16,
-                &self.plan.codes,
-            ) {
+            let fired = match prof.as_deref_mut() {
+                Some(p) => {
+                    p.begin_iteration();
+                    run_ops_profiled(
+                        &self.plan.stage_ops[s],
+                        std::slice::from_mut(&mut shard),
+                        s as u16,
+                        &self.plan.codes,
+                        p,
+                    )
+                }
+                None => run_ops(
+                    &self.plan.stage_ops[s],
+                    std::slice::from_mut(&mut shard),
+                    s as u16,
+                    &self.plan.codes,
+                ),
+            };
+            if let Err(e) = fired {
                 self.fail(e);
                 return shard;
             }
@@ -403,6 +451,30 @@ pub fn run_pipelined(
     k: u64,
     cfg: &RunConfig,
 ) -> Result<Vec<Shard>, ExecError> {
+    run_pipelined_inner(plan, shards, k, cfg, false).map(|(shards, _)| shards)
+}
+
+/// [`run_pipelined`] with per-filter cost measurement: every worker
+/// times its work ops (sampling period 1) and the merged
+/// [`ProfileReport`] comes back alongside the shards.  Execution
+/// semantics — and therefore output — are identical to the unmeasured
+/// path; only clock reads are added inside each worker.
+pub fn run_pipelined_measured(
+    plan: &StagedPlan,
+    shards: Vec<Shard>,
+    k: u64,
+    cfg: &RunConfig,
+) -> Result<(Vec<Shard>, ProfileReport), ExecError> {
+    run_pipelined_inner(plan, shards, k, cfg, true)
+}
+
+fn run_pipelined_inner(
+    plan: &StagedPlan,
+    shards: Vec<Shard>,
+    k: u64,
+    cfg: &RunConfig,
+    measure: bool,
+) -> Result<(Vec<Shard>, ProfileReport), ExecError> {
     let n_stages = plan.stages();
     let pipe = Pipeline {
         plan,
@@ -415,6 +487,8 @@ pub fn run_pipelined(
         error: Mutex::new(None),
         status: (0..n_stages).map(|_| StageStatus::new()).collect(),
         fault: cfg.fault,
+        measure,
+        profilers: Mutex::new(Vec::new()),
     };
     let pipe_ref = &pipe;
     let done = AtomicBool::new(false);
@@ -479,5 +553,11 @@ pub fn run_pipelined(
             return Err(e);
         }
     }
-    Ok(shards)
+    let mut report = ProfileReport::default();
+    if let Ok(profs) = pipe.profilers.lock() {
+        for p in profs.iter() {
+            p.merge_into(&mut report, &plan.codes);
+        }
+    }
+    Ok((shards, report))
 }

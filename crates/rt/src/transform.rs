@@ -22,7 +22,7 @@
 //! the runtime executes the decisions `sched::partition` scores.
 
 use streamit_graph::{DataType, FlatGraph, FlatNode, FlatNodeKind, Joiner, NodeId, Splitter};
-use streamit_sched::{coarse_fission_degrees, FissionCandidate, WorkGraph};
+use streamit_sched::{coarse_fission_degrees, CostModel, FissionCandidate, WorkGraph};
 
 /// One region the transform replicated, for reports and diagnostics.
 #[derive(Debug, Clone)]
@@ -152,6 +152,17 @@ fn push_node(g: &mut FlatGraph, name: String, kind: FlatNodeKind) -> NodeId {
 type Region = (Vec<NodeId>, usize, Vec<u64>, u64, u64);
 
 pub fn fiss_graph(g: &FlatGraph, threads: usize) -> (FlatGraph, Vec<FissedRegion>) {
+    fiss_graph_costed(g, threads, &CostModel::Static)
+}
+
+/// [`fiss_graph`] with an explicit cost model: measured costs change
+/// which chains look worth replicating and how wide (the profile-guided
+/// path of `--profile-in`).
+pub fn fiss_graph_costed(
+    g: &FlatGraph,
+    threads: usize,
+    cost: &CostModel,
+) -> (FlatGraph, Vec<FissedRegion>) {
     if threads < 2 {
         return (g.clone(), Vec::new());
     }
@@ -162,7 +173,7 @@ pub fn fiss_graph(g: &FlatGraph, threads: usize) -> (FlatGraph, Vec<FissedRegion
     }
 
     // Score every chain with the scheduler's own heuristic.
-    let Ok(wg) = WorkGraph::from_flat(g) else {
+    let Ok(wg) = WorkGraph::from_flat_costed(g, cost) else {
         return (g.clone(), Vec::new());
     };
     let flows = {

@@ -1,0 +1,527 @@
+//! Measured filter costs: the profiler's output and the planner's input.
+//!
+//! The compiled engine can time work-function firings with amortized
+//! sampling (see `streamit-exec`); the result is a [`ProfileReport`] —
+//! per-filter firing counts and sampled wall-clock nanoseconds, keyed by
+//! flat-graph instance name.  Reports serialize to a small hand-rolled
+//! JSON document (`streamitc --profile-out`) and feed back into the
+//! partitioners (`--profile-in`) through
+//! [`CostModel`](crate::estimate::CostModel), replacing the static
+//! per-operation cycle estimate with measured cost wherever a profiled
+//! name matches.
+//!
+//! The JSON layer is deliberately tiny and tolerant: unknown fields are
+//! ignored (forward compatibility), structural damage is a hard error,
+//! and *stale* filter names — entries whose filter no longer exists in
+//! the graph being planned — are the caller's business to warn about,
+//! never an error (profiles routinely outlive small program edits).
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Measured cost of one filter instance.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct FilterProfile {
+    /// Total work-function firings observed (sampled or not).
+    pub firings: u64,
+    /// Firings actually timed (amortized sampling keeps this a fraction
+    /// of `firings` when overhead matters).
+    pub sampled_firings: u64,
+    /// Wall-clock nanoseconds summed over the sampled firings.
+    pub sampled_ns: u64,
+}
+
+impl FilterProfile {
+    /// Mean nanoseconds per firing over the sampled subset, or `None`
+    /// if nothing was sampled.
+    pub fn ns_per_firing(&self) -> Option<f64> {
+        if self.sampled_firings == 0 {
+            None
+        } else {
+            Some(self.sampled_ns as f64 / self.sampled_firings as f64)
+        }
+    }
+
+    /// Fold another measurement of the same filter into this one.
+    pub fn merge(&mut self, other: &FilterProfile) {
+        self.firings += other.firings;
+        self.sampled_firings += other.sampled_firings;
+        self.sampled_ns += other.sampled_ns;
+    }
+}
+
+/// A profiling run's aggregate: measured cost per filter instance name.
+///
+/// Keys are flat-graph node names (e.g. `LowPass` or, for a profile
+/// taken on a fissed parallel plan, `LowPass[2of4]`).  The ordered map
+/// keeps serialization deterministic.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ProfileReport {
+    pub filters: BTreeMap<String, FilterProfile>,
+}
+
+impl ProfileReport {
+    /// Record `ns` nanoseconds for one *sampled* firing of `name`.
+    pub fn record_sampled(&mut self, name: &str, ns: u64) {
+        let p = self.filters.entry(name.to_string()).or_default();
+        p.firings += 1;
+        p.sampled_firings += 1;
+        p.sampled_ns += ns;
+    }
+
+    /// Record one unsampled firing of `name` (counted, not timed).
+    pub fn record_unsampled(&mut self, name: &str) {
+        self.filters.entry(name.to_string()).or_default().firings += 1;
+    }
+
+    /// Fold `other` into `self` (same-named filters merge).
+    pub fn merge(&mut self, other: &ProfileReport) {
+        for (name, p) in &other.filters {
+            self.filters.entry(name.clone()).or_default().merge(p);
+        }
+    }
+
+    /// Exact-name lookup.
+    pub fn get(&self, name: &str) -> Option<&FilterProfile> {
+        self.filters.get(name)
+    }
+
+    /// Lookup that also matches fission replicas back to their original:
+    /// `LowPass[2of4]` falls back to the `LowPass` entry (replicas run
+    /// the same work function at the same per-firing cost, only their
+    /// repetition counts differ).  Synthetic `[fiss.split]`/`[fiss.join]`
+    /// nodes never reach the estimator, so the simple suffix strip is
+    /// safe.
+    pub fn lookup(&self, name: &str) -> Option<&FilterProfile> {
+        if let Some(p) = self.filters.get(name) {
+            return Some(p);
+        }
+        let base = strip_replica_suffix(name)?;
+        self.filters.get(base)
+    }
+
+    /// Names in `self` that `exists` rejects — stale entries a caller
+    /// should warn about (a filter renamed or removed since profiling).
+    pub fn stale_names<F: Fn(&str) -> bool>(&self, exists: F) -> Vec<&str> {
+        self.filters
+            .keys()
+            .map(String::as_str)
+            .filter(|n| !exists(n))
+            .collect()
+    }
+
+    /// Serialize to the profile JSON document.
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n  \"version\": 1,\n  \"filters\": [\n");
+        for (i, (name, p)) in self.filters.iter().enumerate() {
+            let _ = write!(
+                s,
+                "    {{\"name\": {}, \"firings\": {}, \"sampled_firings\": {}, \"sampled_ns\": {}}}",
+                json_string(name),
+                p.firings,
+                p.sampled_firings,
+                p.sampled_ns
+            );
+            s.push_str(if i + 1 < self.filters.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+
+    /// Parse a profile JSON document.  Structural damage (not JSON, no
+    /// `filters` array, an entry without a `name`) is an error; unknown
+    /// fields are ignored.
+    pub fn from_json(text: &str) -> Result<ProfileReport, String> {
+        let value = parse_json(text)?;
+        let Json::Object(top) = value else {
+            return Err("top-level value is not an object".into());
+        };
+        let filters = top
+            .iter()
+            .find(|(k, _)| k == "filters")
+            .map(|(_, v)| v)
+            .ok_or_else(|| "missing \"filters\" array".to_string())?;
+        let Json::Array(entries) = filters else {
+            return Err("\"filters\" is not an array".into());
+        };
+        let mut report = ProfileReport::default();
+        for (i, entry) in entries.iter().enumerate() {
+            let Json::Object(fields) = entry else {
+                return Err(format!("filters[{i}] is not an object"));
+            };
+            let mut name: Option<&str> = None;
+            let mut p = FilterProfile::default();
+            for (k, v) in fields {
+                match (k.as_str(), v) {
+                    ("name", Json::String(s)) => name = Some(s),
+                    ("firings", Json::Number(n)) => p.firings = *n as u64,
+                    ("sampled_firings", Json::Number(n)) => p.sampled_firings = *n as u64,
+                    ("sampled_ns", Json::Number(n)) => p.sampled_ns = *n as u64,
+                    _ => {} // tolerate unknown/mistyped extras
+                }
+            }
+            let Some(name) = name else {
+                return Err(format!("filters[{i}] has no \"name\""));
+            };
+            report
+                .filters
+                .entry(name.to_string())
+                .or_default()
+                .merge(&p);
+        }
+        Ok(report)
+    }
+
+    /// Human-readable cost table (the `streamitc --profile` output),
+    /// sorted by measured ns/firing descending.
+    pub fn render_table(&self) -> String {
+        let mut rows: Vec<(&str, &FilterProfile)> =
+            self.filters.iter().map(|(n, p)| (n.as_str(), p)).collect();
+        rows.sort_by(|a, b| {
+            let (x, y) = (
+                a.1.ns_per_firing().unwrap_or(0.0),
+                b.1.ns_per_firing().unwrap_or(0.0),
+            );
+            y.partial_cmp(&x).unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let total_ns: f64 = rows
+            .iter()
+            .map(|(_, p)| p.ns_per_firing().unwrap_or(0.0) * p.firings as f64)
+            .sum();
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "{:<32} {:>10} {:>8} {:>12} {:>7}",
+            "filter", "firings", "sampled", "ns/firing", "share"
+        );
+        for (name, p) in rows {
+            let ns = p.ns_per_firing().unwrap_or(0.0);
+            let share = if total_ns > 0.0 {
+                100.0 * ns * p.firings as f64 / total_ns
+            } else {
+                0.0
+            };
+            let _ = writeln!(
+                s,
+                "{:<32} {:>10} {:>8} {:>12.1} {:>6.1}%",
+                name, p.firings, p.sampled_firings, ns, share
+            );
+        }
+        s
+    }
+}
+
+/// Strip a `[NofM]` fission-replica suffix, returning the base name.
+/// Returns `None` when the name doesn't carry one.
+fn strip_replica_suffix(name: &str) -> Option<&str> {
+    let rest = name.strip_suffix(']')?;
+    let open = rest.rfind('[')?;
+    let inner = &rest[open + 1..];
+    let (n, m) = inner.split_once("of")?;
+    if n.is_empty() || m.is_empty() {
+        return None;
+    }
+    if n.chars().all(|c| c.is_ascii_digit()) && m.chars().all(|c| c.is_ascii_digit()) {
+        Some(&rest[..open])
+    } else {
+        None
+    }
+}
+
+/// Escape and quote a JSON string.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Minimal JSON value for the panic-free parser below.  Objects keep
+/// insertion order as key/value pairs (duplicates allowed; first match
+/// wins on lookup).
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Object(Vec<(String, Json)>),
+    Array(Vec<Json>),
+    String(String),
+    Number(f64),
+    Bool(bool),
+    Null,
+}
+
+/// Hand-rolled recursive-descent JSON parser.  No dependencies, no
+/// panics: every failure is a positioned `Err`.  Supports the full
+/// value grammar minus `\uXXXX` surrogate pairs (plain `\uXXXX` is
+/// decoded; lone surrogates become U+FFFD).
+fn parse_json(text: &str) -> Result<Json, String> {
+    let bytes = text.as_bytes();
+    let mut pos = 0usize;
+    let v = parse_value(bytes, &mut pos, 0)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing garbage at byte {pos}"));
+    }
+    Ok(v)
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize, depth: u32) -> Result<Json, String> {
+    if depth > 64 {
+        return Err("nesting too deep".into());
+    }
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        None => Err("unexpected end of input".into()),
+        Some(b'{') => {
+            *pos += 1;
+            let mut fields = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Json::Object(fields));
+            }
+            loop {
+                skip_ws(b, pos);
+                let key = match parse_value(b, pos, depth + 1)? {
+                    Json::String(s) => s,
+                    _ => return Err(format!("object key at byte {pos} is not a string")),
+                };
+                skip_ws(b, pos);
+                if b.get(*pos) != Some(&b':') {
+                    return Err(format!("expected ':' at byte {pos}"));
+                }
+                *pos += 1;
+                let value = parse_value(b, pos, depth + 1)?;
+                fields.push((key, value));
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Json::Object(fields));
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at byte {pos}")),
+                }
+            }
+        }
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Json::Array(items));
+            }
+            loop {
+                items.push(parse_value(b, pos, depth + 1)?);
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Json::Array(items));
+                    }
+                    _ => return Err(format!("expected ',' or ']' at byte {pos}")),
+                }
+            }
+        }
+        Some(b'"') => parse_string(b, pos).map(Json::String),
+        Some(b't') => parse_lit(b, pos, b"true").map(|_| Json::Bool(true)),
+        Some(b'f') => parse_lit(b, pos, b"false").map(|_| Json::Bool(false)),
+        Some(b'n') => parse_lit(b, pos, b"null").map(|_| Json::Null),
+        Some(_) => parse_number(b, pos).map(Json::Number),
+    }
+}
+
+fn parse_lit(b: &[u8], pos: &mut usize, lit: &[u8]) -> Result<(), String> {
+    if b.len() >= *pos + lit.len() && &b[*pos..*pos + lit.len()] == lit {
+        *pos += lit.len();
+        Ok(())
+    } else {
+        Err(format!("invalid literal at byte {pos}"))
+    }
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) -> Result<f64, String> {
+    let start = *pos;
+    if b.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    while *pos < b.len() && matches!(b[*pos], b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-') {
+        *pos += 1;
+    }
+    let text = std::str::from_utf8(&b[start..*pos]).map_err(|_| "invalid utf-8".to_string())?;
+    text.parse::<f64>()
+        .map_err(|_| format!("invalid number at byte {start}"))
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+    *pos += 1; // opening quote
+    let mut out = String::new();
+    loop {
+        match b.get(*pos) {
+            None => return Err("unterminated string".into()),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match b.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let hex = b
+                            .get(*pos + 1..*pos + 5)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .and_then(|h| u32::from_str_radix(h, 16).ok())
+                            .ok_or_else(|| format!("bad \\u escape at byte {pos}"))?;
+                        out.push(char::from_u32(hex).unwrap_or('\u{FFFD}'));
+                        *pos += 4;
+                    }
+                    _ => return Err(format!("bad escape at byte {pos}")),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Consume one whole UTF-8 scalar (multi-byte safe).
+                let rest = std::str::from_utf8(&b[*pos..])
+                    .map_err(|_| "invalid utf-8 in string".to_string())?;
+                let Some(c) = rest.chars().next() else {
+                    return Err("unterminated string".into());
+                };
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ProfileReport {
+        let mut r = ProfileReport::default();
+        for _ in 0..10 {
+            r.record_sampled("Heavy", 500);
+        }
+        for _ in 0..90 {
+            r.record_unsampled("Heavy");
+        }
+        for _ in 0..4 {
+            r.record_sampled("Light", 20);
+        }
+        r
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let r = sample();
+        let text = r.to_json();
+        let back = ProfileReport::from_json(&text).unwrap();
+        assert_eq!(r, back);
+    }
+
+    #[test]
+    fn ns_per_firing_uses_sampled_subset() {
+        let r = sample();
+        let heavy = r.get("Heavy").unwrap();
+        assert_eq!(heavy.firings, 100);
+        assert_eq!(heavy.sampled_firings, 10);
+        assert_eq!(heavy.ns_per_firing(), Some(500.0));
+    }
+
+    #[test]
+    fn lookup_strips_fission_replica_suffix() {
+        let r = sample();
+        assert!(r.lookup("Heavy[2of4]").is_some());
+        assert!(r.lookup("Heavy[12of16]").is_some());
+        assert!(r.lookup("Other[2of4]").is_none());
+        // Non-replica brackets must not match.
+        assert!(r.lookup("Heavy[fiss.split]").is_none());
+        assert!(r.lookup("Heavy[xofy]").is_none());
+    }
+
+    #[test]
+    fn malformed_json_is_an_error() {
+        for bad in [
+            "",
+            "{",
+            "[1, 2]",
+            "{\"filters\": 3}",
+            "{\"filters\": [{\"firings\": 1}]}",
+            "{\"filters\": [{\"name\": \"a\"}]} trailing",
+        ] {
+            assert!(ProfileReport::from_json(bad).is_err(), "accepted: {bad:?}");
+        }
+    }
+
+    #[test]
+    fn unknown_fields_are_tolerated() {
+        let text = r#"{
+            "version": 99,
+            "host": {"cpus": 8},
+            "filters": [
+                {"name": "A", "firings": 5, "sampled_firings": 5,
+                 "sampled_ns": 100, "future_field": [1, 2]}
+            ]
+        }"#;
+        let r = ProfileReport::from_json(text).unwrap();
+        assert_eq!(r.get("A").unwrap().ns_per_firing(), Some(20.0));
+    }
+
+    #[test]
+    fn stale_names_reported_not_fatal() {
+        let mut r = sample();
+        r.record_sampled("Gone", 5);
+        let stale = r.stale_names(|n| n == "Heavy" || n == "Light");
+        assert_eq!(stale, vec!["Gone"]);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = sample();
+        let b = sample();
+        a.merge(&b);
+        assert_eq!(a.get("Heavy").unwrap().firings, 200);
+        assert_eq!(a.get("Heavy").unwrap().ns_per_firing(), Some(500.0));
+    }
+
+    #[test]
+    fn table_sorted_by_cost() {
+        let t = sample().render_table();
+        let heavy_at = t.find("Heavy").unwrap();
+        let light_at = t.find("Light").unwrap();
+        assert!(heavy_at < light_at, "table:\n{t}");
+    }
+}

@@ -30,13 +30,54 @@ fn compile(name: &str, stream: StreamNode) -> CompiledProgram {
         .unwrap_or_else(|e| panic!("{name}: app graph must compile: {e}"))
 }
 
+/// Compare the parallel engine at every thread count against a
+/// reference output stream, bit-for-bit.  `label` distinguishes the
+/// cost model the plans were built with (static vs profiled).
+fn compare_parallel(name: &str, p: &CompiledProgram, reference: &[f64], n: usize, label: &str) {
+    for threads in THREAD_COUNTS {
+        let pg = match p.compile_parallel(threads) {
+            Ok(pg) => pg,
+            Err(ExecError::Unsupported { reason }) => {
+                // Only feedback loops shrink the subset; anything the
+                // compiled engine runs is loop-free here, so a decline
+                // is a planner bug unless it names a real limit.
+                assert!(!reason.is_empty(), "{name}: empty parallel decline reason");
+                continue;
+            }
+            Err(e) => panic!("{name}: unexpected parallel compile error ({label}): {e}"),
+        };
+        // The fissed graph's steady state may differ in size; size the
+        // input for however many parallel iterations cover `n`.
+        let kp = if n as u64 <= pg.init_outputs() {
+            0
+        } else {
+            (n as u64 - pg.init_outputs()).div_ceil(pg.outputs_per_iteration().max(1))
+        };
+        let pin = varied_input(pg.required_input(kp) as usize);
+        let parallel = pg.run_collect(&pin, n).unwrap_or_else(|e| {
+            panic!("{name}: parallel run ({threads} threads, {label}) failed: {e}")
+        });
+        tolerance::assert_streams_match(
+            &format!(
+                "{name}: parallel@{threads} ({label}) vs reference ({} stages, {} fissed regions)",
+                pg.stages(),
+                pg.fission_report().len()
+            ),
+            tolerance::Tolerance::Bit,
+            &parallel,
+            reference,
+        );
+    }
+}
+
 /// Run the reference interpreter, the serial compiled engine, and the
-/// parallel engine at 1/2/4 threads, and require the first `n` outputs
-/// to be bit-identical everywhere.  Returns the decline reason when the
-/// compiled engine rejects the graph (the parallel engine accepts a
-/// subset of the compiled engine's graphs, so it must then decline
-/// too).
-fn differential(name: &str, p: &CompiledProgram, n: usize) -> Option<String> {
+/// parallel engine at 1/2/4 threads — first with static-cost plans,
+/// then with profile-guided (measured-cost) plans — and require the
+/// first `n` outputs to be bit-identical everywhere.  Returns the
+/// decline reason when the compiled engine rejects the graph (the
+/// parallel engine accepts a subset of the compiled engine's graphs,
+/// so it must then decline too).
+fn differential(name: &str, p: &mut CompiledProgram, n: usize) -> Option<String> {
     let cg = match p.compile_exec() {
         Ok(cg) => cg,
         Err(ExecError::Unsupported { reason }) => {
@@ -77,40 +118,19 @@ fn differential(name: &str, p: &CompiledProgram, n: usize) -> Option<String> {
         &reference,
     );
 
-    for threads in THREAD_COUNTS {
-        let pg = match p.compile_parallel(threads) {
-            Ok(pg) => pg,
-            Err(ExecError::Unsupported { reason }) => {
-                // Only feedback loops shrink the subset; anything the
-                // compiled engine runs is loop-free here, so a decline
-                // is a planner bug unless it names a real limit.
-                assert!(!reason.is_empty(), "{name}: empty parallel decline reason");
-                continue;
-            }
-            Err(e) => panic!("{name}: unexpected parallel compile error: {e}"),
-        };
-        // The fissed graph's steady state may differ in size; size the
-        // input for however many parallel iterations cover `n`.
-        let kp = if n as u64 <= pg.init_outputs() {
-            0
-        } else {
-            (n as u64 - pg.init_outputs()).div_ceil(pg.outputs_per_iteration().max(1))
-        };
-        let pin = varied_input(pg.required_input(kp).max(input.len() as u64) as usize);
-        let parallel = pg
-            .run_collect(&pin, n)
-            .unwrap_or_else(|e| panic!("{name}: parallel run ({threads} threads) failed: {e}"));
-        tolerance::assert_streams_match(
-            &format!(
-                "{name}: parallel@{threads} vs reference ({} stages, {} fissed regions)",
-                pg.stages(),
-                pg.fission_report().len()
-            ),
-            tolerance::Tolerance::Bit,
-            &parallel,
-            &reference,
-        );
-    }
+    compare_parallel(name, p, &reference, n, "static costs");
+
+    // Profile-guided planning must preserve bit-identity at every
+    // thread count too: measure per-filter costs on the compiled
+    // engine, rebuild the plans from the measured costs, re-compare.
+    let prof_k = 8u64;
+    let prof_n = (cg.init_outputs() + prof_k * cg.outputs_per_iteration()) as usize;
+    let prof_in = varied_input(cg.required_input(prof_k) as usize);
+    let (_, prof) = p
+        .profile_run(&prof_in, prof_n, 4)
+        .unwrap_or_else(|e| panic!("{name}: profiling run failed: {e}"));
+    p.set_profile(prof);
+    compare_parallel(name, p, &reference, n, "measured costs");
     None
 }
 
@@ -144,7 +164,7 @@ fn apps_run_bit_identical_on_all_engines_and_thread_counts() {
     let must_support = ["fmradio", "filterbank", "beamformer", "bitonic"];
     let mut declined = Vec::new();
     for (name, stream, n) in graphs {
-        let p = compile(name, stream);
+        let mut p = compile(name, stream);
         if must_support.contains(&name) {
             for threads in THREAD_COUNTS {
                 p.compile_parallel(threads).unwrap_or_else(|e| {
@@ -152,7 +172,7 @@ fn apps_run_bit_identical_on_all_engines_and_thread_counts() {
                 });
             }
         }
-        if let Some(reason) = differential(name, &p, n) {
+        if let Some(reason) = differential(name, &mut p, n) {
             assert!(
                 !must_support.contains(&name),
                 "{name} must run on the compiled engine, but it declined: {reason}"
