@@ -30,6 +30,7 @@ use streamit::interp::Machine;
 use streamit::linear::LinearMode;
 use streamit::rt::ParallelGraph;
 use streamit::{CompiledProgram, Compiler, Options};
+use streamit_bench::host_json;
 
 /// Deterministic varied input usable by both int- and float-typed apps.
 fn varied_input(len: usize) -> Vec<f64> {
@@ -175,17 +176,6 @@ fn engine_json(name: &str, m: &Measurement, extra: &str) -> String {
         json_f64(m.elapsed_s),
         m.outputs,
         m.iterations,
-    )
-}
-
-fn host_json() -> String {
-    let cores = std::thread::available_parallelism()
-        .map(usize::from)
-        .unwrap_or(1);
-    format!(
-        "{{\"cores\": {cores}, \"os\": \"{}\", \"arch\": \"{}\"}}",
-        std::env::consts::OS,
-        std::env::consts::ARCH
     )
 }
 

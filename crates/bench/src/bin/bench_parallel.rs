@@ -28,6 +28,7 @@ use streamit::exec::CompiledGraph;
 use streamit::graph::StreamNode;
 use streamit::rt::ParallelGraph;
 use streamit::{CompiledProgram, Compiler};
+use streamit_bench::host_json;
 
 const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
 
@@ -183,9 +184,6 @@ fn main() {
         .cloned()
         .unwrap_or_else(|| "BENCH_parallel.json".into());
     let target_s = if quick { 0.02 } else { 0.25 };
-    let host_cores = std::thread::available_parallelism()
-        .map(usize::from)
-        .unwrap_or(1);
 
     let apps: Vec<(&str, StreamNode)> = vec![
         ("fmradio", streamit::apps::fmradio::fmradio(10, 64)),
@@ -347,10 +345,9 @@ fn main() {
         format!("\n  \"opt_geomean_speedup\": {},", json_f64(g))
     };
     let report = format!(
-        "{{\n  \"benchmark\": \"parallel_scaling\",\n  \"host\": {{\"cores\": {host_cores}, \"os\": \"{}\", \"arch\": \"{}\"}},{opt_geomean}\n  \
+        "{{\n  \"benchmark\": \"parallel_scaling\",\n  \"host\": {},{opt_geomean}\n  \
          \"quick\": {quick},\n  \"apps\": [\n{}\n  ]\n}}\n",
-        std::env::consts::OS,
-        std::env::consts::ARCH,
+        host_json(),
         rows.join(",\n")
     );
     std::fs::write(&out_path, &report).unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));

@@ -1,0 +1,304 @@
+//! `bench_streamd` — multi-tenant daemon throughput/latency under load.
+//!
+//! Drives the [`streamit_streamd::Daemon`] *in process* (no sockets, so
+//! the numbers isolate the tenancy core: admission, per-instance
+//! sessions, supervision, metrics) at 100 / 1 000 / 10 000 concurrent
+//! instances of `fmradio-small`, and writes `BENCH_streamd.json`.
+//!
+//! ```text
+//! bench_streamd [--quick] [--out PATH]
+//! ```
+//!
+//! `--quick` runs the 100 / 1 000 tiers with fewer rounds (CI smoke);
+//! the full run includes the 10 000-instance tier.
+//!
+//! Each tier also *asserts* the subsystem's contracts and exits 1 on
+//! violation:
+//!
+//! * admission — the `N+1`-th `OPEN` is rejected with `E0801`;
+//! * isolation/correctness — sampled instances' accumulated output is
+//!   bit-identical to a one-shot [`CompiledGraph::run_collect`] of the
+//!   same input;
+//! * bounded memory — resident set size is sampled per tier and
+//!   reported (`rss_mib`), with staging rings capped per instance.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use streamit::exec::CompiledGraph;
+use streamit::Compiler;
+use streamit_bench::host_json;
+use streamit_streamd::{Daemon, DaemonConfig, InstanceBudget};
+
+const APP: &str = "fmradio-small";
+const BATCH: usize = 32;
+const MAX_OUT: usize = 128;
+const BUFFER: u64 = 64;
+/// How many instances per tier get full input/output tracking for the
+/// bit-identity check (tracking all 10 000 would dominate the run).
+const SAMPLED: usize = 8;
+const WORKERS: usize = 4;
+
+/// The shared deterministic input stream every instance consumes (each
+/// instance reads the same sequence from its own cursor).
+fn item(seq: u64) -> f64 {
+    ((seq * 31 % 2003) as f64) / 20.0 - 50.0
+}
+
+/// Resident set size in MiB via `/proc/self/statm` (0 where absent).
+fn rss_mib() -> f64 {
+    std::fs::read_to_string("/proc/self/statm")
+        .ok()
+        .and_then(|s| {
+            s.split_whitespace()
+                .nth(1)
+                .and_then(|f| f.parse::<u64>().ok())
+        })
+        .map(|pages| pages as f64 * 4096.0 / (1024.0 * 1024.0))
+        .unwrap_or(0.0)
+}
+
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.3}")
+    } else {
+        "null".into()
+    }
+}
+
+struct TierResult {
+    instances: usize,
+    requests: u64,
+    items_in: u64,
+    items_out: u64,
+    iterations: u64,
+    elapsed_s: f64,
+    p50_us: f64,
+    p99_us: f64,
+    rss_mib: f64,
+    admission_rejects: bool,
+    bit_identical: bool,
+}
+
+/// Run one tier: open `n` instances, drive them `rounds` times each
+/// from `WORKERS` threads, check contracts, tear down.
+fn run_tier(reference: &Arc<CompiledGraph>, n: usize, rounds: usize) -> TierResult {
+    let mut daemon = Daemon::new(DaemonConfig {
+        max_instances: n,
+        budget: InstanceBudget {
+            in_capacity: BUFFER,
+            out_capacity: BUFFER,
+            ..InstanceBudget::default()
+        },
+        stall_ms: None,
+    });
+    let program = Compiler::default()
+        .compile_stream(streamit::apps::fmradio::fmradio(4, 16))
+        .unwrap_or_else(|e| panic!("{APP}: {e}"));
+    daemon
+        .add_program(APP, &program)
+        .unwrap_or_else(|e| panic!("{APP}: {e}"));
+    let daemon = Arc::new(daemon);
+
+    let mut ids = Vec::with_capacity(n);
+    for _ in 0..n {
+        ids.push(
+            daemon
+                .open(APP, None)
+                .unwrap_or_else(|e| panic!("open under limit must admit: {e}"))
+                .id,
+        );
+    }
+    let admission_rejects = match daemon.open(APP, None) {
+        Err(d) => d.code == "E0801",
+        Ok(info) => {
+            eprintln!("instance {} admitted past --max-instances {n}", info.id);
+            false
+        }
+    };
+    assert_eq!(daemon.live(), n);
+
+    // Sampled instances keep their accumulated output for the
+    // bit-identity check; every instance keeps an input cursor so
+    // un-accepted (backpressured) items are replayed, not dropped.
+    let sample_every = (n / SAMPLED.min(n)).max(1);
+    let errors = Arc::new(AtomicU64::new(0));
+    let t0 = Instant::now();
+    let mut workers = Vec::new();
+    for w in 0..WORKERS {
+        let daemon = Arc::clone(&daemon);
+        let errors = Arc::clone(&errors);
+        let ids: Vec<u64> = ids
+            .iter()
+            .copied()
+            .enumerate()
+            .filter(|(i, _)| i % WORKERS == w)
+            .map(|(_, id)| id)
+            .collect();
+        workers.push(std::thread::spawn(move || {
+            let mut cursors = vec![0u64; ids.len()];
+            let mut outputs: Vec<(usize, Vec<f64>)> = ids
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| (i * WORKERS + w).is_multiple_of(sample_every))
+                .map(|(i, _)| (i, Vec::new()))
+                .collect();
+            let mut batch = Vec::with_capacity(BATCH);
+            for _ in 0..rounds {
+                for (i, &id) in ids.iter().enumerate() {
+                    batch.clear();
+                    batch.extend((cursors[i]..cursors[i] + BATCH as u64).map(item));
+                    match daemon.feed(id, &batch, MAX_OUT) {
+                        Ok(t) => {
+                            cursors[i] += t.accepted as u64;
+                            if let Some((_, out)) = outputs.iter_mut().find(|(s, _)| *s == i) {
+                                out.extend(t.output);
+                            }
+                        }
+                        Err(e) => {
+                            eprintln!("feed {id}: {e}");
+                            errors.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+            }
+            // Hand back (items fed, accumulated output) per sample.
+            outputs
+                .into_iter()
+                .map(|(i, out)| (cursors[i], out))
+                .collect::<Vec<_>>()
+        }));
+    }
+    let mut samples: Vec<(u64, Vec<f64>)> = Vec::new();
+    for wkr in workers {
+        samples.extend(wkr.join().expect("worker joins"));
+    }
+    let elapsed_s = t0.elapsed().as_secs_f64();
+    let rss = rss_mib();
+
+    // Bit-identity: each sampled instance consumed `fed` items of the
+    // shared stream and produced `out`; the one-shot reference over the
+    // same prefix must agree bit for bit.
+    let mut bit_identical = errors.load(Ordering::Relaxed) == 0 && !samples.is_empty();
+    for (fed, out) in &samples {
+        let input: Vec<f64> = (0..*fed).map(item).collect();
+        let want = reference
+            .run_collect(&input, out.len())
+            .unwrap_or_else(|e| panic!("reference run: {e}"));
+        if want.len() != out.len()
+            || want
+                .iter()
+                .zip(out.iter())
+                .any(|(a, b)| a.to_bits() != b.to_bits())
+        {
+            eprintln!(
+                "bit-identity violation: sampled instance diverged from one-shot \
+                 reference after {fed} items"
+            );
+            bit_identical = false;
+        }
+    }
+
+    for id in ids {
+        daemon
+            .close(id)
+            .unwrap_or_else(|e| panic!("close {id}: {e}"));
+    }
+    assert_eq!(daemon.live(), 0);
+
+    let m = &daemon.metrics;
+    TierResult {
+        instances: n,
+        requests: m.requests.load(Ordering::Relaxed),
+        items_in: m.items_in.load(Ordering::Relaxed),
+        items_out: m.items_out.load(Ordering::Relaxed),
+        iterations: m.iterations.load(Ordering::Relaxed),
+        elapsed_s,
+        p50_us: m.service.quantile_ns(0.5) as f64 / 1e3,
+        p99_us: m.service.quantile_ns(0.99) as f64 / 1e3,
+        rss_mib: rss,
+        admission_rejects,
+        bit_identical,
+    }
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().collect();
+    let quick = argv.iter().any(|a| a == "--quick");
+    let out_path = argv
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| argv.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_streamd.json".into());
+
+    let program = Compiler::default()
+        .compile_stream(streamit::apps::fmradio::fmradio(4, 16))
+        .unwrap_or_else(|e| panic!("{APP}: {e}"));
+    let reference = Arc::new(
+        program
+            .compile_exec()
+            .unwrap_or_else(|e| panic!("{APP}: {e}")),
+    );
+
+    let tiers: Vec<(usize, usize)> = if quick {
+        vec![(100, 4), (1000, 2)]
+    } else {
+        vec![(100, 32), (1000, 8), (10_000, 2)]
+    };
+
+    println!(
+        "{:>10} {:>10} {:>14} {:>10} {:>10} {:>9} {:>9} {:>9}",
+        "instances", "requests", "items out", "items/s", "req/s", "p50 us", "p99 us", "rss MiB"
+    );
+    let mut rows = Vec::new();
+    let mut ok = true;
+    for (n, rounds) in tiers {
+        let r = run_tier(&reference, n, rounds);
+        println!(
+            "{:>10} {:>10} {:>14} {:>10.0} {:>10.0} {:>9.1} {:>9.1} {:>9.1}",
+            r.instances,
+            r.requests,
+            r.items_out,
+            r.items_out as f64 / r.elapsed_s,
+            r.requests as f64 / r.elapsed_s,
+            r.p50_us,
+            r.p99_us,
+            r.rss_mib
+        );
+        ok &= r.admission_rejects && r.bit_identical;
+        rows.push(format!(
+            "    {{\"instances\": {}, \"requests\": {}, \"items_in\": {}, \"items_out\": {}, \
+             \"iterations\": {}, \"elapsed_s\": {}, \"items_out_per_sec\": {}, \
+             \"requests_per_sec\": {}, \"p50_us\": {}, \"p99_us\": {}, \"rss_mib\": {}, \
+             \"admission_rejects\": {}, \"bit_identical\": {}}}",
+            r.instances,
+            r.requests,
+            r.items_in,
+            r.items_out,
+            r.iterations,
+            json_f64(r.elapsed_s),
+            json_f64(r.items_out as f64 / r.elapsed_s),
+            json_f64(r.requests as f64 / r.elapsed_s),
+            json_f64(r.p50_us),
+            json_f64(r.p99_us),
+            json_f64(r.rss_mib),
+            r.admission_rejects,
+            r.bit_identical
+        ));
+    }
+
+    let report = format!(
+        "{{\n  \"benchmark\": \"streamd\",\n  \"host\": {},\n  \"app\": \"{APP}\",\n  \
+         \"quick\": {quick},\n  \"tiers\": [\n{}\n  ]\n}}\n",
+        host_json(),
+        rows.join(",\n")
+    );
+    std::fs::write(&out_path, &report).unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
+    println!("wrote {out_path}");
+    if !ok {
+        eprintln!("bench_streamd: contract violation (admission or bit-identity)");
+        std::process::exit(1);
+    }
+}

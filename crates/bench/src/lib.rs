@@ -50,3 +50,22 @@ pub fn run_strategy(
 pub fn rule(width: usize) {
     println!("{}", "-".repeat(width));
 }
+
+/// Number of hardware threads available to this process (1 on error).
+pub fn host_cores() -> usize {
+    std::thread::available_parallelism()
+        .map(usize::from)
+        .unwrap_or(1)
+}
+
+/// The `"host"` object every `BENCH_*.json` report embeds:
+/// `{"cores": N, "os": "...", "arch": "..."}`.  One definition so the
+/// reports stay schema-compatible with each other.
+pub fn host_json() -> String {
+    format!(
+        "{{\"cores\": {}, \"os\": \"{}\", \"arch\": \"{}\"}}",
+        host_cores(),
+        std::env::consts::OS,
+        std::env::consts::ARCH
+    )
+}

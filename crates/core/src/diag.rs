@@ -40,6 +40,20 @@
 //! | E0705 | Runtime  | a worker panicked; caught and attributed to its stage with the panic payload |
 //! | E0706 | Runtime  | the stall watchdog saw no progress for a full deadline; carries a per-stage snapshot |
 //! | E0707 | Engine   | malformed profile file (`--profile-in`); stale filter names only warn |
+//! | E0801 | Engine   | `streamd` admission rejected: instance table at `--max-instances` |
+//! | E0802 | Engine   | `streamd`: unknown program name in an `OPEN` request |
+//! | E0803 | Runtime  | `streamd`: an instance's worker panicked; the instance was evicted |
+//! | E0804 | Runtime  | `streamd`: an instance made no progress for the stall deadline; evicted |
+//! | E0805 | Budget   | `streamd`: per-instance firing budget (`--instance-budget`) exhausted; evicted |
+//! | E0806 | Runtime  | `streamd`: malformed protocol command |
+//! | E0807 | Parse    | `streamd`: invalid daemon configuration (bad `--listen`, `--max-instances 0`, bad budget) |
+//! | E0808 | Runtime  | `streamd`: unknown instance id (never opened, closed, or already evicted) |
+//!
+//! The `E08xx` block is the `streamd` daemon's taxonomy (see
+//! `crates/streamd`).  Most of those diagnostics travel over the wire
+//! as `ERR <code> <message>` responses rather than ending a process;
+//! only `E0807` maps to a `streamd` process exit (code 2, like every
+//! usage error).
 //!
 //! Static-analysis *lints* (`L0601`–`L0605`, see
 //! [`streamit_analysis`]) are warnings, not errors: they print but never
@@ -140,6 +154,15 @@ impl Diag {
     /// costs for them); only structural damage earns a diagnostic.
     pub fn profile_error(message: impl Into<String>) -> Diag {
         Diag::new("E0707", DiagCategory::Engine, message.into(), None)
+    }
+
+    /// An `E08xx` daemon diagnostic (the `streamd` taxonomy; see the
+    /// module table).  The code must come from that block — the
+    /// `streamd` crate owns the mapping of fault to code/category and
+    /// this constructor just keeps construction in one audited place.
+    pub fn streamd(code: &'static str, category: DiagCategory, message: impl Into<String>) -> Diag {
+        debug_assert!(code.starts_with("E08"), "not a streamd code: {code}");
+        Diag::new(code, category, message.into(), None)
     }
 }
 

@@ -464,6 +464,24 @@ impl CompiledProgram {
         )
     }
 
+    /// Open an incremental [`exec::Session`] over this program: a
+    /// reentrant run that accepts pushed input and yields available
+    /// output steady-iteration-at-a-time through bounded staging
+    /// buffers, without running to completion.  This is the API the
+    /// `streamd` daemon serves instances through; `cfg` sizes the
+    /// staging rings (clamped up to the smallest feasible windows).
+    /// Fails like [`CompiledProgram::compile_exec`] on graphs outside
+    /// the compiled engine's subset, plus
+    /// [`exec::ExecError::NoSteadyOutput`] when the steady state emits
+    /// nothing (a stream served incrementally must produce a stream).
+    pub fn open_session(
+        &self,
+        cfg: &exec::SessionConfig,
+    ) -> Result<exec::Session, exec::ExecError> {
+        let cg = std::sync::Arc::new(self.compile_exec()?);
+        cg.open_session(cfg)
+    }
+
     /// Compile the flat graph for the multicore runtime with a
     /// `threads`-worker budget (`0` = auto-detect).  Applies the
     /// fission transform, partitions the graph into pipeline stages,

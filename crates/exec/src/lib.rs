@@ -31,7 +31,10 @@ pub mod bytecode;
 pub mod engine;
 pub mod kernel;
 pub mod plan;
+pub mod session;
 pub mod tape;
+
+pub use session::{Blocked, Session, SessionConfig};
 
 use std::fmt;
 
@@ -276,6 +279,31 @@ impl CompiledGraph {
     /// The underlying firing plan (consumed by `streamit-rt`).
     pub fn plan(&self) -> &plan::Plan {
         &self.plan
+    }
+
+    /// Filter/splitter/joiner firings per steady iteration — the unit
+    /// the budget machinery counts, so a per-instance firing budget can
+    /// be converted to an iteration allowance.
+    pub fn firings_per_iteration(&self) -> u64 {
+        let count = |ops: &[plan::Op]| ops.iter().map(|op| op.times() as u64).sum::<u64>();
+        count(&self.plan.pre_ops)
+            + self
+                .plan
+                .branch_ops
+                .iter()
+                .map(|ops| count(ops))
+                .sum::<u64>()
+            + count(&self.plan.post_ops)
+    }
+
+    /// Open an incremental [`Session`] over this graph (shared via
+    /// `Arc`: many sessions per compiled graph, one set of shards
+    /// each).  See [`session`] for the contract.
+    pub fn open_session(
+        self: &std::sync::Arc<Self>,
+        cfg: &SessionConfig,
+    ) -> Result<Session, ExecError> {
+        Session::open(std::sync::Arc::clone(self), cfg)
     }
 
     /// How many filters in the plan run a native linear/frequency

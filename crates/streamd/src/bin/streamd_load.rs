@@ -1,0 +1,376 @@
+//! `streamd-load` — synthetic load generator for `streamd`.
+//!
+//! ```text
+//! streamd-load [--connect ADDR] [--app NAME] [--instances N]
+//!              [--connections C] [--duration-s S] [--batch ITEMS]
+//!              [--max-out ITEMS] [--scrape-metrics]
+//! ```
+//!
+//! Opens `--instances` stream instances spread over `--connections`
+//! protocol connections (instances, not connections, are the scaling
+//! axis) and drives each with deterministic ramp input via `XFER`
+//! round trips for `--duration-s` seconds, then closes them all.
+//! Prints aggregate throughput and client-observed p50/p99 request
+//! latency; with `--scrape-metrics`, also dumps the daemon's own
+//! `METRICS` page at the end.
+//!
+//! Exits 0 when every request succeeded, 1 on any protocol or I/O
+//! error, 2 (with a typed `E0807` diagnostic) on bad flags.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+#[cfg(unix)]
+use std::os::unix::net::UnixStream;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use streamit_streamd::{config_error, LatencyHistogram, ListenAddr};
+
+struct Args {
+    connect: ListenAddr,
+    app: String,
+    instances: usize,
+    connections: usize,
+    duration_s: f64,
+    batch: usize,
+    max_out: usize,
+    scrape: bool,
+}
+
+fn config_fail(msg: String) -> ! {
+    eprintln!("{}", config_error(msg));
+    eprintln!(
+        "usage: streamd-load [--connect ADDR] [--app NAME] [--instances N] \
+         [--connections C] [--duration-s S] [--batch ITEMS] [--max-out ITEMS] \
+         [--scrape-metrics]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        connect: match "127.0.0.1:7777".parse() {
+            Ok(a) => a,
+            Err(_) => unreachable!("default address parses"),
+        },
+        app: "fmradio".into(),
+        instances: 100,
+        connections: 8,
+        duration_s: 3.0,
+        batch: 64,
+        max_out: 256,
+        scrape: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut next = |what: &str| {
+            it.next()
+                .unwrap_or_else(|| config_fail(format!("{a} needs {what}")))
+        };
+        match a.as_str() {
+            "--connect" => {
+                let s = next("an address");
+                args.connect = s
+                    .parse()
+                    .unwrap_or_else(|e: streamit::Diag| config_fail(e.message));
+            }
+            "--app" => args.app = next("a program name"),
+            "--instances" => {
+                let s = next("a count");
+                args.instances = s
+                    .parse()
+                    .unwrap_or_else(|_| config_fail(format!("bad --instances `{s}`")));
+            }
+            "--connections" => {
+                let s = next("a count");
+                let n: usize = s
+                    .parse()
+                    .unwrap_or_else(|_| config_fail(format!("bad --connections `{s}`")));
+                if n == 0 {
+                    config_fail("--connections must be >= 1".into());
+                }
+                args.connections = n;
+            }
+            "--duration-s" => {
+                let s = next("seconds");
+                args.duration_s = s
+                    .parse()
+                    .unwrap_or_else(|_| config_fail(format!("bad --duration-s `{s}`")));
+            }
+            "--batch" => {
+                let s = next("an item count");
+                args.batch = s
+                    .parse()
+                    .unwrap_or_else(|_| config_fail(format!("bad --batch `{s}`")));
+            }
+            "--max-out" => {
+                let s = next("an item count");
+                args.max_out = s
+                    .parse()
+                    .unwrap_or_else(|_| config_fail(format!("bad --max-out `{s}`")));
+            }
+            "--scrape-metrics" => args.scrape = true,
+            "--help" | "-h" => config_fail("help requested".into()),
+            other => config_fail(format!("unknown flag `{other}`")),
+        }
+    }
+    args
+}
+
+enum Stream {
+    Tcp(TcpStream),
+    #[cfg(unix)]
+    Unix(UnixStream),
+}
+
+impl Read for Stream {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match self {
+            Stream::Tcp(s) => s.read(buf),
+            #[cfg(unix)]
+            Stream::Unix(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Stream {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        match self {
+            Stream::Tcp(s) => s.write(buf),
+            #[cfg(unix)]
+            Stream::Unix(s) => s.write(buf),
+        }
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        match self {
+            Stream::Tcp(s) => s.flush(),
+            #[cfg(unix)]
+            Stream::Unix(s) => s.flush(),
+        }
+    }
+}
+
+struct Client {
+    reader: BufReader<Stream>,
+    writer: Stream,
+}
+
+impl Client {
+    fn connect(addr: &ListenAddr) -> std::io::Result<Client> {
+        let (r, w) = match addr {
+            ListenAddr::Tcp(a) => {
+                let s = TcpStream::connect(a)?;
+                s.set_nodelay(true)?;
+                (Stream::Tcp(s.try_clone()?), Stream::Tcp(s))
+            }
+            #[cfg(unix)]
+            ListenAddr::Unix(p) => {
+                let s = UnixStream::connect(p)?;
+                (Stream::Unix(s.try_clone()?), Stream::Unix(s))
+            }
+            #[cfg(not(unix))]
+            ListenAddr::Unix(_) => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::Unsupported,
+                    "unix sockets unsupported on this platform",
+                ))
+            }
+        };
+        Ok(Client {
+            reader: BufReader::new(r),
+            writer: w,
+        })
+    }
+
+    /// One line out, one line back.
+    fn request(&mut self, line: &str) -> std::io::Result<String> {
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()?;
+        let mut resp = String::new();
+        self.reader.read_line(&mut resp)?;
+        Ok(resp.trim_end().to_string())
+    }
+
+    /// `METRICS`: status line plus a framed body.
+    fn metrics(&mut self) -> std::io::Result<String> {
+        let status = self.request("METRICS")?;
+        let len: usize = status
+            .strip_prefix("OK metrics ")
+            .and_then(|n| n.parse().ok())
+            .ok_or_else(|| {
+                std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("unexpected METRICS response: {status}"),
+                )
+            })?;
+        let mut body = vec![0u8; len];
+        self.reader.read_exact(&mut body)?;
+        Ok(String::from_utf8_lossy(&body).into_owned())
+    }
+}
+
+#[derive(Default)]
+struct Tally {
+    requests: AtomicU64,
+    items_in: AtomicU64,
+    items_out: AtomicU64,
+    iterations: AtomicU64,
+    errors: AtomicU64,
+}
+
+/// Deterministic per-instance input: a ramp keyed by (slot, sequence)
+/// so every instance streams distinct data but a rerun reproduces it.
+fn item(slot: usize, seq: u64) -> f64 {
+    (((slot as u64 * 131 + seq * 31) % 2003) as f64) / 20.0 - 50.0
+}
+
+fn drive(
+    client: &mut Client,
+    ids: &[u64],
+    deadline: Instant,
+    batch: usize,
+    max_out: usize,
+    tally: &Tally,
+    hist: &LatencyHistogram,
+) {
+    let mut seqs = vec![0u64; ids.len()];
+    let mut req = String::with_capacity(batch * 8 + 32);
+    while Instant::now() < deadline {
+        for (slot, &id) in ids.iter().enumerate() {
+            use std::fmt::Write as _;
+            req.clear();
+            let _ = write!(req, "XFER {id} {max_out}");
+            for _ in 0..batch {
+                let _ = write!(req, " {}", item(slot, seqs[slot]));
+                seqs[slot] += 1;
+            }
+            let t0 = Instant::now();
+            match client.request(&req) {
+                Ok(resp) => {
+                    hist.record_ns(t0.elapsed().as_nanos() as u64);
+                    tally.requests.fetch_add(1, Ordering::Relaxed);
+                    let mut f = resp.split_whitespace();
+                    if f.next() == Some("OK") {
+                        let accepted: u64 = f.next().and_then(|t| t.parse().ok()).unwrap_or(0);
+                        let ran: u64 = f.next().and_then(|t| t.parse().ok()).unwrap_or(0);
+                        let n: u64 = f.next().and_then(|t| t.parse().ok()).unwrap_or(0);
+                        tally.items_in.fetch_add(accepted, Ordering::Relaxed);
+                        tally.iterations.fetch_add(ran, Ordering::Relaxed);
+                        tally.items_out.fetch_add(n, Ordering::Relaxed);
+                        // Un-accepted items must be replayed next batch.
+                        seqs[slot] -= batch as u64 - accepted;
+                    } else {
+                        tally.errors.fetch_add(1, Ordering::Relaxed);
+                        eprintln!("streamd-load: instance {id}: {resp}");
+                    }
+                }
+                Err(e) => {
+                    tally.errors.fetch_add(1, Ordering::Relaxed);
+                    eprintln!("streamd-load: request failed: {e}");
+                    return;
+                }
+            }
+            if Instant::now() >= deadline {
+                break;
+            }
+        }
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let tally = Arc::new(Tally::default());
+    let hist = Arc::new(LatencyHistogram::new());
+
+    // Partition instances over connections.
+    let conns = args.connections.min(args.instances.max(1));
+    let mut shares = vec![args.instances / conns; conns];
+    for extra in shares.iter_mut().take(args.instances % conns) {
+        *extra += 1;
+    }
+
+    let start = Instant::now();
+    let deadline = start + Duration::from_secs_f64(args.duration_s.max(0.1));
+    let mut threads = Vec::new();
+    for (ci, share) in shares.into_iter().enumerate() {
+        let addr = args.connect.clone();
+        let app = args.app.clone();
+        let tally = Arc::clone(&tally);
+        let hist = Arc::clone(&hist);
+        let (batch, max_out) = (args.batch, args.max_out);
+        threads.push(std::thread::spawn(move || {
+            let mut client = match Client::connect(&addr) {
+                Ok(c) => c,
+                Err(e) => {
+                    eprintln!("streamd-load: connection {ci}: cannot connect to {addr}: {e}");
+                    tally.errors.fetch_add(1, Ordering::Relaxed);
+                    return;
+                }
+            };
+            let mut ids = Vec::with_capacity(share);
+            for _ in 0..share {
+                match client.request(&format!("OPEN {app}")) {
+                    Ok(resp) if resp.starts_with("OK ") => {
+                        if let Some(id) =
+                            resp.split_whitespace().nth(1).and_then(|t| t.parse().ok())
+                        {
+                            ids.push(id);
+                        }
+                    }
+                    Ok(resp) => {
+                        tally.errors.fetch_add(1, Ordering::Relaxed);
+                        eprintln!("streamd-load: OPEN failed: {resp}");
+                    }
+                    Err(e) => {
+                        tally.errors.fetch_add(1, Ordering::Relaxed);
+                        eprintln!("streamd-load: OPEN failed: {e}");
+                        return;
+                    }
+                }
+            }
+            drive(&mut client, &ids, deadline, batch, max_out, &tally, &hist);
+            for id in ids {
+                let _ = client.request(&format!("CLOSE {id}"));
+            }
+            let _ = client.request("QUIT");
+        }));
+    }
+    for t in threads {
+        let _ = t.join();
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+
+    let g = |a: &AtomicU64| a.load(Ordering::Relaxed);
+    println!(
+        "streamd-load: {} instances over {} connections against {} for {elapsed:.2}s",
+        args.instances, conns, args.connect
+    );
+    println!(
+        "streamd-load: {} requests ({:.0}/s), items in {}, items out {} ({:.0}/s), iterations {}",
+        g(&tally.requests),
+        g(&tally.requests) as f64 / elapsed,
+        g(&tally.items_in),
+        g(&tally.items_out),
+        g(&tally.items_out) as f64 / elapsed,
+        g(&tally.iterations),
+    );
+    println!(
+        "streamd-load: client latency p50 {:.1}us p99 {:.1}us",
+        hist.quantile_ns(0.5) as f64 / 1e3,
+        hist.quantile_ns(0.99) as f64 / 1e3,
+    );
+    if args.scrape {
+        match Client::connect(&args.connect).and_then(|mut c| c.metrics()) {
+            Ok(page) => print!("{page}"),
+            Err(e) => {
+                eprintln!("streamd-load: metrics scrape failed: {e}");
+                tally.errors.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+    let errors = g(&tally.errors);
+    println!("streamd-load: {errors} errors");
+    std::process::exit(if errors == 0 { 0 } else { 1 });
+}

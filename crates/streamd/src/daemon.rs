@@ -1,0 +1,431 @@
+//! The tenancy core: program registry, instance table, admission
+//! control, per-instance budgets, and supervision.
+//!
+//! A [`Daemon`] owns a set of compiled programs (shared `Arc`s — one
+//! compile serves every instance) and a table of live instances, each
+//! an incremental [`Session`] behind its own mutex.  All entry points
+//! are `&self`: the daemon is driven concurrently from any number of
+//! threads (connection handlers, bench workers, the watchdog).
+//!
+//! Supervision contract: an instance that panics, faults, exhausts its
+//! firing budget, or stalls is *evicted* — removed from the table with
+//! a typed `E08xx` diagnostic kept in a bounded tombstone map so the
+//! client that was driving it learns the real reason — and nothing
+//! else is disturbed.  The panic is already contained at the session
+//! boundary ([`Session::step`] catches and poisons), so eviction is
+//! bookkeeping, never unwinding through daemon state.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+use std::time::Instant;
+
+use streamit::exec::{CompiledGraph, ExecError, FaultPlan, Session, SessionConfig};
+use streamit::interp::ExecLimits;
+use streamit::{CompiledProgram, Diag};
+
+use crate::metrics::Metrics;
+
+/// Per-instance resource bounds, in the units of the PR 1 budget
+/// machinery ([`ExecLimits`]): the firing budget is `max_firings`
+/// (converted to a steady-iteration allowance via the plan's firings
+/// per iteration), and the staging rings are the per-channel capacity
+/// bound scaled to one instance's external ports.
+#[derive(Debug, Clone, Copy)]
+pub struct InstanceBudget {
+    /// Filter/splitter/joiner firings an instance may perform before
+    /// eviction with `E0805`.
+    pub max_firings: u64,
+    /// Input staging-ring capacity, in items.
+    pub in_capacity: u64,
+    /// Output staging-ring capacity, in items.
+    pub out_capacity: u64,
+}
+
+impl Default for InstanceBudget {
+    fn default() -> Self {
+        InstanceBudget {
+            max_firings: ExecLimits::default().max_firings,
+            in_capacity: 1024,
+            out_capacity: 1024,
+        }
+    }
+}
+
+/// Daemon-wide policy.
+#[derive(Debug, Clone, Copy)]
+pub struct DaemonConfig {
+    /// Admission limit: `OPEN`s beyond this many live instances are
+    /// rejected with `E0801`.
+    pub max_instances: usize,
+    /// Budget applied to every instance.
+    pub budget: InstanceBudget,
+    /// Evict instances that make no progress for this many
+    /// milliseconds despite looking runnable (`E0804`).  `None` (the
+    /// library default, matching the supervisor watchdog convention)
+    /// disables the sweep; the `streamd` binary turns it on.
+    pub stall_ms: Option<u64>,
+}
+
+impl Default for DaemonConfig {
+    fn default() -> Self {
+        DaemonConfig {
+            max_instances: 1024,
+            budget: InstanceBudget::default(),
+            stall_ms: None,
+        }
+    }
+}
+
+/// What an `OPEN` returns: the instance id plus the steady-state rates
+/// a client needs to pace itself.
+#[derive(Debug, Clone, Copy)]
+pub struct InstanceInfo {
+    pub id: u64,
+    pub round_in: u64,
+    pub round_out: u64,
+}
+
+/// A point-in-time snapshot of one instance's counters.
+#[derive(Debug, Clone)]
+pub struct InstanceStats {
+    pub id: u64,
+    pub app: String,
+    pub iterations: u64,
+    pub items_in: u64,
+    pub items_out: u64,
+    pub staged_input: u64,
+    pub available_output: u64,
+}
+
+/// The result of one [`Daemon::feed`] call.
+#[derive(Debug, Clone)]
+pub struct Transfer {
+    /// Input items accepted (fewer than offered = backpressure).
+    pub accepted: usize,
+    /// Steady iterations run during this call.
+    pub iterations: u64,
+    /// Output items drained.
+    pub output: Vec<f64>,
+}
+
+struct ProgramEntry {
+    graph: Arc<CompiledGraph>,
+    /// Steady-iteration allowance derived from the firing budget.
+    iteration_allowance: u64,
+}
+
+struct Inner {
+    session: Session,
+}
+
+struct InstanceSlot {
+    id: u64,
+    app: String,
+    iteration_allowance: u64,
+    inner: Mutex<Inner>,
+    /// `Metrics::now_ms` of the last observed forward progress (or
+    /// legitimate block); the stall sweep evicts on staleness.
+    last_progress_ms: AtomicU64,
+    items_in: AtomicU64,
+    items_out: AtomicU64,
+}
+
+/// How many eviction tombstones are retained so late clients see the
+/// real `E08xx` reason instead of a bare `E0808`.
+const TOMBSTONE_CAP: usize = 4096;
+
+/// The multi-tenant daemon core.  See the module docs.
+pub struct Daemon {
+    programs: HashMap<String, ProgramEntry>,
+    instances: RwLock<HashMap<u64, Arc<InstanceSlot>>>,
+    tombstones: Mutex<HashMap<u64, Diag>>,
+    next_id: AtomicU64,
+    cfg: DaemonConfig,
+    pub metrics: Metrics,
+}
+
+/// Recover from a poisoned lock: sessions catch their own panics, so a
+/// poisoned daemon lock can only come from a panic in daemon
+/// bookkeeping itself; the data is a table of independently-owned
+/// slots, safe to keep serving.
+fn relock<T>(r: Result<T, std::sync::PoisonError<T>>) -> T {
+    r.unwrap_or_else(|p| p.into_inner())
+}
+
+impl Daemon {
+    pub fn new(cfg: DaemonConfig) -> Daemon {
+        Daemon {
+            programs: HashMap::new(),
+            instances: RwLock::new(HashMap::new()),
+            tombstones: Mutex::new(HashMap::new()),
+            next_id: AtomicU64::new(1),
+            cfg,
+            metrics: Metrics::new(),
+        }
+    }
+
+    pub fn config(&self) -> &DaemonConfig {
+        &self.cfg
+    }
+
+    /// Register a program under `name`, compiling it for the exec
+    /// engine once; every instance shares the compiled graph.  Fails
+    /// with the program's own diagnostic (`E0701` unsupported, `E0704`
+    /// no steady output) — bad programs are a startup error, not a
+    /// serving-time surprise.
+    pub fn add_program(&mut self, name: &str, program: &CompiledProgram) -> Result<(), Diag> {
+        let graph = program.compile_exec().map_err(Diag::from)?;
+        if graph.outputs_per_iteration() == 0 {
+            return Err(Diag::from(ExecError::NoSteadyOutput));
+        }
+        let fpi = graph.firings_per_iteration().max(1);
+        let allowance = (self.cfg.budget.max_firings / fpi).max(1);
+        self.programs.insert(
+            name.to_string(),
+            ProgramEntry {
+                graph: Arc::new(graph),
+                iteration_allowance: allowance,
+            },
+        );
+        Ok(())
+    }
+
+    /// Names of the served programs, sorted.
+    pub fn program_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.programs.keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Live instance count.
+    pub fn live(&self) -> usize {
+        relock(self.instances.read()).len()
+    }
+
+    /// Open a new instance of program `app`.  `fault` is the chaos
+    /// harness's injection hook (`None` in production).  Rejected with
+    /// `E0801` when the table is full, `E0802` for an unknown program.
+    pub fn open(&self, app: &str, fault: Option<FaultPlan>) -> Result<InstanceInfo, Diag> {
+        let entry = match self.programs.get(app) {
+            Some(e) => e,
+            None => {
+                self.metrics.rejected.fetch_add(1, Ordering::Relaxed);
+                return Err(crate::unknown_program(app, &self.program_names()));
+            }
+        };
+        let session_cfg = SessionConfig {
+            in_capacity: self.cfg.budget.in_capacity,
+            out_capacity: self.cfg.budget.out_capacity,
+            fault,
+        };
+        let session = entry.graph.open_session(&session_cfg).map_err(Diag::from)?;
+        let round_in = entry.graph.inputs_per_iteration();
+        let round_out = entry.graph.outputs_per_iteration();
+        let mut table = relock(self.instances.write());
+        if table.len() >= self.cfg.max_instances {
+            drop(table);
+            self.metrics.rejected.fetch_add(1, Ordering::Relaxed);
+            return Err(crate::admission_rejected(
+                self.live(),
+                self.cfg.max_instances,
+            ));
+        }
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        table.insert(
+            id,
+            Arc::new(InstanceSlot {
+                id,
+                app: app.to_string(),
+                iteration_allowance: entry.iteration_allowance,
+                inner: Mutex::new(Inner { session }),
+                last_progress_ms: AtomicU64::new(self.metrics.now_ms()),
+                items_in: AtomicU64::new(0),
+                items_out: AtomicU64::new(0),
+            }),
+        );
+        drop(table);
+        self.metrics.admitted.fetch_add(1, Ordering::Relaxed);
+        Ok(InstanceInfo {
+            id,
+            round_in,
+            round_out,
+        })
+    }
+
+    fn slot(&self, id: u64) -> Result<Arc<InstanceSlot>, Diag> {
+        if let Some(s) = relock(self.instances.read()).get(&id) {
+            return Ok(Arc::clone(s));
+        }
+        if let Some(d) = relock(self.tombstones.lock()).get(&id) {
+            return Err(d.clone());
+        }
+        Err(crate::unknown_instance(id))
+    }
+
+    fn evict(&self, id: u64, diag: Diag, counter: &AtomicU64) -> Diag {
+        // Two callers can race to evict the same instance (e.g. two
+        // connections driving one id); only the one that removes the
+        // slot counts it and writes the tombstone.
+        if relock(self.instances.write()).remove(&id).is_some() {
+            counter.fetch_add(1, Ordering::Relaxed);
+            let mut tombs = relock(self.tombstones.lock());
+            if tombs.len() >= TOMBSTONE_CAP {
+                tombs.clear();
+            }
+            tombs.insert(id, diag.clone());
+        }
+        diag
+    }
+
+    /// The workhorse request: stage `input` (as much as the ring
+    /// accepts), advance the schedule as far as input, output space,
+    /// and the firing budget allow, and drain up to `max_out` output
+    /// items.  One call = one service-latency sample.
+    ///
+    /// Faults evict: a panic returns (and tombstones) `E0803`, an
+    /// engine fault its mapped diagnostic, an exhausted budget `E0805`.
+    pub fn feed(&self, id: u64, input: &[f64], max_out: usize) -> Result<Transfer, Diag> {
+        let t0 = Instant::now();
+        let slot = self.slot(id)?;
+        let mut inner = relock(slot.inner.lock());
+        let accepted = inner.session.push_input(input);
+        let remaining = slot
+            .iteration_allowance
+            .saturating_sub(inner.session.iterations());
+        if remaining == 0 {
+            let fired =
+                inner.session.iterations() * inner.session.graph().firings_per_iteration().max(1);
+            drop(inner);
+            return Err(self.evict(
+                id,
+                crate::budget_exhausted(id, fired, self.cfg.budget.max_firings),
+                &self.metrics.evicted_budget,
+            ));
+        }
+        let ran = match inner.session.step(remaining) {
+            Ok(n) => n,
+            Err(ExecError::WorkerPanic { payload, .. }) => {
+                drop(inner);
+                return Err(self.evict(
+                    id,
+                    crate::instance_panicked(id, &payload),
+                    &self.metrics.evicted_panic,
+                ));
+            }
+            Err(e) => {
+                drop(inner);
+                return Err(self.evict(id, Diag::from(e), &self.metrics.evicted_fault));
+            }
+        };
+        let output = inner.session.pull_output(max_out);
+        // Progress accounting for the stall sweep: advancing counts,
+        // and so does being legitimately blocked (waiting on the
+        // client for input or drain).  Runnable-but-frozen does not.
+        if ran > 0 || inner.session.blocked().is_some() {
+            slot.last_progress_ms
+                .store(self.metrics.now_ms(), Ordering::Relaxed);
+        }
+        drop(inner);
+        slot.items_in.fetch_add(accepted as u64, Ordering::Relaxed);
+        slot.items_out
+            .fetch_add(output.len() as u64, Ordering::Relaxed);
+        self.metrics
+            .items_in
+            .fetch_add(accepted as u64, Ordering::Relaxed);
+        self.metrics
+            .items_out
+            .fetch_add(output.len() as u64, Ordering::Relaxed);
+        self.metrics.iterations.fetch_add(ran, Ordering::Relaxed);
+        self.metrics.requests.fetch_add(1, Ordering::Relaxed);
+        self.metrics
+            .service
+            .record_ns(t0.elapsed().as_nanos() as u64);
+        Ok(Transfer {
+            accepted,
+            iterations: ran,
+            output,
+        })
+    }
+
+    /// Stage input without draining ([`Daemon::feed`] with no pull).
+    pub fn push(&self, id: u64, input: &[f64]) -> Result<Transfer, Diag> {
+        self.feed(id, input, 0)
+    }
+
+    /// Drain output without staging ([`Daemon::feed`] with no input).
+    pub fn pull(&self, id: u64, max_out: usize) -> Result<Transfer, Diag> {
+        self.feed(id, &[], max_out)
+    }
+
+    /// Snapshot one instance's counters.
+    pub fn stats(&self, id: u64) -> Result<InstanceStats, Diag> {
+        let slot = self.slot(id)?;
+        let inner = relock(slot.inner.lock());
+        Ok(InstanceStats {
+            id,
+            app: slot.app.clone(),
+            iterations: inner.session.iterations(),
+            items_in: slot.items_in.load(Ordering::Relaxed),
+            items_out: slot.items_out.load(Ordering::Relaxed),
+            staged_input: inner.session.staged_input(),
+            available_output: inner.session.available_output(),
+        })
+    }
+
+    /// Close an instance normally (no tombstone: a closed id answers
+    /// `E0808` afterwards).
+    pub fn close(&self, id: u64) -> Result<(), Diag> {
+        match relock(self.instances.write()).remove(&id) {
+            Some(_) => {
+                self.metrics.closed.fetch_add(1, Ordering::Relaxed);
+                Ok(())
+            }
+            None => Err(self
+                .slot(id)
+                .err()
+                .unwrap_or_else(|| crate::unknown_instance(id))),
+        }
+    }
+
+    /// Close every live instance (shutdown path).
+    pub fn close_all(&self) {
+        let mut table = relock(self.instances.write());
+        let n = table.len() as u64;
+        table.clear();
+        self.metrics.closed.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The stall watchdog's sweep: evict (with `E0804`) every instance
+    /// whose last observed progress is older than the configured
+    /// deadline.  Returns the evicted ids.  No-op when `stall_ms` is
+    /// off.  Runnable instances that are merely waiting on a slow
+    /// client keep refreshing their progress stamp in [`Daemon::feed`],
+    /// so only frozen (or abandoned) instances age out.
+    pub fn sweep_stalled(&self) -> Vec<u64> {
+        let deadline = match self.cfg.stall_ms {
+            Some(ms) => ms,
+            None => return Vec::new(),
+        };
+        let now = self.metrics.now_ms();
+        let stale: Vec<u64> = relock(self.instances.read())
+            .values()
+            .filter(|s| now.saturating_sub(s.last_progress_ms.load(Ordering::Relaxed)) > deadline)
+            .map(|s| s.id)
+            .collect();
+        let mut evicted = Vec::new();
+        for id in stale {
+            let age = now.saturating_sub(match relock(self.instances.read()).get(&id) {
+                Some(s) => s.last_progress_ms.load(Ordering::Relaxed),
+                None => continue, // raced with a close/evict
+            });
+            self.evict(
+                id,
+                crate::instance_stalled(id, age),
+                &self.metrics.evicted_stall,
+            );
+            evicted.push(id);
+        }
+        evicted
+    }
+}

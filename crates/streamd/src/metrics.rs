@@ -1,0 +1,249 @@
+//! Daemon observability: lock-free counters plus a log₂-bucket latency
+//! histogram, rendered as plaintext `/metrics`-style text.
+//!
+//! Everything here is `AtomicU64` with relaxed ordering — the hot path
+//! (one `feed` per client request, across many threads) pays a handful
+//! of uncontended atomic adds and no locks.  Quantiles are approximate
+//! by construction (a bucket per power of two of nanoseconds, read back
+//! as the bucket's geometric midpoint), which is exactly the fidelity a
+//! p50/p99 service-latency gauge needs.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+const BUCKETS: usize = 64;
+
+/// A fixed-size log₂ histogram over nanosecond samples.
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum_ns: AtomicU64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum_ns: AtomicU64::new(0),
+        }
+    }
+}
+
+impl LatencyHistogram {
+    pub fn new() -> LatencyHistogram {
+        LatencyHistogram::default()
+    }
+
+    /// Record one sample (bucket = floor(log₂ ns)).
+    pub fn record_ns(&self, ns: u64) {
+        let idx = (63 - (ns | 1).leading_zeros()) as usize;
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_ns.fetch_add(ns, Ordering::Relaxed);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Mean sample in nanoseconds (0 when empty).
+    pub fn mean_ns(&self) -> u64 {
+        self.sum_ns
+            .load(Ordering::Relaxed)
+            .checked_div(self.count())
+            .unwrap_or(0)
+    }
+
+    /// Approximate `q`-quantile in nanoseconds: the geometric midpoint
+    /// of the first bucket whose cumulative count covers `q` (0 when
+    /// empty).
+    pub fn quantile_ns(&self, q: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= rank {
+                let lo = 1u64 << i;
+                return lo + (lo >> 1);
+            }
+        }
+        u64::MAX
+    }
+}
+
+/// Global daemon counters; one instance lives in the
+/// [`crate::Daemon`] for its whole lifetime.
+#[derive(Debug)]
+pub struct Metrics {
+    start: Instant,
+    pub admitted: AtomicU64,
+    pub rejected: AtomicU64,
+    pub closed: AtomicU64,
+    pub evicted_panic: AtomicU64,
+    pub evicted_stall: AtomicU64,
+    pub evicted_budget: AtomicU64,
+    pub evicted_fault: AtomicU64,
+    pub requests: AtomicU64,
+    pub items_in: AtomicU64,
+    pub items_out: AtomicU64,
+    pub iterations: AtomicU64,
+    pub service: LatencyHistogram,
+}
+
+impl Default for Metrics {
+    fn default() -> Self {
+        Metrics {
+            start: Instant::now(),
+            admitted: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            closed: AtomicU64::new(0),
+            evicted_panic: AtomicU64::new(0),
+            evicted_stall: AtomicU64::new(0),
+            evicted_budget: AtomicU64::new(0),
+            evicted_fault: AtomicU64::new(0),
+            requests: AtomicU64::new(0),
+            items_in: AtomicU64::new(0),
+            items_out: AtomicU64::new(0),
+            iterations: AtomicU64::new(0),
+            service: LatencyHistogram::new(),
+        }
+    }
+}
+
+impl Metrics {
+    pub fn new() -> Metrics {
+        Metrics::default()
+    }
+
+    /// Milliseconds since the daemon started (the clock instance
+    /// timestamps are measured against).
+    pub fn now_ms(&self) -> u64 {
+        self.start.elapsed().as_millis() as u64
+    }
+
+    /// Total evictions across all reasons.
+    pub fn evicted_total(&self) -> u64 {
+        self.evicted_panic.load(Ordering::Relaxed)
+            + self.evicted_stall.load(Ordering::Relaxed)
+            + self.evicted_budget.load(Ordering::Relaxed)
+            + self.evicted_fault.load(Ordering::Relaxed)
+    }
+
+    /// Render the plaintext metrics page.  `live` is sampled by the
+    /// caller (it lives in the instance table, not here).
+    pub fn render(&self, live: usize) -> String {
+        let g = |a: &AtomicU64| a.load(Ordering::Relaxed);
+        let mut s = String::with_capacity(1024);
+        s.push_str("# streamd metrics\n");
+        s.push_str(&format!(
+            "streamd_uptime_seconds {:.3}\n",
+            self.start.elapsed().as_secs_f64()
+        ));
+        s.push_str(&format!("streamd_instances_live {live}\n"));
+        s.push_str(&format!(
+            "streamd_instances_admitted_total {}\n",
+            g(&self.admitted)
+        ));
+        s.push_str(&format!(
+            "streamd_instances_rejected_total {}\n",
+            g(&self.rejected)
+        ));
+        s.push_str(&format!(
+            "streamd_instances_closed_total {}\n",
+            g(&self.closed)
+        ));
+        for (reason, a) in [
+            ("panic", &self.evicted_panic),
+            ("stall", &self.evicted_stall),
+            ("budget", &self.evicted_budget),
+            ("fault", &self.evicted_fault),
+        ] {
+            s.push_str(&format!(
+                "streamd_instances_evicted_total{{reason=\"{reason}\"}} {}\n",
+                g(a)
+            ));
+        }
+        s.push_str(&format!("streamd_requests_total {}\n", g(&self.requests)));
+        s.push_str(&format!("streamd_items_in_total {}\n", g(&self.items_in)));
+        s.push_str(&format!("streamd_items_out_total {}\n", g(&self.items_out)));
+        s.push_str(&format!(
+            "streamd_iterations_total {}\n",
+            g(&self.iterations)
+        ));
+        for (q, label) in [(0.5, "0.5"), (0.99, "0.99")] {
+            s.push_str(&format!(
+                "streamd_service_latency_seconds{{quantile=\"{label}\"}} {:.9}\n",
+                self.service.quantile_ns(q) as f64 / 1e9
+            ));
+        }
+        s.push_str(&format!(
+            "streamd_service_latency_seconds_count {}\n",
+            self.service.count()
+        ));
+        s.push_str(&format!(
+            "streamd_service_latency_seconds_mean {:.9}\n",
+            self.service.mean_ns() as f64 / 1e9
+        ));
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_quantiles_bracket_samples() {
+        let h = LatencyHistogram::new();
+        for _ in 0..90 {
+            h.record_ns(1_000); // bucket 9 (512..1024)
+        }
+        for _ in 0..10 {
+            h.record_ns(1_000_000); // bucket 19
+        }
+        assert_eq!(h.count(), 100);
+        let p50 = h.quantile_ns(0.5);
+        assert!((512..2048).contains(&p50), "p50 = {p50}");
+        let p99 = h.quantile_ns(0.99);
+        assert!((524_288..2_097_152).contains(&p99), "p99 = {p99}");
+        assert!(h.mean_ns() >= 1_000);
+    }
+
+    #[test]
+    fn empty_histogram_is_quiet() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.quantile_ns(0.5), 0);
+        assert_eq!(h.mean_ns(), 0);
+    }
+
+    #[test]
+    fn render_lists_every_counter() {
+        let m = Metrics::new();
+        m.admitted.fetch_add(3, Ordering::Relaxed);
+        m.service.record_ns(1234);
+        let page = m.render(2);
+        for key in [
+            "streamd_uptime_seconds",
+            "streamd_instances_live 2",
+            "streamd_instances_admitted_total 3",
+            "streamd_instances_rejected_total 0",
+            "streamd_instances_evicted_total{reason=\"panic\"}",
+            "streamd_instances_evicted_total{reason=\"stall\"}",
+            "streamd_instances_evicted_total{reason=\"budget\"}",
+            "streamd_items_in_total",
+            "streamd_items_out_total",
+            "streamd_iterations_total",
+            "streamd_service_latency_seconds{quantile=\"0.5\"}",
+            "streamd_service_latency_seconds{quantile=\"0.99\"}",
+            "streamd_service_latency_seconds_count 1",
+        ] {
+            assert!(page.contains(key), "missing `{key}` in:\n{page}");
+        }
+    }
+}

@@ -1,0 +1,219 @@
+//! Golden CLI tests for the `streamd` binary: every config error must
+//! be a typed `error[E0807]` on stderr with exit code 2, and a live
+//! daemon must serve the wire protocol, survive an injected instance
+//! panic, and shut down cleanly on SIGTERM with exit code 0.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::process::{Child, Command, Stdio};
+use std::time::Duration;
+
+fn streamd() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_streamd"))
+}
+
+/// Run `streamd` with `args`, expecting a config rejection: exit 2 and
+/// a typed `error[E0807]` mentioning `needle` on stderr.
+fn assert_config_error(args: &[&str], needle: &str) {
+    let out = streamd().args(args).output().expect("spawns");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "args {args:?}: expected exit 2, got {:?}\nstderr: {stderr}",
+        out.status.code()
+    );
+    assert!(
+        stderr.contains("error[E0807]"),
+        "args {args:?}: stderr lacks typed diagnostic:\n{stderr}"
+    );
+    assert!(
+        stderr.contains(needle),
+        "args {args:?}: stderr lacks `{needle}`:\n{stderr}"
+    );
+}
+
+#[test]
+fn bad_listen_address_is_a_typed_config_error() {
+    assert_config_error(&["--listen", "not-an-addr"], "not-an-addr");
+    assert_config_error(&["--listen", "unix:"], "unix:");
+    assert_config_error(&["--listen"], "--listen needs an address");
+}
+
+#[test]
+fn zero_max_instances_is_rejected() {
+    assert_config_error(&["--max-instances", "0"], "--max-instances must be >= 1");
+    assert_config_error(&["--max-instances", "many"], "bad --max-instances");
+}
+
+#[test]
+fn bad_instance_budget_is_rejected() {
+    assert_config_error(&["--instance-budget", "lots"], "bad --instance-budget");
+    assert_config_error(
+        &["--instance-budget", "0"],
+        "--instance-budget must be >= 1",
+    );
+    assert_config_error(&["--instance-buffer", "big"], "bad --instance-buffer");
+}
+
+#[test]
+fn unknown_flags_and_programs_are_rejected() {
+    assert_config_error(&["--frobnicate"], "unknown flag");
+    assert_config_error(&["no-such-program"], "unknown program");
+}
+
+struct Conn {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Conn {
+    fn request(&mut self, line: &str) -> String {
+        self.writer
+            .write_all(format!("{line}\n").as_bytes())
+            .expect("writes");
+        let mut resp = String::new();
+        self.reader.read_line(&mut resp).expect("reads");
+        resp.trim_end().to_string()
+    }
+}
+
+/// Spawn `streamd` on an ephemeral port and connect to it.
+fn spawn_daemon(extra: &[&str]) -> (Child, Conn) {
+    let mut child = streamd()
+        .args(["fmradio-small", "--listen", "127.0.0.1:0"])
+        .args(extra)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawns");
+    let stdout = child.stdout.take().expect("stdout piped");
+    let mut lines = BufReader::new(stdout).lines();
+    let addr = loop {
+        let line = lines
+            .next()
+            .expect("daemon prints its address before EOF")
+            .expect("readable");
+        if let Some(rest) = line.strip_prefix("streamd: listening on ") {
+            break rest.to_string();
+        }
+    };
+    // Keep draining stdout so the daemon never blocks on a full pipe.
+    let collector = std::thread::spawn(move || {
+        let mut rest = Vec::new();
+        for l in lines.map_while(Result::ok) {
+            rest.push(l);
+        }
+        rest
+    });
+    let stream = TcpStream::connect(&addr).expect("connects");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("timeout");
+    let conn = Conn {
+        reader: BufReader::new(stream.try_clone().expect("clones")),
+        writer: stream,
+    };
+    // Stash the collector where teardown can find it.
+    COLLECTORS.with(|c| c.borrow_mut().push(collector));
+    (child, conn)
+}
+
+thread_local! {
+    #[allow(clippy::type_complexity)]
+    static COLLECTORS: std::cell::RefCell<Vec<std::thread::JoinHandle<Vec<String>>>> =
+        const { std::cell::RefCell::new(Vec::new()) };
+}
+
+fn sigterm_and_wait(mut child: Child) -> (i32, Vec<String>) {
+    let ok = Command::new("kill")
+        .args(["-TERM", &child.id().to_string()])
+        .status()
+        .expect("kill runs")
+        .success();
+    assert!(ok, "kill -TERM delivered");
+    let status = child.wait().expect("waits");
+    let rest = COLLECTORS
+        .with(|c| c.borrow_mut().pop())
+        .map(|h| h.join().expect("collector joins"))
+        .unwrap_or_default();
+    (status.code().unwrap_or(-1), rest)
+}
+
+#[test]
+fn daemon_serves_protocol_and_shuts_down_cleanly_on_sigterm() {
+    let (child, mut conn) = spawn_daemon(&[]);
+    assert_eq!(conn.request("PING"), "OK pong");
+
+    let open = conn.request("OPEN fmradio-small");
+    assert!(open.starts_with("OK "), "{open}");
+    let id: u64 = open
+        .split_whitespace()
+        .nth(1)
+        .and_then(|t| t.parse().ok())
+        .expect("id");
+    let resp = conn.request(&format!(
+        "XFER {id} 8 1 2 3 4 5 6 7 8 9 10 11 12 13 14 15 16"
+    ));
+    assert!(resp.starts_with("OK 16 "), "{resp}");
+    let unknown = conn.request("OPEN nope");
+    assert!(
+        unknown.starts_with("ERR E0802 ") && unknown.contains("fmradio-small"),
+        "unknown program names the served ones: {unknown}"
+    );
+    assert_eq!(conn.request(&format!("CLOSE {id}")), "OK closed");
+
+    let (code, rest) = sigterm_and_wait(child);
+    assert_eq!(code, 0, "clean shutdown exit code");
+    assert!(
+        rest.iter().any(|l| l.contains("shutdown complete")),
+        "stdout tail: {rest:?}"
+    );
+}
+
+#[test]
+fn injected_panic_over_the_wire_spares_daemon_and_siblings() {
+    let (child, mut conn) = spawn_daemon(&[]);
+    let open_id = |conn: &mut Conn, spec: &str| -> u64 {
+        let resp = conn.request(spec);
+        assert!(resp.starts_with("OK "), "{resp}");
+        resp.split_whitespace()
+            .nth(1)
+            .and_then(|t| t.parse().ok())
+            .expect("id")
+    };
+    let left = open_id(&mut conn, "OPEN fmradio-small");
+    let victim = open_id(&mut conn, "OPEN fmradio-small fault=panic@0:1");
+    let right = open_id(&mut conn, "OPEN fmradio-small");
+
+    // Hammer the victim until the injected panic fires and evicts it.
+    let feed = "XFER {} 64 1 2 3 4 5 6 7 8 9 10 11 12 13 14 15 16 17 18 19 20 \
+                21 22 23 24 25 26 27 28 29 30 31 32";
+    let err = loop {
+        let resp = conn.request(&feed.replace("{}", &victim.to_string()));
+        if resp.starts_with("ERR") {
+            break resp;
+        }
+    };
+    assert!(err.starts_with("ERR E0803 "), "{err}");
+
+    // The daemon is still alive and the siblings produce identical
+    // output streams (same program, same input ⇒ same bits).
+    assert_eq!(conn.request("PING"), "OK pong");
+    let mut outs = Vec::new();
+    for id in [left, right] {
+        let mut got = Vec::new();
+        while got.len() < 24 {
+            let resp = conn.request(&feed.replace("{}", &id.to_string()));
+            assert!(resp.starts_with("OK "), "{resp}");
+            got.extend(resp.split_whitespace().skip(4).map(|t| t.to_string()));
+        }
+        got.truncate(24);
+        outs.push(got);
+    }
+    assert_eq!(outs[0], outs[1], "siblings bit-identical after the panic");
+
+    let (code, rest) = sigterm_and_wait(child);
+    assert_eq!(code, 0);
+    assert!(rest.iter().any(|l| l.contains("shutdown complete")));
+}
